@@ -1,0 +1,74 @@
+// Section 4.3, "Approximate Density-based Clustering": exact cell-based
+// clustering vs the approximate O(n) method - dense-set agreement,
+// clustering-time speedup (paper: ~2x), and the end-to-end compression
+// speedup after integration (paper: ~1.2x).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cluster/approx_clustering.h"
+#include "cluster/cell_clustering.h"
+#include "core/dbgc_codec.h"
+
+using namespace dbgc;
+
+int main() {
+  bench::Banner("Exact vs approximate density-based clustering",
+                "Section 4.3 (clustering speedup and agreement)");
+
+  const int frames = bench::FramesPerConfig();
+  DbgcOptions options;  // Default parameter derivation (Section 3.2).
+  const ClusteringParams params = ClusteringParams::FromErrorBound(
+      options.q_xyz, options.cluster_k, options.min_pts_scale);
+
+  double exact_time = 0, approx_time = 0;
+  double agreement = 0, exact_dense = 0, approx_dense = 0;
+  for (int f = 0; f < frames; ++f) {
+    const PointCloud pc = bench::Frame(SceneType::kCity, f);
+    ClusteringResult exact, approx;
+    exact_time += bench::TimeSeconds(
+        [&] { exact = CellClustering(pc, params); });
+    approx_time += bench::TimeSeconds(
+        [&] { approx = ApproxClustering(pc, params); });
+    size_t same = 0;
+    for (size_t i = 0; i < pc.size(); ++i) {
+      same += exact.is_dense[i] == approx.is_dense[i];
+    }
+    agreement += static_cast<double>(same) / pc.size();
+    exact_dense += static_cast<double>(exact.NumDense()) / pc.size();
+    approx_dense += static_cast<double>(approx.NumDense()) / pc.size();
+  }
+  std::printf("exact cell-based clustering:  %8.3f s/frame (%.1f%% dense)\n",
+              exact_time / frames, 100 * exact_dense / frames);
+  std::printf("approximate grid clustering:  %8.3f s/frame (%.1f%% dense)\n",
+              approx_time / frames, 100 * approx_dense / frames);
+  std::printf("clustering speedup:           %8.2fx (paper: ~2x)\n",
+              exact_time / approx_time);
+  std::printf("dense-set agreement:          %8.2f%% (paper: nearly same)\n",
+              100 * agreement / frames);
+
+  // End-to-end effect.
+  DbgcOptions exact_options;
+  exact_options.use_approx_clustering = false;
+  DbgcOptions approx_options;
+  approx_options.use_approx_clustering = true;
+  const DbgcCodec exact_codec(exact_options);
+  const DbgcCodec approx_codec(approx_options);
+  double exact_e2e = 0, approx_e2e = 0;
+  for (int f = 0; f < frames; ++f) {
+    const PointCloud pc = bench::Frame(SceneType::kCity, f);
+    exact_e2e += bench::TimeSeconds([&] {
+      auto c = exact_codec.Compress(pc, 0.02);
+      (void)c;
+    });
+    approx_e2e += bench::TimeSeconds([&] {
+      auto c = approx_codec.Compress(pc, 0.02);
+      (void)c;
+    });
+  }
+  std::printf("end-to-end compression:       %8.3f s (exact) vs %.3f s "
+              "(approx) -> %.2fx (paper: ~1.2x)\n",
+              exact_e2e / frames, approx_e2e / frames,
+              exact_e2e / approx_e2e);
+  return 0;
+}

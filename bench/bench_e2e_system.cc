@@ -1,0 +1,115 @@
+// Section 4.4, "End-to-end Evaluation": throughput, bandwidth, latency,
+// and memory of the full DBGC system pipeline (sensor -> client compress ->
+// 4G uplink -> server decompress -> store), on the KITTI-style city scene.
+//
+// Paper's findings at q = 2 cm: a raw HDL-64E stream needs ~96 Mbps and
+// cannot cross a 4G uplink (8.2 Mbps); the compressed stream needs ~6 Mbps
+// and can; the end-to-end per-frame latency is well under a second; and
+// compression/decompression memory is tens of megabytes.
+
+#include <cmath>
+#include <cstdio>
+
+#include <fstream>
+#include <string>
+
+#include "bench_util.h"
+#include "net/channel.h"
+#include "net/client.h"
+#include "net/server.h"
+
+using namespace dbgc;
+
+namespace {
+
+// Peak resident set size in MiB (VmHWM from /proc, as the paper measures).
+double PeakRssMib() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      return std::stod(line.substr(6)) / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("End-to-end system evaluation", "Section 4.4");
+
+  const SimulatedChannel sensor_link = SimulatedChannel::Ethernet100();
+  const SimulatedChannel uplink = SimulatedChannel::Mobile4G();
+  DbgcClient client(DbgcOptions(), sensor_link, uplink);
+  DbgcServer server;
+
+  const int frames = bench::FramesPerConfig() * 2;
+  const double fps = 10.0;
+
+  double raw_bits = 0, compressed_bits = 0;
+  double compress_s = 0, decompress_s = 0, uplink_s = 0, sensor_s = 0;
+  size_t points = 0;
+  for (int f = 0; f < frames; ++f) {
+    const PointCloud pc = bench::Frame(SceneType::kCity, f);
+    points += pc.size();
+    ClientFrameReport creport;
+    auto wire = client.ProcessFrame(pc, &creport);
+    if (!wire.ok()) {
+      std::fprintf(stderr, "client failed: %s\n",
+                   wire.status().ToString().c_str());
+      return 1;
+    }
+    ServerFrameReport sreport;
+    if (Status s = server.HandleFrame(wire.value(), &sreport); !s.ok()) {
+      std::fprintf(stderr, "server failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    raw_bits += 8.0 * creport.raw_bytes;
+    compressed_bits += 8.0 * wire.value().size();
+    compress_s += creport.compress_seconds;
+    decompress_s += sreport.decompress_seconds;
+    uplink_s += creport.uplink_seconds;
+    sensor_s += creport.sensor_transfer_seconds;
+  }
+
+  const double raw_mbps = raw_bits / frames * fps / 1e6;
+  const double compressed_mbps = compressed_bits / frames * fps / 1e6;
+  std::printf("frames: %d, avg points/frame: %zu\n", frames, points / frames);
+  std::printf("raw stream:        %7.1f Mbps  (sensor at %g fps)\n", raw_mbps,
+              fps);
+  std::printf("compressed stream: %7.2f Mbps  (4G uplink budget: %.1f Mbps)\n",
+              compressed_mbps, uplink.bandwidth_mbps());
+  std::printf("raw fits 4G?        %s;   compressed fits 4G?  %s\n",
+              raw_mbps <= uplink.bandwidth_mbps() ? "yes" : "no",
+              compressed_mbps <= uplink.bandwidth_mbps() ? "yes" : "no");
+
+  const double per_frame_latency =
+      sensor_s / frames + compress_s / frames + uplink_s / frames +
+      decompress_s / frames;
+  std::printf("\nper-frame pipeline latency:\n");
+  std::printf("  sensor->client transfer: %7.3f s (modeled, 100BASE-TX)\n",
+              sensor_s / frames);
+  std::printf("  compression:             %7.3f s (measured)\n",
+              compress_s / frames);
+  std::printf("  client->server uplink:   %7.3f s (modeled, 4G)\n",
+              uplink_s / frames);
+  std::printf("  decompression:           %7.3f s (measured)\n",
+              decompress_s / frames);
+  std::printf("  total:                   %7.3f s (paper: ~0.7 s)\n",
+              per_frame_latency);
+
+  const double throughput = 1.0 / (compress_s / frames);
+  std::printf("\nclient compression throughput: %.1f frames/s "
+              "(sensor produces %g; pipeline depth %d sustains it)\n",
+              throughput, fps,
+              static_cast<int>(std::ceil(fps * compress_s / frames)));
+  // Section 4.4's criterion: the compressed stream fits the uplink and
+  // every link in Figure 2 keeps up with the generation rate.
+  std::printf("online capable (paper criterion): %s\n",
+              compressed_mbps <= uplink.bandwidth_mbps() ? "yes" : "no");
+  std::printf("peak RSS: %.1f MiB (paper: ~45 MiB compress / ~12 MiB "
+              "decompress)\n",
+              PeakRssMib());
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Figure 13: DBGC's compression and decompression time breakdown at
+// q = 2 cm over the six building blocks: density-based clustering (DEN),
+// octree (OCT), coordinate conversion (COR), point organization (ORG),
+// sparse coordinate codec (SPA), and outlier codec (OUT).
+//
+// Paper's shape (compression): DEN ~31%, ORG ~22%, SPA ~44% dominate; OCT,
+// COR, OUT are negligible. Decompression is dominated by SPA.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/dbgc_codec.h"
+
+using namespace dbgc;
+
+namespace {
+
+void PrintBreakdown(const char* title, const DbgcTimings& t) {
+  const double total = t.Total();
+  std::printf("%s (total %.3f s):\n", title, total);
+  struct Row {
+    const char* label;
+    double v;
+  };
+  const Row rows[] = {{"DEN (clustering)", t.clustering},
+                      {"OCT (octree)", t.octree},
+                      {"COR (conversion)", t.conversion},
+                      {"ORG (organization)", t.organization},
+                      {"SPA (sparse codec)", t.sparse},
+                      {"OUT (outliers)", t.outlier}};
+  for (const Row& r : rows) {
+    std::printf("  %-20s %8.4f s  %5.1f%%\n", r.label, r.v,
+                total > 0 ? 100.0 * r.v / total : 0.0);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("DBGC time breakdown at q = 2 cm (city)", "Figure 13");
+
+  const int frames = bench::FramesPerConfig();
+  const DbgcCodec codec;
+  DbgcTimings compress_total, decompress_total;
+  for (int f = 0; f < frames; ++f) {
+    const PointCloud pc = bench::Frame(SceneType::kCity, f);
+    DbgcCompressInfo cinfo;
+    auto compressed = codec.CompressWithInfo(pc, &cinfo);
+    if (!compressed.ok()) return 1;
+    DbgcDecompressInfo dinfo;
+    auto decoded = codec.DecompressWithInfo(compressed.value(), &dinfo);
+    if (!decoded.ok()) return 1;
+
+    compress_total.clustering += cinfo.timings.clustering / frames;
+    compress_total.octree += cinfo.timings.octree / frames;
+    compress_total.conversion += cinfo.timings.conversion / frames;
+    compress_total.organization += cinfo.timings.organization / frames;
+    compress_total.sparse += cinfo.timings.sparse / frames;
+    compress_total.outlier += cinfo.timings.outlier / frames;
+    decompress_total.clustering += dinfo.timings.clustering / frames;
+    decompress_total.octree += dinfo.timings.octree / frames;
+    decompress_total.conversion += dinfo.timings.conversion / frames;
+    decompress_total.organization += dinfo.timings.organization / frames;
+    decompress_total.sparse += dinfo.timings.sparse / frames;
+    decompress_total.outlier += dinfo.timings.outlier / frames;
+  }
+  PrintBreakdown("Compression", compress_total);
+  PrintBreakdown("Decompression", decompress_total);
+  std::printf(
+      "\nExpected shape: DEN, ORG, and SPA dominate compression; SPA\n"
+      "dominates decompression; OCT, COR, and OUT are small.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 9 (a-f): compression ratio (and uplink bandwidth at 10 fps) of
+// DBGC and the four baselines on all six scenes, with the error bound
+// varied from 0.06 cm to 2 cm.
+//
+// Paper's shape: DBGC outperforms all baselines on every dataset; G-PCC is
+// the strongest baseline; Octree_i slightly underperforms Octree on scene
+// clouds; Draco (kd-tree) trails. At the 2 cm bound DBGC reaches a ratio
+// around 19-20x and needs well under the 8.2 Mbps 4G uplink.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "codec/codec.h"
+#include "core/dbgc_codec.h"
+
+using namespace dbgc;
+
+int main() {
+  bench::Banner("Compression ratio vs error bound, all scenes and codecs",
+                "Figure 9a-9f (and the bandwidth metric of Section 4.1)");
+
+  const int frames = bench::FramesPerConfig();
+  const DbgcCodec dbgc_codec;
+  const auto baselines = MakeBaselineCodecs();
+
+  for (SceneType scene : AllSceneTypes()) {
+    std::printf("\n--- scene: %s ---\n", SceneTypeName(scene).c_str());
+    std::printf("%9s %10s", "q_xyz", "DBGC");
+    for (const auto& codec : baselines) {
+      std::printf(" %10s", codec->name().c_str());
+    }
+    std::printf("   | DBGC Mbps@10fps\n");
+
+    for (double q : bench::PaperErrorBounds()) {
+      double dbgc_ratio = 0, dbgc_mbps = 0;
+      std::vector<double> base_ratio(baselines.size(), 0.0);
+      for (int f = 0; f < frames; ++f) {
+        const PointCloud pc = bench::Frame(scene, f);
+        auto c = dbgc_codec.Compress(pc, q);
+        if (!c.ok()) {
+          std::fprintf(stderr, "DBGC failed: %s\n",
+                       c.status().ToString().c_str());
+          return 1;
+        }
+        dbgc_ratio += CompressionRatio(pc, c.value());
+        dbgc_mbps += BandwidthMbps(c.value(), 10.0);
+        for (size_t b = 0; b < baselines.size(); ++b) {
+          auto cb = baselines[b]->Compress(pc, q);
+          if (!cb.ok()) {
+            std::fprintf(stderr, "%s failed: %s\n",
+                         baselines[b]->name().c_str(),
+                         cb.status().ToString().c_str());
+            return 1;
+          }
+          base_ratio[b] += CompressionRatio(pc, cb.value());
+        }
+      }
+      std::printf("%7.2fcm %10.2f", q * 100, dbgc_ratio / frames);
+      for (double r : base_ratio) std::printf(" %10.2f", r / frames);
+      std::printf("   | %10.2f\n", dbgc_mbps / frames);
+    }
+  }
+  std::printf(
+      "\nExpected shape: DBGC leads on every scene; G-PCC-like is the best\n"
+      "baseline; Octree_i is at or slightly below Octree; Draco trails.\n"
+      "At q = 2 cm DBGC's uplink requirement sits below the 8.2 Mbps 4G\n"
+      "average of Section 4.4.\n");
+  return 0;
+}

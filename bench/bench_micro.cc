@@ -1,0 +1,130 @@
+// Substrate micro-benchmarks on google-benchmark: entropy coding, Deflate,
+// octree construction, clustering, polyline organization, and the full
+// codec. These are engineering benchmarks (no paper figure); they guard
+// against performance regressions in the building blocks.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/approx_clustering.h"
+#include "cluster/cell_clustering.h"
+#include "codec/octree_codec.h"
+#include "core/dbgc_codec.h"
+#include "common/rng.h"
+#include "encoding/value_codec.h"
+#include "entropy/arithmetic_coder.h"
+#include "lidar/scene_generator.h"
+#include "lz/deflate.h"
+#include "spatial/octree.h"
+
+namespace dbgc {
+namespace {
+
+const PointCloud& CityFrame() {
+  static const PointCloud pc = SceneGenerator(SceneType::kCity).Generate(0);
+  return pc;
+}
+
+void BM_ArithmeticCompress(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<uint32_t> symbols;
+  for (int i = 0; i < 100000; ++i) {
+    symbols.push_back(static_cast<uint32_t>(
+        std::min(rng.NextBounded(256), rng.NextBounded(256))));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ArithmeticCompress(symbols, 256));
+  }
+  state.SetItemsProcessed(state.iterations() * symbols.size());
+}
+BENCHMARK(BM_ArithmeticCompress);
+
+void BM_SignedValueCodec(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    values.push_back(static_cast<int64_t>(rng.NextBounded(7)) - 3);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SignedValueCodec::Compress(values));
+  }
+  state.SetItemsProcessed(state.iterations() * values.size());
+}
+BENCHMARK(BM_SignedValueCodec);
+
+void BM_DeflateCompress(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<uint8_t> data;
+  for (int i = 0; i < 100000; ++i) {
+    data.push_back(static_cast<uint8_t>(rng.NextBounded(12)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Deflate::Compress(data));
+  }
+  state.SetBytesProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_DeflateCompress);
+
+void BM_OctreeBuild(benchmark::State& state) {
+  const PointCloud& pc = CityFrame();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Octree::Build(pc, 0.04));
+  }
+  state.SetItemsProcessed(state.iterations() * pc.size());
+}
+BENCHMARK(BM_OctreeBuild);
+
+void BM_CellClustering(benchmark::State& state) {
+  const PointCloud& pc = CityFrame();
+  const auto params = ClusteringParams::FromErrorBound(0.02, 10, 0.15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CellClustering(pc, params));
+  }
+  state.SetItemsProcessed(state.iterations() * pc.size());
+}
+BENCHMARK(BM_CellClustering);
+
+void BM_ApproxClustering(benchmark::State& state) {
+  const PointCloud& pc = CityFrame();
+  const auto params = ClusteringParams::FromErrorBound(0.02, 10, 0.15);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApproxClustering(pc, params));
+  }
+  state.SetItemsProcessed(state.iterations() * pc.size());
+}
+BENCHMARK(BM_ApproxClustering);
+
+void BM_OctreeCodecCompress(benchmark::State& state) {
+  const PointCloud& pc = CityFrame();
+  const OctreeCodec codec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Compress(pc, 0.02));
+  }
+  state.SetItemsProcessed(state.iterations() * pc.size());
+}
+BENCHMARK(BM_OctreeCodecCompress);
+
+void BM_DbgcCompress(benchmark::State& state) {
+  const PointCloud& pc = CityFrame();
+  const DbgcCodec codec;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Compress(pc, 0.02));
+  }
+  state.SetItemsProcessed(state.iterations() * pc.size());
+}
+BENCHMARK(BM_DbgcCompress);
+
+void BM_DbgcDecompress(benchmark::State& state) {
+  const PointCloud& pc = CityFrame();
+  const DbgcCodec codec;
+  const ByteBuffer compressed = codec.Compress(pc, 0.02).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.Decompress(compressed));
+  }
+  state.SetItemsProcessed(state.iterations() * pc.size());
+}
+BENCHMARK(BM_DbgcDecompress);
+
+}  // namespace
+}  // namespace dbgc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Shared helpers for the benchmark harness: frame generation, timing, and
+// table printing. Every bench binary regenerates one table or figure of the
+// paper's evaluation (see DESIGN.md's experiment index) and prints the same
+// rows/series the paper reports.
+
+#ifndef DBGC_BENCH_BENCH_UTIL_H_
+#define DBGC_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/point_cloud.h"
+#include "lidar/scene_generator.h"
+
+namespace dbgc {
+namespace bench {
+
+/// Number of frames averaged per configuration; override with
+/// DBGC_BENCH_FRAMES for quicker or more thorough runs.
+inline int FramesPerConfig() {
+  const char* env = std::getenv("DBGC_BENCH_FRAMES");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 2;
+}
+
+/// The error bounds of the paper's sweeps: 0.06 cm to 2.0 cm.
+inline std::vector<double> PaperErrorBounds() {
+  return {0.0006, 0.002, 0.005, 0.01, 0.02};
+}
+
+/// Generates frame `index` of a scene with the default sensor.
+inline PointCloud Frame(SceneType type, uint32_t index) {
+  return SceneGenerator(type).Generate(index);
+}
+
+/// Wall-clock seconds of one call.
+template <typename Fn>
+double TimeSeconds(Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Prints a header banner for one experiment.
+inline void Banner(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace dbgc
+
+#endif  // DBGC_BENCH_BENCH_UTIL_H_

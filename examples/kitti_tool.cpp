@@ -1,0 +1,166 @@
+// kitti_tool: a command-line compressor for KITTI Velodyne .bin files,
+// demonstrating libDBGC as a standalone tool (Section 3.1, "Our scheme can
+// be utilized as a standalone compression tool").
+//
+//   compress a frame:    kitti_tool compress   in.bin out.dbgc [q_meters]
+//   decompress a frame:  kitti_tool decompress in.dbgc out.bin
+//   generate a frame:    kitti_tool generate   out.bin [scene] [frame]
+//   convert to PLY:      kitti_tool bin2ply    in.bin out.ply
+//   convert from PLY:    kitti_tool ply2bin    in.ply out.bin
+//
+// `generate` writes a synthetic KITTI-format frame so the tool is usable
+// without the proprietary dataset.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "codec/codec.h"
+#include "core/dbgc_codec.h"
+#include "lidar/kitti_io.h"
+#include "lidar/ply_io.h"
+#include "lidar/scene_generator.h"
+
+namespace {
+
+int Usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  %s compress   <in.bin> <out.dbgc> [q_meters=0.02]\n"
+               "  %s decompress <in.dbgc> <out.bin>\n"
+               "  %s generate   <out.bin> [scene=city] [frame=0]\n"
+               "  %s bin2ply    <in.bin> <out.ply>\n"
+               "  %s ply2bin    <in.ply> <out.bin>\n"
+               "scenes: campus city residential road urban ford\n",
+               prog, prog, prog, prog, prog);
+  return 2;
+}
+
+dbgc::Result<dbgc::ByteBuffer> ReadFileBytes(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return dbgc::Status::IOError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  const size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (read != bytes.size()) {
+    return dbgc::Status::IOError("short read on " + path);
+  }
+  return dbgc::ByteBuffer(std::move(bytes));
+}
+
+dbgc::Status WriteFileBytes(const std::string& path,
+                            const dbgc::ByteBuffer& bytes) {
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return dbgc::Status::IOError("cannot open " + path);
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) {
+    return dbgc::Status::IOError("short write on " + path);
+  }
+  return dbgc::Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage(argv[0]);
+  const std::string command = argv[1];
+
+  if (command == "generate") {
+    const std::string out = argv[2];
+    dbgc::SceneType scene = dbgc::SceneType::kCity;
+    if (argc > 3) {
+      bool found = false;
+      for (dbgc::SceneType t : dbgc::AllSceneTypes()) {
+        if (dbgc::SceneTypeName(t) == argv[3]) {
+          scene = t;
+          found = true;
+        }
+      }
+      if (!found) return Usage(argv[0]);
+    }
+    const uint32_t frame = argc > 4 ? std::atoi(argv[4]) : 0;
+    const dbgc::PointCloud pc =
+        dbgc::SceneGenerator(scene).Generate(frame);
+    if (dbgc::Status s = dbgc::WriteKittiBin(out, pc); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %zu points to %s\n", pc.size(), out.c_str());
+    return 0;
+  }
+
+  if (command == "compress") {
+    if (argc < 4) return Usage(argv[0]);
+    const double q = argc > 4 ? std::atof(argv[4]) : 0.02;
+    auto cloud = dbgc::ReadKittiBin(argv[2]);
+    if (!cloud.ok()) {
+      std::fprintf(stderr, "%s\n", cloud.status().ToString().c_str());
+      return 1;
+    }
+    const dbgc::DbgcCodec codec;
+    auto compressed = codec.Compress(cloud.value(), q);
+    if (!compressed.ok()) {
+      std::fprintf(stderr, "%s\n", compressed.status().ToString().c_str());
+      return 1;
+    }
+    if (dbgc::Status s = WriteFileBytes(argv[3], compressed.value());
+        !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("%zu points -> %zu bytes (ratio %.2fx at q = %g m)\n",
+                cloud.value().size(), compressed.value().size(),
+                dbgc::CompressionRatio(cloud.value(), compressed.value()),
+                q);
+    return 0;
+  }
+
+  if (command == "bin2ply" || command == "ply2bin") {
+    if (argc < 4) return Usage(argv[0]);
+    auto cloud = command == "bin2ply" ? dbgc::ReadKittiBin(argv[2])
+                                      : dbgc::ReadPly(argv[2]);
+    if (!cloud.ok()) {
+      std::fprintf(stderr, "%s\n", cloud.status().ToString().c_str());
+      return 1;
+    }
+    const dbgc::Status s = command == "bin2ply"
+                               ? dbgc::WritePly(argv[3], cloud.value())
+                               : dbgc::WriteKittiBin(argv[3], cloud.value());
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("converted %zu points to %s\n", cloud.value().size(),
+                argv[3]);
+    return 0;
+  }
+
+  if (command == "decompress") {
+    if (argc < 4) return Usage(argv[0]);
+    auto bytes = ReadFileBytes(argv[2]);
+    if (!bytes.ok()) {
+      std::fprintf(stderr, "%s\n", bytes.status().ToString().c_str());
+      return 1;
+    }
+    const dbgc::DbgcCodec codec;
+    auto cloud = codec.Decompress(bytes.value());
+    if (!cloud.ok()) {
+      std::fprintf(stderr, "%s\n", cloud.status().ToString().c_str());
+      return 1;
+    }
+    if (dbgc::Status s = dbgc::WriteKittiBin(argv[3], cloud.value());
+        !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("decompressed %zu points to %s\n", cloud.value().size(),
+                argv[3]);
+    return 0;
+  }
+  return Usage(argv[0]);
+}

@@ -1,0 +1,80 @@
+// Quickstart: compress one LiDAR frame with DBGC, decompress it, and
+// verify the error bound.
+//
+//   $ ./examples/quickstart [error_bound_meters]
+//
+// This is the minimal end-to-end use of the public API: generate (or load)
+// a point cloud, construct a DbgcCodec, call Compress / Decompress, and
+// check the one-to-one mapped error against the bound.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "codec/codec.h"
+#include "core/dbgc_codec.h"
+#include "core/error_metrics.h"
+#include "lidar/scene_generator.h"
+
+int main(int argc, char** argv) {
+  const double q_xyz = argc > 1 ? std::atof(argv[1]) : 0.02;
+  if (q_xyz <= 0) {
+    std::fprintf(stderr, "usage: %s [error_bound_meters > 0]\n", argv[0]);
+    return 1;
+  }
+
+  // 1. Acquire a frame. Here: one synthetic Velodyne HDL-64E city sweep;
+  //    in a real deployment this would come from the sensor driver or a
+  //    KITTI file (see examples/kitti_tool.cpp).
+  const dbgc::SceneGenerator generator(dbgc::SceneType::kCity);
+  const dbgc::PointCloud cloud = generator.Generate(/*frame_index=*/0);
+  std::printf("captured %zu points (%zu raw bytes)\n", cloud.size(),
+              cloud.RawSizeBytes());
+
+  // 2. Configure the codec. DbgcOptions defaults are the paper's settings;
+  //    here only the error bound is customized.
+  dbgc::DbgcOptions options;
+  options.q_xyz = q_xyz;
+  dbgc::DbgcCodec bound_codec(options);
+
+  // 3. Compress. CompressWithInfo additionally reports the dense/sparse
+  //    split, per-stage timings, and the one-to-one point mapping.
+  dbgc::DbgcCompressInfo info;
+  auto compressed = bound_codec.CompressWithInfo(cloud, &info);
+  if (!compressed.ok()) {
+    std::fprintf(stderr, "compression failed: %s\n",
+                 compressed.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("compressed to %zu bytes: ratio %.2fx (%.2f bits/point)\n",
+              compressed.value().size(),
+              dbgc::CompressionRatio(cloud, compressed.value()),
+              8.0 * compressed.value().size() / cloud.size());
+  std::printf("  dense: %zu pts (%zu B), sparse: %zu pts on %zu polylines "
+              "(%zu B), outliers: %zu pts (%zu B)\n",
+              info.num_dense, info.bytes_dense, info.num_sparse,
+              info.num_polylines, info.bytes_sparse, info.num_outliers,
+              info.bytes_outlier);
+
+  // 4. Decompress and verify the bound through the mapping.
+  auto decoded = bound_codec.Decompress(compressed.value());
+  if (!decoded.ok()) {
+    std::fprintf(stderr, "decompression failed: %s\n",
+                 decoded.status().ToString().c_str());
+    return 1;
+  }
+  auto stats = dbgc::MappedError(cloud, decoded.value(), info.point_mapping);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "error check failed: %s\n",
+                 stats.status().ToString().c_str());
+    return 1;
+  }
+  const double limit = std::sqrt(3.0) * q_xyz;
+  std::printf("decompressed %zu points; max error %.5f m (mean %.5f m), "
+              "bound sqrt(3)*q = %.5f m -> %s\n",
+              decoded.value().size(), stats.value().max_euclidean,
+              stats.value().mean_euclidean, limit,
+              stats.value().max_euclidean <= limit * (1 + 1e-9) ? "OK"
+                                                                : "VIOLATED");
+  return stats.value().max_euclidean <= limit * (1 + 1e-9) ? 0 : 1;
+}

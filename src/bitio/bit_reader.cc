@@ -1,0 +1,26 @@
+#include "bitio/bit_reader.h"
+
+namespace dbgc {
+
+Status BitReader::ReadBit(int* out) {
+  if (byte_pos_ >= size_) return Status::Corruption("bit read past end");
+  *out = (data_[byte_pos_] >> (7 - bit_pos_)) & 1;
+  if (++bit_pos_ == 8) {
+    bit_pos_ = 0;
+    ++byte_pos_;
+  }
+  return Status::OK();
+}
+
+Status BitReader::ReadBits(int count, uint64_t* out) {
+  uint64_t v = 0;
+  for (int i = 0; i < count; ++i) {
+    int bit;
+    DBGC_RETURN_NOT_OK(ReadBit(&bit));
+    v = (v << 1) | static_cast<uint64_t>(bit);
+  }
+  *out = v;
+  return Status::OK();
+}
+
+}  // namespace dbgc

@@ -1,0 +1,42 @@
+// BitReader: MSB-first bit-level input over a byte span; the inverse of
+// BitWriter.
+
+#ifndef DBGC_BITIO_BIT_READER_H_
+#define DBGC_BITIO_BIT_READER_H_
+
+#include <cstdint>
+
+#include "bitio/byte_buffer.h"
+#include "common/status.h"
+
+namespace dbgc {
+
+/// Reads a bit sequence MSB-first from a byte span. Does not own the bytes.
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit BitReader(const ByteBuffer& buf)
+      : BitReader(buf.data(), buf.size()) {}
+
+  /// Reads one bit into *out.
+  Status ReadBit(int* out);
+
+  /// Reads `count` bits (MSB first) into *out. count must be in [0, 64].
+  Status ReadBits(int count, uint64_t* out);
+
+  /// Bits consumed so far.
+  size_t bit_position() const { return byte_pos_ * 8 + bit_pos_; }
+
+  /// True iff no complete bit remains.
+  bool AtEnd() const { return byte_pos_ >= size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t byte_pos_ = 0;
+  int bit_pos_ = 0;  // Bits consumed within the current byte, in [0, 8).
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_BITIO_BIT_READER_H_

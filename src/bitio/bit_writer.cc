@@ -1,0 +1,32 @@
+#include "bitio/bit_writer.h"
+
+namespace dbgc {
+
+void BitWriter::WriteBit(int bit) {
+  current_ = static_cast<uint8_t>((current_ << 1) | (bit & 1));
+  if (++bit_pos_ == 8) {
+    buffer_.AppendByte(current_);
+    current_ = 0;
+    bit_pos_ = 0;
+  }
+}
+
+void BitWriter::WriteBits(uint64_t value, int count) {
+  for (int i = count - 1; i >= 0; --i) {
+    WriteBit(static_cast<int>((value >> i) & 1));
+  }
+}
+
+ByteBuffer BitWriter::Finish() {
+  if (bit_pos_ > 0) {
+    current_ = static_cast<uint8_t>(current_ << (8 - bit_pos_));
+    buffer_.AppendByte(current_);
+    current_ = 0;
+    bit_pos_ = 0;
+  }
+  ByteBuffer out = std::move(buffer_);
+  buffer_ = ByteBuffer();
+  return out;
+}
+
+}  // namespace dbgc

@@ -1,0 +1,43 @@
+// BitWriter: MSB-first bit-level output on top of a ByteBuffer. Used by the
+// octree occupancy serializer, bit-packing, and the Huffman coder.
+
+#ifndef DBGC_BITIO_BIT_WRITER_H_
+#define DBGC_BITIO_BIT_WRITER_H_
+
+#include <cstdint>
+
+#include "bitio/byte_buffer.h"
+
+namespace dbgc {
+
+/// Writes a bit sequence MSB-first into an internal buffer.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends a single bit (0 or 1).
+  void WriteBit(int bit);
+
+  /// Appends the low `count` bits of `value`, most significant first.
+  /// count must be in [0, 64].
+  void WriteBits(uint64_t value, int count);
+
+  /// Appends a whole byte.
+  void WriteByte(uint8_t b) { WriteBits(b, 8); }
+
+  /// Number of bits written so far.
+  size_t bit_count() const { return buffer_.size() * 8 + bit_pos_; }
+
+  /// Pads the final partial byte with zero bits and returns the buffer.
+  /// The writer is left empty and reusable.
+  ByteBuffer Finish();
+
+ private:
+  ByteBuffer buffer_;
+  uint8_t current_ = 0;
+  int bit_pos_ = 0;  // Bits used in current_, in [0, 8).
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_BITIO_BIT_WRITER_H_

@@ -1,0 +1,91 @@
+#include "bitio/byte_buffer.h"
+
+namespace dbgc {
+
+void ByteBuffer::AppendUint16(uint16_t v) {
+  AppendByte(static_cast<uint8_t>(v));
+  AppendByte(static_cast<uint8_t>(v >> 8));
+}
+
+void ByteBuffer::AppendUint32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) AppendByte(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteBuffer::AppendUint64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) AppendByte(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void ByteBuffer::AppendDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendUint64(bits);
+}
+
+void ByteBuffer::AppendLengthPrefixed(const ByteBuffer& sub) {
+  AppendUint64(sub.size());
+  Append(sub);
+}
+
+Status ByteReader::ReadByte(uint8_t* out) {
+  if (pos_ >= size_) return Status::Corruption("read past end of buffer");
+  *out = data_[pos_++];
+  return Status::OK();
+}
+
+Status ByteReader::Read(uint8_t* out, size_t n) {
+  if (remaining() < n) return Status::Corruption("read past end of buffer");
+  std::memcpy(out, data_ + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::ReadUint16(uint16_t* out) {
+  uint8_t b[2];
+  DBGC_RETURN_NOT_OK(Read(b, 2));
+  *out = static_cast<uint16_t>(b[0] | (b[1] << 8));
+  return Status::OK();
+}
+
+Status ByteReader::ReadUint32(uint32_t* out) {
+  uint8_t b[4];
+  DBGC_RETURN_NOT_OK(Read(b, 4));
+  *out = 0;
+  for (int i = 3; i >= 0; --i) *out = (*out << 8) | b[i];
+  return Status::OK();
+}
+
+Status ByteReader::ReadUint64(uint64_t* out) {
+  uint8_t b[8];
+  DBGC_RETURN_NOT_OK(Read(b, 8));
+  *out = 0;
+  for (int i = 7; i >= 0; --i) *out = (*out << 8) | b[i];
+  return Status::OK();
+}
+
+Status ByteReader::ReadDouble(double* out) {
+  uint64_t bits;
+  DBGC_RETURN_NOT_OK(ReadUint64(&bits));
+  std::memcpy(out, &bits, sizeof(bits));
+  return Status::OK();
+}
+
+Status ByteReader::ReadLengthPrefixed(ByteBuffer* out) {
+  uint64_t len;
+  DBGC_RETURN_NOT_OK(ReadUint64(&len));
+  if (remaining() < len) {
+    return Status::Corruption("length-prefixed block exceeds buffer");
+  }
+  out->Clear();
+  out->Append(data_ + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+Status ByteReader::Skip(size_t n) {
+  if (remaining() < n) return Status::Corruption("skip past end of buffer");
+  pos_ += n;
+  return Status::OK();
+}
+
+}  // namespace dbgc

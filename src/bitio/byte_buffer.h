@@ -1,0 +1,109 @@
+// ByteBuffer / ByteReader: growable byte sequences and bounds-checked
+// sequential reads. These are the transport types every codec produces and
+// consumes (the paper's bit sequence B).
+
+#ifndef DBGC_BITIO_BYTE_BUFFER_H_
+#define DBGC_BITIO_BYTE_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbgc {
+
+/// Upper bound on element counts parsed from untrusted streams; decoders
+/// reject larger values before allocating (corruption containment).
+constexpr uint64_t kMaxReasonableCount = 1ULL << 28;
+
+/// A growable byte sequence with typed little-endian append helpers.
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::vector<uint8_t> bytes) : bytes_(std::move(bytes)) {}
+
+  /// Number of bytes, |B|.
+  size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+  const uint8_t* data() const { return bytes_.data(); }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t>& mutable_bytes() { return bytes_; }
+
+  uint8_t operator[](size_t i) const { return bytes_[i]; }
+
+  void Clear() { bytes_.clear(); }
+  void Reserve(size_t n) { bytes_.reserve(n); }
+
+  /// Appends a single byte.
+  void AppendByte(uint8_t b) { bytes_.push_back(b); }
+  /// Appends raw bytes.
+  void Append(const uint8_t* data, size_t n) {
+    bytes_.insert(bytes_.end(), data, data + n);
+  }
+  /// Appends another buffer.
+  void Append(const ByteBuffer& other) {
+    Append(other.data(), other.size());
+  }
+
+  /// Appends a fixed-width little-endian unsigned integer.
+  void AppendUint16(uint16_t v);
+  void AppendUint32(uint32_t v);
+  void AppendUint64(uint64_t v);
+  /// Appends the IEEE-754 bits of a double (little endian).
+  void AppendDouble(double v);
+
+  /// Appends `sub` prefixed by its 64-bit length, so the reader can split
+  /// concatenated streams (the grey length blocks in Figure 8).
+  void AppendLengthPrefixed(const ByteBuffer& sub);
+
+  bool operator==(const ByteBuffer& o) const { return bytes_ == o.bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// Sequential bounds-checked reader over a byte span.
+///
+/// The reader does not own the underlying bytes; the source buffer must
+/// outlive the reader.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const ByteBuffer& buf)
+      : ByteReader(buf.data(), buf.size()) {}
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return size_ - pos_; }
+  /// Current read offset.
+  size_t position() const { return pos_; }
+  /// True iff every byte has been consumed.
+  bool AtEnd() const { return pos_ == size_; }
+
+  /// Reads a single byte.
+  Status ReadByte(uint8_t* out);
+  /// Reads n raw bytes into out.
+  Status Read(uint8_t* out, size_t n);
+  /// Reads fixed-width little-endian unsigned integers.
+  Status ReadUint16(uint16_t* out);
+  Status ReadUint32(uint32_t* out);
+  Status ReadUint64(uint64_t* out);
+  /// Reads the IEEE-754 bits of a double.
+  Status ReadDouble(double* out);
+
+  /// Reads a length-prefixed sub-buffer written by AppendLengthPrefixed.
+  Status ReadLengthPrefixed(ByteBuffer* out);
+
+  /// Skips n bytes.
+  Status Skip(size_t n);
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_BITIO_BYTE_BUFFER_H_

@@ -1,0 +1,41 @@
+#include "bitio/varint.h"
+
+namespace dbgc {
+
+void PutVarint64(ByteBuffer* buf, uint64_t v) {
+  while (v >= 0x80) {
+    buf->AppendByte(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf->AppendByte(static_cast<uint8_t>(v));
+}
+
+void PutSignedVarint64(ByteBuffer* buf, int64_t v) {
+  PutVarint64(buf, ZigZagEncode(v));
+}
+
+Status GetVarint64(ByteReader* reader, uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    uint8_t b;
+    DBGC_RETURN_NOT_OK(reader->ReadByte(&b));
+    if (shift >= 64 || (shift == 63 && (b & 0x7F) > 1)) {
+      return Status::Corruption("varint overflows 64 bits");
+    }
+    v |= static_cast<uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status GetSignedVarint64(ByteReader* reader, int64_t* out) {
+  uint64_t u;
+  DBGC_RETURN_NOT_OK(GetVarint64(reader, &u));
+  *out = ZigZagDecode(u);
+  return Status::OK();
+}
+
+}  // namespace dbgc

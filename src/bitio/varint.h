@@ -1,0 +1,39 @@
+// Varint (LEB128) and ZigZag integer encodings, used for lengths and
+// side-channel metadata in every bitstream.
+
+#ifndef DBGC_BITIO_VARINT_H_
+#define DBGC_BITIO_VARINT_H_
+
+#include <cstdint>
+
+#include "bitio/byte_buffer.h"
+#include "common/status.h"
+
+namespace dbgc {
+
+/// Maps signed to unsigned integers so that small-magnitude values (positive
+/// or negative) become small unsigned values: 0,-1,1,-2,2 -> 0,1,2,3,4.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+/// Inverse of ZigZagEncode.
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+/// Appends v as a LEB128 varint (1-10 bytes).
+void PutVarint64(ByteBuffer* buf, uint64_t v);
+
+/// Appends v zigzag-mapped then varint-encoded.
+void PutSignedVarint64(ByteBuffer* buf, int64_t v);
+
+/// Reads a LEB128 varint.
+Status GetVarint64(ByteReader* reader, uint64_t* out);
+
+/// Reads a zigzag varint.
+Status GetSignedVarint64(ByteReader* reader, int64_t* out);
+
+}  // namespace dbgc
+
+#endif  // DBGC_BITIO_VARINT_H_

@@ -1,0 +1,27 @@
+// Approximate O(n) density clustering (Section 4.3), in the spirit of
+// grid-based approximate DBSCAN [19].
+//
+// Point counts are aggregated on a coarse counting grid; the neighbourhood
+// of a leaf cell is the fixed block of coarse cells covering roughly the
+// +-epsilon cube around it. A leaf cell whose block holds at least minPts
+// points is dense; a sparse cell adjacent to a dense cell is promoted; all
+// points in dense cells are dense. The neighbourhood region differs from
+// the exact epsilon-ball only near its boundary (between 1.0 and ~1.5
+// epsilon per dimension depending on alignment), which is what makes the
+// method approximate — and roughly twice as fast end to end.
+
+#ifndef DBGC_CLUSTER_APPROX_CLUSTERING_H_
+#define DBGC_CLUSTER_APPROX_CLUSTERING_H_
+
+#include "cluster/clustering_types.h"
+#include "common/point_cloud.h"
+
+namespace dbgc {
+
+/// Runs the approximate grid clustering.
+ClusteringResult ApproxClustering(const PointCloud& pc,
+                                  const ClusteringParams& params);
+
+}  // namespace dbgc
+
+#endif  // DBGC_CLUSTER_APPROX_CLUSTERING_H_

@@ -1,0 +1,80 @@
+#include "cluster/cell_clustering.h"
+
+#include <unordered_set>
+#include <vector>
+
+#include "spatial/voxel_grid.h"
+
+namespace dbgc {
+
+ClusteringResult CellClustering(const PointCloud& pc,
+                                const ClusteringParams& params) {
+  ClusteringResult result;
+  const size_t n = pc.size();
+  result.is_dense.assign(n, false);
+  if (n == 0) return result;
+
+  // Neighbour search grid at epsilon granularity (27-cell scans) and the
+  // octree-leaf cell membership grid at 2q granularity.
+  VoxelGrid search_grid(pc, params.epsilon);
+  VoxelGrid cell_grid(pc, params.cell_side);
+
+  std::vector<uint64_t> cell_of(n);
+  for (size_t i = 0; i < n; ++i) {
+    cell_of[i] = VoxelGrid::KeyOf(cell_grid.CoordOf(pc[i]));
+  }
+
+  std::unordered_set<uint64_t> dense_cells;
+  std::vector<bool> visited(n, false);
+  std::vector<int> stack;
+
+  auto is_core = [&](int idx) {
+    return search_grid.CountWithinRadius(pc[idx], params.epsilon,
+                                         params.min_pts) >= params.min_pts;
+  };
+
+  for (size_t seed = 0; seed < n; ++seed) {
+    if (visited[seed]) continue;
+    visited[seed] = true;
+    const bool seed_in_dense_cell = dense_cells.count(cell_of[seed]) > 0;
+    bool seed_core = seed_in_dense_cell;
+    if (!seed_core) {
+      seed_core = is_core(static_cast<int>(seed));
+      if (seed_core) dense_cells.insert(cell_of[seed]);
+    }
+    if (!seed_core) continue;  // Backtrack; may become dense in pass 2.
+    result.is_dense[seed] = true;
+    stack.clear();
+    for (int nb : search_grid.RadiusSearch(pc[seed], params.epsilon)) {
+      stack.push_back(nb);
+    }
+    while (!stack.empty()) {
+      const int cur = stack.back();
+      stack.pop_back();
+      if (visited[cur]) continue;
+      visited[cur] = true;
+      result.is_dense[cur] = true;  // Cluster member (core or border).
+      bool cur_core = dense_cells.count(cell_of[cur]) > 0;
+      if (!cur_core) {
+        cur_core = is_core(cur);
+        if (cur_core) dense_cells.insert(cell_of[cur]);
+      }
+      if (cur_core) {
+        for (int nb : search_grid.RadiusSearch(pc[cur], params.epsilon)) {
+          if (!visited[nb]) stack.push_back(nb);
+        }
+      }
+    }
+  }
+
+  // Second iteration (Section 3.2): points that were classified before
+  // their cell became dense are promoted now.
+  for (size_t i = 0; i < n; ++i) {
+    if (!result.is_dense[i] && dense_cells.count(cell_of[i]) > 0) {
+      result.is_dense[i] = true;
+    }
+  }
+  return result;
+}
+
+}  // namespace dbgc

@@ -1,0 +1,25 @@
+// Exact cell-based density clustering (Section 3.2).
+//
+// The algorithm adapts DBSCAN [15] to the octree: besides dense *points* it
+// tracks dense *cells* (octree leaf cells, side 2q). When a point lies in a
+// cell already known to be dense, the expensive epsilon-neighbourhood count
+// is skipped and the point is expanded directly; after the expansion pass, a
+// second sweep promotes every point sharing a cell with a dense point. Both
+// optimizations preserve the paper's semantics: the octree can absorb all
+// points of a dense cell at no extra cost (Example 3.1).
+
+#ifndef DBGC_CLUSTER_CELL_CLUSTERING_H_
+#define DBGC_CLUSTER_CELL_CLUSTERING_H_
+
+#include "cluster/clustering_types.h"
+#include "common/point_cloud.h"
+
+namespace dbgc {
+
+/// Runs the exact cell-based clustering.
+ClusteringResult CellClustering(const PointCloud& pc,
+                                const ClusteringParams& params);
+
+}  // namespace dbgc
+
+#endif  // DBGC_CLUSTER_CELL_CLUSTERING_H_

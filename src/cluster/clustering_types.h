@@ -1,0 +1,53 @@
+// Shared types for the density-based clustering algorithms of Sections 3.2
+// and 4.3.
+
+#ifndef DBGC_CLUSTER_CLUSTERING_TYPES_H_
+#define DBGC_CLUSTER_CLUSTERING_TYPES_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace dbgc {
+
+/// Parameters of density-based clustering, derived from the user error
+/// bound as prescribed in Section 3.2:
+///   epsilon  = k * q_xyz                (k = 10 by default)
+///   min_pts  = pi * k^3 / 6             (non-empty leaf cells in the
+///                                        epsilon-sphere, leaf side 2q)
+///   cell_side = 2 * q_xyz               (octree leaf side)
+struct ClusteringParams {
+  double epsilon = 0.2;
+  size_t min_pts = 523;
+  double cell_side = 0.04;
+
+  /// Derives the paper's parameter values from the error bound.
+  /// `min_pts_scale` rescales the derived minPts (1.0 = paper formula);
+  /// exposed for sensitivity experiments.
+  static ClusteringParams FromErrorBound(double q_xyz, int k = 10,
+                                         double min_pts_scale = 1.0) {
+    ClusteringParams p;
+    p.cell_side = 2.0 * q_xyz;
+    p.epsilon = k * q_xyz;
+    const double raw =
+        M_PI * static_cast<double>(k) * k * k / 6.0 * min_pts_scale;
+    p.min_pts = static_cast<size_t>(raw < 1.0 ? 1.0 : raw);
+    return p;
+  }
+};
+
+/// Output of a clustering pass: the dense/sparse label per point.
+struct ClusteringResult {
+  std::vector<bool> is_dense;
+
+  /// Number of points labelled dense.
+  size_t NumDense() const {
+    size_t n = 0;
+    for (bool b : is_dense) n += b ? 1 : 0;
+    return n;
+  }
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_CLUSTER_CLUSTERING_TYPES_H_

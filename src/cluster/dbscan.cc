@@ -1,0 +1,47 @@
+#include "cluster/dbscan.h"
+
+#include "spatial/voxel_grid.h"
+
+namespace dbgc {
+
+DbscanResult Dbscan(const PointCloud& pc, const ClusteringParams& params) {
+  DbscanResult result;
+  const size_t n = pc.size();
+  result.labels.assign(n, DbscanResult::kNoise);
+  if (n == 0) return result;
+
+  VoxelGrid grid(pc, params.epsilon);
+  std::vector<bool> visited(n, false);
+  std::vector<int> stack;
+
+  for (size_t seed = 0; seed < n; ++seed) {
+    if (visited[seed]) continue;
+    visited[seed] = true;
+    std::vector<int> neighbors =
+        grid.RadiusSearch(pc[seed], params.epsilon);
+    if (neighbors.size() < params.min_pts) continue;
+    const int cluster = result.num_clusters++;
+    result.labels[seed] = cluster;
+    stack = std::move(neighbors);
+    while (!stack.empty()) {
+      const int cur = stack.back();
+      stack.pop_back();
+      if (result.labels[cur] == DbscanResult::kNoise) {
+        result.labels[cur] = cluster;  // Border or core member.
+      }
+      if (visited[cur]) continue;
+      visited[cur] = true;
+      std::vector<int> nb = grid.RadiusSearch(pc[cur], params.epsilon);
+      if (nb.size() >= params.min_pts) {
+        for (int x : nb) {
+          if (!visited[x] || result.labels[x] == DbscanResult::kNoise) {
+            stack.push_back(x);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dbgc

@@ -1,0 +1,34 @@
+// Reference point-wise DBSCAN [15], used to validate the cell-based and
+// approximate clustering methods on small inputs.
+
+#ifndef DBGC_CLUSTER_DBSCAN_H_
+#define DBGC_CLUSTER_DBSCAN_H_
+
+#include <vector>
+
+#include "cluster/clustering_types.h"
+#include "common/point_cloud.h"
+
+namespace dbgc {
+
+/// DBSCAN labels: cluster id per point, or kNoise.
+struct DbscanResult {
+  static constexpr int kNoise = -1;
+  std::vector<int> labels;
+  int num_clusters = 0;
+
+  /// Converts to the dense/sparse view (any cluster member is dense).
+  ClusteringResult ToClusteringResult() const {
+    ClusteringResult r;
+    r.is_dense.reserve(labels.size());
+    for (int l : labels) r.is_dense.push_back(l != kNoise);
+    return r;
+  }
+};
+
+/// Runs classic DBSCAN with the given epsilon / minPts (cell_side unused).
+DbscanResult Dbscan(const PointCloud& pc, const ClusteringParams& params);
+
+}  // namespace dbgc
+
+#endif  // DBGC_CLUSTER_DBSCAN_H_

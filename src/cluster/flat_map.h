@@ -1,0 +1,118 @@
+// FlatCountMap: a minimal open-addressing hash map from 64-bit keys to
+// counters, used by the clustering hot paths where std::unordered_map's
+// per-node allocation and pointer chasing dominate the profile.
+
+#ifndef DBGC_CLUSTER_FLAT_MAP_H_
+#define DBGC_CLUSTER_FLAT_MAP_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dbgc {
+
+/// Open-addressing (linear probe) map keyed by uint64 values. Key 0 marks
+/// empty slots internally, so the (rare) zero key is tracked in a separate
+/// side slot rather than remapped - remapping could collide with a real
+/// key.
+class FlatCountMap {
+ public:
+  /// Creates a map sized for ~`expected` keys.
+  explicit FlatCountMap(size_t expected) {
+    size_t cap = 16;
+    while (cap < expected * 2) cap <<= 1;
+    keys_.assign(cap, 0);
+    values_.assign(cap, 0);
+    mask_ = cap - 1;
+  }
+
+  /// Adds `delta` to the counter of `key`; creates it at zero first.
+  void Add(uint64_t key, uint32_t delta) {
+    if (key == 0) {
+      if (!has_zero_) {
+        has_zero_ = true;
+        ++size_;
+      }
+      zero_value_ += delta;
+      return;
+    }
+    size_t slot = Hash(key) & mask_;
+    for (;;) {
+      if (keys_[slot] == key) {
+        values_[slot] += delta;
+        return;
+      }
+      if (keys_[slot] == 0) {
+        if (++size_ * 2 > keys_.size()) {
+          Grow();
+          Add(key, delta);
+          return;
+        }
+        keys_[slot] = key;
+        values_[slot] = delta;
+        return;
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// Counter of `key`, or 0 when absent.
+  uint32_t Get(uint64_t key) const {
+    if (key == 0) return has_zero_ ? zero_value_ : 0;
+    size_t slot = Hash(key) & mask_;
+    for (;;) {
+      if (keys_[slot] == key) return values_[slot];
+      if (keys_[slot] == 0) return 0;
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// True iff the key is present (counter may still be 0).
+  bool Contains(uint64_t key) const {
+    if (key == 0) return has_zero_;
+    size_t slot = Hash(key) & mask_;
+    for (;;) {
+      if (keys_[slot] == key) return true;
+      if (keys_[slot] == 0) return false;
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  static uint64_t Hash(uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    return x;
+  }
+
+  void Grow() {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<uint32_t> old_values = std::move(values_);
+    keys_.assign(old_keys.size() * 2, 0);
+    values_.assign(old_values.size() * 2, 0);
+    mask_ = keys_.size() - 1;
+    size_ = has_zero_ ? 1 : 0;
+    for (size_t i = 0; i < old_keys.size(); ++i) {
+      if (old_keys[i] != 0) {
+        size_t slot = Hash(old_keys[i]) & mask_;
+        while (keys_[slot] != 0) slot = (slot + 1) & mask_;
+        keys_[slot] = old_keys[i];
+        values_[slot] = old_values[i];
+        ++size_;
+      }
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<uint32_t> values_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  bool has_zero_ = false;
+  uint32_t zero_value_ = 0;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_CLUSTER_FLAT_MAP_H_

@@ -1,0 +1,29 @@
+#include "codec/codec.h"
+
+#include "codec/gpcc_like_codec.h"
+#include "codec/kdtree_codec.h"
+#include "codec/octree_codec.h"
+#include "codec/octree_grouped_codec.h"
+
+namespace dbgc {
+
+double CompressionRatio(const PointCloud& pc, const ByteBuffer& compressed) {
+  if (compressed.size() == 0) return 0.0;
+  return static_cast<double>(pc.RawSizeBytes()) /
+         static_cast<double>(compressed.size());
+}
+
+double BandwidthMbps(const ByteBuffer& compressed, double fps) {
+  return 8.0 * fps * static_cast<double>(compressed.size()) / 1e6;
+}
+
+std::vector<std::unique_ptr<GeometryCodec>> MakeBaselineCodecs() {
+  std::vector<std::unique_ptr<GeometryCodec>> codecs;
+  codecs.push_back(std::make_unique<OctreeCodec>());
+  codecs.push_back(std::make_unique<OctreeGroupedCodec>());
+  codecs.push_back(std::make_unique<KdTreeCodec>());
+  codecs.push_back(std::make_unique<GpccLikeCodec>());
+  return codecs;
+}
+
+}  // namespace dbgc

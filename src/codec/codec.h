@@ -1,0 +1,51 @@
+// The geometry-codec interface shared by DBGC and every baseline
+// (Section 4.1, "methods under comparison").
+//
+// A codec compresses a point cloud into a bit sequence B under a Cartesian
+// per-dimension error bound q_xyz, and decompresses B into a cloud PC' with
+// a one-to-one mapping to PC (Problem Statement, Section 2.1).
+
+#ifndef DBGC_CODEC_CODEC_H_
+#define DBGC_CODEC_CODEC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bitio/byte_buffer.h"
+#include "common/point_cloud.h"
+#include "common/status.h"
+
+namespace dbgc {
+
+/// Abstract geometry compressor/decompressor.
+class GeometryCodec {
+ public:
+  virtual ~GeometryCodec() = default;
+
+  /// Short display name ("Octree", "G-PCC-like", "DBGC", ...).
+  virtual std::string name() const = 0;
+
+  /// Compresses `pc` under the per-dimension error bound `q_xyz` (meters).
+  virtual Result<ByteBuffer> Compress(const PointCloud& pc,
+                                      double q_xyz) const = 0;
+
+  /// Decompresses a stream produced by this codec's Compress.
+  virtual Result<PointCloud> Decompress(const ByteBuffer& buffer) const = 0;
+};
+
+/// Compression ratio: raw geometry bytes (12 per point, Section 2.1) over
+/// |B|. Returns 0 when |B| is 0.
+double CompressionRatio(const PointCloud& pc, const ByteBuffer& compressed);
+
+/// Bandwidth in Mbps needed to ship one compressed frame `fps` times per
+/// second (Section 4.1, Metrics): 8 * fps * |B| / 10^6.
+double BandwidthMbps(const ByteBuffer& compressed, double fps);
+
+/// Instantiates every baseline codec for comparison benchmarks
+/// (Octree, Octree_i, KdTree/Draco-like, G-PCC-like).
+std::vector<std::unique_ptr<GeometryCodec>> MakeBaselineCodecs();
+
+}  // namespace dbgc
+
+#endif  // DBGC_CODEC_CODEC_H_

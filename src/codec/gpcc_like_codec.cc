@@ -1,0 +1,308 @@
+#include "codec/gpcc_like_codec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bitio/varint.h"
+#include "common/bounding_box.h"
+#include "encoding/value_codec.h"
+#include "entropy/arithmetic_coder.h"
+#include "entropy/binary_coder.h"
+#include "spatial/octree.h"
+
+namespace dbgc {
+
+namespace {
+
+// IDCM is allowed when a single-point node still has at least this many
+// levels above the leaves: direct-coding the remaining path (~3 bits/level
+// plus flag) beats occupancy-coding a single-child chain (~3.5-4 bits per
+// level) only for sufficiently deep chains.
+constexpr int kIdcmMinLevels = 5;
+
+// Shared entropy models for one encode or decode pass. Occupancy bytes use
+// a 256-ary adaptive model conditioned on the parent occupancy density
+// (4 buckets) - the neighbour-dependent context modelling that gives G-PCC
+// its edge over the plain octree coder. IDCM flags and direct-coded path
+// bits use adaptive binary models (path bits per axis, Markov in the
+// previous bit of the same axis).
+struct Models {
+  // Occupancy context: parent density (4 buckets) x tree depth (8 buckets).
+  // The depth dimension matters because this codec traverses depth-first:
+  // unlike a breadth-first stream, one adaptive model would see all levels'
+  // statistics interleaved.
+  static constexpr int kDepthBuckets = 8;
+  static constexpr int kParentBuckets = 4;
+
+  Models() {
+    occupancy.reserve(kDepthBuckets * kParentBuckets);
+    for (int i = 0; i < kDepthBuckets * kParentBuckets; ++i) {
+      // Fast adaptation (large increment): each of the 32 contexts sees a
+      // fraction of the nodes, and occupancy statistics drift with scene
+      // region under the depth-first traversal.
+      occupancy.emplace_back(256, 256);
+    }
+  }
+
+  std::vector<AdaptiveModel> occupancy;
+  AdaptiveBitModel idcm_flag[kDepthBuckets];  // Indexed by depth bucket.
+  AdaptiveBitModel path_bits[6];  // axis * 2 + previous bit of that axis.
+
+  static int ParentBucket(int parent_popcount) {
+    return std::min(3, (parent_popcount - 1) / 2);
+  }
+
+  AdaptiveModel& OccupancyModel(int remaining_levels, int parent_popcount) {
+    const int depth_bucket = std::min(remaining_levels - 1, kDepthBuckets - 1);
+    return occupancy[depth_bucket * kParentBuckets +
+                     ParentBucket(parent_popcount)];
+  }
+
+  AdaptiveBitModel& IdcmFlag(int remaining_levels) {
+    return idcm_flag[std::min(remaining_levels - 1, kDepthBuckets - 1)];
+  }
+};
+
+struct EncodeContext {
+  ArithmeticEncoder* enc;
+  Models* models;
+  std::vector<uint64_t>* leaf_extra;  // Per-leaf (count - 1).
+  const std::vector<uint64_t>* keys;  // Sorted leaf Morton keys per point.
+  int depth;
+};
+
+void EncodeBit(ArithmeticEncoder* enc, AdaptiveBitModel* model, int bit) {
+  enc->Encode(model->Lookup(bit));
+  model->Update(bit);
+}
+
+int DecodeBit(ArithmeticDecoder* dec, AdaptiveBitModel* model) {
+  const uint32_t target = dec->DecodeTarget(model->total());
+  SymbolRange range;
+  const int bit = model->FindBit(target, &range);
+  dec->Advance(range);
+  model->Update(bit);
+  return bit;
+}
+
+void EncodeIdcmPath(EncodeContext* ctx, uint64_t remaining, int shift) {
+  int prev[3] = {0, 0, 0};
+  for (int i = shift - 1; i >= 0; --i) {
+    const int axis = i % 3;
+    const int bit = static_cast<int>((remaining >> i) & 1);
+    EncodeBit(ctx->enc, &ctx->models->path_bits[axis * 2 + prev[axis]], bit);
+    prev[axis] = bit;
+  }
+}
+
+// Encodes the subtree covering keys[lo, hi) at `level` (node Morton prefix
+// = keys >> 3*(depth-level)).
+void EncodeNode(EncodeContext* ctx, size_t lo, size_t hi, int level,
+                int parent_popcount) {
+  const int shift = 3 * (ctx->depth - level);
+  if (level == ctx->depth) {
+    // Leaf: all keys in [lo, hi) are equal; count in the side stream.
+    ctx->leaf_extra->push_back(hi - lo - 1);
+    return;
+  }
+  const bool idcm_eligible =
+      level > 0 && ctx->depth - level >= kIdcmMinLevels;
+  const bool single_unique = (*ctx->keys)[lo] == (*ctx->keys)[hi - 1];
+  if (idcm_eligible && single_unique) {
+    // IDCM: lone position (possibly duplicated). Flag 1, then the
+    // remaining path bits; the duplicate count rides the side stream.
+    EncodeBit(ctx->enc, &ctx->models->IdcmFlag(ctx->depth - level), 1);
+    EncodeIdcmPath(ctx, (*ctx->keys)[lo] & ((1ULL << shift) - 1), shift);
+    ctx->leaf_extra->push_back(hi - lo - 1);
+    return;
+  }
+  if (idcm_eligible) {
+    EncodeBit(ctx->enc, &ctx->models->IdcmFlag(ctx->depth - level), 0);
+  }
+  // Occupancy byte from the children present among keys[lo, hi).
+  const int child_shift = shift - 3;
+  uint8_t occ = 0;
+  size_t bounds[9];
+  bounds[0] = lo;
+  size_t cursor = lo;
+  for (int octant = 0; octant < 8; ++octant) {
+    size_t end = cursor;
+    while (end < hi &&
+           ((((*ctx->keys)[end] >> child_shift) & 7) ==
+            static_cast<uint64_t>(octant))) {
+      ++end;
+    }
+    if (end > cursor) occ |= static_cast<uint8_t>(1u << octant);
+    cursor = end;
+    bounds[octant + 1] = end;
+  }
+  AdaptiveModel& model =
+      ctx->models->OccupancyModel(ctx->depth - level, parent_popcount);
+  ctx->enc->Encode(model.Lookup(occ));
+  model.Update(occ);
+  const int popcount = __builtin_popcount(occ);
+  for (int octant = 0; octant < 8; ++octant) {
+    if (bounds[octant + 1] > bounds[octant]) {
+      EncodeNode(ctx, bounds[octant], bounds[octant + 1], level + 1,
+                 popcount);
+    }
+  }
+}
+
+struct DecodeContext {
+  ArithmeticDecoder* dec;
+  Models* models;
+  const std::vector<uint64_t>* leaf_extra;
+  size_t leaf_cursor = 0;
+  std::vector<std::pair<uint64_t, uint32_t>>* leaves;  // (key, count).
+  int depth;
+};
+
+Status DecodeNode(DecodeContext* ctx, uint64_t prefix, int level,
+                  int parent_popcount) {
+  const int shift = 3 * (ctx->depth - level);
+  auto next_extra = [&]() -> Result<uint64_t> {
+    if (ctx->leaf_cursor >= ctx->leaf_extra->size()) {
+      return Status::Corruption("gpcc codec: leaf side stream exhausted");
+    }
+    return (*ctx->leaf_extra)[ctx->leaf_cursor++];
+  };
+  if (level == ctx->depth) {
+    DBGC_ASSIGN_OR_RETURN(uint64_t extra, next_extra());
+    ctx->leaves->emplace_back(prefix, static_cast<uint32_t>(extra + 1));
+    return Status::OK();
+  }
+  const bool idcm_eligible =
+      level > 0 && ctx->depth - level >= kIdcmMinLevels;
+  if (idcm_eligible &&
+      DecodeBit(ctx->dec, &ctx->models->IdcmFlag(ctx->depth - level)) == 1) {
+    uint64_t remaining = 0;
+    int prev[3] = {0, 0, 0};
+    for (int i = shift - 1; i >= 0; --i) {
+      const int axis = i % 3;
+      const int bit =
+          DecodeBit(ctx->dec, &ctx->models->path_bits[axis * 2 + prev[axis]]);
+      remaining |= static_cast<uint64_t>(bit) << i;
+      prev[axis] = bit;
+    }
+    DBGC_ASSIGN_OR_RETURN(uint64_t extra, next_extra());
+    ctx->leaves->emplace_back((prefix << shift) | remaining,
+                              static_cast<uint32_t>(extra + 1));
+    return Status::OK();
+  }
+  AdaptiveModel& model =
+      ctx->models->OccupancyModel(ctx->depth - level, parent_popcount);
+  const uint32_t target = ctx->dec->DecodeTarget(model.total());
+  SymbolRange range;
+  const uint32_t occ = model.FindSymbol(target, &range);
+  ctx->dec->Advance(range);
+  model.Update(occ);
+  if (occ == 0) return Status::Corruption("gpcc codec: empty occupancy");
+  const int popcount = __builtin_popcount(occ);
+  for (int octant = 0; octant < 8; ++octant) {
+    if (occ & (1u << octant)) {
+      DBGC_RETURN_NOT_OK(DecodeNode(
+          ctx, (prefix << 3) | static_cast<uint64_t>(octant), level + 1,
+          popcount));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ByteBuffer> GpccLikeCodec::Compress(const PointCloud& pc,
+                                           double q_xyz) const {
+  if (q_xyz <= 0) {
+    return Status::InvalidArgument("gpcc codec: q_xyz must be positive");
+  }
+  const double leaf_side = 2.0 * q_xyz;
+  const BoundingBox box = BoundingBox::Of(pc);
+  const Cube root = Cube::BoundingCube(box, leaf_side);
+  int depth = 0;
+  double side = leaf_side;
+  while (side < root.side * (1 - 1e-12)) {
+    side *= 2;
+    ++depth;
+  }
+  if (depth > Octree::kMaxDepth) {
+    return Status::OutOfRange("gpcc codec: depth exceeds limit");
+  }
+
+  ByteBuffer out;
+  out.AppendDouble(root.origin.x);
+  out.AppendDouble(root.origin.y);
+  out.AppendDouble(root.origin.z);
+  out.AppendDouble(root.side);
+  out.AppendByte(static_cast<uint8_t>(depth));
+  PutVarint64(&out, pc.size());
+  if (pc.empty()) return out;
+
+  std::vector<uint64_t> keys;
+  keys.reserve(pc.size());
+  for (const Point3& p : pc) {
+    keys.push_back(Octree::LeafKeyOf(p, root, depth));
+  }
+  std::sort(keys.begin(), keys.end());
+
+  ArithmeticEncoder enc;
+  Models models;
+  std::vector<uint64_t> leaf_extra;
+  EncodeContext ctx{&enc, &models, &leaf_extra, &keys, depth};
+  EncodeNode(&ctx, 0, keys.size(), 0, 8);
+
+  out.AppendLengthPrefixed(enc.Finish());
+  out.AppendLengthPrefixed(UnsignedValueCodec::Compress(leaf_extra));
+  return out;
+}
+
+Result<PointCloud> GpccLikeCodec::Decompress(const ByteBuffer& buffer) const {
+  ByteReader reader(buffer);
+  Cube root;
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&root.origin.x));
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&root.origin.y));
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&root.origin.z));
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&root.side));
+  uint8_t depth;
+  DBGC_RETURN_NOT_OK(reader.ReadByte(&depth));
+  if (depth > Octree::kMaxDepth) {
+    return Status::Corruption("gpcc codec: bad depth");
+  }
+  uint64_t count;
+  DBGC_RETURN_NOT_OK(GetVarint64(&reader, &count));
+  if (count > kMaxReasonableCount) {
+    return Status::Corruption("gpcc codec: implausible point count");
+  }
+  PointCloud pc;
+  if (count == 0) return pc;
+  ByteBuffer coder_stream, counts_stream;
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&coder_stream));
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&counts_stream));
+
+  std::vector<uint64_t> leaf_extra;
+  DBGC_RETURN_NOT_OK(
+      UnsignedValueCodec::Decompress(counts_stream, &leaf_extra));
+
+  ArithmeticDecoder dec(coder_stream);
+  Models models;
+  std::vector<std::pair<uint64_t, uint32_t>> leaves;
+  DecodeContext ctx{&dec, &models, &leaf_extra, 0, &leaves, depth};
+  DBGC_RETURN_NOT_OK(DecodeNode(&ctx, 0, 0, 8));
+
+  const double leaf_side = root.side / std::ldexp(1.0, depth);
+  pc.Reserve(count);
+  for (const auto& [key, n] : leaves) {
+    uint32_t ix, iy, iz;
+    MortonDecode3(key, &ix, &iy, &iz);
+    const Point3 center{root.origin.x + (ix + 0.5) * leaf_side,
+                        root.origin.y + (iy + 0.5) * leaf_side,
+                        root.origin.z + (iz + 0.5) * leaf_side};
+    for (uint32_t k = 0; k < n; ++k) pc.Add(center);
+  }
+  if (pc.size() != count) {
+    return Status::Corruption("gpcc codec: point count mismatch");
+  }
+  return pc;
+}
+
+}  // namespace dbgc

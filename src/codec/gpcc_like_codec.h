@@ -1,0 +1,33 @@
+// G-PCC-like octree codec (Section 2.2, [33]; evaluated as TMC13 [38]).
+//
+// Reproduces the two optimizations the paper credits for G-PCC's edge over
+// plain octrees on LiDAR data:
+//   1. neighbour-dependent context entropy coding - occupancy bytes are
+//      coded bit by bit under adaptive binary contexts conditioned on the
+//      parent occupancy density and the already-coded sibling bits (a
+//      practical approximation of TMC13's neighbour contexts), and
+//   2. direct point coding (IDCM) - a node holding a single point deep
+//      above the leaf level bypasses subdivision and writes the remaining
+//      coordinate bits directly.
+// Duplicate points are preserved via leaf counts (mergeDuplicatedPoints
+// disabled, as in the paper's TMC13 configuration).
+
+#ifndef DBGC_CODEC_GPCC_LIKE_CODEC_H_
+#define DBGC_CODEC_GPCC_LIKE_CODEC_H_
+
+#include "codec/codec.h"
+
+namespace dbgc {
+
+/// Simplified G-PCC (TMC13) style octree codec.
+class GpccLikeCodec : public GeometryCodec {
+ public:
+  std::string name() const override { return "G-PCC-like"; }
+  Result<ByteBuffer> Compress(const PointCloud& pc,
+                              double q_xyz) const override;
+  Result<PointCloud> Decompress(const ByteBuffer& buffer) const override;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_CODEC_GPCC_LIKE_CODEC_H_

@@ -1,0 +1,194 @@
+#include "codec/kdtree_codec.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "bitio/varint.h"
+#include "common/bounding_box.h"
+#include "entropy/arithmetic_coder.h"
+
+namespace dbgc {
+
+namespace {
+
+constexpr int kMaxQuantBits = 24;
+
+struct IntBox {
+  std::array<uint32_t, 3> lo{};
+  std::array<uint32_t, 3> size{};  // Cells per dimension (powers of two).
+
+  bool IsUnit() const { return size[0] == 1 && size[1] == 1 && size[2] == 1; }
+
+  int SplitAxis() const {
+    int axis = 0;
+    for (int a = 1; a < 3; ++a) {
+      if (size[a] > size[axis]) axis = a;
+    }
+    return axis;
+  }
+};
+
+using IntPoint = std::array<uint32_t, 3>;
+
+// Encodes v in [0, n] at ~log2(n+1) bits with a uniform range.
+void EncodeUniform(ArithmeticEncoder* enc, uint32_t v, uint32_t n) {
+  if (n == 0) return;
+  // Split values exceeding the coder's total-frequency budget into two
+  // stages (high and low halves).
+  constexpr uint32_t kLimit = 1u << 15;
+  if (n + 1 > kLimit) {
+    const uint32_t buckets = (n / kLimit) + 1;
+    EncodeUniform(enc, v / kLimit, buckets - 1);
+    const uint32_t base = (v / kLimit) * kLimit;
+    const uint32_t width =
+        std::min<uint32_t>(kLimit, n - base + 1);
+    enc->Encode(SymbolRange{v - base, v - base + 1, width});
+    return;
+  }
+  enc->Encode(SymbolRange{v, v + 1, n + 1});
+}
+
+uint32_t DecodeUniform(ArithmeticDecoder* dec, uint32_t n) {
+  if (n == 0) return 0;
+  constexpr uint32_t kLimit = 1u << 15;
+  if (n + 1 > kLimit) {
+    const uint32_t buckets = (n / kLimit) + 1;
+    const uint32_t high = DecodeUniform(dec, buckets - 1);
+    const uint32_t base = high * kLimit;
+    const uint32_t width = std::min<uint32_t>(kLimit, n - base + 1);
+    const uint32_t low = dec->DecodeTarget(width);
+    dec->Advance(SymbolRange{low, low + 1, width});
+    return base + low;
+  }
+  const uint32_t v = dec->DecodeTarget(n + 1);
+  dec->Advance(SymbolRange{v, v + 1, n + 1});
+  return v;
+}
+
+void EncodeRecursive(ArithmeticEncoder* enc, std::vector<IntPoint>* points,
+                     size_t lo, size_t hi, const IntBox& box) {
+  if (box.IsUnit() || lo >= hi) return;
+  const int axis = box.SplitAxis();
+  const uint32_t half = box.size[axis] / 2;
+  const uint32_t mid = box.lo[axis] + half;
+  auto it = std::partition(
+      points->begin() + lo, points->begin() + hi,
+      [&](const IntPoint& p) { return p[axis] < mid; });
+  const size_t n_left = static_cast<size_t>(it - (points->begin() + lo));
+  const uint32_t n = static_cast<uint32_t>(hi - lo);
+  EncodeUniform(enc, static_cast<uint32_t>(n_left), n);
+
+  IntBox left = box;
+  left.size[axis] = half;
+  IntBox right = box;
+  right.lo[axis] = mid;
+  right.size[axis] = box.size[axis] - half;
+  if (n_left > 0) EncodeRecursive(enc, points, lo, lo + n_left, left);
+  if (n_left < n) EncodeRecursive(enc, points, lo + n_left, hi, right);
+}
+
+void DecodeRecursive(ArithmeticDecoder* dec, const IntBox& box, uint32_t n,
+                     std::vector<IntPoint>* out) {
+  if (n == 0) return;
+  if (box.IsUnit()) {
+    for (uint32_t i = 0; i < n; ++i) {
+      out->push_back(IntPoint{box.lo[0], box.lo[1], box.lo[2]});
+    }
+    return;
+  }
+  const int axis = box.SplitAxis();
+  const uint32_t half = box.size[axis] / 2;
+  const uint32_t mid = box.lo[axis] + half;
+  const uint32_t n_left = DecodeUniform(dec, n);
+  IntBox left = box;
+  left.size[axis] = half;
+  IntBox right = box;
+  right.lo[axis] = mid;
+  right.size[axis] = box.size[axis] - half;
+  DecodeRecursive(dec, left, n_left, out);
+  DecodeRecursive(dec, right, n - n_left, out);
+}
+
+}  // namespace
+
+Result<ByteBuffer> KdTreeCodec::Compress(const PointCloud& pc,
+                                         double q_xyz) const {
+  if (q_xyz <= 0) {
+    return Status::InvalidArgument("kd codec: q_xyz must be positive");
+  }
+  const BoundingBox box = BoundingBox::Of(pc);
+  const double omega = pc.empty() ? q_xyz : std::max(box.MaxExtent(), q_xyz);
+  int qb = 0;
+  while (omega / std::ldexp(1.0, qb) > q_xyz && qb < kMaxQuantBits) ++qb;
+  const double step = omega / std::ldexp(1.0, qb);
+  const uint32_t cells = 1u << qb;
+
+  ByteBuffer out;
+  out.AppendDouble(pc.empty() ? 0.0 : box.min.x);
+  out.AppendDouble(pc.empty() ? 0.0 : box.min.y);
+  out.AppendDouble(pc.empty() ? 0.0 : box.min.z);
+  out.AppendDouble(step);
+  out.AppendByte(static_cast<uint8_t>(qb));
+  PutVarint64(&out, pc.size());
+  if (pc.empty()) return out;
+
+  std::vector<IntPoint> points;
+  points.reserve(pc.size());
+  auto quant = [&](double v, double origin) -> uint32_t {
+    double c = std::floor((v - origin) / step);
+    if (c < 0) c = 0;
+    if (c >= cells) c = cells - 1;
+    return static_cast<uint32_t>(c);
+  };
+  for (const Point3& p : pc) {
+    points.push_back(IntPoint{quant(p.x, box.min.x), quant(p.y, box.min.y),
+                              quant(p.z, box.min.z)});
+  }
+
+  IntBox root;
+  root.lo = {0, 0, 0};
+  root.size = {cells, cells, cells};
+  ArithmeticEncoder enc;
+  EncodeRecursive(&enc, &points, 0, points.size(), root);
+  out.AppendLengthPrefixed(enc.Finish());
+  return out;
+}
+
+Result<PointCloud> KdTreeCodec::Decompress(const ByteBuffer& buffer) const {
+  ByteReader reader(buffer);
+  double ox, oy, oz, step;
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&ox));
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&oy));
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&oz));
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&step));
+  uint8_t qb;
+  DBGC_RETURN_NOT_OK(reader.ReadByte(&qb));
+  if (qb > kMaxQuantBits) return Status::Corruption("kd codec: bad qb");
+  uint64_t count;
+  DBGC_RETURN_NOT_OK(GetVarint64(&reader, &count));
+  if (count > kMaxReasonableCount) {
+    return Status::Corruption("kd codec: implausible point count");
+  }
+  PointCloud pc;
+  if (count == 0) return pc;
+  ByteBuffer stream;
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&stream));
+
+  IntBox root;
+  root.lo = {0, 0, 0};
+  root.size = {1u << qb, 1u << qb, 1u << qb};
+  ArithmeticDecoder dec(stream);
+  std::vector<IntPoint> points;
+  points.reserve(count);
+  DecodeRecursive(&dec, root, static_cast<uint32_t>(count), &points);
+
+  pc.Reserve(points.size());
+  for (const IntPoint& p : points) {
+    pc.Add(ox + (p[0] + 0.5) * step, oy + (p[1] + 0.5) * step,
+           oz + (p[2] + 0.5) * step);
+  }
+  return pc;
+}
+
+}  // namespace dbgc

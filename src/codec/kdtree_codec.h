@@ -1,0 +1,30 @@
+// Kd-tree geometry codec in the style of Google Draco [23] (Section 2.2),
+// i.e. the Devillers-Gandoin recursive point-count coder on a quantized
+// integer grid.
+//
+// Quantization follows the paper's Draco protocol (Section 4.2): the user
+// chooses qb, the number of quantization bits, and the effective error
+// bound is q_xyz = Omega / 2^qb for a cloud of maximum extent Omega. Given
+// q_xyz, we pick the smallest qb with Omega / 2^qb <= q_xyz, which can
+// quantize up to twice as finely as an octree with leaf side 2q - the same
+// handicap the paper's evaluation imposes on Draco.
+
+#ifndef DBGC_CODEC_KDTREE_CODEC_H_
+#define DBGC_CODEC_KDTREE_CODEC_H_
+
+#include "codec/codec.h"
+
+namespace dbgc {
+
+/// Draco-style kd-tree geometry codec.
+class KdTreeCodec : public GeometryCodec {
+ public:
+  std::string name() const override { return "Draco(kd)"; }
+  Result<ByteBuffer> Compress(const PointCloud& pc,
+                              double q_xyz) const override;
+  Result<PointCloud> Decompress(const ByteBuffer& buffer) const override;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_CODEC_KDTREE_CODEC_H_

@@ -1,0 +1,129 @@
+#include "codec/octree_codec.h"
+
+#include "bitio/varint.h"
+#include "encoding/value_codec.h"
+#include "entropy/arithmetic_coder.h"
+
+namespace dbgc {
+
+ByteBuffer OctreeCodec::SerializeStructure(const OctreeStructure& tree) {
+  ByteBuffer out;
+  out.AppendDouble(tree.root.origin.x);
+  out.AppendDouble(tree.root.origin.y);
+  out.AppendDouble(tree.root.origin.z);
+  out.AppendDouble(tree.root.side);
+  out.AppendByte(static_cast<uint8_t>(tree.depth));
+  PutVarint64(&out, tree.num_leaves());
+
+  // Occupancy codes, breadth-first, as one adaptive arithmetic stream.
+  // Symbol 0 (empty node) never occurs; the 256-symbol alphabet keeps the
+  // model simple.
+  AdaptiveModel model(256);
+  ArithmeticEncoder enc;
+  for (const auto& level : tree.levels) {
+    for (uint8_t occ : level) {
+      enc.Encode(model.Lookup(occ));
+      model.Update(occ);
+    }
+  }
+  out.AppendLengthPrefixed(enc.Finish());
+
+  // Per-leaf point counts minus one (almost always zero).
+  std::vector<uint64_t> extra_counts;
+  extra_counts.reserve(tree.leaf_counts.size());
+  for (uint32_t c : tree.leaf_counts) {
+    extra_counts.push_back(c > 0 ? c - 1 : 0);
+  }
+  out.AppendLengthPrefixed(UnsignedValueCodec::Compress(extra_counts));
+  return out;
+}
+
+Result<OctreeStructure> OctreeCodec::DeserializeStructure(
+    const ByteBuffer& buf) {
+  OctreeStructure tree;
+  ByteReader reader(buf);
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&tree.root.origin.x));
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&tree.root.origin.y));
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&tree.root.origin.z));
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&tree.root.side));
+  uint8_t depth;
+  DBGC_RETURN_NOT_OK(reader.ReadByte(&depth));
+  if (depth > Octree::kMaxDepth) {
+    return Status::Corruption("octree codec: bad depth");
+  }
+  tree.depth = depth;
+  uint64_t num_leaves;
+  DBGC_RETURN_NOT_OK(GetVarint64(&reader, &num_leaves));
+  if (num_leaves > kMaxReasonableCount) {
+    return Status::Corruption("octree codec: implausible leaf count");
+  }
+  ByteBuffer occupancy_stream;
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&occupancy_stream));
+  ByteBuffer counts_stream;
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&counts_stream));
+
+  if (num_leaves == 0) {
+    tree.levels.assign(tree.depth, {});
+    return tree;
+  }
+
+  // Re-expand breadth-first: the number of nodes at each level follows from
+  // the popcounts of the previous level.
+  AdaptiveModel model(256);
+  ArithmeticDecoder dec(occupancy_stream);
+  tree.levels.assign(tree.depth, {});
+  size_t nodes_at_level = 1;
+  for (int l = 0; l < tree.depth; ++l) {
+    auto& level = tree.levels[l];
+    level.reserve(nodes_at_level);
+    size_t children = 0;
+    for (size_t i = 0; i < nodes_at_level; ++i) {
+      const uint32_t target = dec.DecodeTarget(model.total());
+      SymbolRange range;
+      const uint32_t symbol = model.FindSymbol(target, &range);
+      dec.Advance(range);
+      model.Update(symbol);
+      if (symbol == 0) {
+        return Status::Corruption("octree codec: empty occupancy code");
+      }
+      level.push_back(static_cast<uint8_t>(symbol));
+      children += __builtin_popcount(symbol);
+    }
+    if (children > kMaxReasonableCount) {
+      return Status::Corruption("octree codec: runaway expansion");
+    }
+    nodes_at_level = children;
+  }
+  if (nodes_at_level != num_leaves) {
+    return Status::Corruption("octree codec: leaf count mismatch");
+  }
+
+  std::vector<uint64_t> extra_counts;
+  DBGC_RETURN_NOT_OK(
+      UnsignedValueCodec::Decompress(counts_stream, &extra_counts));
+  if (extra_counts.size() != num_leaves) {
+    return Status::Corruption("octree codec: counts stream mismatch");
+  }
+  tree.leaf_counts.reserve(num_leaves);
+  for (uint64_t c : extra_counts) {
+    tree.leaf_counts.push_back(static_cast<uint32_t>(c + 1));
+  }
+  return tree;
+}
+
+Result<ByteBuffer> OctreeCodec::Compress(const PointCloud& pc,
+                                         double q_xyz) const {
+  if (q_xyz <= 0) {
+    return Status::InvalidArgument("octree codec: q_xyz must be positive");
+  }
+  DBGC_ASSIGN_OR_RETURN(OctreeStructure tree,
+                        Octree::Build(pc, 2.0 * q_xyz));
+  return SerializeStructure(tree);
+}
+
+Result<PointCloud> OctreeCodec::Decompress(const ByteBuffer& buffer) const {
+  DBGC_ASSIGN_OR_RETURN(OctreeStructure tree, DeserializeStructure(buffer));
+  return Octree::ExtractPoints(tree);
+}
+
+}  // namespace dbgc

@@ -1,0 +1,35 @@
+// The baseline octree coder of Botsch et al. [7] (Section 2.2).
+//
+// The cloud is voxelized at leaf side 2q, the tree is serialized
+// breadth-first as 8-bit occupancy codes, and the code sequence is
+// compressed with an adaptive arithmetic coder. Per-leaf point counts are
+// carried in a side stream so decompression restores exactly |PC| points.
+// DBGC reuses this codec as the dense-point compressor (Section 3.2).
+
+#ifndef DBGC_CODEC_OCTREE_CODEC_H_
+#define DBGC_CODEC_OCTREE_CODEC_H_
+
+#include "codec/codec.h"
+#include "spatial/octree.h"
+
+namespace dbgc {
+
+/// Arithmetic-coded breadth-first octree geometry codec.
+class OctreeCodec : public GeometryCodec {
+ public:
+  std::string name() const override { return "Octree"; }
+  Result<ByteBuffer> Compress(const PointCloud& pc,
+                              double q_xyz) const override;
+  Result<PointCloud> Decompress(const ByteBuffer& buffer) const override;
+
+  /// Serializes an already-built octree structure. Exposed so DBGC can
+  /// compress its dense subset with an externally chosen bounding cube.
+  static ByteBuffer SerializeStructure(const OctreeStructure& tree);
+
+  /// Inverse of SerializeStructure.
+  static Result<OctreeStructure> DeserializeStructure(const ByteBuffer& buf);
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_CODEC_OCTREE_CODEC_H_

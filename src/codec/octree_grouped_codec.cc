@@ -1,0 +1,155 @@
+#include "codec/octree_grouped_codec.h"
+
+#include <memory>
+
+#include "bitio/varint.h"
+#include "encoding/value_codec.h"
+#include "entropy/arithmetic_coder.h"
+
+namespace dbgc {
+
+namespace {
+
+// Context pool: one 256-symbol adaptive model per parent occupancy code.
+// Models are created lazily; code 0 is used for the root (no parent).
+class ContextModels {
+ public:
+  AdaptiveModel& For(uint8_t parent_occupancy) {
+    auto& slot = models_[parent_occupancy];
+    if (slot == nullptr) slot = std::make_unique<AdaptiveModel>(256);
+    return *slot;
+  }
+
+ private:
+  std::unique_ptr<AdaptiveModel> models_[256];
+};
+
+}  // namespace
+
+Result<ByteBuffer> OctreeGroupedCodec::Compress(const PointCloud& pc,
+                                                double q_xyz) const {
+  if (q_xyz <= 0) {
+    return Status::InvalidArgument("octree_i codec: q_xyz must be positive");
+  }
+  DBGC_ASSIGN_OR_RETURN(OctreeStructure tree,
+                        Octree::Build(pc, 2.0 * q_xyz));
+
+  ByteBuffer out;
+  out.AppendDouble(tree.root.origin.x);
+  out.AppendDouble(tree.root.origin.y);
+  out.AppendDouble(tree.root.origin.z);
+  out.AppendDouble(tree.root.side);
+  out.AppendByte(static_cast<uint8_t>(tree.depth));
+  PutVarint64(&out, tree.num_leaves());
+
+  // Breadth-first traversal carrying each node's parent occupancy code.
+  ContextModels contexts;
+  ArithmeticEncoder enc;
+  std::vector<uint8_t> parent_codes{0};  // Root context.
+  for (int l = 0; l < tree.depth; ++l) {
+    const auto& level = tree.levels[l];
+    std::vector<uint8_t> child_codes;
+    child_codes.reserve(level.size());
+    size_t node = 0;
+    for (size_t parent = 0; parent < parent_codes.size(); ++parent) {
+      // Each parent expands to popcount(code) children at this level; the
+      // synthetic root context 0 at l == 0 covers the single root node.
+      const int children =
+          (l == 0) ? 1 : __builtin_popcount(parent_codes[parent]);
+      for (int c = 0; c < children; ++c, ++node) {
+        const uint8_t occ = level[node];
+        AdaptiveModel& model = contexts.For(parent_codes[parent]);
+        enc.Encode(model.Lookup(occ));
+        model.Update(occ);
+        child_codes.push_back(occ);
+      }
+    }
+    parent_codes = std::move(child_codes);
+  }
+  out.AppendLengthPrefixed(enc.Finish());
+
+  std::vector<uint64_t> extra_counts;
+  extra_counts.reserve(tree.leaf_counts.size());
+  for (uint32_t c : tree.leaf_counts) extra_counts.push_back(c - 1);
+  out.AppendLengthPrefixed(UnsignedValueCodec::Compress(extra_counts));
+  return out;
+}
+
+Result<PointCloud> OctreeGroupedCodec::Decompress(
+    const ByteBuffer& buffer) const {
+  OctreeStructure tree;
+  ByteReader reader(buffer);
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&tree.root.origin.x));
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&tree.root.origin.y));
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&tree.root.origin.z));
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&tree.root.side));
+  uint8_t depth;
+  DBGC_RETURN_NOT_OK(reader.ReadByte(&depth));
+  if (depth > Octree::kMaxDepth) {
+    return Status::Corruption("octree_i codec: bad depth");
+  }
+  tree.depth = depth;
+  uint64_t num_leaves;
+  DBGC_RETURN_NOT_OK(GetVarint64(&reader, &num_leaves));
+  if (num_leaves > kMaxReasonableCount) {
+    return Status::Corruption("octree_i codec: implausible leaf count");
+  }
+  ByteBuffer occupancy_stream;
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&occupancy_stream));
+  ByteBuffer counts_stream;
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&counts_stream));
+
+  tree.levels.assign(tree.depth, {});
+  if (num_leaves == 0) return Octree::ExtractPoints(tree);
+
+  ContextModels contexts;
+  ArithmeticDecoder dec(occupancy_stream);
+  std::vector<uint8_t> parent_codes{0};
+  for (int l = 0; l < tree.depth; ++l) {
+    auto& level = tree.levels[l];
+    std::vector<uint8_t> child_codes;
+    for (size_t parent = 0; parent < parent_codes.size(); ++parent) {
+      const int children =
+          (l == 0) ? 1 : __builtin_popcount(parent_codes[parent]);
+      for (int c = 0; c < children; ++c) {
+        AdaptiveModel& model = contexts.For(parent_codes[parent]);
+        const uint32_t target = dec.DecodeTarget(model.total());
+        SymbolRange range;
+        const uint32_t symbol = model.FindSymbol(target, &range);
+        dec.Advance(range);
+        model.Update(symbol);
+        if (symbol == 0) {
+          return Status::Corruption("octree_i codec: empty occupancy code");
+        }
+        level.push_back(static_cast<uint8_t>(symbol));
+        child_codes.push_back(static_cast<uint8_t>(symbol));
+      }
+    }
+    if (child_codes.size() > kMaxReasonableCount) {
+      return Status::Corruption("octree_i codec: runaway expansion");
+    }
+    parent_codes = std::move(child_codes);
+  }
+  size_t leaves = tree.depth == 0 ? 1 : 0;
+  if (tree.depth > 0) {
+    for (uint8_t code : tree.levels[tree.depth - 1]) {
+      leaves += __builtin_popcount(code);
+    }
+  }
+  if (leaves != num_leaves) {
+    return Status::Corruption("octree_i codec: leaf count mismatch");
+  }
+
+  std::vector<uint64_t> extra_counts;
+  DBGC_RETURN_NOT_OK(
+      UnsignedValueCodec::Decompress(counts_stream, &extra_counts));
+  if (extra_counts.size() != num_leaves) {
+    return Status::Corruption("octree_i codec: counts stream mismatch");
+  }
+  for (uint64_t c : extra_counts) {
+    tree.leaf_counts.push_back(static_cast<uint32_t>(c + 1));
+  }
+  return Octree::ExtractPoints(tree);
+}
+
+}  // namespace dbgc

@@ -1,0 +1,158 @@
+#include "codec/range_image_codec.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "bitio/varint.h"
+#include "encoding/value_codec.h"
+#include "entropy/binary_coder.h"
+#include "lidar/spherical.h"
+
+namespace dbgc {
+
+namespace {
+
+// Occupancy contexts: (left bit, above bit) -> 4 adaptive models. Scan
+// rows are highly runny, so the left/above neighbourhood captures most of
+// the structure.
+constexpr size_t kNumContexts = 4;
+
+size_t ContextOf(int left, int above) {
+  return static_cast<size_t>(left * 2 + above);
+}
+
+}  // namespace
+
+RangeImageCodec::RangeImageCodec(SensorMetadata sensor)
+    : sensor_(sensor) {}
+
+Result<ByteBuffer> RangeImageCodec::Compress(const PointCloud& pc,
+                                             double q_xyz) const {
+  if (q_xyz <= 0) {
+    return Status::InvalidArgument("range image: q_xyz must be positive");
+  }
+  const int width = sensor_.horizontal_samples;
+  const int height = sensor_.vertical_samples;
+  const double u_theta = sensor_.AzimuthStep();
+  const double u_phi = sensor_.PolarStep();
+
+  // Resample: keep the nearest return per cell (the sensor's own behaviour
+  // for multiple echoes).
+  std::vector<double> range(static_cast<size_t>(width) * height,
+                            std::numeric_limits<double>::infinity());
+  for (const Point3& p : pc) {
+    const SphericalPoint s = CartesianToSpherical(p);
+    int col = static_cast<int>(std::floor((s.theta - sensor_.theta_min) /
+                                          u_theta));
+    int row = static_cast<int>(std::floor((sensor_.phi_max - s.phi) /
+                                          u_phi));
+    if (col < 0) col = 0;
+    if (col >= width) col = width - 1;
+    if (row < 0) row = 0;
+    if (row >= height) row = height - 1;
+    double& cell = range[static_cast<size_t>(row) * width + col];
+    if (s.r < cell) cell = s.r;
+  }
+
+  // Occupancy bitmap with (left, above) contexts.
+  BinaryEncoder occupancy(kNumContexts);
+  std::vector<uint8_t> occupied(range.size(), 0);
+  size_t num_occupied = 0;
+  for (int row = 0; row < height; ++row) {
+    for (int col = 0; col < width; ++col) {
+      const size_t idx = static_cast<size_t>(row) * width + col;
+      const int bit = std::isfinite(range[idx]) ? 1 : 0;
+      const int left = col > 0 ? occupied[idx - 1] : 0;
+      const int above = row > 0 ? occupied[idx - width] : 0;
+      occupancy.EncodeBit(ContextOf(left, above), bit);
+      occupied[idx] = static_cast<uint8_t>(bit);
+      num_occupied += bit;
+    }
+  }
+
+  // Radial channel: quantize at 2q and delta-code along rows.
+  const double step = 2.0 * q_xyz;
+  std::vector<int64_t> deltas;
+  deltas.reserve(num_occupied);
+  for (int row = 0; row < height; ++row) {
+    int64_t prev = 0;
+    for (int col = 0; col < width; ++col) {
+      const size_t idx = static_cast<size_t>(row) * width + col;
+      if (!occupied[idx]) continue;
+      const int64_t q = static_cast<int64_t>(std::llround(range[idx] / step));
+      deltas.push_back(q - prev);
+      prev = q;
+    }
+  }
+
+  ByteBuffer out;
+  out.AppendDouble(sensor_.theta_min);
+  out.AppendDouble(sensor_.phi_max);
+  out.AppendDouble(u_theta);
+  out.AppendDouble(u_phi);
+  out.AppendDouble(step);
+  PutVarint64(&out, static_cast<uint64_t>(width));
+  PutVarint64(&out, static_cast<uint64_t>(height));
+  out.AppendLengthPrefixed(occupancy.Finish());
+  out.AppendLengthPrefixed(SignedValueCodec::Compress(deltas));
+  return out;
+}
+
+Result<PointCloud> RangeImageCodec::Decompress(
+    const ByteBuffer& buffer) const {
+  ByteReader reader(buffer);
+  double theta_min, phi_max, u_theta, u_phi, step;
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&theta_min));
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&phi_max));
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&u_theta));
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&u_phi));
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&step));
+  uint64_t width, height;
+  DBGC_RETURN_NOT_OK(GetVarint64(&reader, &width));
+  DBGC_RETURN_NOT_OK(GetVarint64(&reader, &height));
+  if (width == 0 || height == 0 || width * height > (1ULL << 28)) {
+    return Status::Corruption("range image: implausible grid");
+  }
+  ByteBuffer occupancy_stream, range_stream;
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&occupancy_stream));
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&range_stream));
+
+  BinaryDecoder occupancy(occupancy_stream, kNumContexts);
+  std::vector<uint8_t> occupied(width * height, 0);
+  size_t num_occupied = 0;
+  for (uint64_t row = 0; row < height; ++row) {
+    for (uint64_t col = 0; col < width; ++col) {
+      const size_t idx = row * width + col;
+      const int left = col > 0 ? occupied[idx - 1] : 0;
+      const int above = row > 0 ? occupied[idx - width] : 0;
+      const int bit = occupancy.DecodeBit(ContextOf(left, above));
+      occupied[idx] = static_cast<uint8_t>(bit);
+      num_occupied += bit;
+    }
+  }
+
+  std::vector<int64_t> deltas;
+  DBGC_RETURN_NOT_OK(SignedValueCodec::Decompress(range_stream, &deltas));
+  if (deltas.size() != num_occupied) {
+    return Status::Corruption("range image: radial channel mismatch");
+  }
+
+  PointCloud pc;
+  pc.Reserve(num_occupied);
+  size_t cursor = 0;
+  for (uint64_t row = 0; row < height; ++row) {
+    int64_t prev = 0;
+    for (uint64_t col = 0; col < width; ++col) {
+      if (!occupied[row * width + col]) continue;
+      prev += deltas[cursor++];
+      const double r = static_cast<double>(prev) * step;
+      const double theta = theta_min + (col + 0.5) * u_theta;
+      const double phi = phi_max - (row + 0.5) * u_phi;
+      pc.Add(SphericalToCartesian(SphericalPoint{theta, phi, r}));
+    }
+  }
+  return pc;
+}
+
+}  // namespace dbgc

@@ -1,0 +1,42 @@
+#include "codec/raw_codec.h"
+
+#include <cstring>
+
+namespace dbgc {
+
+Result<ByteBuffer> RawCodec::Compress(const PointCloud& pc,
+                                      double q_xyz) const {
+  (void)q_xyz;  // Lossless within float precision; the bound is trivial.
+  ByteBuffer out;
+  out.Reserve(8 + pc.size() * 12);
+  out.AppendUint64(pc.size());
+  for (const Point3& p : pc) {
+    const float v[3] = {static_cast<float>(p.x), static_cast<float>(p.y),
+                        static_cast<float>(p.z)};
+    uint8_t bytes[12];
+    std::memcpy(bytes, v, 12);
+    out.Append(bytes, 12);
+  }
+  return out;
+}
+
+Result<PointCloud> RawCodec::Decompress(const ByteBuffer& buffer) const {
+  ByteReader reader(buffer);
+  uint64_t count;
+  DBGC_RETURN_NOT_OK(reader.ReadUint64(&count));
+  if (count * 12 > reader.remaining()) {
+    return Status::Corruption("raw codec: truncated point data");
+  }
+  PointCloud pc;
+  pc.Reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint8_t bytes[12];
+    DBGC_RETURN_NOT_OK(reader.Read(bytes, 12));
+    float v[3];
+    std::memcpy(v, bytes, 12);
+    pc.Add(v[0], v[1], v[2]);
+  }
+  return pc;
+}
+
+}  // namespace dbgc

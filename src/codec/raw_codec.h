@@ -1,0 +1,23 @@
+// RawCodec: the identity "compressor" storing each coordinate as a 32-bit
+// float. Serves as the uncompressed reference (compression ratio ~1) and as
+// a sanity baseline in tests.
+
+#ifndef DBGC_CODEC_RAW_CODEC_H_
+#define DBGC_CODEC_RAW_CODEC_H_
+
+#include "codec/codec.h"
+
+namespace dbgc {
+
+/// Stores points as raw 32-bit floats (plus an 8-byte count header).
+class RawCodec : public GeometryCodec {
+ public:
+  std::string name() const override { return "Raw"; }
+  Result<ByteBuffer> Compress(const PointCloud& pc,
+                              double q_xyz) const override;
+  Result<PointCloud> Decompress(const ByteBuffer& buffer) const override;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_CODEC_RAW_CODEC_H_

@@ -1,0 +1,31 @@
+#include "common/bounding_box.h"
+
+#include <cmath>
+
+namespace dbgc {
+
+Cube Cube::BoundingCube(const BoundingBox& box, double leaf_side) {
+  Cube c;
+  if (box.IsEmpty()) {
+    c.origin = Point3{0, 0, 0};
+    c.side = leaf_side;
+    return c;
+  }
+  const double extent = std::max(box.MaxExtent(), leaf_side);
+  // Round the required number of leaf cells up to the next power of two so
+  // that recursive halving bottoms out exactly at leaf_side.
+  int depth = 0;
+  double side = leaf_side;
+  while (side < extent) {
+    side *= 2;
+    ++depth;
+  }
+  (void)depth;
+  const Point3 center = box.Center();
+  c.origin = Point3{center.x - side / 2, center.y - side / 2,
+                    center.z - side / 2};
+  c.side = side;
+  return c;
+}
+
+}  // namespace dbgc

@@ -1,0 +1,119 @@
+// Axis-aligned bounding boxes (3D and 2D) and the bounding cube used as the
+// root cell of octree partitioning.
+
+#ifndef DBGC_COMMON_BOUNDING_BOX_H_
+#define DBGC_COMMON_BOUNDING_BOX_H_
+
+#include <algorithm>
+#include <limits>
+
+#include "common/point_cloud.h"
+
+namespace dbgc {
+
+/// An axis-aligned 3D bounding box.
+struct BoundingBox {
+  Point3 min{std::numeric_limits<double>::infinity(),
+             std::numeric_limits<double>::infinity(),
+             std::numeric_limits<double>::infinity()};
+  Point3 max{-std::numeric_limits<double>::infinity(),
+             -std::numeric_limits<double>::infinity(),
+             -std::numeric_limits<double>::infinity()};
+
+  /// True iff no point has been added.
+  bool IsEmpty() const { return min.x > max.x; }
+
+  /// Expands the box to include p.
+  void Extend(const Point3& p) {
+    min.x = std::min(min.x, p.x);
+    min.y = std::min(min.y, p.y);
+    min.z = std::min(min.z, p.z);
+    max.x = std::max(max.x, p.x);
+    max.y = std::max(max.y, p.y);
+    max.z = std::max(max.z, p.z);
+  }
+
+  /// True iff p lies inside the box (inclusive bounds).
+  bool Contains(const Point3& p) const {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y &&
+           p.z >= min.z && p.z <= max.z;
+  }
+
+  /// Side lengths on each dimension.
+  Point3 Extent() const { return max - min; }
+
+  /// The largest side length (Omega in the paper's Draco discussion).
+  double MaxExtent() const {
+    const Point3 e = Extent();
+    return std::max(e.x, std::max(e.y, e.z));
+  }
+
+  /// Box center.
+  Point3 Center() const { return (min + max) * 0.5; }
+
+  /// Computes the bounding box of a point cloud.
+  static BoundingBox Of(const PointCloud& pc) {
+    BoundingBox b;
+    for (const Point3& p : pc) b.Extend(p);
+    return b;
+  }
+};
+
+/// An axis-aligned 2D bounding box on the xy-plane (used by the outlier
+/// quadtree, Section 3.6).
+struct BoundingBox2D {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  bool IsEmpty() const { return min_x > max_x; }
+
+  void Extend(double x, double y) {
+    min_x = std::min(min_x, x);
+    min_y = std::min(min_y, y);
+    max_x = std::max(max_x, x);
+    max_y = std::max(max_y, y);
+  }
+
+  double MaxExtent() const {
+    return std::max(max_x - min_x, max_y - min_y);
+  }
+};
+
+/// A cube: origin corner plus side length. Octree cells are cubes.
+struct Cube {
+  Point3 origin;       ///< The corner with minimal coordinates.
+  double side = 0.0;   ///< Side length.
+
+  /// The cube's center point.
+  Point3 Center() const {
+    return {origin.x + side / 2, origin.y + side / 2, origin.z + side / 2};
+  }
+
+  /// True iff p lies inside the cube (half-open bounds, with the max corner
+  /// included to absorb floating-point boundary cases at the root).
+  bool Contains(const Point3& p) const {
+    return p.x >= origin.x && p.x <= origin.x + side && p.y >= origin.y &&
+           p.y <= origin.y + side && p.z >= origin.z && p.z <= origin.z + side;
+  }
+
+  /// Child cube with the given octant index in [0, 8).
+  /// Bit 0 selects the x half, bit 1 the y half, bit 2 the z half.
+  Cube Child(int octant) const {
+    const double h = side / 2;
+    return Cube{Point3{origin.x + ((octant & 1) ? h : 0.0),
+                       origin.y + ((octant & 2) ? h : 0.0),
+                       origin.z + ((octant & 4) ? h : 0.0)},
+                h};
+  }
+
+  /// The smallest cube that contains `box`, centered on the box, with a side
+  /// that is `leaf_side * 2^depth` for an integral depth. This makes octree
+  /// leaves have exactly the requested side length.
+  static Cube BoundingCube(const BoundingBox& box, double leaf_side);
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_COMMON_BOUNDING_BOX_H_

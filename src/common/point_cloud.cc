@@ -1,0 +1,15 @@
+#include "common/point_cloud.h"
+
+#include <algorithm>
+
+namespace dbgc {
+
+double PointCloud::MaxRadius() const {
+  double max_sq = 0.0;
+  for (const Point3& p : points_) {
+    max_sq = std::max(max_sq, p.SquaredNorm());
+  }
+  return std::sqrt(max_sq);
+}
+
+}  // namespace dbgc

@@ -1,0 +1,121 @@
+// Core geometric value types: Point3, SphericalPoint, and PointCloud.
+//
+// A point cloud (Definition 2.1 of the paper) is a set of points carrying
+// geometry. This library compresses geometry only, so a point is three
+// doubles. Spherical coordinates follow the paper's convention: theta is the
+// azimuthal angle in the xy-plane, phi the polar angle measured from the
+// xy-plane (elevation), and r the radial distance from the sensor origin.
+
+#ifndef DBGC_COMMON_POINT_CLOUD_H_
+#define DBGC_COMMON_POINT_CLOUD_H_
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dbgc {
+
+/// A point in Cartesian coordinates (meters).
+struct Point3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Point3() = default;
+  Point3(double px, double py, double pz) : x(px), y(py), z(pz) {}
+
+  Point3 operator+(const Point3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Point3 operator-(const Point3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Point3 operator*(double s) const { return {x * s, y * s, z * s}; }
+
+  bool operator==(const Point3& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+
+  /// Squared Euclidean norm.
+  double SquaredNorm() const { return x * x + y * y + z * z; }
+  /// Euclidean norm.
+  double Norm() const { return std::sqrt(SquaredNorm()); }
+  /// Euclidean distance to another point.
+  double DistanceTo(const Point3& o) const { return (*this - o).Norm(); }
+  /// Largest absolute per-dimension difference to another point.
+  double ChebyshevDistanceTo(const Point3& o) const {
+    return std::fmax(std::fabs(x - o.x),
+                     std::fmax(std::fabs(y - o.y), std::fabs(z - o.z)));
+  }
+};
+
+/// A point in spherical coordinates relative to the sensor origin.
+///
+/// theta: azimuthal angle in radians, range (-pi, pi].
+/// phi:   polar (elevation) angle in radians measured from the xy-plane,
+///        range [-pi/2, pi/2].
+/// r:     radial distance in meters, >= 0.
+struct SphericalPoint {
+  double theta = 0.0;
+  double phi = 0.0;
+  double r = 0.0;
+
+  SphericalPoint() = default;
+  SphericalPoint(double t, double p, double radius)
+      : theta(t), phi(p), r(radius) {}
+
+  bool operator==(const SphericalPoint& o) const {
+    return theta == o.theta && phi == o.phi && r == o.r;
+  }
+};
+
+/// A point cloud: an ordered container of Cartesian points.
+///
+/// Although a point cloud is conceptually a set, we store points in a vector
+/// so that codecs can define a one-to-one mapping between input and output by
+/// carrying point order through the pipeline.
+class PointCloud {
+ public:
+  PointCloud() = default;
+  explicit PointCloud(std::vector<Point3> points)
+      : points_(std::move(points)) {}
+
+  /// Number of points, |PC|.
+  size_t size() const { return points_.size(); }
+  /// True iff the cloud has no points.
+  bool empty() const { return points_.empty(); }
+
+  const Point3& operator[](size_t i) const { return points_[i]; }
+  Point3& operator[](size_t i) { return points_[i]; }
+
+  const std::vector<Point3>& points() const { return points_; }
+  std::vector<Point3>& mutable_points() { return points_; }
+
+  /// Appends a point.
+  void Add(const Point3& p) { points_.push_back(p); }
+  /// Appends a point constructed from coordinates.
+  void Add(double x, double y, double z) { points_.emplace_back(x, y, z); }
+  /// Removes all points.
+  void Clear() { points_.clear(); }
+  /// Reserves storage for n points.
+  void Reserve(size_t n) { points_.reserve(n); }
+
+  auto begin() const { return points_.begin(); }
+  auto end() const { return points_.end(); }
+  auto begin() { return points_.begin(); }
+  auto end() { return points_.end(); }
+
+  /// Uncompressed in-memory geometry size in bytes.
+  ///
+  /// The paper's compression-ratio convention (Section 2.1 and Section 4.4)
+  /// stores each coordinate as a 32-bit float: 96 bits = 12 bytes per point.
+  size_t RawSizeBytes() const { return points_.size() * 12; }
+
+  /// The maximum radial distance from the origin over all points.
+  /// Returns 0 for an empty cloud.
+  double MaxRadius() const;
+
+ private:
+  std::vector<Point3> points_;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_COMMON_POINT_CLOUD_H_

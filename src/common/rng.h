@@ -1,0 +1,48 @@
+// Deterministic random number generation for synthetic workloads and tests.
+//
+// All randomness in libdbgc flows through Rng so that every experiment is
+// reproducible from a seed.
+
+#ifndef DBGC_COMMON_RNG_H_
+#define DBGC_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace dbgc {
+
+/// A small, fast, deterministic PRNG (xoshiro256**).
+///
+/// Not cryptographically secure; used only to generate synthetic scenes and
+/// randomized test inputs.
+class Rng {
+ public:
+  /// Seeds the generator. Equal seeds yield equal streams on all platforms.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextRange(double lo, double hi);
+
+  /// Standard normal (Box–Muller) sample.
+  double NextGaussian();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool NextBool(double p);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_COMMON_RNG_H_

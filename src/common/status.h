@@ -1,0 +1,148 @@
+// Status and Result<T>: lightweight error handling used across libdbgc.
+//
+// Modeled on the Status idiom of Arrow/RocksDB: functions that can fail
+// return a Status (or Result<T> when they also produce a value) instead of
+// throwing exceptions across the public API boundary.
+
+#ifndef DBGC_COMMON_STATUS_H_
+#define DBGC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace dbgc {
+
+/// Error categories used by Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kCorruption = 2,       ///< Malformed or truncated bitstream.
+  kOutOfRange = 3,       ///< A value does not fit its encoding.
+  kNotImplemented = 4,
+  kIOError = 5,
+  kInternal = 6,         ///< Invariant violation inside the library.
+};
+
+/// Returns a short human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation: OK, or an error code with a message.
+///
+/// Status is cheap to copy in the OK case (no allocation) and carries a
+/// message string only on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns an OK status.
+  static Status OK() { return Status(); }
+  /// Returns an InvalidArgument status with the given message.
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  /// Returns a Corruption status with the given message.
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  /// Returns an OutOfRange status with the given message.
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  /// Returns a NotImplemented status with the given message.
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  /// Returns an IOError status with the given message.
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  /// Returns an Internal status with the given message.
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  /// The status code.
+  StatusCode code() const { return code_; }
+  /// The error message (empty for OK statuses).
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value of type T or an error Status.
+///
+/// Usage:
+///   Result<int> r = Parse(s);
+///   if (!r.ok()) return r.status();
+///   int v = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs a failed result from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return status_.ok(); }
+  /// The status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// The contained value. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  /// Moves the contained value out. Must only be called when ok().
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  /// Mutable access to the contained value. Must only be called when ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status from the current function.
+#define DBGC_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::dbgc::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (false)
+
+/// Evaluates a Result<T> expression and assigns its value to `lhs`,
+/// propagating the error status on failure.
+#define DBGC_ASSIGN_OR_RETURN(lhs, rexpr)   \
+  auto DBGC_CONCAT_(_res_, __LINE__) = (rexpr);                   \
+  if (!DBGC_CONCAT_(_res_, __LINE__).ok())                        \
+    return DBGC_CONCAT_(_res_, __LINE__).status();                \
+  lhs = std::move(DBGC_CONCAT_(_res_, __LINE__)).value()
+
+#define DBGC_CONCAT_INNER_(a, b) a##b
+#define DBGC_CONCAT_(a, b) DBGC_CONCAT_INNER_(a, b)
+
+}  // namespace dbgc
+
+#endif  // DBGC_COMMON_STATUS_H_

@@ -1,0 +1,67 @@
+#include "common/transforms.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "spatial/voxel_grid.h"
+
+namespace dbgc {
+
+Point3 RigidTransform::Apply(const Point3& p) const {
+  const double c = std::cos(yaw);
+  const double s = std::sin(yaw);
+  return Point3{c * p.x - s * p.y + translation.x,
+                s * p.x + c * p.y + translation.y, p.z + translation.z};
+}
+
+RigidTransform RigidTransform::Inverse() const {
+  // (R, t)^-1 = (R^-1, -R^-1 t).
+  RigidTransform inv;
+  inv.yaw = -yaw;
+  const double c = std::cos(-yaw);
+  const double s = std::sin(-yaw);
+  inv.translation = Point3{-(c * translation.x - s * translation.y),
+                           -(s * translation.x + c * translation.y),
+                           -translation.z};
+  return inv;
+}
+
+PointCloud Transform(const PointCloud& pc, const RigidTransform& t) {
+  PointCloud out;
+  out.Reserve(pc.size());
+  for (const Point3& p : pc) out.Add(t.Apply(p));
+  return out;
+}
+
+PointCloud CropRadius(const PointCloud& pc, double radius) {
+  PointCloud out;
+  const double r_sq = radius * radius;
+  for (const Point3& p : pc) {
+    if (p.SquaredNorm() <= r_sq) out.Add(p);
+  }
+  return out;
+}
+
+PointCloud CropBox(const PointCloud& pc, const BoundingBox& box) {
+  PointCloud out;
+  for (const Point3& p : pc) {
+    if (box.Contains(p)) out.Add(p);
+  }
+  return out;
+}
+
+PointCloud VoxelDownsample(const PointCloud& pc, double voxel_side) {
+  PointCloud out;
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(pc.size());
+  const double inv = 1.0 / voxel_side;
+  for (const Point3& p : pc) {
+    const VoxelCoord c{static_cast<int32_t>(std::floor(p.x * inv)),
+                       static_cast<int32_t>(std::floor(p.y * inv)),
+                       static_cast<int32_t>(std::floor(p.z * inv))};
+    if (seen.insert(VoxelGrid::KeyOf(c)).second) out.Add(p);
+  }
+  return out;
+}
+
+}  // namespace dbgc

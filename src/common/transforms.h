@@ -1,0 +1,43 @@
+// Point-cloud transforms: rigid motion, cropping, and voxel downsampling.
+// Utilities every point-cloud consumer needs around a codec - e.g. to
+// register frames to a common pose before archiving, or to evaluate
+// codecs on radius-cropped subsets (the Figure 3 experiment).
+
+#ifndef DBGC_COMMON_TRANSFORMS_H_
+#define DBGC_COMMON_TRANSFORMS_H_
+
+#include "common/bounding_box.h"
+#include "common/point_cloud.h"
+
+namespace dbgc {
+
+/// A rigid transform: rotation about the z axis (yaw, the dominant motion
+/// of a driving platform) plus a translation.
+struct RigidTransform {
+  double yaw = 0.0;  ///< Rotation about +z in radians.
+  Point3 translation;
+
+  /// Applies the transform to one point (rotate, then translate).
+  Point3 Apply(const Point3& p) const;
+
+  /// The inverse transform.
+  RigidTransform Inverse() const;
+};
+
+/// Returns a transformed copy of the cloud.
+PointCloud Transform(const PointCloud& pc, const RigidTransform& t);
+
+/// Points within `radius` of the origin (the concentric subsets of
+/// Figure 3).
+PointCloud CropRadius(const PointCloud& pc, double radius);
+
+/// Points inside the box (inclusive bounds).
+PointCloud CropBox(const PointCloud& pc, const BoundingBox& box);
+
+/// Keeps the first point of each voxel of side `voxel_side` (a common
+/// pre-processing decimation). Order of survivors follows the input.
+PointCloud VoxelDownsample(const PointCloud& pc, double voxel_side);
+
+}  // namespace dbgc
+
+#endif  // DBGC_COMMON_TRANSFORMS_H_

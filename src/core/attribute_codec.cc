@@ -1,0 +1,79 @@
+#include "core/attribute_codec.h"
+
+#include <cmath>
+
+#include "bitio/varint.h"
+#include "encoding/delta.h"
+#include "encoding/quantizer.h"
+#include "encoding/value_codec.h"
+
+namespace dbgc {
+
+namespace {
+constexpr uint8_t kMagic = 0xA7;
+}  // namespace
+
+Result<ByteBuffer> AttributeCodec::Compress(
+    const std::vector<float>& values,
+    const std::vector<uint32_t>& emission_order, double q_attr) {
+  if (q_attr <= 0) {
+    return Status::InvalidArgument("attribute codec: q_attr must be > 0");
+  }
+  if (!emission_order.empty() && emission_order.size() != values.size()) {
+    return Status::InvalidArgument(
+        "attribute codec: order/value size mismatch");
+  }
+  const Quantizer quantizer(q_attr);
+  std::vector<int64_t> quantized;
+  quantized.reserve(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    const uint32_t src =
+        emission_order.empty() ? static_cast<uint32_t>(i) : emission_order[i];
+    if (src >= values.size()) {
+      return Status::InvalidArgument("attribute codec: bad emission order");
+    }
+    quantized.push_back(quantizer.Quantize(values[src]));
+  }
+
+  ByteBuffer out;
+  out.AppendByte(kMagic);
+  out.AppendDouble(q_attr);
+  PutVarint64(&out, values.size());
+  out.AppendLengthPrefixed(
+      SignedValueCodec::Compress(DeltaEncode(quantized)));
+  return out;
+}
+
+Result<std::vector<float>> AttributeCodec::Decompress(
+    const ByteBuffer& buffer) {
+  ByteReader reader(buffer);
+  uint8_t magic;
+  DBGC_RETURN_NOT_OK(reader.ReadByte(&magic));
+  if (magic != kMagic) {
+    return Status::Corruption("attribute codec: bad magic");
+  }
+  double q_attr;
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&q_attr));
+  if (!(q_attr > 0) || !std::isfinite(q_attr)) {
+    return Status::Corruption("attribute codec: bad bound");
+  }
+  uint64_t count;
+  DBGC_RETURN_NOT_OK(GetVarint64(&reader, &count));
+  ByteBuffer stream;
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&stream));
+  std::vector<int64_t> deltas;
+  DBGC_RETURN_NOT_OK(SignedValueCodec::Decompress(stream, &deltas));
+  if (deltas.size() != count) {
+    return Status::Corruption("attribute codec: count mismatch");
+  }
+  const Quantizer quantizer(q_attr);
+  const std::vector<int64_t> quantized = DeltaDecode(deltas);
+  std::vector<float> values;
+  values.reserve(count);
+  for (int64_t v : quantized) {
+    values.push_back(static_cast<float>(quantizer.Reconstruct(v)));
+  }
+  return values;
+}
+
+}  // namespace dbgc

@@ -1,0 +1,38 @@
+// Optional per-point attribute compression (Definition 2.1: a point may
+// carry attributes such as intensity). DBGC itself compresses geometry
+// only, as the paper does; this codec handles the attribute channel
+// alongside it, reordered into the geometry codec's emission order (the
+// one-to-one mapping from DbgcCompressInfo) so that spatially adjacent
+// points - whose attributes correlate - sit next to each other before
+// quantization, delta coding, and arithmetic coding.
+
+#ifndef DBGC_CORE_ATTRIBUTE_CODEC_H_
+#define DBGC_CORE_ATTRIBUTE_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitio/byte_buffer.h"
+#include "common/status.h"
+
+namespace dbgc {
+
+/// Compresses a scalar attribute channel (e.g. LiDAR intensity in [0, 1]).
+class AttributeCodec {
+ public:
+  /// Compresses `values` under absolute error bound `q_attr` (> 0).
+  /// `emission_order[i]` gives the source index of the i-th emitted
+  /// geometry point (DbgcCompressInfo::point_mapping); pass an empty vector
+  /// to keep the input order. The decompressed channel is returned in
+  /// emission order, aligned with the decompressed cloud.
+  static Result<ByteBuffer> Compress(const std::vector<float>& values,
+                                     const std::vector<uint32_t>& emission_order,
+                                     double q_attr);
+
+  /// Decompresses a channel; values come back in emission order.
+  static Result<std::vector<float>> Decompress(const ByteBuffer& buffer);
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_CORE_ATTRIBUTE_CODEC_H_

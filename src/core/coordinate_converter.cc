@@ -1,0 +1,91 @@
+#include "core/coordinate_converter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "encoding/quantizer.h"
+#include "lidar/spherical.h"
+
+namespace dbgc {
+
+ConvertedGroup ConvertGroup(const PointCloud& pc,
+                            const std::vector<uint32_t>& indices,
+                            const ConverterConfig& config) {
+  ConvertedGroup group;
+  group.params.radial_optimized = config.radial_optimized;
+  const size_t n = indices.size();
+  group.role.reserve(n);
+  group.cartesian.reserve(n);
+  group.quantized.reserve(n);
+
+  if (config.spherical) {
+    double r_max = 0.0;
+    for (uint32_t idx : indices) {
+      const Point3& p = pc[idx];
+      group.cartesian.push_back(p);
+      group.role.push_back(CartesianToSpherical(p));
+      r_max = std::max(r_max, group.role.back().r);
+    }
+    r_max = std::max(r_max, 1e-6);
+    const SphericalErrorBounds bounds =
+        SphericalErrorBounds::FromCartesian(config.q_xyz, r_max);
+    group.params.step_theta = 2.0 * bounds.q_theta;
+    group.params.step_phi = 2.0 * bounds.q_phi;
+    group.params.step_r = 2.0 * bounds.q_r;
+    group.u_theta = config.sensor_u_theta;
+    group.u_phi = config.sensor_u_phi;
+  } else {
+    // -Conversion: polylines directly in Cartesian space, x/y/z playing the
+    // theta/phi/r roles. The extraction windows come from the mean nearest
+    // sample spacing estimate range / sqrt(n).
+    double x_min = 0, x_max = 0, y_min = 0, y_max = 0;
+    bool first = true;
+    for (uint32_t idx : indices) {
+      const Point3& p = pc[idx];
+      group.cartesian.push_back(p);
+      group.role.push_back(SphericalPoint{p.x, p.y, p.z});
+      if (first) {
+        x_min = x_max = p.x;
+        y_min = y_max = p.y;
+        first = false;
+      } else {
+        x_min = std::min(x_min, p.x);
+        x_max = std::max(x_max, p.x);
+        y_min = std::min(y_min, p.y);
+        y_max = std::max(y_max, p.y);
+      }
+    }
+    group.params.step_theta = 2.0 * config.q_xyz;
+    group.params.step_phi = 2.0 * config.q_xyz;
+    group.params.step_r = 2.0 * config.q_xyz;
+    const double denom = std::sqrt(static_cast<double>(std::max<size_t>(n, 1)));
+    group.u_theta = std::max((x_max - x_min) / denom, 4.0 * config.q_xyz);
+    group.u_phi = std::max((y_max - y_min) / denom, 4.0 * config.q_xyz);
+  }
+
+  const Quantizer qt(group.params.step_theta / 2.0);
+  const Quantizer qp(group.params.step_phi / 2.0);
+  const Quantizer qr(group.params.step_r / 2.0);
+  for (const SphericalPoint& s : group.role) {
+    group.quantized.push_back(
+        QPoint{qt.Quantize(s.theta), qp.Quantize(s.phi), qr.Quantize(s.r)});
+  }
+
+  // Thresholds in quantized units (shared decision logic, Step 8).
+  group.params.th_r =
+      std::llround(config.radial_threshold / group.params.step_r);
+  group.params.th_phi = std::llround(config.reference_phi_factor *
+                                     group.u_phi / group.params.step_phi);
+  return group;
+}
+
+Point3 ReconstructPoint(const QPoint& q, const SparseGroupParams& params,
+                        bool spherical) {
+  const double a = static_cast<double>(q.theta) * params.step_theta;
+  const double b = static_cast<double>(q.phi) * params.step_phi;
+  const double c = static_cast<double>(q.r) * params.step_r;
+  if (!spherical) return Point3{a, b, c};
+  return SphericalToCartesian(SphericalPoint{a, b, c});
+}
+
+}  // namespace dbgc

@@ -1,0 +1,59 @@
+// Coordinate conversion and scaling for sparse groups (Sections 3.3 and
+// 3.5 Step 1, Theorem 3.2).
+//
+// Spherical mode (default): a group's points become (theta, phi, r) with
+// per-dimension error bounds q_theta = q_phi = q_xyz / r_max_group and
+// q_r = q_xyz, then are scaled by 2*q and rounded. Cartesian mode
+// (the -Conversion ablation) keeps (x, y, z) and lets them play the
+// (theta, phi, r) roles with q_xyz bounds on every dimension.
+
+#ifndef DBGC_CORE_COORDINATE_CONVERTER_H_
+#define DBGC_CORE_COORDINATE_CONVERTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/point_cloud.h"
+#include "core/polyline.h"
+#include "core/sparse_codec.h"
+
+namespace dbgc {
+
+/// A sparse group after conversion + quantization, ready for organization.
+struct ConvertedGroup {
+  /// Role coordinates (theta/phi plane for Algorithm 1), unquantized.
+  std::vector<SphericalPoint> role;
+  /// Original Cartesian points (candidate-distance metric in Algorithm 1).
+  std::vector<Point3> cartesian;
+  /// Quantized integer coordinates (what the bitstream carries).
+  std::vector<QPoint> quantized;
+  /// Scaling factors and thresholds shared with the decoder.
+  SparseGroupParams params;
+  /// Average sampling steps driving polyline extraction windows.
+  double u_theta = 0.0;
+  double u_phi = 0.0;
+};
+
+/// Conversion options relevant to a group.
+struct ConverterConfig {
+  double q_xyz = 0.02;
+  bool spherical = true;          ///< False = -Conversion ablation.
+  double radial_threshold = 2.0;  ///< TH_r in meters.
+  double reference_phi_factor = 2.0;
+  double sensor_u_theta = 0.0;    ///< From SensorMetadata (spherical mode).
+  double sensor_u_phi = 0.0;
+  bool radial_optimized = true;
+};
+
+/// Converts and quantizes one group of points.
+ConvertedGroup ConvertGroup(const PointCloud& pc,
+                            const std::vector<uint32_t>& indices,
+                            const ConverterConfig& config);
+
+/// Reconstructs the Cartesian position of a decoded quantized point.
+Point3 ReconstructPoint(const QPoint& q, const SparseGroupParams& params,
+                        bool spherical);
+
+}  // namespace dbgc
+
+#endif  // DBGC_CORE_COORDINATE_CONVERTER_H_

@@ -1,0 +1,278 @@
+#include "core/dbgc_codec.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include "bitio/varint.h"
+#include "codec/octree_codec.h"
+#include "core/coordinate_converter.h"
+#include "core/density_partitioner.h"
+#include "core/outlier_codec.h"
+#include "core/point_grouper.h"
+#include "core/polyline_organizer.h"
+#include "core/sparse_codec.h"
+#include "spatial/octree.h"
+
+namespace dbgc {
+
+namespace {
+
+constexpr uint8_t kMagic[4] = {'D', 'B', 'G', 'C'};
+constexpr uint8_t kVersion = 1;
+
+class StageTimer {
+ public:
+  explicit StageTimer(double* slot)
+      : slot_(slot), start_(std::chrono::steady_clock::now()) {}
+  ~StageTimer() {
+    const auto end = std::chrono::steady_clock::now();
+    *slot_ += std::chrono::duration<double>(end - start_).count();
+  }
+
+ private:
+  double* slot_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+uint8_t EncodeFlags(const DbgcOptions& options) {
+  uint8_t flags = 0;
+  if (options.enable_spherical_conversion) flags |= 1;
+  if (options.enable_radial_optimized_delta) flags |= 2;
+  flags |= static_cast<uint8_t>(static_cast<int>(options.outlier_mode) << 2);
+  return flags;
+}
+
+}  // namespace
+
+DbgcCodec::DbgcCodec(DbgcOptions options) : options_(options) {}
+
+Result<ByteBuffer> DbgcCodec::Compress(const PointCloud& pc,
+                                       double q_xyz) const {
+  DbgcCodec override_codec(options_);
+  override_codec.options_.q_xyz = q_xyz;
+  DbgcCompressInfo info;
+  return override_codec.CompressWithInfo(pc, &info);
+}
+
+Result<ByteBuffer> DbgcCodec::CompressWithInfo(const PointCloud& pc,
+                                               DbgcCompressInfo* info) const {
+  *info = DbgcCompressInfo();
+  if (const char* issue = options_.Validate()) {
+    return Status::InvalidArgument(issue);
+  }
+  const DbgcOptions& opt = options_;
+
+  // --- DEN: density-based clustering (Section 3.2). ---
+  Partition partition;
+  {
+    StageTimer t(&info->timings.clustering);
+    partition = PartitionByDensity(pc, opt);
+  }
+  info->num_dense = partition.dense.size();
+
+  // --- OCT: octree compression of dense points. ---
+  ByteBuffer b_dense;
+  {
+    StageTimer t(&info->timings.octree);
+    if (!partition.dense.empty()) {
+      PointCloud dense_cloud;
+      dense_cloud.Reserve(partition.dense.size());
+      for (uint32_t idx : partition.dense) dense_cloud.Add(pc[idx]);
+      DBGC_ASSIGN_OR_RETURN(OctreeStructure tree,
+                            Octree::Build(dense_cloud, 2.0 * opt.q_xyz));
+      b_dense = OctreeCodec::SerializeStructure(tree);
+      // Decoded order is Morton leaf order; mirror it for the mapping.
+      std::vector<uint64_t> keys(partition.dense.size());
+      for (size_t i = 0; i < partition.dense.size(); ++i) {
+        keys[i] = Octree::LeafKeyOf(dense_cloud[i], tree.root, tree.depth);
+      }
+      std::vector<size_t> perm(partition.dense.size());
+      for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+      std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+        return keys[a] < keys[b];
+      });
+      for (size_t i : perm) {
+        info->point_mapping.push_back(partition.dense[i]);
+      }
+    }
+  }
+  info->bytes_dense = b_dense.size();
+
+  // --- COR: conversion + grouping + scaling (Sections 3.3, 3.5). ---
+  std::vector<std::vector<uint32_t>> group_indices;
+  std::vector<ConvertedGroup> groups;
+  {
+    StageTimer t(&info->timings.conversion);
+    std::vector<double> radii(partition.sparse.size());
+    for (size_t i = 0; i < partition.sparse.size(); ++i) {
+      radii[i] = pc[partition.sparse[i]].Norm();
+    }
+    group_indices =
+        GroupByRadialDistance(partition.sparse, radii, opt.num_groups);
+
+    ConverterConfig config;
+    config.q_xyz = opt.q_xyz;
+    config.spherical = opt.enable_spherical_conversion;
+    config.radial_threshold = opt.radial_threshold;
+    config.reference_phi_factor = opt.reference_phi_factor;
+    config.sensor_u_theta = opt.sensor.AzimuthStep();
+    config.sensor_u_phi = opt.sensor.PolarStep();
+    config.radial_optimized = opt.enable_radial_optimized_delta;
+    groups.reserve(group_indices.size());
+    for (const auto& indices : group_indices) {
+      groups.push_back(ConvertGroup(pc, indices, config));
+    }
+  }
+
+  // --- ORG: polyline organization (Section 3.4, Algorithm 1). ---
+  std::vector<OrganizeResult> organized(groups.size());
+  std::vector<uint32_t> outlier_indices;
+  {
+    StageTimer t(&info->timings.organization);
+    for (size_t g = 0; g < groups.size(); ++g) {
+      organized[g] = OrganizeSparsePoints(
+          groups[g].role, groups[g].cartesian, groups[g].quantized,
+          groups[g].u_theta, groups[g].u_phi, opt.min_polyline_length);
+      for (uint32_t local : organized[g].outliers) {
+        outlier_indices.push_back(group_indices[g][local]);
+      }
+    }
+  }
+  info->num_outliers = outlier_indices.size();
+
+  // --- SPA: sparse coordinate compression (Section 3.5). ---
+  std::vector<ByteBuffer> group_streams(groups.size());
+  {
+    StageTimer t(&info->timings.sparse);
+    for (size_t g = 0; g < groups.size(); ++g) {
+      group_streams[g] = SparseCodec::EncodeGroup(organized[g].polylines,
+                                                  groups[g].params);
+      info->bytes_sparse += group_streams[g].size();
+      info->num_polylines += organized[g].polylines.size();
+      for (const Polyline& line : organized[g].polylines) {
+        info->num_sparse += line.size();
+        for (uint32_t local : line.source_indices) {
+          info->point_mapping.push_back(group_indices[g][local]);
+        }
+      }
+    }
+  }
+
+  // --- OUT: outlier compression (Section 3.6). ---
+  ByteBuffer b_outlier;
+  {
+    StageTimer t(&info->timings.outlier);
+    std::vector<uint32_t> outlier_order;
+    DBGC_ASSIGN_OR_RETURN(
+        b_outlier, OutlierCodec::Compress(pc, outlier_indices, opt.q_xyz,
+                                          opt.outlier_mode, &outlier_order));
+    for (uint32_t idx : outlier_order) info->point_mapping.push_back(idx);
+  }
+  info->bytes_outlier = b_outlier.size();
+
+  // --- Output layout (Figure 8). ---
+  ByteBuffer out;
+  out.Append(kMagic, 4);
+  out.AppendByte(kVersion);
+  out.AppendByte(EncodeFlags(opt));
+  out.AppendDouble(opt.q_xyz);
+  out.AppendLengthPrefixed(b_dense);
+  PutVarint64(&out, groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    // Per-group scaling factors: equivalent information to Figure 8's
+    // per-group r*_max (plus q_xyz), stored directly to avoid rederivation.
+    out.AppendDouble(groups[g].params.step_theta);
+    out.AppendDouble(groups[g].params.step_phi);
+    out.AppendDouble(groups[g].params.step_r);
+    PutSignedVarint64(&out, groups[g].params.th_r);
+    PutSignedVarint64(&out, groups[g].params.th_phi);
+    out.AppendLengthPrefixed(group_streams[g]);
+  }
+  out.AppendLengthPrefixed(b_outlier);
+  return out;
+}
+
+Result<PointCloud> DbgcCodec::Decompress(const ByteBuffer& buffer) const {
+  DbgcDecompressInfo info;
+  return DecompressWithInfo(buffer, &info);
+}
+
+Result<PointCloud> DbgcCodec::DecompressWithInfo(
+    const ByteBuffer& buffer, DbgcDecompressInfo* info) const {
+  *info = DbgcDecompressInfo();
+  ByteReader reader(buffer);
+  uint8_t magic[4];
+  DBGC_RETURN_NOT_OK(reader.Read(magic, 4));
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    return Status::Corruption("dbgc: bad magic");
+  }
+  uint8_t version, flags;
+  DBGC_RETURN_NOT_OK(reader.ReadByte(&version));
+  if (version != kVersion) return Status::Corruption("dbgc: bad version");
+  DBGC_RETURN_NOT_OK(reader.ReadByte(&flags));
+  const bool spherical = (flags & 1) != 0;
+  const bool radial_optimized = (flags & 2) != 0;
+  const auto outlier_mode = static_cast<OutlierMode>((flags >> 2) & 3);
+  double q_xyz;
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&q_xyz));
+  (void)q_xyz;
+
+  PointCloud out;
+
+  // Dense points.
+  {
+    StageTimer t(&info->timings.octree);
+    ByteBuffer b_dense;
+    DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&b_dense));
+    if (!b_dense.empty()) {
+      DBGC_ASSIGN_OR_RETURN(OctreeStructure tree,
+                            OctreeCodec::DeserializeStructure(b_dense));
+      const PointCloud dense = Octree::ExtractPoints(tree);
+      for (const Point3& p : dense) out.Add(p);
+    }
+  }
+
+  // Sparse groups.
+  uint64_t num_groups;
+  DBGC_RETURN_NOT_OK(GetVarint64(&reader, &num_groups));
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    SparseGroupParams params;
+    DBGC_RETURN_NOT_OK(reader.ReadDouble(&params.step_theta));
+    DBGC_RETURN_NOT_OK(reader.ReadDouble(&params.step_phi));
+    DBGC_RETURN_NOT_OK(reader.ReadDouble(&params.step_r));
+    DBGC_RETURN_NOT_OK(GetSignedVarint64(&reader, &params.th_r));
+    DBGC_RETURN_NOT_OK(GetSignedVarint64(&reader, &params.th_phi));
+    params.radial_optimized = radial_optimized;
+    ByteBuffer stream;
+    DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&stream));
+
+    std::vector<Polyline> lines;
+    {
+      StageTimer t(&info->timings.sparse);
+      DBGC_RETURN_NOT_OK(SparseCodec::DecodeGroup(stream, params, &lines));
+    }
+    {
+      StageTimer t(&info->timings.conversion);
+      for (const Polyline& line : lines) {
+        for (const QPoint& q : line.points) {
+          out.Add(ReconstructPoint(q, params, spherical));
+        }
+      }
+    }
+  }
+
+  // Outliers.
+  {
+    StageTimer t(&info->timings.outlier);
+    ByteBuffer b_outlier;
+    DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&b_outlier));
+    DBGC_ASSIGN_OR_RETURN(PointCloud outliers,
+                          OutlierCodec::Decompress(b_outlier, outlier_mode));
+    for (const Point3& p : outliers) out.Add(p);
+  }
+  return out;
+}
+
+}  // namespace dbgc

@@ -1,0 +1,86 @@
+// DbgcCodec: the end-to-end DBGC compression scheme (Section 3).
+//
+// Compression pipeline (Figure 2): density-based clustering -> octree
+// compression of dense points -> coordinate conversion -> radial grouping
+// -> polyline organization -> sparse coordinate compression -> outlier
+// compression -> output layout (Figure 8). Decompression reverses it.
+//
+// Besides the GeometryCodec interface, the class exposes instrumented
+// entry points returning stage timings (Figure 13) and the one-to-one
+// point mapping used by error verification.
+
+#ifndef DBGC_CORE_DBGC_CODEC_H_
+#define DBGC_CORE_DBGC_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "codec/codec.h"
+#include "core/options.h"
+
+namespace dbgc {
+
+/// Per-stage wall-clock seconds (the components of Figure 13).
+struct DbgcTimings {
+  double clustering = 0.0;    ///< DEN: density-based clustering.
+  double octree = 0.0;        ///< OCT: octree compression/decompression.
+  double conversion = 0.0;    ///< COR: coordinate conversion (+ scaling).
+  double organization = 0.0;  ///< ORG: point organization (Algorithm 1).
+  double sparse = 0.0;        ///< SPA: sparse coordinate codec (Steps 2-9).
+  double outlier = 0.0;       ///< OUT: outlier codec.
+
+  double Total() const {
+    return clustering + octree + conversion + organization + sparse + outlier;
+  }
+};
+
+/// Instrumentation of one compression run.
+struct DbgcCompressInfo {
+  DbgcTimings timings;
+  size_t num_dense = 0;
+  size_t num_sparse = 0;    ///< Sparse points on polylines.
+  size_t num_outliers = 0;
+  size_t num_polylines = 0;
+  size_t bytes_dense = 0;
+  size_t bytes_sparse = 0;
+  size_t bytes_outlier = 0;
+  /// Source index of each point the decompressor will emit, in emission
+  /// order: the one-to-one mapping M (Problem Statement).
+  std::vector<uint32_t> point_mapping;
+};
+
+/// Instrumentation of one decompression run.
+struct DbgcDecompressInfo {
+  DbgcTimings timings;
+};
+
+/// The DBGC geometry codec.
+class DbgcCodec : public GeometryCodec {
+ public:
+  /// Creates a codec with the given options (defaults = paper settings).
+  explicit DbgcCodec(DbgcOptions options = DbgcOptions());
+
+  std::string name() const override { return "DBGC"; }
+
+  /// Compresses under the options' q_xyz overridden by `q_xyz`.
+  Result<ByteBuffer> Compress(const PointCloud& pc,
+                              double q_xyz) const override;
+  Result<PointCloud> Decompress(const ByteBuffer& buffer) const override;
+
+  /// Compression with full instrumentation.
+  Result<ByteBuffer> CompressWithInfo(const PointCloud& pc,
+                                      DbgcCompressInfo* info) const;
+
+  /// Decompression with stage timings.
+  Result<PointCloud> DecompressWithInfo(const ByteBuffer& buffer,
+                                        DbgcDecompressInfo* info) const;
+
+  const DbgcOptions& options() const { return options_; }
+
+ private:
+  DbgcOptions options_;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_CORE_DBGC_CODEC_H_

@@ -1,0 +1,56 @@
+#include "core/density_partitioner.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "cluster/approx_clustering.h"
+#include "cluster/cell_clustering.h"
+
+namespace dbgc {
+
+Partition PartitionByDensity(const PointCloud& pc,
+                             const DbgcOptions& options) {
+  Partition part;
+  const size_t n = pc.size();
+
+  if (options.forced_dense_fraction >= 0.0) {
+    // Figure 10: the given fraction of points nearest the sensor is dense.
+    std::vector<uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return pc[a].SquaredNorm() < pc[b].SquaredNorm();
+    });
+    const size_t num_dense = static_cast<size_t>(
+        options.forced_dense_fraction * static_cast<double>(n) + 0.5);
+    part.dense.assign(order.begin(), order.begin() + std::min(num_dense, n));
+    part.sparse.assign(order.begin() + std::min(num_dense, n), order.end());
+    // Keep input order within each side (cosmetic; codecs re-sort anyway).
+    std::sort(part.dense.begin(), part.dense.end());
+    std::sort(part.sparse.begin(), part.sparse.end());
+    return part;
+  }
+
+  if (!options.enable_clustering) {
+    part.sparse.resize(n);
+    std::iota(part.sparse.begin(), part.sparse.end(), 0u);
+    return part;
+  }
+
+  const ClusteringParams params = ClusteringParams::FromErrorBound(
+      options.q_xyz, options.cluster_k, options.min_pts_scale);
+  const ClusteringResult result = options.use_approx_clustering
+                                      ? ApproxClustering(pc, params)
+                                      : CellClustering(pc, params);
+  part.dense.reserve(n / 2);
+  part.sparse.reserve(n / 2);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (result.is_dense[i]) {
+      part.dense.push_back(i);
+    } else {
+      part.sparse.push_back(i);
+    }
+  }
+  return part;
+}
+
+}  // namespace dbgc

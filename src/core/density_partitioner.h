@@ -1,0 +1,31 @@
+// Dense/sparse partitioning of a point cloud (Section 3.2).
+//
+// By default the split comes from density-based clustering with the
+// octree-derived parameters (epsilon = k*q, minPts = pi k^3/6), using
+// either the exact cell-based method or the approximate O(n) method.
+// For the Figure 10 experiment the split can instead be forced to "the
+// given fraction of points nearest to the sensor".
+
+#ifndef DBGC_CORE_DENSITY_PARTITIONER_H_
+#define DBGC_CORE_DENSITY_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/point_cloud.h"
+#include "core/options.h"
+
+namespace dbgc {
+
+/// The dense/sparse split, as index lists into the input cloud.
+struct Partition {
+  std::vector<uint32_t> dense;
+  std::vector<uint32_t> sparse;
+};
+
+/// Computes the dense/sparse partition per the options.
+Partition PartitionByDensity(const PointCloud& pc, const DbgcOptions& options);
+
+}  // namespace dbgc
+
+#endif  // DBGC_CORE_DENSITY_PARTITIONER_H_

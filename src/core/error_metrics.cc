@@ -1,0 +1,92 @@
+#include "core/error_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/bounding_box.h"
+#include "spatial/kdtree.h"
+
+namespace dbgc {
+
+Result<ErrorStats> MappedError(const PointCloud& original,
+                               const PointCloud& decoded,
+                               const std::vector<uint32_t>& mapping) {
+  if (original.size() != decoded.size() ||
+      mapping.size() != original.size()) {
+    return Status::InvalidArgument("mapped error: size mismatch");
+  }
+  std::vector<bool> seen(original.size(), false);
+  ErrorStats stats;
+  double sum = 0.0;
+  for (size_t i = 0; i < decoded.size(); ++i) {
+    const uint32_t src = mapping[i];
+    if (src >= original.size() || seen[src]) {
+      return Status::InvalidArgument("mapped error: not a permutation");
+    }
+    seen[src] = true;
+    const Point3 diff = decoded[i] - original[src];
+    const double d = diff.Norm();
+    sum += d;
+    stats.max_euclidean = std::max(stats.max_euclidean, d);
+    stats.max_per_dim = std::max(
+        stats.max_per_dim,
+        std::max(std::fabs(diff.x), std::max(std::fabs(diff.y),
+                                             std::fabs(diff.z))));
+  }
+  stats.mean_euclidean =
+      original.empty() ? 0.0 : sum / static_cast<double>(original.size());
+  return stats;
+}
+
+ErrorStats NearestNeighborError(const PointCloud& original,
+                                const PointCloud& decoded) {
+  ErrorStats stats;
+  if (original.empty() || decoded.empty()) return stats;
+  const KdTree original_tree(original);
+  const KdTree decoded_tree(decoded);
+  double sum = 0.0;
+  for (const Point3& p : original) {
+    const int nn = decoded_tree.Nearest(p);
+    const Point3 diff = decoded[nn] - p;
+    const double d = diff.Norm();
+    sum += d;
+    stats.max_euclidean = std::max(stats.max_euclidean, d);
+    stats.max_per_dim = std::max(
+        stats.max_per_dim,
+        std::max(std::fabs(diff.x), std::max(std::fabs(diff.y),
+                                             std::fabs(diff.z))));
+  }
+  for (const Point3& p : decoded) {
+    const int nn = original_tree.Nearest(p);
+    const Point3 diff = original[nn] - p;
+    const double d = diff.Norm();
+    stats.max_euclidean = std::max(stats.max_euclidean, d);
+    stats.max_per_dim = std::max(
+        stats.max_per_dim,
+        std::max(std::fabs(diff.x), std::max(std::fabs(diff.y),
+                                             std::fabs(diff.z))));
+  }
+  stats.mean_euclidean = sum / static_cast<double>(original.size());
+  return stats;
+}
+
+double D1Psnr(const PointCloud& original, const PointCloud& decoded) {
+  if (original.empty() || decoded.empty()) return 0.0;
+  const KdTree original_tree(original);
+  const KdTree decoded_tree(decoded);
+  double sum_sq = 0.0;
+  for (const Point3& p : original) {
+    sum_sq += (decoded[decoded_tree.Nearest(p)] - p).SquaredNorm();
+  }
+  for (const Point3& p : decoded) {
+    sum_sq += (original[original_tree.Nearest(p)] - p).SquaredNorm();
+  }
+  const double mse =
+      sum_sq / static_cast<double>(original.size() + decoded.size());
+  if (mse == 0.0) return std::numeric_limits<double>::infinity();
+  const double peak = BoundingBox::Of(original).MaxExtent();
+  return 10.0 * std::log10(3.0 * peak * peak / mse);
+}
+
+}  // namespace dbgc

@@ -1,0 +1,42 @@
+// Error metrics between an original cloud and its decompressed counterpart
+// (Definition 2.2 and the Problem Statement of Section 2.1).
+
+#ifndef DBGC_CORE_ERROR_METRICS_H_
+#define DBGC_CORE_ERROR_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/point_cloud.h"
+#include "common/status.h"
+
+namespace dbgc {
+
+/// Aggregate error statistics over a point mapping.
+struct ErrorStats {
+  double max_euclidean = 0.0;   ///< Max Euclidean distance over pairs.
+  double max_per_dim = 0.0;     ///< Max |dx|, |dy|, |dz| over pairs.
+  double mean_euclidean = 0.0;  ///< Mean Euclidean distance.
+};
+
+/// Errors under an explicit one-to-one mapping: decoded[i] corresponds to
+/// original[mapping[i]]. mapping must be a permutation of [0, n).
+Result<ErrorStats> MappedError(const PointCloud& original,
+                               const PointCloud& decoded,
+                               const std::vector<uint32_t>& mapping);
+
+/// Symmetric nearest-neighbour (max-Chamfer) error: for codecs without an
+/// explicit mapping. max over both directions of each point's distance to
+/// the nearest point on the other side.
+ErrorStats NearestNeighborError(const PointCloud& original,
+                                const PointCloud& decoded);
+
+/// D1 point-to-point PSNR in dB, the standard MPEG PCC geometry metric:
+/// 10*log10(3*peak^2 / symmetric-mean-squared NN error), with `peak` the
+/// original cloud's largest bounding-box side. Returns +inf for identical
+/// clouds and 0 for empty input.
+double D1Psnr(const PointCloud& original, const PointCloud& decoded);
+
+}  // namespace dbgc
+
+#endif  // DBGC_CORE_ERROR_METRICS_H_

@@ -1,0 +1,22 @@
+#include "core/options.h"
+
+namespace dbgc {
+
+const char* DbgcOptions::Validate() const {
+  if (q_xyz <= 0) return "q_xyz must be positive";
+  if (cluster_k < 2) return "cluster_k must be at least 2 (Section 3.2)";
+  if (min_pts_scale <= 0) return "min_pts_scale must be positive";
+  if (num_groups < 1) return "num_groups must be at least 1";
+  if (min_polyline_length < 1) return "min_polyline_length must be >= 1";
+  if (radial_threshold <= 0) return "radial_threshold must be positive";
+  if (reference_phi_factor <= 0) return "reference_phi_factor must be positive";
+  if (sensor.horizontal_samples <= 0 || sensor.vertical_samples <= 0) {
+    return "sensor sample counts must be positive";
+  }
+  if (forced_dense_fraction > 1.0) {
+    return "forced_dense_fraction must be <= 1";
+  }
+  return nullptr;
+}
+
+}  // namespace dbgc

@@ -1,0 +1,79 @@
+// DbgcOptions: every tunable of the DBGC compression scheme, with the
+// paper's defaults (Sections 3.2-3.6). The ablation switches reproduce the
+// -Radial / -Group / -Conversion variants of Section 4.3 and the outlier
+// alternatives of Table 2.
+
+#ifndef DBGC_CORE_OPTIONS_H_
+#define DBGC_CORE_OPTIONS_H_
+
+#include "lidar/sensor_model.h"
+
+namespace dbgc {
+
+/// How sparse points left out of all polylines are compressed (Section 3.6
+/// and Table 2).
+enum class OutlierMode {
+  kQuadtree,  ///< 2D quadtree on (x, y) + delta/entropy coded z (default).
+  kOctree,    ///< 3D octree codec on the outliers.
+  kNone,      ///< Outliers stored as raw 32-bit floats (uncompressed).
+};
+
+/// Configuration of the DBGC codec.
+struct DbgcOptions {
+  /// Per-dimension Cartesian error bound q_xyz in meters (default: the
+  /// typical LiDAR measurement accuracy of 0.02 m).
+  double q_xyz = 0.02;
+
+  /// Density clustering scale k: epsilon = k * q_xyz (Section 3.2).
+  int cluster_k = 10;
+  /// Multiplier on the derived minPts = pi k^3 / 6. The paper's formula
+  /// counts every octree leaf cell in the epsilon-ball, but a LiDAR sweep
+  /// is locally a 2D surface that occupies only the ball's cross-section,
+  /// a fraction of roughly (pi k^2 / 4) / (pi k^3 / 6) = 3 / (2k) of those
+  /// cells. The default applies that surface correction (with a small
+  /// margin), which reproduces the paper's reported ~40% dense points and
+  /// maximizes the measured ratio across scene families; set to 1.0 for
+  /// the uncorrected formula.
+  double min_pts_scale = 0.10;
+  /// Use the approximate O(n) clustering (Section 4.3) instead of the exact
+  /// cell-based method. Enabled by default (1.2x end-to-end speedup).
+  bool use_approx_clustering = true;
+  /// Master switch for density-based clustering. When false, no point is
+  /// dense unless forced_dense_fraction overrides.
+  bool enable_clustering = true;
+  /// Figure 10 control: when in [0, 1], clustering is bypassed and this
+  /// fraction of points nearest to the sensor is compressed by the octree.
+  /// Negative (default) = use density clustering.
+  double forced_dense_fraction = -1.0;
+
+  /// Spherical conversion for sparse points (Section 3.3). Disabling
+  /// reproduces the -Conversion ablation (polylines in Cartesian space).
+  bool enable_spherical_conversion = true;
+  /// Radial-distance-optimized delta encoding (Section 3.5, Step 8).
+  /// Disabling (-Radial) falls back to plain in-line delta coding of r.
+  bool enable_radial_optimized_delta = true;
+  /// Number of radial groups for sparse points (Section 3.5, Point
+  /// Grouping). 1 disables grouping (-Group). Paper default: 3.
+  int num_groups = 3;
+
+  /// Minimum points for a polyline to survive; shorter polylines dissolve
+  /// into outliers.
+  int min_polyline_length = 2;
+  /// TH_r: radial flatness threshold in meters (Section 3.5, Step 8).
+  double radial_threshold = 2.0;
+  /// TH_phi as a multiple of u_phi (Definition 3.4; paper: 2).
+  double reference_phi_factor = 2.0;
+
+  /// Outlier compression scheme (Table 2).
+  OutlierMode outlier_mode = OutlierMode::kQuadtree;
+
+  /// Sensor metadata supplying u_theta / u_phi for polyline extraction.
+  SensorMetadata sensor = SensorMetadata::VelodyneHdl64e();
+
+  /// Validates parameter ranges; returns a human-readable issue or empty.
+  const char* Validate() const;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_CORE_OPTIONS_H_

@@ -1,0 +1,252 @@
+#include "core/outlier_codec.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "bitio/varint.h"
+#include "codec/octree_codec.h"
+#include "encoding/delta.h"
+#include "encoding/quantizer.h"
+#include "encoding/value_codec.h"
+#include "entropy/arithmetic_coder.h"
+#include "spatial/octree.h"
+#include "spatial/quadtree.h"
+
+namespace dbgc {
+
+namespace {
+
+ByteBuffer SerializeQuadtree(const QuadtreeStructure& tree) {
+  ByteBuffer out;
+  out.AppendDouble(tree.origin_x);
+  out.AppendDouble(tree.origin_y);
+  out.AppendDouble(tree.side);
+  out.AppendByte(static_cast<uint8_t>(tree.depth));
+  PutVarint64(&out, tree.num_leaves());
+
+  AdaptiveModel model(16);
+  ArithmeticEncoder enc;
+  for (const auto& level : tree.levels) {
+    for (uint8_t occ : level) {
+      enc.Encode(model.Lookup(occ));
+      model.Update(occ);
+    }
+  }
+  out.AppendLengthPrefixed(enc.Finish());
+
+  std::vector<uint64_t> extra_counts;
+  extra_counts.reserve(tree.leaf_counts.size());
+  for (uint32_t c : tree.leaf_counts) extra_counts.push_back(c - 1);
+  out.AppendLengthPrefixed(UnsignedValueCodec::Compress(extra_counts));
+  return out;
+}
+
+Result<QuadtreeStructure> DeserializeQuadtree(ByteReader* reader) {
+  QuadtreeStructure tree;
+  DBGC_RETURN_NOT_OK(reader->ReadDouble(&tree.origin_x));
+  DBGC_RETURN_NOT_OK(reader->ReadDouble(&tree.origin_y));
+  DBGC_RETURN_NOT_OK(reader->ReadDouble(&tree.side));
+  uint8_t depth;
+  DBGC_RETURN_NOT_OK(reader->ReadByte(&depth));
+  if (depth > Quadtree::kMaxDepth) {
+    return Status::Corruption("outlier codec: bad quadtree depth");
+  }
+  tree.depth = depth;
+  uint64_t num_leaves;
+  DBGC_RETURN_NOT_OK(GetVarint64(reader, &num_leaves));
+  if (num_leaves > kMaxReasonableCount) {
+    return Status::Corruption("outlier codec: implausible leaf count");
+  }
+  ByteBuffer occ_stream, counts_stream;
+  DBGC_RETURN_NOT_OK(reader->ReadLengthPrefixed(&occ_stream));
+  DBGC_RETURN_NOT_OK(reader->ReadLengthPrefixed(&counts_stream));
+
+  tree.levels.assign(tree.depth, {});
+  if (num_leaves == 0) return tree;
+
+  AdaptiveModel model(16);
+  ArithmeticDecoder dec(occ_stream);
+  size_t nodes_at_level = 1;
+  for (int l = 0; l < tree.depth; ++l) {
+    auto& level = tree.levels[l];
+    size_t children = 0;
+    for (size_t i = 0; i < nodes_at_level; ++i) {
+      const uint32_t target = dec.DecodeTarget(model.total());
+      SymbolRange range;
+      const uint32_t symbol = model.FindSymbol(target, &range);
+      dec.Advance(range);
+      model.Update(symbol);
+      if (symbol == 0) {
+        return Status::Corruption("outlier codec: empty quadtree occupancy");
+      }
+      level.push_back(static_cast<uint8_t>(symbol));
+      children += __builtin_popcount(symbol);
+    }
+    if (children > kMaxReasonableCount) {
+      return Status::Corruption("outlier codec: runaway expansion");
+    }
+    nodes_at_level = children;
+  }
+  if (nodes_at_level != num_leaves) {
+    return Status::Corruption("outlier codec: quadtree leaf mismatch");
+  }
+
+  std::vector<uint64_t> extra_counts;
+  DBGC_RETURN_NOT_OK(
+      UnsignedValueCodec::Decompress(counts_stream, &extra_counts));
+  if (extra_counts.size() != num_leaves) {
+    return Status::Corruption("outlier codec: quadtree counts mismatch");
+  }
+  for (uint64_t c : extra_counts) {
+    tree.leaf_counts.push_back(static_cast<uint32_t>(c + 1));
+  }
+  return tree;
+}
+
+}  // namespace
+
+Result<ByteBuffer> OutlierCodec::Compress(
+    const PointCloud& pc, const std::vector<uint32_t>& indices, double q_xyz,
+    OutlierMode mode, std::vector<uint32_t>* encoded_order) {
+  encoded_order->clear();
+  ByteBuffer out;
+  PutVarint64(&out, indices.size());
+  if (indices.empty()) return out;
+
+  switch (mode) {
+    case OutlierMode::kNone: {
+      // Raw 32-bit floats; the order is unchanged.
+      *encoded_order = indices;
+      for (uint32_t idx : indices) {
+        const Point3& p = pc[idx];
+        const float v[3] = {static_cast<float>(p.x), static_cast<float>(p.y),
+                            static_cast<float>(p.z)};
+        uint8_t bytes[12];
+        std::memcpy(bytes, v, 12);
+        out.Append(bytes, 12);
+      }
+      return out;
+    }
+    case OutlierMode::kOctree: {
+      PointCloud sub;
+      sub.Reserve(indices.size());
+      for (uint32_t idx : indices) sub.Add(pc[idx]);
+      DBGC_ASSIGN_OR_RETURN(OctreeStructure tree,
+                            Octree::Build(sub, 2.0 * q_xyz));
+      // Decoded order = Morton order of leaf keys (duplicates grouped);
+      // reproduce it with a stable sort of the source indices.
+      std::vector<uint32_t> order(indices.begin(), indices.end());
+      std::vector<uint64_t> keys(indices.size());
+      for (size_t i = 0; i < indices.size(); ++i) {
+        keys[i] = Octree::LeafKeyOf(pc[indices[i]], tree.root, tree.depth);
+      }
+      std::vector<size_t> perm(indices.size());
+      for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+      std::stable_sort(perm.begin(), perm.end(),
+                       [&](size_t a, size_t b) { return keys[a] < keys[b]; });
+      encoded_order->reserve(indices.size());
+      for (size_t i : perm) encoded_order->push_back(indices[i]);
+      out.AppendLengthPrefixed(OctreeCodec::SerializeStructure(tree));
+      return out;
+    }
+    case OutlierMode::kQuadtree:
+      break;
+  }
+
+  // Default: 2D quadtree on (x, y) + delta/entropy coded z attribute.
+  std::vector<Point2> xy;
+  xy.reserve(indices.size());
+  for (uint32_t idx : indices) xy.push_back(Point2{pc[idx].x, pc[idx].y});
+  DBGC_ASSIGN_OR_RETURN(QuadtreeStructure tree,
+                        Quadtree::Build(xy, 2.0 * q_xyz));
+
+  // Decoded (x, y) come out in Morton leaf order; store z in that order.
+  std::vector<uint64_t> keys(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    keys[i] = Quadtree::LeafKeyOf(xy[i].x, xy[i].y, tree);
+  }
+  std::vector<size_t> perm(indices.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](size_t a, size_t b) { return keys[a] < keys[b]; });
+  encoded_order->reserve(indices.size());
+  const Quantizer qz(q_xyz);
+  std::vector<int64_t> z_values;
+  z_values.reserve(indices.size());
+  for (size_t i : perm) {
+    encoded_order->push_back(indices[i]);
+    z_values.push_back(qz.Quantize(pc[indices[i]].z));
+  }
+
+  out.AppendDouble(q_xyz);
+  out.AppendLengthPrefixed(SerializeQuadtree(tree));
+  out.AppendLengthPrefixed(
+      SignedValueCodec::Compress(DeltaEncode(z_values)));  // B_delta_z
+  return out;
+}
+
+Result<PointCloud> OutlierCodec::Decompress(const ByteBuffer& buffer,
+                                            OutlierMode mode) {
+  ByteReader reader(buffer);
+  uint64_t count;
+  DBGC_RETURN_NOT_OK(GetVarint64(&reader, &count));
+  if (count > kMaxReasonableCount) {
+    return Status::Corruption("outlier codec: implausible count");
+  }
+  PointCloud pc;
+  if (count == 0) return pc;
+  pc.Reserve(count);
+
+  switch (mode) {
+    case OutlierMode::kNone: {
+      for (uint64_t i = 0; i < count; ++i) {
+        uint8_t bytes[12];
+        DBGC_RETURN_NOT_OK(reader.Read(bytes, 12));
+        float v[3];
+        std::memcpy(v, bytes, 12);
+        pc.Add(v[0], v[1], v[2]);
+      }
+      return pc;
+    }
+    case OutlierMode::kOctree: {
+      ByteBuffer tree_stream;
+      DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&tree_stream));
+      DBGC_ASSIGN_OR_RETURN(OctreeStructure tree,
+                            OctreeCodec::DeserializeStructure(tree_stream));
+      PointCloud sub = Octree::ExtractPoints(tree);
+      if (sub.size() != count) {
+        return Status::Corruption("outlier codec: octree point mismatch");
+      }
+      return sub;
+    }
+    case OutlierMode::kQuadtree:
+      break;
+  }
+
+  double q_xyz;
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&q_xyz));
+  ByteBuffer tree_stream, z_stream;
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&tree_stream));
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&z_stream));
+
+  ByteReader tree_reader(tree_stream);
+  DBGC_ASSIGN_OR_RETURN(QuadtreeStructure tree,
+                        DeserializeQuadtree(&tree_reader));
+  const std::vector<Point2> xy = Quadtree::ExtractPoints(tree);
+  if (xy.size() != count) {
+    return Status::Corruption("outlier codec: quadtree point mismatch");
+  }
+  std::vector<int64_t> z_deltas;
+  DBGC_RETURN_NOT_OK(SignedValueCodec::Decompress(z_stream, &z_deltas));
+  if (z_deltas.size() != count) {
+    return Status::Corruption("outlier codec: z stream mismatch");
+  }
+  const std::vector<int64_t> z_values = DeltaDecode(z_deltas);
+  const Quantizer qz(q_xyz);
+  for (uint64_t i = 0; i < count; ++i) {
+    pc.Add(xy[i].x, xy[i].y, qz.Reconstruct(z_values[i]));
+  }
+  return pc;
+}
+
+}  // namespace dbgc

@@ -1,0 +1,40 @@
+// Optimized outlier compression (Section 3.6).
+//
+// Outliers (sparse points on no polyline) are compressed in Cartesian
+// coordinates: a 2D quadtree over (x, y) - LiDAR scenes are wide and flat,
+// so a 3D octree would waste its z dimension - plus the z coordinates as a
+// delta-encoded, entropy-coded attribute sequence in quadtree leaf order.
+// The alternatives of Table 2 (3D octree; no compression) are selectable.
+
+#ifndef DBGC_CORE_OUTLIER_CODEC_H_
+#define DBGC_CORE_OUTLIER_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitio/byte_buffer.h"
+#include "common/point_cloud.h"
+#include "common/status.h"
+#include "core/options.h"
+
+namespace dbgc {
+
+/// Compresses/decompresses the outlier subset.
+class OutlierCodec {
+ public:
+  /// Compresses the points of `pc` selected by `indices` under error bound
+  /// q_xyz. On return, `encoded_order` holds the source indices in the
+  /// order the decompressor will emit the points (the one-to-one mapping).
+  static Result<ByteBuffer> Compress(const PointCloud& pc,
+                                     const std::vector<uint32_t>& indices,
+                                     double q_xyz, OutlierMode mode,
+                                     std::vector<uint32_t>* encoded_order);
+
+  /// Decompresses an outlier stream produced with the same mode.
+  static Result<PointCloud> Decompress(const ByteBuffer& buffer,
+                                       OutlierMode mode);
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_CORE_OUTLIER_CODEC_H_

@@ -1,0 +1,34 @@
+#include "core/point_grouper.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dbgc {
+
+std::vector<std::vector<uint32_t>> GroupByRadialDistance(
+    const std::vector<uint32_t>& indices, const std::vector<double>& radii,
+    int num_groups) {
+  assert(indices.size() == radii.size());
+  std::vector<std::vector<uint32_t>> groups(
+      static_cast<size_t>(num_groups < 1 ? 1 : num_groups));
+  if (indices.empty()) return groups;
+  if (groups.size() == 1) {
+    groups[0] = indices;
+    return groups;
+  }
+  // Quantile boundaries: sort radii once, cut at even ranks.
+  std::vector<double> sorted = radii;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> bounds(groups.size() - 1);
+  for (size_t g = 0; g + 1 < groups.size(); ++g) {
+    bounds[g] = sorted[(g + 1) * sorted.size() / groups.size()];
+  }
+  for (size_t i = 0; i < indices.size(); ++i) {
+    size_t g = 0;
+    while (g < bounds.size() && radii[i] >= bounds[g]) ++g;
+    groups[g].push_back(indices[i]);
+  }
+  return groups;
+}
+
+}  // namespace dbgc

@@ -1,0 +1,28 @@
+// Sparse point grouping (Section 3.5, "Point Grouping").
+//
+// The angular error bounds q_theta = q_phi = q_xyz / r_max guard the
+// farthest point; points near the sensor could tolerate coarser angles.
+// Splitting sparse points into radial groups and scaling each group by its
+// own r_max recovers that slack. The paper uses 3 groups.
+
+#ifndef DBGC_CORE_POINT_GROUPER_H_
+#define DBGC_CORE_POINT_GROUPER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dbgc {
+
+/// Splits point indices into `num_groups` groups evenly by radial distance
+/// (radial quantile boundaries, so the groups are evenly sized and each
+/// near group earns a coarser angular scaling factor from its smaller
+/// r_max). `radii[i]` is the radial distance of the point at `indices[i]`.
+/// Groups may be empty; the returned values are the same identifiers
+/// passed in.
+std::vector<std::vector<uint32_t>> GroupByRadialDistance(
+    const std::vector<uint32_t>& indices, const std::vector<double>& radii,
+    int num_groups);
+
+}  // namespace dbgc
+
+#endif  // DBGC_CORE_POINT_GROUPER_H_

@@ -1,0 +1,5 @@
+#include "core/polyline.h"
+
+// Polyline is a plain data type; this file anchors the module.
+
+namespace dbgc {}  // namespace dbgc

@@ -1,0 +1,44 @@
+// Polyline types for sparse-point organization (Section 3.4).
+//
+// After quantization a sparse point is a triple of integers (theta, phi, r
+// in units of the per-dimension scaling factors). The decoder reconstructs
+// polylines in exactly this quantized form, so every cross-polyline
+// decision (reference selection in Step 8) is made on quantized values to
+// keep encoder and decoder in lockstep.
+
+#ifndef DBGC_CORE_POLYLINE_H_
+#define DBGC_CORE_POLYLINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dbgc {
+
+/// A quantized spherical point on a polyline.
+struct QPoint {
+  int64_t theta = 0;  ///< Azimuthal angle in units of 2*q_theta.
+  int64_t phi = 0;    ///< Polar angle in units of 2*q_phi.
+  int64_t r = 0;      ///< Radial distance in units of 2*q_r.
+};
+
+/// A polyline: a sequence of quantized points ordered by ascending theta.
+struct Polyline {
+  std::vector<QPoint> points;
+  /// Index of each point in the encoder's input ordering; empty on the
+  /// decoder side. Used to build the one-to-one mapping.
+  std::vector<uint32_t> source_indices;
+
+  size_t size() const { return points.size(); }
+  bool empty() const { return points.empty(); }
+  const QPoint& front() const { return points.front(); }
+  const QPoint& back() const { return points.back(); }
+
+  /// The polar angle of the polyline: the phi of its first point
+  /// (Section 3.4, polyline sorting).
+  int64_t PolarAngle() const { return points.front().phi; }
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_CORE_POLYLINE_H_

@@ -1,0 +1,176 @@
+#include "core/polyline_organizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace dbgc {
+
+namespace {
+
+// Hash grid over the (theta, phi) plane for candidate search. Cells are
+// 2*u_theta wide and u_phi tall so an extension query touches at most a
+// 2 x 3 cell block.
+class PlaneGrid {
+ public:
+  PlaneGrid(const std::vector<SphericalPoint>& pts, double u_theta,
+            double u_phi)
+      : pts_(pts),
+        inv_w_(1.0 / (2.0 * u_theta)),
+        inv_h_(1.0 / u_phi) {
+    cells_.reserve(pts.size() / 2 + 8);
+    for (uint32_t i = 0; i < pts.size(); ++i) {
+      cells_[KeyFor(pts[i].theta, pts[i].phi)].push_back(i);
+    }
+  }
+
+  /// Finds the unused point minimizing `distance(idx)` among points with
+  /// theta in (theta_lo, theta_hi] and phi in [phi_lo, phi_hi].
+  /// Returns -1 if none.
+  template <typename DistanceFn>
+  int FindBest(double theta_lo, double theta_hi, double phi_lo,
+               double phi_hi, const std::vector<bool>& used,
+               DistanceFn&& distance) const {
+    int best = -1;
+    double best_d = std::numeric_limits<double>::infinity();
+    const int64_t cx0 = CellX(theta_lo);
+    const int64_t cx1 = CellX(theta_hi);
+    const int64_t cy0 = CellY(phi_lo);
+    const int64_t cy1 = CellY(phi_hi);
+    for (int64_t cx = cx0; cx <= cx1; ++cx) {
+      for (int64_t cy = cy0; cy <= cy1; ++cy) {
+        const auto it = cells_.find(Key(cx, cy));
+        if (it == cells_.end()) continue;
+        for (uint32_t idx : it->second) {
+          if (used[idx]) continue;
+          const SphericalPoint& s = pts_[idx];
+          if (s.theta <= theta_lo || s.theta > theta_hi) continue;
+          if (s.phi < phi_lo || s.phi > phi_hi) continue;
+          const double d = distance(idx);
+          if (d < best_d) {
+            best_d = d;
+            best = static_cast<int>(idx);
+          }
+        }
+      }
+    }
+    return best;
+  }
+
+ private:
+  int64_t CellX(double theta) const {
+    return static_cast<int64_t>(std::floor(theta * inv_w_));
+  }
+  int64_t CellY(double phi) const {
+    return static_cast<int64_t>(std::floor(phi * inv_h_));
+  }
+  static uint64_t Key(int64_t cx, int64_t cy) {
+    return (static_cast<uint64_t>(cx + (1LL << 31)) << 32) |
+           static_cast<uint64_t>(cy + (1LL << 31));
+  }
+  uint64_t KeyFor(double theta, double phi) const {
+    return Key(CellX(theta), CellY(phi));
+  }
+
+  const std::vector<SphericalPoint>& pts_;
+  double inv_w_;
+  double inv_h_;
+  std::unordered_map<uint64_t, std::vector<uint32_t>> cells_;
+};
+
+}  // namespace
+
+OrganizeResult OrganizeSparsePoints(
+    const std::vector<SphericalPoint>& role_coords,
+    const std::vector<Point3>& cartesian,
+    const std::vector<QPoint>& quantized, double u_theta, double u_phi,
+    int min_polyline_length) {
+  OrganizeResult result;
+  const size_t n = role_coords.size();
+  if (n == 0) return result;
+
+  PlaneGrid grid(role_coords, u_theta, u_phi);
+  std::vector<bool> used(n, false);
+
+  // Seeds in (phi, theta) order for determinism.
+  std::vector<uint32_t> seed_order(n);
+  for (uint32_t i = 0; i < n; ++i) seed_order[i] = i;
+  std::sort(seed_order.begin(), seed_order.end(), [&](uint32_t a, uint32_t b) {
+    if (role_coords[a].phi != role_coords[b].phi) {
+      return role_coords[a].phi < role_coords[b].phi;
+    }
+    return role_coords[a].theta < role_coords[b].theta;
+  });
+
+  std::vector<std::vector<uint32_t>> raw_lines;
+  for (uint32_t seed : seed_order) {
+    if (used[seed]) continue;
+    used[seed] = true;
+    const double phi_lo = role_coords[seed].phi - u_phi;
+    const double phi_hi = role_coords[seed].phi + u_phi;
+
+    std::vector<uint32_t> right{seed};
+    // Extend to the right: candidate theta in (theta_tail, theta_tail+2u].
+    for (;;) {
+      const uint32_t tail = right.back();
+      const Point3& tail_cart = cartesian[tail];
+      const int next = grid.FindBest(
+          role_coords[tail].theta, role_coords[tail].theta + 2.0 * u_theta,
+          phi_lo, phi_hi, used,
+          [&](uint32_t idx) { return (cartesian[idx] - tail_cart).SquaredNorm(); });
+      if (next < 0) break;
+      used[next] = true;
+      right.push_back(static_cast<uint32_t>(next));
+    }
+    // Extend to the left: candidate theta in [theta_head - 2u, theta_head).
+    std::vector<uint32_t> left;
+    for (;;) {
+      const uint32_t head = left.empty() ? seed : left.back();
+      const Point3& head_cart = cartesian[head];
+      // FindBest uses a half-open (lo, hi] window; mirror it for the left
+      // by offsetting an epsilon below the head's theta.
+      const double head_theta = role_coords[head].theta;
+      const int next = grid.FindBest(
+          head_theta - 2.0 * u_theta - 1e-15, head_theta - 1e-15, phi_lo,
+          phi_hi, used,
+          [&](uint32_t idx) { return (cartesian[idx] - head_cart).SquaredNorm(); });
+      if (next < 0) break;
+      used[next] = true;
+      left.push_back(static_cast<uint32_t>(next));
+    }
+    std::vector<uint32_t> line;
+    line.reserve(left.size() + right.size());
+    for (auto it = left.rbegin(); it != left.rend(); ++it) line.push_back(*it);
+    line.insert(line.end(), right.begin(), right.end());
+    raw_lines.push_back(std::move(line));
+  }
+
+  // Short polylines dissolve into outliers.
+  std::vector<Polyline> polylines;
+  for (auto& line : raw_lines) {
+    if (static_cast<int>(line.size()) < min_polyline_length) {
+      for (uint32_t idx : line) result.outliers.push_back(idx);
+      continue;
+    }
+    Polyline pl;
+    pl.points.reserve(line.size());
+    pl.source_indices = std::move(line);
+    for (uint32_t idx : pl.source_indices) pl.points.push_back(quantized[idx]);
+    polylines.push_back(std::move(pl));
+  }
+
+  // Sort by (polar angle of head, azimuth of head) on quantized values so
+  // the order is exactly reproducible from the decoded streams.
+  std::sort(polylines.begin(), polylines.end(),
+            [](const Polyline& a, const Polyline& b) {
+              if (a.PolarAngle() != b.PolarAngle()) {
+                return a.PolarAngle() < b.PolarAngle();
+              }
+              return a.front().theta < b.front().theta;
+            });
+  result.polylines = std::move(polylines);
+  return result;
+}
+
+}  // namespace dbgc

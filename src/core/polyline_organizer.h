@@ -1,0 +1,49 @@
+// Point organization: Algorithm 1 of the paper (Section 3.4).
+//
+// Sparse points are organized into roughly horizontal polylines in the
+// (theta, phi) plane: starting from a seed point, a polyline greedily
+// extends right and left to the nearest (3D Euclidean) candidate whose
+// polar angle stays within +-u_phi of the seed and whose azimuthal step is
+// within (0, 2*u_theta]. Points on polylines shorter than the minimum
+// length are returned as outliers. The resulting polylines are sorted by
+// (polar angle, head azimuth).
+//
+// The organizer is coordinate-role agnostic: for the -Conversion ablation
+// the same routine runs with (x, y, z) playing the roles of
+// (theta, phi, r).
+
+#ifndef DBGC_CORE_POLYLINE_ORGANIZER_H_
+#define DBGC_CORE_POLYLINE_ORGANIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/point_cloud.h"
+#include "core/polyline.h"
+
+namespace dbgc {
+
+/// Output of Algorithm 1.
+struct OrganizeResult {
+  /// Polylines sorted by ascending (polar angle of head, azimuth of head),
+  /// each with quantized points and their source indices.
+  std::vector<Polyline> polylines;
+  /// Indices (into the input arrays) of points on no surviving polyline.
+  std::vector<uint32_t> outliers;
+};
+
+/// Runs Algorithm 1 on one group of sparse points.
+///
+/// `role_coords[i]` supplies the (theta, phi) extraction plane for point i,
+/// `cartesian[i]` the actual 3D position used for candidate distance, and
+/// `quantized[i]` the integer coordinates stored on the polylines.
+/// `u_theta` / `u_phi` are the average sampling steps (Section 3.3).
+OrganizeResult OrganizeSparsePoints(const std::vector<SphericalPoint>& role_coords,
+                                    const std::vector<Point3>& cartesian,
+                                    const std::vector<QPoint>& quantized,
+                                    double u_theta, double u_phi,
+                                    int min_polyline_length);
+
+}  // namespace dbgc
+
+#endif  // DBGC_CORE_POLYLINE_ORGANIZER_H_

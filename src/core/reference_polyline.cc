@@ -1,0 +1,95 @@
+#include "core/reference_polyline.h"
+
+#include <algorithm>
+
+namespace dbgc {
+
+ConsensusLine ConsensusLine::Build(const std::vector<Polyline>& lines,
+                                   size_t line_index, int64_t th_phi) {
+  ConsensusLine consensus;
+  if (line_index == 0) return consensus;
+  const int64_t phi_l = lines[line_index].PolarAngle();
+  // Collect the reference set: preceding polylines within TH_phi. Lines are
+  // sorted by polar angle, so scanning backwards stops at the first line
+  // too far below (ties and equal angles are all included).
+  // Later polylines overwrite the azimuthal span of earlier ones during the
+  // merge, so only the most recent members of the reference set contribute;
+  // capping the set keeps construction linear without changing the
+  // consensus materially. The cap is part of the codec definition (encoder
+  // and decoder replay it identically).
+  constexpr size_t kMaxReferenceLines = 8;
+  size_t first = line_index;
+  while (first > 0 && line_index - first < kMaxReferenceLines) {
+    const int64_t phi_prev = lines[first - 1].PolarAngle();
+    const int64_t diff =
+        phi_l >= phi_prev ? phi_l - phi_prev : phi_prev - phi_l;
+    if (diff > th_phi) break;
+    --first;
+  }
+  // Merge in <PL> order so later polylines overwrite earlier spans.
+  for (size_t i = first; i < line_index; ++i) consensus.Merge(lines[i]);
+  return consensus;
+}
+
+void ConsensusLine::Merge(const Polyline& line) {
+  if (line.empty()) return;
+  if (points_.empty() || points_.back().theta < line.front().theta) {
+    for (const QPoint& p : line.points) {
+      points_.push_back(ConsensusPoint{p.theta, p.r});
+    }
+    return;
+  }
+  // id_left: leftmost consensus point with theta greater than the head of
+  // the incoming line; id_right: rightmost point with theta less than its
+  // tail. The consensus points in [id_left, id_right] are replaced.
+  const int64_t head_theta = line.front().theta;
+  const int64_t tail_theta = line.back().theta;
+  const auto left_it = std::upper_bound(
+      points_.begin(), points_.end(), head_theta,
+      [](int64_t v, const ConsensusPoint& p) { return v < p.theta; });
+  const size_t id_left = static_cast<size_t>(left_it - points_.begin());
+  const auto right_it = std::lower_bound(
+      points_.begin(), points_.end(), tail_theta,
+      [](const ConsensusPoint& p, int64_t v) { return p.theta < v; });
+  // right_it points at the first element >= tail_theta; the rightmost
+  // element below it is one before.
+  const size_t id_right_plus1 = static_cast<size_t>(right_it - points_.begin());
+
+  std::vector<ConsensusPoint> merged;
+  merged.reserve(points_.size() + line.size());
+  merged.insert(merged.end(), points_.begin(), points_.begin() + id_left);
+  for (const QPoint& p : line.points) {
+    merged.push_back(ConsensusPoint{p.theta, p.r});
+  }
+  if (id_right_plus1 > id_left) {
+    merged.insert(merged.end(), points_.begin() + id_right_plus1,
+                  points_.end());
+  } else {
+    merged.insert(merged.end(), points_.begin() + id_left, points_.end());
+  }
+  // Boundary ties can leave the sequence locally unordered; restore the
+  // sorted invariant with a stable sort (cheap: nearly sorted).
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const ConsensusPoint& a, const ConsensusPoint& b) {
+                     return a.theta < b.theta;
+                   });
+  points_ = std::move(merged);
+}
+
+int ConsensusLine::RightmostBelow(int64_t t) const {
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), t,
+      [](const ConsensusPoint& p, int64_t v) { return p.theta < v; });
+  if (it == points_.begin()) return -1;
+  return static_cast<int>(it - points_.begin()) - 1;
+}
+
+int ConsensusLine::LeftmostAtOrAbove(int64_t t) const {
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), t,
+      [](const ConsensusPoint& p, int64_t v) { return p.theta < v; });
+  if (it == points_.end()) return -1;
+  return static_cast<int>(it - points_.begin());
+}
+
+}  // namespace dbgc

@@ -1,0 +1,53 @@
+// Consensus reference polylines (Definition 3.4 and Algorithm 2) for the
+// radial-distance-optimized delta encoding of Section 3.5, Step 8.
+//
+// For a polyline l, the reference polyline set contains the polylines that
+// precede l in the sorted order and whose polar angle is within TH_phi of
+// l's. Algorithm 2 folds that set into a single consensus line l*: later
+// polylines overwrite the azimuthal span they cover. All coordinates are
+// quantized integers so the construction replays identically during
+// decompression.
+
+#ifndef DBGC_CORE_REFERENCE_POLYLINE_H_
+#define DBGC_CORE_REFERENCE_POLYLINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/polyline.h"
+
+namespace dbgc {
+
+/// One point of a consensus line: azimuth plus radial distance.
+struct ConsensusPoint {
+  int64_t theta = 0;
+  int64_t r = 0;
+};
+
+/// The consensus reference polyline l* of one polyline.
+class ConsensusLine {
+ public:
+  /// Builds l* for lines[line_index] from its reference polyline set
+  /// (preceding polylines with |phi - phi_l| <= th_phi), per Algorithm 2.
+  /// Radial distances of all preceding polylines must already be final.
+  static ConsensusLine Build(const std::vector<Polyline>& lines,
+                             size_t line_index, int64_t th_phi);
+
+  bool empty() const { return points_.empty(); }
+  size_t size() const { return points_.size(); }
+  const ConsensusPoint& at(size_t i) const { return points_[i]; }
+
+  /// Index of the rightmost point with theta < t, or -1.
+  int RightmostBelow(int64_t t) const;
+  /// Index of the leftmost point with theta >= t, or -1.
+  int LeftmostAtOrAbove(int64_t t) const;
+
+ private:
+  void Merge(const Polyline& line);
+
+  std::vector<ConsensusPoint> points_;  // Sorted by theta (non-strict).
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_CORE_REFERENCE_POLYLINE_H_

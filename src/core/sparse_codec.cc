@@ -1,0 +1,300 @@
+#include "core/sparse_codec.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "bitio/varint.h"
+#include "encoding/delta.h"
+#include "encoding/value_codec.h"
+#include "entropy/arithmetic_coder.h"
+#include "core/reference_polyline.h"
+#include "lz/deflate.h"
+
+namespace dbgc {
+
+namespace {
+
+// Serializes a signed sequence as zigzag varints; repeated deltas become
+// byte patterns that Deflate's LZ77 stage can match across polylines.
+std::vector<uint8_t> ToVarintBytes(const std::vector<int64_t>& values) {
+  ByteBuffer buf;
+  for (int64_t v : values) PutSignedVarint64(&buf, v);
+  return buf.bytes();
+}
+
+Status FromVarintBytes(const std::vector<uint8_t>& bytes, size_t count,
+                       std::vector<int64_t>* out) {
+  out->clear();
+  out->reserve(count);
+  ByteBuffer buf(bytes);
+  ByteReader reader(buf);
+  for (size_t i = 0; i < count; ++i) {
+    int64_t v;
+    DBGC_RETURN_NOT_OK(GetSignedVarint64(&reader, &v));
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+int64_t AbsDiff(int64_t a, int64_t b) { return a >= b ? a - b : b - a; }
+
+// The radial reference decision for one point, shared verbatim by encoder
+// and decoder (Section 3.5, Step 8). Returns the reference r value; sets
+// *needs_symbol when Situation (2)(b) applies, in which case `candidates`
+// holds the r of [p_bl, p_ul, p_ur, p_um?] indexed by the L_ref symbol.
+struct RadialDecision {
+  bool needs_symbol = false;
+  int64_t reference = 0;          // Valid when !needs_symbol.
+  int64_t candidates[4] = {0, 0, 0, 0};
+  int num_candidates = 0;         // 3 or 4 when needs_symbol.
+};
+
+RadialDecision DecideReference(const std::vector<Polyline>& lines,
+                               size_t li, size_t pi,
+                               const ConsensusLine& consensus,
+                               const SparseGroupParams& params) {
+  RadialDecision d;
+  const Polyline& line = lines[li];
+  const int64_t theta_p = line.points[pi].theta;
+
+  if (!params.radial_optimized) {
+    // Plain delta encoding (-Radial): previous point in line, or the head
+    // of the preceding polyline for heads.
+    if (pi > 0) {
+      d.reference = line.points[pi - 1].r;
+    } else if (li > 0) {
+      d.reference = lines[li - 1].front().r;
+    } else {
+      d.reference = 0;
+    }
+    return d;
+  }
+
+  if (pi == 0) {
+    // Situation (1): head. Rightmost consensus point left of theta_p,
+    // falling back to the head of the preceding polyline.
+    const int idx = consensus.RightmostBelow(theta_p);
+    if (idx >= 0) {
+      d.reference = consensus.at(idx).r;
+    } else if (li > 0) {
+      d.reference = lines[li - 1].front().r;
+    } else {
+      d.reference = 0;
+    }
+    return d;
+  }
+
+  const int64_t r_bl = line.points[pi - 1].r;  // Bottom-left neighbour.
+  const int idx_ul = consensus.RightmostBelow(theta_p);
+  const int idx_ur = consensus.LeftmostAtOrAbove(theta_p);
+  if (consensus.empty() || idx_ul < 0 || idx_ur < 0) {
+    d.reference = r_bl;
+    return d;
+  }
+  const int64_t r_ul = consensus.at(idx_ul).r;
+  const int64_t r_ur = consensus.at(idx_ur).r;
+  // Situation (2)(a): locally flat scene.
+  if (AbsDiff(r_ul, r_ur) <= params.th_r && AbsDiff(r_ul, r_bl) <= params.th_r &&
+      AbsDiff(r_ur, r_bl) <= params.th_r) {
+    d.reference = r_bl;
+    return d;
+  }
+  // Situation (2)(b): pick the candidate nearest to r_p; recorded in L_ref.
+  d.needs_symbol = true;
+  d.candidates[0] = r_bl;
+  d.candidates[1] = r_ul;
+  d.candidates[2] = r_ur;
+  d.num_candidates = 3;
+  if (idx_ul > 0) {  // Upper-middle: the point left of p_ul, if any.
+    d.candidates[3] = consensus.at(idx_ul - 1).r;
+    d.num_candidates = 4;
+  }
+  return d;
+}
+
+}  // namespace
+
+ByteBuffer SparseCodec::EncodeGroup(const std::vector<Polyline>& lines,
+                                    const SparseGroupParams& params) {
+  // --- Steps 3-5: lengths and reorganized head/tail sequences. ---
+  std::vector<uint64_t> lengths;
+  std::vector<int64_t> theta_heads, phi_heads;
+  std::vector<int64_t> theta_tail_deltas, phi_tail_deltas;
+  size_t total_points = 0;
+  for (const Polyline& line : lines) {
+    lengths.push_back(line.size());
+    total_points += line.size();
+    theta_heads.push_back(line.front().theta);
+    phi_heads.push_back(line.front().phi);
+    for (size_t i = 1; i < line.size(); ++i) {
+      // Step 2: within-line delta coordinates.
+      theta_tail_deltas.push_back(line.points[i].theta -
+                                  line.points[i - 1].theta);
+      phi_tail_deltas.push_back(line.points[i].phi - line.points[i - 1].phi);
+    }
+  }
+
+  // --- Step 8: radial-distance-optimized delta encoding. ---
+  std::vector<int64_t> nabla_r;
+  std::vector<uint32_t> ref_symbols;
+  nabla_r.reserve(total_points);
+  for (size_t li = 0; li < lines.size(); ++li) {
+    const ConsensusLine consensus =
+        ConsensusLine::Build(lines, li, params.th_phi);
+    for (size_t pi = 0; pi < lines[li].size(); ++pi) {
+      const RadialDecision d =
+          DecideReference(lines, li, pi, consensus, params);
+      const int64_t r_p = lines[li].points[pi].r;
+      if (!d.needs_symbol) {
+        nabla_r.push_back(r_p - d.reference);
+      } else {
+        int best = 0;
+        int64_t best_diff = AbsDiff(d.candidates[0], r_p);
+        for (int c = 1; c < d.num_candidates; ++c) {
+          const int64_t diff = AbsDiff(d.candidates[c], r_p);
+          if (diff < best_diff) {
+            best_diff = diff;
+            best = c;
+          }
+        }
+        ref_symbols.push_back(static_cast<uint32_t>(best));
+        nabla_r.push_back(r_p - d.candidates[best]);
+      }
+    }
+  }
+
+  // --- Steps 6, 7, 9: entropy coding and stream assembly. ---
+  ByteBuffer out;
+  PutVarint64(&out, lines.size());
+  if (lines.empty()) return out;
+
+  out.AppendLengthPrefixed(UnsignedValueCodec::Compress(lengths));  // B_len
+  // Step 6: theta -> delta across heads, Deflate on both sequences.
+  out.AppendLengthPrefixed(
+      Deflate::Compress(ToVarintBytes(DeltaEncode(theta_heads))));
+  out.AppendLengthPrefixed(
+      Deflate::Compress(ToVarintBytes(theta_tail_deltas)));
+  // Step 7: phi -> delta across heads, arithmetic coding.
+  out.AppendLengthPrefixed(
+      SignedValueCodec::Compress(DeltaEncode(phi_heads)));
+  out.AppendLengthPrefixed(SignedValueCodec::Compress(phi_tail_deltas));
+  // Step 8 outputs.
+  out.AppendLengthPrefixed(SignedValueCodec::Compress(nabla_r));  // B_nabla_r
+  PutVarint64(&out, ref_symbols.size());
+  out.AppendLengthPrefixed(ArithmeticCompress(ref_symbols, 4));   // B_ref
+  return out;
+}
+
+Status SparseCodec::DecodeGroup(const ByteBuffer& buffer,
+                                const SparseGroupParams& params,
+                                std::vector<Polyline>* lines) {
+  lines->clear();
+  ByteReader reader(buffer);
+  uint64_t num_lines;
+  DBGC_RETURN_NOT_OK(GetVarint64(&reader, &num_lines));
+  if (num_lines == 0) return Status::OK();
+
+  ByteBuffer b_len, b_theta_head, b_theta_tail, b_phi_head, b_phi_tail,
+      b_nabla_r, b_ref;
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&b_len));
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&b_theta_head));
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&b_theta_tail));
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&b_phi_head));
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&b_phi_tail));
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&b_nabla_r));
+  uint64_t num_ref_symbols;
+  DBGC_RETURN_NOT_OK(GetVarint64(&reader, &num_ref_symbols));
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&b_ref));
+
+  // Lengths.
+  std::vector<uint64_t> lengths;
+  DBGC_RETURN_NOT_OK(UnsignedValueCodec::Decompress(b_len, &lengths));
+  if (lengths.size() != num_lines) {
+    return Status::Corruption("sparse codec: length stream mismatch");
+  }
+  size_t total_points = 0;
+  size_t total_tail = 0;
+  for (uint64_t l : lengths) {
+    if (l == 0) return Status::Corruption("sparse codec: zero-length line");
+    total_points += l;
+    total_tail += l - 1;
+  }
+
+  // Theta.
+  std::vector<uint8_t> head_bytes, tail_bytes;
+  DBGC_RETURN_NOT_OK(Deflate::Decompress(b_theta_head, &head_bytes));
+  DBGC_RETURN_NOT_OK(Deflate::Decompress(b_theta_tail, &tail_bytes));
+  std::vector<int64_t> theta_head_deltas, theta_tail_deltas;
+  DBGC_RETURN_NOT_OK(
+      FromVarintBytes(head_bytes, num_lines, &theta_head_deltas));
+  DBGC_RETURN_NOT_OK(
+      FromVarintBytes(tail_bytes, total_tail, &theta_tail_deltas));
+  const std::vector<int64_t> theta_heads = DeltaDecode(theta_head_deltas);
+
+  // Phi.
+  std::vector<int64_t> phi_head_deltas, phi_tail_deltas;
+  DBGC_RETURN_NOT_OK(SignedValueCodec::Decompress(b_phi_head, &phi_head_deltas));
+  DBGC_RETURN_NOT_OK(SignedValueCodec::Decompress(b_phi_tail, &phi_tail_deltas));
+  if (phi_head_deltas.size() != num_lines ||
+      phi_tail_deltas.size() != total_tail) {
+    return Status::Corruption("sparse codec: phi stream mismatch");
+  }
+  const std::vector<int64_t> phi_heads = DeltaDecode(phi_head_deltas);
+
+  // Rebuild polylines with theta/phi; r is filled by the replay below.
+  lines->reserve(num_lines);
+  size_t tail_cursor = 0;
+  for (size_t li = 0; li < num_lines; ++li) {
+    Polyline line;
+    line.points.resize(lengths[li]);
+    line.points[0].theta = theta_heads[li];
+    line.points[0].phi = phi_heads[li];
+    for (size_t pi = 1; pi < lengths[li]; ++pi) {
+      line.points[pi].theta =
+          line.points[pi - 1].theta + theta_tail_deltas[tail_cursor];
+      line.points[pi].phi =
+          line.points[pi - 1].phi + phi_tail_deltas[tail_cursor];
+      ++tail_cursor;
+    }
+    lines->push_back(std::move(line));
+  }
+
+  // Radial replay.
+  std::vector<int64_t> nabla_r;
+  DBGC_RETURN_NOT_OK(SignedValueCodec::Decompress(b_nabla_r, &nabla_r));
+  if (nabla_r.size() != total_points) {
+    return Status::Corruption("sparse codec: nabla_r stream mismatch");
+  }
+  std::vector<uint32_t> ref_symbols;
+  DBGC_RETURN_NOT_OK(
+      ArithmeticDecompress(b_ref, 4, num_ref_symbols, &ref_symbols));
+
+  size_t r_cursor = 0;
+  size_t symbol_cursor = 0;
+  for (size_t li = 0; li < lines->size(); ++li) {
+    const ConsensusLine consensus =
+        ConsensusLine::Build(*lines, li, params.th_phi);
+    for (size_t pi = 0; pi < (*lines)[li].size(); ++pi) {
+      const RadialDecision d =
+          DecideReference(*lines, li, pi, consensus, params);
+      int64_t reference = d.reference;
+      if (d.needs_symbol) {
+        if (symbol_cursor >= ref_symbols.size()) {
+          return Status::Corruption("sparse codec: L_ref exhausted");
+        }
+        const uint32_t symbol = ref_symbols[symbol_cursor++];
+        if (static_cast<int>(symbol) >= d.num_candidates) {
+          return Status::Corruption("sparse codec: bad L_ref symbol");
+        }
+        reference = d.candidates[symbol];
+      }
+      (*lines)[li].points[pi].r = reference + nabla_r[r_cursor++];
+    }
+  }
+  if (symbol_cursor != ref_symbols.size()) {
+    return Status::Corruption("sparse codec: L_ref count mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace dbgc

@@ -1,0 +1,59 @@
+// Coordinate compression of sparse points (Section 3.5, Steps 1-9).
+//
+// Per group of sparse points:
+//   Step 1  coordinate scaling (Quantizer, one per dimension role),
+//   Step 2  delta encoding of theta/phi within each polyline,
+//   Step 3  heads and tails reorganized into separate sequences,
+//   Step 4  polylines concatenated,
+//   Step 5  polyline lengths -> arithmetic coding (B_len),
+//   Step 6  theta sequences -> delta + Deflate (B_theta_head/B_theta_tail),
+//   Step 7  phi sequences -> delta + arithmetic (B_phi_head/B_phi_tail),
+//   Step 8  r -> radial-distance-optimized delta encoding (Definition 3.3)
+//           against the consensus reference polyline (Algorithm 2), with
+//           the L_ref side channel for Situation (2)(b),
+//   Step 9  streams assembled into B_sparse.
+//
+// All Step 8 decisions are made on quantized values that the decompressor
+// can reproduce, so only Situation (2)(b)'s choice needs the side channel.
+
+#ifndef DBGC_CORE_SPARSE_CODEC_H_
+#define DBGC_CORE_SPARSE_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitio/byte_buffer.h"
+#include "common/point_cloud.h"
+#include "common/status.h"
+#include "core/polyline.h"
+
+namespace dbgc {
+
+/// Shared encode/decode parameters of one sparse group.
+struct SparseGroupParams {
+  double step_theta = 0.0;  ///< Scaling factor 2*q_theta for the theta role.
+  double step_phi = 0.0;    ///< Scaling factor 2*q_phi for the phi role.
+  double step_r = 0.0;      ///< Scaling factor 2*q_r for the r role.
+  int64_t th_r = 0;         ///< TH_r in quantized r units.
+  int64_t th_phi = 0;       ///< TH_phi in quantized phi units.
+  bool radial_optimized = true;  ///< False reproduces the -Radial ablation.
+};
+
+/// Encoder/decoder for one group's polylines.
+class SparseCodec {
+ public:
+  /// Encodes the organized polylines of one group into B_sparse_n.
+  /// `lines` must be sorted (Section 3.4) with quantized coordinates.
+  static ByteBuffer EncodeGroup(const std::vector<Polyline>& lines,
+                                const SparseGroupParams& params);
+
+  /// Decodes a group stream back into quantized polylines (source_indices
+  /// left empty).
+  static Status DecodeGroup(const ByteBuffer& buffer,
+                            const SparseGroupParams& params,
+                            std::vector<Polyline>* lines);
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_CORE_SPARSE_CODEC_H_

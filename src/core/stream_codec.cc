@@ -1,0 +1,88 @@
+#include "core/stream_codec.h"
+
+#include <cstring>
+
+#include "bitio/varint.h"
+
+namespace dbgc {
+
+namespace {
+constexpr uint8_t kStreamMagic[4] = {'D', 'B', 'G', 'S'};
+constexpr uint8_t kStreamVersion = 1;
+}  // namespace
+
+DbgcStreamWriter::DbgcStreamWriter(DbgcOptions options)
+    : codec_(options) {}
+
+Result<size_t> DbgcStreamWriter::AddFrame(const PointCloud& pc) {
+  DBGC_ASSIGN_OR_RETURN(ByteBuffer compressed, [&]() -> Result<ByteBuffer> {
+    DbgcCompressInfo info;
+    return codec_.CompressWithInfo(pc, &info);
+  }());
+  frame_sizes_.push_back(compressed.size());
+  payload_.Append(compressed);
+  return static_cast<size_t>(compressed.size());
+}
+
+ByteBuffer DbgcStreamWriter::Finish() const {
+  ByteBuffer out;
+  out.Append(kStreamMagic, 4);
+  out.AppendByte(kStreamVersion);
+  PutVarint64(&out, frame_sizes_.size());
+  for (uint64_t size : frame_sizes_) PutVarint64(&out, size);
+  out.Append(payload_);
+  return out;
+}
+
+Result<DbgcStreamReader> DbgcStreamReader::Open(const ByteBuffer& stream) {
+  DbgcStreamReader reader;
+  reader.stream_ = &stream;
+  ByteReader br(stream);
+  uint8_t magic[4];
+  DBGC_RETURN_NOT_OK(br.Read(magic, 4));
+  if (std::memcmp(magic, kStreamMagic, 4) != 0) {
+    return Status::Corruption("stream: bad magic");
+  }
+  uint8_t version;
+  DBGC_RETURN_NOT_OK(br.ReadByte(&version));
+  if (version != kStreamVersion) {
+    return Status::Corruption("stream: bad version");
+  }
+  uint64_t count;
+  DBGC_RETURN_NOT_OK(GetVarint64(&br, &count));
+  std::vector<uint64_t> sizes;
+  sizes.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t size;
+    DBGC_RETURN_NOT_OK(GetVarint64(&br, &size));
+    sizes.push_back(size);
+  }
+  size_t offset = br.position();
+  for (uint64_t size : sizes) {
+    if (offset + size > stream.size()) {
+      return Status::Corruption("stream: truncated frame payload");
+    }
+    reader.offsets_.push_back(offset);
+    reader.sizes_.push_back(size);
+    offset += size;
+  }
+  return reader;
+}
+
+Result<size_t> DbgcStreamReader::FrameSize(size_t index) const {
+  if (index >= sizes_.size()) {
+    return Status::OutOfRange("stream: frame index out of range");
+  }
+  return sizes_[index];
+}
+
+Result<PointCloud> DbgcStreamReader::ReadFrame(size_t index) const {
+  if (index >= offsets_.size()) {
+    return Status::OutOfRange("stream: frame index out of range");
+  }
+  ByteBuffer frame;
+  frame.Append(stream_->data() + offsets_[index], sizes_[index]);
+  return codec_.Decompress(frame);
+}
+
+}  // namespace dbgc

@@ -1,0 +1,69 @@
+// Multi-frame stream container: the paper's introduction positions
+// single-frame compression as "a building block in compressing point cloud
+// streams" - this module is that composition. A stream is a header plus a
+// sequence of independently decodable DBGC frame bitstreams, so a consumer
+// can seek to any frame (the paper's "some downstream applications select
+// specific frames of LiDAR data to process").
+
+#ifndef DBGC_CORE_STREAM_CODEC_H_
+#define DBGC_CORE_STREAM_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitio/byte_buffer.h"
+#include "common/point_cloud.h"
+#include "common/status.h"
+#include "core/dbgc_codec.h"
+
+namespace dbgc {
+
+/// Appends frames to a growing stream.
+class DbgcStreamWriter {
+ public:
+  /// Creates a writer compressing every frame with `options`.
+  explicit DbgcStreamWriter(DbgcOptions options = DbgcOptions());
+
+  /// Compresses and appends one frame. Returns its compressed size.
+  Result<size_t> AddFrame(const PointCloud& pc);
+
+  /// Number of frames appended so far.
+  size_t frame_count() const { return frame_sizes_.size(); }
+
+  /// Finalizes the stream: header, frame index, frame payloads.
+  ByteBuffer Finish() const;
+
+ private:
+  DbgcCodec codec_;
+  std::vector<uint64_t> frame_sizes_;
+  ByteBuffer payload_;
+};
+
+/// Random-access reader over a finished stream.
+class DbgcStreamReader {
+ public:
+  /// Parses the stream header and frame index. The buffer must outlive the
+  /// reader.
+  static Result<DbgcStreamReader> Open(const ByteBuffer& stream);
+
+  /// Number of frames in the stream.
+  size_t frame_count() const { return offsets_.size(); }
+
+  /// Compressed size of frame `index` in bytes.
+  Result<size_t> FrameSize(size_t index) const;
+
+  /// Decompresses frame `index` (frames are independently decodable).
+  Result<PointCloud> ReadFrame(size_t index) const;
+
+ private:
+  DbgcStreamReader() = default;
+
+  const ByteBuffer* stream_ = nullptr;
+  std::vector<size_t> offsets_;  // Payload offset of each frame.
+  std::vector<size_t> sizes_;
+  DbgcCodec codec_;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_CORE_STREAM_CODEC_H_

@@ -1,0 +1,57 @@
+#include "encoding/bitpack.h"
+
+#include "bitio/bit_reader.h"
+#include "bitio/bit_writer.h"
+#include "bitio/varint.h"
+
+namespace dbgc {
+
+int BitWidth(uint64_t v) {
+  int w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+ByteBuffer BitPack(const std::vector<uint64_t>& values) {
+  uint64_t max_v = 0;
+  for (uint64_t v : values) max_v = max_v < v ? v : max_v;
+  const int width = BitWidth(max_v);
+
+  ByteBuffer out;
+  PutVarint64(&out, values.size());
+  out.AppendByte(static_cast<uint8_t>(width));
+  if (width > 0) {
+    BitWriter writer;
+    for (uint64_t v : values) writer.WriteBits(v, width);
+    out.Append(writer.Finish());
+  }
+  return out;
+}
+
+Status BitUnpack(const ByteBuffer& buf, std::vector<uint64_t>* out) {
+  out->clear();
+  ByteReader reader(buf);
+  uint64_t count;
+  DBGC_RETURN_NOT_OK(GetVarint64(&reader, &count));
+  uint8_t width;
+  DBGC_RETURN_NOT_OK(reader.ReadByte(&width));
+  if (width > 64) return Status::Corruption("bitpack: width > 64");
+  out->reserve(count);
+  if (width == 0) {
+    out->assign(count, 0);
+    return Status::OK();
+  }
+  BitReader bits(buf.data() + reader.position(),
+                 buf.size() - reader.position());
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t v;
+    DBGC_RETURN_NOT_OK(bits.ReadBits(width, &v));
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+}  // namespace dbgc

@@ -1,0 +1,27 @@
+// Fixed-width bit-packing of unsigned integer sequences (the "bit-packing
+// encoding" building block of [6, 18]). Width is chosen from the maximum
+// value and stored in the stream.
+
+#ifndef DBGC_ENCODING_BITPACK_H_
+#define DBGC_ENCODING_BITPACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitio/byte_buffer.h"
+#include "common/status.h"
+
+namespace dbgc {
+
+/// Number of bits needed to represent v (0 -> 0 bits).
+int BitWidth(uint64_t v);
+
+/// Packs `values` at the minimal fixed width.
+ByteBuffer BitPack(const std::vector<uint64_t>& values);
+
+/// Unpacks a BitPack stream.
+Status BitUnpack(const ByteBuffer& buf, std::vector<uint64_t>* out);
+
+}  // namespace dbgc
+
+#endif  // DBGC_ENCODING_BITPACK_H_

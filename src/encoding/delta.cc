@@ -1,0 +1,63 @@
+#include "encoding/delta.h"
+
+namespace dbgc {
+
+std::vector<int64_t> DeltaEncode(const std::vector<int64_t>& values) {
+  std::vector<int64_t> out;
+  out.reserve(values.size());
+  int64_t prev = 0;
+  bool first = true;
+  for (int64_t v : values) {
+    if (first) {
+      out.push_back(v);
+      first = false;
+    } else {
+      out.push_back(v - prev);
+    }
+    prev = v;
+  }
+  return out;
+}
+
+std::vector<int64_t> DeltaDecode(const std::vector<int64_t>& deltas) {
+  std::vector<int64_t> out;
+  out.reserve(deltas.size());
+  int64_t acc = 0;
+  bool first = true;
+  for (int64_t d : deltas) {
+    if (first) {
+      acc = d;
+      first = false;
+    } else {
+      acc += d;
+    }
+    out.push_back(acc);
+  }
+  return out;
+}
+
+std::vector<int64_t> DeltaEncodeWithBase(const std::vector<int64_t>& values,
+                                         int64_t base) {
+  std::vector<int64_t> out;
+  out.reserve(values.size());
+  int64_t prev = base;
+  for (int64_t v : values) {
+    out.push_back(v - prev);
+    prev = v;
+  }
+  return out;
+}
+
+std::vector<int64_t> DeltaDecodeWithBase(const std::vector<int64_t>& deltas,
+                                         int64_t base) {
+  std::vector<int64_t> out;
+  out.reserve(deltas.size());
+  int64_t acc = base;
+  for (int64_t d : deltas) {
+    acc += d;
+    out.push_back(acc);
+  }
+  return out;
+}
+
+}  // namespace dbgc

@@ -1,0 +1,30 @@
+// Delta encoding (Definition 2.3): L -> (v1, v2-v1, ..., vn-v_{n-1}).
+// The first element is carried through unchanged so the transform is
+// invertible without side information.
+
+#ifndef DBGC_ENCODING_DELTA_H_
+#define DBGC_ENCODING_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dbgc {
+
+/// In-place-free delta transform; returns the delta sequence.
+std::vector<int64_t> DeltaEncode(const std::vector<int64_t>& values);
+
+/// Inverse of DeltaEncode (prefix sum).
+std::vector<int64_t> DeltaDecode(const std::vector<int64_t>& deltas);
+
+/// Delta transform against an explicit initial predictor value, so the
+/// first element is also stored as a difference.
+std::vector<int64_t> DeltaEncodeWithBase(const std::vector<int64_t>& values,
+                                         int64_t base);
+
+/// Inverse of DeltaEncodeWithBase.
+std::vector<int64_t> DeltaDecodeWithBase(const std::vector<int64_t>& deltas,
+                                         int64_t base);
+
+}  // namespace dbgc
+
+#endif  // DBGC_ENCODING_DELTA_H_

@@ -1,0 +1,5 @@
+#include "encoding/quantizer.h"
+
+// Quantizer is fully inline; this file anchors the module in the library.
+
+namespace dbgc {}  // namespace dbgc

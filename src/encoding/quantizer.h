@@ -1,0 +1,59 @@
+// Error-bound coordinate scaling and rounding (Section 3.5, Step 1).
+//
+// Given an error bound q on a dimension, the quantizer divides values by the
+// scaling factor 2q and rounds to the nearest integer. Reconstruction
+// multiplies back, so the round-trip error is at most 0.5 * 2q = q.
+
+#ifndef DBGC_ENCODING_QUANTIZER_H_
+#define DBGC_ENCODING_QUANTIZER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dbgc {
+
+/// Scalar quantizer with step 2q for error bound q.
+class Quantizer {
+ public:
+  /// Creates a quantizer for error bound q (> 0).
+  explicit Quantizer(double error_bound)
+      : step_(2.0 * error_bound), inv_step_(1.0 / (2.0 * error_bound)) {}
+
+  /// The error bound q.
+  double error_bound() const { return step_ / 2.0; }
+  /// The scaling factor 2q.
+  double step() const { return step_; }
+
+  /// Quantizes one value: round(v / 2q).
+  int64_t Quantize(double v) const {
+    return static_cast<int64_t>(std::llround(v * inv_step_));
+  }
+
+  /// Reconstructs a value: i * 2q. |Reconstruct(Quantize(v)) - v| <= q.
+  double Reconstruct(int64_t i) const { return static_cast<double>(i) * step_; }
+
+  /// Quantizes a sequence.
+  std::vector<int64_t> QuantizeAll(const std::vector<double>& values) const {
+    std::vector<int64_t> out;
+    out.reserve(values.size());
+    for (double v : values) out.push_back(Quantize(v));
+    return out;
+  }
+
+  /// Reconstructs a sequence.
+  std::vector<double> ReconstructAll(const std::vector<int64_t>& values) const {
+    std::vector<double> out;
+    out.reserve(values.size());
+    for (int64_t v : values) out.push_back(Reconstruct(v));
+    return out;
+  }
+
+ private:
+  double step_;
+  double inv_step_;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_ENCODING_QUANTIZER_H_

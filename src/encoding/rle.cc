@@ -1,0 +1,41 @@
+#include "encoding/rle.h"
+
+#include "bitio/varint.h"
+
+namespace dbgc {
+
+ByteBuffer RleEncode(const std::vector<int64_t>& values) {
+  ByteBuffer out;
+  PutVarint64(&out, values.size());
+  size_t i = 0;
+  while (i < values.size()) {
+    const int64_t v = values[i];
+    size_t run = 1;
+    while (i + run < values.size() && values[i + run] == v) ++run;
+    PutSignedVarint64(&out, v);
+    PutVarint64(&out, run);
+    i += run;
+  }
+  return out;
+}
+
+Status RleDecode(const ByteBuffer& buf, std::vector<int64_t>* out) {
+  out->clear();
+  ByteReader reader(buf);
+  uint64_t count;
+  DBGC_RETURN_NOT_OK(GetVarint64(&reader, &count));
+  out->reserve(count);
+  while (out->size() < count) {
+    int64_t v;
+    uint64_t run;
+    DBGC_RETURN_NOT_OK(GetSignedVarint64(&reader, &v));
+    DBGC_RETURN_NOT_OK(GetVarint64(&reader, &run));
+    if (run == 0 || out->size() + run > count) {
+      return Status::Corruption("rle: bad run length");
+    }
+    out->insert(out->end(), run, v);
+  }
+  return Status::OK();
+}
+
+}  // namespace dbgc

@@ -1,0 +1,24 @@
+// Run-length encoding of integer sequences: (value, run) pairs as
+// zigzag/plain varints. One of the lightweight database compression schemes
+// surveyed in [18]; used for sparse side-channels.
+
+#ifndef DBGC_ENCODING_RLE_H_
+#define DBGC_ENCODING_RLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitio/byte_buffer.h"
+#include "common/status.h"
+
+namespace dbgc {
+
+/// Encodes `values` as (value, run-length) pairs.
+ByteBuffer RleEncode(const std::vector<int64_t>& values);
+
+/// Decodes an RleEncode stream.
+Status RleDecode(const ByteBuffer& buf, std::vector<int64_t>* out);
+
+}  // namespace dbgc
+
+#endif  // DBGC_ENCODING_RLE_H_

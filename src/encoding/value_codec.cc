@@ -1,0 +1,154 @@
+#include "encoding/value_codec.h"
+
+#include "bitio/varint.h"
+#include "entropy/arithmetic_coder.h"
+
+namespace dbgc {
+
+namespace {
+
+// Hybrid alphabet: small magnitudes (the overwhelmingly common case in
+// LiDAR delta streams) are coded as direct symbols so the adaptive model
+// captures their exact distribution with no raw-bit overhead; larger
+// magnitudes fall back to a bit-width bucket plus raw remainder bits.
+constexpr uint32_t kDirectLimit = 48;           // Zigzag values 0..47.
+constexpr uint32_t kNumBuckets = 65;            // Bit widths 0..64.
+constexpr uint32_t kAlphabet = kDirectLimit + kNumBuckets;
+
+int ValueBitWidth(uint64_t v) {
+  int w = 0;
+  while (v != 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+ByteBuffer CompressUnsigned(const std::vector<uint64_t>& values) {
+  AdaptiveModel model(kAlphabet);
+  ArithmeticEncoder enc;
+  // Remainder bits are collected into a separate raw section so the
+  // arithmetic stream stays byte-aligned and simple.
+  std::vector<uint8_t> raw_bits;
+  uint8_t cur = 0;
+  int nbits = 0;
+  auto put_bit = [&](int b) {
+    cur = static_cast<uint8_t>((cur << 1) | (b & 1));
+    if (++nbits == 8) {
+      raw_bits.push_back(cur);
+      cur = 0;
+      nbits = 0;
+    }
+  };
+
+  for (uint64_t u : values) {
+    if (u < kDirectLimit) {
+      const uint32_t symbol = static_cast<uint32_t>(u);
+      enc.Encode(model.Lookup(symbol));
+      model.Update(symbol);
+      continue;
+    }
+    const int width = ValueBitWidth(u);
+    const uint32_t symbol = kDirectLimit + static_cast<uint32_t>(width);
+    enc.Encode(model.Lookup(symbol));
+    model.Update(symbol);
+    // The leading 1 bit of a width-w value is implicit; store w-1 low bits.
+    for (int i = width - 2; i >= 0; --i) {
+      put_bit(static_cast<int>((u >> i) & 1));
+    }
+  }
+  if (nbits > 0) raw_bits.push_back(static_cast<uint8_t>(cur << (8 - nbits)));
+
+  ByteBuffer out;
+  PutVarint64(&out, values.size());
+  ByteBuffer arith = enc.Finish();
+  out.AppendLengthPrefixed(arith);
+  PutVarint64(&out, raw_bits.size());
+  out.Append(raw_bits.data(), raw_bits.size());
+  return out;
+}
+
+Status DecompressUnsigned(const ByteBuffer& buf, std::vector<uint64_t>* out) {
+  out->clear();
+  ByteReader reader(buf);
+  uint64_t count;
+  DBGC_RETURN_NOT_OK(GetVarint64(&reader, &count));
+  if (count > kMaxReasonableCount) {
+    return Status::Corruption("value codec: implausible count");
+  }
+  ByteBuffer arith;
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&arith));
+  uint64_t raw_len;
+  DBGC_RETURN_NOT_OK(GetVarint64(&reader, &raw_len));
+  if (reader.remaining() < raw_len) {
+    return Status::Corruption("value codec: truncated raw bits");
+  }
+  const uint8_t* raw = buf.data() + reader.position();
+
+  AdaptiveModel model(kAlphabet);
+  ArithmeticDecoder dec(arith);
+  size_t bit_pos = 0;
+  auto get_bit = [&]() -> int {
+    const size_t byte = bit_pos / 8;
+    const int off = static_cast<int>(bit_pos % 8);
+    ++bit_pos;
+    if (byte >= raw_len) return 0;
+    return (raw[byte] >> (7 - off)) & 1;
+  };
+
+  out->reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint32_t target = dec.DecodeTarget(model.total());
+    SymbolRange range;
+    const uint32_t symbol = model.FindSymbol(target, &range);
+    dec.Advance(range);
+    model.Update(symbol);
+    if (symbol < kDirectLimit) {
+      out->push_back(symbol);
+      continue;
+    }
+    const uint32_t width = symbol - kDirectLimit;
+    uint64_t u = 0;
+    if (width > 0) {
+      u = 1;  // Implicit leading bit.
+      for (uint32_t b = 1; b < width; ++b) {
+        u = (u << 1) | static_cast<uint64_t>(get_bit());
+      }
+    }
+    out->push_back(u);
+  }
+  if ((bit_pos + 7) / 8 > raw_len) {
+    return Status::Corruption("value codec: raw bit underflow");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ByteBuffer SignedValueCodec::Compress(const std::vector<int64_t>& values) {
+  std::vector<uint64_t> mapped;
+  mapped.reserve(values.size());
+  for (int64_t v : values) mapped.push_back(ZigZagEncode(v));
+  return CompressUnsigned(mapped);
+}
+
+Status SignedValueCodec::Decompress(const ByteBuffer& buf,
+                                    std::vector<int64_t>* out) {
+  std::vector<uint64_t> mapped;
+  DBGC_RETURN_NOT_OK(DecompressUnsigned(buf, &mapped));
+  out->clear();
+  out->reserve(mapped.size());
+  for (uint64_t u : mapped) out->push_back(ZigZagDecode(u));
+  return Status::OK();
+}
+
+ByteBuffer UnsignedValueCodec::Compress(const std::vector<uint64_t>& values) {
+  return CompressUnsigned(values);
+}
+
+Status UnsignedValueCodec::Decompress(const ByteBuffer& buf,
+                                      std::vector<uint64_t>* out) {
+  return DecompressUnsigned(buf, out);
+}
+
+}  // namespace dbgc

@@ -1,0 +1,151 @@
+#include "entropy/arithmetic_coder.h"
+
+#include <cassert>
+
+namespace dbgc {
+
+namespace {
+constexpr uint32_t kTop = 0xFFFFFFFFu;
+constexpr uint32_t kHalf = 0x80000000u;
+constexpr uint32_t kQuarter = 0x40000000u;
+constexpr uint32_t kThreeQuarters = 0xC0000000u;
+}  // namespace
+
+void ArithmeticEncoder::EmitBit(int bit) {
+  current_byte_ = static_cast<uint8_t>((current_byte_ << 1) | (bit & 1));
+  if (++bit_pos_ == 8) {
+    bytes_.push_back(current_byte_);
+    current_byte_ = 0;
+    bit_pos_ = 0;
+  }
+}
+
+void ArithmeticEncoder::EmitBitWithPending(int bit) {
+  EmitBit(bit);
+  while (pending_bits_ > 0) {
+    EmitBit(!bit);
+    --pending_bits_;
+  }
+}
+
+void ArithmeticEncoder::Encode(const SymbolRange& range) {
+  assert(range.cum_low < range.cum_high && range.cum_high <= range.total);
+  const uint64_t span = static_cast<uint64_t>(high_) - low_ + 1;
+  high_ = low_ + static_cast<uint32_t>(span * range.cum_high / range.total) - 1;
+  low_ = low_ + static_cast<uint32_t>(span * range.cum_low / range.total);
+  for (;;) {
+    if (high_ < kHalf) {
+      EmitBitWithPending(0);
+    } else if (low_ >= kHalf) {
+      EmitBitWithPending(1);
+      low_ -= kHalf;
+      high_ -= kHalf;
+    } else if (low_ >= kQuarter && high_ < kThreeQuarters) {
+      ++pending_bits_;
+      low_ -= kQuarter;
+      high_ -= kQuarter;
+    } else {
+      break;
+    }
+    low_ <<= 1;
+    high_ = (high_ << 1) | 1;
+  }
+}
+
+ByteBuffer ArithmeticEncoder::Finish() {
+  // Two disambiguating bits select a value inside the final interval.
+  ++pending_bits_;
+  EmitBitWithPending(low_ >= kQuarter ? 1 : 0);
+  // Pad the final byte with zeros.
+  while (bit_pos_ != 0) EmitBit(0);
+  ByteBuffer out(std::move(bytes_));
+  bytes_.clear();
+  current_byte_ = 0;
+  bit_pos_ = 0;
+  pending_bits_ = 0;
+  low_ = 0;
+  high_ = kTop;
+  return out;
+}
+
+ArithmeticDecoder::ArithmeticDecoder(const ByteBuffer& buf)
+    : ArithmeticDecoder(buf.data(), buf.size()) {}
+
+ArithmeticDecoder::ArithmeticDecoder(const uint8_t* data, size_t size)
+    : data_(data), size_(size) {
+  for (int i = 0; i < 32; ++i) {
+    code_ = (code_ << 1) | static_cast<uint32_t>(NextBit());
+  }
+}
+
+int ArithmeticDecoder::NextBit() {
+  if (byte_pos_ >= size_) return 0;  // Zero-extension past the stream end.
+  const int bit = (data_[byte_pos_] >> (7 - bit_pos_)) & 1;
+  if (++bit_pos_ == 8) {
+    bit_pos_ = 0;
+    ++byte_pos_;
+  }
+  return bit;
+}
+
+uint32_t ArithmeticDecoder::DecodeTarget(uint32_t total) const {
+  const uint64_t span = static_cast<uint64_t>(high_) - low_ + 1;
+  const uint64_t offset = static_cast<uint64_t>(code_) - low_;
+  uint64_t target = ((offset + 1) * total - 1) / span;
+  if (target >= total) target = total - 1;
+  return static_cast<uint32_t>(target);
+}
+
+void ArithmeticDecoder::Advance(const SymbolRange& range) {
+  const uint64_t span = static_cast<uint64_t>(high_) - low_ + 1;
+  high_ = low_ + static_cast<uint32_t>(span * range.cum_high / range.total) - 1;
+  low_ = low_ + static_cast<uint32_t>(span * range.cum_low / range.total);
+  for (;;) {
+    if (high_ < kHalf) {
+      // Nothing to subtract.
+    } else if (low_ >= kHalf) {
+      low_ -= kHalf;
+      high_ -= kHalf;
+      code_ -= kHalf;
+    } else if (low_ >= kQuarter && high_ < kThreeQuarters) {
+      low_ -= kQuarter;
+      high_ -= kQuarter;
+      code_ -= kQuarter;
+    } else {
+      break;
+    }
+    low_ <<= 1;
+    high_ = (high_ << 1) | 1;
+    code_ = (code_ << 1) | static_cast<uint32_t>(NextBit());
+  }
+}
+
+ByteBuffer ArithmeticCompress(const std::vector<uint32_t>& symbols,
+                              uint32_t alphabet_size) {
+  AdaptiveModel model(alphabet_size);
+  ArithmeticEncoder enc;
+  for (uint32_t s : symbols) {
+    enc.Encode(model.Lookup(s));
+    model.Update(s);
+  }
+  return enc.Finish();
+}
+
+Status ArithmeticDecompress(const ByteBuffer& buf, uint32_t alphabet_size,
+                            size_t count, std::vector<uint32_t>* out) {
+  out->clear();
+  out->reserve(count);
+  AdaptiveModel model(alphabet_size);
+  ArithmeticDecoder dec(buf);
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t target = dec.DecodeTarget(model.total());
+    SymbolRange range;
+    const uint32_t symbol = model.FindSymbol(target, &range);
+    dec.Advance(range);
+    model.Update(symbol);
+    out->push_back(symbol);
+  }
+  return Status::OK();
+}
+
+}  // namespace dbgc

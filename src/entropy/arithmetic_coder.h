@@ -1,0 +1,87 @@
+// Witten–Neal–Cleary arithmetic coder [58] with 32-bit precision.
+//
+// The coder is template-free: it works against the SymbolRange protocol of
+// AdaptiveModel / StaticModel. Convenience functions compress whole symbol
+// sequences with an adaptive model, which is how the paper uses "an
+// arithmetic coder" as a building block (Sections 3.5 and 3.6).
+
+#ifndef DBGC_ENTROPY_ARITHMETIC_CODER_H_
+#define DBGC_ENTROPY_ARITHMETIC_CODER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitio/byte_buffer.h"
+#include "common/status.h"
+#include "entropy/frequency_model.h"
+
+namespace dbgc {
+
+/// Streaming arithmetic encoder.
+///
+/// Usage:
+///   ArithmeticEncoder enc;
+///   for (symbol : data) { enc.Encode(model.Lookup(symbol)); model.Update(symbol); }
+///   ByteBuffer bits = enc.Finish();
+class ArithmeticEncoder {
+ public:
+  ArithmeticEncoder() = default;
+
+  /// Narrows the interval to the symbol's cumulative range.
+  void Encode(const SymbolRange& range);
+
+  /// Flushes the interval state and returns the coded bytes.
+  /// The encoder is reset and reusable afterwards.
+  ByteBuffer Finish();
+
+ private:
+  void EmitBit(int bit);
+  void EmitBitWithPending(int bit);
+
+  uint32_t low_ = 0;
+  uint32_t high_ = 0xFFFFFFFFu;
+  uint64_t pending_bits_ = 0;
+  // Bit-level output assembled MSB-first.
+  std::vector<uint8_t> bytes_;
+  uint8_t current_byte_ = 0;
+  int bit_pos_ = 0;
+};
+
+/// Streaming arithmetic decoder over a byte span (does not own the bytes).
+class ArithmeticDecoder {
+ public:
+  /// Starts decoding at the beginning of `buf`.
+  explicit ArithmeticDecoder(const ByteBuffer& buf);
+  ArithmeticDecoder(const uint8_t* data, size_t size);
+
+  /// Returns the cumulative-frequency value of the current code point under
+  /// a model with the given total; pass it to the model's FindSymbol.
+  uint32_t DecodeTarget(uint32_t total) const;
+
+  /// Consumes the symbol whose range was found by the model.
+  void Advance(const SymbolRange& range);
+
+ private:
+  int NextBit();
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t byte_pos_ = 0;
+  int bit_pos_ = 0;
+  uint32_t low_ = 0;
+  uint32_t high_ = 0xFFFFFFFFu;
+  uint32_t code_ = 0;
+};
+
+/// Compresses a sequence of symbols with a fresh adaptive model over
+/// [0, alphabet_size). Every symbol must be < alphabet_size.
+ByteBuffer ArithmeticCompress(const std::vector<uint32_t>& symbols,
+                              uint32_t alphabet_size);
+
+/// Inverse of ArithmeticCompress; `count` symbols are decoded.
+Status ArithmeticDecompress(const ByteBuffer& buf, uint32_t alphabet_size,
+                            size_t count, std::vector<uint32_t>* out);
+
+}  // namespace dbgc
+
+#endif  // DBGC_ENTROPY_ARITHMETIC_CODER_H_

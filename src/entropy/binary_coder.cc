@@ -1,0 +1,6 @@
+#include "entropy/binary_coder.h"
+
+// All members are defined inline in the header; this translation unit pins
+// the module into the library and anchors the vtable-free types.
+
+namespace dbgc {}  // namespace dbgc

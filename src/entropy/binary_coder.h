@@ -1,0 +1,108 @@
+// Adaptive binary (bit) arithmetic coding with per-context probability
+// models. Used by the G-PCC-like codec's neighbour-dependent occupancy
+// coding and by flag side-channels.
+
+#ifndef DBGC_ENTROPY_BINARY_CODER_H_
+#define DBGC_ENTROPY_BINARY_CODER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "entropy/arithmetic_coder.h"
+
+namespace dbgc {
+
+/// Adaptive probability model for a single binary context.
+class AdaptiveBitModel {
+ public:
+  AdaptiveBitModel() = default;
+
+  /// Cumulative range for encoding `bit` under the current counts.
+  SymbolRange Lookup(int bit) const {
+    SymbolRange r;
+    r.total = c0_ + c1_;
+    if (bit == 0) {
+      r.cum_low = 0;
+      r.cum_high = c0_;
+    } else {
+      r.cum_low = c0_;
+      r.cum_high = c0_ + c1_;
+    }
+    return r;
+  }
+
+  /// Decodes the bit for a target cumulative value and fills *range.
+  int FindBit(uint32_t cum, SymbolRange* range) const {
+    const int bit = cum >= c0_ ? 1 : 0;
+    *range = Lookup(bit);
+    return bit;
+  }
+
+  /// Current total frequency.
+  uint32_t total() const { return c0_ + c1_; }
+
+  /// Records one observation of `bit`.
+  void Update(int bit) {
+    if (bit == 0) {
+      c0_ += kIncrement;
+    } else {
+      c1_ += kIncrement;
+    }
+    if (c0_ + c1_ >= kMaxTotal) {
+      c0_ = (c0_ + 1) / 2;
+      c1_ = (c1_ + 1) / 2;
+    }
+  }
+
+ private:
+  static constexpr uint32_t kIncrement = 16;
+  static constexpr uint32_t kMaxTotal = 1u << 14;
+  uint32_t c0_ = 1;
+  uint32_t c1_ = 1;
+};
+
+/// Encoder for context-modelled bits on top of ArithmeticEncoder.
+class BinaryEncoder {
+ public:
+  /// Creates an encoder with `num_contexts` independent bit models.
+  explicit BinaryEncoder(size_t num_contexts) : models_(num_contexts) {}
+
+  /// Encodes `bit` under context `ctx` and updates the context model.
+  void EncodeBit(size_t ctx, int bit) {
+    enc_.Encode(models_[ctx].Lookup(bit));
+    models_[ctx].Update(bit);
+  }
+
+  /// Flushes to bytes; the encoder is reusable but contexts keep adapting.
+  ByteBuffer Finish() { return enc_.Finish(); }
+
+ private:
+  ArithmeticEncoder enc_;
+  std::vector<AdaptiveBitModel> models_;
+};
+
+/// Decoder matching BinaryEncoder.
+class BinaryDecoder {
+ public:
+  BinaryDecoder(const ByteBuffer& buf, size_t num_contexts)
+      : dec_(buf), models_(num_contexts) {}
+
+  /// Decodes one bit under context `ctx`.
+  int DecodeBit(size_t ctx) {
+    AdaptiveBitModel& m = models_[ctx];
+    const uint32_t target = dec_.DecodeTarget(m.total());
+    SymbolRange range;
+    const int bit = m.FindBit(target, &range);
+    dec_.Advance(range);
+    m.Update(bit);
+    return bit;
+  }
+
+ private:
+  ArithmeticDecoder dec_;
+  std::vector<AdaptiveBitModel> models_;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_ENTROPY_BINARY_CODER_H_

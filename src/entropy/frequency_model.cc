@@ -1,0 +1,129 @@
+#include "entropy/frequency_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dbgc {
+
+AdaptiveModel::AdaptiveModel(uint32_t alphabet_size, uint32_t increment)
+    : size_(alphabet_size),
+      increment_(increment),
+      total_(alphabet_size),
+      tree_(alphabet_size + 1, 0),
+      freq_(alphabet_size, 1) {
+  assert(alphabet_size >= 1);
+  // Initialize the Fenwick tree with all-ones frequencies.
+  for (uint32_t i = 0; i < size_; ++i) {
+    uint32_t j = i + 1;
+    while (j <= size_) {
+      tree_[j] += 1;
+      j += j & (~j + 1);
+    }
+  }
+}
+
+uint32_t AdaptiveModel::FenwickPrefixSum(uint32_t symbol_count) const {
+  uint32_t sum = 0;
+  uint32_t i = symbol_count;
+  while (i > 0) {
+    sum += tree_[i];
+    i -= i & (~i + 1);
+  }
+  return sum;
+}
+
+void AdaptiveModel::FenwickAdd(uint32_t symbol, int64_t delta) {
+  uint32_t i = symbol + 1;
+  while (i <= size_) {
+    tree_[i] = static_cast<uint32_t>(static_cast<int64_t>(tree_[i]) + delta);
+    i += i & (~i + 1);
+  }
+}
+
+SymbolRange AdaptiveModel::Lookup(uint32_t symbol) const {
+  assert(symbol < size_);
+  SymbolRange r;
+  r.cum_low = FenwickPrefixSum(symbol);
+  r.cum_high = r.cum_low + freq_[symbol];
+  r.total = total_;
+  return r;
+}
+
+uint32_t AdaptiveModel::FindSymbol(uint32_t cum, SymbolRange* range) const {
+  assert(cum < total_);
+  // Binary descent over the Fenwick tree.
+  uint32_t idx = 0;
+  uint32_t remaining = cum;
+  uint32_t mask = 1;
+  while ((mask << 1) <= size_) mask <<= 1;
+  while (mask > 0) {
+    const uint32_t next = idx + mask;
+    if (next <= size_ && tree_[next] <= remaining) {
+      idx = next;
+      remaining -= tree_[next];
+    }
+    mask >>= 1;
+  }
+  const uint32_t symbol = idx;  // idx = count of symbols fully below cum.
+  assert(symbol < size_);
+  range->cum_low = cum - remaining;
+  range->cum_high = range->cum_low + freq_[symbol];
+  range->total = total_;
+  return symbol;
+}
+
+void AdaptiveModel::Update(uint32_t symbol) {
+  assert(symbol < size_);
+  freq_[symbol] += increment_;
+  FenwickAdd(symbol, increment_);
+  total_ += increment_;
+  if (total_ >= kMaxTotal) Rescale();
+}
+
+void AdaptiveModel::Rescale() {
+  total_ = 0;
+  for (uint32_t i = 0; i < size_; ++i) {
+    freq_[i] = (freq_[i] + 1) / 2;
+    total_ += freq_[i];
+  }
+  std::fill(tree_.begin(), tree_.end(), 0u);
+  for (uint32_t i = 0; i < size_; ++i) {
+    uint32_t j = i + 1;
+    while (j <= size_) {
+      tree_[j] += freq_[i];
+      j += j & (~j + 1);
+    }
+  }
+}
+
+StaticModel::StaticModel(const std::vector<uint32_t>& counts) {
+  cum_.resize(counts.size() + 1, 0);
+  uint64_t total = 0;
+  for (uint32_t c : counts) total += std::max<uint32_t>(c, 1);
+  // Scale so the total stays under the coder's precision budget.
+  const uint64_t limit = AdaptiveModel::kMaxTotal - counts.size();
+  for (size_t i = 0; i < counts.size(); ++i) {
+    uint64_t f = std::max<uint32_t>(counts[i], 1);
+    if (total > limit) {
+      f = std::max<uint64_t>(1, f * limit / total);
+    }
+    cum_[i + 1] = cum_[i] + static_cast<uint32_t>(f);
+  }
+}
+
+SymbolRange StaticModel::Lookup(uint32_t symbol) const {
+  assert(symbol + 1 < cum_.size());
+  return SymbolRange{cum_[symbol], cum_[symbol + 1], cum_.back()};
+}
+
+uint32_t StaticModel::FindSymbol(uint32_t cum, SymbolRange* range) const {
+  assert(cum < cum_.back());
+  const auto it = std::upper_bound(cum_.begin(), cum_.end(), cum);
+  const uint32_t symbol = static_cast<uint32_t>(it - cum_.begin()) - 1;
+  range->cum_low = cum_[symbol];
+  range->cum_high = cum_[symbol + 1];
+  range->total = cum_.back();
+  return symbol;
+}
+
+}  // namespace dbgc

@@ -1,0 +1,89 @@
+// Adaptive and static frequency models driving the arithmetic coder.
+//
+// The models map symbols in [0, alphabet_size) to cumulative frequency
+// ranges. The adaptive model updates counts after every symbol, so encoder
+// and decoder stay in lockstep without transmitting a table.
+
+#ifndef DBGC_ENTROPY_FREQUENCY_MODEL_H_
+#define DBGC_ENTROPY_FREQUENCY_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dbgc {
+
+/// A cumulative-frequency range for one symbol under a model.
+struct SymbolRange {
+  uint32_t cum_low = 0;   ///< Sum of frequencies of symbols before this one.
+  uint32_t cum_high = 0;  ///< cum_low + frequency of this symbol.
+  uint32_t total = 0;     ///< Total frequency of the model.
+};
+
+/// Adaptive frequency model over a fixed alphabet, backed by a Fenwick tree
+/// so lookups and updates are O(log n).
+///
+/// All symbols start with frequency 1 (so every symbol is always encodable)
+/// and gain `increment` on each occurrence. When the total exceeds
+/// kMaxTotal, all frequencies are halved (rounding up) to keep the coder's
+/// arithmetic exact and to let the model track non-stationary data.
+class AdaptiveModel {
+ public:
+  /// Maximum total frequency; must leave headroom for the 32-bit coder.
+  static constexpr uint32_t kMaxTotal = 1u << 16;
+
+  /// Creates a model over [0, alphabet_size). alphabet_size must be >= 1.
+  explicit AdaptiveModel(uint32_t alphabet_size, uint32_t increment = 32);
+
+  /// Number of symbols in the alphabet.
+  uint32_t alphabet_size() const { return size_; }
+  /// Current total frequency.
+  uint32_t total() const { return total_; }
+
+  /// Returns the cumulative range of `symbol` under the current counts.
+  SymbolRange Lookup(uint32_t symbol) const;
+
+  /// Finds the symbol whose range contains `cum` (cum < total()), and fills
+  /// *range with its cumulative range.
+  uint32_t FindSymbol(uint32_t cum, SymbolRange* range) const;
+
+  /// Records one occurrence of `symbol`.
+  void Update(uint32_t symbol);
+
+ private:
+  uint32_t FenwickPrefixSum(uint32_t symbol_count) const;  // sum of [0, n)
+  void FenwickAdd(uint32_t symbol, int64_t delta);
+  void Rescale();
+
+  uint32_t size_;
+  uint32_t increment_;
+  uint32_t total_;
+  std::vector<uint32_t> tree_;   // Fenwick tree over frequencies.
+  std::vector<uint32_t> freq_;   // Raw per-symbol frequencies.
+};
+
+/// Immutable frequency model built from explicit counts (used where the
+/// table is transmitted or implied by protocol).
+class StaticModel {
+ public:
+  /// Builds a model from per-symbol counts; zero counts are bumped to 1.
+  /// Counts are proportionally scaled so the total fits the coder's limits.
+  explicit StaticModel(const std::vector<uint32_t>& counts);
+
+  uint32_t alphabet_size() const {
+    return static_cast<uint32_t>(cum_.size() - 1);
+  }
+  uint32_t total() const { return cum_.back(); }
+
+  /// Cumulative range of `symbol`.
+  SymbolRange Lookup(uint32_t symbol) const;
+
+  /// Symbol whose range contains `cum`.
+  uint32_t FindSymbol(uint32_t cum, SymbolRange* range) const;
+
+ private:
+  std::vector<uint32_t> cum_;  // cum_[i] = sum of freq of symbols < i.
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_ENTROPY_FREQUENCY_MODEL_H_

@@ -1,0 +1,195 @@
+#include "entropy/huffman.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace dbgc {
+
+namespace {
+
+// Computes unrestricted Huffman code lengths with a two-queue algorithm,
+// then flattens over-long codes by scaling counts and retrying.
+std::vector<uint8_t> ComputeLengths(std::vector<uint64_t> counts,
+                                    int max_length) {
+  const size_t n = counts.size();
+  std::vector<uint8_t> lengths(n, 0);
+  for (;;) {
+    struct Node {
+      uint64_t weight;
+      int depth;        // Max depth of subtree; used for the length limit.
+      std::vector<uint32_t> symbols;
+    };
+    auto cmp = [](const Node& a, const Node& b) { return a.weight > b.weight; };
+    std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+    for (uint32_t i = 0; i < n; ++i) {
+      if (counts[i] > 0) heap.push(Node{counts[i], 0, {i}});
+    }
+    if (heap.empty()) return lengths;
+    if (heap.size() == 1) {
+      lengths[heap.top().symbols[0]] = 1;
+      return lengths;
+    }
+    std::fill(lengths.begin(), lengths.end(), 0);
+    while (heap.size() > 1) {
+      Node a = heap.top();
+      heap.pop();
+      Node b = heap.top();
+      heap.pop();
+      for (uint32_t s : a.symbols) ++lengths[s];
+      for (uint32_t s : b.symbols) ++lengths[s];
+      Node merged;
+      merged.weight = a.weight + b.weight;
+      merged.depth = std::max(a.depth, b.depth) + 1;
+      merged.symbols = std::move(a.symbols);
+      merged.symbols.insert(merged.symbols.end(), b.symbols.begin(),
+                            b.symbols.end());
+      heap.push(std::move(merged));
+    }
+    const int max_len =
+        *std::max_element(lengths.begin(), lengths.end());
+    if (max_len <= max_length) return lengths;
+    // Flatten the distribution and retry.
+    for (auto& c : counts) {
+      if (c > 0) c = c / 2 + 1;
+    }
+  }
+}
+
+}  // namespace
+
+Result<HuffmanCode> HuffmanCode::FromCounts(
+    const std::vector<uint64_t>& counts) {
+  if (counts.empty()) {
+    return Status::InvalidArgument("huffman: empty alphabet");
+  }
+  HuffmanCode code;
+  code.lengths_ = ComputeLengths(counts, kMaxCodeLength);
+  bool any = false;
+  for (uint8_t l : code.lengths_) any |= (l != 0);
+  if (!any) return Status::InvalidArgument("huffman: all counts are zero");
+  DBGC_RETURN_NOT_OK(code.BuildFromLengths());
+  return code;
+}
+
+Result<HuffmanCode> HuffmanCode::FromLengths(
+    const std::vector<uint8_t>& lengths) {
+  HuffmanCode code;
+  code.lengths_ = lengths;
+  DBGC_RETURN_NOT_OK(code.BuildFromLengths());
+  return code;
+}
+
+Status HuffmanCode::BuildFromLengths() {
+  const size_t n = lengths_.size();
+  codes_.assign(n, 0);
+  count_per_length_.assign(kMaxCodeLength + 1, 0);
+  for (uint8_t l : lengths_) {
+    if (l > kMaxCodeLength) {
+      return Status::Corruption("huffman: code length exceeds limit");
+    }
+    if (l > 0) ++count_per_length_[l];
+  }
+  // Canonical assignment: codes of equal length are consecutive integers,
+  // ordered by symbol value.
+  first_code_.assign(kMaxCodeLength + 1, 0);
+  first_index_.assign(kMaxCodeLength + 1, 0);
+  uint32_t code = 0;
+  uint32_t index = 0;
+  for (int l = 1; l <= kMaxCodeLength; ++l) {
+    code <<= 1;
+    first_code_[l] = code;
+    first_index_[l] = index;
+    code += count_per_length_[l];
+    index += count_per_length_[l];
+  }
+  if (code > (1u << kMaxCodeLength)) {
+    return Status::Corruption("huffman: over-subscribed code lengths");
+  }
+  sorted_symbols_.clear();
+  sorted_symbols_.reserve(index);
+  std::vector<uint32_t> next_code = first_code_;
+  sorted_symbols_.assign(index, 0);
+  std::vector<uint32_t> next_index = first_index_;
+  for (uint32_t s = 0; s < n; ++s) {
+    const uint8_t l = lengths_[s];
+    if (l == 0) continue;
+    codes_[s] = next_code[l]++;
+    sorted_symbols_[next_index[l]++] = s;
+  }
+  return Status::OK();
+}
+
+void HuffmanCode::EncodeSymbol(uint32_t symbol, BitWriter* writer) const {
+  assert(symbol < lengths_.size() && lengths_[symbol] > 0);
+  writer->WriteBits(codes_[symbol], lengths_[symbol]);
+}
+
+Status HuffmanCode::DecodeSymbol(BitReader* reader, uint32_t* symbol) const {
+  uint32_t code = 0;
+  for (int l = 1; l <= kMaxCodeLength; ++l) {
+    int bit;
+    DBGC_RETURN_NOT_OK(reader->ReadBit(&bit));
+    code = (code << 1) | static_cast<uint32_t>(bit);
+    if (count_per_length_[l] > 0 &&
+        code < first_code_[l] + count_per_length_[l] &&
+        code >= first_code_[l]) {
+      *symbol = sorted_symbols_[first_index_[l] + (code - first_code_[l])];
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("huffman: invalid code");
+}
+
+void HuffmanCode::WriteTable(BitWriter* writer) const {
+  // Encoding: for each symbol, 4-bit length; runs of >= 3 zeros are coded as
+  // length 0 followed by a 8-bit run count (3..258).
+  size_t i = 0;
+  const size_t n = lengths_.size();
+  while (i < n) {
+    if (lengths_[i] == 0) {
+      size_t run = 1;
+      while (i + run < n && lengths_[i + run] == 0 && run < 258) ++run;
+      if (run >= 3) {
+        writer->WriteBits(0, 4);
+        writer->WriteBits(run - 3, 8);
+        i += run;
+        continue;
+      }
+      // Short zero runs: emit 0 with run count 0 (i.e. a single zero).
+      writer->WriteBits(0, 4);
+      writer->WriteBits(0xFF, 8);  // Sentinel: single zero length.
+      ++i;
+      continue;
+    }
+    writer->WriteBits(lengths_[i], 4);
+    ++i;
+  }
+}
+
+Result<HuffmanCode> HuffmanCode::ReadTable(BitReader* reader,
+                                           uint32_t alphabet_size) {
+  std::vector<uint8_t> lengths;
+  lengths.reserve(alphabet_size);
+  while (lengths.size() < alphabet_size) {
+    uint64_t l;
+    DBGC_RETURN_NOT_OK(reader->ReadBits(4, &l));
+    if (l == 0) {
+      uint64_t run;
+      DBGC_RETURN_NOT_OK(reader->ReadBits(8, &run));
+      if (run == 0xFF) {
+        lengths.push_back(0);
+      } else {
+        for (uint64_t k = 0; k < run + 3; ++k) lengths.push_back(0);
+      }
+    } else {
+      lengths.push_back(static_cast<uint8_t>(l));
+    }
+  }
+  if (lengths.size() != alphabet_size) {
+    return Status::Corruption("huffman: table size mismatch");
+  }
+  return FromLengths(lengths);
+}
+
+}  // namespace dbgc

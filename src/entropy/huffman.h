@@ -1,0 +1,65 @@
+// Canonical Huffman coding [29], the entropy stage of our Deflate-style
+// compressor (lz/deflate.h).
+//
+// Code lengths are limited to kMaxCodeLength bits; the table is serialized
+// as run-length-coded code lengths, as in DEFLATE's spirit.
+
+#ifndef DBGC_ENTROPY_HUFFMAN_H_
+#define DBGC_ENTROPY_HUFFMAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitio/bit_reader.h"
+#include "bitio/bit_writer.h"
+#include "common/status.h"
+
+namespace dbgc {
+
+/// Builds and applies canonical Huffman codes over a fixed alphabet.
+class HuffmanCode {
+ public:
+  /// Maximum code length in bits.
+  static constexpr int kMaxCodeLength = 15;
+
+  /// Builds length-limited canonical codes for the given symbol counts.
+  /// Symbols with a zero count receive no code and must not be encoded.
+  /// At least one count must be non-zero.
+  static Result<HuffmanCode> FromCounts(const std::vector<uint64_t>& counts);
+
+  /// Rebuilds a code from per-symbol code lengths (0 = absent symbol).
+  static Result<HuffmanCode> FromLengths(const std::vector<uint8_t>& lengths);
+
+  /// Per-symbol code lengths (0 for absent symbols).
+  const std::vector<uint8_t>& lengths() const { return lengths_; }
+
+  /// Writes the code for `symbol`. The symbol must have a code.
+  void EncodeSymbol(uint32_t symbol, BitWriter* writer) const;
+
+  /// Reads one symbol.
+  Status DecodeSymbol(BitReader* reader, uint32_t* symbol) const;
+
+  /// Serializes the code lengths compactly (RLE of zeros + 4-bit lengths).
+  void WriteTable(BitWriter* writer) const;
+
+  /// Reads a table written by WriteTable for an alphabet of `alphabet_size`.
+  static Result<HuffmanCode> ReadTable(BitReader* reader,
+                                       uint32_t alphabet_size);
+
+ private:
+  HuffmanCode() = default;
+  Status BuildFromLengths();
+
+  std::vector<uint8_t> lengths_;      // Code length per symbol; 0 = unused.
+  std::vector<uint32_t> codes_;       // Canonical code bits per symbol.
+  // Canonical decode acceleration: for each length, the first code value and
+  // the index of its first symbol in sorted_symbols_.
+  std::vector<uint32_t> first_code_;
+  std::vector<uint32_t> first_index_;
+  std::vector<uint32_t> count_per_length_;
+  std::vector<uint32_t> sorted_symbols_;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_ENTROPY_HUFFMAN_H_

@@ -1,0 +1,50 @@
+#include "entropy/statistics.h"
+
+#include <cmath>
+#include <unordered_map>
+
+namespace dbgc {
+
+namespace {
+
+template <typename T>
+double EntropyOf(const std::vector<T>& values) {
+  if (values.empty()) return 0.0;
+  std::unordered_map<T, size_t> counts;
+  for (const T& v : values) ++counts[v];
+  const double n = static_cast<double>(values.size());
+  double h = 0.0;
+  for (const auto& [value, count] : counts) {
+    (void)value;
+    const double p = static_cast<double>(count) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+double ShannonEntropy(const std::vector<int64_t>& values) {
+  return EntropyOf(values);
+}
+
+double ShannonEntropyBytes(const std::vector<uint8_t>& bytes) {
+  return EntropyOf(bytes);
+}
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double mean = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - mean) * (v - mean);
+  return std::sqrt(acc / static_cast<double>(values.size()));
+}
+
+}  // namespace dbgc

@@ -1,0 +1,29 @@
+// Sequence statistics: Shannon entropy (Section 2.1 of the paper), mean,
+// and standard deviation. Used by tests, benchmarks, and the ablation
+// analysis to reason about why each encoding step helps.
+
+#ifndef DBGC_ENTROPY_STATISTICS_H_
+#define DBGC_ENTROPY_STATISTICS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dbgc {
+
+/// Shannon entropy H(L) in bits per element of a value sequence:
+/// H(L) = -sum_i P(v_i) log2 P(v_i), over the distinct values of L.
+/// Returns 0 for an empty sequence.
+double ShannonEntropy(const std::vector<int64_t>& values);
+
+/// Shannon entropy of a byte sequence.
+double ShannonEntropyBytes(const std::vector<uint8_t>& bytes);
+
+/// Arithmetic mean; 0 for an empty sequence.
+double Mean(const std::vector<double>& values);
+
+/// Population standard deviation; 0 for sequences shorter than 2.
+double StdDev(const std::vector<double>& values);
+
+}  // namespace dbgc
+
+#endif  // DBGC_ENTROPY_STATISTICS_H_

@@ -1,0 +1,65 @@
+#include "lidar/kitti_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace dbgc {
+
+Result<PointCloud> ParseKittiBin(const uint8_t* data, size_t size) {
+  if (size % 16 != 0) {
+    return Status::Corruption("kitti: file size is not a multiple of 16");
+  }
+  PointCloud pc;
+  pc.Reserve(size / 16);
+  for (size_t off = 0; off < size; off += 16) {
+    float v[4];
+    std::memcpy(v, data + off, 16);
+    pc.Add(static_cast<double>(v[0]), static_cast<double>(v[1]),
+           static_cast<double>(v[2]));
+  }
+  return pc;
+}
+
+std::vector<uint8_t> SerializeKittiBin(const PointCloud& pc) {
+  std::vector<uint8_t> out;
+  out.resize(pc.size() * 16);
+  size_t off = 0;
+  for (const Point3& p : pc) {
+    const float v[4] = {static_cast<float>(p.x), static_cast<float>(p.y),
+                        static_cast<float>(p.z), 0.0f};
+    std::memcpy(out.data() + off, v, 16);
+    off += 16;
+  }
+  return out;
+}
+
+Result<PointCloud> ReadKittiBin(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::IOError("cannot stat " + path);
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  const size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (read != bytes.size()) return Status::IOError("short read on " + path);
+  return ParseKittiBin(bytes.data(), bytes.size());
+}
+
+Status WriteKittiBin(const std::string& path, const PointCloud& pc) {
+  const std::vector<uint8_t> bytes = SerializeKittiBin(pc);
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) {
+    return Status::IOError("short write on " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace dbgc

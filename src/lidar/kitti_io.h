@@ -1,0 +1,31 @@
+// KITTI Velodyne binary file I/O.
+//
+// The KITTI format stores each point as four little-endian 32-bit floats:
+// x, y, z, intensity. DBGC compresses geometry only; intensity is written
+// as zero and ignored on read.
+
+#ifndef DBGC_LIDAR_KITTI_IO_H_
+#define DBGC_LIDAR_KITTI_IO_H_
+
+#include <string>
+
+#include "common/point_cloud.h"
+#include "common/status.h"
+
+namespace dbgc {
+
+/// Reads a KITTI .bin point cloud from `path`.
+Result<PointCloud> ReadKittiBin(const std::string& path);
+
+/// Writes `pc` to `path` in KITTI .bin format (intensity = 0).
+Status WriteKittiBin(const std::string& path, const PointCloud& pc);
+
+/// Parses KITTI .bin bytes from memory.
+Result<PointCloud> ParseKittiBin(const uint8_t* data, size_t size);
+
+/// Serializes `pc` to KITTI .bin bytes.
+std::vector<uint8_t> SerializeKittiBin(const PointCloud& pc);
+
+}  // namespace dbgc
+
+#endif  // DBGC_LIDAR_KITTI_IO_H_

@@ -1,0 +1,31 @@
+// PLY (Polygon File Format) point-cloud I/O: the interchange format of the
+// wider point-cloud ecosystem (Draco, CloudCompare, MeshLab). Supports
+// binary-little-endian and ASCII vertex clouds with float or double x/y/z
+// properties; other properties are skipped on read.
+
+#ifndef DBGC_LIDAR_PLY_IO_H_
+#define DBGC_LIDAR_PLY_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/point_cloud.h"
+#include "common/status.h"
+
+namespace dbgc {
+
+/// Parses a PLY file from memory.
+Result<PointCloud> ParsePly(const uint8_t* data, size_t size);
+
+/// Reads a PLY point cloud from `path`.
+Result<PointCloud> ReadPly(const std::string& path);
+
+/// Serializes `pc` as binary-little-endian PLY with float vertices.
+std::vector<uint8_t> SerializePly(const PointCloud& pc);
+
+/// Writes `pc` to `path` as binary-little-endian PLY.
+Status WritePly(const std::string& path, const PointCloud& pc);
+
+}  // namespace dbgc
+
+#endif  // DBGC_LIDAR_PLY_IO_H_

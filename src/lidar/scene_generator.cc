@@ -1,0 +1,699 @@
+#include "lidar/scene_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dbgc {
+
+std::string SceneTypeName(SceneType type) {
+  switch (type) {
+    case SceneType::kCampus:
+      return "campus";
+    case SceneType::kCity:
+      return "city";
+    case SceneType::kResidential:
+      return "residential";
+    case SceneType::kRoad:
+      return "road";
+    case SceneType::kUrban:
+      return "urban";
+    case SceneType::kFordCampus:
+      return "ford";
+  }
+  return "unknown";
+}
+
+std::vector<SceneType> AllSceneTypes() {
+  return {SceneType::kCampus, SceneType::kCity, SceneType::kResidential,
+          SceneType::kRoad,   SceneType::kUrban, SceneType::kFordCampus};
+}
+
+namespace {
+
+// Surface classes drive dropout and range-noise behaviour.
+enum class Material { kGround, kWall, kVehicle, kPole, kFoliage };
+
+struct Hit {
+  double t = std::numeric_limits<double>::infinity();
+  Material material = Material::kGround;
+  bool facade = false;  // Wall with window/reveal depth relief.
+};
+
+struct Box {
+  Point3 min;
+  Point3 max;
+  Material material = Material::kWall;
+  bool facade = false;  // Building front with window relief.
+
+  // Slab-method ray/AABB intersection from the origin along unit `d`.
+  // Returns the entry distance or infinity.
+  double Intersect(const Point3& d) const {
+    double t0 = 0.0, t1 = std::numeric_limits<double>::infinity();
+    const double o[3] = {0.0, 0.0, 0.0};
+    const double dir[3] = {d.x, d.y, d.z};
+    const double lo[3] = {min.x, min.y, min.z};
+    const double hi[3] = {max.x, max.y, max.z};
+    for (int a = 0; a < 3; ++a) {
+      if (std::fabs(dir[a]) < 1e-12) {
+        if (o[a] < lo[a] || o[a] > hi[a]) {
+          return std::numeric_limits<double>::infinity();
+        }
+        continue;
+      }
+      double ta = (lo[a] - o[a]) / dir[a];
+      double tb = (hi[a] - o[a]) / dir[a];
+      if (ta > tb) std::swap(ta, tb);
+      t0 = std::max(t0, ta);
+      t1 = std::min(t1, tb);
+      if (t0 > t1) return std::numeric_limits<double>::infinity();
+    }
+    return t0 > 1e-9 ? t0 : std::numeric_limits<double>::infinity();
+  }
+};
+
+struct Cylinder {
+  double cx = 0.0, cy = 0.0;  // Axis position (vertical axis).
+  double radius = 0.1;
+  double z_min = 0.0, z_max = 1.0;
+  Material material = Material::kPole;
+
+  double Intersect(const Point3& d) const {
+    // Solve |o_xy + t*d_xy - c_xy| = radius with o at the origin.
+    const double a = d.x * d.x + d.y * d.y;
+    if (a < 1e-12) return std::numeric_limits<double>::infinity();
+    const double b = -2.0 * (d.x * cx + d.y * cy);
+    const double c = cx * cx + cy * cy - radius * radius;
+    const double disc = b * b - 4 * a * c;
+    if (disc < 0) return std::numeric_limits<double>::infinity();
+    const double sq = std::sqrt(disc);
+    for (double t : {(-b - sq) / (2 * a), (-b + sq) / (2 * a)}) {
+      if (t > 1e-9) {
+        const double z = t * d.z;
+        if (z >= z_min && z <= z_max) return t;
+      }
+    }
+    return std::numeric_limits<double>::infinity();
+  }
+};
+
+struct Sphere {
+  Point3 center;
+  double radius = 1.0;
+  Material material = Material::kFoliage;
+
+  double Intersect(const Point3& d) const {
+    const double b = -2.0 * (d.x * center.x + d.y * center.y + d.z * center.z);
+    const double c = center.SquaredNorm() - radius * radius;
+    const double disc = b * b - 4 * c;
+    if (disc < 0) return std::numeric_limits<double>::infinity();
+    const double sq = std::sqrt(disc);
+    const double t = (-b - sq) / 2;
+    return t > 1e-9 ? t : std::numeric_limits<double>::infinity();
+  }
+};
+
+// A rectangular ground region with extra surface relief (grass strips,
+// gravel shoulders, lawns): smooth asphalt compresses trivially under an
+// octree, real roadsides do not.
+struct RoughPatch {
+  double x0 = 0.0, x1 = 0.0, y0 = 0.0, y1 = 0.0;
+  double sigma = 0.03;  // Extra relief std-dev in meters.
+
+  bool Contains(double x, double y) const {
+    return x >= x0 && x <= x1 && y >= y0 && y <= y1;
+  }
+};
+
+// A procedural scene: ground plane plus primitive lists. The sensor sits at
+// the origin; the ground is at z = -mount_height.
+struct Scene {
+  double ground_z = -1.73;
+  double ground_roughness = 0.012;  // Std-dev of iid surface noise (m).
+  std::vector<Box> boxes;
+  std::vector<Cylinder> cylinders;
+  std::vector<Sphere> spheres;
+  std::vector<RoughPatch> rough_patches;
+  // Correlated terrain undulation (two sinusoidal octaves); amplitude is
+  // scaled by the local rough-patch sigma. Real verges and lawns are
+  // smooth at the footprint scale but undulate over meters, which is what
+  // spreads ground returns across several octree cells vertically.
+  double terrain_k1x = 1.1, terrain_k1y = 0.7, terrain_p1 = 0.0;
+  double terrain_k2x = 2.3, terrain_k2y = 2.7, terrain_p2 = 0.0;
+
+  double PatchSigma(double x, double y) const {
+    double sigma = 0.0;
+    for (const RoughPatch& p : rough_patches) {
+      if (p.Contains(x, y)) sigma = std::max(sigma, p.sigma);
+    }
+    return sigma;
+  }
+
+  // Deterministic relief height at (x, y): correlated octaves scaled by
+  // the local patch sigma.
+  double TerrainRelief(double x, double y) const {
+    const double sigma = PatchSigma(x, y);
+    if (sigma == 0.0) return 0.0;
+    const double o1 = std::sin(terrain_k1x * x + terrain_p1) *
+                      std::sin(terrain_k1y * y + 0.4);
+    const double o2 = std::sin(terrain_k2x * x + terrain_p2) *
+                      std::sin(terrain_k2y * y + 1.3);
+    return sigma * (1.2 * o1 + 0.3 * o2);
+  }
+
+  Hit Cast(const Point3& d) const {
+    Hit hit;
+    if (d.z < -1e-6) {
+      const double t = ground_z / d.z;
+      if (t > 1e-9 && t < hit.t) {
+        hit.t = t;
+        hit.material = Material::kGround;
+      }
+    }
+    for (const Box& b : boxes) {
+      const double t = b.Intersect(d);
+      if (t < hit.t) {
+        hit.t = t;
+        hit.material = b.material;
+        hit.facade = b.facade;
+      }
+    }
+    for (const Cylinder& c : cylinders) {
+      const double t = c.Intersect(d);
+      if (t < hit.t) {
+        hit.t = t;
+        hit.material = c.material;
+      }
+    }
+    for (const Sphere& s : spheres) {
+      const double t = s.Intersect(d);
+      if (t < hit.t) {
+        hit.t = t;
+        hit.material = s.material;
+      }
+    }
+    return hit;
+  }
+};
+
+void AddCar(Scene* scene, Rng* rng, double x, double y, double heading_90) {
+  // Cars are modelled as two stacked boxes (body + cabin), axis-aligned for
+  // speed; heading_90 flips length/width.
+  double len = 4.2 + rng->NextRange(-0.5, 0.8);
+  double wid = 1.8 + rng->NextRange(-0.1, 0.2);
+  if (heading_90 > 0.5) std::swap(len, wid);
+  const double gz = scene->ground_z;
+  scene->boxes.push_back(Box{Point3{x - len / 2, y - wid / 2, gz + 0.25},
+                             Point3{x + len / 2, y + wid / 2, gz + 1.45},
+                             Material::kVehicle});
+  scene->boxes.push_back(
+      Box{Point3{x - len / 4, y - wid / 2 + 0.15, gz + 1.45},
+          Point3{x + len / 4, y + wid / 2 - 0.15, gz + 1.75},
+          Material::kVehicle});
+}
+
+void AddTree(Scene* scene, Rng* rng, double x, double y) {
+  const double gz = scene->ground_z;
+  const double trunk_h = rng->NextRange(2.5, 5.0);
+  scene->cylinders.push_back(Cylinder{x, y, rng->NextRange(0.12, 0.35),
+                                      gz, gz + trunk_h, Material::kPole});
+  scene->spheres.push_back(
+      Sphere{Point3{x, y, gz + trunk_h + rng->NextRange(1.0, 2.5)},
+             rng->NextRange(1.5, 3.5), Material::kFoliage});
+}
+
+void AddPole(Scene* scene, Rng* rng, double x, double y) {
+  const double gz = scene->ground_z;
+  scene->cylinders.push_back(Cylinder{x, y, rng->NextRange(0.06, 0.18), gz,
+                                      gz + rng->NextRange(4.0, 9.0),
+                                      Material::kPole});
+}
+
+void AddBush(Scene* scene, Rng* rng, double x, double y) {
+  const double gz = scene->ground_z;
+  scene->spheres.push_back(
+      Sphere{Point3{x, y, gz + rng->NextRange(0.3, 0.8)},
+             rng->NextRange(0.5, 1.4), Material::kFoliage});
+}
+
+// Small street furniture and mid-range clutter: bins, bollards, rocks,
+// shrubs. Individually minor, collectively they dominate the sparse band
+// of real scans.
+void AddClutter(Scene* scene, Rng* rng, int count, double min_range,
+                double max_range) {
+  const double gz = scene->ground_z;
+  for (int i = 0; i < count; ++i) {
+    const double angle = rng->NextRange(0, 2 * M_PI);
+    const double range = rng->NextRange(min_range, max_range);
+    const double x = range * std::cos(angle);
+    const double y = range * std::sin(angle);
+    switch (rng->NextBounded(3)) {
+      case 0:  // Bin / hydrant / bollard.
+        scene->cylinders.push_back(
+            Cylinder{x, y, rng->NextRange(0.12, 0.45), gz,
+                     gz + rng->NextRange(0.5, 1.3), Material::kPole});
+        break;
+      case 1:  // Shrub.
+        scene->spheres.push_back(
+            Sphere{Point3{x, y, gz + rng->NextRange(0.2, 0.6)},
+                   rng->NextRange(0.3, 0.9), Material::kFoliage});
+        break;
+      default:  // Rock / crate.
+        scene->boxes.push_back(
+            Box{Point3{x - 0.3, y - 0.3, gz},
+                Point3{x + rng->NextRange(0.2, 0.7),
+                       y + rng->NextRange(0.2, 0.7),
+                       gz + rng->NextRange(0.3, 0.9)},
+                Material::kVehicle});
+        break;
+    }
+  }
+}
+
+// Pedestrians: thin vertical boxes.
+void AddPedestrians(Scene* scene, Rng* rng, int count, double min_lat,
+                    double max_lat) {
+  const double gz = scene->ground_z;
+  for (int i = 0; i < count; ++i) {
+    const double x = rng->NextRange(-45, 45);
+    const double y = (rng->NextBool(0.5) ? 1 : -1) *
+                     rng->NextRange(min_lat, max_lat);
+    scene->boxes.push_back(
+        Box{Point3{x - 0.25, y - 0.25, gz},
+            Point3{x + 0.25, y + 0.25, gz + rng->NextRange(1.5, 1.9)},
+            Material::kVehicle});
+  }
+}
+
+// Cross-street facades closing the corridor at both ends, plus a queue of
+// distant vehicles down the road. Long-range face-on walls are the classic
+// content of street scans: isolated for an octree (samples many cells
+// apart) yet azimuth-regular for scan-order coding.
+void AddCorridorEnds(Scene* scene, Rng* rng, double road_half_width) {
+  const double gz = scene->ground_z;
+  for (int side : {-1, 1}) {
+    const double x0 = side * rng->NextRange(55.0, 90.0);
+    const double depth = rng->NextRange(8.0, 15.0) * side;
+    // Two facade segments leaving a road gap.
+    const double gap = road_half_width + rng->NextRange(0.0, 3.0);
+    scene->boxes.push_back(Box{
+        Point3{std::min(x0, x0 + depth), gap, gz},
+        Point3{std::max(x0, x0 + depth), gap + rng->NextRange(20.0, 45.0),
+               gz + rng->NextRange(10.0, 30.0)},
+        Material::kWall, /*facade=*/true});
+    scene->boxes.push_back(Box{
+        Point3{std::min(x0, x0 + depth), -gap - rng->NextRange(20.0, 45.0),
+               gz},
+        Point3{std::max(x0, x0 + depth), -gap, gz + rng->NextRange(10.0, 30.0)},
+        Material::kWall, /*facade=*/true});
+    // Sometimes a block fully closes the view farther out.
+    if (rng->NextBool(0.6)) {
+      const double x1 = side * rng->NextRange(95.0, 118.0);
+      scene->boxes.push_back(Box{
+          Point3{std::min(x1, x1 + depth), -50, gz},
+          Point3{std::max(x1, x1 + depth), 50, gz + rng->NextRange(8.0, 25.0)},
+          Material::kWall, /*facade=*/true});
+    }
+  }
+  // Distant traffic down the corridor.
+  const int cars = 4 + static_cast<int>(rng->NextBounded(5));
+  for (int i = 0; i < cars; ++i) {
+    AddCar(scene, rng, (rng->NextBool(0.5) ? 1 : -1) * rng->NextRange(35, 85),
+           rng->NextRange(-road_half_width * 0.8, road_half_width * 0.8), 0.0);
+  }
+}
+
+// Grass/gravel verges flanking the roadway between |y| = inner and outer.
+void AddVerges(Scene* scene, double inner, double outer, double sigma) {
+  scene->rough_patches.push_back(RoughPatch{-95, 95, inner, outer, sigma});
+  scene->rough_patches.push_back(RoughPatch{-95, 95, -outer, -inner, sigma});
+}
+
+void AddBuildingRow(Scene* scene, Rng* rng, double offset_y, int side,
+                    double min_h, double max_h, double gap_prob,
+                    double depth = 12.0) {
+  // A row of facades parallel to the x axis at lateral distance offset_y.
+  double x = -90.0;
+  const double gz = scene->ground_z;
+  while (x < 90.0) {
+    const double width = rng->NextRange(8.0, 22.0);
+    if (!rng->NextBool(gap_prob)) {
+      const double h = rng->NextRange(min_h, max_h);
+      const double y0 = side * offset_y;
+      const double y1 = side * (offset_y + depth);
+      scene->boxes.push_back(Box{
+          Point3{x, std::min(y0, y1), gz},
+          Point3{x + width, std::max(y0, y1), gz + h}, Material::kWall,
+          /*facade=*/true});
+    }
+    x += width + rng->NextRange(0.5, 6.0);
+  }
+}
+
+Scene BuildScene(SceneType type, Rng* rng, double mount_height) {
+  Scene scene;
+  scene.ground_z = -mount_height;
+  scene.terrain_p1 = rng->NextRange(0, 2 * M_PI);
+  scene.terrain_p2 = rng->NextRange(0, 2 * M_PI);
+  scene.terrain_k1x = rng->NextRange(0.7, 1.6);
+  scene.terrain_k1y = rng->NextRange(0.5, 1.2);
+  switch (type) {
+    case SceneType::kCity: {
+      scene.ground_roughness = 0.010;
+      AddVerges(&scene, 6.8, 15.0, 0.040);
+      AddBuildingRow(&scene, rng, rng->NextRange(12.0, 18.0), +1, 8.0, 35.0,
+                     0.12);
+      AddBuildingRow(&scene, rng, rng->NextRange(12.0, 18.0), -1, 8.0, 35.0,
+                     0.12);
+      AddClutter(&scene, rng, 45, 8.0, 60.0);
+      AddPedestrians(&scene, rng, 12, 4.5, 12.0);
+      AddCorridorEnds(&scene, rng, 7.0);
+      const int cars = 10 + static_cast<int>(rng->NextBounded(8));
+      for (int i = 0; i < cars; ++i) {
+        AddCar(&scene, rng, rng->NextRange(-45, 45),
+               rng->NextRange(-6.5, 6.5), 0.0);
+      }
+      for (int i = 0; i < 12; ++i) {
+        const int side = rng->NextBool(0.5) ? 1 : -1;
+        AddPole(&scene, rng, rng->NextRange(-60, 60),
+                side * rng->NextRange(5.5, 7.0));
+      }
+      for (int i = 0; i < 18; ++i) {
+        const int side = rng->NextBool(0.5) ? 1 : -1;
+        AddBush(&scene, rng, rng->NextRange(-50, 50),
+                side * rng->NextRange(5.0, 8.5));
+      }
+      for (int i = 0; i < 6; ++i) {
+        const int side = rng->NextBool(0.5) ? 1 : -1;
+        AddTree(&scene, rng, rng->NextRange(-45, 45),
+                side * rng->NextRange(6.0, 9.0));
+      }
+      break;
+    }
+    case SceneType::kUrban: {
+      scene.ground_roughness = 0.010;
+      AddVerges(&scene, 5.8, 12.0, 0.035);
+      AddBuildingRow(&scene, rng, rng->NextRange(9.0, 14.0), +1, 15.0, 60.0,
+                     0.06);
+      AddBuildingRow(&scene, rng, rng->NextRange(9.0, 14.0), -1, 15.0, 60.0,
+                     0.06);
+      AddClutter(&scene, rng, 40, 7.0, 50.0);
+      AddPedestrians(&scene, rng, 18, 4.0, 9.0);
+      AddCorridorEnds(&scene, rng, 6.0);
+      const int cars = 18 + static_cast<int>(rng->NextBounded(10));
+      for (int i = 0; i < cars; ++i) {
+        AddCar(&scene, rng, rng->NextRange(-50, 50),
+               rng->NextRange(-5.5, 5.5), 0.0);
+      }
+      for (int i = 0; i < 16; ++i) {
+        const int side = rng->NextBool(0.5) ? 1 : -1;
+        AddPole(&scene, rng, rng->NextRange(-60, 60),
+                side * rng->NextRange(4.5, 5.8));
+      }
+      for (int i = 0; i < 14; ++i) {
+        AddBush(&scene, rng, rng->NextRange(-55, 55),
+                (rng->NextBool(0.5) ? 1 : -1) * rng->NextRange(4.2, 6.0));
+      }
+      break;
+    }
+    case SceneType::kResidential: {
+      scene.ground_roughness = 0.018;
+      AddVerges(&scene, 5.5, 30.0, 0.045);
+      AddClutter(&scene, rng, 50, 7.0, 60.0);
+      AddPedestrians(&scene, rng, 6, 4.0, 10.0);
+      AddCorridorEnds(&scene, rng, 6.5);
+      AddBuildingRow(&scene, rng, rng->NextRange(9.0, 14.0), +1, 4.0, 9.0,
+                     0.35, 9.0);
+      AddBuildingRow(&scene, rng, rng->NextRange(9.0, 14.0), -1, 4.0, 9.0,
+                     0.35, 9.0);
+      // Fences: long thin boxes near the road edge.
+      for (int side : {-1, 1}) {
+        const double y = side * rng->NextRange(6.5, 8.0);
+        scene.boxes.push_back(
+            Box{Point3{-70, y - 0.08, scene.ground_z},
+                Point3{70, y + 0.08, scene.ground_z + 1.6}, Material::kWall});
+      }
+      const int cars = 6 + static_cast<int>(rng->NextBounded(5));
+      for (int i = 0; i < cars; ++i) {
+        AddCar(&scene, rng, rng->NextRange(-35, 35),
+               (rng->NextBool(0.5) ? 1 : -1) * rng->NextRange(3.2, 5.6), 0.0);
+      }
+      for (int i = 0; i < 18; ++i) {
+        const int side = rng->NextBool(0.5) ? 1 : -1;
+        AddTree(&scene, rng, rng->NextRange(-55, 55),
+                side * rng->NextRange(7.5, 20.0));
+      }
+      for (int i = 0; i < 20; ++i) {
+        const int side = rng->NextBool(0.5) ? 1 : -1;
+        AddBush(&scene, rng, rng->NextRange(-50, 50),
+                side * rng->NextRange(6.0, 18.0));
+      }
+      break;
+    }
+    case SceneType::kCampus: {
+      scene.ground_roughness = 0.016;
+      // Lawns everywhere except the access road.
+      scene.rough_patches.push_back(RoughPatch{-95, 95, 5.0, 95, 0.045});
+      scene.rough_patches.push_back(RoughPatch{-95, 95, -95, -5.0, 0.045});
+      AddClutter(&scene, rng, 55, 8.0, 70.0);
+      AddPedestrians(&scene, rng, 10, 3.0, 25.0);
+      // A few large blocks at moderate distance with open lawns.
+      for (int i = 0; i < 5; ++i) {
+        const double cx = rng->NextRange(-60, 60);
+        const double cy = (rng->NextBool(0.5) ? 1 : -1) *
+                          rng->NextRange(14.0, 45.0);
+        const double w = rng->NextRange(15, 40), d = rng->NextRange(10, 25);
+        scene.boxes.push_back(Box{
+            Point3{cx - w / 2, cy - d / 2, scene.ground_z},
+            Point3{cx + w / 2, cy + d / 2,
+                   scene.ground_z + rng->NextRange(8, 25)},
+            Material::kWall});
+      }
+      for (int i = 0; i < 25; ++i) {
+        AddTree(&scene, rng, rng->NextRange(-55, 55), rng->NextRange(-55, 55));
+      }
+      const int cars = 4 + static_cast<int>(rng->NextBounded(4));
+      for (int i = 0; i < cars; ++i) {
+        AddCar(&scene, rng, rng->NextRange(-30, 30), rng->NextRange(-10, 10),
+               0.0);
+      }
+      for (int i = 0; i < 8; ++i) {
+        AddPole(&scene, rng, rng->NextRange(-45, 45), rng->NextRange(-45, 45));
+      }
+      for (int i = 0; i < 15; ++i) {
+        AddBush(&scene, rng, rng->NextRange(-50, 50), rng->NextRange(-50, 50));
+      }
+      break;
+    }
+    case SceneType::kRoad: {
+      scene.ground_roughness = 0.008;
+      AddVerges(&scene, 9.0, 40.0, 0.050);
+      AddClutter(&scene, rng, 35, 12.0, 80.0);
+      AddCorridorEnds(&scene, rng, 9.0);
+      // Noise barriers / guard rails along an open highway.
+      for (int side : {-1, 1}) {
+        const double y = side * rng->NextRange(12.0, 18.0);
+        scene.boxes.push_back(
+            Box{Point3{-90, y - 0.2, scene.ground_z},
+                Point3{90, y + 0.2, scene.ground_z + rng->NextRange(2.5, 4.5)},
+                Material::kWall});
+        const double ry = side * rng->NextRange(8.0, 10.5);
+        scene.boxes.push_back(
+            Box{Point3{-90, ry - 0.06, scene.ground_z + 0.4},
+                Point3{90, ry + 0.06, scene.ground_z + 0.8}, Material::kWall});
+      }
+      const int cars = 8 + static_cast<int>(rng->NextBounded(6));
+      for (int i = 0; i < cars; ++i) {
+        AddCar(&scene, rng, rng->NextRange(-70, 70), rng->NextRange(-7.5, 7.5),
+               0.0);
+      }
+      for (int i = 0; i < 16; ++i) {
+        const int side = rng->NextBool(0.5) ? 1 : -1;
+        AddBush(&scene, rng, rng->NextRange(-80, 80),
+                side * rng->NextRange(10.5, 16.0));
+      }
+      // Occasional distant building.
+      for (int i = 0; i < 3; ++i) {
+        const double cx = rng->NextRange(-80, 80);
+        const double cy = (rng->NextBool(0.5) ? 1 : -1) *
+                          rng->NextRange(30.0, 70.0);
+        scene.boxes.push_back(Box{
+            Point3{cx, cy, scene.ground_z},
+            Point3{cx + rng->NextRange(10, 30), cy + rng->NextRange(8, 20),
+                   scene.ground_z + rng->NextRange(5, 15)},
+            Material::kWall});
+      }
+      break;
+    }
+    case SceneType::kFordCampus: {
+      scene.ground_roughness = 0.014;
+      scene.rough_patches.push_back(RoughPatch{-95, 95, 16.0, 95, 0.040});
+      scene.rough_patches.push_back(RoughPatch{-95, 95, -95, -16.0, 0.040});
+      AddClutter(&scene, rng, 45, 8.0, 70.0);
+      AddPedestrians(&scene, rng, 8, 4.0, 20.0);
+      for (int i = 0; i < 4; ++i) {
+        const double cx = rng->NextRange(-55, 55);
+        const double cy = (rng->NextBool(0.5) ? 1 : -1) *
+                          rng->NextRange(16.0, 40.0);
+        const double w = rng->NextRange(20, 45), d = rng->NextRange(12, 22);
+        scene.boxes.push_back(Box{
+            Point3{cx - w / 2, cy - d / 2, scene.ground_z},
+            Point3{cx + w / 2, cy + d / 2,
+                   scene.ground_z + rng->NextRange(6, 18)},
+            Material::kWall});
+      }
+      // Parking rows: regularly spaced cars.
+      const double row_y = (rng->NextBool(0.5) ? 1 : -1) *
+                           rng->NextRange(8.0, 14.0);
+      for (int i = 0; i < 10; ++i) {
+        if (rng->NextBool(0.75)) {
+          AddCar(&scene, rng, -30.0 + i * 6.0,
+                 row_y + rng->NextRange(-0.3, 0.3), 1.0);
+        }
+      }
+      for (int i = 0; i < 10; ++i) {
+        AddTree(&scene, rng, rng->NextRange(-50, 50), rng->NextRange(-50, 50));
+      }
+      for (int i = 0; i < 6; ++i) {
+        AddPole(&scene, rng, rng->NextRange(-40, 40), rng->NextRange(-40, 40));
+      }
+      for (int i = 0; i < 12; ++i) {
+        AddBush(&scene, rng, rng->NextRange(-45, 45), rng->NextRange(-45, 45));
+      }
+      break;
+    }
+  }
+  return scene;
+}
+
+// Range-dependent probability that a beam yields no return.
+double DropoutProbability(Material material, double r, double r_max) {
+  const double x = r / r_max;
+  switch (material) {
+    case Material::kGround: {
+      // Grazing asphalt/soil returns fade fast: weak beyond ~30 m, mostly
+      // gone by ~55 m. This is what isolates far ground rings in real
+      // captures.
+      const double g = r / 55.0;
+      return std::min(0.97, 0.05 + 0.95 * g * g);
+    }
+    case Material::kWall:
+      return 0.02 + 0.25 * x * x;
+    case Material::kVehicle:
+      return 0.04 + 0.35 * x * x;  // Paint/glass lose some returns.
+    case Material::kPole:
+      return 0.10 + 0.30 * x;
+    case Material::kFoliage:
+      return 0.12 + 0.25 * x;      // Canopies are porous.
+  }
+  return 0.5;
+}
+
+}  // namespace
+
+SceneGenerator::SceneGenerator(SceneType type, uint64_t seed)
+    : type_(type), seed_(seed) {}
+
+PointCloud SceneGenerator::Generate(uint32_t frame_index,
+                                    const SensorMetadata& sensor) const {
+  const uint64_t frame_seed =
+      seed_ ^ (static_cast<uint64_t>(type_) * 0x9E3779B97F4A7C15ULL) ^
+      (static_cast<uint64_t>(frame_index) * 0xD1B54A32D192ED03ULL);
+  Rng rng(frame_seed);
+  const Scene scene = BuildScene(type_, &rng, sensor.mount_height);
+
+  PointCloud pc;
+  pc.Reserve(static_cast<size_t>(sensor.horizontal_samples) *
+             sensor.vertical_samples / 2);
+
+  const double u_theta = sensor.AzimuthStep();
+  const double u_phi = sensor.PolarStep();
+  // Calibration jitter: the released (calibrated) cloud deviates from the
+  // raw sampling grid (Figure 5). Each ring also has a fixed elevation
+  // offset, as physical lasers do.
+  std::vector<double> ring_offset(sensor.vertical_samples);
+  std::vector<double> ring_phase(sensor.vertical_samples);
+  std::vector<double> ring_range_bias(sensor.vertical_samples);
+  for (double& o : ring_offset) o = rng.NextGaussian() * 0.12 * u_phi;
+  for (double& o : ring_phase) o = rng.NextGaussian() * 0.25 * u_theta;
+  // Most of the HDL-64E's ~2 cm range error is a systematic per-laser bias
+  // that survives calibration; the per-return component is smaller.
+  for (double& o : ring_range_bias) o = rng.NextGaussian() * 0.015;
+
+  for (int w = 0; w < sensor.vertical_samples; ++w) {
+    const double phi0 =
+        sensor.phi_max - (w + 0.5) * u_phi + ring_offset[w];
+    for (int h = 0; h < sensor.horizontal_samples; ++h) {
+      // Calibration offsets are fixed per ring; per-sample angular noise is
+      // small (encoder ticks), which is what keeps calibrated clouds
+      // near-regular in (theta, phi) space (Figure 5).
+      const double theta0 = sensor.theta_min + (h + 0.5) * u_theta;
+      // Angles are encoder-driven and essentially deterministic in
+      // calibrated data; residual per-sample wobble is a tiny fraction of
+      // a step. The measurement noise lives in the range channel.
+      const double theta =
+          theta0 + ring_phase[w] + rng.NextGaussian() * 0.004 * u_theta;
+      const double phi = phi0 + rng.NextGaussian() * 0.003 * u_phi;
+      const double cos_phi = std::cos(phi);
+      const Point3 dir{cos_phi * std::cos(theta), cos_phi * std::sin(theta),
+                       std::sin(phi)};
+      const Hit hit = scene.Cast(dir);
+      if (!std::isfinite(hit.t) || hit.t < sensor.r_min ||
+          hit.t > sensor.r_max) {
+        continue;
+      }
+      if (rng.NextBool(DropoutProbability(hit.material, hit.t,
+                                          sensor.r_max))) {
+        continue;
+      }
+      double r = hit.t + ring_range_bias[w] + rng.NextGaussian() * 0.007;
+      if (hit.material == Material::kFoliage) {
+        // Returns scatter within the canopy volume.
+        r += rng.NextRange(0.0, 0.8);
+      }
+      if (hit.facade && hit.material == Material::kWall) {
+        // Window reveals and balconies: a deterministic depth pattern in
+        // facade coordinates. Correlated along scan rings (a ring crosses
+        // whole windows), but it layers the wall across several octree
+        // cells in depth.
+        const Point3 wall_hit = dir * hit.t;
+        const double u = wall_hit.x + 0.37 * wall_hit.y;  // Along-facade.
+        const double v = wall_hit.z + sensor.mount_height;
+        const double cell_u = u - 2.2 * std::floor(u / 2.2);
+        const double cell_v = v - 3.0 * std::floor(v / 3.0);
+        const bool window = cell_u > 0.5 && cell_u < 1.9 && cell_v > 0.9 &&
+                            cell_v < 2.4;
+        if (window) {
+          // Recess depth varies per floor/column but is constant within
+          // one window.
+          const double recess =
+              0.18 + 0.22 * std::fabs(std::sin(std::floor(u / 2.2) * 1.7 +
+                                               std::floor(v / 3.0) * 2.9));
+          r += recess / std::max(0.25, std::fabs(dir.y));
+        }
+      }
+      if (hit.material == Material::kGround) {
+        // Vertical relief dz shifts the range by ~dz / sin(|phi|); grazing
+        // incidence amplifies surface structure. The correlated terrain
+        // component varies smoothly along a scan ring while the small iid
+        // component models grass blades and gravel.
+        const Point3 ground_hit = dir * hit.t;
+        const double amplification =
+            1.0 / std::max(std::fabs(std::sin(phi)), 0.08);
+        // Sub-footprint roughness is averaged out by the beam footprint
+        // (5-15 cm at range), so only the macroscopic profile is amplified.
+        const double dz_terrain =
+            scene.TerrainRelief(ground_hit.x, ground_hit.y);
+        const double dz_iid = rng.NextGaussian() * scene.ground_roughness;
+        double dr = dz_terrain * amplification + dz_iid;
+        dr = std::clamp(dr, -2.5, 2.5);
+        r += dr;
+      }
+      if (r < sensor.r_min) continue;
+      pc.Add(dir * r);
+    }
+  }
+  return pc;
+}
+
+}  // namespace dbgc

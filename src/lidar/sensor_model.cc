@@ -1,0 +1,89 @@
+#include "lidar/sensor_model.h"
+
+#include <sstream>
+
+namespace dbgc {
+
+SensorMetadata SensorMetadata::VelodyneHdl64e(int horizontal_samples) {
+  SensorMetadata m;
+  m.theta_min = -M_PI;
+  m.theta_max = M_PI;
+  m.phi_min = -24.8 * M_PI / 180.0;
+  m.phi_max = 2.0 * M_PI / 180.0;
+  m.r_min = 0.9;
+  m.r_max = 120.0;
+  m.horizontal_samples = horizontal_samples;
+  m.vertical_samples = 64;
+  m.frames_per_second = 10.0;
+  m.mount_height = 1.73;
+  return m;
+}
+
+std::string SensorMetadata::ToConfigString() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "theta_min " << theta_min << "\n";
+  out << "theta_max " << theta_max << "\n";
+  out << "phi_min " << phi_min << "\n";
+  out << "phi_max " << phi_max << "\n";
+  out << "r_min " << r_min << "\n";
+  out << "r_max " << r_max << "\n";
+  out << "horizontal_samples " << horizontal_samples << "\n";
+  out << "vertical_samples " << vertical_samples << "\n";
+  out << "frames_per_second " << frames_per_second << "\n";
+  out << "mount_height " << mount_height << "\n";
+  return out.str();
+}
+
+Result<SensorMetadata> SensorMetadata::FromConfigString(
+    const std::string& config) {
+  SensorMetadata m = VelodyneHdl64e();
+  std::istringstream in(config);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key.empty()) continue;
+    double value;
+    if (!(ls >> value)) {
+      return Status::InvalidArgument("sensor config: bad value for " + key);
+    }
+    if (key == "theta_min") {
+      m.theta_min = value;
+    } else if (key == "theta_max") {
+      m.theta_max = value;
+    } else if (key == "phi_min") {
+      m.phi_min = value;
+    } else if (key == "phi_max") {
+      m.phi_max = value;
+    } else if (key == "r_min") {
+      m.r_min = value;
+    } else if (key == "r_max") {
+      m.r_max = value;
+    } else if (key == "horizontal_samples") {
+      m.horizontal_samples = static_cast<int>(value);
+    } else if (key == "vertical_samples") {
+      m.vertical_samples = static_cast<int>(value);
+    } else if (key == "frames_per_second") {
+      m.frames_per_second = value;
+    } else if (key == "mount_height") {
+      m.mount_height = value;
+    } else {
+      return Status::InvalidArgument("sensor config: unknown key " + key);
+    }
+  }
+  if (m.horizontal_samples <= 0 || m.vertical_samples <= 0) {
+    return Status::InvalidArgument("sensor config: sample counts must be > 0");
+  }
+  if (m.theta_max <= m.theta_min || m.phi_max <= m.phi_min) {
+    return Status::InvalidArgument("sensor config: empty angular range");
+  }
+  if (m.r_max <= m.r_min || m.r_min < 0) {
+    return Status::InvalidArgument("sensor config: bad radial range");
+  }
+  return m;
+}
+
+}  // namespace dbgc

@@ -1,0 +1,61 @@
+// LiDAR sensor metadata (Section 3.3).
+//
+// The metadata carries the spherical-coordinate ranges and the horizontal /
+// vertical sample counts H and W, from which the average per-sample angle
+// steps u_theta and u_phi are derived. DBGC ships the Velodyne HDL-64E
+// profile [9]; other sensors are supported by constructing a SensorMetadata
+// directly ("importing the metadata of the sensor" in the paper's words).
+
+#ifndef DBGC_LIDAR_SENSOR_MODEL_H_
+#define DBGC_LIDAR_SENSOR_MODEL_H_
+
+#include <cmath>
+#include <string>
+
+#include "common/status.h"
+
+namespace dbgc {
+
+/// Spherical-coordinate ranges and sampling geometry of a LiDAR sensor.
+struct SensorMetadata {
+  double theta_min = -M_PI;  ///< Minimum azimuthal angle (radians).
+  double theta_max = M_PI;   ///< Maximum azimuthal angle (radians).
+  double phi_min = 0.0;      ///< Minimum polar (elevation) angle (radians).
+  double phi_max = 0.0;      ///< Maximum polar (elevation) angle (radians).
+  double r_min = 0.0;        ///< Minimum measurable range (meters).
+  double r_max = 0.0;        ///< Maximum measurable range (meters).
+  int horizontal_samples = 0;  ///< H: samples per revolution.
+  int vertical_samples = 0;    ///< W: number of laser rings.
+  double frames_per_second = 10.0;  ///< Capture rate (frames/second).
+  double mount_height = 1.73;       ///< Sensor height above ground (meters).
+
+  /// u_theta: average azimuthal step between adjacent samples.
+  double AzimuthStep() const {
+    return (theta_max - theta_min) / horizontal_samples;
+  }
+  /// u_phi: average polar step between adjacent rings.
+  double PolarStep() const {
+    return (phi_max - phi_min) / vertical_samples;
+  }
+
+  /// The Velodyne HDL-64E profile: 64 rings spanning +2 deg to -24.8 deg,
+  /// 360 deg azimuth, 120 m range, 10 Hz.
+  ///
+  /// `horizontal_samples` defaults to 2083 so a full frame carries about
+  /// 133 K beams; with realistic dropout this lands near the ~100 K points
+  /// per frame of the KITTI captures used in the paper.
+  static SensorMetadata VelodyneHdl64e(int horizontal_samples = 2083);
+
+  /// Serializes the metadata as "key value" lines - the import format for
+  /// applying DBGC to other sensor types (Section 4.1: "users can easily
+  /// apply DBGC on other types of sensors by importing the metadata").
+  std::string ToConfigString() const;
+
+  /// Parses a ToConfigString-style config. Unknown keys are rejected;
+  /// missing keys keep the HDL-64E defaults. '#' starts a comment line.
+  static Result<SensorMetadata> FromConfigString(const std::string& config);
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_LIDAR_SENSOR_MODEL_H_

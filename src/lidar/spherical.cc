@@ -1,0 +1,33 @@
+#include "lidar/spherical.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dbgc {
+
+SphericalPoint CartesianToSpherical(const Point3& p) {
+  SphericalPoint s;
+  s.r = p.Norm();
+  if (s.r == 0.0) return s;
+  s.theta = std::atan2(p.y, p.x);
+  const double ratio = std::clamp(p.z / s.r, -1.0, 1.0);
+  s.phi = std::asin(ratio);
+  return s;
+}
+
+Point3 SphericalToCartesian(const SphericalPoint& s) {
+  const double cos_phi = std::cos(s.phi);
+  return Point3{s.r * cos_phi * std::cos(s.theta),
+                s.r * cos_phi * std::sin(s.theta), s.r * std::sin(s.phi)};
+}
+
+SphericalErrorBounds SphericalErrorBounds::FromCartesian(double q_xyz,
+                                                         double r_max) {
+  SphericalErrorBounds b;
+  b.q_theta = q_xyz / r_max;
+  b.q_phi = q_xyz / r_max;
+  b.q_r = q_xyz;
+  return b;
+}
+
+}  // namespace dbgc

@@ -1,0 +1,35 @@
+// Cartesian <-> spherical coordinate conversion (Section 3.3) and the
+// per-dimension spherical error bounds of Theorem 3.2.
+
+#ifndef DBGC_LIDAR_SPHERICAL_H_
+#define DBGC_LIDAR_SPHERICAL_H_
+
+#include <vector>
+
+#include "common/point_cloud.h"
+
+namespace dbgc {
+
+/// Converts a Cartesian point (relative to the sensor origin) to spherical
+/// coordinates: theta = atan2(y, x) in (-pi, pi], phi = elevation from the
+/// xy-plane in [-pi/2, pi/2], r = Euclidean distance.
+SphericalPoint CartesianToSpherical(const Point3& p);
+
+/// Inverse of CartesianToSpherical.
+Point3 SphericalToCartesian(const SphericalPoint& s);
+
+/// Per-dimension error bounds in the spherical system, given the Cartesian
+/// bound q_xyz and the maximum radial distance r_max of the points being
+/// compressed (Theorem 3.2): q_theta = q_phi = q_xyz / r_max, q_r = q_xyz.
+struct SphericalErrorBounds {
+  double q_theta = 0.0;
+  double q_phi = 0.0;
+  double q_r = 0.0;
+
+  /// Derives the bounds from q_xyz and r_max (r_max > 0).
+  static SphericalErrorBounds FromCartesian(double q_xyz, double r_max);
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_LIDAR_SPHERICAL_H_

@@ -1,0 +1,159 @@
+#include "lz/deflate.h"
+
+#include <array>
+#include <cassert>
+
+#include "bitio/bit_reader.h"
+#include "bitio/bit_writer.h"
+#include "bitio/varint.h"
+#include "entropy/huffman.h"
+#include "lz/lz77.h"
+
+namespace dbgc {
+
+namespace {
+
+// DEFLATE length code table (symbols 257..285 -> 0..28 here).
+constexpr std::array<uint32_t, 29> kLengthBase = {
+    3,  4,  5,  6,  7,  8,  9,  10, 11,  13,  15,  17,  19,  23, 27,
+    31, 35, 43, 51, 59, 67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr std::array<int, 29> kLengthExtra = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1,
+                                              1, 1, 2, 2, 2, 2, 3, 3, 3, 3,
+                                              4, 4, 4, 4, 5, 5, 5, 5, 0};
+
+// DEFLATE distance code table (30 buckets).
+constexpr std::array<uint32_t, 30> kDistBase = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,    25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,   769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr std::array<int, 30> kDistExtra = {0, 0, 0,  0,  1,  1,  2,  2,  3, 3,
+                                            4, 4, 5,  5,  6,  6,  7,  7,  8, 8,
+                                            9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+constexpr uint32_t kEndOfBlock = 256;
+constexpr uint32_t kNumLitLenSymbols = 257 + 29;  // 0..255 lit, 256 EOB, 29 len.
+constexpr uint32_t kNumDistSymbols = 30;
+
+uint32_t LengthToCode(uint32_t length) {
+  assert(length >= 3 && length <= 258);
+  for (uint32_t c = 28;; --c) {
+    if (length >= kLengthBase[c]) return c;
+    if (c == 0) break;
+  }
+  return 0;
+}
+
+uint32_t DistanceToCode(uint32_t distance) {
+  assert(distance >= 1 && distance <= 32768);
+  for (uint32_t c = 29;; --c) {
+    if (distance >= kDistBase[c]) return c;
+    if (c == 0) break;
+  }
+  return 0;
+}
+
+}  // namespace
+
+ByteBuffer Deflate::Compress(const std::vector<uint8_t>& data) {
+  const std::vector<Lz77Token> tokens = Lz77::Tokenize(data);
+
+  // Gather symbol statistics.
+  std::vector<uint64_t> litlen_counts(kNumLitLenSymbols, 0);
+  std::vector<uint64_t> dist_counts(kNumDistSymbols, 0);
+  for (const Lz77Token& t : tokens) {
+    if (t.is_match) {
+      ++litlen_counts[257 + LengthToCode(t.length)];
+      ++dist_counts[DistanceToCode(t.distance)];
+    } else {
+      ++litlen_counts[t.literal];
+    }
+  }
+  ++litlen_counts[kEndOfBlock];
+  if (dist_counts == std::vector<uint64_t>(kNumDistSymbols, 0)) {
+    dist_counts[0] = 1;  // Keep the distance alphabet decodable.
+  }
+
+  auto litlen_code = HuffmanCode::FromCounts(litlen_counts);
+  auto dist_code = HuffmanCode::FromCounts(dist_counts);
+  assert(litlen_code.ok() && dist_code.ok());
+
+  BitWriter writer;
+  litlen_code.value().WriteTable(&writer);
+  dist_code.value().WriteTable(&writer);
+  for (const Lz77Token& t : tokens) {
+    if (t.is_match) {
+      const uint32_t lc = LengthToCode(t.length);
+      litlen_code.value().EncodeSymbol(257 + lc, &writer);
+      writer.WriteBits(t.length - kLengthBase[lc], kLengthExtra[lc]);
+      const uint32_t dc = DistanceToCode(t.distance);
+      dist_code.value().EncodeSymbol(dc, &writer);
+      writer.WriteBits(t.distance - kDistBase[dc], kDistExtra[dc]);
+    } else {
+      litlen_code.value().EncodeSymbol(t.literal, &writer);
+    }
+  }
+  litlen_code.value().EncodeSymbol(kEndOfBlock, &writer);
+
+  ByteBuffer out;
+  PutVarint64(&out, data.size());
+  const ByteBuffer bits = writer.Finish();
+  out.Append(bits);
+  return out;
+}
+
+Status Deflate::Decompress(const ByteBuffer& compressed,
+                           std::vector<uint8_t>* out) {
+  out->clear();
+  ByteReader byte_reader(compressed);
+  uint64_t original_size;
+  DBGC_RETURN_NOT_OK(GetVarint64(&byte_reader, &original_size));
+  // LZ77's maximum expansion is ~206 output bytes per input bit; anything
+  // claiming more is corrupt, so reject before reserving.
+  if (original_size > 2100 * compressed.size() + 1024) {
+    return Status::Corruption("deflate: implausible original size");
+  }
+  out->reserve(original_size);
+
+  BitReader reader(compressed.data() + byte_reader.position(),
+                   compressed.size() - byte_reader.position());
+  DBGC_ASSIGN_OR_RETURN(HuffmanCode litlen_code,
+                        HuffmanCode::ReadTable(&reader, kNumLitLenSymbols));
+  DBGC_ASSIGN_OR_RETURN(HuffmanCode dist_code,
+                        HuffmanCode::ReadTable(&reader, kNumDistSymbols));
+
+  for (;;) {
+    uint32_t symbol;
+    DBGC_RETURN_NOT_OK(litlen_code.DecodeSymbol(&reader, &symbol));
+    if (symbol == kEndOfBlock) break;
+    if (symbol < 256) {
+      out->push_back(static_cast<uint8_t>(symbol));
+      continue;
+    }
+    const uint32_t lc = symbol - 257;
+    if (lc >= kLengthBase.size()) {
+      return Status::Corruption("deflate: bad length code");
+    }
+    uint64_t extra;
+    DBGC_RETURN_NOT_OK(reader.ReadBits(kLengthExtra[lc], &extra));
+    const uint32_t length = kLengthBase[lc] + static_cast<uint32_t>(extra);
+
+    uint32_t dc;
+    DBGC_RETURN_NOT_OK(dist_code.DecodeSymbol(&reader, &dc));
+    if (dc >= kDistBase.size()) {
+      return Status::Corruption("deflate: bad distance code");
+    }
+    DBGC_RETURN_NOT_OK(reader.ReadBits(kDistExtra[dc], &extra));
+    const uint32_t distance = kDistBase[dc] + static_cast<uint32_t>(extra);
+    if (distance > out->size()) {
+      return Status::Corruption("deflate: distance beyond output");
+    }
+    const size_t start = out->size() - distance;
+    for (uint32_t k = 0; k < length; ++k) out->push_back((*out)[start + k]);
+  }
+  if (out->size() != original_size) {
+    return Status::Corruption("deflate: size mismatch after decode");
+  }
+  return Status::OK();
+}
+
+}  // namespace dbgc

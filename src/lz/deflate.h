@@ -1,0 +1,39 @@
+// Deflate-style compressor [13]: LZ77 tokenization followed by canonical
+// Huffman coding of literal/length and distance symbols with DEFLATE's
+// bucket-plus-extra-bits value layout.
+//
+// This is our from-scratch stand-in for zlib's Deflate, used by DBGC's
+// Step 6 (compressing azimuthal-angle delta streams, Section 3.5). The
+// container format is our own, but the algorithmic structure (LZ77 + two
+// Huffman alphabets + extra bits) matches RFC 1951.
+
+#ifndef DBGC_LZ_DEFLATE_H_
+#define DBGC_LZ_DEFLATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitio/byte_buffer.h"
+#include "common/status.h"
+
+namespace dbgc {
+
+/// Deflate-style byte-stream compressor.
+class Deflate {
+ public:
+  /// Compresses `data`. Empty input yields a minimal valid stream.
+  static ByteBuffer Compress(const std::vector<uint8_t>& data);
+
+  /// Decompresses a stream produced by Compress.
+  static Status Decompress(const ByteBuffer& compressed,
+                           std::vector<uint8_t>* out);
+
+  /// Convenience: compress the contents of a ByteBuffer.
+  static ByteBuffer Compress(const ByteBuffer& data) {
+    return Compress(data.bytes());
+  }
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_LZ_DEFLATE_H_

@@ -1,0 +1,137 @@
+#include "lz/lz77.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dbgc {
+
+namespace {
+
+constexpr uint32_t kHashBits = 15;
+constexpr uint32_t kHashSize = 1u << kHashBits;
+
+inline uint32_t Hash3(const uint8_t* p) {
+  const uint32_t v = static_cast<uint32_t>(p[0]) |
+                     (static_cast<uint32_t>(p[1]) << 8) |
+                     (static_cast<uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::vector<Lz77Token> Lz77::Tokenize(const std::vector<uint8_t>& data) {
+  std::vector<Lz77Token> tokens;
+  const size_t n = data.size();
+  tokens.reserve(n / 2 + 16);
+  if (n == 0) return tokens;
+
+  // head[h]: most recent position with hash h; prev[i % window]: previous
+  // position in i's chain. Positions are offset by 1 so 0 means "none".
+  std::vector<uint32_t> head(kHashSize, 0);
+  std::vector<uint32_t> prev(kWindowSize, 0);
+
+  auto insert_pos = [&](size_t i) {
+    if (i + kMinMatch > n) return;
+    const uint32_t h = Hash3(&data[i]);
+    prev[i % kWindowSize] = head[h];
+    head[h] = static_cast<uint32_t>(i) + 1;
+  };
+
+  auto find_match = [&](size_t i, uint32_t* best_len, uint32_t* best_dist) {
+    *best_len = 0;
+    *best_dist = 0;
+    if (i + kMinMatch > n) return;
+    const uint32_t max_len =
+        static_cast<uint32_t>(std::min<size_t>(kMaxMatch, n - i));
+    uint32_t candidate = head[Hash3(&data[i])];
+    uint32_t chain = kMaxChainLength;
+    while (candidate != 0 && chain-- > 0) {
+      const size_t pos = candidate - 1;
+      if (pos >= i || i - pos > kWindowSize) break;
+      // Quick reject on the byte past the current best.
+      if (*best_len == 0 || data[pos + *best_len] == data[i + *best_len]) {
+        uint32_t len = 0;
+        while (len < max_len && data[pos + len] == data[i + len]) ++len;
+        if (len > *best_len) {
+          *best_len = len;
+          *best_dist = static_cast<uint32_t>(i - pos);
+          if (len == max_len) break;
+        }
+      }
+      candidate = prev[pos % kWindowSize];
+    }
+    if (*best_len < kMinMatch) {
+      *best_len = 0;
+      *best_dist = 0;
+    }
+  };
+
+  size_t i = 0;
+  while (i < n) {
+    uint32_t len, dist;
+    find_match(i, &len, &dist);
+    // One-step lazy evaluation: prefer a longer match starting at i+1.
+    if (len > 0 && len < kMaxMatch && i + 1 < n) {
+      uint32_t len2, dist2;
+      insert_pos(i);
+      find_match(i + 1, &len2, &dist2);
+      if (len2 > len + 1) {
+        Lz77Token lit;
+        lit.is_match = false;
+        lit.literal = data[i];
+        tokens.push_back(lit);
+        ++i;
+        len = len2;
+        dist = dist2;
+      } else {
+        // Undo nothing; position i is already inserted.
+      }
+      if (len == 0) continue;
+      Lz77Token m;
+      m.is_match = true;
+      m.length = len;
+      m.distance = dist;
+      tokens.push_back(m);
+      // Insert the covered positions (the first may already be inserted;
+      // re-inserting is harmless for correctness, but skip position i to
+      // keep chains clean).
+      for (size_t j = i + 1; j < i + len; ++j) insert_pos(j);
+      i += len;
+      continue;
+    }
+    if (len > 0) {
+      Lz77Token m;
+      m.is_match = true;
+      m.length = len;
+      m.distance = dist;
+      tokens.push_back(m);
+      for (size_t j = i; j < i + len; ++j) insert_pos(j);
+      i += len;
+    } else {
+      Lz77Token lit;
+      lit.is_match = false;
+      lit.literal = data[i];
+      tokens.push_back(lit);
+      insert_pos(i);
+      ++i;
+    }
+  }
+  return tokens;
+}
+
+std::vector<uint8_t> Lz77::Reconstruct(const std::vector<Lz77Token>& tokens) {
+  std::vector<uint8_t> out;
+  for (const Lz77Token& t : tokens) {
+    if (!t.is_match) {
+      out.push_back(t.literal);
+    } else {
+      const size_t start = out.size() - t.distance;
+      for (uint32_t k = 0; k < t.length; ++k) {
+        out.push_back(out[start + k]);  // Handles overlapping copies.
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace dbgc

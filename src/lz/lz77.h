@@ -1,0 +1,39 @@
+// LZ77 [61] tokenization with a hash-chain match finder over a 32 KiB
+// sliding window, as used by DEFLATE. Produces a stream of literal and
+// (length, distance) match tokens for the entropy stage in lz/deflate.h.
+
+#ifndef DBGC_LZ_LZ77_H_
+#define DBGC_LZ_LZ77_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dbgc {
+
+/// One LZ77 token: either a literal byte or a back-reference.
+struct Lz77Token {
+  bool is_match = false;
+  uint8_t literal = 0;     ///< Valid when !is_match.
+  uint32_t length = 0;     ///< Match length in [kMinMatch, kMaxMatch].
+  uint32_t distance = 0;   ///< Back distance in [1, kWindowSize].
+};
+
+/// LZ77 tokenizer parameters and entry points.
+class Lz77 {
+ public:
+  static constexpr uint32_t kWindowSize = 32768;
+  static constexpr uint32_t kMinMatch = 3;
+  static constexpr uint32_t kMaxMatch = 258;
+  /// Chain length bound; trades compression for speed.
+  static constexpr uint32_t kMaxChainLength = 64;
+
+  /// Tokenizes `data` greedily with one-step lazy matching.
+  static std::vector<Lz77Token> Tokenize(const std::vector<uint8_t>& data);
+
+  /// Reconstructs the byte stream from tokens.
+  static std::vector<uint8_t> Reconstruct(const std::vector<Lz77Token>& tokens);
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_LZ_LZ77_H_

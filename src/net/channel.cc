@@ -1,0 +1,5 @@
+#include "net/channel.h"
+
+// SimulatedChannel is fully inline; this file anchors the module.
+
+namespace dbgc {}  // namespace dbgc

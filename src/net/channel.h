@@ -1,0 +1,51 @@
+// SimulatedChannel: a bandwidth/latency model of the client-to-server link
+// (Section 3.1 / Section 4.4). The paper's prototype ships bits over a
+// Linux socket across a mobile network; for reproducible end-to-end
+// latency and throughput numbers we model the link as
+//   transfer_time = latency + bits / bandwidth
+// with the 4G uplink of [41] (8.2 Mbps) as the default profile.
+
+#ifndef DBGC_NET_CHANNEL_H_
+#define DBGC_NET_CHANNEL_H_
+
+#include <cstddef>
+
+namespace dbgc {
+
+/// A point-to-point link with fixed bandwidth and propagation latency.
+class SimulatedChannel {
+ public:
+  /// Creates a channel with the given capacity.
+  SimulatedChannel(double bandwidth_mbps, double latency_seconds = 0.05)
+      : bandwidth_mbps_(bandwidth_mbps), latency_seconds_(latency_seconds) {}
+
+  /// The average 4G mobile uplink of the paper (8.2 Mbps [41]).
+  static SimulatedChannel Mobile4G() { return SimulatedChannel(8.2, 0.05); }
+  /// 100BASE-TX Ethernet (sensor-to-client link, Section 4.4).
+  static SimulatedChannel Ethernet100() {
+    return SimulatedChannel(100.0, 0.001);
+  }
+
+  double bandwidth_mbps() const { return bandwidth_mbps_; }
+  double latency_seconds() const { return latency_seconds_; }
+
+  /// Seconds to transfer `bytes` across the link.
+  double TransferSeconds(size_t bytes) const {
+    return latency_seconds_ +
+           static_cast<double>(bytes) * 8.0 / (bandwidth_mbps_ * 1e6);
+  }
+
+  /// True iff a stream of `bytes_per_frame` at `fps` fits the capacity.
+  bool CanSustain(size_t bytes_per_frame, double fps) const {
+    return static_cast<double>(bytes_per_frame) * 8.0 * fps <=
+           bandwidth_mbps_ * 1e6;
+  }
+
+ private:
+  double bandwidth_mbps_;
+  double latency_seconds_;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_NET_CHANNEL_H_

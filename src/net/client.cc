@@ -1,0 +1,36 @@
+#include "net/client.h"
+
+#include <chrono>
+
+namespace dbgc {
+
+DbgcClient::DbgcClient(DbgcOptions options, SimulatedChannel sensor_link,
+                       SimulatedChannel uplink)
+    : codec_(options), sensor_link_(sensor_link), uplink_(uplink) {}
+
+Result<ByteBuffer> DbgcClient::ProcessFrame(const PointCloud& pc,
+                                            ClientFrameReport* report) {
+  *report = ClientFrameReport();
+  report->frame_id = next_frame_id_++;
+  report->raw_bytes = pc.RawSizeBytes();
+  report->sensor_transfer_seconds =
+      sensor_link_.TransferSeconds(report->raw_bytes);
+
+  const auto start = std::chrono::steady_clock::now();
+  DbgcCompressInfo info;
+  DBGC_ASSIGN_OR_RETURN(ByteBuffer compressed,
+                        codec_.CompressWithInfo(pc, &info));
+  const auto end = std::chrono::steady_clock::now();
+  report->compress_seconds =
+      std::chrono::duration<double>(end - start).count();
+  report->compressed_bytes = compressed.size();
+
+  Frame frame;
+  frame.frame_id = report->frame_id;
+  frame.payload = std::move(compressed);
+  ByteBuffer wire = FrameProtocol::Serialize(frame);
+  report->uplink_seconds = uplink_.TransferSeconds(wire.size());
+  return wire;
+}
+
+}  // namespace dbgc

@@ -1,0 +1,52 @@
+// DbgcClient: the client side of the DBGC system (Figure 2) - pulls frames
+// from the sensor side, compresses them, and frames them for transmission.
+
+#ifndef DBGC_NET_CLIENT_H_
+#define DBGC_NET_CLIENT_H_
+
+#include <cstdint>
+
+#include "common/point_cloud.h"
+#include "core/dbgc_codec.h"
+#include "net/channel.h"
+#include "net/frame_protocol.h"
+
+namespace dbgc {
+
+/// Per-frame client-side accounting.
+struct ClientFrameReport {
+  uint64_t frame_id = 0;
+  size_t raw_bytes = 0;
+  size_t compressed_bytes = 0;
+  double sensor_transfer_seconds = 0.0;  ///< Sensor -> client link time.
+  double compress_seconds = 0.0;
+  double uplink_seconds = 0.0;           ///< Client -> server link time.
+};
+
+/// The capture-compress-send pipeline.
+class DbgcClient {
+ public:
+  /// Creates a client with a codec configuration and the two links of
+  /// Figure 2 (sensor->client wired, client->server mobile).
+  DbgcClient(DbgcOptions options,
+             SimulatedChannel sensor_link = SimulatedChannel::Ethernet100(),
+             SimulatedChannel uplink = SimulatedChannel::Mobile4G());
+
+  /// Processes one captured frame: compress + frame. Returns the wire
+  /// bytes and fills `report` with sizes and (modeled link + measured
+  /// compute) times.
+  Result<ByteBuffer> ProcessFrame(const PointCloud& pc,
+                                  ClientFrameReport* report);
+
+  const DbgcCodec& codec() const { return codec_; }
+
+ private:
+  DbgcCodec codec_;
+  SimulatedChannel sensor_link_;
+  SimulatedChannel uplink_;
+  uint64_t next_frame_id_ = 0;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_NET_CLIENT_H_

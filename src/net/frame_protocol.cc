@@ -1,0 +1,54 @@
+#include "net/frame_protocol.h"
+
+namespace dbgc {
+
+namespace {
+constexpr uint8_t kFrameMagic[4] = {'D', 'B', 'F', '1'};
+}  // namespace
+
+uint64_t FrameProtocol::Checksum(const uint8_t* data, size_t size) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+ByteBuffer FrameProtocol::Serialize(const Frame& frame) {
+  ByteBuffer out;
+  out.Reserve(kHeaderBytes + frame.payload.size());
+  out.Append(kFrameMagic, 4);
+  out.AppendUint64(frame.frame_id);
+  out.AppendUint64(frame.payload.size());
+  out.AppendUint64(Checksum(frame.payload.data(), frame.payload.size()));
+  out.Append(frame.payload);
+  return out;
+}
+
+Result<Frame> FrameProtocol::Parse(const ByteBuffer& wire) {
+  ByteReader reader(wire);
+  uint8_t magic[4];
+  DBGC_RETURN_NOT_OK(reader.Read(magic, 4));
+  for (int i = 0; i < 4; ++i) {
+    if (magic[i] != kFrameMagic[i]) {
+      return Status::Corruption("frame: bad magic");
+    }
+  }
+  Frame frame;
+  uint64_t length, checksum;
+  DBGC_RETURN_NOT_OK(reader.ReadUint64(&frame.frame_id));
+  DBGC_RETURN_NOT_OK(reader.ReadUint64(&length));
+  DBGC_RETURN_NOT_OK(reader.ReadUint64(&checksum));
+  if (reader.remaining() < length) {
+    return Status::Corruption("frame: truncated payload");
+  }
+  frame.payload.Clear();
+  frame.payload.Append(wire.data() + reader.position(), length);
+  if (Checksum(frame.payload.data(), frame.payload.size()) != checksum) {
+    return Status::Corruption("frame: checksum mismatch");
+  }
+  return frame;
+}
+
+}  // namespace dbgc

@@ -1,0 +1,39 @@
+// Wire framing between the DBGC client and server: a fixed header carrying
+// frame id, payload length, and a checksum, followed by the compressed bit
+// sequence B.
+
+#ifndef DBGC_NET_FRAME_PROTOCOL_H_
+#define DBGC_NET_FRAME_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "bitio/byte_buffer.h"
+#include "common/status.h"
+
+namespace dbgc {
+
+/// One transmissible frame.
+struct Frame {
+  uint64_t frame_id = 0;
+  ByteBuffer payload;
+};
+
+/// Frame (de)serialization with integrity checking.
+class FrameProtocol {
+ public:
+  /// FNV-1a checksum over a byte span.
+  static uint64_t Checksum(const uint8_t* data, size_t size);
+
+  /// Serializes a frame: magic, frame id, length, checksum, payload.
+  static ByteBuffer Serialize(const Frame& frame);
+
+  /// Parses one frame; fails on bad magic, truncation, or checksum.
+  static Result<Frame> Parse(const ByteBuffer& wire);
+
+  /// Header size in bytes (magic + id + length + checksum).
+  static constexpr size_t kHeaderBytes = 4 + 8 + 8 + 8;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_NET_FRAME_PROTOCOL_H_

@@ -1,0 +1,101 @@
+#include "net/frame_store.h"
+
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dbgc {
+
+Status MemoryFrameStore::Put(uint64_t frame_id, const ByteBuffer& bitstream) {
+  frames_[frame_id] = bitstream;
+  return Status::OK();
+}
+
+Result<ByteBuffer> MemoryFrameStore::Get(uint64_t frame_id) const {
+  const auto it = frames_.find(frame_id);
+  if (it == frames_.end()) {
+    return Status::InvalidArgument("frame not found");
+  }
+  return it->second;
+}
+
+std::vector<uint64_t> MemoryFrameStore::List() const {
+  std::vector<uint64_t> ids;
+  ids.reserve(frames_.size());
+  for (const auto& [id, bytes] : frames_) {
+    (void)bytes;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+Status MemoryFrameStore::Remove(uint64_t frame_id) {
+  frames_.erase(frame_id);
+  return Status::OK();
+}
+
+FileFrameStore::FileFrameStore(std::string directory)
+    : directory_(std::move(directory)) {}
+
+std::string FileFrameStore::PathFor(uint64_t frame_id) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%020llu.dbgc",
+                static_cast<unsigned long long>(frame_id));
+  return directory_ + "/" + name;
+}
+
+Status FileFrameStore::Put(uint64_t frame_id, const ByteBuffer& bitstream) {
+  const std::string path = PathFor(frame_id);
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const size_t written = std::fwrite(bitstream.data(), 1, bitstream.size(), f);
+  std::fclose(f);
+  if (written != bitstream.size()) {
+    return Status::IOError("short write on " + path);
+  }
+  return Status::OK();
+}
+
+Result<ByteBuffer> FileFrameStore::Get(uint64_t frame_id) const {
+  const std::string path = PathFor(frame_id);
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  ByteBuffer out;
+  out.mutable_bytes().resize(static_cast<size_t>(size));
+  const size_t read = std::fread(out.mutable_bytes().data(), 1,
+                                 out.mutable_bytes().size(), f);
+  std::fclose(f);
+  if (read != out.size()) return Status::IOError("short read on " + path);
+  return out;
+}
+
+std::vector<uint64_t> FileFrameStore::List() const {
+  std::vector<uint64_t> ids;
+  DIR* dir = ::opendir(directory_.c_str());
+  if (dir == nullptr) return ids;
+  while (dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    const size_t dot = name.find(".dbgc");
+    if (dot == std::string::npos || dot == 0) continue;
+    char* end = nullptr;
+    const unsigned long long id = std::strtoull(name.c_str(), &end, 10);
+    if (end != nullptr && std::string(end) == ".dbgc") {
+      ids.push_back(id);
+    }
+  }
+  ::closedir(dir);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+Status FileFrameStore::Remove(uint64_t frame_id) {
+  std::remove(PathFor(frame_id).c_str());
+  return Status::OK();
+}
+
+}  // namespace dbgc

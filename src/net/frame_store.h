@@ -1,0 +1,67 @@
+// Server-side storage backends for compressed frames. The paper's server
+// "supports storing data into files or relational databases through ODBC"
+// (Section 4.1); this module provides the file backend and an in-memory
+// table standing in for the database path.
+
+#ifndef DBGC_NET_FRAME_STORE_H_
+#define DBGC_NET_FRAME_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bitio/byte_buffer.h"
+#include "common/status.h"
+
+namespace dbgc {
+
+/// Keyed storage of compressed frame bitstreams.
+class FrameStore {
+ public:
+  virtual ~FrameStore() = default;
+
+  /// Stores (or replaces) the bitstream of `frame_id`.
+  virtual Status Put(uint64_t frame_id, const ByteBuffer& bitstream) = 0;
+
+  /// Loads the bitstream of `frame_id`.
+  virtual Result<ByteBuffer> Get(uint64_t frame_id) const = 0;
+
+  /// All stored frame ids in ascending order.
+  virtual std::vector<uint64_t> List() const = 0;
+
+  /// Removes a frame; OK even if absent.
+  virtual Status Remove(uint64_t frame_id) = 0;
+};
+
+/// In-memory table (the stand-in for the ODBC/relational backend).
+class MemoryFrameStore : public FrameStore {
+ public:
+  Status Put(uint64_t frame_id, const ByteBuffer& bitstream) override;
+  Result<ByteBuffer> Get(uint64_t frame_id) const override;
+  std::vector<uint64_t> List() const override;
+  Status Remove(uint64_t frame_id) override;
+
+ private:
+  std::map<uint64_t, ByteBuffer> frames_;
+};
+
+/// One file per frame under a directory ("<dir>/<id>.dbgc").
+class FileFrameStore : public FrameStore {
+ public:
+  /// The directory must exist and be writable.
+  explicit FileFrameStore(std::string directory);
+
+  Status Put(uint64_t frame_id, const ByteBuffer& bitstream) override;
+  Result<ByteBuffer> Get(uint64_t frame_id) const override;
+  std::vector<uint64_t> List() const override;
+  Status Remove(uint64_t frame_id) override;
+
+ private:
+  std::string PathFor(uint64_t frame_id) const;
+  std::string directory_;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_NET_FRAME_STORE_H_

@@ -1,0 +1,66 @@
+#include "net/pipeline.h"
+
+namespace dbgc {
+
+CompressionPipeline::CompressionPipeline(DbgcOptions options,
+                                         int num_workers)
+    : codec_(options) {
+  if (num_workers < 1) num_workers = 1;
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+CompressionPipeline::~CompressionPipeline() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  input_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+uint64_t CompressionPipeline::Submit(PointCloud pc) {
+  uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    seq = next_seq_++;
+    input_.push_back(Task{seq, std::move(pc)});
+  }
+  input_cv_.notify_one();
+  return seq;
+}
+
+Result<ByteBuffer> CompressionPipeline::NextResult() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (next_delivery_ >= next_seq_) {
+    return Status::InvalidArgument("pipeline: no frame pending");
+  }
+  const uint64_t want = next_delivery_++;
+  output_cv_.wait(lock, [&] { return output_.count(want) > 0; });
+  auto node = output_.extract(want);
+  return std::move(node.mapped());
+}
+
+void CompressionPipeline::WorkerLoop() {
+  for (;;) {
+    Task task{0, PointCloud()};
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      input_cv_.wait(lock,
+                     [&] { return shutting_down_ || !input_.empty(); });
+      if (input_.empty()) return;  // Shutting down.
+      task = std::move(input_.front());
+      input_.pop_front();
+    }
+    Result<ByteBuffer> result = codec_.Compress(task.cloud, codec_.options().q_xyz);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      output_.emplace(task.seq, std::move(result));
+    }
+    output_cv_.notify_all();
+  }
+}
+
+}  // namespace dbgc

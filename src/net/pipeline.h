@@ -1,0 +1,70 @@
+// CompressionPipeline: a multi-threaded frame compressor. Section 4.4's
+// online claim rests on throughput: one DBGC compression takes a few
+// frame intervals, so a real deployment overlaps frames. The pipeline
+// preserves submission order on the output side, which the frame protocol
+// requires.
+
+#ifndef DBGC_NET_PIPELINE_H_
+#define DBGC_NET_PIPELINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bitio/byte_buffer.h"
+#include "common/point_cloud.h"
+#include "common/status.h"
+#include "core/dbgc_codec.h"
+
+namespace dbgc {
+
+/// Orders-preserving parallel DBGC compressor.
+class CompressionPipeline {
+ public:
+  /// Starts `num_workers` compression threads (>= 1).
+  explicit CompressionPipeline(DbgcOptions options, int num_workers = 2);
+
+  /// Joins all workers; pending results are discarded.
+  ~CompressionPipeline();
+
+  CompressionPipeline(const CompressionPipeline&) = delete;
+  CompressionPipeline& operator=(const CompressionPipeline&) = delete;
+
+  /// Enqueues a frame; returns its sequence number.
+  uint64_t Submit(PointCloud pc);
+
+  /// Blocks until the next frame (in submission order) is compressed and
+  /// returns its bitstream. Fails if called more times than Submit.
+  Result<ByteBuffer> NextResult();
+
+  /// Frames submitted so far.
+  uint64_t submitted() const { return next_seq_; }
+
+ private:
+  struct Task {
+    uint64_t seq;
+    PointCloud cloud;
+  };
+
+  void WorkerLoop();
+
+  DbgcCodec codec_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable input_cv_;
+  std::condition_variable output_cv_;
+  std::deque<Task> input_;
+  std::map<uint64_t, Result<ByteBuffer>> output_;
+  uint64_t next_seq_ = 0;
+  uint64_t next_delivery_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_NET_PIPELINE_H_

@@ -1,0 +1,38 @@
+#include "net/server.h"
+
+#include <chrono>
+
+namespace dbgc {
+
+DbgcServer::DbgcServer(bool store_compressed)
+    : store_compressed_(store_compressed) {}
+
+Status DbgcServer::HandleFrame(const ByteBuffer& wire,
+                               ServerFrameReport* report) {
+  *report = ServerFrameReport();
+  report->wire_bytes = wire.size();
+  auto frame_result = FrameProtocol::Parse(wire);
+  if (!frame_result.ok()) return frame_result.status();
+  Frame frame = std::move(frame_result).value();
+  report->frame_id = frame.frame_id;
+
+  if (archive_ != nullptr) {
+    DBGC_RETURN_NOT_OK(archive_->Put(frame.frame_id, frame.payload));
+  }
+  if (store_compressed_) {
+    bitstreams_[frame.frame_id] = std::move(frame.payload);
+    return Status::OK();
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  auto cloud_result = codec_.Decompress(frame.payload);
+  const auto end = std::chrono::steady_clock::now();
+  if (!cloud_result.ok()) return cloud_result.status();
+  report->decompress_seconds =
+      std::chrono::duration<double>(end - start).count();
+  report->num_points = cloud_result.value().size();
+  clouds_[frame.frame_id] = std::move(cloud_result).value();
+  return Status::OK();
+}
+
+}  // namespace dbgc

@@ -1,0 +1,60 @@
+// DbgcServer: the server side of the DBGC system (Figure 2) - parses wire
+// frames, decompresses them (or stores B directly), and keeps an in-memory
+// store standing in for the file/ODBC backends of the prototype.
+
+#ifndef DBGC_NET_SERVER_H_
+#define DBGC_NET_SERVER_H_
+
+#include <cstdint>
+#include <map>
+
+#include "common/point_cloud.h"
+#include "core/dbgc_codec.h"
+#include "net/frame_protocol.h"
+#include "net/frame_store.h"
+
+namespace dbgc {
+
+/// Per-frame server-side accounting.
+struct ServerFrameReport {
+  uint64_t frame_id = 0;
+  size_t wire_bytes = 0;
+  size_t num_points = 0;
+  double decompress_seconds = 0.0;
+};
+
+/// The receive-decompress-store pipeline.
+class DbgcServer {
+ public:
+  /// If `store_compressed` is true the server bypasses decompression and
+  /// archives B directly (the alternative path of Section 3.1).
+  explicit DbgcServer(bool store_compressed = false);
+
+  /// Attaches a persistent archive: every incoming bitstream is also
+  /// written to `store` (the file/ODBC storage of Section 4.1). The store
+  /// must outlive the server.
+  void set_archive(FrameStore* store) { archive_ = store; }
+
+  /// Handles one wire frame; fills `report`.
+  Status HandleFrame(const ByteBuffer& wire, ServerFrameReport* report);
+
+  /// Frames decompressed and stored (empty in store_compressed mode).
+  const std::map<uint64_t, PointCloud>& stored_clouds() const {
+    return clouds_;
+  }
+  /// Compressed frames archived in store_compressed mode.
+  const std::map<uint64_t, ByteBuffer>& stored_bitstreams() const {
+    return bitstreams_;
+  }
+
+ private:
+  bool store_compressed_;
+  FrameStore* archive_ = nullptr;
+  DbgcCodec codec_;
+  std::map<uint64_t, PointCloud> clouds_;
+  std::map<uint64_t, ByteBuffer> bitstreams_;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_NET_SERVER_H_

@@ -1,0 +1,149 @@
+#include "net/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dbgc {
+
+namespace {
+
+Status SendAll(int fd, const uint8_t* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status RecvAll(int fd, uint8_t* data, size_t size) {
+  size_t received = 0;
+  while (received < size) {
+    const ssize_t n = ::recv(fd, data + received, size - received, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) return Status::IOError("recv: connection closed");
+    received += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+TcpConnection::~TcpConnection() { Close(); }
+
+TcpConnection::TcpConnection(TcpConnection&& other) noexcept
+    : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+TcpConnection& TcpConnection::operator=(TcpConnection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status TcpConnection::SendFrame(const ByteBuffer& frame) {
+  if (fd_ < 0) return Status::IOError("send on closed connection");
+  uint8_t header[8];
+  const uint64_t length = frame.size();
+  for (int i = 0; i < 8; ++i) {
+    header[i] = static_cast<uint8_t>(length >> (8 * i));
+  }
+  DBGC_RETURN_NOT_OK(SendAll(fd_, header, 8));
+  return SendAll(fd_, frame.data(), frame.size());
+}
+
+Result<ByteBuffer> TcpConnection::ReceiveFrame() {
+  if (fd_ < 0) return Status::IOError("receive on closed connection");
+  uint8_t header[8];
+  DBGC_RETURN_NOT_OK(RecvAll(fd_, header, 8));
+  uint64_t length = 0;
+  for (int i = 7; i >= 0; --i) length = (length << 8) | header[i];
+  if (length > (1ULL << 32)) {
+    return Status::Corruption("tcp: implausible frame length");
+  }
+  ByteBuffer frame;
+  frame.mutable_bytes().resize(length);
+  DBGC_RETURN_NOT_OK(RecvAll(fd_, frame.mutable_bytes().data(), length));
+  return frame;
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status TcpListener::Listen(uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::IOError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(fd_, 1) != 0) {
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Status::IOError("getsockname failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Result<TcpConnection> TcpListener::Accept() {
+  if (fd_ < 0) return Status::IOError("accept on closed listener");
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    return Status::IOError(std::string("accept: ") + std::strerror(errno));
+  }
+  return TcpConnection(client);
+}
+
+Result<TcpConnection> TcpConnect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status(StatusCode::kIOError,
+                        std::string("connect: ") + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return TcpConnection(fd);
+}
+
+}  // namespace dbgc

@@ -1,0 +1,75 @@
+// Loopback TCP transport: the paper's prototype ships frames over the
+// "Linux socket model" (Section 4.1). SimulatedChannel models capacity for
+// reproducible numbers; this module provides the real-socket path for
+// deployments and integration tests.
+//
+// Deliberately minimal: blocking I/O, IPv4, one connection per acceptor -
+// matching the single client -> single server shape of Figure 2.
+
+#ifndef DBGC_NET_TCP_TRANSPORT_H_
+#define DBGC_NET_TCP_TRANSPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "bitio/byte_buffer.h"
+#include "common/status.h"
+
+namespace dbgc {
+
+/// A connected TCP endpoint carrying length-prefixed frames.
+class TcpConnection {
+ public:
+  TcpConnection() = default;
+  explicit TcpConnection(int fd) : fd_(fd) {}
+  ~TcpConnection();
+
+  TcpConnection(TcpConnection&& other) noexcept;
+  TcpConnection& operator=(TcpConnection&& other) noexcept;
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// True iff a socket is open.
+  bool IsOpen() const { return fd_ >= 0; }
+
+  /// Sends one frame: 8-byte little-endian length then the bytes.
+  Status SendFrame(const ByteBuffer& frame);
+
+  /// Receives one frame (blocking). Fails on EOF or malformed length.
+  Result<ByteBuffer> ReceiveFrame();
+
+  /// Closes the socket.
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening socket on 127.0.0.1.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on the given port (0 = ephemeral).
+  Status Listen(uint16_t port);
+
+  /// The bound port (valid after Listen).
+  uint16_t port() const { return port_; }
+
+  /// Accepts one connection (blocking).
+  Result<TcpConnection> Accept();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port`.
+Result<TcpConnection> TcpConnect(uint16_t port);
+
+}  // namespace dbgc
+
+#endif  // DBGC_NET_TCP_TRANSPORT_H_

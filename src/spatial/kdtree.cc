@@ -1,0 +1,107 @@
+#include "spatial/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace dbgc {
+
+namespace {
+double AxisValue(const Point3& p, int axis) {
+  switch (axis) {
+    case 0:
+      return p.x;
+    case 1:
+      return p.y;
+    default:
+      return p.z;
+  }
+}
+}  // namespace
+
+KdTree::KdTree(const PointCloud& pc) : pc_(pc) {
+  if (pc.empty()) return;
+  std::vector<int> indices(pc.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  nodes_.reserve(pc.size());
+  root_ = BuildRecursive(&indices, 0, static_cast<int>(pc.size()), 0);
+}
+
+int KdTree::BuildRecursive(std::vector<int>* indices, int lo, int hi,
+                           int depth) {
+  if (lo >= hi) return -1;
+  const int axis = depth % 3;
+  const int mid = (lo + hi) / 2;
+  std::nth_element(indices->begin() + lo, indices->begin() + mid,
+                   indices->begin() + hi, [&](int a, int b) {
+                     return AxisValue(pc_[a], axis) < AxisValue(pc_[b], axis);
+                   });
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(Node{(*indices)[mid], axis, -1, -1});
+  const int left = BuildRecursive(indices, lo, mid, depth + 1);
+  const int right = BuildRecursive(indices, mid + 1, hi, depth + 1);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+void KdTree::NearestRecursive(int node, const Point3& query, int exclude,
+                              int* best, double* best_sq) const {
+  if (node < 0) return;
+  const Node& n = nodes_[node];
+  const Point3& p = pc_[n.point_index];
+  if (n.point_index != exclude) {
+    const double d = (p - query).SquaredNorm();
+    if (d < *best_sq) {
+      *best_sq = d;
+      *best = n.point_index;
+    }
+  }
+  const double diff = AxisValue(query, n.axis) - AxisValue(p, n.axis);
+  const int near_child = diff <= 0 ? n.left : n.right;
+  const int far_child = diff <= 0 ? n.right : n.left;
+  NearestRecursive(near_child, query, exclude, best, best_sq);
+  if (diff * diff < *best_sq) {
+    NearestRecursive(far_child, query, exclude, best, best_sq);
+  }
+}
+
+int KdTree::Nearest(const Point3& query, int exclude) const {
+  int best = -1;
+  double best_sq = std::numeric_limits<double>::infinity();
+  NearestRecursive(root_, query, exclude, &best, &best_sq);
+  return best;
+}
+
+template <typename Visitor>
+void KdTree::RadiusRecursive(int node, const Point3& query, double radius_sq,
+                             Visitor&& visit) const {
+  if (node < 0) return;
+  const Node& n = nodes_[node];
+  const Point3& p = pc_[n.point_index];
+  if ((p - query).SquaredNorm() <= radius_sq) visit(n.point_index);
+  const double diff = AxisValue(query, n.axis) - AxisValue(p, n.axis);
+  const int near_child = diff <= 0 ? n.left : n.right;
+  const int far_child = diff <= 0 ? n.right : n.left;
+  RadiusRecursive(near_child, query, radius_sq, visit);
+  if (diff * diff <= radius_sq) {
+    RadiusRecursive(far_child, query, radius_sq, visit);
+  }
+}
+
+std::vector<int> KdTree::RadiusSearch(const Point3& query,
+                                      double radius) const {
+  std::vector<int> out;
+  RadiusRecursive(root_, query, radius * radius,
+                  [&](int idx) { out.push_back(idx); });
+  return out;
+}
+
+size_t KdTree::CountWithinRadius(const Point3& query, double radius) const {
+  size_t count = 0;
+  RadiusRecursive(root_, query, radius * radius, [&](int) { ++count; });
+  return count;
+}
+
+}  // namespace dbgc

@@ -1,0 +1,53 @@
+// 3D kd-tree for nearest-neighbour and radius queries, used by the
+// reference DBSCAN implementation and by error metrics.
+
+#ifndef DBGC_SPATIAL_KDTREE_H_
+#define DBGC_SPATIAL_KDTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/point_cloud.h"
+
+namespace dbgc {
+
+/// Static kd-tree over a point cloud. Indices returned by queries refer to
+/// the cloud passed at construction. The cloud must outlive the tree.
+class KdTree {
+ public:
+  /// Builds the tree (median splits, O(n log n)).
+  explicit KdTree(const PointCloud& pc);
+
+  /// Index of the nearest neighbour of `query`, or -1 for an empty tree.
+  /// If `exclude` >= 0, that index is skipped (for self-queries).
+  int Nearest(const Point3& query, int exclude = -1) const;
+
+  /// Indices of all points within Euclidean distance `radius` of `query`.
+  std::vector<int> RadiusSearch(const Point3& query, double radius) const;
+
+  /// Number of points within `radius` of `query` (no materialization).
+  size_t CountWithinRadius(const Point3& query, double radius) const;
+
+ private:
+  struct Node {
+    int point_index = -1;  // Index into pc_ of the splitting point.
+    int axis = 0;          // 0 = x, 1 = y, 2 = z.
+    int left = -1;         // Node indices; -1 = none.
+    int right = -1;
+  };
+
+  int BuildRecursive(std::vector<int>* indices, int lo, int hi, int depth);
+  void NearestRecursive(int node, const Point3& query, int exclude,
+                        int* best, double* best_sq) const;
+  template <typename Visitor>
+  void RadiusRecursive(int node, const Point3& query, double radius_sq,
+                       Visitor&& visit) const;
+
+  const PointCloud& pc_;
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_SPATIAL_KDTREE_H_

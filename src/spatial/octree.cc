@@ -1,0 +1,171 @@
+#include "spatial/octree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dbgc {
+
+namespace {
+
+// Spreads the low 21 bits of v so there are two zero bits between each.
+uint64_t Part1By2(uint32_t v) {
+  uint64_t x = v & 0x1FFFFF;
+  x = (x | (x << 32)) & 0x1F00000000FFFFULL;
+  x = (x | (x << 16)) & 0x1F0000FF0000FFULL;
+  x = (x | (x << 8)) & 0x100F00F00F00F00FULL;
+  x = (x | (x << 4)) & 0x10C30C30C30C30C3ULL;
+  x = (x | (x << 2)) & 0x1249249249249249ULL;
+  return x;
+}
+
+uint32_t Compact1By2(uint64_t x) {
+  x &= 0x1249249249249249ULL;
+  x = (x ^ (x >> 2)) & 0x10C30C30C30C30C3ULL;
+  x = (x ^ (x >> 4)) & 0x100F00F00F00F00FULL;
+  x = (x ^ (x >> 8)) & 0x1F0000FF0000FFULL;
+  x = (x ^ (x >> 16)) & 0x1F00000000FFFFULL;
+  x = (x ^ (x >> 32)) & 0x1FFFFF;
+  return static_cast<uint32_t>(x);
+}
+
+}  // namespace
+
+uint64_t MortonEncode3(uint32_t x, uint32_t y, uint32_t z) {
+  return Part1By2(x) | (Part1By2(y) << 1) | (Part1By2(z) << 2);
+}
+
+void MortonDecode3(uint64_t code, uint32_t* x, uint32_t* y, uint32_t* z) {
+  *x = Compact1By2(code);
+  *y = Compact1By2(code >> 1);
+  *z = Compact1By2(code >> 2);
+}
+
+size_t OctreeStructure::num_points() const {
+  size_t n = 0;
+  for (uint32_t c : leaf_counts) n += c;
+  return n;
+}
+
+uint64_t Octree::LeafKeyOf(const Point3& p, const Cube& root, int depth) {
+  const double cells = static_cast<double>(1u << depth);
+  const double inv_leaf = cells / root.side;
+  auto clamp_coord = [&](double v) -> uint32_t {
+    double c = std::floor(v * inv_leaf);
+    if (c < 0) c = 0;
+    if (c >= cells) c = cells - 1;
+    return static_cast<uint32_t>(c);
+  };
+  const uint32_t ix = clamp_coord(p.x - root.origin.x);
+  const uint32_t iy = clamp_coord(p.y - root.origin.y);
+  const uint32_t iz = clamp_coord(p.z - root.origin.z);
+  return MortonEncode3(ix, iy, iz);
+}
+
+Result<OctreeStructure> Octree::Build(const PointCloud& pc, double leaf_side) {
+  if (leaf_side <= 0) {
+    return Status::InvalidArgument("octree: leaf_side must be positive");
+  }
+  const BoundingBox box = BoundingBox::Of(pc);
+  const Cube root = Cube::BoundingCube(box, leaf_side);
+  return BuildWithRoot(pc, root, leaf_side);
+}
+
+Result<OctreeStructure> Octree::BuildWithRoot(const PointCloud& pc,
+                                              const Cube& root,
+                                              double leaf_side) {
+  OctreeStructure tree;
+  tree.root = root;
+  int depth = 0;
+  double side = leaf_side;
+  while (side < root.side * (1 - 1e-12)) {
+    side *= 2;
+    ++depth;
+  }
+  if (depth > kMaxDepth) {
+    return Status::OutOfRange("octree: depth exceeds kMaxDepth");
+  }
+  tree.depth = depth;
+  tree.levels.assign(depth, {});
+  if (pc.empty()) return tree;
+
+  // Leaf keys in Morton order with per-leaf counts.
+  std::vector<uint64_t> keys;
+  keys.reserve(pc.size());
+  for (const Point3& p : pc) keys.push_back(LeafKeyOf(p, root, depth));
+  std::sort(keys.begin(), keys.end());
+
+  std::vector<uint64_t> unique_keys;
+  unique_keys.reserve(keys.size());
+  for (size_t i = 0; i < keys.size();) {
+    size_t j = i;
+    while (j < keys.size() && keys[j] == keys[i]) ++j;
+    unique_keys.push_back(keys[i]);
+    tree.leaf_counts.push_back(static_cast<uint32_t>(j - i));
+    i = j;
+  }
+
+  // Build occupancy levels bottom-up: the nodes of level l are the distinct
+  // key prefixes of length 3l bits; the occupancy byte of a node collects
+  // the child octants present among its children at level l+1.
+  std::vector<uint64_t> level_keys = unique_keys;  // Keys at depth `depth`.
+  for (int l = depth - 1; l >= 0; --l) {
+    std::vector<uint64_t> parents;
+    std::vector<uint8_t>& occupancy = tree.levels[l];
+    parents.reserve(level_keys.size() / 2 + 1);
+    for (size_t i = 0; i < level_keys.size();) {
+      const uint64_t parent = level_keys[i] >> 3;
+      uint8_t occ = 0;
+      while (i < level_keys.size() && (level_keys[i] >> 3) == parent) {
+        occ |= static_cast<uint8_t>(1u << (level_keys[i] & 7));
+        ++i;
+      }
+      parents.push_back(parent);
+      occupancy.push_back(occ);
+    }
+    level_keys = std::move(parents);
+  }
+  return tree;
+}
+
+std::vector<uint64_t> Octree::LeafKeys(const OctreeStructure& tree) {
+  // Expand the occupancy levels breadth-first to recover leaf keys.
+  std::vector<uint64_t> keys{0};
+  for (int l = 0; l < tree.depth; ++l) {
+    const std::vector<uint8_t>& occupancy = tree.levels[l];
+    std::vector<uint64_t> next;
+    next.reserve(occupancy.size() * 2);
+    assert(occupancy.size() == keys.size());
+    for (size_t i = 0; i < occupancy.size(); ++i) {
+      const uint8_t occ = occupancy[i];
+      for (int octant = 0; octant < 8; ++octant) {
+        if (occ & (1u << octant)) {
+          next.push_back((keys[i] << 3) | static_cast<uint64_t>(octant));
+        }
+      }
+    }
+    keys = std::move(next);
+  }
+  return keys;
+}
+
+PointCloud Octree::ExtractPoints(const OctreeStructure& tree) {
+  PointCloud pc;
+  if (tree.leaf_counts.empty()) return pc;
+  const std::vector<uint64_t> keys = LeafKeys(tree);
+  assert(keys.size() == tree.leaf_counts.size());
+  const double leaf_side =
+      tree.root.side / static_cast<double>(1u << tree.depth);
+  pc.Reserve(tree.num_points());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    uint32_t ix, iy, iz;
+    MortonDecode3(keys[i], &ix, &iy, &iz);
+    const Point3 center{tree.root.origin.x + (ix + 0.5) * leaf_side,
+                        tree.root.origin.y + (iy + 0.5) * leaf_side,
+                        tree.root.origin.z + (iz + 0.5) * leaf_side};
+    for (uint32_t k = 0; k < tree.leaf_counts[i]; ++k) pc.Add(center);
+  }
+  return pc;
+}
+
+}  // namespace dbgc

@@ -1,0 +1,75 @@
+// Octree representation of a 3D point cloud (Section 2.1, [36]).
+//
+// The tree is built by recursive cube partitioning until cells reach a given
+// leaf side length (2q for error bound q: approximating points to leaf
+// centers then errs at most q per dimension). The structure is stored level
+// by level in breadth-first order as 8-bit occupancy codes, the form that
+// octree codecs serialize. Leaf occupancy is accompanied by per-leaf point
+// counts so decompression restores exactly |PC| points (one-to-one mapping).
+
+#ifndef DBGC_SPATIAL_OCTREE_H_
+#define DBGC_SPATIAL_OCTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bounding_box.h"
+#include "common/point_cloud.h"
+#include "common/status.h"
+
+namespace dbgc {
+
+/// Morton (z-order) interleaving helpers for up to 21 bits per dimension.
+/// Bit 0 of the code is the x bit, bit 1 the y bit, bit 2 the z bit, matching
+/// Cube::Child's octant convention.
+uint64_t MortonEncode3(uint32_t x, uint32_t y, uint32_t z);
+/// Inverse of MortonEncode3.
+void MortonDecode3(uint64_t code, uint32_t* x, uint32_t* y, uint32_t* z);
+
+/// The breadth-first serialized form of an octree.
+struct OctreeStructure {
+  Cube root;                 ///< Root bounding cube.
+  int depth = 0;             ///< Number of subdivision levels (0 = root only).
+  /// levels[l] holds one occupancy byte per non-empty node at tree level l,
+  /// in Morton order; bit i set means child octant i is non-empty.
+  std::vector<std::vector<uint8_t>> levels;
+  /// Number of points in each non-empty leaf, in Morton (BFS) order.
+  std::vector<uint32_t> leaf_counts;
+
+  /// Total number of non-empty leaves.
+  size_t num_leaves() const { return leaf_counts.size(); }
+  /// Total number of points represented.
+  size_t num_points() const;
+};
+
+/// Octree construction and point extraction.
+class Octree {
+ public:
+  /// Maximum supported subdivision depth (Morton codes use 3 bits/level).
+  static constexpr int kMaxDepth = 21;
+
+  /// Builds the structure for `pc` with the given leaf side length.
+  /// Uses the centered bounding cube of the cloud.
+  static Result<OctreeStructure> Build(const PointCloud& pc, double leaf_side);
+
+  /// Builds with an explicit root cube (must contain all points and have
+  /// side = leaf_side * 2^depth for some depth <= kMaxDepth).
+  static Result<OctreeStructure> BuildWithRoot(const PointCloud& pc,
+                                               const Cube& root,
+                                               double leaf_side);
+
+  /// Reconstructs the represented points: each non-empty leaf contributes
+  /// its center, repeated leaf_count times.
+  static PointCloud ExtractPoints(const OctreeStructure& tree);
+
+  /// Returns the Morton code of the leaf cell containing p under the given
+  /// root cube and depth.
+  static uint64_t LeafKeyOf(const Point3& p, const Cube& root, int depth);
+
+  /// The sorted Morton keys of the non-empty leaves of `tree`.
+  static std::vector<uint64_t> LeafKeys(const OctreeStructure& tree);
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_SPATIAL_OCTREE_H_

@@ -1,0 +1,159 @@
+#include "spatial/quadtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace dbgc {
+
+namespace {
+
+uint64_t Part1By1(uint32_t v) {
+  uint64_t x = v;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+uint32_t Compact1By1(uint64_t x) {
+  x &= 0x5555555555555555ULL;
+  x = (x ^ (x >> 1)) & 0x3333333333333333ULL;
+  x = (x ^ (x >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x ^ (x >> 4)) & 0x00FF00FF00FF00FFULL;
+  x = (x ^ (x >> 8)) & 0x0000FFFF0000FFFFULL;
+  x = (x ^ (x >> 16)) & 0x00000000FFFFFFFFULL;
+  return static_cast<uint32_t>(x);
+}
+
+}  // namespace
+
+uint64_t MortonEncode2(uint32_t x, uint32_t y) {
+  return Part1By1(x) | (Part1By1(y) << 1);
+}
+
+void MortonDecode2(uint64_t code, uint32_t* x, uint32_t* y) {
+  *x = Compact1By1(code);
+  *y = Compact1By1(code >> 1);
+}
+
+size_t QuadtreeStructure::num_points() const {
+  size_t n = 0;
+  for (uint32_t c : leaf_counts) n += c;
+  return n;
+}
+
+uint64_t Quadtree::LeafKeyOf(double x, double y,
+                             const QuadtreeStructure& tree) {
+  const double cells = std::ldexp(1.0, tree.depth);
+  const double inv_leaf = cells / tree.side;
+  auto clamp_coord = [&](double v) -> uint32_t {
+    double c = std::floor(v * inv_leaf);
+    if (c < 0) c = 0;
+    if (c >= cells) c = cells - 1;
+    return static_cast<uint32_t>(c);
+  };
+  return MortonEncode2(clamp_coord(x - tree.origin_x),
+                       clamp_coord(y - tree.origin_y));
+}
+
+Result<QuadtreeStructure> Quadtree::Build(const std::vector<Point2>& points,
+                                          double leaf_side) {
+  if (leaf_side <= 0) {
+    return Status::InvalidArgument("quadtree: leaf_side must be positive");
+  }
+  QuadtreeStructure tree;
+  BoundingBox2D box;
+  for (const Point2& p : points) box.Extend(p.x, p.y);
+  if (box.IsEmpty()) {
+    tree.side = leaf_side;
+    return tree;
+  }
+  const double extent = std::max(box.MaxExtent(), leaf_side);
+  int depth = 0;
+  double side = leaf_side;
+  while (side < extent) {
+    side *= 2;
+    ++depth;
+    if (depth > kMaxDepth) {
+      return Status::OutOfRange("quadtree: depth exceeds kMaxDepth");
+    }
+  }
+  tree.depth = depth;
+  tree.side = side;
+  tree.origin_x = (box.min_x + box.max_x) / 2 - side / 2;
+  tree.origin_y = (box.min_y + box.max_y) / 2 - side / 2;
+  tree.levels.assign(depth, {});
+
+  std::vector<uint64_t> keys;
+  keys.reserve(points.size());
+  for (const Point2& p : points) keys.push_back(LeafKeyOf(p.x, p.y, tree));
+  std::sort(keys.begin(), keys.end());
+
+  std::vector<uint64_t> unique_keys;
+  for (size_t i = 0; i < keys.size();) {
+    size_t j = i;
+    while (j < keys.size() && keys[j] == keys[i]) ++j;
+    unique_keys.push_back(keys[i]);
+    tree.leaf_counts.push_back(static_cast<uint32_t>(j - i));
+    i = j;
+  }
+
+  std::vector<uint64_t> level_keys = std::move(unique_keys);
+  for (int l = depth - 1; l >= 0; --l) {
+    std::vector<uint64_t> parents;
+    std::vector<uint8_t>& occupancy = tree.levels[l];
+    for (size_t i = 0; i < level_keys.size();) {
+      const uint64_t parent = level_keys[i] >> 2;
+      uint8_t occ = 0;
+      while (i < level_keys.size() && (level_keys[i] >> 2) == parent) {
+        occ |= static_cast<uint8_t>(1u << (level_keys[i] & 3));
+        ++i;
+      }
+      parents.push_back(parent);
+      occupancy.push_back(occ);
+    }
+    level_keys = std::move(parents);
+  }
+  return tree;
+}
+
+std::vector<uint64_t> Quadtree::LeafKeys(const QuadtreeStructure& tree) {
+  std::vector<uint64_t> keys{0};
+  for (int l = 0; l < tree.depth; ++l) {
+    const std::vector<uint8_t>& occupancy = tree.levels[l];
+    std::vector<uint64_t> next;
+    assert(occupancy.size() == keys.size());
+    for (size_t i = 0; i < occupancy.size(); ++i) {
+      for (int quadrant = 0; quadrant < 4; ++quadrant) {
+        if (occupancy[i] & (1u << quadrant)) {
+          next.push_back((keys[i] << 2) | static_cast<uint64_t>(quadrant));
+        }
+      }
+    }
+    keys = std::move(next);
+  }
+  return keys;
+}
+
+std::vector<Point2> Quadtree::ExtractPoints(const QuadtreeStructure& tree) {
+  std::vector<Point2> out;
+  if (tree.leaf_counts.empty()) return out;
+  const std::vector<uint64_t> keys = LeafKeys(tree);
+  assert(keys.size() == tree.leaf_counts.size());
+  const double leaf_side = tree.side / std::ldexp(1.0, tree.depth);
+  out.reserve(tree.num_points());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    uint32_t ix, iy;
+    MortonDecode2(keys[i], &ix, &iy);
+    const Point2 center{tree.origin_x + (ix + 0.5) * leaf_side,
+                        tree.origin_y + (iy + 0.5) * leaf_side};
+    for (uint32_t k = 0; k < tree.leaf_counts[i]; ++k) out.push_back(center);
+  }
+  return out;
+}
+
+}  // namespace dbgc

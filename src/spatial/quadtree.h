@@ -1,0 +1,64 @@
+// 2D quadtree over the xy-plane, the outlier-compression structure of
+// Section 3.6. Mirrors spatial/octree.h with 4-way partitioning.
+
+#ifndef DBGC_SPATIAL_QUADTREE_H_
+#define DBGC_SPATIAL_QUADTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bounding_box.h"
+#include "common/point_cloud.h"
+#include "common/status.h"
+
+namespace dbgc {
+
+/// 2D Morton interleaving for up to 31 bits per dimension.
+/// Bit 0 of the code is the x bit, bit 1 the y bit.
+uint64_t MortonEncode2(uint32_t x, uint32_t y);
+/// Inverse of MortonEncode2.
+void MortonDecode2(uint64_t code, uint32_t* x, uint32_t* y);
+
+/// A 2D point with the quantities the outlier codec restores.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Breadth-first serialized quadtree.
+struct QuadtreeStructure {
+  double origin_x = 0.0;  ///< Root square corner (minimal coordinates).
+  double origin_y = 0.0;
+  double side = 0.0;      ///< Root square side length.
+  int depth = 0;
+  /// levels[l]: 4-bit occupancy per non-empty node at level l (Morton order).
+  std::vector<std::vector<uint8_t>> levels;
+  /// Points per non-empty leaf, Morton order.
+  std::vector<uint32_t> leaf_counts;
+
+  size_t num_leaves() const { return leaf_counts.size(); }
+  size_t num_points() const;
+};
+
+/// Quadtree construction and extraction.
+class Quadtree {
+ public:
+  static constexpr int kMaxDepth = 31;
+
+  /// Builds the quadtree of the (x, y) projections with the given leaf side.
+  static Result<QuadtreeStructure> Build(const std::vector<Point2>& points,
+                                         double leaf_side);
+
+  /// Reconstructs leaf centers, each repeated by its count.
+  static std::vector<Point2> ExtractPoints(const QuadtreeStructure& tree);
+
+  /// Morton key of the leaf containing (x, y).
+  static uint64_t LeafKeyOf(double x, double y, const QuadtreeStructure& tree);
+
+  /// Sorted Morton keys of non-empty leaves.
+  static std::vector<uint64_t> LeafKeys(const QuadtreeStructure& tree);
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_SPATIAL_QUADTREE_H_

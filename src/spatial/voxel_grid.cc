@@ -1,0 +1,90 @@
+#include "spatial/voxel_grid.h"
+
+#include <cmath>
+
+namespace dbgc {
+
+const std::vector<int> VoxelGrid::kEmpty;
+
+VoxelGrid::VoxelGrid(const PointCloud& pc, double cell_side)
+    : pc_(pc), cell_side_(cell_side), inv_side_(1.0 / cell_side) {
+  cells_.reserve(pc.size() / 4 + 8);
+  for (size_t i = 0; i < pc.size(); ++i) {
+    cells_[KeyOf(CoordOf(pc[i]))].push_back(static_cast<int>(i));
+  }
+}
+
+VoxelCoord VoxelGrid::CoordOf(const Point3& p) const {
+  return VoxelCoord{static_cast<int32_t>(std::floor(p.x * inv_side_)),
+                    static_cast<int32_t>(std::floor(p.y * inv_side_)),
+                    static_cast<int32_t>(std::floor(p.z * inv_side_))};
+}
+
+uint64_t VoxelGrid::KeyOf(const VoxelCoord& c) {
+  const uint64_t bias = 1u << 20;
+  const uint64_t ux = (static_cast<uint64_t>(static_cast<int64_t>(c.x)) + bias) &
+                      0x1FFFFF;
+  const uint64_t uy = (static_cast<uint64_t>(static_cast<int64_t>(c.y)) + bias) &
+                      0x1FFFFF;
+  const uint64_t uz = (static_cast<uint64_t>(static_cast<int64_t>(c.z)) + bias) &
+                      0x1FFFFF;
+  return ux | (uy << 21) | (uz << 42);
+}
+
+const std::vector<int>& VoxelGrid::PointsInCell(const VoxelCoord& c) const {
+  const auto it = cells_.find(KeyOf(c));
+  return it == cells_.end() ? kEmpty : it->second;
+}
+
+std::vector<int> VoxelGrid::RadiusSearch(const Point3& query,
+                                         double radius) const {
+  std::vector<int> out;
+  const double r_sq = radius * radius;
+  const VoxelCoord lo = CoordOf(
+      Point3{query.x - radius, query.y - radius, query.z - radius});
+  const VoxelCoord hi = CoordOf(
+      Point3{query.x + radius, query.y + radius, query.z + radius});
+  for (int32_t cx = lo.x; cx <= hi.x; ++cx) {
+    for (int32_t cy = lo.y; cy <= hi.y; ++cy) {
+      for (int32_t cz = lo.z; cz <= hi.z; ++cz) {
+        const auto it = cells_.find(KeyOf(VoxelCoord{cx, cy, cz}));
+        if (it == cells_.end()) continue;
+        for (int idx : it->second) {
+          if ((pc_[idx] - query).SquaredNorm() <= r_sq) out.push_back(idx);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+size_t VoxelGrid::CountWithinRadius(const Point3& query, double radius,
+                                    size_t at_least) const {
+  size_t count = 0;
+  const double r_sq = radius * radius;
+  const VoxelCoord lo = CoordOf(
+      Point3{query.x - radius, query.y - radius, query.z - radius});
+  const VoxelCoord hi = CoordOf(
+      Point3{query.x + radius, query.y + radius, query.z + radius});
+  for (int32_t cx = lo.x; cx <= hi.x; ++cx) {
+    for (int32_t cy = lo.y; cy <= hi.y; ++cy) {
+      for (int32_t cz = lo.z; cz <= hi.z; ++cz) {
+        const auto it = cells_.find(KeyOf(VoxelCoord{cx, cy, cz}));
+        if (it == cells_.end()) continue;
+        for (int idx : it->second) {
+          if ((pc_[idx] - query).SquaredNorm() <= r_sq) {
+            if (++count >= at_least) return count;
+          }
+        }
+      }
+    }
+  }
+  return count;
+}
+
+size_t VoxelGrid::CellCount(uint64_t key) const {
+  const auto it = cells_.find(key);
+  return it == cells_.end() ? 0 : it->second.size();
+}
+
+}  // namespace dbgc

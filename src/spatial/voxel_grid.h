@@ -1,0 +1,75 @@
+// Uniform hashed voxel grid over a point cloud: the spatial index behind
+// the cell-based clustering of Section 3.2 and the approximate clustering
+// of Section 4.3.
+
+#ifndef DBGC_SPATIAL_VOXEL_GRID_H_
+#define DBGC_SPATIAL_VOXEL_GRID_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/point_cloud.h"
+
+namespace dbgc {
+
+/// Integer cell coordinates of a voxel.
+struct VoxelCoord {
+  int32_t x = 0;
+  int32_t y = 0;
+  int32_t z = 0;
+  bool operator==(const VoxelCoord& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+};
+
+/// Hash map grid: voxel coordinate -> indices of contained points.
+class VoxelGrid {
+ public:
+  /// Builds the grid with the given cell side. Cell (i,j,k) covers
+  /// [i*s, (i+1)*s) x ... relative to the origin (0,0,0).
+  VoxelGrid(const PointCloud& pc, double cell_side);
+
+  /// Cell side length.
+  double cell_side() const { return cell_side_; }
+  /// Number of non-empty cells.
+  size_t num_cells() const { return cells_.size(); }
+
+  /// The voxel containing p.
+  VoxelCoord CoordOf(const Point3& p) const;
+
+  /// 64-bit packed key of a voxel coordinate (21 bits per dimension,
+  /// offset binary). Distinct coords in +-2^20 cells map to distinct keys.
+  static uint64_t KeyOf(const VoxelCoord& c);
+
+  /// Point indices in the given cell; empty if the cell has no points.
+  const std::vector<int>& PointsInCell(const VoxelCoord& c) const;
+
+  /// Indices of all points within Euclidean `radius` of `query`.
+  std::vector<int> RadiusSearch(const Point3& query, double radius) const;
+
+  /// Number of points within Euclidean `radius` of `query`. If the count
+  /// reaches `at_least`, returns early with that value (enough for DBSCAN's
+  /// minPts test).
+  size_t CountWithinRadius(const Point3& query, double radius,
+                           size_t at_least) const;
+
+  /// Iterates all non-empty cells.
+  const std::unordered_map<uint64_t, std::vector<int>>& cells() const {
+    return cells_;
+  }
+
+  /// Number of points in a cell by key (0 if empty).
+  size_t CellCount(uint64_t key) const;
+
+ private:
+  const PointCloud& pc_;
+  double cell_side_;
+  double inv_side_;
+  std::unordered_map<uint64_t, std::vector<int>> cells_;
+  static const std::vector<int> kEmpty;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_SPATIAL_VOXEL_GRID_H_

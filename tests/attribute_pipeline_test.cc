@@ -1,0 +1,198 @@
+// Tests for the attribute codec, the range-image codec, and the
+// multi-threaded compression pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/range_image_codec.h"
+#include "common/rng.h"
+#include "core/attribute_codec.h"
+#include "core/dbgc_codec.h"
+#include "core/error_metrics.h"
+#include "lidar/scene_generator.h"
+#include "net/pipeline.h"
+
+namespace dbgc {
+namespace {
+
+TEST(AttributeCodecTest, RoundTripWithinBound) {
+  Rng rng(1);
+  std::vector<float> intensity;
+  for (int i = 0; i < 20000; ++i) {
+    intensity.push_back(static_cast<float>(rng.NextDouble()));
+  }
+  const double q = 1.0 / 255.0;  // 8-bit intensity resolution.
+  auto compressed = AttributeCodec::Compress(intensity, {}, q);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = AttributeCodec::Decompress(compressed.value());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), intensity.size());
+  for (size_t i = 0; i < intensity.size(); ++i) {
+    ASSERT_NEAR(decoded.value()[i], intensity[i], q * (1 + 1e-6));
+  }
+}
+
+TEST(AttributeCodecTest, EmissionOrderReordering) {
+  const std::vector<float> values = {0.1f, 0.2f, 0.3f, 0.4f};
+  const std::vector<uint32_t> order = {3, 1, 0, 2};
+  auto compressed = AttributeCodec::Compress(values, order, 0.001);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = AttributeCodec::Decompress(compressed.value());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), 4u);
+  EXPECT_NEAR(decoded.value()[0], 0.4f, 0.002);
+  EXPECT_NEAR(decoded.value()[1], 0.2f, 0.002);
+  EXPECT_NEAR(decoded.value()[2], 0.1f, 0.002);
+  EXPECT_NEAR(decoded.value()[3], 0.3f, 0.002);
+}
+
+TEST(AttributeCodecTest, PairsWithGeometryMapping) {
+  // Full workflow: geometry via DBGC, intensity via AttributeCodec using
+  // the geometry's emission order; the decoded channels stay aligned.
+  const SceneGenerator gen(SceneType::kCity);
+  const PointCloud full = gen.Generate(0);
+  PointCloud pc;
+  for (size_t i = 0; i < full.size(); i += 30) pc.Add(full[i]);
+  // Synthetic intensity correlated with height.
+  std::vector<float> intensity;
+  for (const Point3& p : pc) {
+    intensity.push_back(static_cast<float>(0.5 + 0.1 * p.z));
+  }
+
+  DbgcOptions options;
+  options.min_pts_scale = 0.05;
+  const DbgcCodec codec(options);
+  DbgcCompressInfo info;
+  auto geometry = codec.CompressWithInfo(pc, &info);
+  ASSERT_TRUE(geometry.ok());
+  auto attr = AttributeCodec::Compress(intensity, info.point_mapping, 0.01);
+  ASSERT_TRUE(attr.ok());
+
+  auto decoded_cloud = codec.Decompress(geometry.value());
+  ASSERT_TRUE(decoded_cloud.ok());
+  auto decoded_attr = AttributeCodec::Decompress(attr.value());
+  ASSERT_TRUE(decoded_attr.ok());
+  ASSERT_EQ(decoded_attr.value().size(), decoded_cloud.value().size());
+  // Emission order i corresponds to source point_mapping[i]: the decoded
+  // intensity must match the source point's height relation within bounds.
+  for (size_t i = 0; i < decoded_attr.value().size(); i += 57) {
+    const float expected = intensity[info.point_mapping[i]];
+    ASSERT_NEAR(decoded_attr.value()[i], expected, 0.011);
+  }
+}
+
+TEST(AttributeCodecTest, InvalidInputsRejected) {
+  EXPECT_FALSE(AttributeCodec::Compress({1.0f}, {}, 0.0).ok());
+  EXPECT_FALSE(AttributeCodec::Compress({1.0f}, {0, 1}, 0.1).ok());
+  EXPECT_FALSE(AttributeCodec::Compress({1.0f, 2.0f}, {0, 5}, 0.1).ok());
+  ByteBuffer junk;
+  junk.AppendByte(0x00);
+  EXPECT_FALSE(AttributeCodec::Decompress(junk).ok());
+}
+
+TEST(RangeImageCodecTest, RoundTripsItsOwnRepresentation) {
+  const SceneGenerator gen(SceneType::kRoad);
+  const PointCloud pc = gen.Generate(0);
+  const RangeImageCodec codec;
+  auto compressed = codec.Compress(pc, 0.02);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = codec.Decompress(compressed.value());
+  ASSERT_TRUE(decoded.ok());
+  // Resampling: at most one point per cell, so |PC'| <= |PC|.
+  EXPECT_LE(decoded.value().size(), pc.size());
+  EXPECT_GT(decoded.value().size(), pc.size() / 2);
+  // Re-compressing the decoded cloud is a fixed point (same grid).
+  auto again = codec.Compress(decoded.value(), 0.02);
+  ASSERT_TRUE(again.ok());
+  auto decoded2 = codec.Decompress(again.value());
+  ASSERT_TRUE(decoded2.ok());
+  EXPECT_EQ(decoded2.value().size(), decoded.value().size());
+}
+
+TEST(RangeImageCodecTest, AccuracyLossExceedsDbgc) {
+  // Section 2.2's argument: image-based schemes sacrifice accuracy on
+  // calibrated clouds. The angular snap error dwarfs DBGC's bound.
+  const SceneGenerator gen(SceneType::kCity);
+  const PointCloud full = gen.Generate(0);
+  PointCloud pc;
+  for (size_t i = 0; i < full.size(); i += 4) pc.Add(full[i]);
+  pc.Add(pc[0]);  // A second echo in an occupied cell collapses away.
+  const double q = 0.02;
+
+  const RangeImageCodec range_image;
+  auto ri = range_image.Compress(pc, q);
+  ASSERT_TRUE(ri.ok());
+  auto ri_decoded = range_image.Decompress(ri.value());
+  ASSERT_TRUE(ri_decoded.ok());
+  const ErrorStats ri_error = NearestNeighborError(pc, ri_decoded.value());
+
+  // It cannot satisfy the Problem Statement: the count changes and the
+  // error exceeds the bound that DBGC guarantees.
+  EXPECT_GT(ri_error.max_euclidean, std::sqrt(3.0) * q);
+  EXPECT_NE(ri_decoded.value().size(), pc.size());
+}
+
+TEST(RangeImageCodecTest, EmptyCloud) {
+  const RangeImageCodec codec;
+  auto compressed = codec.Compress(PointCloud(), 0.02);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = codec.Decompress(compressed.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST(CompressionPipelineTest, MatchesSequentialOutput) {
+  DbgcOptions options;
+  options.min_pts_scale = 0.05;
+  const SceneGenerator gen(SceneType::kCampus);
+  std::vector<PointCloud> frames;
+  for (uint32_t f = 0; f < 4; ++f) {
+    const PointCloud full = gen.Generate(f);
+    PointCloud pc;
+    for (size_t i = 0; i < full.size(); i += 18) pc.Add(full[i]);
+    frames.push_back(std::move(pc));
+  }
+
+  // Sequential reference.
+  const DbgcCodec codec(options);
+  std::vector<ByteBuffer> expected;
+  for (const PointCloud& pc : frames) {
+    auto c = codec.Compress(pc, options.q_xyz);
+    ASSERT_TRUE(c.ok());
+    expected.push_back(std::move(c).value());
+  }
+
+  // Parallel pipeline: same bitstreams, in submission order.
+  CompressionPipeline pipeline(options, /*num_workers=*/3);
+  for (const PointCloud& pc : frames) pipeline.Submit(pc);
+  for (size_t f = 0; f < frames.size(); ++f) {
+    auto result = pipeline.NextResult();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result.value(), expected[f]) << "frame " << f;
+  }
+  // No more results pending.
+  EXPECT_FALSE(pipeline.NextResult().ok());
+}
+
+TEST(CompressionPipelineTest, SingleWorkerAndInterleavedUse) {
+  DbgcOptions options;
+  options.min_pts_scale = 0.05;
+  CompressionPipeline pipeline(options, 1);
+  Rng rng(5);
+  for (int round = 0; round < 3; ++round) {
+    PointCloud pc;
+    for (int i = 0; i < 500; ++i) {
+      pc.Add(rng.NextRange(-20, 20), rng.NextRange(-20, 20),
+             rng.NextRange(-2, 2));
+    }
+    pipeline.Submit(pc);
+    auto result = pipeline.NextResult();
+    ASSERT_TRUE(result.ok());
+    EXPECT_GT(result.value().size(), 0u);
+  }
+  EXPECT_EQ(pipeline.submitted(), 3u);
+}
+
+}  // namespace
+}  // namespace dbgc

@@ -1,0 +1,222 @@
+// Unit and property tests for src/bitio: byte buffers, bit-level I/O,
+// varints, and zigzag mapping.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "bitio/bit_reader.h"
+#include "bitio/bit_writer.h"
+#include "bitio/byte_buffer.h"
+#include "bitio/varint.h"
+#include "common/rng.h"
+
+namespace dbgc {
+namespace {
+
+TEST(ByteBufferTest, AppendPrimitives) {
+  ByteBuffer buf;
+  buf.AppendByte(0xAB);
+  buf.AppendUint16(0x1234);
+  buf.AppendUint32(0xDEADBEEF);
+  buf.AppendUint64(0x0123456789ABCDEFULL);
+  buf.AppendDouble(3.5);
+
+  ByteReader reader(buf);
+  uint8_t b;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  double d;
+  ASSERT_TRUE(reader.ReadByte(&b).ok());
+  ASSERT_TRUE(reader.ReadUint16(&u16).ok());
+  ASSERT_TRUE(reader.ReadUint32(&u32).ok());
+  ASSERT_TRUE(reader.ReadUint64(&u64).ok());
+  ASSERT_TRUE(reader.ReadDouble(&d).ok());
+  EXPECT_EQ(b, 0xAB);
+  EXPECT_EQ(u16, 0x1234);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFULL);
+  EXPECT_EQ(d, 3.5);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteBufferTest, LengthPrefixedRoundTrip) {
+  ByteBuffer inner;
+  inner.AppendUint32(77);
+  ByteBuffer outer;
+  outer.AppendLengthPrefixed(inner);
+  outer.AppendByte(9);
+
+  ByteReader reader(outer);
+  ByteBuffer decoded;
+  ASSERT_TRUE(reader.ReadLengthPrefixed(&decoded).ok());
+  EXPECT_EQ(decoded, inner);
+  uint8_t tail;
+  ASSERT_TRUE(reader.ReadByte(&tail).ok());
+  EXPECT_EQ(tail, 9);
+}
+
+TEST(ByteReaderTest, ReadPastEndFails) {
+  ByteBuffer buf;
+  buf.AppendByte(1);
+  ByteReader reader(buf);
+  uint32_t v;
+  EXPECT_EQ(reader.ReadUint32(&v).code(), StatusCode::kCorruption);
+}
+
+TEST(ByteReaderTest, LengthPrefixOverrunFails) {
+  ByteBuffer buf;
+  buf.AppendUint64(100);  // Claims 100 bytes follow; none do.
+  ByteReader reader(buf);
+  ByteBuffer sub;
+  EXPECT_FALSE(reader.ReadLengthPrefixed(&sub).ok());
+}
+
+TEST(ByteReaderTest, SkipAdvances) {
+  ByteBuffer buf;
+  for (int i = 0; i < 10; ++i) buf.AppendByte(static_cast<uint8_t>(i));
+  ByteReader reader(buf);
+  ASSERT_TRUE(reader.Skip(4).ok());
+  uint8_t b;
+  ASSERT_TRUE(reader.ReadByte(&b).ok());
+  EXPECT_EQ(b, 4);
+  EXPECT_FALSE(reader.Skip(100).ok());
+}
+
+TEST(BitIoTest, SingleBitsRoundTrip) {
+  BitWriter writer;
+  const int pattern[] = {1, 0, 1, 1, 0, 0, 1, 0, 1, 1, 1};
+  for (int b : pattern) writer.WriteBit(b);
+  const ByteBuffer buf = writer.Finish();
+  BitReader reader(buf);
+  for (int expected : pattern) {
+    int bit;
+    ASSERT_TRUE(reader.ReadBit(&bit).ok());
+    EXPECT_EQ(bit, expected);
+  }
+}
+
+TEST(BitIoTest, MultiBitFieldsRoundTrip) {
+  BitWriter writer;
+  writer.WriteBits(0b101, 3);
+  writer.WriteBits(0xFFFF, 16);
+  writer.WriteBits(0, 5);
+  writer.WriteBits(0x123456789ULL, 36);
+  const ByteBuffer buf = writer.Finish();
+  BitReader reader(buf);
+  uint64_t v;
+  ASSERT_TRUE(reader.ReadBits(3, &v).ok());
+  EXPECT_EQ(v, 0b101u);
+  ASSERT_TRUE(reader.ReadBits(16, &v).ok());
+  EXPECT_EQ(v, 0xFFFFu);
+  ASSERT_TRUE(reader.ReadBits(5, &v).ok());
+  EXPECT_EQ(v, 0u);
+  ASSERT_TRUE(reader.ReadBits(36, &v).ok());
+  EXPECT_EQ(v, 0x123456789ULL);
+}
+
+TEST(BitIoTest, BitCountTracksWrites) {
+  BitWriter writer;
+  EXPECT_EQ(writer.bit_count(), 0u);
+  writer.WriteBits(0, 13);
+  EXPECT_EQ(writer.bit_count(), 13u);
+}
+
+TEST(BitIoTest, RandomRoundTrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::pair<uint64_t, int>> fields;
+    BitWriter writer;
+    for (int i = 0; i < 500; ++i) {
+      const int width = 1 + static_cast<int>(rng.NextBounded(64));
+      const uint64_t value =
+          width == 64 ? rng.NextUint64() : rng.NextUint64() & ((1ULL << width) - 1);
+      fields.emplace_back(value, width);
+      writer.WriteBits(value, width);
+    }
+    const ByteBuffer buf = writer.Finish();
+    BitReader reader(buf);
+    for (const auto& [value, width] : fields) {
+      uint64_t v;
+      ASSERT_TRUE(reader.ReadBits(width, &v).ok());
+      EXPECT_EQ(v, value);
+    }
+  }
+}
+
+TEST(ZigZagTest, SmallValuesInterleave) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  EXPECT_EQ(ZigZagEncode(2), 4u);
+}
+
+TEST(ZigZagTest, ExtremesRoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1},
+                    std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max()}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+TEST(VarintTest, BoundaryValues) {
+  ByteBuffer buf;
+  const uint64_t values[] = {0,       127,        128,
+                             16383,   16384,      (1ULL << 35) - 1,
+                             1ULL << 35, ~0ULL};
+  for (uint64_t v : values) PutVarint64(&buf, v);
+  ByteReader reader(buf);
+  for (uint64_t expected : values) {
+    uint64_t v;
+    ASSERT_TRUE(GetVarint64(&reader, &v).ok());
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(VarintTest, SingleByteForSmallValues) {
+  ByteBuffer buf;
+  PutVarint64(&buf, 100);
+  EXPECT_EQ(buf.size(), 1u);
+}
+
+TEST(VarintTest, SignedRandomRoundTrip) {
+  Rng rng(5);
+  ByteBuffer buf;
+  std::vector<int64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    const int shift = static_cast<int>(rng.NextBounded(63));
+    int64_t v = static_cast<int64_t>(rng.NextUint64() >> shift);
+    if (rng.NextBool(0.5)) v = -v;
+    values.push_back(v);
+    PutSignedVarint64(&buf, v);
+  }
+  ByteReader reader(buf);
+  for (int64_t expected : values) {
+    int64_t v;
+    ASSERT_TRUE(GetSignedVarint64(&reader, &v).ok());
+    EXPECT_EQ(v, expected);
+  }
+}
+
+TEST(VarintTest, TruncatedFails) {
+  ByteBuffer buf;
+  buf.AppendByte(0x80);  // Continuation bit with no following byte.
+  ByteReader reader(buf);
+  uint64_t v;
+  EXPECT_FALSE(GetVarint64(&reader, &v).ok());
+}
+
+TEST(VarintTest, OverlongFails) {
+  ByteBuffer buf;
+  for (int i = 0; i < 11; ++i) buf.AppendByte(0xFF);
+  ByteReader reader(buf);
+  uint64_t v;
+  EXPECT_FALSE(GetVarint64(&reader, &v).ok());
+}
+
+}  // namespace
+}  // namespace dbgc

@@ -1,0 +1,224 @@
+// Tests for the baseline geometry codecs (src/codec): round trips, point
+// counts, error bounds, and relative compression behaviour on LiDAR-like
+// data.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "codec/codec.h"
+#include "codec/gpcc_like_codec.h"
+#include "codec/kdtree_codec.h"
+#include "codec/octree_codec.h"
+#include "codec/octree_grouped_codec.h"
+#include "codec/raw_codec.h"
+#include "common/rng.h"
+#include "core/error_metrics.h"
+#include "lidar/scene_generator.h"
+
+namespace dbgc {
+namespace {
+
+PointCloud SmallLidarFrame() {
+  const SceneGenerator gen(SceneType::kCity);
+  const PointCloud full = gen.Generate(0);
+  PointCloud sub;
+  for (size_t i = 0; i < full.size(); i += 5) sub.Add(full[i]);
+  return sub;
+}
+
+PointCloud RandomCloud(size_t n, double extent, uint64_t seed) {
+  Rng rng(seed);
+  PointCloud pc;
+  for (size_t i = 0; i < n; ++i) {
+    pc.Add(rng.NextRange(-extent, extent), rng.NextRange(-extent, extent),
+           rng.NextRange(-extent, extent));
+  }
+  return pc;
+}
+
+struct CodecFactory {
+  const char* label;
+  std::unique_ptr<GeometryCodec> (*make)();
+};
+
+std::unique_ptr<GeometryCodec> MakeOctree() {
+  return std::make_unique<OctreeCodec>();
+}
+std::unique_ptr<GeometryCodec> MakeOctreeGrouped() {
+  return std::make_unique<OctreeGroupedCodec>();
+}
+std::unique_ptr<GeometryCodec> MakeKd() {
+  return std::make_unique<KdTreeCodec>();
+}
+std::unique_ptr<GeometryCodec> MakeGpcc() {
+  return std::make_unique<GpccLikeCodec>();
+}
+std::unique_ptr<GeometryCodec> MakeRaw() {
+  return std::make_unique<RawCodec>();
+}
+
+class BaselineCodecTest : public ::testing::TestWithParam<CodecFactory> {};
+
+TEST_P(BaselineCodecTest, RoundTripPreservesCount) {
+  auto codec = GetParam().make();
+  const PointCloud pc = SmallLidarFrame();
+  auto compressed = codec->Compress(pc, 0.02);
+  ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+  auto decoded = codec->Decompress(compressed.value());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().size(), pc.size());
+}
+
+TEST_P(BaselineCodecTest, EmptyCloud) {
+  auto codec = GetParam().make();
+  auto compressed = codec->Compress(PointCloud(), 0.02);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = codec->Decompress(compressed.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+TEST_P(BaselineCodecTest, SinglePoint) {
+  auto codec = GetParam().make();
+  PointCloud pc;
+  pc.Add(1.25, -3.5, 0.75);
+  auto compressed = codec->Compress(pc, 0.02);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = codec->Decompress(compressed.value());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), 1u);
+  EXPECT_LE(decoded.value()[0].DistanceTo(pc[0]), std::sqrt(3.0) * 0.02);
+}
+
+TEST_P(BaselineCodecTest, DuplicatePointsPreserved) {
+  auto codec = GetParam().make();
+  PointCloud pc;
+  for (int i = 0; i < 5; ++i) pc.Add(1, 1, 1);
+  pc.Add(2, 2, 2);
+  auto compressed = codec->Compress(pc, 0.02);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = codec->Decompress(compressed.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().size(), 6u);
+}
+
+TEST_P(BaselineCodecTest, ErrorBoundHolds) {
+  auto codec = GetParam().make();
+  const PointCloud pc = RandomCloud(3000, 40.0, 77);
+  for (double q : {0.005, 0.02, 0.1}) {
+    auto compressed = codec->Compress(pc, q);
+    ASSERT_TRUE(compressed.ok());
+    auto decoded = codec->Decompress(compressed.value());
+    ASSERT_TRUE(decoded.ok());
+    const ErrorStats stats = NearestNeighborError(pc, decoded.value());
+    // Cell-center reconstruction: per-dimension error <= q, so the
+    // symmetric NN error is at most sqrt(3) q.
+    EXPECT_LE(stats.max_euclidean, std::sqrt(3.0) * q * (1 + 1e-9))
+        << GetParam().label << " q=" << q;
+  }
+}
+
+TEST_P(BaselineCodecTest, InvalidErrorBoundRejected) {
+  auto codec = GetParam().make();
+  if (std::string(GetParam().label) == "Raw") GTEST_SKIP();
+  const PointCloud pc = RandomCloud(10, 1.0, 1);
+  EXPECT_FALSE(codec->Compress(pc, 0.0).ok());
+  EXPECT_FALSE(codec->Compress(pc, -1.0).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, BaselineCodecTest,
+    ::testing::Values(CodecFactory{"Octree", &MakeOctree},
+                      CodecFactory{"Octree_i", &MakeOctreeGrouped},
+                      CodecFactory{"Draco", &MakeKd},
+                      CodecFactory{"GPCC", &MakeGpcc},
+                      CodecFactory{"Raw", &MakeRaw}),
+    [](const ::testing::TestParamInfo<CodecFactory>& info) {
+      return std::string(info.param.label);
+    });
+
+TEST(RawCodecTest, RatioIsAboutOne) {
+  const RawCodec codec;
+  const PointCloud pc = RandomCloud(1000, 10, 5);
+  auto compressed = codec.Compress(pc, 0.02);
+  ASSERT_TRUE(compressed.ok());
+  const double ratio = CompressionRatio(pc, compressed.value());
+  EXPECT_GT(ratio, 0.95);
+  EXPECT_LE(ratio, 1.0);
+}
+
+TEST(OctreeCodecTest, BeatsRawOnLidar) {
+  const OctreeCodec codec;
+  const PointCloud pc = SmallLidarFrame();
+  auto compressed = codec.Compress(pc, 0.02);
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_GT(CompressionRatio(pc, compressed.value()), 3.0);
+}
+
+TEST(OctreeCodecTest, RatioImprovesWithDensity) {
+  // The Figure 3a effect: a denser cloud (same spatial process, smaller
+  // radius) compresses better per point.
+  const SceneGenerator gen(SceneType::kCity);
+  const PointCloud full = gen.Generate(0);
+  PointCloud near_points, all_points;
+  for (const Point3& p : full) {
+    if (p.Norm() <= 10.0) near_points.Add(p);
+    all_points.Add(p);
+  }
+  const OctreeCodec codec;
+  auto c_near = codec.Compress(near_points, 0.02);
+  auto c_all = codec.Compress(all_points, 0.02);
+  ASSERT_TRUE(c_near.ok());
+  ASSERT_TRUE(c_all.ok());
+  EXPECT_GT(CompressionRatio(near_points, c_near.value()),
+            CompressionRatio(all_points, c_all.value()));
+}
+
+TEST(GpccCodecTest, BeatsPlainOctreeOnLidar) {
+  // Section 4.2: G-PCC outperforms Octree on LiDAR data thanks to direct
+  // point coding and context modelling.
+  const PointCloud pc = SmallLidarFrame();
+  const OctreeCodec octree;
+  const GpccLikeCodec gpcc;
+  auto c_octree = octree.Compress(pc, 0.02);
+  auto c_gpcc = gpcc.Compress(pc, 0.02);
+  ASSERT_TRUE(c_octree.ok());
+  ASSERT_TRUE(c_gpcc.ok());
+  EXPECT_LT(c_gpcc.value().size(), c_octree.value().size());
+}
+
+TEST(CodecTest, CorruptedStreamFailsCleanly) {
+  const PointCloud pc = RandomCloud(500, 10, 9);
+  for (auto& codec : MakeBaselineCodecs()) {
+    auto compressed = codec->Compress(pc, 0.02);
+    ASSERT_TRUE(compressed.ok());
+    ByteBuffer truncated;
+    truncated.Append(compressed.value().data(),
+                     compressed.value().size() / 3);
+    auto decoded = codec->Decompress(truncated);
+    EXPECT_FALSE(decoded.ok()) << codec->name();
+  }
+}
+
+TEST(CodecTest, MetricsHelpers) {
+  PointCloud pc;
+  for (int i = 0; i < 100; ++i) pc.Add(i, 0, 0);
+  ByteBuffer buf;
+  for (int i = 0; i < 120; ++i) buf.AppendByte(0);
+  EXPECT_DOUBLE_EQ(CompressionRatio(pc, buf), 10.0);
+  EXPECT_DOUBLE_EQ(BandwidthMbps(buf, 10.0), 120 * 8 * 10 / 1e6);
+}
+
+TEST(CodecTest, BaselineFactoryProducesFour) {
+  const auto codecs = MakeBaselineCodecs();
+  ASSERT_EQ(codecs.size(), 4u);
+  EXPECT_EQ(codecs[0]->name(), "Octree");
+  EXPECT_EQ(codecs[1]->name(), "Octree_i");
+  EXPECT_EQ(codecs[2]->name(), "Draco(kd)");
+  EXPECT_EQ(codecs[3]->name(), "G-PCC-like");
+}
+
+}  // namespace
+}  // namespace dbgc

@@ -1,0 +1,193 @@
+// Unit tests for src/common: Status/Result, Point3/PointCloud,
+// BoundingBox/Cube, and the deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bounding_box.h"
+#include "common/point_cloud.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace dbgc {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Corruption("bad bits");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.message(), "bad bits");
+  EXPECT_EQ(s.ToString(), "Corruption: bad bits");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 6; ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::InvalidArgument("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+Result<int> HalveEven(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> QuarterEven(int v) {
+  DBGC_ASSIGN_OR_RETURN(int half, HalveEven(v));
+  return HalveEven(half);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  auto ok = QuarterEven(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+  auto err = QuarterEven(6);  // 6 -> 3 (odd) -> error from inner call.
+  EXPECT_FALSE(err.ok());
+}
+
+TEST(Point3Test, Arithmetic) {
+  const Point3 a{1, 2, 3}, b{4, 6, 8};
+  EXPECT_EQ((a + b), (Point3{5, 8, 11}));
+  EXPECT_EQ((b - a), (Point3{3, 4, 5}));
+  EXPECT_EQ((a * 2.0), (Point3{2, 4, 6}));
+  EXPECT_DOUBLE_EQ((b - a).Norm(), std::sqrt(50.0));
+  EXPECT_DOUBLE_EQ(a.ChebyshevDistanceTo(b), 5.0);
+}
+
+TEST(PointCloudTest, BasicOperations) {
+  PointCloud pc;
+  EXPECT_TRUE(pc.empty());
+  pc.Add(1, 2, 3);
+  pc.Add(Point3{4, 5, 6});
+  EXPECT_EQ(pc.size(), 2u);
+  EXPECT_EQ(pc[1].y, 5);
+  EXPECT_EQ(pc.RawSizeBytes(), 24u);  // 12 bytes per point.
+  pc.Clear();
+  EXPECT_TRUE(pc.empty());
+}
+
+TEST(PointCloudTest, MaxRadius) {
+  PointCloud pc;
+  EXPECT_EQ(pc.MaxRadius(), 0.0);
+  pc.Add(3, 4, 0);
+  pc.Add(0, 0, 1);
+  EXPECT_DOUBLE_EQ(pc.MaxRadius(), 5.0);
+}
+
+TEST(BoundingBoxTest, ExtendAndContains) {
+  BoundingBox box;
+  EXPECT_TRUE(box.IsEmpty());
+  box.Extend({0, 0, 0});
+  box.Extend({2, 4, -1});
+  EXPECT_FALSE(box.IsEmpty());
+  EXPECT_TRUE(box.Contains({1, 2, 0}));
+  EXPECT_FALSE(box.Contains({3, 2, 0}));
+  EXPECT_DOUBLE_EQ(box.MaxExtent(), 4.0);
+  const Point3 c = box.Center();
+  EXPECT_DOUBLE_EQ(c.x, 1.0);
+  EXPECT_DOUBLE_EQ(c.y, 2.0);
+  EXPECT_DOUBLE_EQ(c.z, -0.5);
+}
+
+TEST(CubeTest, BoundingCubeIsPowerOfTwoMultipleOfLeaf) {
+  BoundingBox box;
+  box.Extend({0, 0, 0});
+  box.Extend({10, 3, 3});
+  const double leaf = 0.04;
+  const Cube cube = Cube::BoundingCube(box, leaf);
+  EXPECT_GE(cube.side, 10.0);
+  const double levels = std::log2(cube.side / leaf);
+  EXPECT_NEAR(levels, std::round(levels), 1e-9);
+  EXPECT_TRUE(cube.Contains({0, 0, 0}));
+  EXPECT_TRUE(cube.Contains({10, 3, 3}));
+}
+
+TEST(CubeTest, ChildOctants) {
+  const Cube cube{{0, 0, 0}, 2.0};
+  const Cube c0 = cube.Child(0);
+  EXPECT_EQ(c0.origin, (Point3{0, 0, 0}));
+  EXPECT_DOUBLE_EQ(c0.side, 1.0);
+  const Cube c7 = cube.Child(7);
+  EXPECT_EQ(c7.origin, (Point3{1, 1, 1}));
+  const Cube c5 = cube.Child(5);  // x and z halves set.
+  EXPECT_EQ(c5.origin, (Point3{1, 0, 1}));
+}
+
+TEST(CubeTest, EmptyBoxYieldsLeafCube) {
+  BoundingBox box;
+  const Cube cube = Cube::BoundingCube(box, 0.5);
+  EXPECT_DOUBLE_EQ(cube.side, 0.5);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.NextUint64() == b.NextUint64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BoundedIsUnbiasedEnough) {
+  Rng rng(11);
+  int counts[10] = {0};
+  for (int i = 0; i < 100000; ++i) ++counts[rng.NextBounded(10)];
+  for (int c : counts) {
+    EXPECT_GT(c, 9000);
+    EXPECT_LT(c, 11000);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0, sum_sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace dbgc

@@ -1,0 +1,132 @@
+// Tests for non-default sensor profiles through the full pipeline: the
+// paper's claim that "users can easily apply DBGC on other types of
+// sensors by importing the metadata of the sensor" (Section 4.1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/dbgc_codec.h"
+#include "core/error_metrics.h"
+#include "lidar/scene_generator.h"
+#include "lidar/sensor_model.h"
+
+namespace dbgc {
+namespace {
+
+SensorMetadata Beam32Sensor() {
+  // A VLP-32-like profile: 32 rings over a wider vertical FOV, shorter
+  // range, coarser azimuth.
+  SensorMetadata m = SensorMetadata::VelodyneHdl64e(1200);
+  m.vertical_samples = 32;
+  m.phi_min = -25.0 * M_PI / 180.0;
+  m.phi_max = 15.0 * M_PI / 180.0;
+  m.r_max = 100.0;
+  return m;
+}
+
+TEST(CustomSensorTest, GeneratorRespectsProfile) {
+  const SensorMetadata sensor = Beam32Sensor();
+  const SceneGenerator gen(SceneType::kCity);
+  const PointCloud pc = gen.Generate(0, sensor);
+  EXPECT_GT(pc.size(), 10000u);
+  EXPECT_LT(pc.size(), static_cast<size_t>(sensor.horizontal_samples) *
+                           sensor.vertical_samples);
+  for (const Point3& p : pc) {
+    ASSERT_LE(p.Norm(), sensor.r_max * 1.01);
+  }
+}
+
+TEST(CustomSensorTest, FullPipelineWithinBound) {
+  const SensorMetadata sensor = Beam32Sensor();
+  const SceneGenerator gen(SceneType::kResidential);
+  const PointCloud pc = gen.Generate(1, sensor);
+
+  DbgcOptions options;
+  options.q_xyz = 0.02;
+  options.sensor = sensor;  // u_theta / u_phi drive Algorithm 1.
+  const DbgcCodec codec(options);
+  DbgcCompressInfo info;
+  auto compressed = codec.CompressWithInfo(pc, &info);
+  ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+  auto decoded = codec.Decompress(compressed.value());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), pc.size());
+  auto stats = MappedError(pc, decoded.value(), info.point_mapping);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LE(stats.value().max_euclidean, std::sqrt(3.0) * 0.02 * (1 + 1e-6));
+  // The scan-aware coder still gets real compression on a 32-beam sweep.
+  EXPECT_GT(CompressionRatio(pc, compressed.value()), 8.0);
+}
+
+TEST(CustomSensorTest, ImportedConfigMatchesDirectProfile) {
+  const SensorMetadata direct = Beam32Sensor();
+  auto imported = SensorMetadata::FromConfigString(direct.ToConfigString());
+  ASSERT_TRUE(imported.ok());
+
+  const SceneGenerator gen(SceneType::kRoad);
+  const PointCloud a = gen.Generate(0, direct);
+  const PointCloud b = gen.Generate(0, imported.value());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i += 1013) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(CustomSensorTest, MismatchedMetadataStillBounded) {
+  // Compressing a 64-beam capture with 32-beam metadata mis-sizes the
+  // polyline windows: compression degrades but correctness (count and
+  // error bound) must hold.
+  const PointCloud pc = SceneGenerator(SceneType::kCity).Generate(0);
+  DbgcOptions options;
+  options.q_xyz = 0.02;
+  options.sensor = Beam32Sensor();
+  const DbgcCodec codec(options);
+  DbgcCompressInfo info;
+  auto compressed = codec.CompressWithInfo(pc, &info);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = codec.Decompress(compressed.value());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), pc.size());
+  auto stats = MappedError(pc, decoded.value(), info.point_mapping);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LE(stats.value().max_euclidean, std::sqrt(3.0) * 0.02 * (1 + 1e-6));
+}
+
+TEST(CustomSensorTest, TinyGroupCounts) {
+  // More radial groups than distinct radii: groups may be empty.
+  PointCloud pc;
+  for (int i = 0; i < 40; ++i) pc.Add(5.0 + 0.001 * i, 1.0, -1.0);
+  DbgcOptions options;
+  options.num_groups = 8;
+  const DbgcCodec codec(options);
+  auto compressed = codec.Compress(pc, 0.02);
+  ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+  auto decoded = codec.Decompress(compressed.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().size(), pc.size());
+}
+
+TEST(CustomSensorTest, AzimuthWrapRegionAccounted) {
+  // Points straddling theta = +-pi: polylines cannot wrap, but every point
+  // must still round-trip within the bound.
+  PointCloud pc;
+  for (int i = -50; i <= 50; ++i) {
+    const double theta = M_PI + i * 0.003;  // Wraps through the seam.
+    const double wrapped = std::atan2(std::sin(theta), std::cos(theta));
+    pc.Add(20 * std::cos(wrapped), 20 * std::sin(wrapped), -1.5);
+  }
+  DbgcOptions options;
+  options.q_xyz = 0.02;
+  const DbgcCodec codec(options);
+  DbgcCompressInfo info;
+  auto compressed = codec.CompressWithInfo(pc, &info);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = codec.Decompress(compressed.value());
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), pc.size());
+  auto stats = MappedError(pc, decoded.value(), info.point_mapping);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LE(stats.value().max_euclidean, std::sqrt(3.0) * 0.02 * (1 + 1e-6));
+}
+
+}  // namespace
+}  // namespace dbgc

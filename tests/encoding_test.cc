@@ -1,0 +1,229 @@
+// Unit and property tests for src/encoding: delta, RLE, bit-packing, the
+// error-bound quantizer, and the signed/unsigned value codecs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "encoding/bitpack.h"
+#include "encoding/delta.h"
+#include "encoding/quantizer.h"
+#include "encoding/rle.h"
+#include "encoding/value_codec.h"
+
+namespace dbgc {
+namespace {
+
+TEST(DeltaTest, RoundTrip) {
+  const std::vector<int64_t> values = {10, 12, 11, 11, -5, 100};
+  const auto deltas = DeltaEncode(values);
+  EXPECT_EQ(deltas, (std::vector<int64_t>{10, 2, -1, 0, -16, 105}));
+  EXPECT_EQ(DeltaDecode(deltas), values);
+}
+
+TEST(DeltaTest, Empty) {
+  EXPECT_TRUE(DeltaEncode({}).empty());
+  EXPECT_TRUE(DeltaDecode({}).empty());
+}
+
+TEST(DeltaTest, WithBaseRoundTrip) {
+  const std::vector<int64_t> values = {100, 101, 99};
+  const auto deltas = DeltaEncodeWithBase(values, 98);
+  EXPECT_EQ(deltas, (std::vector<int64_t>{2, 1, -2}));
+  EXPECT_EQ(DeltaDecodeWithBase(deltas, 98), values);
+}
+
+TEST(DeltaTest, RandomRoundTrip) {
+  Rng rng(2);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 10000; ++i) {
+    values.push_back(static_cast<int64_t>(rng.NextUint64() >> 8) -
+                     (1LL << 54));
+  }
+  EXPECT_EQ(DeltaDecode(DeltaEncode(values)), values);
+}
+
+TEST(RleTest, RoundTripWithRuns) {
+  const std::vector<int64_t> values = {7, 7, 7, 7, -1, -1, 0, 5, 5, 5};
+  const ByteBuffer buf = RleEncode(values);
+  std::vector<int64_t> out;
+  ASSERT_TRUE(RleDecode(buf, &out).ok());
+  EXPECT_EQ(out, values);
+}
+
+TEST(RleTest, LongRunsAreCheap) {
+  const std::vector<int64_t> values(100000, 3);
+  const ByteBuffer buf = RleEncode(values);
+  EXPECT_LT(buf.size(), 16u);
+  std::vector<int64_t> out;
+  ASSERT_TRUE(RleDecode(buf, &out).ok());
+  EXPECT_EQ(out.size(), values.size());
+}
+
+TEST(RleTest, Empty) {
+  std::vector<int64_t> out;
+  ASSERT_TRUE(RleDecode(RleEncode({}), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RleTest, CorruptRunFails) {
+  ByteBuffer buf = RleEncode({1, 2, 3});
+  buf.mutable_bytes()[0] = 0x7F;  // Claim 127 values; stream runs dry.
+  std::vector<int64_t> out;
+  EXPECT_FALSE(RleDecode(buf, &out).ok());
+}
+
+TEST(BitPackTest, WidthComputation) {
+  EXPECT_EQ(BitWidth(0), 0);
+  EXPECT_EQ(BitWidth(1), 1);
+  EXPECT_EQ(BitWidth(255), 8);
+  EXPECT_EQ(BitWidth(256), 9);
+  EXPECT_EQ(BitWidth(~0ULL), 64);
+}
+
+TEST(BitPackTest, RoundTrip) {
+  const std::vector<uint64_t> values = {0, 1, 5, 1023, 7};
+  const ByteBuffer buf = BitPack(values);
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(BitUnpack(buf, &out).ok());
+  EXPECT_EQ(out, values);
+}
+
+TEST(BitPackTest, AllZeros) {
+  const std::vector<uint64_t> values(1000, 0);
+  const ByteBuffer buf = BitPack(values);
+  EXPECT_LT(buf.size(), 8u);
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(BitUnpack(buf, &out).ok());
+  EXPECT_EQ(out, values);
+}
+
+TEST(BitPackTest, RandomRoundTrip) {
+  Rng rng(3);
+  for (int width = 1; width <= 64; width += 7) {
+    std::vector<uint64_t> values;
+    for (int i = 0; i < 1000; ++i) {
+      values.push_back(width == 64 ? rng.NextUint64()
+                                   : rng.NextUint64() & ((1ULL << width) - 1));
+    }
+    const ByteBuffer buf = BitPack(values);
+    std::vector<uint64_t> out;
+    ASSERT_TRUE(BitUnpack(buf, &out).ok());
+    EXPECT_EQ(out, values);
+  }
+}
+
+class QuantizerErrorBound : public ::testing::TestWithParam<double> {};
+
+TEST_P(QuantizerErrorBound, RoundTripWithinBound) {
+  const double q = GetParam();
+  const Quantizer quantizer(q);
+  Rng rng(static_cast<uint64_t>(q * 1e9));
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.NextRange(-500.0, 500.0);
+    const double rec = quantizer.Reconstruct(quantizer.Quantize(v));
+    EXPECT_LE(std::fabs(rec - v), q * (1 + 1e-12))
+        << "v=" << v << " q=" << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, QuantizerErrorBound,
+                         ::testing::Values(0.0006, 0.002, 0.01, 0.02, 0.1));
+
+TEST(QuantizerTest, StepIsTwiceErrorBound) {
+  const Quantizer q(0.02);
+  EXPECT_DOUBLE_EQ(q.step(), 0.04);
+  EXPECT_DOUBLE_EQ(q.error_bound(), 0.02);
+}
+
+TEST(QuantizerTest, SequenceHelpers) {
+  const Quantizer q(0.5);
+  const std::vector<double> values = {0.0, 1.0, -2.3, 7.7};
+  const auto ints = q.QuantizeAll(values);
+  const auto recs = q.ReconstructAll(ints);
+  ASSERT_EQ(recs.size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    EXPECT_LE(std::fabs(recs[i] - values[i]), 0.5 + 1e-12);
+  }
+}
+
+TEST(ValueCodecTest, SignedRoundTripSmallValues) {
+  const std::vector<int64_t> values = {0, 1, -1, 2, -2, 0, 0, 3, -100, 100};
+  const ByteBuffer buf = SignedValueCodec::Compress(values);
+  std::vector<int64_t> out;
+  ASSERT_TRUE(SignedValueCodec::Decompress(buf, &out).ok());
+  EXPECT_EQ(out, values);
+}
+
+TEST(ValueCodecTest, SignedRandomMixedMagnitudes) {
+  Rng rng(5);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 30000; ++i) {
+    const int shift = static_cast<int>(rng.NextBounded(62));
+    int64_t v = static_cast<int64_t>(rng.NextUint64() >> shift);
+    if (rng.NextBool(0.5)) v = -v;
+    values.push_back(v);
+  }
+  const ByteBuffer buf = SignedValueCodec::Compress(values);
+  std::vector<int64_t> out;
+  ASSERT_TRUE(SignedValueCodec::Decompress(buf, &out).ok());
+  EXPECT_EQ(out, values);
+}
+
+TEST(ValueCodecTest, UnsignedRoundTrip) {
+  Rng rng(6);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    values.push_back(rng.NextUint64() >> rng.NextBounded(64));
+  }
+  const ByteBuffer buf = UnsignedValueCodec::Compress(values);
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(UnsignedValueCodec::Decompress(buf, &out).ok());
+  EXPECT_EQ(out, values);
+}
+
+TEST(ValueCodecTest, Empty) {
+  std::vector<int64_t> out;
+  ASSERT_TRUE(
+      SignedValueCodec::Decompress(SignedValueCodec::Compress({}), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(ValueCodecTest, NearConstantStreamsCompressWell) {
+  // The common case in DBGC: small deltas concentrated around one value.
+  Rng rng(7);
+  std::vector<int64_t> values;
+  for (int i = 0; i < 50000; ++i) {
+    values.push_back(2 + static_cast<int64_t>(rng.NextBounded(3)) - 1);
+  }
+  const ByteBuffer buf = SignedValueCodec::Compress(values);
+  // 8 bytes raw -> well under 1 byte per value.
+  EXPECT_LT(buf.size(), values.size());
+  std::vector<int64_t> out;
+  ASSERT_TRUE(SignedValueCodec::Decompress(buf, &out).ok());
+  EXPECT_EQ(out, values);
+}
+
+TEST(ValueCodecTest, ExtremeValuesSurvive) {
+  const std::vector<int64_t> values = {
+      std::numeric_limits<int64_t>::min(),
+      std::numeric_limits<int64_t>::max(), 0, -1, 1};
+  const ByteBuffer buf = SignedValueCodec::Compress(values);
+  std::vector<int64_t> out;
+  ASSERT_TRUE(SignedValueCodec::Decompress(buf, &out).ok());
+  EXPECT_EQ(out, values);
+}
+
+TEST(ValueCodecTest, TruncatedStreamFails) {
+  const ByteBuffer buf = SignedValueCodec::Compress({1, 2, 3, 4, 5});
+  ByteBuffer truncated;
+  truncated.Append(buf.data(), buf.size() > 3 ? 3 : buf.size());
+  std::vector<int64_t> out;
+  EXPECT_FALSE(SignedValueCodec::Decompress(truncated, &out).ok());
+}
+
+}  // namespace
+}  // namespace dbgc

@@ -1,0 +1,300 @@
+// Unit and property tests for src/entropy: frequency models, the
+// arithmetic coder, the binary context coder, canonical Huffman, and
+// sequence statistics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "entropy/arithmetic_coder.h"
+#include "entropy/binary_coder.h"
+#include "entropy/frequency_model.h"
+#include "entropy/huffman.h"
+#include "entropy/statistics.h"
+
+namespace dbgc {
+namespace {
+
+TEST(AdaptiveModelTest, InitialUniform) {
+  AdaptiveModel model(4);
+  EXPECT_EQ(model.total(), 4u);
+  for (uint32_t s = 0; s < 4; ++s) {
+    const SymbolRange r = model.Lookup(s);
+    EXPECT_EQ(r.cum_high - r.cum_low, 1u);
+    EXPECT_EQ(r.cum_low, s);
+  }
+}
+
+TEST(AdaptiveModelTest, UpdateShiftsMass) {
+  AdaptiveModel model(4);
+  for (int i = 0; i < 10; ++i) model.Update(2);
+  const SymbolRange r2 = model.Lookup(2);
+  const SymbolRange r0 = model.Lookup(0);
+  EXPECT_GT(r2.cum_high - r2.cum_low, r0.cum_high - r0.cum_low);
+}
+
+TEST(AdaptiveModelTest, FindSymbolInvertsLookup) {
+  Rng rng(1);
+  AdaptiveModel model(100);
+  for (int i = 0; i < 5000; ++i) {
+    const uint32_t s = static_cast<uint32_t>(rng.NextBounded(100));
+    const SymbolRange expected = model.Lookup(s);
+    for (uint32_t cum : {expected.cum_low, expected.cum_high - 1}) {
+      SymbolRange found_range;
+      const uint32_t found = model.FindSymbol(cum, &found_range);
+      EXPECT_EQ(found, s);
+      EXPECT_EQ(found_range.cum_low, expected.cum_low);
+      EXPECT_EQ(found_range.cum_high, expected.cum_high);
+    }
+    model.Update(s);
+  }
+}
+
+TEST(AdaptiveModelTest, RescaleKeepsConsistency) {
+  AdaptiveModel model(3, 1024);
+  for (int i = 0; i < 500; ++i) model.Update(i % 3);  // Forces rescales.
+  uint32_t total = 0;
+  for (uint32_t s = 0; s < 3; ++s) {
+    const SymbolRange r = model.Lookup(s);
+    EXPECT_EQ(r.cum_low, total);
+    total = r.cum_high;
+  }
+  EXPECT_EQ(total, model.total());
+  EXPECT_LT(model.total(), AdaptiveModel::kMaxTotal);
+}
+
+TEST(StaticModelTest, ZeroCountsBumped) {
+  StaticModel model({0, 5, 0});
+  for (uint32_t s = 0; s < 3; ++s) {
+    const SymbolRange r = model.Lookup(s);
+    EXPECT_GT(r.cum_high, r.cum_low);
+  }
+}
+
+TEST(StaticModelTest, LargeCountsScaled) {
+  StaticModel model({1u << 30, 1u << 29, 3});
+  EXPECT_LT(model.total(), AdaptiveModel::kMaxTotal);
+  SymbolRange r;
+  EXPECT_EQ(model.FindSymbol(0, &r), 0u);
+  EXPECT_EQ(model.FindSymbol(model.total() - 1, &r), 2u);
+}
+
+class ArithmeticRoundTrip : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ArithmeticRoundTrip, RandomSymbols) {
+  const uint32_t alphabet = GetParam();
+  Rng rng(alphabet);
+  std::vector<uint32_t> symbols;
+  for (int i = 0; i < 20000; ++i) {
+    // Skewed distribution: most symbols small.
+    const uint32_t s = static_cast<uint32_t>(
+        std::min<uint64_t>(rng.NextBounded(alphabet),
+                           rng.NextBounded(alphabet)));
+    symbols.push_back(s);
+  }
+  const ByteBuffer compressed = ArithmeticCompress(symbols, alphabet);
+  std::vector<uint32_t> decoded;
+  ASSERT_TRUE(
+      ArithmeticDecompress(compressed, alphabet, symbols.size(), &decoded)
+          .ok());
+  EXPECT_EQ(decoded, symbols);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphabets, ArithmeticRoundTrip,
+                         ::testing::Values(2u, 3u, 4u, 16u, 256u, 1000u));
+
+TEST(ArithmeticCoderTest, EmptySequence) {
+  const ByteBuffer compressed = ArithmeticCompress({}, 16);
+  std::vector<uint32_t> decoded;
+  ASSERT_TRUE(ArithmeticDecompress(compressed, 16, 0, &decoded).ok());
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(ArithmeticCoderTest, SingleSymbolAlphabet) {
+  std::vector<uint32_t> symbols(1000, 0);
+  const ByteBuffer compressed = ArithmeticCompress(symbols, 1);
+  EXPECT_LT(compressed.size(), 16u);  // Degenerate alphabet costs ~nothing.
+  std::vector<uint32_t> decoded;
+  ASSERT_TRUE(ArithmeticDecompress(compressed, 1, 1000, &decoded).ok());
+  EXPECT_EQ(decoded, symbols);
+}
+
+TEST(ArithmeticCoderTest, CompressesSkewedNearEntropy) {
+  // 95% zeros, 5% ones: entropy ~0.286 bits/symbol.
+  Rng rng(3);
+  std::vector<uint32_t> symbols;
+  for (int i = 0; i < 50000; ++i) symbols.push_back(rng.NextBool(0.05));
+  const ByteBuffer compressed = ArithmeticCompress(symbols, 2);
+  const double bits_per_symbol = compressed.size() * 8.0 / symbols.size();
+  EXPECT_LT(bits_per_symbol, 0.40);
+  EXPECT_GT(bits_per_symbol, 0.20);
+}
+
+TEST(ArithmeticCoderTest, IncompressibleStaysNearOneByte) {
+  Rng rng(4);
+  std::vector<uint32_t> symbols;
+  for (int i = 0; i < 20000; ++i) {
+    symbols.push_back(static_cast<uint32_t>(rng.NextBounded(256)));
+  }
+  const ByteBuffer compressed = ArithmeticCompress(symbols, 256);
+  EXPECT_GT(compressed.size(), symbols.size() * 95 / 100);
+  EXPECT_LT(compressed.size(), symbols.size() * 105 / 100);
+}
+
+TEST(BinaryCoderTest, ContextualBitsRoundTrip) {
+  Rng rng(6);
+  constexpr size_t kContexts = 8;
+  std::vector<std::pair<size_t, int>> bits;
+  BinaryEncoder enc(kContexts);
+  for (int i = 0; i < 30000; ++i) {
+    const size_t ctx = rng.NextBounded(kContexts);
+    // Each context has its own bias.
+    const int bit = rng.NextBool(0.1 + 0.1 * ctx) ? 1 : 0;
+    bits.emplace_back(ctx, bit);
+    enc.EncodeBit(ctx, bit);
+  }
+  const ByteBuffer buf = enc.Finish();
+  BinaryDecoder dec(buf, kContexts);
+  for (const auto& [ctx, bit] : bits) {
+    ASSERT_EQ(dec.DecodeBit(ctx), bit);
+  }
+}
+
+TEST(BinaryCoderTest, BiasedContextsCompress) {
+  BinaryEncoder enc(1);
+  Rng rng(7);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) enc.EncodeBit(0, rng.NextBool(0.02) ? 1 : 0);
+  const ByteBuffer buf = enc.Finish();
+  EXPECT_LT(buf.size() * 8.0 / n, 0.25);  // H(0.02) ~ 0.14 bits.
+}
+
+TEST(HuffmanTest, CodesRespectFrequencies) {
+  auto code = HuffmanCode::FromCounts({1000, 100, 10, 1});
+  ASSERT_TRUE(code.ok());
+  const auto& lengths = code.value().lengths();
+  EXPECT_LE(lengths[0], lengths[1]);
+  EXPECT_LE(lengths[1], lengths[2]);
+  EXPECT_LE(lengths[2], lengths[3]);
+}
+
+TEST(HuffmanTest, SingleSymbol) {
+  auto code = HuffmanCode::FromCounts({0, 42, 0});
+  ASSERT_TRUE(code.ok());
+  BitWriter writer;
+  code.value().EncodeSymbol(1, &writer);
+  const ByteBuffer buf = writer.Finish();
+  BitReader reader(buf);
+  uint32_t symbol;
+  ASSERT_TRUE(code.value().DecodeSymbol(&reader, &symbol).ok());
+  EXPECT_EQ(symbol, 1u);
+}
+
+TEST(HuffmanTest, EmptyAlphabetRejected) {
+  EXPECT_FALSE(HuffmanCode::FromCounts({}).ok());
+  EXPECT_FALSE(HuffmanCode::FromCounts({0, 0, 0}).ok());
+}
+
+TEST(HuffmanTest, RoundTripWithTable) {
+  Rng rng(8);
+  std::vector<uint64_t> counts(64, 0);
+  std::vector<uint32_t> symbols;
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t s = static_cast<uint32_t>(
+        std::min(rng.NextBounded(64), rng.NextBounded(64)));
+    symbols.push_back(s);
+    ++counts[s];
+  }
+  auto code = HuffmanCode::FromCounts(counts);
+  ASSERT_TRUE(code.ok());
+
+  BitWriter writer;
+  code.value().WriteTable(&writer);
+  for (uint32_t s : symbols) code.value().EncodeSymbol(s, &writer);
+  const ByteBuffer buf = writer.Finish();
+
+  BitReader reader(buf);
+  auto decoded_code = HuffmanCode::ReadTable(&reader, 64);
+  ASSERT_TRUE(decoded_code.ok());
+  EXPECT_EQ(decoded_code.value().lengths(), code.value().lengths());
+  for (uint32_t expected : symbols) {
+    uint32_t s;
+    ASSERT_TRUE(decoded_code.value().DecodeSymbol(&reader, &s).ok());
+    ASSERT_EQ(s, expected);
+  }
+}
+
+TEST(HuffmanTest, LengthLimitHolds) {
+  // Fibonacci-like counts force deep trees; lengths must stay <= 15.
+  std::vector<uint64_t> counts;
+  uint64_t a = 1, b = 1;
+  for (int i = 0; i < 40; ++i) {
+    counts.push_back(a);
+    const uint64_t next = a + b;
+    a = b;
+    b = next;
+  }
+  auto code = HuffmanCode::FromCounts(counts);
+  ASSERT_TRUE(code.ok());
+  for (uint8_t l : code.value().lengths()) {
+    EXPECT_LE(l, HuffmanCode::kMaxCodeLength);
+  }
+}
+
+TEST(HuffmanTest, NearEntropyOnSkewedData) {
+  std::vector<uint64_t> counts = {900, 50, 25, 25};
+  auto code = HuffmanCode::FromCounts(counts);
+  ASSERT_TRUE(code.ok());
+  // Expected average length <= entropy + 1.
+  double entropy = 0, total = 1000;
+  for (uint64_t c : counts) {
+    const double p = c / total;
+    entropy -= p * std::log2(p);
+  }
+  double avg_len = 0;
+  for (size_t s = 0; s < counts.size(); ++s) {
+    avg_len += counts[s] / total * code.value().lengths()[s];
+  }
+  EXPECT_LE(avg_len, entropy + 1.0);
+}
+
+TEST(StatisticsTest, EntropyOfConstantIsZero) {
+  EXPECT_EQ(ShannonEntropy({5, 5, 5, 5}), 0.0);
+  EXPECT_EQ(ShannonEntropy({}), 0.0);
+}
+
+TEST(StatisticsTest, EntropyOfUniformIsLogN) {
+  EXPECT_NEAR(ShannonEntropy({1, 2, 3, 4}), 2.0, 1e-12);
+  EXPECT_NEAR(ShannonEntropy({1, 2}), 1.0, 1e-12);
+}
+
+TEST(StatisticsTest, EntropyBytes) {
+  std::vector<uint8_t> bytes(256);
+  for (int i = 0; i < 256; ++i) bytes[i] = static_cast<uint8_t>(i);
+  EXPECT_NEAR(ShannonEntropyBytes(bytes), 8.0, 1e-12);
+}
+
+TEST(StatisticsTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_NEAR(StdDev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0, 1e-12);
+  EXPECT_EQ(StdDev({1.0}), 0.0);
+}
+
+TEST(StatisticsTest, DeltaLowersEntropyOnSmoothData) {
+  // The motivating property of Section 3.5: delta streams of smooth
+  // sequences have lower entropy than the raw values.
+  std::vector<int64_t> raw, deltas;
+  Rng rng(10);
+  int64_t v = 0;
+  for (int i = 0; i < 10000; ++i) {
+    v += 100 + static_cast<int64_t>(rng.NextBounded(3));
+    raw.push_back(v);
+    deltas.push_back(i == 0 ? v : 100 + static_cast<int64_t>(raw[i] - raw[i - 1] - 100));
+  }
+  EXPECT_LT(ShannonEntropy(deltas), ShannonEntropy(raw) / 2);
+}
+
+}  // namespace
+}  // namespace dbgc

@@ -1,0 +1,259 @@
+// Tests for the extension modules: PLY I/O, sensor metadata import, the
+// multi-frame stream codec, frame stores, and the TCP loopback transport.
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "common/rng.h"
+#include "core/stream_codec.h"
+#include "lidar/ply_io.h"
+#include "lidar/scene_generator.h"
+#include "lidar/sensor_model.h"
+#include "net/frame_store.h"
+#include "net/tcp_transport.h"
+
+namespace dbgc {
+namespace {
+
+PointCloud SmallCloud(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  PointCloud pc;
+  for (size_t i = 0; i < n; ++i) {
+    pc.Add(rng.NextRange(-50, 50), rng.NextRange(-50, 50),
+           rng.NextRange(-3, 8));
+  }
+  return pc;
+}
+
+TEST(PlyIoTest, BinaryRoundTrip) {
+  const PointCloud pc = SmallCloud(500, 1);
+  const auto bytes = SerializePly(pc);
+  auto parsed = ParsePly(bytes.data(), bytes.size());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), pc.size());
+  for (size_t i = 0; i < pc.size(); i += 97) {
+    EXPECT_NEAR(parsed.value()[i].x, pc[i].x, 1e-4);
+    EXPECT_NEAR(parsed.value()[i].y, pc[i].y, 1e-4);
+    EXPECT_NEAR(parsed.value()[i].z, pc[i].z, 1e-4);
+  }
+}
+
+TEST(PlyIoTest, AsciiParse) {
+  const std::string ply =
+      "ply\nformat ascii 1.0\nelement vertex 2\n"
+      "property float x\nproperty float y\nproperty float z\n"
+      "end_header\n"
+      "1.5 2.5 3.5\n-1 -2 -3\n";
+  auto parsed =
+      ParsePly(reinterpret_cast<const uint8_t*>(ply.data()), ply.size());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.value()[0].y, 2.5);
+  EXPECT_DOUBLE_EQ(parsed.value()[1].z, -3.0);
+}
+
+TEST(PlyIoTest, ExtraPropertiesSkipped) {
+  const std::string ply =
+      "ply\nformat ascii 1.0\nelement vertex 1\n"
+      "property float intensity\nproperty float x\nproperty float y\n"
+      "property float z\nend_header\n"
+      "0.9 1 2 3\n";
+  auto parsed =
+      ParsePly(reinterpret_cast<const uint8_t*>(ply.data()), ply.size());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed.value()[0].x, 1.0);
+}
+
+TEST(PlyIoTest, BadInputsRejected) {
+  const std::string not_ply = "hello world";
+  EXPECT_FALSE(ParsePly(reinterpret_cast<const uint8_t*>(not_ply.data()),
+                        not_ply.size())
+                   .ok());
+  const std::string truncated =
+      "ply\nformat binary_little_endian 1.0\nelement vertex 100\n"
+      "property float x\nproperty float y\nproperty float z\n"
+      "end_header\nxx";
+  EXPECT_FALSE(ParsePly(reinterpret_cast<const uint8_t*>(truncated.data()),
+                        truncated.size())
+                   .ok());
+}
+
+TEST(PlyIoTest, FileRoundTrip) {
+  const PointCloud pc = SmallCloud(100, 2);
+  const std::string path = ::testing::TempDir() + "/dbgc_test.ply";
+  ASSERT_TRUE(WritePly(path, pc).ok());
+  auto loaded = ReadPly(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), pc.size());
+  std::remove(path.c_str());
+}
+
+TEST(SensorConfigTest, RoundTrip) {
+  const SensorMetadata original = SensorMetadata::VelodyneHdl64e(4000);
+  auto parsed = SensorMetadata::FromConfigString(original.ToConfigString());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().horizontal_samples, 4000);
+  EXPECT_DOUBLE_EQ(parsed.value().phi_min, original.phi_min);
+  EXPECT_DOUBLE_EQ(parsed.value().r_max, original.r_max);
+}
+
+TEST(SensorConfigTest, CommentsAndPartialConfig) {
+  auto parsed = SensorMetadata::FromConfigString(
+      "# a custom 32-beam sensor\nvertical_samples 32\nr_max 200\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().vertical_samples, 32);
+  EXPECT_DOUBLE_EQ(parsed.value().r_max, 200.0);
+  // Unspecified keys keep HDL-64E defaults.
+  EXPECT_DOUBLE_EQ(parsed.value().mount_height, 1.73);
+}
+
+TEST(SensorConfigTest, InvalidConfigsRejected) {
+  EXPECT_FALSE(SensorMetadata::FromConfigString("bogus_key 1\n").ok());
+  EXPECT_FALSE(SensorMetadata::FromConfigString("r_max nope\n").ok());
+  EXPECT_FALSE(
+      SensorMetadata::FromConfigString("vertical_samples 0\n").ok());
+  EXPECT_FALSE(SensorMetadata::FromConfigString(
+                   "theta_min 1\ntheta_max -1\n")
+                   .ok());
+}
+
+TEST(StreamCodecTest, MultiFrameRoundTrip) {
+  const SceneGenerator gen(SceneType::kRoad);
+  DbgcStreamWriter writer;
+  std::vector<size_t> expected_sizes;
+  for (uint32_t f = 0; f < 3; ++f) {
+    const PointCloud full = gen.Generate(f);
+    PointCloud pc;
+    for (size_t i = 0; i < full.size(); i += 12) pc.Add(full[i]);
+    expected_sizes.push_back(pc.size());
+    auto added = writer.AddFrame(pc);
+    ASSERT_TRUE(added.ok()) << added.status().ToString();
+  }
+  EXPECT_EQ(writer.frame_count(), 3u);
+
+  const ByteBuffer stream = writer.Finish();
+  auto reader = DbgcStreamReader::Open(stream);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.value().frame_count(), 3u);
+  // Random access: read the last frame first.
+  for (size_t index : {2u, 0u, 1u}) {
+    auto frame = reader.value().ReadFrame(index);
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_EQ(frame.value().size(), expected_sizes[index]);
+  }
+  EXPECT_FALSE(reader.value().ReadFrame(3).ok());
+}
+
+TEST(StreamCodecTest, EmptyStream) {
+  DbgcStreamWriter writer;
+  const ByteBuffer stream = writer.Finish();
+  auto reader = DbgcStreamReader::Open(stream);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.value().frame_count(), 0u);
+}
+
+TEST(StreamCodecTest, CorruptStreamRejected) {
+  DbgcStreamWriter writer;
+  ASSERT_TRUE(writer.AddFrame(SmallCloud(50, 3)).ok());
+  ByteBuffer stream = writer.Finish();
+  stream.mutable_bytes()[0] = 'X';
+  EXPECT_FALSE(DbgcStreamReader::Open(stream).ok());
+  // Truncated payload.
+  ByteBuffer truncated = writer.Finish();
+  truncated.mutable_bytes().resize(truncated.size() - 10);
+  EXPECT_FALSE(DbgcStreamReader::Open(truncated).ok());
+}
+
+template <typename Store>
+void ExerciseStore(Store* store) {
+  ByteBuffer a, b;
+  a.AppendUint32(0xAAAAAAAA);
+  b.AppendUint64(0xBBBBBBBBBBBBBBBBULL);
+  ASSERT_TRUE(store->Put(7, a).ok());
+  ASSERT_TRUE(store->Put(3, b).ok());
+  EXPECT_EQ(store->List(), (std::vector<uint64_t>{3, 7}));
+  auto got = store->Get(7);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value(), a);
+  EXPECT_FALSE(store->Get(99).ok());
+  ASSERT_TRUE(store->Remove(7).ok());
+  EXPECT_EQ(store->List(), (std::vector<uint64_t>{3}));
+}
+
+TEST(FrameStoreTest, MemoryStore) {
+  MemoryFrameStore store;
+  ExerciseStore(&store);
+}
+
+TEST(FrameStoreTest, FileStore) {
+  const std::string dir = ::testing::TempDir() + "/dbgc_store_test";
+  ::mkdir(dir.c_str(), 0755);
+  FileFrameStore store(dir);
+  ExerciseStore(&store);
+  // Cleanup.
+  for (uint64_t id : store.List()) store.Remove(id);
+  ::rmdir(dir.c_str());
+}
+
+TEST(TcpTransportTest, LoopbackFrameExchange) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.Listen(0).ok());
+  const uint16_t port = listener.port();
+  ASSERT_GT(port, 0);
+
+  ByteBuffer request;
+  for (int i = 0; i < 100000; ++i) {
+    request.AppendByte(static_cast<uint8_t>(i * 31));
+  }
+  ByteBuffer response;
+  response.AppendUint64(42);
+
+  std::thread server_thread([&] {
+    auto conn = listener.Accept();
+    ASSERT_TRUE(conn.ok());
+    auto received = conn.value().ReceiveFrame();
+    ASSERT_TRUE(received.ok());
+    EXPECT_EQ(received.value(), request);
+    ASSERT_TRUE(conn.value().SendFrame(response).ok());
+  });
+
+  auto client = TcpConnect(port);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE(client.value().SendFrame(request).ok());
+  auto received = client.value().ReceiveFrame();
+  ASSERT_TRUE(received.ok());
+  EXPECT_EQ(received.value(), response);
+  server_thread.join();
+}
+
+TEST(TcpTransportTest, ReceiveAfterCloseFails) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.Listen(0).ok());
+  std::thread server_thread([&] {
+    auto conn = listener.Accept();
+    ASSERT_TRUE(conn.ok());
+    conn.value().Close();  // Immediate EOF for the client.
+  });
+  auto client = TcpConnect(listener.port());
+  ASSERT_TRUE(client.ok());
+  EXPECT_FALSE(client.value().ReceiveFrame().ok());
+  server_thread.join();
+}
+
+TEST(TcpTransportTest, ConnectToClosedPortFails) {
+  // Grab an ephemeral port, close the listener, then try to connect.
+  uint16_t dead_port;
+  {
+    TcpListener listener;
+    ASSERT_TRUE(listener.Listen(0).ok());
+    dead_port = listener.port();
+  }
+  EXPECT_FALSE(TcpConnect(dead_port).ok());
+}
+
+}  // namespace
+}  // namespace dbgc

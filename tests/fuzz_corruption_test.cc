@@ -1,0 +1,122 @@
+// Corruption fuzzing: every decoder must handle arbitrarily mutated
+// bitstreams without crashing or attempting unbounded allocations - it
+// either fails with a Status or returns a (possibly meaningless) cloud of
+// plausible size. This is what the kMaxReasonableCount containment guards
+// exist for.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "codec/codec.h"
+#include "codec/range_image_codec.h"
+#include "codec/raw_codec.h"
+#include "common/rng.h"
+#include "core/dbgc_codec.h"
+#include "core/stream_codec.h"
+#include "lidar/scene_generator.h"
+
+namespace dbgc {
+namespace {
+
+PointCloud SmallFrame() {
+  const SceneGenerator gen(SceneType::kCity);
+  const PointCloud full = gen.Generate(0);
+  PointCloud pc;
+  for (size_t i = 0; i < full.size(); i += 40) pc.Add(full[i]);
+  return pc;
+}
+
+// Applies `num_flips` random byte mutations.
+ByteBuffer Mutate(const ByteBuffer& input, Rng* rng, int num_flips) {
+  ByteBuffer out = input;
+  for (int i = 0; i < num_flips; ++i) {
+    const size_t pos = rng->NextBounded(out.size());
+    out.mutable_bytes()[pos] ^= static_cast<uint8_t>(
+        1 + rng->NextBounded(255));
+  }
+  return out;
+}
+
+void FuzzCodec(const GeometryCodec& codec, const PointCloud& pc,
+               uint64_t seed) {
+  auto compressed = codec.Compress(pc, 0.02);
+  ASSERT_TRUE(compressed.ok()) << codec.name();
+  Rng rng(seed);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int flips = 1 + static_cast<int>(rng.NextBounded(8));
+    const ByteBuffer mutated = Mutate(compressed.value(), &rng, flips);
+    auto decoded = codec.Decompress(mutated);
+    if (decoded.ok()) {
+      // Whatever came out must be allocation-bounded.
+      ASSERT_LE(decoded.value().size(), kMaxReasonableCount) << codec.name();
+    }
+  }
+  // Truncations at every eighth byte.
+  for (size_t cut = 0; cut < compressed.value().size();
+       cut += compressed.value().size() / 8 + 1) {
+    ByteBuffer truncated;
+    truncated.Append(compressed.value().data(), cut);
+    auto decoded = codec.Decompress(truncated);
+    if (decoded.ok()) {
+      ASSERT_LE(decoded.value().size(), kMaxReasonableCount) << codec.name();
+    }
+  }
+}
+
+TEST(FuzzCorruptionTest, DbgcSurvivesMutations) {
+  DbgcOptions options;
+  options.min_pts_scale = 0.05;
+  FuzzCodec(DbgcCodec(options), SmallFrame(), 11);
+}
+
+TEST(FuzzCorruptionTest, BaselinesSurviveMutations) {
+  const PointCloud pc = SmallFrame();
+  uint64_t seed = 100;
+  for (auto& codec : MakeBaselineCodecs()) {
+    FuzzCodec(*codec, pc, seed++);
+  }
+}
+
+TEST(FuzzCorruptionTest, RawAndRangeImageSurviveMutations) {
+  const PointCloud pc = SmallFrame();
+  FuzzCodec(RawCodec(), pc, 200);
+  FuzzCodec(RangeImageCodec(), pc, 201);
+}
+
+TEST(FuzzCorruptionTest, StreamReaderSurvivesMutations) {
+  DbgcStreamWriter writer;
+  ASSERT_TRUE(writer.AddFrame(SmallFrame()).ok());
+  const ByteBuffer stream = writer.Finish();
+  Rng rng(300);
+  for (int trial = 0; trial < 40; ++trial) {
+    const ByteBuffer mutated = Mutate(stream, &rng, 1 + trial % 5);
+    auto reader = DbgcStreamReader::Open(mutated);
+    if (!reader.ok()) continue;
+    for (size_t f = 0; f < reader.value().frame_count(); ++f) {
+      auto frame = reader.value().ReadFrame(f);
+      if (frame.ok()) {
+        ASSERT_LE(frame.value().size(), kMaxReasonableCount);
+      }
+    }
+  }
+}
+
+TEST(FuzzCorruptionTest, PureGarbageRejectedQuickly) {
+  Rng rng(400);
+  DbgcOptions options;
+  const DbgcCodec codec(options);
+  for (int trial = 0; trial < 50; ++trial) {
+    ByteBuffer garbage;
+    const size_t n = 1 + rng.NextBounded(4096);
+    for (size_t i = 0; i < n; ++i) {
+      garbage.AppendByte(static_cast<uint8_t>(rng.NextBounded(256)));
+    }
+    auto decoded = codec.Decompress(garbage);
+    // Random bytes essentially never carry the magic; decode must fail.
+    EXPECT_FALSE(decoded.ok());
+  }
+}
+
+}  // namespace
+}  // namespace dbgc

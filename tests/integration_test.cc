@@ -1,0 +1,117 @@
+// Cross-module integration tests: DBGC vs baselines over full generated
+// frames on multiple scenes and error bounds, exercising the complete
+// pipeline the way the benchmark harness does.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codec/codec.h"
+#include "core/dbgc_codec.h"
+#include "core/error_metrics.h"
+#include "lidar/scene_generator.h"
+
+namespace dbgc {
+namespace {
+
+PointCloud Frame(SceneType type, int stride) {
+  const SceneGenerator gen(type);
+  const PointCloud full = gen.Generate(0);
+  PointCloud sub;
+  for (size_t i = 0; i < full.size(); i += stride) sub.Add(full[i]);
+  return sub;
+}
+
+class SceneSweep : public ::testing::TestWithParam<SceneType> {};
+
+TEST_P(SceneSweep, AllCodecsRoundTripWithinBound) {
+  const PointCloud pc = Frame(GetParam(), 10);
+  const double q = 0.02;
+  const double limit = std::sqrt(3.0) * q * (1 + 1e-9);
+
+  for (auto& codec : MakeBaselineCodecs()) {
+    auto compressed = codec->Compress(pc, q);
+    ASSERT_TRUE(compressed.ok()) << codec->name();
+    auto decoded = codec->Decompress(compressed.value());
+    ASSERT_TRUE(decoded.ok()) << codec->name();
+    ASSERT_EQ(decoded.value().size(), pc.size()) << codec->name();
+    const ErrorStats stats = NearestNeighborError(pc, decoded.value());
+    EXPECT_LE(stats.max_euclidean, limit) << codec->name();
+    EXPECT_GT(CompressionRatio(pc, compressed.value()), 1.5)
+        << codec->name();
+  }
+
+  DbgcOptions options;
+  options.min_pts_scale = 0.05;
+  options.q_xyz = q;
+  const DbgcCodec dbgc(options);
+  DbgcCompressInfo info;
+  auto compressed = dbgc.CompressWithInfo(pc, &info);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = dbgc.Decompress(compressed.value());
+  ASSERT_TRUE(decoded.ok());
+  auto stats = MappedError(pc, decoded.value(), info.point_mapping);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LE(stats.value().max_euclidean, std::sqrt(3.0) * q * (1 + 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scenes, SceneSweep,
+    ::testing::ValuesIn(AllSceneTypes()),
+    [](const ::testing::TestParamInfo<SceneType>& info) {
+      return SceneTypeName(info.param);
+    });
+
+TEST(IntegrationTest, DbgcRatioDominatesBaselinesOnFullFrame) {
+  // The Figure 9 headline on one full-resolution frame: DBGC's bitstream
+  // is smaller than every baseline's at the 2 cm bound.
+  const SceneGenerator gen(SceneType::kCampus);
+  const PointCloud pc = gen.Generate(0);
+  DbgcOptions options;
+  options.q_xyz = 0.02;
+  const DbgcCodec dbgc(options);
+  auto c_dbgc = dbgc.Compress(pc, 0.02);
+  ASSERT_TRUE(c_dbgc.ok());
+  for (auto& codec : MakeBaselineCodecs()) {
+    auto c = codec->Compress(pc, 0.02);
+    ASSERT_TRUE(c.ok());
+    EXPECT_LT(c_dbgc.value().size(), c.value().size())
+        << "DBGC should beat " << codec->name();
+  }
+}
+
+TEST(IntegrationTest, RatioDegradesGracefullyAtTighterBounds) {
+  // Smaller error bounds must yield monotonically larger streams.
+  const PointCloud pc = Frame(SceneType::kCity, 6);
+  DbgcOptions options;
+  options.min_pts_scale = 0.05;
+  const DbgcCodec codec(options);
+  size_t prev = 0;
+  for (double q : {0.02, 0.01, 0.005, 0.002}) {
+    auto compressed = codec.Compress(pc, q);
+    ASSERT_TRUE(compressed.ok()) << q;
+    EXPECT_GT(compressed.value().size(), prev) << q;
+    prev = compressed.value().size();
+  }
+}
+
+TEST(IntegrationTest, MultiFrameStability) {
+  // Several consecutive frames of one scene all round-trip.
+  const SceneGenerator gen(SceneType::kFordCampus);
+  DbgcOptions options;
+  options.min_pts_scale = 0.05;
+  const DbgcCodec codec(options);
+  for (uint32_t f = 0; f < 3; ++f) {
+    const PointCloud full = gen.Generate(f);
+    PointCloud pc;
+    for (size_t i = 0; i < full.size(); i += 15) pc.Add(full[i]);
+    auto compressed = codec.Compress(pc, 0.02);
+    ASSERT_TRUE(compressed.ok()) << "frame " << f;
+    auto decoded = codec.Decompress(compressed.value());
+    ASSERT_TRUE(decoded.ok()) << "frame " << f;
+    EXPECT_EQ(decoded.value().size(), pc.size()) << "frame " << f;
+  }
+}
+
+}  // namespace
+}  // namespace dbgc

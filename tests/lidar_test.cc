@@ -1,0 +1,213 @@
+// Unit and property tests for src/lidar: spherical conversion (Theorem
+// 3.2), sensor metadata, the synthetic scene generator, and KITTI I/O.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "common/rng.h"
+#include "encoding/quantizer.h"
+#include "lidar/kitti_io.h"
+#include "lidar/scene_generator.h"
+#include "lidar/sensor_model.h"
+#include "lidar/spherical.h"
+
+namespace dbgc {
+namespace {
+
+TEST(SphericalTest, AxesConvert) {
+  const SphericalPoint px = CartesianToSpherical({1, 0, 0});
+  EXPECT_NEAR(px.theta, 0.0, 1e-12);
+  EXPECT_NEAR(px.phi, 0.0, 1e-12);
+  EXPECT_NEAR(px.r, 1.0, 1e-12);
+  const SphericalPoint pz = CartesianToSpherical({0, 0, 2});
+  EXPECT_NEAR(pz.phi, M_PI / 2, 1e-12);
+  EXPECT_NEAR(pz.r, 2.0, 1e-12);
+  const SphericalPoint py = CartesianToSpherical({0, -3, 0});
+  EXPECT_NEAR(py.theta, -M_PI / 2, 1e-12);
+}
+
+TEST(SphericalTest, OriginIsStable) {
+  const SphericalPoint s = CartesianToSpherical({0, 0, 0});
+  EXPECT_EQ(s.r, 0.0);
+  const Point3 p = SphericalToCartesian(s);
+  EXPECT_EQ(p.Norm(), 0.0);
+}
+
+TEST(SphericalTest, RandomRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 50000; ++i) {
+    const Point3 p{rng.NextRange(-100, 100), rng.NextRange(-100, 100),
+                   rng.NextRange(-30, 30)};
+    const Point3 back = SphericalToCartesian(CartesianToSpherical(p));
+    EXPECT_NEAR(back.x, p.x, 1e-9);
+    EXPECT_NEAR(back.y, p.y, 1e-9);
+    EXPECT_NEAR(back.z, p.z, 1e-9);
+  }
+}
+
+TEST(SphericalErrorBoundsTest, Derivation) {
+  const auto b = SphericalErrorBounds::FromCartesian(0.02, 100.0);
+  EXPECT_DOUBLE_EQ(b.q_theta, 0.0002);
+  EXPECT_DOUBLE_EQ(b.q_phi, 0.0002);
+  EXPECT_DOUBLE_EQ(b.q_r, 0.02);
+}
+
+// Theorem 3.2: quantizing spherical coordinates with q_theta = q_phi =
+// q_xyz / r_max and q_r = q_xyz keeps the Euclidean error within the
+// Cartesian-system worst case sqrt(3) * q_xyz.
+class Theorem32 : public ::testing::TestWithParam<double> {};
+
+TEST_P(Theorem32, EuclideanErrorWithinSqrt3Q) {
+  const double q = GetParam();
+  Rng rng(static_cast<uint64_t>(q * 1e7));
+  const double r_max = 120.0;
+  const auto bounds = SphericalErrorBounds::FromCartesian(q, r_max);
+  const Quantizer qt(bounds.q_theta), qp(bounds.q_phi), qr(bounds.q_r);
+  const double limit = std::sqrt(3.0) * q * (1 + 1e-6);
+  for (int i = 0; i < 20000; ++i) {
+    // Points across the full sensor range, r <= r_max.
+    const double theta = rng.NextRange(-M_PI, M_PI);
+    const double phi = rng.NextRange(-0.45, 0.05);
+    const double r = rng.NextRange(0.5, r_max);
+    const Point3 p = SphericalToCartesian({theta, phi, r});
+    const SphericalPoint rec{qt.Reconstruct(qt.Quantize(theta)),
+                             qp.Reconstruct(qp.Quantize(phi)),
+                             qr.Reconstruct(qr.Quantize(r))};
+    const Point3 p2 = SphericalToCartesian(rec);
+    EXPECT_LE(p.DistanceTo(p2), limit)
+        << "theta=" << theta << " phi=" << phi << " r=" << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, Theorem32,
+                         ::testing::Values(0.0006, 0.005, 0.02));
+
+TEST(SensorModelTest, Hdl64eProfile) {
+  const SensorMetadata m = SensorMetadata::VelodyneHdl64e();
+  EXPECT_EQ(m.vertical_samples, 64);
+  EXPECT_NEAR(m.phi_max - m.phi_min, 26.8 * M_PI / 180.0, 1e-9);
+  EXPECT_DOUBLE_EQ(m.r_max, 120.0);
+  EXPECT_GT(m.AzimuthStep(), 0.0);
+  EXPECT_GT(m.PolarStep(), 0.0);
+  EXPECT_NEAR(m.PolarStep(), (m.phi_max - m.phi_min) / 64, 1e-15);
+}
+
+TEST(SceneGeneratorTest, Deterministic) {
+  const SceneGenerator gen(SceneType::kCity, 42);
+  const PointCloud a = gen.Generate(3);
+  const PointCloud b = gen.Generate(3);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]);
+}
+
+TEST(SceneGeneratorTest, FramesDiffer) {
+  const SceneGenerator gen(SceneType::kCity, 42);
+  const PointCloud a = gen.Generate(0);
+  const PointCloud b = gen.Generate(1);
+  EXPECT_NE(a.size(), b.size());
+}
+
+TEST(SceneGeneratorTest, PointBudgetNearKitti) {
+  // KITTI frames hold roughly 100 K points (Section 4.1).
+  for (SceneType type : AllSceneTypes()) {
+    const SceneGenerator gen(type);
+    const PointCloud pc = gen.Generate(0);
+    EXPECT_GT(pc.size(), 40000u) << SceneTypeName(type);
+    EXPECT_LT(pc.size(), 140000u) << SceneTypeName(type);
+  }
+}
+
+TEST(SceneGeneratorTest, PointsWithinSensorRange) {
+  const SensorMetadata sensor = SensorMetadata::VelodyneHdl64e();
+  const SceneGenerator gen(SceneType::kResidential);
+  const PointCloud pc = gen.Generate(0, sensor);
+  for (const Point3& p : pc) {
+    const double r = p.Norm();
+    ASSERT_GE(r, sensor.r_min * 0.9);
+    ASSERT_LE(r, sensor.r_max * 1.01);
+  }
+}
+
+TEST(SceneGeneratorTest, DensityFallsWithRadius) {
+  // The Figure 3b property: points per cubic meter decreases with the
+  // radius of the enclosing sphere.
+  const SceneGenerator gen(SceneType::kCity);
+  const PointCloud pc = gen.Generate(0);
+  auto density_within = [&](double radius) {
+    size_t count = 0;
+    for (const Point3& p : pc) count += p.Norm() <= radius ? 1 : 0;
+    return count / (4.0 / 3.0 * M_PI * radius * radius * radius);
+  };
+  const double d5 = density_within(5);
+  const double d20 = density_within(20);
+  const double d60 = density_within(60);
+  EXPECT_GT(d5, d20);
+  EXPECT_GT(d20, d60);
+}
+
+TEST(SceneGeneratorTest, NearGridRegularityInSphericalSpace) {
+  // Most points should sit close to some sampling-ring elevation: the
+  // Figure 5 "regular but not exact grid" property.
+  const SensorMetadata sensor = SensorMetadata::VelodyneHdl64e();
+  const SceneGenerator gen(SceneType::kRoad);
+  const PointCloud pc = gen.Generate(0, sensor);
+  const double u_phi = sensor.PolarStep();
+  size_t close = 0;
+  for (const Point3& p : pc) {
+    const SphericalPoint s = CartesianToSpherical(p);
+    // Distance to the nearest ring center in units of u_phi.
+    const double ring_pos = (sensor.phi_max - s.phi) / u_phi - 0.5;
+    const double frac = std::fabs(ring_pos - std::round(ring_pos));
+    if (frac < 0.45) ++close;
+  }
+  EXPECT_GT(static_cast<double>(close) / pc.size(), 0.9);
+}
+
+TEST(SceneTypeTest, NamesAndEnumeration) {
+  EXPECT_EQ(SceneTypeName(SceneType::kCampus), "campus");
+  EXPECT_EQ(SceneTypeName(SceneType::kUrban), "urban");
+  EXPECT_EQ(AllSceneTypes().size(), 6u);
+}
+
+TEST(KittiIoTest, SerializeParseRoundTrip) {
+  PointCloud pc;
+  pc.Add(1.5, -2.25, 3.125);
+  pc.Add(-100.0, 0.0, 42.0);
+  const auto bytes = SerializeKittiBin(pc);
+  EXPECT_EQ(bytes.size(), 32u);
+  auto parsed = ParseKittiBin(bytes.data(), bytes.size());
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 2u);
+  EXPECT_EQ(parsed.value()[0], pc[0]);
+  EXPECT_EQ(parsed.value()[1], pc[1]);
+}
+
+TEST(KittiIoTest, BadSizeRejected) {
+  const uint8_t junk[7] = {0};
+  EXPECT_FALSE(ParseKittiBin(junk, 7).ok());
+}
+
+TEST(KittiIoTest, FileRoundTrip) {
+  const SceneGenerator gen(SceneType::kCampus);
+  PointCloud pc = gen.Generate(0);
+  const std::string path = ::testing::TempDir() + "/dbgc_test_frame.bin";
+  ASSERT_TRUE(WriteKittiBin(path, pc).ok());
+  auto loaded = ReadKittiBin(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), pc.size());
+  // Float32 storage: positions match to float precision.
+  for (size_t i = 0; i < pc.size(); i += 997) {
+    EXPECT_NEAR(loaded.value()[i].x, pc[i].x, 1e-4);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(KittiIoTest, MissingFileFails) {
+  EXPECT_FALSE(ReadKittiBin("/nonexistent/nope.bin").ok());
+}
+
+}  // namespace
+}  // namespace dbgc

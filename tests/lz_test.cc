@@ -1,0 +1,165 @@
+// Unit and property tests for src/lz: the LZ77 tokenizer and the
+// Deflate-style compressor.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "lz/deflate.h"
+#include "lz/lz77.h"
+
+namespace dbgc {
+namespace {
+
+std::vector<uint8_t> Bytes(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(Lz77Test, EmptyInput) {
+  EXPECT_TRUE(Lz77::Tokenize({}).empty());
+  EXPECT_TRUE(Lz77::Reconstruct({}).empty());
+}
+
+TEST(Lz77Test, LiteralsOnly) {
+  const auto data = Bytes("abc");
+  const auto tokens = Lz77::Tokenize(data);
+  EXPECT_EQ(tokens.size(), 3u);
+  for (const auto& t : tokens) EXPECT_FALSE(t.is_match);
+  EXPECT_EQ(Lz77::Reconstruct(tokens), data);
+}
+
+TEST(Lz77Test, FindsRepeats) {
+  const auto data = Bytes("abcabcabcabcabcabc");
+  const auto tokens = Lz77::Tokenize(data);
+  bool any_match = false;
+  for (const auto& t : tokens) any_match |= t.is_match;
+  EXPECT_TRUE(any_match);
+  EXPECT_LT(tokens.size(), data.size());
+  EXPECT_EQ(Lz77::Reconstruct(tokens), data);
+}
+
+TEST(Lz77Test, OverlappingMatchRunLength) {
+  // "aaaa..." uses distance-1 matches (RLE via LZ77).
+  const std::vector<uint8_t> data(300, 'a');
+  const auto tokens = Lz77::Tokenize(data);
+  EXPECT_LE(tokens.size(), 4u);
+  EXPECT_EQ(Lz77::Reconstruct(tokens), data);
+}
+
+TEST(Lz77Test, TokensWithinBounds) {
+  Rng rng(42);
+  std::vector<uint8_t> data;
+  for (int i = 0; i < 100000; ++i) {
+    data.push_back(static_cast<uint8_t>(rng.NextBounded(8)));
+  }
+  size_t pos = 0;
+  for (const auto& t : Lz77::Tokenize(data)) {
+    if (t.is_match) {
+      EXPECT_GE(t.length, Lz77::kMinMatch);
+      EXPECT_LE(t.length, Lz77::kMaxMatch);
+      EXPECT_GE(t.distance, 1u);
+      EXPECT_LE(t.distance, pos);
+      EXPECT_LE(t.distance, Lz77::kWindowSize);
+      pos += t.length;
+    } else {
+      ++pos;
+    }
+  }
+  EXPECT_EQ(pos, data.size());
+}
+
+TEST(DeflateTest, EmptyRoundTrip) {
+  const ByteBuffer compressed = Deflate::Compress(std::vector<uint8_t>{});
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(Deflate::Decompress(compressed, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(DeflateTest, TextRoundTrip) {
+  const auto data = Bytes(
+      "the quick brown fox jumps over the lazy dog; "
+      "the quick brown fox jumps over the lazy dog again and again");
+  const ByteBuffer compressed = Deflate::Compress(data);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(Deflate::Decompress(compressed, &out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(DeflateTest, CompressesRepetitiveData) {
+  std::vector<uint8_t> data;
+  for (int i = 0; i < 1000; ++i) {
+    for (uint8_t b : Bytes("pattern-0123456789")) data.push_back(b);
+  }
+  const ByteBuffer compressed = Deflate::Compress(data);
+  EXPECT_LT(compressed.size(), data.size() / 20);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(Deflate::Decompress(compressed, &out).ok());
+  EXPECT_EQ(out, data);
+}
+
+class DeflateRandomRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DeflateRandomRoundTrip, Holds) {
+  const int alphabet = GetParam();
+  Rng rng(static_cast<uint64_t>(alphabet) * 101);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<uint8_t> data;
+    const size_t n = 1 + rng.NextBounded(60000);
+    for (size_t i = 0; i < n; ++i) {
+      data.push_back(static_cast<uint8_t>(rng.NextBounded(alphabet)));
+    }
+    const ByteBuffer compressed = Deflate::Compress(data);
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(Deflate::Decompress(compressed, &out).ok());
+    ASSERT_EQ(out, data);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphabets, DeflateRandomRoundTrip,
+                         ::testing::Values(2, 5, 17, 256));
+
+TEST(DeflateTest, LongDistanceMatches) {
+  // Repeat a block after ~30 KB of filler so matches reach deep into the
+  // window.
+  Rng rng(1);
+  std::vector<uint8_t> block;
+  for (int i = 0; i < 500; ++i) {
+    block.push_back(static_cast<uint8_t>(rng.NextBounded(256)));
+  }
+  std::vector<uint8_t> data = block;
+  for (int i = 0; i < 30000; ++i) {
+    data.push_back(static_cast<uint8_t>(rng.NextBounded(4)));
+  }
+  data.insert(data.end(), block.begin(), block.end());
+  const ByteBuffer compressed = Deflate::Compress(data);
+  std::vector<uint8_t> out;
+  ASSERT_TRUE(Deflate::Decompress(compressed, &out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(DeflateTest, CorruptStreamFailsCleanly) {
+  const auto data = Bytes("hello hello hello hello hello");
+  ByteBuffer compressed = Deflate::Compress(data);
+  // Truncate the stream.
+  ByteBuffer truncated;
+  truncated.Append(compressed.data(), compressed.size() / 2);
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(Deflate::Decompress(truncated, &out).ok());
+}
+
+TEST(DeflateTest, GarbageInputFailsCleanly) {
+  ByteBuffer garbage;
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    garbage.AppendByte(static_cast<uint8_t>(rng.NextBounded(256)));
+  }
+  std::vector<uint8_t> out;
+  // Either fails or produces *something*; it must not crash. Most seeds
+  // fail on the table or size check.
+  (void)Deflate::Decompress(garbage, &out);
+}
+
+}  // namespace
+}  // namespace dbgc

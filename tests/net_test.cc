@@ -1,0 +1,204 @@
+// Tests for src/net: channel model, frame protocol, and the client/server
+// pipeline of Figure 2.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/error_metrics.h"
+#include "lidar/scene_generator.h"
+#include "net/channel.h"
+#include "net/client.h"
+#include "net/frame_protocol.h"
+#include "net/frame_store.h"
+#include "net/server.h"
+#include "net/tcp_transport.h"
+
+namespace dbgc {
+namespace {
+
+TEST(ChannelTest, TransferTimeIsLatencyPlusSerialization) {
+  const SimulatedChannel ch(8.0, 0.1);  // 8 Mbps, 100 ms.
+  // 1 MB = 8 Mbit -> 1 second on the wire + latency.
+  EXPECT_NEAR(ch.TransferSeconds(1000000), 1.1, 1e-9);
+}
+
+TEST(ChannelTest, SustainabilityCheck) {
+  const SimulatedChannel mobile = SimulatedChannel::Mobile4G();
+  // A raw HDL-64E stream (9.6 Mbit/frame at 10 fps = 96 Mbps) exceeds 4G.
+  EXPECT_FALSE(mobile.CanSustain(1200000, 10.0));
+  // A DBGC-compressed stream (~0.6 Mbit/frame -> 6 Mbps) fits.
+  EXPECT_TRUE(mobile.CanSustain(75000, 10.0));
+  // Both fit 100BASE-TX.
+  EXPECT_TRUE(SimulatedChannel::Ethernet100().CanSustain(1200000, 10.0));
+}
+
+TEST(FrameProtocolTest, RoundTrip) {
+  Frame frame;
+  frame.frame_id = 1234;
+  for (int i = 0; i < 1000; ++i) {
+    frame.payload.AppendByte(static_cast<uint8_t>(i * 7));
+  }
+  const ByteBuffer wire = FrameProtocol::Serialize(frame);
+  EXPECT_EQ(wire.size(), FrameProtocol::kHeaderBytes + 1000);
+  auto parsed = FrameProtocol::Parse(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().frame_id, 1234u);
+  EXPECT_EQ(parsed.value().payload, frame.payload);
+}
+
+TEST(FrameProtocolTest, ChecksumDetectsCorruption) {
+  Frame frame;
+  frame.frame_id = 1;
+  for (int i = 0; i < 64; ++i) frame.payload.AppendByte(7);
+  ByteBuffer wire = FrameProtocol::Serialize(frame);
+  wire.mutable_bytes()[FrameProtocol::kHeaderBytes + 10] ^= 0xFF;
+  EXPECT_FALSE(FrameProtocol::Parse(wire).ok());
+}
+
+TEST(FrameProtocolTest, BadMagicAndTruncation) {
+  Frame frame;
+  frame.frame_id = 2;
+  frame.payload.AppendByte(1);
+  ByteBuffer wire = FrameProtocol::Serialize(frame);
+  ByteBuffer bad = wire;
+  bad.mutable_bytes()[0] = 'x';
+  EXPECT_FALSE(FrameProtocol::Parse(bad).ok());
+  ByteBuffer truncated;
+  truncated.Append(wire.data(), wire.size() - 1);
+  EXPECT_FALSE(FrameProtocol::Parse(truncated).ok());
+}
+
+TEST(ClientServerTest, EndToEndPipeline) {
+  DbgcOptions options;
+  options.min_pts_scale = 0.05;
+  DbgcClient client(options);
+  DbgcServer server;
+
+  const SceneGenerator gen(SceneType::kCity);
+  for (uint32_t f = 0; f < 2; ++f) {
+    const PointCloud full = gen.Generate(f);
+    PointCloud pc;
+    for (size_t i = 0; i < full.size(); i += 8) pc.Add(full[i]);
+
+    ClientFrameReport creport;
+    auto wire = client.ProcessFrame(pc, &creport);
+    ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+    EXPECT_EQ(creport.frame_id, f);
+    EXPECT_GT(creport.compress_seconds, 0.0);
+    EXPECT_LT(creport.compressed_bytes, creport.raw_bytes);
+
+    ServerFrameReport sreport;
+    ASSERT_TRUE(server.HandleFrame(wire.value(), &sreport).ok());
+    EXPECT_EQ(sreport.frame_id, f);
+    EXPECT_EQ(sreport.num_points, pc.size());
+
+    // Stored cloud is geometrically close to the capture.
+    const PointCloud& stored = server.stored_clouds().at(f);
+    const ErrorStats stats = NearestNeighborError(pc, stored);
+    EXPECT_LE(stats.max_euclidean, 0.04);
+  }
+  EXPECT_EQ(server.stored_clouds().size(), 2u);
+}
+
+TEST(ClientServerTest, StoreCompressedMode) {
+  DbgcOptions options;
+  options.min_pts_scale = 0.05;
+  DbgcClient client(options);
+  DbgcServer server(/*store_compressed=*/true);
+
+  const SceneGenerator gen(SceneType::kRoad);
+  const PointCloud full = gen.Generate(0);
+  PointCloud pc;
+  for (size_t i = 0; i < full.size(); i += 20) pc.Add(full[i]);
+
+  ClientFrameReport creport;
+  auto wire = client.ProcessFrame(pc, &creport);
+  ASSERT_TRUE(wire.ok());
+  ServerFrameReport sreport;
+  ASSERT_TRUE(server.HandleFrame(wire.value(), &sreport).ok());
+  EXPECT_TRUE(server.stored_clouds().empty());
+  ASSERT_EQ(server.stored_bitstreams().size(), 1u);
+
+  // The archived bitstream is decodable later.
+  const DbgcCodec codec(options);
+  auto decoded = codec.Decompress(server.stored_bitstreams().at(0));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().size(), pc.size());
+}
+
+TEST(ClientServerTest, ArchiveReceivesBitstreams) {
+  DbgcOptions options;
+  options.min_pts_scale = 0.05;
+  DbgcClient client(options);
+  MemoryFrameStore archive;
+  DbgcServer server;
+  server.set_archive(&archive);
+
+  const SceneGenerator gen(SceneType::kCampus);
+  const PointCloud full = gen.Generate(0);
+  PointCloud pc;
+  for (size_t i = 0; i < full.size(); i += 25) pc.Add(full[i]);
+
+  ClientFrameReport creport;
+  auto wire = client.ProcessFrame(pc, &creport);
+  ASSERT_TRUE(wire.ok());
+  ServerFrameReport sreport;
+  ASSERT_TRUE(server.HandleFrame(wire.value(), &sreport).ok());
+  // The archive holds the decodable bitstream alongside the live cloud.
+  ASSERT_EQ(archive.List().size(), 1u);
+  const DbgcCodec codec(options);
+  auto archived = archive.Get(0);
+  ASSERT_TRUE(archived.ok());
+  auto decoded = codec.Decompress(archived.value());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().size(), pc.size());
+}
+
+TEST(ClientServerTest, OverRealTcpLoopback) {
+  // The full Figure 2 path over an actual socket: client compresses and
+  // frames, bytes cross a loopback TCP connection, server decompresses.
+  DbgcOptions options;
+  options.min_pts_scale = 0.05;
+  DbgcClient client(options);
+  DbgcServer server;
+
+  TcpListener listener;
+  ASSERT_TRUE(listener.Listen(0).ok());
+
+  const SceneGenerator gen(SceneType::kUrban);
+  const PointCloud full = gen.Generate(0);
+  PointCloud pc;
+  for (size_t i = 0; i < full.size(); i += 20) pc.Add(full[i]);
+
+  std::thread server_thread([&] {
+    auto conn = listener.Accept();
+    ASSERT_TRUE(conn.ok());
+    auto wire = conn.value().ReceiveFrame();
+    ASSERT_TRUE(wire.ok());
+    ServerFrameReport report;
+    ASSERT_TRUE(server.HandleFrame(wire.value(), &report).ok());
+  });
+
+  auto conn = TcpConnect(listener.port());
+  ASSERT_TRUE(conn.ok());
+  ClientFrameReport creport;
+  auto wire = client.ProcessFrame(pc, &creport);
+  ASSERT_TRUE(wire.ok());
+  ASSERT_TRUE(conn.value().SendFrame(wire.value()).ok());
+  server_thread.join();
+
+  ASSERT_EQ(server.stored_clouds().size(), 1u);
+  EXPECT_EQ(server.stored_clouds().at(0).size(), pc.size());
+}
+
+TEST(ClientServerTest, CorruptWireRejected) {
+  DbgcServer server;
+  ByteBuffer junk;
+  for (int i = 0; i < 100; ++i) junk.AppendByte(static_cast<uint8_t>(i));
+  ServerFrameReport report;
+  EXPECT_FALSE(server.HandleFrame(junk, &report).ok());
+}
+
+}  // namespace
+}  // namespace dbgc

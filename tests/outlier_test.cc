@@ -1,0 +1,152 @@
+// Tests for the outlier codec (Section 3.6, Table 2 variants).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/outlier_codec.h"
+
+namespace dbgc {
+namespace {
+
+PointCloud ScatteredOutliers(size_t n, uint64_t seed) {
+  // Outliers are typically far points with small z spread (Section 3.6).
+  Rng rng(seed);
+  PointCloud pc;
+  for (size_t i = 0; i < n; ++i) {
+    const double angle = rng.NextRange(0, 2 * M_PI);
+    const double r = rng.NextRange(30, 110);
+    pc.Add(r * std::cos(angle), r * std::sin(angle), rng.NextRange(-2, 6));
+  }
+  return pc;
+}
+
+std::vector<uint32_t> AllIndices(const PointCloud& pc) {
+  std::vector<uint32_t> indices(pc.size());
+  for (uint32_t i = 0; i < pc.size(); ++i) indices[i] = i;
+  return indices;
+}
+
+class OutlierModeTest : public ::testing::TestWithParam<OutlierMode> {};
+
+TEST_P(OutlierModeTest, RoundTripWithinBound) {
+  const OutlierMode mode = GetParam();
+  const PointCloud pc = ScatteredOutliers(800, 1);
+  const double q = 0.02;
+  std::vector<uint32_t> order;
+  auto compressed = OutlierCodec::Compress(pc, AllIndices(pc), q, mode, &order);
+  ASSERT_TRUE(compressed.ok());
+  ASSERT_EQ(order.size(), pc.size());
+  auto decoded = OutlierCodec::Decompress(compressed.value(), mode);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), pc.size());
+  // The emitted order mapping must pair each decoded point with its source
+  // within the bound on every dimension.
+  for (size_t i = 0; i < order.size(); ++i) {
+    const Point3& src = pc[order[i]];
+    const Point3& dec = decoded.value()[i];
+    EXPECT_LE(std::fabs(src.x - dec.x), q * (1 + 1e-9)) << i;
+    EXPECT_LE(std::fabs(src.y - dec.y), q * (1 + 1e-9)) << i;
+    EXPECT_LE(std::fabs(src.z - dec.z), q * (1 + 1e-9)) << i;
+  }
+}
+
+TEST_P(OutlierModeTest, EmptySet) {
+  const OutlierMode mode = GetParam();
+  std::vector<uint32_t> order;
+  auto compressed =
+      OutlierCodec::Compress(PointCloud(), {}, 0.02, mode, &order);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded = OutlierCodec::Decompress(compressed.value(), mode);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, OutlierModeTest,
+                         ::testing::Values(OutlierMode::kQuadtree,
+                                           OutlierMode::kOctree,
+                                           OutlierMode::kNone),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case OutlierMode::kQuadtree:
+                               return "Quadtree";
+                             case OutlierMode::kOctree:
+                               return "Octree";
+                             default:
+                               return "None";
+                           }
+                         });
+
+TEST(OutlierCodecTest, QuadtreeBeatsNone) {
+  // Table 2: compressing outliers clearly beats storing them raw.
+  const PointCloud pc = ScatteredOutliers(2000, 2);
+  std::vector<uint32_t> order;
+  auto quad = OutlierCodec::Compress(pc, AllIndices(pc), 0.02,
+                                     OutlierMode::kQuadtree, &order);
+  auto none = OutlierCodec::Compress(pc, AllIndices(pc), 0.02,
+                                     OutlierMode::kNone, &order);
+  ASSERT_TRUE(quad.ok());
+  ASSERT_TRUE(none.ok());
+  EXPECT_LT(quad.value().size(), none.value().size());
+}
+
+TEST(OutlierCodecTest, QuadtreeNoWorseThanOctreeOnFlatScatters) {
+  // Table 2: the quadtree+z scheme is slightly better than a 3D octree on
+  // typical (flat, wide) outlier sets.
+  const PointCloud pc = ScatteredOutliers(3000, 3);
+  std::vector<uint32_t> order;
+  auto quad = OutlierCodec::Compress(pc, AllIndices(pc), 0.02,
+                                     OutlierMode::kQuadtree, &order);
+  auto octree = OutlierCodec::Compress(pc, AllIndices(pc), 0.02,
+                                       OutlierMode::kOctree, &order);
+  ASSERT_TRUE(quad.ok());
+  ASSERT_TRUE(octree.ok());
+  EXPECT_LT(quad.value().size(),
+            octree.value().size() * 115 / 100);
+}
+
+TEST(OutlierCodecTest, SubsetSelection) {
+  const PointCloud pc = ScatteredOutliers(100, 4);
+  std::vector<uint32_t> subset = {3, 17, 42, 99};
+  std::vector<uint32_t> order;
+  auto compressed = OutlierCodec::Compress(pc, subset, 0.02,
+                                           OutlierMode::kQuadtree, &order);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded =
+      OutlierCodec::Decompress(compressed.value(), OutlierMode::kQuadtree);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().size(), 4u);
+  // Order must be a permutation of the subset.
+  std::vector<uint32_t> sorted_order = order;
+  std::sort(sorted_order.begin(), sorted_order.end());
+  EXPECT_EQ(sorted_order, subset);
+}
+
+TEST(OutlierCodecTest, DuplicatePositions) {
+  PointCloud pc;
+  for (int i = 0; i < 6; ++i) pc.Add(50, 50, 1);
+  std::vector<uint32_t> order;
+  auto compressed = OutlierCodec::Compress(pc, AllIndices(pc), 0.02,
+                                           OutlierMode::kQuadtree, &order);
+  ASSERT_TRUE(compressed.ok());
+  auto decoded =
+      OutlierCodec::Decompress(compressed.value(), OutlierMode::kQuadtree);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().size(), 6u);
+}
+
+TEST(OutlierCodecTest, TruncatedFails) {
+  const PointCloud pc = ScatteredOutliers(200, 5);
+  std::vector<uint32_t> order;
+  auto compressed = OutlierCodec::Compress(pc, AllIndices(pc), 0.02,
+                                           OutlierMode::kQuadtree, &order);
+  ASSERT_TRUE(compressed.ok());
+  ByteBuffer truncated;
+  truncated.Append(compressed.value().data(), compressed.value().size() / 2);
+  EXPECT_FALSE(
+      OutlierCodec::Decompress(truncated, OutlierMode::kQuadtree).ok());
+}
+
+}  // namespace
+}  // namespace dbgc

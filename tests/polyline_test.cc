@@ -1,0 +1,217 @@
+// Tests for polyline organization (Algorithm 1) and the consensus
+// reference polyline (Algorithm 2).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/polyline.h"
+#include "core/polyline_organizer.h"
+#include "core/reference_polyline.h"
+#include "lidar/spherical.h"
+
+namespace dbgc {
+namespace {
+
+// Builds parallel arrays for n points laid out on `rings` horizontal scan
+// rings with `per_ring` samples each, in spherical space.
+struct TestPoints {
+  std::vector<SphericalPoint> role;
+  std::vector<Point3> cart;
+  std::vector<QPoint> quantized;
+};
+
+TestPoints MakeRings(int rings, int per_ring, double u_theta, double u_phi,
+                     double jitter, uint64_t seed) {
+  TestPoints t;
+  Rng rng(seed);
+  for (int w = 0; w < rings; ++w) {
+    for (int h = 0; h < per_ring; ++h) {
+      SphericalPoint s;
+      s.theta = -1.0 + h * u_theta + rng.NextGaussian() * jitter * u_theta;
+      s.phi = -0.1 - w * u_phi + rng.NextGaussian() * jitter * u_phi;
+      s.r = 10.0 + 0.05 * h;
+      t.role.push_back(s);
+      t.cart.push_back(SphericalToCartesian(s));
+      t.quantized.push_back(QPoint{static_cast<int64_t>(std::llround(s.theta / 1e-4)),
+                                   static_cast<int64_t>(std::llround(s.phi / 1e-4)),
+                                   static_cast<int64_t>(std::llround(s.r / 0.04))});
+    }
+  }
+  return t;
+}
+
+TEST(OrganizerTest, EmptyInput) {
+  const OrganizeResult r = OrganizeSparsePoints({}, {}, {}, 0.01, 0.01, 2);
+  EXPECT_TRUE(r.polylines.empty());
+  EXPECT_TRUE(r.outliers.empty());
+}
+
+TEST(OrganizerTest, SingleRingBecomesOnePolyline) {
+  const double u_theta = 0.003, u_phi = 0.0073;
+  const TestPoints t = MakeRings(1, 50, u_theta, u_phi, 0.05, 1);
+  const OrganizeResult r =
+      OrganizeSparsePoints(t.role, t.cart, t.quantized, u_theta, u_phi, 2);
+  ASSERT_EQ(r.polylines.size(), 1u);
+  EXPECT_EQ(r.polylines[0].size(), 50u);
+  EXPECT_TRUE(r.outliers.empty());
+  // Points ordered by ascending theta.
+  const Polyline& line = r.polylines[0];
+  for (size_t i = 1; i < line.size(); ++i) {
+    EXPECT_GE(line.points[i].theta, line.points[i - 1].theta);
+  }
+}
+
+TEST(OrganizerTest, MultipleRingsSeparate) {
+  const double u_theta = 0.003, u_phi = 0.0073;
+  const TestPoints t = MakeRings(4, 40, u_theta, u_phi, 0.05, 2);
+  const OrganizeResult r =
+      OrganizeSparsePoints(t.role, t.cart, t.quantized, u_theta, u_phi, 2);
+  EXPECT_EQ(r.polylines.size(), 4u);
+  // Sorted by polar angle ascending.
+  for (size_t i = 1; i < r.polylines.size(); ++i) {
+    EXPECT_GE(r.polylines[i].PolarAngle(), r.polylines[i - 1].PolarAngle());
+  }
+}
+
+TEST(OrganizerTest, EveryPointAppearsExactlyOnce) {
+  const double u_theta = 0.003, u_phi = 0.0073;
+  const TestPoints t = MakeRings(6, 30, u_theta, u_phi, 0.3, 3);
+  const OrganizeResult r =
+      OrganizeSparsePoints(t.role, t.cart, t.quantized, u_theta, u_phi, 2);
+  std::vector<int> seen(t.role.size(), 0);
+  for (const Polyline& line : r.polylines) {
+    EXPECT_EQ(line.points.size(), line.source_indices.size());
+    for (uint32_t idx : line.source_indices) ++seen[idx];
+  }
+  for (uint32_t idx : r.outliers) ++seen[idx];
+  for (size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], 1) << i;
+}
+
+TEST(OrganizerTest, GapsBreakPolylines) {
+  // Two far-separated azimuthal segments on one ring cannot connect:
+  // the extension window is only 2 u_theta.
+  const double u_theta = 0.003, u_phi = 0.0073;
+  TestPoints t = MakeRings(1, 20, u_theta, u_phi, 0.02, 4);
+  const TestPoints shifted = MakeRings(1, 20, u_theta, u_phi, 0.02, 5);
+  for (size_t i = 0; i < shifted.role.size(); ++i) {
+    SphericalPoint s = shifted.role[i];
+    s.theta += 1.5;  // Far to the right of the first segment.
+    t.role.push_back(s);
+    t.cart.push_back(SphericalToCartesian(s));
+    t.quantized.push_back(QPoint{shifted.quantized[i].theta + 15000,
+                                 shifted.quantized[i].phi,
+                                 shifted.quantized[i].r});
+  }
+  const OrganizeResult r =
+      OrganizeSparsePoints(t.role, t.cart, t.quantized, u_theta, u_phi, 2);
+  EXPECT_EQ(r.polylines.size(), 2u);
+}
+
+TEST(OrganizerTest, IsolatedPointsBecomeOutliers) {
+  const double u_theta = 0.003, u_phi = 0.0073;
+  TestPoints t = MakeRings(1, 30, u_theta, u_phi, 0.02, 6);
+  // A lone point far above the ring.
+  SphericalPoint lone{0.0, 0.5, 20.0};
+  t.role.push_back(lone);
+  t.cart.push_back(SphericalToCartesian(lone));
+  t.quantized.push_back(QPoint{0, 5000, 500});
+  const OrganizeResult r =
+      OrganizeSparsePoints(t.role, t.cart, t.quantized, u_theta, u_phi, 2);
+  ASSERT_EQ(r.outliers.size(), 1u);
+  EXPECT_EQ(r.outliers[0], 30u);
+}
+
+TEST(OrganizerTest, MinLengthControlsOutliers) {
+  const double u_theta = 0.003, u_phi = 0.0073;
+  const TestPoints t = MakeRings(1, 3, u_theta, u_phi, 0.02, 7);
+  const OrganizeResult keep =
+      OrganizeSparsePoints(t.role, t.cart, t.quantized, u_theta, u_phi, 2);
+  EXPECT_EQ(keep.polylines.size(), 1u);
+  const OrganizeResult drop =
+      OrganizeSparsePoints(t.role, t.cart, t.quantized, u_theta, u_phi, 4);
+  EXPECT_TRUE(drop.polylines.empty());
+  EXPECT_EQ(drop.outliers.size(), 3u);
+}
+
+Polyline MakeLine(std::vector<std::pair<int64_t, int64_t>> theta_r,
+                  int64_t phi) {
+  Polyline line;
+  for (auto [theta, r] : theta_r) {
+    line.points.push_back(QPoint{theta, phi, r});
+  }
+  return line;
+}
+
+TEST(ConsensusLineTest, EmptyForFirstLine) {
+  std::vector<Polyline> lines;
+  lines.push_back(MakeLine({{0, 10}, {5, 11}}, 0));
+  const ConsensusLine c = ConsensusLine::Build(lines, 0, 100);
+  EXPECT_TRUE(c.empty());
+}
+
+TEST(ConsensusLineTest, SingleReferenceCopied) {
+  std::vector<Polyline> lines;
+  lines.push_back(MakeLine({{0, 10}, {5, 11}, {9, 12}}, 0));
+  lines.push_back(MakeLine({{1, 10}, {6, 11}}, 2));
+  const ConsensusLine c = ConsensusLine::Build(lines, 1, 100);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.at(0).theta, 0);
+  EXPECT_EQ(c.at(2).r, 12);
+}
+
+TEST(ConsensusLineTest, PhiThresholdFilters) {
+  std::vector<Polyline> lines;
+  lines.push_back(MakeLine({{0, 10}}, 0));
+  lines.push_back(MakeLine({{0, 20}}, 50));
+  lines.push_back(MakeLine({{0, 30}}, 60));
+  // For line 2, th_phi=15 admits only line 1 (diff 10), not line 0.
+  const ConsensusLine c = ConsensusLine::Build(lines, 2, 15);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.at(0).r, 20);
+}
+
+TEST(ConsensusLineTest, LaterLinesOverwriteOverlap) {
+  std::vector<Polyline> lines;
+  lines.push_back(MakeLine({{0, 1}, {10, 2}, {20, 3}, {30, 4}}, 0));
+  lines.push_back(MakeLine({{12, 100}, {18, 101}}, 1));
+  lines.push_back(MakeLine({{0, 0}}, 2));
+  const ConsensusLine c = ConsensusLine::Build(lines, 2, 100);
+  // Line 1's span (12..18) replaces line 0's interior points in (10, 20)...
+  // id_left = leftmost > 12 -> theta 20? No: > head(12) -> theta 20 is >12,
+  // but theta 10 < 12 stays. Replaced range: points with theta in
+  // (12, 18) exclusive per Algorithm 2's bounds -> none here, so we get
+  // an interleaved, theta-sorted sequence.
+  ASSERT_GE(c.size(), 5u);
+  for (size_t i = 1; i < c.size(); ++i) {
+    EXPECT_GE(c.at(i).theta, c.at(i - 1).theta);
+  }
+}
+
+TEST(ConsensusLineTest, DisjointLinesConcatenate) {
+  std::vector<Polyline> lines;
+  lines.push_back(MakeLine({{0, 1}, {5, 2}}, 0));
+  lines.push_back(MakeLine({{10, 3}, {15, 4}}, 1));
+  lines.push_back(MakeLine({{0, 0}}, 2));
+  const ConsensusLine c = ConsensusLine::Build(lines, 2, 100);
+  ASSERT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.at(0).r, 1);
+  EXPECT_EQ(c.at(3).r, 4);
+}
+
+TEST(ConsensusLineTest, Lookups) {
+  std::vector<Polyline> lines;
+  lines.push_back(MakeLine({{0, 1}, {10, 2}, {20, 3}}, 0));
+  lines.push_back(MakeLine({{0, 0}}, 1));
+  const ConsensusLine c = ConsensusLine::Build(lines, 1, 100);
+  EXPECT_EQ(c.RightmostBelow(15), 1);
+  EXPECT_EQ(c.RightmostBelow(0), -1);
+  EXPECT_EQ(c.RightmostBelow(1000), 2);
+  EXPECT_EQ(c.LeftmostAtOrAbove(10), 1);
+  EXPECT_EQ(c.LeftmostAtOrAbove(11), 2);
+  EXPECT_EQ(c.LeftmostAtOrAbove(21), -1);
+}
+
+}  // namespace
+}  // namespace dbgc

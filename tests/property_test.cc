@@ -1,0 +1,236 @@
+// Randomized property tests cutting across modules: invariants that must
+// hold for arbitrary inputs, checked against brute-force oracles.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+
+#include "cluster/flat_map.h"
+#include "common/rng.h"
+#include "core/dbgc_codec.h"
+#include "core/error_metrics.h"
+#include "core/polyline.h"
+#include "core/reference_polyline.h"
+#include "encoding/quantizer.h"
+#include "lz/deflate.h"
+#include "spatial/octree.h"
+
+namespace dbgc {
+namespace {
+
+TEST(FlatCountMapProperty, MatchesUnorderedMap) {
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    FlatCountMap flat(16);  // Small initial capacity forces growth.
+    std::unordered_map<uint64_t, uint32_t> reference;
+    for (int op = 0; op < 5000; ++op) {
+      // Narrow key space so collisions and repeats are common.
+      const uint64_t key = rng.NextBounded(512) * 0x9E3779B97F4A7C15ULL;
+      const uint32_t delta = static_cast<uint32_t>(rng.NextBounded(5)) + 1;
+      flat.Add(key, delta);
+      reference[key] += delta;
+    }
+    ASSERT_EQ(flat.size(), reference.size());
+    for (const auto& [key, count] : reference) {
+      ASSERT_EQ(flat.Get(key), count);
+      ASSERT_TRUE(flat.Contains(key));
+    }
+    ASSERT_EQ(flat.Get(0xDEAD0000BEEFULL), 0u);
+  }
+}
+
+TEST(FlatCountMapProperty, ZeroKeyHandled) {
+  FlatCountMap flat(4);
+  flat.Add(0, 7);
+  EXPECT_EQ(flat.Get(0), 7u);
+  EXPECT_TRUE(flat.Contains(0));
+}
+
+TEST(ConsensusLineProperty, AlwaysSortedAndQueriesConsistent) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random stack of polylines with overlapping azimuthal spans.
+    std::vector<Polyline> lines;
+    const int num_lines = 2 + static_cast<int>(rng.NextBounded(8));
+    for (int l = 0; l < num_lines; ++l) {
+      Polyline line;
+      int64_t theta = static_cast<int64_t>(rng.NextBounded(200)) - 100;
+      const int points = 1 + static_cast<int>(rng.NextBounded(20));
+      for (int p = 0; p < points; ++p) {
+        line.points.push_back(
+            QPoint{theta, l * 10, static_cast<int64_t>(rng.NextBounded(500))});
+        theta += 1 + static_cast<int64_t>(rng.NextBounded(15));
+      }
+      lines.push_back(std::move(line));
+    }
+    const ConsensusLine consensus = ConsensusLine::Build(
+        lines, lines.size() - 1, /*th_phi=*/1000);
+    // Sorted by theta.
+    for (size_t i = 1; i < consensus.size(); ++i) {
+      ASSERT_GE(consensus.at(i).theta, consensus.at(i - 1).theta);
+    }
+    // Query consistency against the sorted sequence.
+    for (int64_t t = -120; t <= 400; t += 17) {
+      const int below = consensus.RightmostBelow(t);
+      const int at_or_above = consensus.LeftmostAtOrAbove(t);
+      if (below >= 0) {
+        ASSERT_LT(consensus.at(below).theta, t);
+      }
+      if (below + 1 < static_cast<int>(consensus.size())) {
+        ASSERT_GE(consensus.at(below + 1).theta, t);
+      }
+      if (at_or_above >= 0) {
+        ASSERT_GE(consensus.at(at_or_above).theta, t);
+      }
+    }
+  }
+}
+
+TEST(OctreeProperty, RebuildFromExtractedIsIdempotent) {
+  Rng rng(3);
+  PointCloud pc;
+  for (int i = 0; i < 3000; ++i) {
+    pc.Add(rng.NextRange(-20, 20), rng.NextRange(-20, 20),
+           rng.NextRange(-2, 5));
+  }
+  auto tree1 = Octree::Build(pc, 0.04);
+  ASSERT_TRUE(tree1.ok());
+  const PointCloud extracted = Octree::ExtractPoints(tree1.value());
+  auto tree2 = Octree::BuildWithRoot(extracted, tree1.value().root, 0.04);
+  ASSERT_TRUE(tree2.ok());
+  // Same leaves, same counts: quantization is a projection.
+  EXPECT_EQ(Octree::LeafKeys(tree1.value()), Octree::LeafKeys(tree2.value()));
+  EXPECT_EQ(tree1.value().leaf_counts, tree2.value().leaf_counts);
+}
+
+TEST(QuantizerProperty, IdempotentOnReconstructedValues) {
+  Rng rng(4);
+  const Quantizer q(0.013);
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.NextRange(-1000, 1000);
+    const int64_t once = q.Quantize(v);
+    const int64_t twice = q.Quantize(q.Reconstruct(once));
+    EXPECT_EQ(once, twice);
+  }
+}
+
+TEST(DeflateProperty, RoundTripOnPathologicalInputs) {
+  // All zeros, all distinct, sawtooth, and double-compressed data.
+  std::vector<std::vector<uint8_t>> inputs;
+  inputs.emplace_back(50000, 0);
+  std::vector<uint8_t> distinct(256);
+  for (int i = 0; i < 256; ++i) distinct[i] = static_cast<uint8_t>(i);
+  inputs.push_back(distinct);
+  std::vector<uint8_t> saw(30000);
+  for (size_t i = 0; i < saw.size(); ++i) saw[i] = static_cast<uint8_t>(i % 7);
+  inputs.push_back(saw);
+  inputs.push_back(Deflate::Compress(saw).bytes());  // Compress compressed.
+  inputs.emplace_back(1, 0xFF);
+  for (const auto& data : inputs) {
+    const ByteBuffer compressed = Deflate::Compress(data);
+    std::vector<uint8_t> out;
+    ASSERT_TRUE(Deflate::Decompress(compressed, &out).ok());
+    ASSERT_EQ(out, data);
+  }
+}
+
+class DbgcAdversarialCloud
+    : public ::testing::TestWithParam<const char*> {};
+
+PointCloud MakeAdversarial(const std::string& kind) {
+  PointCloud pc;
+  Rng rng(7);
+  if (kind == "collinear") {
+    for (int i = 0; i < 2000; ++i) pc.Add(0.01 * i, 0.005 * i, 1.0);
+  } else if (kind == "grid") {
+    for (int x = 0; x < 20; ++x) {
+      for (int y = 0; y < 20; ++y) {
+        for (int z = 0; z < 5; ++z) pc.Add(x * 0.5, y * 0.5, z * 0.5);
+      }
+    }
+  } else if (kind == "same_point") {
+    for (int i = 0; i < 500; ++i) pc.Add(3.25, -1.5, 0.75);
+  } else if (kind == "extreme_range") {
+    for (int i = 0; i < 300; ++i) {
+      pc.Add(rng.NextRange(-0.1, 0.1), rng.NextRange(-0.1, 0.1),
+             rng.NextRange(-0.1, 0.1));
+    }
+    for (int i = 0; i < 300; ++i) {
+      pc.Add(rng.NextRange(900, 1000), rng.NextRange(900, 1000),
+             rng.NextRange(-5, 5));
+    }
+  } else if (kind == "vertical_wall") {
+    for (int i = 0; i < 50; ++i) {
+      for (int j = 0; j < 50; ++j) pc.Add(10.0, i * 0.05 - 1.0, j * 0.05);
+    }
+  } else if (kind == "single_ring") {
+    for (int i = 0; i < 3000; ++i) {
+      const double a = 2 * M_PI * i / 3000;
+      pc.Add(15 * std::cos(a), 15 * std::sin(a), -1.7);
+    }
+  }
+  return pc;
+}
+
+TEST_P(DbgcAdversarialCloud, RoundTripsWithinBound) {
+  const PointCloud pc = MakeAdversarial(GetParam());
+  DbgcOptions options;
+  options.q_xyz = 0.02;
+  const DbgcCodec codec(options);
+  DbgcCompressInfo info;
+  auto compressed = codec.CompressWithInfo(pc, &info);
+  ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+  auto decoded = codec.Decompress(compressed.value());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), pc.size());
+  auto stats = MappedError(pc, decoded.value(), info.point_mapping);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_LE(stats.value().max_euclidean, std::sqrt(3.0) * 0.02 * (1 + 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Clouds, DbgcAdversarialCloud,
+                         ::testing::Values("collinear", "grid", "same_point",
+                                           "extreme_range", "vertical_wall",
+                                           "single_ring"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(ErrorMetricsProperty, MappedErrorDetectsBadMappings) {
+  PointCloud a, b;
+  a.Add(0, 0, 0);
+  a.Add(1, 0, 0);
+  b.Add(1, 0, 0);
+  b.Add(0, 0, 0);
+  // Correct permutation: zero error.
+  auto ok = MappedError(a, b, {1, 0});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().max_euclidean, 0.0);
+  // Identity mapping: unit error.
+  auto swapped = MappedError(a, b, {0, 1});
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_DOUBLE_EQ(swapped.value().max_euclidean, 1.0);
+  // Not a permutation.
+  EXPECT_FALSE(MappedError(a, b, {0, 0}).ok());
+  // Wrong length.
+  EXPECT_FALSE(MappedError(a, b, {0}).ok());
+}
+
+TEST(ErrorMetricsProperty, NearestNeighborIsSymmetricAndZeroOnEqual) {
+  Rng rng(8);
+  PointCloud pc;
+  for (int i = 0; i < 500; ++i) {
+    pc.Add(rng.NextRange(-5, 5), rng.NextRange(-5, 5), rng.NextRange(-5, 5));
+  }
+  const ErrorStats self = NearestNeighborError(pc, pc);
+  EXPECT_EQ(self.max_euclidean, 0.0);
+  PointCloud shifted;
+  for (const Point3& p : pc) shifted.Add(p + Point3{0.01, 0, 0});
+  const ErrorStats ab = NearestNeighborError(pc, shifted);
+  const ErrorStats ba = NearestNeighborError(shifted, pc);
+  EXPECT_DOUBLE_EQ(ab.max_euclidean, ba.max_euclidean);
+}
+
+}  // namespace
+}  // namespace dbgc

@@ -1,0 +1,293 @@
+// Unit and property tests for src/spatial: Morton codes, octree, quadtree,
+// kd-tree, and voxel grid.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "spatial/kdtree.h"
+#include "spatial/octree.h"
+#include "spatial/quadtree.h"
+#include "spatial/voxel_grid.h"
+
+namespace dbgc {
+namespace {
+
+TEST(MortonTest, RoundTrip3D) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextBounded(1u << 21));
+    const uint32_t y = static_cast<uint32_t>(rng.NextBounded(1u << 21));
+    const uint32_t z = static_cast<uint32_t>(rng.NextBounded(1u << 21));
+    uint32_t dx, dy, dz;
+    MortonDecode3(MortonEncode3(x, y, z), &dx, &dy, &dz);
+    ASSERT_EQ(dx, x);
+    ASSERT_EQ(dy, y);
+    ASSERT_EQ(dz, z);
+  }
+}
+
+TEST(MortonTest, OctantConvention) {
+  // Bit 0 = x, bit 1 = y, bit 2 = z (matches Cube::Child).
+  EXPECT_EQ(MortonEncode3(1, 0, 0), 1u);
+  EXPECT_EQ(MortonEncode3(0, 1, 0), 2u);
+  EXPECT_EQ(MortonEncode3(0, 0, 1), 4u);
+  EXPECT_EQ(MortonEncode3(1, 1, 1), 7u);
+}
+
+TEST(MortonTest, RoundTrip2D) {
+  Rng rng(2);
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextUint64());
+    const uint32_t y = static_cast<uint32_t>(rng.NextUint64());
+    uint32_t dx, dy;
+    MortonDecode2(MortonEncode2(x, y), &dx, &dy);
+    ASSERT_EQ(dx, x);
+    ASSERT_EQ(dy, y);
+  }
+}
+
+PointCloud RandomCloud(size_t n, double extent, uint64_t seed) {
+  Rng rng(seed);
+  PointCloud pc;
+  for (size_t i = 0; i < n; ++i) {
+    pc.Add(rng.NextRange(-extent, extent), rng.NextRange(-extent, extent),
+           rng.NextRange(-extent, extent));
+  }
+  return pc;
+}
+
+TEST(OctreeTest, EmptyCloud) {
+  auto tree = Octree::Build(PointCloud(), 0.1);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().num_leaves(), 0u);
+  EXPECT_TRUE(Octree::ExtractPoints(tree.value()).empty());
+}
+
+TEST(OctreeTest, SinglePoint) {
+  PointCloud pc;
+  pc.Add(1, 2, 3);
+  auto tree = Octree::Build(pc, 0.1);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().num_leaves(), 1u);
+  const PointCloud out = Octree::ExtractPoints(tree.value());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_LE(out[0].ChebyshevDistanceTo(pc[0]), 0.05 + 1e-12);
+}
+
+TEST(OctreeTest, PointCountPreserved) {
+  const PointCloud pc = RandomCloud(5000, 50.0, 3);
+  auto tree = Octree::Build(pc, 0.04);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().num_points(), pc.size());
+  EXPECT_EQ(Octree::ExtractPoints(tree.value()).size(), pc.size());
+}
+
+class OctreeErrorBound : public ::testing::TestWithParam<double> {};
+
+TEST_P(OctreeErrorBound, PerDimensionErrorAtMostQ) {
+  const double q = GetParam();
+  const PointCloud pc = RandomCloud(2000, 30.0, 4);
+  auto tree = Octree::Build(pc, 2.0 * q);
+  ASSERT_TRUE(tree.ok());
+  // Each point's leaf center is within q per dimension.
+  const auto keys = Octree::LeafKeys(tree.value());
+  const double leaf =
+      tree.value().root.side / std::ldexp(1.0, tree.value().depth);
+  std::set<uint64_t> key_set(keys.begin(), keys.end());
+  for (const Point3& p : pc) {
+    const uint64_t key =
+        Octree::LeafKeyOf(p, tree.value().root, tree.value().depth);
+    ASSERT_TRUE(key_set.count(key) > 0);
+    uint32_t ix, iy, iz;
+    MortonDecode3(key, &ix, &iy, &iz);
+    const Point3 center{
+        tree.value().root.origin.x + (ix + 0.5) * leaf,
+        tree.value().root.origin.y + (iy + 0.5) * leaf,
+        tree.value().root.origin.z + (iz + 0.5) * leaf};
+    EXPECT_LE(p.ChebyshevDistanceTo(center), q * (1 + 1e-9));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, OctreeErrorBound,
+                         ::testing::Values(0.002, 0.01, 0.02, 0.1));
+
+TEST(OctreeTest, DuplicatePointsCounted) {
+  PointCloud pc;
+  for (int i = 0; i < 7; ++i) pc.Add(1.0, 1.0, 1.0);
+  pc.Add(5.0, 5.0, 5.0);
+  auto tree = Octree::Build(pc, 0.1);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree.value().num_leaves(), 2u);
+  EXPECT_EQ(tree.value().num_points(), 8u);
+}
+
+TEST(OctreeTest, LevelsAreConsistent) {
+  const PointCloud pc = RandomCloud(1000, 10.0, 5);
+  auto tree_result = Octree::Build(pc, 0.05);
+  ASSERT_TRUE(tree_result.ok());
+  const OctreeStructure& tree = tree_result.value();
+  // Children counts derived from popcounts match the next level's size.
+  size_t expected = 1;
+  for (int l = 0; l < tree.depth; ++l) {
+    ASSERT_EQ(tree.levels[l].size(), expected);
+    size_t children = 0;
+    for (uint8_t occ : tree.levels[l]) {
+      ASSERT_NE(occ, 0);  // No empty occupancy bytes are stored.
+      children += __builtin_popcount(occ);
+    }
+    expected = children;
+  }
+  EXPECT_EQ(tree.leaf_counts.size(), expected);
+}
+
+TEST(OctreeTest, TooDeepRejected) {
+  PointCloud pc;
+  pc.Add(0, 0, 0);
+  pc.Add(1e6, 1e6, 1e6);
+  EXPECT_FALSE(Octree::Build(pc, 1e-6).ok());
+}
+
+TEST(QuadtreeTest, RoundTripAndBound) {
+  Rng rng(6);
+  std::vector<Point2> pts;
+  for (int i = 0; i < 3000; ++i) {
+    pts.push_back(Point2{rng.NextRange(-80, 80), rng.NextRange(-80, 80)});
+  }
+  const double q = 0.02;
+  auto tree = Quadtree::Build(pts, 2.0 * q);
+  ASSERT_TRUE(tree.ok());
+  const auto out = Quadtree::ExtractPoints(tree.value());
+  ASSERT_EQ(out.size(), pts.size());
+  // Mapping check: each input's leaf center is within q per dimension.
+  for (const Point2& p : pts) {
+    const uint64_t key = Quadtree::LeafKeyOf(p.x, p.y, tree.value());
+    uint32_t ix, iy;
+    MortonDecode2(key, &ix, &iy);
+    const double leaf =
+        tree.value().side / std::ldexp(1.0, tree.value().depth);
+    const double cx = tree.value().origin_x + (ix + 0.5) * leaf;
+    const double cy = tree.value().origin_y + (iy + 0.5) * leaf;
+    EXPECT_LE(std::fabs(p.x - cx), q * (1 + 1e-9));
+    EXPECT_LE(std::fabs(p.y - cy), q * (1 + 1e-9));
+  }
+}
+
+TEST(QuadtreeTest, Empty) {
+  auto tree = Quadtree::Build({}, 0.04);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_TRUE(Quadtree::ExtractPoints(tree.value()).empty());
+}
+
+TEST(KdTreeTest, NearestMatchesBruteForce) {
+  const PointCloud pc = RandomCloud(500, 10.0, 7);
+  const KdTree tree(pc);
+  Rng rng(8);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Point3 query{rng.NextRange(-12, 12), rng.NextRange(-12, 12),
+                       rng.NextRange(-12, 12)};
+    const int got = tree.Nearest(query);
+    int expected = 0;
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < pc.size(); ++i) {
+      const double d = (pc[i] - query).SquaredNorm();
+      if (d < best) {
+        best = d;
+        expected = static_cast<int>(i);
+      }
+    }
+    ASSERT_GE(got, 0);
+    EXPECT_DOUBLE_EQ((pc[got] - query).SquaredNorm(), best)
+        << "got " << got << " expected " << expected;
+  }
+}
+
+TEST(KdTreeTest, RadiusMatchesBruteForce) {
+  const PointCloud pc = RandomCloud(400, 5.0, 9);
+  const KdTree tree(pc);
+  Rng rng(10);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Point3 query{rng.NextRange(-6, 6), rng.NextRange(-6, 6),
+                       rng.NextRange(-6, 6)};
+    const double radius = rng.NextRange(0.1, 3.0);
+    std::vector<int> got = tree.RadiusSearch(query, radius);
+    std::sort(got.begin(), got.end());
+    std::vector<int> expected;
+    for (size_t i = 0; i < pc.size(); ++i) {
+      if ((pc[i] - query).SquaredNorm() <= radius * radius) {
+        expected.push_back(static_cast<int>(i));
+      }
+    }
+    ASSERT_EQ(got, expected);
+    EXPECT_EQ(tree.CountWithinRadius(query, radius), expected.size());
+  }
+}
+
+TEST(KdTreeTest, EmptyTree) {
+  const PointCloud pc;
+  const KdTree tree(pc);
+  EXPECT_EQ(tree.Nearest({0, 0, 0}), -1);
+  EXPECT_TRUE(tree.RadiusSearch({0, 0, 0}, 10).empty());
+}
+
+TEST(KdTreeTest, ExcludeSelf) {
+  PointCloud pc;
+  pc.Add(0, 0, 0);
+  pc.Add(1, 0, 0);
+  const KdTree tree(pc);
+  EXPECT_EQ(tree.Nearest({0, 0, 0}, /*exclude=*/0), 1);
+}
+
+TEST(VoxelGridTest, RadiusMatchesBruteForce) {
+  const PointCloud pc = RandomCloud(600, 4.0, 11);
+  const VoxelGrid grid(pc, 0.5);
+  Rng rng(12);
+  for (int trial = 0; trial < 100; ++trial) {
+    const Point3 query{rng.NextRange(-5, 5), rng.NextRange(-5, 5),
+                       rng.NextRange(-5, 5)};
+    const double radius = rng.NextRange(0.1, 2.0);
+    std::vector<int> got = grid.RadiusSearch(query, radius);
+    std::sort(got.begin(), got.end());
+    std::vector<int> expected;
+    for (size_t i = 0; i < pc.size(); ++i) {
+      if ((pc[i] - query).SquaredNorm() <= radius * radius) {
+        expected.push_back(static_cast<int>(i));
+      }
+    }
+    ASSERT_EQ(got, expected);
+  }
+}
+
+TEST(VoxelGridTest, CountEarlyExit) {
+  PointCloud pc;
+  for (int i = 0; i < 100; ++i) pc.Add(0.01 * i, 0, 0);
+  const VoxelGrid grid(pc, 0.5);
+  EXPECT_EQ(grid.CountWithinRadius({0.5, 0, 0}, 10.0, 5), 5u);
+  EXPECT_EQ(grid.CountWithinRadius({0.5, 0, 0}, 10.0, 1000), 100u);
+}
+
+TEST(VoxelGridTest, CellMembership) {
+  PointCloud pc;
+  pc.Add(0.1, 0.1, 0.1);
+  pc.Add(0.2, 0.2, 0.2);
+  pc.Add(0.9, 0.9, 0.9);
+  const VoxelGrid grid(pc, 0.5);
+  EXPECT_EQ(grid.num_cells(), 2u);
+  EXPECT_EQ(grid.PointsInCell(grid.CoordOf(pc[0])).size(), 2u);
+  EXPECT_EQ(grid.PointsInCell(grid.CoordOf(pc[2])).size(), 1u);
+  EXPECT_TRUE(grid.PointsInCell(VoxelCoord{100, 100, 100}).empty());
+}
+
+TEST(VoxelGridTest, NegativeCoordinatesDistinct) {
+  PointCloud pc;
+  pc.Add(-0.1, 0, 0);
+  pc.Add(0.1, 0, 0);
+  const VoxelGrid grid(pc, 0.5);
+  EXPECT_EQ(grid.num_cells(), 2u);
+}
+
+}  // namespace
+}  // namespace dbgc

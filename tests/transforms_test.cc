@@ -1,0 +1,122 @@
+// Tests for point-cloud transforms and the D1 PSNR metric.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/transforms.h"
+#include "core/dbgc_codec.h"
+#include "core/error_metrics.h"
+#include "lidar/scene_generator.h"
+
+namespace dbgc {
+namespace {
+
+PointCloud RandomCloud(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  PointCloud pc;
+  for (size_t i = 0; i < n; ++i) {
+    pc.Add(rng.NextRange(-30, 30), rng.NextRange(-30, 30),
+           rng.NextRange(-3, 3));
+  }
+  return pc;
+}
+
+TEST(RigidTransformTest, YawRotatesAboutZ) {
+  RigidTransform t;
+  t.yaw = M_PI / 2;
+  const Point3 p = t.Apply({1, 0, 5});
+  EXPECT_NEAR(p.x, 0.0, 1e-12);
+  EXPECT_NEAR(p.y, 1.0, 1e-12);
+  EXPECT_NEAR(p.z, 5.0, 1e-12);
+}
+
+TEST(RigidTransformTest, InverseComposesToIdentity) {
+  Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    RigidTransform t;
+    t.yaw = rng.NextRange(-M_PI, M_PI);
+    t.translation = {rng.NextRange(-10, 10), rng.NextRange(-10, 10),
+                     rng.NextRange(-2, 2)};
+    const RigidTransform inv = t.Inverse();
+    const Point3 p{rng.NextRange(-50, 50), rng.NextRange(-50, 50),
+                   rng.NextRange(-5, 5)};
+    const Point3 back = inv.Apply(t.Apply(p));
+    EXPECT_NEAR(back.x, p.x, 1e-9);
+    EXPECT_NEAR(back.y, p.y, 1e-9);
+    EXPECT_NEAR(back.z, p.z, 1e-9);
+  }
+}
+
+TEST(TransformTest, PreservesPairwiseDistances) {
+  const PointCloud pc = RandomCloud(200, 2);
+  RigidTransform t;
+  t.yaw = 0.7;
+  t.translation = {5, -3, 1};
+  const PointCloud moved = Transform(pc, t);
+  ASSERT_EQ(moved.size(), pc.size());
+  for (size_t i = 1; i < pc.size(); i += 17) {
+    EXPECT_NEAR(pc[i].DistanceTo(pc[i - 1]),
+                moved[i].DistanceTo(moved[i - 1]), 1e-9);
+  }
+}
+
+TEST(CropTest, RadiusAndBox) {
+  PointCloud pc;
+  pc.Add(1, 0, 0);
+  pc.Add(10, 0, 0);
+  pc.Add(0, 0, 3);
+  const PointCloud near_points = CropRadius(pc, 5.0);
+  EXPECT_EQ(near_points.size(), 2u);
+
+  BoundingBox box;
+  box.Extend({-1, -1, -1});
+  box.Extend({2, 2, 4});
+  const PointCloud inside = CropBox(pc, box);
+  EXPECT_EQ(inside.size(), 2u);
+}
+
+TEST(VoxelDownsampleTest, OnePointPerVoxel) {
+  PointCloud pc;
+  for (int i = 0; i < 100; ++i) pc.Add(0.001 * i, 0, 0);  // One voxel.
+  pc.Add(5, 5, 5);
+  const PointCloud down = VoxelDownsample(pc, 0.5);
+  EXPECT_EQ(down.size(), 2u);
+  EXPECT_EQ(down[0], pc[0]);  // First survivor keeps input order.
+}
+
+TEST(VoxelDownsampleTest, FineVoxelsKeepEverything) {
+  const PointCloud pc = RandomCloud(500, 3);
+  EXPECT_EQ(VoxelDownsample(pc, 1e-6).size(), pc.size());
+}
+
+TEST(D1PsnrTest, IdenticalCloudsAreInfinite) {
+  const PointCloud pc = RandomCloud(300, 4);
+  EXPECT_TRUE(std::isinf(D1Psnr(pc, pc)));
+  EXPECT_EQ(D1Psnr(PointCloud(), pc), 0.0);
+}
+
+TEST(D1PsnrTest, TighterBoundsScoreHigher) {
+  const SceneGenerator gen(SceneType::kCity);
+  const PointCloud full = gen.Generate(0);
+  PointCloud pc;
+  for (size_t i = 0; i < full.size(); i += 20) pc.Add(full[i]);
+  DbgcOptions options;
+  options.min_pts_scale = 0.05;
+  const DbgcCodec codec(options);
+  double previous = 0.0;
+  for (double q : {0.05, 0.02, 0.005}) {
+    auto compressed = codec.Compress(pc, q);
+    ASSERT_TRUE(compressed.ok());
+    auto decoded = codec.Decompress(compressed.value());
+    ASSERT_TRUE(decoded.ok());
+    const double psnr = D1Psnr(pc, decoded.value());
+    EXPECT_GT(psnr, previous) << "q=" << q;
+    previous = psnr;
+  }
+  EXPECT_GT(previous, 60.0);  // Centimeter accuracy on a ~200 m scene.
+}
+
+}  // namespace
+}  // namespace dbgc
