@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clustering.dir/bench/bench_clustering.cc.o"
+  "CMakeFiles/bench_clustering.dir/bench/bench_clustering.cc.o.d"
+  "bench/bench_clustering"
+  "bench/bench_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e_system.dir/bench/bench_e2e_system.cc.o"
+  "CMakeFiles/bench_e2e_system.dir/bench/bench_e2e_system.cc.o.d"
+  "bench/bench_e2e_system"
+  "bench/bench_e2e_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_range_image.dir/bench/bench_range_image.cc.o"
+  "CMakeFiles/bench_range_image.dir/bench/bench_range_image.cc.o.d"
+  "bench/bench_range_image"
+  "bench/bench_range_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_range_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

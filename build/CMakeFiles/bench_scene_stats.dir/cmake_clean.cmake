@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scene_stats.dir/bench/bench_scene_stats.cc.o"
+  "CMakeFiles/bench_scene_stats.dir/bench/bench_scene_stats.cc.o.d"
+  "bench/bench_scene_stats"
+  "bench/bench_scene_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scene_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_outlier.dir/bench/bench_table2_outlier.cc.o"
+  "CMakeFiles/bench_table2_outlier.dir/bench/bench_table2_outlier.cc.o.d"
+  "bench/bench_table2_outlier"
+  "bench/bench_table2_outlier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_outlier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

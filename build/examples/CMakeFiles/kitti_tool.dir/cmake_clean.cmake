@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kitti_tool.dir/kitti_tool.cpp.o"
+  "CMakeFiles/kitti_tool.dir/kitti_tool.cpp.o.d"
+  "kitti_tool"
+  "kitti_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kitti_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kitti_tool.
+# This may be replaced when dependencies are built.

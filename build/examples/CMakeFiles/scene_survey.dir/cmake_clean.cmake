@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scene_survey.dir/scene_survey.cpp.o"
+  "CMakeFiles/scene_survey.dir/scene_survey.cpp.o.d"
+  "scene_survey"
+  "scene_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scene_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stream_archive.dir/stream_archive.cpp.o"
+  "CMakeFiles/stream_archive.dir/stream_archive.cpp.o.d"
+  "stream_archive"
+  "stream_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stream_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

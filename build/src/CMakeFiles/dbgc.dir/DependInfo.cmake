@@ -1,0 +1,78 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitio/bit_reader.cc" "src/CMakeFiles/dbgc.dir/bitio/bit_reader.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/bitio/bit_reader.cc.o.d"
+  "/root/repo/src/bitio/bit_writer.cc" "src/CMakeFiles/dbgc.dir/bitio/bit_writer.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/bitio/bit_writer.cc.o.d"
+  "/root/repo/src/bitio/byte_buffer.cc" "src/CMakeFiles/dbgc.dir/bitio/byte_buffer.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/bitio/byte_buffer.cc.o.d"
+  "/root/repo/src/bitio/varint.cc" "src/CMakeFiles/dbgc.dir/bitio/varint.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/bitio/varint.cc.o.d"
+  "/root/repo/src/cluster/approx_clustering.cc" "src/CMakeFiles/dbgc.dir/cluster/approx_clustering.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/cluster/approx_clustering.cc.o.d"
+  "/root/repo/src/cluster/cell_clustering.cc" "src/CMakeFiles/dbgc.dir/cluster/cell_clustering.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/cluster/cell_clustering.cc.o.d"
+  "/root/repo/src/cluster/dbscan.cc" "src/CMakeFiles/dbgc.dir/cluster/dbscan.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/cluster/dbscan.cc.o.d"
+  "/root/repo/src/codec/codec.cc" "src/CMakeFiles/dbgc.dir/codec/codec.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/codec/codec.cc.o.d"
+  "/root/repo/src/codec/gpcc_like_codec.cc" "src/CMakeFiles/dbgc.dir/codec/gpcc_like_codec.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/codec/gpcc_like_codec.cc.o.d"
+  "/root/repo/src/codec/kdtree_codec.cc" "src/CMakeFiles/dbgc.dir/codec/kdtree_codec.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/codec/kdtree_codec.cc.o.d"
+  "/root/repo/src/codec/octree_codec.cc" "src/CMakeFiles/dbgc.dir/codec/octree_codec.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/codec/octree_codec.cc.o.d"
+  "/root/repo/src/codec/octree_grouped_codec.cc" "src/CMakeFiles/dbgc.dir/codec/octree_grouped_codec.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/codec/octree_grouped_codec.cc.o.d"
+  "/root/repo/src/codec/range_image_codec.cc" "src/CMakeFiles/dbgc.dir/codec/range_image_codec.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/codec/range_image_codec.cc.o.d"
+  "/root/repo/src/codec/raw_codec.cc" "src/CMakeFiles/dbgc.dir/codec/raw_codec.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/codec/raw_codec.cc.o.d"
+  "/root/repo/src/common/bounding_box.cc" "src/CMakeFiles/dbgc.dir/common/bounding_box.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/common/bounding_box.cc.o.d"
+  "/root/repo/src/common/point_cloud.cc" "src/CMakeFiles/dbgc.dir/common/point_cloud.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/common/point_cloud.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/dbgc.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/dbgc.dir/common/status.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/common/status.cc.o.d"
+  "/root/repo/src/common/transforms.cc" "src/CMakeFiles/dbgc.dir/common/transforms.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/common/transforms.cc.o.d"
+  "/root/repo/src/core/attribute_codec.cc" "src/CMakeFiles/dbgc.dir/core/attribute_codec.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/core/attribute_codec.cc.o.d"
+  "/root/repo/src/core/coordinate_converter.cc" "src/CMakeFiles/dbgc.dir/core/coordinate_converter.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/core/coordinate_converter.cc.o.d"
+  "/root/repo/src/core/dbgc_codec.cc" "src/CMakeFiles/dbgc.dir/core/dbgc_codec.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/core/dbgc_codec.cc.o.d"
+  "/root/repo/src/core/density_partitioner.cc" "src/CMakeFiles/dbgc.dir/core/density_partitioner.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/core/density_partitioner.cc.o.d"
+  "/root/repo/src/core/error_metrics.cc" "src/CMakeFiles/dbgc.dir/core/error_metrics.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/core/error_metrics.cc.o.d"
+  "/root/repo/src/core/options.cc" "src/CMakeFiles/dbgc.dir/core/options.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/core/options.cc.o.d"
+  "/root/repo/src/core/outlier_codec.cc" "src/CMakeFiles/dbgc.dir/core/outlier_codec.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/core/outlier_codec.cc.o.d"
+  "/root/repo/src/core/point_grouper.cc" "src/CMakeFiles/dbgc.dir/core/point_grouper.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/core/point_grouper.cc.o.d"
+  "/root/repo/src/core/polyline.cc" "src/CMakeFiles/dbgc.dir/core/polyline.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/core/polyline.cc.o.d"
+  "/root/repo/src/core/polyline_organizer.cc" "src/CMakeFiles/dbgc.dir/core/polyline_organizer.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/core/polyline_organizer.cc.o.d"
+  "/root/repo/src/core/reference_polyline.cc" "src/CMakeFiles/dbgc.dir/core/reference_polyline.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/core/reference_polyline.cc.o.d"
+  "/root/repo/src/core/sparse_codec.cc" "src/CMakeFiles/dbgc.dir/core/sparse_codec.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/core/sparse_codec.cc.o.d"
+  "/root/repo/src/core/stream_codec.cc" "src/CMakeFiles/dbgc.dir/core/stream_codec.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/core/stream_codec.cc.o.d"
+  "/root/repo/src/encoding/bitpack.cc" "src/CMakeFiles/dbgc.dir/encoding/bitpack.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/encoding/bitpack.cc.o.d"
+  "/root/repo/src/encoding/delta.cc" "src/CMakeFiles/dbgc.dir/encoding/delta.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/encoding/delta.cc.o.d"
+  "/root/repo/src/encoding/quantizer.cc" "src/CMakeFiles/dbgc.dir/encoding/quantizer.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/encoding/quantizer.cc.o.d"
+  "/root/repo/src/encoding/rle.cc" "src/CMakeFiles/dbgc.dir/encoding/rle.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/encoding/rle.cc.o.d"
+  "/root/repo/src/encoding/value_codec.cc" "src/CMakeFiles/dbgc.dir/encoding/value_codec.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/encoding/value_codec.cc.o.d"
+  "/root/repo/src/entropy/arithmetic_coder.cc" "src/CMakeFiles/dbgc.dir/entropy/arithmetic_coder.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/entropy/arithmetic_coder.cc.o.d"
+  "/root/repo/src/entropy/binary_coder.cc" "src/CMakeFiles/dbgc.dir/entropy/binary_coder.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/entropy/binary_coder.cc.o.d"
+  "/root/repo/src/entropy/frequency_model.cc" "src/CMakeFiles/dbgc.dir/entropy/frequency_model.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/entropy/frequency_model.cc.o.d"
+  "/root/repo/src/entropy/huffman.cc" "src/CMakeFiles/dbgc.dir/entropy/huffman.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/entropy/huffman.cc.o.d"
+  "/root/repo/src/entropy/statistics.cc" "src/CMakeFiles/dbgc.dir/entropy/statistics.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/entropy/statistics.cc.o.d"
+  "/root/repo/src/lidar/kitti_io.cc" "src/CMakeFiles/dbgc.dir/lidar/kitti_io.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/lidar/kitti_io.cc.o.d"
+  "/root/repo/src/lidar/ply_io.cc" "src/CMakeFiles/dbgc.dir/lidar/ply_io.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/lidar/ply_io.cc.o.d"
+  "/root/repo/src/lidar/scene_generator.cc" "src/CMakeFiles/dbgc.dir/lidar/scene_generator.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/lidar/scene_generator.cc.o.d"
+  "/root/repo/src/lidar/sensor_model.cc" "src/CMakeFiles/dbgc.dir/lidar/sensor_model.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/lidar/sensor_model.cc.o.d"
+  "/root/repo/src/lidar/spherical.cc" "src/CMakeFiles/dbgc.dir/lidar/spherical.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/lidar/spherical.cc.o.d"
+  "/root/repo/src/lz/deflate.cc" "src/CMakeFiles/dbgc.dir/lz/deflate.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/lz/deflate.cc.o.d"
+  "/root/repo/src/lz/lz77.cc" "src/CMakeFiles/dbgc.dir/lz/lz77.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/lz/lz77.cc.o.d"
+  "/root/repo/src/net/channel.cc" "src/CMakeFiles/dbgc.dir/net/channel.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/net/channel.cc.o.d"
+  "/root/repo/src/net/client.cc" "src/CMakeFiles/dbgc.dir/net/client.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/net/client.cc.o.d"
+  "/root/repo/src/net/frame_protocol.cc" "src/CMakeFiles/dbgc.dir/net/frame_protocol.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/net/frame_protocol.cc.o.d"
+  "/root/repo/src/net/frame_store.cc" "src/CMakeFiles/dbgc.dir/net/frame_store.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/net/frame_store.cc.o.d"
+  "/root/repo/src/net/pipeline.cc" "src/CMakeFiles/dbgc.dir/net/pipeline.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/net/pipeline.cc.o.d"
+  "/root/repo/src/net/server.cc" "src/CMakeFiles/dbgc.dir/net/server.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/net/server.cc.o.d"
+  "/root/repo/src/net/tcp_transport.cc" "src/CMakeFiles/dbgc.dir/net/tcp_transport.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/net/tcp_transport.cc.o.d"
+  "/root/repo/src/spatial/kdtree.cc" "src/CMakeFiles/dbgc.dir/spatial/kdtree.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/spatial/kdtree.cc.o.d"
+  "/root/repo/src/spatial/octree.cc" "src/CMakeFiles/dbgc.dir/spatial/octree.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/spatial/octree.cc.o.d"
+  "/root/repo/src/spatial/quadtree.cc" "src/CMakeFiles/dbgc.dir/spatial/quadtree.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/spatial/quadtree.cc.o.d"
+  "/root/repo/src/spatial/voxel_grid.cc" "src/CMakeFiles/dbgc.dir/spatial/voxel_grid.cc.o" "gcc" "src/CMakeFiles/dbgc.dir/spatial/voxel_grid.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

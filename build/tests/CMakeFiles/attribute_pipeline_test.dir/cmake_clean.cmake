@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_pipeline_test.dir/attribute_pipeline_test.cc.o"
+  "CMakeFiles/attribute_pipeline_test.dir/attribute_pipeline_test.cc.o.d"
+  "attribute_pipeline_test"
+  "attribute_pipeline_test.pdb"
+  "attribute_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

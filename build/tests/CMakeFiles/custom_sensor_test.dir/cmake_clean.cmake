@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_sensor_test.dir/custom_sensor_test.cc.o"
+  "CMakeFiles/custom_sensor_test.dir/custom_sensor_test.cc.o.d"
+  "custom_sensor_test"
+  "custom_sensor_test.pdb"
+  "custom_sensor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_sensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbgc_codec_test.dir/dbgc_codec_test.cc.o"
+  "CMakeFiles/dbgc_codec_test.dir/dbgc_codec_test.cc.o.d"
+  "dbgc_codec_test"
+  "dbgc_codec_test.pdb"
+  "dbgc_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbgc_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

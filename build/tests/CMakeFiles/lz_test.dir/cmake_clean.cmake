@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lz_test.dir/lz_test.cc.o"
+  "CMakeFiles/lz_test.dir/lz_test.cc.o.d"
+  "lz_test"
+  "lz_test.pdb"
+  "lz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

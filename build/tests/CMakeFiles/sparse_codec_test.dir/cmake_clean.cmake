@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparse_codec_test.dir/sparse_codec_test.cc.o"
+  "CMakeFiles/sparse_codec_test.dir/sparse_codec_test.cc.o.d"
+  "sparse_codec_test"
+  "sparse_codec_test.pdb"
+  "sparse_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparse_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

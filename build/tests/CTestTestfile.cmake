@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/bitio_test[1]_include.cmake")
+include("/root/repo/build/tests/entropy_test[1]_include.cmake")
+include("/root/repo/build/tests/lz_test[1]_include.cmake")
+include("/root/repo/build/tests/encoding_test[1]_include.cmake")
+include("/root/repo/build/tests/spatial_test[1]_include.cmake")
+include("/root/repo/build/tests/lidar_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/polyline_test[1]_include.cmake")
+include("/root/repo/build/tests/sparse_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/outlier_test[1]_include.cmake")
+include("/root/repo/build/tests/dbgc_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/custom_sensor_test[1]_include.cmake")
+include("/root/repo/build/tests/attribute_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_corruption_test[1]_include.cmake")
+include("/root/repo/build/tests/transforms_test[1]_include.cmake")
