@@ -5,12 +5,12 @@
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
 add_test(example_quickstart "/root/repo/build/examples/quickstart")
-set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_quickstart PROPERTIES  LABELS "slow" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_streaming_sensor "/root/repo/build/examples/streaming_sensor" "2")
-set_tests_properties(example_streaming_sensor PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_streaming_sensor PROPERTIES  LABELS "slow" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_scene_survey "/root/repo/build/examples/scene_survey")
-set_tests_properties(example_scene_survey PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_scene_survey PROPERTIES  LABELS "slow" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_stream_archive "/root/repo/build/examples/stream_archive" "2")
-set_tests_properties(example_stream_archive PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_stream_archive PROPERTIES  LABELS "slow" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
 add_test(example_kitti_tool "/root/repo/build/examples/kitti_tool" "generate" "/root/repo/build/examples/smoke.bin")
-set_tests_properties(example_kitti_tool PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+set_tests_properties(example_kitti_tool PROPERTIES  LABELS "slow" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/dbgc.dir/DependInfo.cmake"
+  "/root/repo/build/tests/CMakeFiles/dbgc_test_harness.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/harness/codec_registry.cc" "tests/CMakeFiles/dbgc_test_harness.dir/harness/codec_registry.cc.o" "gcc" "tests/CMakeFiles/dbgc_test_harness.dir/harness/codec_registry.cc.o.d"
+  "/root/repo/tests/harness/corpus.cc" "tests/CMakeFiles/dbgc_test_harness.dir/harness/corpus.cc.o" "gcc" "tests/CMakeFiles/dbgc_test_harness.dir/harness/corpus.cc.o.d"
+  "/root/repo/tests/harness/fault_injection.cc" "tests/CMakeFiles/dbgc_test_harness.dir/harness/fault_injection.cc.o" "gcc" "tests/CMakeFiles/dbgc_test_harness.dir/harness/fault_injection.cc.o.d"
+  "/root/repo/tests/harness/golden.cc" "tests/CMakeFiles/dbgc_test_harness.dir/harness/golden.cc.o" "gcc" "tests/CMakeFiles/dbgc_test_harness.dir/harness/golden.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dbgc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbgc_test_harness.dir/harness/codec_registry.cc.o"
+  "CMakeFiles/dbgc_test_harness.dir/harness/codec_registry.cc.o.d"
+  "CMakeFiles/dbgc_test_harness.dir/harness/corpus.cc.o"
+  "CMakeFiles/dbgc_test_harness.dir/harness/corpus.cc.o.d"
+  "CMakeFiles/dbgc_test_harness.dir/harness/fault_injection.cc.o"
+  "CMakeFiles/dbgc_test_harness.dir/harness/fault_injection.cc.o.d"
+  "CMakeFiles/dbgc_test_harness.dir/harness/golden.cc.o"
+  "CMakeFiles/dbgc_test_harness.dir/harness/golden.cc.o.d"
+  "libdbgc_test_harness.a"
+  "libdbgc_test_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbgc_test_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdbgc_test_harness.a"
+)

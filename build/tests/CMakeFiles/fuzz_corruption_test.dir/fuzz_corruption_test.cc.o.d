@@ -317,8 +317,16 @@ tests/CMakeFiles/fuzz_corruption_test.dir/fuzz_corruption_test.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/codec/gpcc_like_codec.h \
+ /root/repo/src/codec/kdtree_codec.h /root/repo/src/codec/octree_codec.h \
+ /root/repo/src/spatial/octree.h /root/repo/src/common/bounding_box.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/codec/octree_grouped_codec.h \
  /root/repo/src/codec/range_image_codec.h \
  /root/repo/src/lidar/sensor_model.h /root/repo/src/codec/raw_codec.h \
  /root/repo/src/common/rng.h /root/repo/src/core/dbgc_codec.h \
  /root/repo/src/core/options.h /root/repo/src/core/stream_codec.h \
+ /root/repo/tests/harness/fault_injection.h \
  /root/repo/src/lidar/scene_generator.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/golden_bitstream_test.dir/golden_bitstream_test.cc.o"
+  "CMakeFiles/golden_bitstream_test.dir/golden_bitstream_test.cc.o.d"
+  "golden_bitstream_test"
+  "golden_bitstream_test.pdb"
+  "golden_bitstream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/golden_bitstream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

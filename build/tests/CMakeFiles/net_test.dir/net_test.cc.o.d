@@ -324,10 +324,12 @@ tests/CMakeFiles/net_test.dir/net_test.cc.o: /root/repo/tests/net_test.cc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/common/status.h \
- /root/repo/src/lidar/scene_generator.h /root/repo/src/common/rng.h \
+ /root/repo/tests/harness/fault_injection.h \
+ /root/repo/src/bitio/byte_buffer.h /usr/include/c++/12/cstring \
+ /root/repo/src/codec/codec.h /root/repo/src/common/rng.h \
+ /root/repo/src/lidar/scene_generator.h \
  /root/repo/src/lidar/sensor_model.h /root/repo/src/net/channel.h \
  /root/repo/src/net/client.h /root/repo/src/core/dbgc_codec.h \
- /root/repo/src/codec/codec.h /root/repo/src/bitio/byte_buffer.h \
- /usr/include/c++/12/cstring /root/repo/src/core/options.h \
- /root/repo/src/net/frame_protocol.h /root/repo/src/net/frame_store.h \
- /root/repo/src/net/server.h /root/repo/src/net/tcp_transport.h
+ /root/repo/src/core/options.h /root/repo/src/net/frame_protocol.h \
+ /root/repo/src/net/frame_store.h /root/repo/src/net/server.h \
+ /root/repo/src/net/tcp_transport.h

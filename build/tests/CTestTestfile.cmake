@@ -25,3 +25,6 @@ include("/root/repo/build/tests/custom_sensor_test[1]_include.cmake")
 include("/root/repo/build/tests/attribute_pipeline_test[1]_include.cmake")
 include("/root/repo/build/tests/fuzz_corruption_test[1]_include.cmake")
 include("/root/repo/build/tests/transforms_test[1]_include.cmake")
+include("/root/repo/build/tests/golden_bitstream_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_oracle_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_injection_test[1]_include.cmake")

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# CI driver: tier-1 verify plus a sanitizer pass over the conformance and
+# fault-injection surfaces (docs/TESTING.md).
+#
+#   scripts/check.sh            # tier-1 + ASan/UBSan fast+fuzz
+#   scripts/check.sh --full     # also runs slow-labeled tests under ASan
+#   scripts/check.sh --tier1    # tier-1 only (no sanitizer build)
+#
+# CTest labels shard the suite: fast (unit/conformance, < ~60 s even
+# sanitized), slow (end-to-end + differential oracle), fuzz (corruption and
+# fault-injection suites).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+MODE="${1:-}"
+
+echo "==> tier-1: Release build + full test suite"
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+if [[ "${MODE}" == "--tier1" ]]; then
+  echo "==> tier-1 OK (sanitizer pass skipped)"
+  exit 0
+fi
+
+echo "==> sanitizer pass: ASan+UBSan build"
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDBGC_SANITIZE=address,undefined \
+  -DDBGC_BUILD_BENCHMARKS=OFF \
+  -DDBGC_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-asan -j "${JOBS}"
+
+SAN_LABELS="fast|fuzz"
+if [[ "${MODE}" == "--full" ]]; then
+  SAN_LABELS="fast|fuzz|slow"
+fi
+
+# abort_on_error=1 turns any report into a hard test failure; the
+# fault-injection suites must come back with zero reports.
+ASAN_OPTIONS="abort_on_error=1:detect_leaks=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+ctest --test-dir build-asan -L "${SAN_LABELS}" --output-on-failure -j "${JOBS}"
+
+echo "==> all checks passed"

@@ -165,7 +165,12 @@ Status DecodeNode(DecodeContext* ctx, uint64_t prefix, int level,
     if (ctx->leaf_cursor >= ctx->leaf_extra->size()) {
       return Status::Corruption("gpcc codec: leaf side stream exhausted");
     }
-    return (*ctx->leaf_extra)[ctx->leaf_cursor++];
+    const uint64_t extra = (*ctx->leaf_extra)[ctx->leaf_cursor++];
+    // Also guards the uint32 narrowing below: extra + 1 must not wrap.
+    if (extra >= kMaxReasonableCount) {
+      return Status::Corruption("gpcc codec: implausible leaf count");
+    }
+    return extra;
   };
   if (level == ctx->depth) {
     DBGC_ASSIGN_OR_RETURN(uint64_t extra, next_extra());
@@ -289,6 +294,21 @@ Result<PointCloud> GpccLikeCodec::Decompress(const ByteBuffer& buffer) const {
   DecodeContext ctx{&dec, &models, &leaf_extra, 0, &leaves, depth};
   DBGC_RETURN_NOT_OK(DecodeNode(&ctx, 0, 0, 8));
 
+  // Validate the leaf-count sum BEFORE expanding: corrupted count streams
+  // can declare far more points than the header's (already bounded) count,
+  // and the expansion loop would materialize all of them.
+  uint64_t total = 0;
+  for (const auto& [key, n] : leaves) {
+    (void)key;
+    total += n;
+    if (total > count) {
+      return Status::Corruption("gpcc codec: point count mismatch");
+    }
+  }
+  if (total != count) {
+    return Status::Corruption("gpcc codec: point count mismatch");
+  }
+
   const double leaf_side = root.side / std::ldexp(1.0, depth);
   pc.Reserve(count);
   for (const auto& [key, n] : leaves) {
@@ -298,9 +318,6 @@ Result<PointCloud> GpccLikeCodec::Decompress(const ByteBuffer& buffer) const {
                         root.origin.y + (iy + 0.5) * leaf_side,
                         root.origin.z + (iz + 0.5) * leaf_side};
     for (uint32_t k = 0; k < n; ++k) pc.Add(center);
-  }
-  if (pc.size() != count) {
-    return Status::Corruption("gpcc codec: point count mismatch");
   }
   return pc;
 }

@@ -170,6 +170,14 @@ Result<PointCloud> KdTreeCodec::Decompress(const ByteBuffer& buffer) const {
   if (count > kMaxReasonableCount) {
     return Status::Corruption("kd codec: implausible point count");
   }
+  // The split coder always emits bits for a non-trivial tree, so a count
+  // wildly out of proportion to the stream length can only come from a
+  // corrupted header. Rejecting it here bounds the decode loop, which
+  // otherwise trusts `count` outright (the arithmetic decoder zero-extends
+  // past the stream end and never fails on its own).
+  if (count > 4096 && count / 4096 > buffer.size()) {
+    return Status::Corruption("kd codec: point count exceeds stream budget");
+  }
   PointCloud pc;
   if (count == 0) return pc;
   ByteBuffer stream;

@@ -105,7 +105,14 @@ Result<OctreeStructure> OctreeCodec::DeserializeStructure(
     return Status::Corruption("octree codec: counts stream mismatch");
   }
   tree.leaf_counts.reserve(num_leaves);
+  uint64_t total_points = 0;
   for (uint64_t c : extra_counts) {
+    // c + 1 must not wrap the uint32 narrowing, and the sum bounds what
+    // ExtractPoints will materialize.
+    if (c >= kMaxReasonableCount ||
+        (total_points += c + 1) > kMaxReasonableCount) {
+      return Status::Corruption("octree codec: implausible leaf counts");
+    }
     tree.leaf_counts.push_back(static_cast<uint32_t>(c + 1));
   }
   return tree;

@@ -146,7 +146,14 @@ Result<PointCloud> OctreeGroupedCodec::Decompress(
   if (extra_counts.size() != num_leaves) {
     return Status::Corruption("octree_i codec: counts stream mismatch");
   }
+  uint64_t total_points = 0;
   for (uint64_t c : extra_counts) {
+    // Same containment as the plain octree codec: no uint32 wrap in the
+    // narrowing, and the total bounds the ExtractPoints expansion.
+    if (c >= kMaxReasonableCount ||
+        (total_points += c + 1) > kMaxReasonableCount) {
+      return Status::Corruption("octree_i codec: implausible leaf counts");
+    }
     tree.leaf_counts.push_back(static_cast<uint32_t>(c + 1));
   }
   return Octree::ExtractPoints(tree);

@@ -111,7 +111,11 @@ Result<PointCloud> RangeImageCodec::Decompress(
   uint64_t width, height;
   DBGC_RETURN_NOT_OK(GetVarint64(&reader, &width));
   DBGC_RETURN_NOT_OK(GetVarint64(&reader, &height));
-  if (width == 0 || height == 0 || width * height > (1ULL << 28)) {
+  // Check each dimension before forming the product: width * height wraps
+  // for dimensions near 2^32, and a wrapped small product would pass the
+  // area check while row * width + col indexes far outside the bitmap.
+  if (width == 0 || height == 0 || width > (1ULL << 28) ||
+      height > (1ULL << 28) || width * height > (1ULL << 28)) {
     return Status::Corruption("range image: implausible grid");
   }
   ByteBuffer occupancy_stream, range_stream;

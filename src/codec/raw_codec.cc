@@ -24,7 +24,9 @@ Result<PointCloud> RawCodec::Decompress(const ByteBuffer& buffer) const {
   ByteReader reader(buffer);
   uint64_t count;
   DBGC_RETURN_NOT_OK(reader.ReadUint64(&count));
-  if (count * 12 > reader.remaining()) {
+  // Divide instead of multiplying: count * 12 wraps for counts near 2^61,
+  // sneaking a huge count past the truncation check.
+  if (count > reader.remaining() / 12) {
     return Status::Corruption("raw codec: truncated point data");
   }
   PointCloud pc;

@@ -50,6 +50,15 @@ Result<DbgcStreamReader> DbgcStreamReader::Open(const ByteBuffer& stream) {
   }
   uint64_t count;
   DBGC_RETURN_NOT_OK(GetVarint64(&br, &count));
+  if (count > kMaxReasonableCount) {
+    return Status::Corruption("stream: implausible frame count");
+  }
+  // Every frame size costs at least one index byte, so the remaining bytes
+  // bound the frame count; checking it first keeps the reserve below from
+  // trusting an untrusted header.
+  if (count > br.remaining()) {
+    return Status::Corruption("stream: frame index exceeds stream");
+  }
   std::vector<uint64_t> sizes;
   sizes.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
@@ -59,7 +68,9 @@ Result<DbgcStreamReader> DbgcStreamReader::Open(const ByteBuffer& stream) {
   }
   size_t offset = br.position();
   for (uint64_t size : sizes) {
-    if (offset + size > stream.size()) {
+    // Subtraction form: offset + size wraps for sizes near 2^64 and would
+    // pass the additive comparison.
+    if (size > stream.size() - offset) {
       return Status::Corruption("stream: truncated frame payload");
     }
     reader.offsets_.push_back(offset);

@@ -1,5 +1,7 @@
 #include "encoding/value_codec.h"
 
+#include <algorithm>
+
 #include "bitio/varint.h"
 #include "entropy/arithmetic_coder.h"
 
@@ -96,7 +98,10 @@ Status DecompressUnsigned(const ByteBuffer& buf, std::vector<uint64_t>* out) {
     return (raw[byte] >> (7 - off)) & 1;
   };
 
-  out->reserve(count);
+  // Clamp the speculative reserve: `count` is untrusted, and a corrupted
+  // header should not trigger a multi-GB allocation before the decode loop
+  // has produced a single value.
+  out->reserve(std::min<uint64_t>(count, 1u << 20));
   for (uint64_t i = 0; i < count; ++i) {
     const uint32_t target = dec.DecodeTarget(model.total());
     SymbolRange range;

@@ -218,5 +218,129 @@ TEST(VarintTest, OverlongFails) {
   EXPECT_FALSE(GetVarint64(&reader, &v).ok());
 }
 
+// --- Edge cases at buffer boundaries (fault-injection support suite). ---
+
+TEST(ByteReaderTest, ZeroLengthBufferRejectsEveryRead) {
+  const ByteBuffer empty;
+  ByteReader reader(empty);
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(reader.remaining(), 0u);
+  uint8_t b;
+  EXPECT_FALSE(reader.ReadByte(&b).ok());
+  uint16_t u16;
+  EXPECT_FALSE(reader.ReadUint16(&u16).ok());
+  uint32_t u32;
+  EXPECT_FALSE(reader.ReadUint32(&u32).ok());
+  uint64_t u64;
+  EXPECT_FALSE(reader.ReadUint64(&u64).ok());
+  double d;
+  EXPECT_FALSE(reader.ReadDouble(&d).ok());
+  ByteBuffer sub;
+  EXPECT_FALSE(reader.ReadLengthPrefixed(&sub).ok());
+  EXPECT_FALSE(reader.Skip(1).ok());
+  EXPECT_TRUE(reader.Skip(0).ok());
+  uint64_t v;
+  EXPECT_FALSE(GetVarint64(&reader, &v).ok());
+}
+
+TEST(ByteReaderTest, LengthPrefixNearIntegerLimitsRejected) {
+  // A length prefix of 2^64-1 must fail the remaining() comparison rather
+  // than wrap anything downstream.
+  ByteBuffer buf;
+  buf.AppendUint64(std::numeric_limits<uint64_t>::max());
+  buf.AppendByte(0xAA);
+  ByteReader reader(buf);
+  ByteBuffer sub;
+  EXPECT_FALSE(reader.ReadLengthPrefixed(&sub).ok());
+}
+
+TEST(ByteReaderTest, LengthPrefixConsumingExactRemainderSucceeds) {
+  ByteBuffer buf;
+  ByteBuffer payload;
+  payload.AppendByte(1);
+  payload.AppendByte(2);
+  buf.AppendLengthPrefixed(payload);
+  ByteReader reader(buf);
+  ByteBuffer sub;
+  ASSERT_TRUE(reader.ReadLengthPrefixed(&sub).ok());
+  EXPECT_TRUE(sub == payload);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ByteReaderTest, SkipPastEndFailsWithoutAdvancing) {
+  ByteBuffer buf;
+  buf.AppendUint32(0xDEADBEEF);
+  ByteReader reader(buf);
+  EXPECT_FALSE(reader.Skip(5).ok());
+  // A failed skip must not consume anything.
+  uint32_t v;
+  ASSERT_TRUE(reader.ReadUint32(&v).ok());
+  EXPECT_EQ(v, 0xDEADBEEFu);
+}
+
+TEST(VarintTest, ValueEndingOnFinalByteSucceeds) {
+  ByteBuffer buf;
+  PutVarint64(&buf, 300);  // Two bytes; the second is the buffer's last.
+  ByteReader reader(buf);
+  uint64_t v;
+  ASSERT_TRUE(GetVarint64(&reader, &v).ok());
+  EXPECT_EQ(v, 300u);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(VarintTest, ContinuationRunHittingBufferEndFails) {
+  // Ten continuation bytes and then end-of-buffer: the decoder must stop
+  // with an error (either overflow or truncation), never read past the end.
+  ByteBuffer buf;
+  for (int i = 0; i < 10; ++i) buf.AppendByte(0x80);
+  ByteReader reader(buf);
+  uint64_t v;
+  EXPECT_FALSE(GetVarint64(&reader, &v).ok());
+}
+
+TEST(VarintTest, MidValueTruncationFails) {
+  ByteBuffer buf;
+  PutVarint64(&buf, uint64_t{1} << 40);  // Six bytes.
+  ByteBuffer truncated;
+  truncated.Append(buf.data(), buf.size() - 1);
+  ByteReader reader(truncated);
+  uint64_t v;
+  EXPECT_FALSE(GetVarint64(&reader, &v).ok());
+}
+
+TEST(BitReaderTest, ReadPastFinalByteFails) {
+  ByteBuffer buf;
+  buf.AppendByte(0b10110001);
+  BitReader reader(buf);
+  uint64_t bits;
+  ASSERT_TRUE(reader.ReadBits(8, &bits).ok());
+  EXPECT_EQ(bits, 0b10110001u);
+  EXPECT_TRUE(reader.AtEnd());
+  int bit;
+  EXPECT_FALSE(reader.ReadBit(&bit).ok());
+  EXPECT_FALSE(reader.ReadBits(1, &bits).ok());
+}
+
+TEST(BitReaderTest, MultiBitReadSpanningEndFails) {
+  ByteBuffer buf;
+  buf.AppendByte(0xFF);
+  BitReader reader(buf);
+  uint64_t bits;
+  ASSERT_TRUE(reader.ReadBits(5, &bits).ok());
+  // Three bits remain; asking for four must fail.
+  EXPECT_FALSE(reader.ReadBits(4, &bits).ok());
+}
+
+TEST(BitReaderTest, ZeroLengthBufferHasNoBits) {
+  const ByteBuffer empty;
+  BitReader reader(empty);
+  EXPECT_TRUE(reader.AtEnd());
+  int bit;
+  EXPECT_FALSE(reader.ReadBit(&bit).ok());
+  uint64_t bits;
+  ASSERT_TRUE(reader.ReadBits(0, &bits).ok());  // Zero-bit read is a no-op.
+  EXPECT_EQ(bits, 0u);
+}
+
 }  // namespace
 }  // namespace dbgc

@@ -1,0 +1,132 @@
+// Differential oracle: round-trips every registered codec over the same
+// stratified corpus and cross-checks the invariants each codec advertises
+// (harness::CodecTraits) — point-count preservation, error-metric bounds,
+// and compressed-size sanity — plus consistency with the golden vault's
+// recorded per-codec baselines where a vault exists.
+//
+// Where the golden suite pins bytes, this suite pins semantics: a change
+// can keep hashes stable and still break a decoder, or legitimately
+// regenerate the vault while silently losing reconstruction quality. Both
+// escape the golden net and are caught here.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "core/error_metrics.h"
+#include "harness/codec_registry.h"
+#include "harness/corpus.h"
+#include "harness/golden.h"
+
+namespace dbgc {
+namespace {
+
+using harness::AllRegisteredCodecs;
+using harness::BuildConformanceCorpus;
+using harness::CorpusCase;
+using harness::kConformanceQ;
+using harness::RegisteredCodec;
+
+class DifferentialOracleTest : public ::testing::Test {
+ protected:
+  static const std::vector<CorpusCase>& Corpus() {
+    static const std::vector<CorpusCase>* corpus =
+        new std::vector<CorpusCase>(BuildConformanceCorpus());
+    return *corpus;
+  }
+};
+
+TEST_F(DifferentialOracleTest, RoundTripInvariantsHoldForAllCodecs) {
+  for (const RegisteredCodec& registered : AllRegisteredCodecs()) {
+    // Per-codec golden baseline (may be absent before first regen).
+    std::map<std::string, harness::GoldenEntry> baseline;
+    if (auto golden =
+            harness::LoadGoldenFile(harness::GoldenPath(registered.id));
+        golden.ok()) {
+      for (const harness::GoldenEntry& e : golden.value()) {
+        baseline[e.case_id] = e;
+      }
+    }
+
+    for (const CorpusCase& c : Corpus()) {
+      SCOPED_TRACE(registered.id + "/" + c.id);
+      auto compressed = registered.codec->Compress(c.cloud, kConformanceQ);
+      ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+
+      // Compressed-size sanity: non-empty, never a pathological blow-up.
+      const size_t raw_bytes = c.cloud.RawSizeBytes();
+      ASSERT_GT(compressed.value().size(), 0u);
+      EXPECT_LE(compressed.value().size(),
+                static_cast<size_t>(registered.traits.max_expansion *
+                                    raw_bytes) +
+                    256)
+          << "compressed size out of proportion to raw geometry bytes";
+
+      // Against the recorded baseline: the oracle and the vault must agree
+      // on what the codec emits.
+      if (auto it = baseline.find(c.id); it != baseline.end()) {
+        EXPECT_EQ(compressed.value().size(), it->second.size)
+            << "size diverges from the committed golden baseline";
+      }
+
+      auto decoded = registered.codec->Decompress(compressed.value());
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+
+      if (registered.traits.preserves_count) {
+        EXPECT_EQ(decoded.value().size(), c.cloud.size())
+            << "one-to-one mapping broken: point count not preserved";
+      } else {
+        EXPECT_GT(decoded.value().size(), 0u);
+        EXPECT_LE(decoded.value().size(), c.cloud.size())
+            << "resampling codec produced more points than it consumed";
+      }
+
+      const ErrorStats err = NearestNeighborError(c.cloud, decoded.value());
+      if (registered.traits.bounded_error) {
+        EXPECT_LE(err.max_euclidean,
+                  registered.traits.error_factor * kConformanceQ)
+            << "reconstruction error exceeds the codec's advertised bound";
+      } else if (registered.traits.min_d1_psnr > 0) {
+        EXPECT_GE(D1Psnr(c.cloud, decoded.value()),
+                  registered.traits.min_d1_psnr)
+            << "reconstruction PSNR below the codec's floor";
+      }
+    }
+  }
+}
+
+// Cross-codec comparison on the dense tier: every compressing codec must
+// actually compress — beat the raw 12-byte/point representation. This is
+// the paper's Table/Figure sanity floor and catches entropy-coder
+// regressions that still round-trip correctly.
+TEST_F(DifferentialOracleTest, CompressingCodecsBeatRawOnDenseScenes) {
+  for (const RegisteredCodec& registered : AllRegisteredCodecs()) {
+    if (registered.id == "raw") continue;
+    for (const CorpusCase& c : Corpus()) {
+      if (c.id.find("_dense") == std::string::npos) continue;
+      SCOPED_TRACE(registered.id + "/" + c.id);
+      auto compressed = registered.codec->Compress(c.cloud, kConformanceQ);
+      ASSERT_TRUE(compressed.ok());
+      EXPECT_LT(compressed.value().size(), c.cloud.RawSizeBytes())
+          << "codec expands dense LiDAR data instead of compressing it";
+    }
+  }
+}
+
+// Empty input must round-trip everywhere without tripping any of the new
+// containment guards (zero-length sections, zero counts).
+TEST_F(DifferentialOracleTest, EmptyCloudRoundTripsForAllCodecs) {
+  const PointCloud empty;
+  for (const RegisteredCodec& registered : AllRegisteredCodecs()) {
+    SCOPED_TRACE(registered.id);
+    auto compressed = registered.codec->Compress(empty, kConformanceQ);
+    ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
+    auto decoded = registered.codec->Decompress(compressed.value());
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace dbgc

@@ -9,11 +9,16 @@
 #include <memory>
 
 #include "codec/codec.h"
+#include "codec/gpcc_like_codec.h"
+#include "codec/kdtree_codec.h"
+#include "codec/octree_codec.h"
+#include "codec/octree_grouped_codec.h"
 #include "codec/range_image_codec.h"
 #include "codec/raw_codec.h"
 #include "common/rng.h"
 #include "core/dbgc_codec.h"
 #include "core/stream_codec.h"
+#include "harness/fault_injection.h"
 #include "lidar/scene_generator.h"
 
 namespace dbgc {
@@ -100,6 +105,48 @@ TEST(FuzzCorruptionTest, StreamReaderSurvivesMutations) {
       }
     }
   }
+}
+
+// Deep per-codec corruption coverage for the tree codecs, whose decoders
+// trust header-declared counts the most (the arithmetic decoder never
+// fails on its own — it zero-extends past the stream end). Each codec gets
+// its own test so a containment break attributes directly, and the
+// structured fault engine adds splice / length-tamper / varint-overflow
+// classes the plain byte-flip loop above cannot reach.
+void DeepFuzzCodec(const GeometryCodec& codec, uint64_t seed) {
+  const PointCloud pc = SmallFrame();
+  const SceneGenerator gen(SceneType::kRoad);
+  PointCloud other_pc;
+  {
+    const PointCloud full = gen.Generate(1);
+    for (size_t i = 0; i < full.size(); i += 40) other_pc.Add(full[i]);
+  }
+  auto compressed = codec.Compress(pc, 0.02);
+  auto other = codec.Compress(other_pc, 0.02);
+  ASSERT_TRUE(compressed.ok() && other.ok()) << codec.name();
+
+  harness::FaultInjector injector(seed);
+  for (const harness::InjectedFault& fault :
+       injector.AllFaults(compressed.value(), other.value(), 20)) {
+    harness::ExpectDecodeContained(codec, fault.stream,
+                                   codec.name() + ": " + fault.description);
+  }
+}
+
+TEST(FuzzCorruptionTest, KdTreeSurvivesStructuredFaults) {
+  DeepFuzzCodec(KdTreeCodec(), 500);
+}
+
+TEST(FuzzCorruptionTest, OctreeSurvivesStructuredFaults) {
+  DeepFuzzCodec(OctreeCodec(), 501);
+}
+
+TEST(FuzzCorruptionTest, OctreeGroupedSurvivesStructuredFaults) {
+  DeepFuzzCodec(OctreeGroupedCodec(), 502);
+}
+
+TEST(FuzzCorruptionTest, GpccLikeSurvivesStructuredFaults) {
+  DeepFuzzCodec(GpccLikeCodec(), 503);
 }
 
 TEST(FuzzCorruptionTest, PureGarbageRejectedQuickly) {

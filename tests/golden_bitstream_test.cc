@@ -1,0 +1,142 @@
+// Golden bitstream vault: pins the on-wire format of every registered
+// codec. Each corpus case's compressed output is hashed and compared
+// against the committed vault under tests/golden/; any codec change that
+// alters even one output byte fails here, with a message separating
+// "format changed intentionally -> regenerate" from "regression".
+//
+// Regeneration: DBGC_REGEN_GOLDEN=1 ctest -R GoldenBitstream
+// (then commit the rewritten tests/golden/*.golden files).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "harness/codec_registry.h"
+#include "harness/corpus.h"
+#include "harness/golden.h"
+
+namespace dbgc {
+namespace {
+
+using harness::AllRegisteredCodecs;
+using harness::BuildConformanceCorpus;
+using harness::CorpusCase;
+using harness::GoldenEntry;
+using harness::RegisteredCodec;
+
+class GoldenBitstreamTest : public ::testing::Test {
+ protected:
+  // The corpus is expensive to generate; share it across all codec cases.
+  static const std::vector<CorpusCase>& Corpus() {
+    static const std::vector<CorpusCase>* corpus =
+        new std::vector<CorpusCase>(BuildConformanceCorpus());
+    return *corpus;
+  }
+
+  static std::vector<GoldenEntry> ComputeEntries(
+      const RegisteredCodec& registered) {
+    std::vector<GoldenEntry> entries;
+    for (const CorpusCase& c : Corpus()) {
+      auto compressed =
+          registered.codec->Compress(c.cloud, harness::kConformanceQ);
+      EXPECT_TRUE(compressed.ok())
+          << registered.id << "/" << c.id << ": "
+          << compressed.status().ToString();
+      if (!compressed.ok()) continue;
+      GoldenEntry e;
+      e.case_id = c.id;
+      e.size = compressed.value().size();
+      e.hash = harness::HashHex(compressed.value());
+      entries.push_back(std::move(e));
+    }
+    return entries;
+  }
+
+  static void CheckCodec(const RegisteredCodec& registered) {
+    const std::vector<GoldenEntry> actual = ComputeEntries(registered);
+    const std::string path = harness::GoldenPath(registered.id);
+
+    if (harness::RegenRequested()) {
+      const Status st = harness::WriteGoldenFile(path, actual);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      GTEST_LOG_(INFO) << "regenerated " << path;
+      return;
+    }
+
+    auto golden = harness::LoadGoldenFile(path);
+    ASSERT_TRUE(golden.ok())
+        << "No golden vault for codec '" << registered.id << "' ("
+        << golden.status().ToString()
+        << ").\nGenerate one with: DBGC_REGEN_GOLDEN=1 "
+           "ctest -R GoldenBitstream, then commit tests/golden/.";
+
+    std::map<std::string, GoldenEntry> expected;
+    for (const GoldenEntry& e : golden.value()) expected[e.case_id] = e;
+
+    ASSERT_EQ(actual.size(), expected.size())
+        << registered.id << ": corpus has " << actual.size()
+        << " cases but the golden file pins " << expected.size()
+        << ". If the corpus definition changed intentionally, regenerate "
+           "with DBGC_REGEN_GOLDEN=1; otherwise corpus determinism broke.";
+
+    for (const GoldenEntry& e : actual) {
+      auto it = expected.find(e.case_id);
+      ASSERT_NE(it, expected.end())
+          << registered.id << ": case '" << e.case_id
+          << "' missing from golden vault; regenerate with "
+             "DBGC_REGEN_GOLDEN=1 if the corpus changed intentionally.";
+      EXPECT_TRUE(e.hash == it->second.hash && e.size == it->second.size)
+          << "BITSTREAM FORMAT CHANGE for codec '" << registered.id
+          << "', case '" << e.case_id << "':\n  golden: size "
+          << it->second.size << ", hash " << it->second.hash
+          << "\n  actual: size " << e.size << ", hash " << e.hash
+          << "\nIf this PR intentionally changes the " << registered.id
+          << " wire format, regenerate the vault (DBGC_REGEN_GOLDEN=1 "
+             "ctest -R GoldenBitstream) and commit tests/golden/ with a "
+             "note in the PR description. If not, this is a format "
+             "regression: the codec now emits different bytes for the "
+             "same input and existing stored streams may not decode.";
+    }
+  }
+};
+
+TEST_F(GoldenBitstreamTest, AllCodecsMatchVault) {
+  for (const RegisteredCodec& registered : AllRegisteredCodecs()) {
+    SCOPED_TRACE(registered.id);
+    CheckCodec(registered);
+  }
+}
+
+// The vault must catch a single flipped byte: this is the sensitivity
+// guarantee the whole scheme rests on.
+TEST_F(GoldenBitstreamTest, HashCatchesSingleByteChange) {
+  for (const RegisteredCodec& registered : AllRegisteredCodecs()) {
+    auto compressed =
+        registered.codec->Compress(Corpus().front().cloud,
+                                   harness::kConformanceQ);
+    ASSERT_TRUE(compressed.ok()) << registered.id;
+    ByteBuffer tampered = compressed.value();
+    ASSERT_FALSE(tampered.empty()) << registered.id;
+    tampered.mutable_bytes()[tampered.size() / 2] ^= 0x01;
+    EXPECT_NE(harness::HashHex(compressed.value()),
+              harness::HashHex(tampered))
+        << registered.id << ": hash failed to detect a one-byte change";
+  }
+}
+
+// Compressing the same corpus twice in one process must be bit-identical;
+// this is the in-process half of the clean-build determinism guarantee.
+TEST_F(GoldenBitstreamTest, CompressionIsDeterministic) {
+  for (const RegisteredCodec& registered : AllRegisteredCodecs()) {
+    const CorpusCase& c = Corpus()[1];
+    auto first = registered.codec->Compress(c.cloud, harness::kConformanceQ);
+    auto second = registered.codec->Compress(c.cloud, harness::kConformanceQ);
+    ASSERT_TRUE(first.ok() && second.ok()) << registered.id;
+    EXPECT_TRUE(first.value() == second.value())
+        << registered.id << ": nondeterministic compression on " << c.id;
+  }
+}
+
+}  // namespace
+}  // namespace dbgc

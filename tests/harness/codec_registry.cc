@@ -1,0 +1,104 @@
+#include "harness/codec_registry.h"
+
+#include <utility>
+
+#include "codec/gpcc_like_codec.h"
+#include "codec/kdtree_codec.h"
+#include "codec/octree_codec.h"
+#include "codec/octree_grouped_codec.h"
+#include "codec/range_image_codec.h"
+#include "codec/raw_codec.h"
+#include "core/dbgc_codec.h"
+#include "core/stream_codec.h"
+
+namespace dbgc {
+namespace harness {
+
+namespace {
+
+// DBGC options tuned like the fuzzing suite: the conformance corpus is
+// subsampled, so the density threshold must scale down with it for the
+// dense/sparse split to engage at all.
+DbgcOptions ConformanceDbgcOptions() {
+  DbgcOptions options;
+  options.min_pts_scale = 0.05;
+  return options;
+}
+
+// Adapts the multi-frame stream container to the GeometryCodec interface:
+// one frame per stream. This puts the stream header, frame index, and
+// per-frame payload layout under the same golden/differential/fault
+// coverage as the single-frame codecs.
+class StreamFrameCodec : public GeometryCodec {
+ public:
+  std::string name() const override { return "Stream"; }
+
+  Result<ByteBuffer> Compress(const PointCloud& pc,
+                              double q_xyz) const override {
+    DbgcOptions options = ConformanceDbgcOptions();
+    options.q_xyz = q_xyz;
+    DbgcStreamWriter writer(options);
+    DBGC_ASSIGN_OR_RETURN(size_t bytes, writer.AddFrame(pc));
+    (void)bytes;
+    return writer.Finish();
+  }
+
+  Result<PointCloud> Decompress(const ByteBuffer& buffer) const override {
+    DBGC_ASSIGN_OR_RETURN(DbgcStreamReader reader,
+                          DbgcStreamReader::Open(buffer));
+    if (reader.frame_count() != 1) {
+      return Status::Corruption("stream conformance: expected one frame");
+    }
+    return reader.ReadFrame(0);
+  }
+};
+
+}  // namespace
+
+std::vector<RegisteredCodec> AllRegisteredCodecs() {
+  std::vector<RegisteredCodec> codecs;
+
+  // Octree-family codecs approximate points by leaf centers of side 2q:
+  // per-dimension error <= q, Euclidean error <= sqrt(3) q ~= 1.74 q.
+  CodecTraits octree_traits;
+  octree_traits.error_factor = 1.8;
+
+  CodecTraits dbgc_traits;
+  dbgc_traits.error_factor = 2.0;  // Small slack over the paper's q bound.
+
+  CodecTraits raw_traits;
+  raw_traits.error_factor = 0.05;  // Float rounding only.
+  raw_traits.max_expansion = 1.1;  // 12 bytes/point + 8-byte header.
+
+  // Range image resamples onto the sensor grid: per-cell collapse and
+  // angular quantization make the error scale with range, not q. Judge it
+  // by reconstruction PSNR instead.
+  CodecTraits range_traits;
+  range_traits.preserves_count = false;
+  range_traits.bounded_error = false;
+  range_traits.min_d1_psnr = 20.0;
+
+  CodecTraits stream_traits = dbgc_traits;
+  stream_traits.max_expansion = 2.0;
+
+  codecs.push_back({"dbgc",
+                    std::make_unique<DbgcCodec>(ConformanceDbgcOptions()),
+                    dbgc_traits});
+  codecs.push_back({"octree", std::make_unique<OctreeCodec>(),
+                    octree_traits});
+  codecs.push_back({"octree_grouped", std::make_unique<OctreeGroupedCodec>(),
+                    octree_traits});
+  codecs.push_back({"kdtree", std::make_unique<KdTreeCodec>(),
+                    octree_traits});
+  codecs.push_back({"gpcc_like", std::make_unique<GpccLikeCodec>(),
+                    octree_traits});
+  codecs.push_back({"range_image", std::make_unique<RangeImageCodec>(),
+                    range_traits});
+  codecs.push_back({"raw", std::make_unique<RawCodec>(), raw_traits});
+  codecs.push_back({"stream", std::make_unique<StreamFrameCodec>(),
+                    stream_traits});
+  return codecs;
+}
+
+}  // namespace harness
+}  // namespace dbgc

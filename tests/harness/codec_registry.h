@@ -1,0 +1,55 @@
+// Registry of every geometry codec under conformance testing, with the
+// per-codec traits the differential oracle needs to know which checks
+// apply (count preservation, error bounds, size sanity).
+//
+// The registry is the single enumeration point for the golden-bitstream
+// vault, the differential oracle, and the fault-injection suites: adding a
+// codec here automatically puts it under all three.
+
+#ifndef DBGC_TESTS_HARNESS_CODEC_REGISTRY_H_
+#define DBGC_TESTS_HARNESS_CODEC_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codec/codec.h"
+
+namespace dbgc {
+namespace harness {
+
+/// What the differential oracle may assume about a codec's reconstruction.
+struct CodecTraits {
+  /// Decompress(Compress(PC, q)) has exactly |PC| points.
+  bool preserves_count = true;
+  /// Max nearest-neighbour Euclidean error is bounded by
+  /// error_factor * q_xyz.
+  bool bounded_error = true;
+  double error_factor = 2.0;
+  /// When bounded_error is false (resampling codecs), require at least this
+  /// D1 PSNR in dB instead; 0 disables the check.
+  double min_d1_psnr = 0.0;
+  /// |B| must not exceed max_expansion * raw bytes (12 per point) plus a
+  /// small constant header allowance.
+  double max_expansion = 2.0;
+};
+
+/// One codec under conformance.
+struct RegisteredCodec {
+  /// Stable identifier; names the golden file (tests/golden/<id>.golden).
+  std::string id;
+  std::unique_ptr<GeometryCodec> codec;
+  CodecTraits traits;
+};
+
+/// All eight registered codecs: dbgc, octree, octree_grouped, kdtree,
+/// gpcc_like, range_image, raw, stream.
+std::vector<RegisteredCodec> AllRegisteredCodecs();
+
+/// The error bound every conformance suite compresses under (meters).
+constexpr double kConformanceQ = 0.02;
+
+}  // namespace harness
+}  // namespace dbgc
+
+#endif  // DBGC_TESTS_HARNESS_CODEC_REGISTRY_H_

@@ -1,0 +1,60 @@
+#include "harness/corpus.h"
+
+namespace dbgc {
+namespace harness {
+
+namespace {
+
+// Sparsity tiers: stride over the generated frame. Tiers exercise the
+// dense/sparse split differently — at stride 8 DBGC still finds dense
+// clusters; at stride 96 nearly everything is sparse/outlier.
+struct Tier {
+  const char* name;
+  int stride;
+};
+constexpr Tier kTiers[] = {{"dense", 8}, {"mid", 24}, {"sparse", 96}};
+
+PointCloud Subsample(const PointCloud& full, int stride) {
+  PointCloud pc;
+  pc.Reserve(full.size() / stride + 1);
+  for (size_t i = 0; i < full.size(); i += stride) pc.Add(full[i]);
+  return pc;
+}
+
+}  // namespace
+
+std::vector<CorpusCase> BuildConformanceCorpus() {
+  std::vector<CorpusCase> corpus;
+  for (SceneType scene : AllSceneTypes()) {
+    const SceneGenerator gen(scene);
+    const PointCloud full = gen.Generate(0);
+    for (const Tier& tier : kTiers) {
+      CorpusCase c;
+      c.id = SceneTypeName(scene) + "_" + tier.name;
+      c.scene = scene;
+      c.stride = tier.stride;
+      c.cloud = Subsample(full, tier.stride);
+      corpus.push_back(std::move(c));
+    }
+  }
+  return corpus;
+}
+
+std::vector<CorpusCase> BuildFuzzCorpus() {
+  std::vector<CorpusCase> corpus;
+  // Two contrasting families keep the fault fan-out affordable: continuous
+  // facades (city) and open highway (road).
+  for (SceneType scene : {SceneType::kCity, SceneType::kRoad}) {
+    const SceneGenerator gen(scene);
+    CorpusCase c;
+    c.id = SceneTypeName(scene) + "_fuzz";
+    c.scene = scene;
+    c.stride = 48;
+    c.cloud = Subsample(gen.Generate(0), c.stride);
+    corpus.push_back(std::move(c));
+  }
+  return corpus;
+}
+
+}  // namespace harness
+}  // namespace dbgc

@@ -1,0 +1,38 @@
+// Deterministic conformance corpus: synthetic LiDAR frames stratified over
+// all six SceneTypes x three sparsity tiers. Equal seeds produce
+// bit-identical clouds, which is what lets the golden-bitstream vault pin
+// compressed outputs by hash.
+
+#ifndef DBGC_TESTS_HARNESS_CORPUS_H_
+#define DBGC_TESTS_HARNESS_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/point_cloud.h"
+#include "lidar/scene_generator.h"
+
+namespace dbgc {
+namespace harness {
+
+/// One corpus entry.
+struct CorpusCase {
+  std::string id;    ///< Stable name, e.g. "city_mid" — keys golden entries.
+  SceneType scene;
+  int stride;        ///< Subsampling stride applied to the full frame.
+  PointCloud cloud;
+};
+
+/// The full stratified corpus: every SceneType at dense / mid / sparse
+/// subsampling. Deterministic across runs and builds.
+std::vector<CorpusCase> BuildConformanceCorpus();
+
+/// A small corpus (one mid-density case per scene family subset) for
+/// fault-injection budgets, where each case fans out into many corrupted
+/// variants per codec.
+std::vector<CorpusCase> BuildFuzzCorpus();
+
+}  // namespace harness
+}  // namespace dbgc
+
+#endif  // DBGC_TESTS_HARNESS_CORPUS_H_

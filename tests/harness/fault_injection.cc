@@ -1,0 +1,116 @@
+#include "harness/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dbgc {
+namespace harness {
+
+std::string FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kByteFlip:
+      return "byte_flip";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kSplice:
+      return "splice";
+    case FaultKind::kLengthTamper:
+      return "length_tamper";
+    case FaultKind::kVarintOverflow:
+      return "varint_overflow";
+  }
+  return "unknown";
+}
+
+ByteBuffer FaultInjector::ByteFlips(const ByteBuffer& in, int flips) {
+  ByteBuffer out = in;
+  if (out.empty()) return out;
+  for (int i = 0; i < flips; ++i) {
+    const size_t pos = rng_.NextBounded(out.size());
+    out.mutable_bytes()[pos] ^=
+        static_cast<uint8_t>(1 + rng_.NextBounded(255));
+  }
+  return out;
+}
+
+ByteBuffer FaultInjector::Truncate(const ByteBuffer& in, size_t keep) {
+  ByteBuffer out;
+  out.Append(in.data(), std::min(keep, in.size()));
+  return out;
+}
+
+ByteBuffer FaultInjector::Splice(const ByteBuffer& a, const ByteBuffer& b) {
+  ByteBuffer out;
+  const size_t cut_a = a.empty() ? 0 : rng_.NextBounded(a.size() + 1);
+  const size_t cut_b = b.empty() ? 0 : rng_.NextBounded(b.size() + 1);
+  out.Append(a.data(), cut_a);
+  out.Append(b.data() + cut_b, b.size() - cut_b);
+  return out;
+}
+
+ByteBuffer FaultInjector::TamperLength(const ByteBuffer& in) {
+  ByteBuffer out = in;
+  if (out.size() < 8) return out;
+  const uint64_t hostile[] = {
+      0xFFFFFFFFFFFFFFFFULL,           // All ones: remaining() comparisons.
+      0xFFFFFFFFFFFFFFF8ULL,           // offset + len wraparound probe.
+      kMaxReasonableCount + 1,         // Just past the containment bound.
+      static_cast<uint64_t>(in.size()) * 2,  // Plausible but too large.
+  };
+  const uint64_t v = hostile[rng_.NextBounded(4)];
+  const size_t pos = rng_.NextBounded(out.size() - 7);
+  for (int i = 0; i < 8; ++i) {
+    out.mutable_bytes()[pos + i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+  return out;
+}
+
+ByteBuffer FaultInjector::VarintOverflow(const ByteBuffer& in) {
+  ByteBuffer out = in;
+  if (out.empty()) return out;
+  const size_t pos = rng_.NextBounded(out.size());
+  const size_t run = std::min<size_t>(10, out.size() - pos);
+  for (size_t i = 0; i < run; ++i) {
+    out.mutable_bytes()[pos + i] |= 0x80;
+  }
+  return out;
+}
+
+std::vector<InjectedFault> FaultInjector::AllFaults(const ByteBuffer& in,
+                                                    const ByteBuffer& other,
+                                                    int rounds) {
+  std::vector<InjectedFault> faults;
+  faults.reserve(static_cast<size_t>(rounds) * 5);
+  for (int r = 0; r < rounds; ++r) {
+    const std::string tag = " round " + std::to_string(r);
+    faults.push_back({FaultKind::kByteFlip, "byte_flip" + tag,
+                      ByteFlips(in, 1 + static_cast<int>(rng_.NextBounded(8)))});
+    const size_t keep = in.empty() ? 0 : rng_.NextBounded(in.size());
+    faults.push_back({FaultKind::kTruncate,
+                      "truncate to " + std::to_string(keep) + tag,
+                      Truncate(in, keep)});
+    faults.push_back({FaultKind::kSplice, "splice" + tag, Splice(in, other)});
+    faults.push_back({FaultKind::kLengthTamper, "length_tamper" + tag,
+                      TamperLength(in)});
+    faults.push_back({FaultKind::kVarintOverflow, "varint_overflow" + tag,
+                      VarintOverflow(in)});
+  }
+  return faults;
+}
+
+void ExpectDecodeContained(const GeometryCodec& codec,
+                           const ByteBuffer& stream,
+                           const std::string& context) {
+  auto decoded = codec.Decompress(stream);
+  if (decoded.ok()) {
+    EXPECT_LE(decoded.value().size(), kMaxReasonableCount)
+        << codec.name() << ": unbounded cloud from corrupted stream ("
+        << context << ")";
+  }
+  // A non-OK Status is containment by definition; the sanitizer build
+  // verifies no over-read happened on the way there.
+}
+
+}  // namespace harness
+}  // namespace dbgc

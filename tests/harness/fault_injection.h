@@ -1,0 +1,96 @@
+// Structured fault injection for bitstream decoders.
+//
+// Generalizes the ad-hoc mutate/truncate loops of the original corruption
+// fuzzing into a library of named fault classes, each targeting a failure
+// mode the decoders must contain:
+//   - byte flips:        arbitrary content corruption
+//   - truncation:        streams cut mid-structure
+//   - splice:            a valid prefix grafted onto a different stream's
+//                        suffix (desynchronized sections)
+//   - length tampering:  64-bit length-prefix fields inflated to huge or
+//                        wrapped values (allocation bombs, offset overflow)
+//   - varint overflow:   forced LEB128 continuation runs (>64-bit values)
+//
+// "Contained" means: Decompress either returns a non-OK Status, or returns
+// a cloud whose size is allocation-bounded (<= kMaxReasonableCount). It
+// must never crash, over-read, or attempt an unbounded allocation — the
+// properties the sanitizer builds then verify mechanically.
+
+#ifndef DBGC_TESTS_HARNESS_FAULT_INJECTION_H_
+#define DBGC_TESTS_HARNESS_FAULT_INJECTION_H_
+
+#include <string>
+#include <vector>
+
+#include "bitio/byte_buffer.h"
+#include "codec/codec.h"
+#include "common/rng.h"
+
+namespace dbgc {
+namespace harness {
+
+/// The fault classes, in AllFaults emission order.
+enum class FaultKind {
+  kByteFlip,
+  kTruncate,
+  kSplice,
+  kLengthTamper,
+  kVarintOverflow,
+};
+
+/// Display name of a fault kind ("byte_flip", ...).
+std::string FaultKindName(FaultKind kind);
+
+/// One corrupted stream plus its provenance, for failure messages.
+struct InjectedFault {
+  FaultKind kind;
+  std::string description;
+  ByteBuffer stream;
+};
+
+/// Deterministic fault generator; equal seeds yield equal fault sequences.
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+  /// XORs `flips` random bytes with random non-zero masks.
+  ByteBuffer ByteFlips(const ByteBuffer& in, int flips);
+
+  /// Keeps the first `keep` bytes (keep may exceed the size; then no-op).
+  ByteBuffer Truncate(const ByteBuffer& in, size_t keep);
+
+  /// Prefix of `a` up to a random split, then the suffix of `b` from an
+  /// independently chosen split.
+  ByteBuffer Splice(const ByteBuffer& a, const ByteBuffer& b);
+
+  /// Overwrites 8 consecutive bytes at a random offset with a hostile
+  /// little-endian 64-bit value (all-ones, near-2^64 wrap candidates,
+  /// kMaxReasonableCount+1, or 2x the stream size) — aimed at the 64-bit
+  /// length prefixes every codec writes.
+  ByteBuffer TamperLength(const ByteBuffer& in);
+
+  /// Sets the LEB128 continuation bit on 10 consecutive bytes at a random
+  /// offset, forcing any varint parsed there to run past 64 bits.
+  ByteBuffer VarintOverflow(const ByteBuffer& in);
+
+  /// `rounds` variants of every fault kind applied to `in` (`other` donates
+  /// the splice suffix; pass `in` itself if nothing else is at hand).
+  std::vector<InjectedFault> AllFaults(const ByteBuffer& in,
+                                       const ByteBuffer& other, int rounds);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  Rng rng_;
+};
+
+/// Asserts (gtest EXPECT) that decoding `stream` with `codec` is contained:
+/// error Status or a bounded cloud. `context` labels failures.
+void ExpectDecodeContained(const GeometryCodec& codec,
+                           const ByteBuffer& stream,
+                           const std::string& context);
+
+}  // namespace harness
+}  // namespace dbgc
+
+#endif  // DBGC_TESTS_HARNESS_FAULT_INJECTION_H_

@@ -1,0 +1,86 @@
+#include "harness/golden.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace dbgc {
+namespace harness {
+
+uint64_t Fnv1a64(const uint8_t* data, size_t n) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::string HashHex(const ByteBuffer& buf) {
+  char out[17];
+  std::snprintf(out, sizeof(out), "%016llx",
+                static_cast<unsigned long long>(Fnv1a64(buf.data(),
+                                                       buf.size())));
+  return out;
+}
+
+std::string GoldenDir() {
+  if (const char* env = std::getenv("DBGC_GOLDEN_DIR");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+#ifdef DBGC_GOLDEN_DIR
+  return DBGC_GOLDEN_DIR;
+#else
+  return "tests/golden";
+#endif
+}
+
+std::string GoldenPath(const std::string& codec_id) {
+  return GoldenDir() + "/" + codec_id + ".golden";
+}
+
+bool RegenRequested() {
+  const char* env = std::getenv("DBGC_REGEN_GOLDEN");
+  return env != nullptr && env[0] != '\0' && std::string(env) != "0";
+}
+
+Result<std::vector<GoldenEntry>> LoadGoldenFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IOError("golden file not found: " + path);
+  }
+  std::vector<GoldenEntry> entries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    GoldenEntry e;
+    if (!(ls >> e.case_id >> e.size >> e.hash) || e.hash.size() != 16) {
+      return Status::Corruption("malformed golden line in " + path + ": " +
+                                line);
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+Status WriteGoldenFile(const std::string& path,
+                       const std::vector<GoldenEntry>& entries) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot write golden file: " + path);
+  }
+  out << "# <case_id> <compressed_size_bytes> <fnv1a64_hex>\n"
+      << "# Regenerate: DBGC_REGEN_GOLDEN=1 ctest -R GoldenBitstream\n";
+  for (const GoldenEntry& e : entries) {
+    out << e.case_id << " " << e.size << " " << e.hash << "\n";
+  }
+  out.close();
+  if (!out) return Status::IOError("short write to golden file: " + path);
+  return Status::OK();
+}
+
+}  // namespace harness
+}  // namespace dbgc

@@ -1,0 +1,57 @@
+// Golden bitstream vault: compressed outputs of the conformance corpus are
+// pinned by size + FNV-1a hash in text files committed under tests/golden/.
+// A hash mismatch means the on-wire format changed; the test failure text
+// tells the reader how to distinguish an intentional format change
+// (regenerate with DBGC_REGEN_GOLDEN=1) from a regression.
+
+#ifndef DBGC_TESTS_HARNESS_GOLDEN_H_
+#define DBGC_TESTS_HARNESS_GOLDEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bitio/byte_buffer.h"
+#include "common/status.h"
+
+namespace dbgc {
+namespace harness {
+
+/// 64-bit FNV-1a over a byte span.
+uint64_t Fnv1a64(const uint8_t* data, size_t n);
+
+/// Fnv1a64 of a buffer, rendered as 16 lowercase hex digits.
+std::string HashHex(const ByteBuffer& buf);
+
+/// One pinned bitstream: (corpus case, compressed size, content hash).
+struct GoldenEntry {
+  std::string case_id;
+  uint64_t size = 0;
+  std::string hash;  // 16 hex digits.
+};
+
+/// Directory holding the committed golden files. Compiled in via the
+/// DBGC_GOLDEN_DIR definition; the DBGC_GOLDEN_DIR environment variable
+/// overrides it.
+std::string GoldenDir();
+
+/// Path of one codec's golden file: <GoldenDir()>/<codec_id>.golden.
+std::string GoldenPath(const std::string& codec_id);
+
+/// True when DBGC_REGEN_GOLDEN is set to a non-empty, non-"0" value: tests
+/// rewrite the vault instead of comparing against it.
+bool RegenRequested();
+
+/// Parses a golden file. A missing file is IOError (the caller turns that
+/// into a "run with DBGC_REGEN_GOLDEN=1" failure); a malformed line is
+/// Corruption.
+Result<std::vector<GoldenEntry>> LoadGoldenFile(const std::string& path);
+
+/// Writes entries to `path` (with a header comment), replacing the file.
+Status WriteGoldenFile(const std::string& path,
+                       const std::vector<GoldenEntry>& entries);
+
+}  // namespace harness
+}  // namespace dbgc
+
+#endif  // DBGC_TESTS_HARNESS_GOLDEN_H_

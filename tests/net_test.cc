@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "core/error_metrics.h"
+#include "harness/fault_injection.h"
 #include "lidar/scene_generator.h"
 #include "net/channel.h"
 #include "net/client.h"
@@ -67,6 +68,45 @@ TEST(FrameProtocolTest, BadMagicAndTruncation) {
   ByteBuffer truncated;
   truncated.Append(wire.data(), wire.size() - 1);
   EXPECT_FALSE(FrameProtocol::Parse(truncated).ok());
+}
+
+TEST(FrameProtocolTest, ExhaustiveTruncationSweep) {
+  // Round-trip under truncation at EVERY prefix length: the parser must
+  // reject all of them cleanly (header cuts, length-field cuts, payload
+  // cuts) and accept only the complete frame.
+  Frame frame;
+  frame.frame_id = 77;
+  for (int i = 0; i < 256; ++i) {
+    frame.payload.AppendByte(static_cast<uint8_t>(i));
+  }
+  const ByteBuffer wire = FrameProtocol::Serialize(frame);
+  harness::FaultInjector injector(11);
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    EXPECT_FALSE(FrameProtocol::Parse(injector.Truncate(wire, cut)).ok())
+        << "truncated frame accepted at prefix length " << cut;
+  }
+  auto parsed = FrameProtocol::Parse(wire);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().payload, frame.payload);
+}
+
+TEST(FrameProtocolTest, StructuredFaultsRejectedOrExact) {
+  Frame frame;
+  frame.frame_id = 78;
+  for (int i = 0; i < 512; ++i) {
+    frame.payload.AppendByte(static_cast<uint8_t>(i * 13));
+  }
+  const ByteBuffer wire = FrameProtocol::Serialize(frame);
+  harness::FaultInjector injector(12);
+  for (const harness::InjectedFault& fault :
+       injector.AllFaults(wire, wire, 16)) {
+    auto parsed = FrameProtocol::Parse(fault.stream);
+    if (!parsed.ok()) continue;
+    // Anything accepted must be byte-exact: the header fields and FNV
+    // checksum leave no room for a silently different payload.
+    EXPECT_EQ(parsed.value().payload, frame.payload)
+        << "corrupted frame accepted (" << fault.description << ")";
+  }
 }
 
 TEST(ClientServerTest, EndToEndPipeline) {
