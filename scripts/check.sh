@@ -2,13 +2,13 @@
 # CI driver: tier-1 verify plus a sanitizer pass over the conformance and
 # fault-injection surfaces (docs/TESTING.md).
 #
-#   scripts/check.sh            # tier-1 + ASan/UBSan fast+fuzz
+#   scripts/check.sh            # tier-1 + lint + hardened + sanitizers
 #   scripts/check.sh --full     # also runs slow-labeled tests under ASan
-#   scripts/check.sh --tier1    # tier-1 only (no sanitizer build)
+#   scripts/check.sh --tier1    # tier-1 only (no lint/sanitizer builds)
 #
 # CTest labels shard the suite: fast (unit/conformance, < ~60 s even
 # sanitized), slow (end-to-end + differential oracle), fuzz (corruption and
-# fault-injection suites).
+# fault-injection suites), lint (dbgc_lint gate, docs/LINTING.md).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,9 +22,23 @@ cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 if [[ "${MODE}" == "--tier1" ]]; then
-  echo "==> tier-1 OK (sanitizer pass skipped)"
+  echo "==> tier-1 OK (lint/sanitizer passes skipped)"
   exit 0
 fi
+
+echo "==> lint gate: dbgc_lint over src/ + self-test corpus"
+ctest --test-dir build -L lint --output-on-failure -j "${JOBS}"
+
+# Compile-only gate over the library and lint tool; tests are exercised by
+# the tier-1 and sanitizer builds above and stay on the permissive warning
+# set (gtest macros trip -Wconversion).
+echo "==> hardened build: -Wshadow -Wconversion -Werror"
+cmake -B build-werror -S . \
+  -DDBGC_WERROR=ON \
+  -DDBGC_BUILD_TESTS=OFF \
+  -DDBGC_BUILD_BENCHMARKS=OFF \
+  -DDBGC_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-werror -j "${JOBS}"
 
 echo "==> sanitizer pass: ASan+UBSan build"
 cmake -B build-asan -S . \
@@ -44,5 +58,15 @@ fi
 ASAN_OPTIONS="abort_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="print_stacktrace=1" \
 ctest --test-dir build-asan -L "${SAN_LABELS}" --output-on-failure -j "${JOBS}"
+
+echo "==> sanitizer pass: TSan concurrency smoke"
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDBGC_SANITIZE=thread \
+  -DDBGC_BUILD_BENCHMARKS=OFF \
+  -DDBGC_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j "${JOBS}" --target concurrency_smoke_test
+TSAN_OPTIONS="halt_on_error=1" \
+ctest --test-dir build-tsan -R ConcurrencySmoke --output-on-failure -j "${JOBS}"
 
 echo "==> all checks passed"

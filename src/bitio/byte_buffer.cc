@@ -73,9 +73,7 @@ Status ByteReader::ReadDouble(double* out) {
 Status ByteReader::ReadLengthPrefixed(ByteBuffer* out) {
   uint64_t len;
   DBGC_RETURN_NOT_OK(ReadUint64(&len));
-  if (remaining() < len) {
-    return Status::Corruption("length-prefixed block exceeds buffer");
-  }
+  DBGC_BOUND(len, remaining(), "length-prefixed block");
   out->Clear();
   out->Append(data_ + pos_, len);
   pos_ += len;

@@ -10,13 +10,16 @@
 #include <string>
 #include <vector>
 
+#include "common/contracts.h"
 #include "common/status.h"
 
 namespace dbgc {
 
 /// Upper bound on element counts parsed from untrusted streams; decoders
 /// reject larger values before allocating (corruption containment).
-constexpr uint64_t kMaxReasonableCount = 1ULL << 28;
+/// Alias of kMaxDecodedElements (common/contracts.h), kept for existing
+/// call sites.
+inline constexpr uint64_t kMaxReasonableCount = kMaxDecodedElements;
 
 /// A growable byte sequence with typed little-endian append helpers.
 class ByteBuffer {

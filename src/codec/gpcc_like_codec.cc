@@ -275,9 +275,8 @@ Result<PointCloud> GpccLikeCodec::Decompress(const ByteBuffer& buffer) const {
   }
   uint64_t count;
   DBGC_RETURN_NOT_OK(GetVarint64(&reader, &count));
-  if (count > kMaxReasonableCount) {
-    return Status::Corruption("gpcc codec: implausible point count");
-  }
+  DBGC_BOUND(count, kMaxDecodedElements, "gpcc codec point count");
+  const BoundedAlloc alloc(reader.remaining());
   PointCloud pc;
   if (count == 0) return pc;
   ByteBuffer coder_stream, counts_stream;
@@ -310,7 +309,10 @@ Result<PointCloud> GpccLikeCodec::Decompress(const ByteBuffer& buffer) const {
   }
 
   const double leaf_side = root.side / std::ldexp(1.0, depth);
-  pc.Reserve(count);
+  // Entropy-coded points have no whole-byte stream cost, so the up-front
+  // reservation is speculative (clamped); the count itself was validated
+  // against the decoded leaves above.
+  DBGC_RETURN_NOT_OK(alloc.ReserveSpeculative(&pc, count, "gpcc codec points"));
   for (const auto& [key, n] : leaves) {
     uint32_t ix, iy, iz;
     MortonDecode3(key, &ix, &iy, &iz);

@@ -15,6 +15,8 @@
 #ifndef DBGC_CODEC_GPCC_LIKE_CODEC_H_
 #define DBGC_CODEC_GPCC_LIKE_CODEC_H_
 
+#include <string>
+
 #include "codec/codec.h"
 
 namespace dbgc {

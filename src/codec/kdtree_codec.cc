@@ -164,12 +164,9 @@ Result<PointCloud> KdTreeCodec::Decompress(const ByteBuffer& buffer) const {
   DBGC_RETURN_NOT_OK(reader.ReadDouble(&step));
   uint8_t qb;
   DBGC_RETURN_NOT_OK(reader.ReadByte(&qb));
-  if (qb > kMaxQuantBits) return Status::Corruption("kd codec: bad qb");
+  DBGC_BOUND(qb, kMaxQuantBits, "kd codec quant bits");
   uint64_t count;
   DBGC_RETURN_NOT_OK(GetVarint64(&reader, &count));
-  if (count > kMaxReasonableCount) {
-    return Status::Corruption("kd codec: implausible point count");
-  }
   // The split coder always emits bits for a non-trivial tree, so a count
   // wildly out of proportion to the stream length can only come from a
   // corrupted header. Rejecting it here bounds the decode loop, which
@@ -188,7 +185,10 @@ Result<PointCloud> KdTreeCodec::Decompress(const ByteBuffer& buffer) const {
   root.size = {1u << qb, 1u << qb, 1u << qb};
   ArithmeticDecoder dec(stream);
   std::vector<IntPoint> points;
-  points.reserve(count);
+  // Points are entropy-coded with no whole-byte cost floor, so only the
+  // speculative clamp protects the up-front reservation.
+  const BoundedAlloc alloc(stream.size());
+  DBGC_RETURN_NOT_OK(alloc.ReserveSpeculative(&points, count, "kd codec points"));
   DecodeRecursive(&dec, root, static_cast<uint32_t>(count), &points);
 
   pc.Reserve(points.size());

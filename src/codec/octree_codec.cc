@@ -54,16 +54,16 @@ Result<OctreeStructure> OctreeCodec::DeserializeStructure(
   tree.depth = depth;
   uint64_t num_leaves;
   DBGC_RETURN_NOT_OK(GetVarint64(&reader, &num_leaves));
-  if (num_leaves > kMaxReasonableCount) {
-    return Status::Corruption("octree codec: implausible leaf count");
-  }
+  DBGC_BOUND(num_leaves, kMaxDecodedElements, "octree codec leaf count");
+  const BoundedAlloc alloc(reader.remaining());
   ByteBuffer occupancy_stream;
   DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&occupancy_stream));
   ByteBuffer counts_stream;
   DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&counts_stream));
 
   if (num_leaves == 0) {
-    tree.levels.assign(tree.depth, {});
+    DBGC_RETURN_NOT_OK(alloc.Resize(&tree.levels, tree.depth,
+                                    /*min_bytes_each=*/0, "octree levels"));
     return tree;
   }
 
@@ -71,11 +71,15 @@ Result<OctreeStructure> OctreeCodec::DeserializeStructure(
   // the popcounts of the previous level.
   AdaptiveModel model(256);
   ArithmeticDecoder dec(occupancy_stream);
-  tree.levels.assign(tree.depth, {});
+  DBGC_RETURN_NOT_OK(alloc.Resize(&tree.levels, tree.depth,
+                                  /*min_bytes_each=*/0, "octree levels"));
   size_t nodes_at_level = 1;
   for (int l = 0; l < tree.depth; ++l) {
     auto& level = tree.levels[l];
-    level.reserve(nodes_at_level);
+    // Occupancy codes are entropy-coded: no whole-byte floor, so the
+    // reservation is speculative (clamped) and the vector grows on demand.
+    DBGC_RETURN_NOT_OK(
+        alloc.ReserveSpeculative(&level, nodes_at_level, "octree level"));
     size_t children = 0;
     for (size_t i = 0; i < nodes_at_level; ++i) {
       const uint32_t target = dec.DecodeTarget(model.total());
@@ -104,7 +108,8 @@ Result<OctreeStructure> OctreeCodec::DeserializeStructure(
   if (extra_counts.size() != num_leaves) {
     return Status::Corruption("octree codec: counts stream mismatch");
   }
-  tree.leaf_counts.reserve(num_leaves);
+  DBGC_RETURN_NOT_OK(alloc.ReserveSpeculative(&tree.leaf_counts, num_leaves,
+                                               "octree leaf counts"));
   uint64_t total_points = 0;
   for (uint64_t c : extra_counts) {
     // c + 1 must not wrap the uint32 narrowing, and the sum bounds what

@@ -91,15 +91,15 @@ Result<PointCloud> OctreeGroupedCodec::Decompress(
   tree.depth = depth;
   uint64_t num_leaves;
   DBGC_RETURN_NOT_OK(GetVarint64(&reader, &num_leaves));
-  if (num_leaves > kMaxReasonableCount) {
-    return Status::Corruption("octree_i codec: implausible leaf count");
-  }
+  DBGC_BOUND(num_leaves, kMaxDecodedElements, "octree_i codec leaf count");
+  const BoundedAlloc alloc(reader.remaining());
   ByteBuffer occupancy_stream;
   DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&occupancy_stream));
   ByteBuffer counts_stream;
   DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&counts_stream));
 
-  tree.levels.assign(tree.depth, {});
+  DBGC_RETURN_NOT_OK(alloc.Resize(&tree.levels, tree.depth,
+                                  /*min_bytes_each=*/0, "octree_i levels"));
   if (num_leaves == 0) return Octree::ExtractPoints(tree);
 
   ContextModels contexts;

@@ -12,6 +12,8 @@
 #ifndef DBGC_CODEC_OCTREE_GROUPED_CODEC_H_
 #define DBGC_CODEC_OCTREE_GROUPED_CODEC_H_
 
+#include <string>
+
 #include "codec/codec.h"
 #include "spatial/octree.h"
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bitio/varint.h"
+#include "common/safe_math.h"
 #include "encoding/value_codec.h"
 #include "entropy/binary_coder.h"
 #include "lidar/spherical.h"
@@ -111,19 +112,30 @@ Result<PointCloud> RangeImageCodec::Decompress(
   uint64_t width, height;
   DBGC_RETURN_NOT_OK(GetVarint64(&reader, &width));
   DBGC_RETURN_NOT_OK(GetVarint64(&reader, &height));
-  // Check each dimension before forming the product: width * height wraps
-  // for dimensions near 2^32, and a wrapped small product would pass the
-  // area check while row * width + col indexes far outside the bitmap.
-  if (width == 0 || height == 0 || width > (1ULL << 28) ||
-      height > (1ULL << 28) || width * height > (1ULL << 28)) {
+  // Bound each dimension, then form the area with checked multiplication:
+  // width * height wraps for dimensions near 2^32, and a wrapped small
+  // product would pass an area check while row * width + col indexes far
+  // outside the bitmap.
+  if (width == 0 || height == 0) {
     return Status::Corruption("range image: implausible grid");
   }
+  DBGC_BOUND(width, kMaxDecodedElements, "range image width");
+  DBGC_BOUND(height, kMaxDecodedElements, "range image height");
+  const std::optional<uint64_t> area = CheckedMul(width, height);
+  if (!area || *area > kMaxDecodedElements) {
+    return Status::Corruption("range image: implausible grid");
+  }
+  const BoundedAlloc alloc(reader.remaining());
   ByteBuffer occupancy_stream, range_stream;
   DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&occupancy_stream));
   DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&range_stream));
 
   BinaryDecoder occupancy(occupancy_stream, kNumContexts);
-  std::vector<uint8_t> occupied(width * height, 0);
+  // Occupancy bits are entropy-coded (no whole-byte floor per cell), so the
+  // bitmap is bounded by the absolute element cap rather than stream bytes.
+  std::vector<uint8_t> occupied;
+  DBGC_RETURN_NOT_OK(
+      alloc.Resize(&occupied, *area, /*min_bytes_each=*/0, "range bitmap"));
   size_t num_occupied = 0;
   for (uint64_t row = 0; row < height; ++row) {
     for (uint64_t col = 0; col < width; ++col) {
@@ -143,7 +155,7 @@ Result<PointCloud> RangeImageCodec::Decompress(
   }
 
   PointCloud pc;
-  pc.Reserve(num_occupied);
+  pc.Reserve(deltas.size());  // == num_occupied, already materialized.
   size_t cursor = 0;
   for (uint64_t row = 0; row < height; ++row) {
     int64_t prev = 0;
@@ -151,8 +163,9 @@ Result<PointCloud> RangeImageCodec::Decompress(
       if (!occupied[row * width + col]) continue;
       prev += deltas[cursor++];
       const double r = static_cast<double>(prev) * step;
-      const double theta = theta_min + (col + 0.5) * u_theta;
-      const double phi = phi_max - (row + 0.5) * u_phi;
+      const double theta =
+          theta_min + (static_cast<double>(col) + 0.5) * u_theta;
+      const double phi = phi_max - (static_cast<double>(row) + 0.5) * u_phi;
       pc.Add(SphericalToCartesian(SphericalPoint{theta, phi, r}));
     }
   }

@@ -15,6 +15,8 @@
 #ifndef DBGC_CODEC_RANGE_IMAGE_CODEC_H_
 #define DBGC_CODEC_RANGE_IMAGE_CODEC_H_
 
+#include <string>
+
 #include "codec/codec.h"
 #include "lidar/sensor_model.h"
 

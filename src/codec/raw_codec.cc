@@ -24,13 +24,13 @@ Result<PointCloud> RawCodec::Decompress(const ByteBuffer& buffer) const {
   ByteReader reader(buffer);
   uint64_t count;
   DBGC_RETURN_NOT_OK(reader.ReadUint64(&count));
-  // Divide instead of multiplying: count * 12 wraps for counts near 2^61,
-  // sneaking a huge count past the truncation check.
-  if (count > reader.remaining() / 12) {
-    return Status::Corruption("raw codec: truncated point data");
-  }
+  // Each point costs 12 whole stream bytes, so the stream budget bounds the
+  // count exactly; BoundedAlloc divides rather than multiplies so counts
+  // near 2^61 cannot wrap past the check.
   PointCloud pc;
-  pc.Reserve(count);
+  const BoundedAlloc alloc(reader.remaining());
+  DBGC_RETURN_NOT_OK(alloc.Reserve(&pc, count, /*min_bytes_each=*/12,
+                                   "raw codec points"));
   for (uint64_t i = 0; i < count; ++i) {
     uint8_t bytes[12];
     DBGC_RETURN_NOT_OK(reader.Read(bytes, 12));

@@ -5,6 +5,8 @@
 #ifndef DBGC_CODEC_RAW_CODEC_H_
 #define DBGC_CODEC_RAW_CODEC_H_
 
+#include <string>
+
 #include "codec/codec.h"
 
 namespace dbgc {

@@ -1,0 +1,32 @@
+// DBGC_CHECK: hardened invariant check, active in every build type.
+//
+// Split out of contracts.h so that status.h (which contracts.h depends on)
+// can use it without an include cycle. Most code should include
+// common/contracts.h, which re-exports this header.
+
+#ifndef DBGC_COMMON_CHECK_H_
+#define DBGC_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dbgc::internal {
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "%s:%d: DBGC_CHECK failed: %s\n", file, line, expr);
+  std::abort();
+}
+}  // namespace dbgc::internal
+
+/// Hardened invariant check: active in all build types (unlike assert).
+/// Use for programmer-error invariants, never for untrusted input — decode
+/// paths must return Status::Corruption (see DBGC_BOUND in
+/// common/contracts.h) so a hostile bitstream cannot take the process down.
+#define DBGC_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::dbgc::internal::CheckFailed(__FILE__, __LINE__, #cond);       \
+    }                                                                 \
+  } while (false)
+
+#endif  // DBGC_COMMON_CHECK_H_

@@ -1,0 +1,143 @@
+// Decoder-safety contracts: hardened invariant checks and bounded
+// allocation for values parsed from untrusted streams.
+//
+// Three layers (docs/LINTING.md describes the lint rules that enforce them):
+//
+//   DBGC_CHECK(cond)        — hardened assert for *internal* invariants.
+//                             Active in every build type; aborts with
+//                             file:line on violation. Library code uses this
+//                             instead of assert() (lint rule R4).
+//   DBGC_BOUND(v, lim, what)— decode-path guard for *untrusted* values:
+//                             returns Status::Corruption from the enclosing
+//                             function when v > lim.
+//   BoundedAlloc            — sizes every decoder allocation against the
+//                             bytes actually remaining in the stream, so a
+//                             lying header cannot trigger a multi-GB
+//                             allocation before the decode loop has produced
+//                             a single element (lint rule R2).
+
+#ifndef DBGC_COMMON_CONTRACTS_H_
+#define DBGC_COMMON_CONTRACTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace dbgc {
+
+/// Upper bound on element counts parsed from untrusted streams; decoders
+/// reject larger values before allocating (corruption containment).
+inline constexpr uint64_t kMaxDecodedElements = 1ULL << 28;
+
+/// Cap on speculative reserves for entropy-coded element streams, where the
+/// per-element stream cost can be well under one byte and the stream length
+/// therefore gives no useful bound. The container still grows on demand;
+/// only the up-front reservation is clamped.
+inline constexpr uint64_t kSpeculativeReserveLimit = 1ULL << 20;
+
+/// Rejects an untrusted value exceeding `limit` by returning
+/// Status::Corruption("<what>: value exceeds bound") from the enclosing
+/// function. Only valid in functions returning Status or Result<T>.
+/// Passing a variable through DBGC_BOUND marks it size-sanitized for lint
+/// rule R3.
+#define DBGC_BOUND(value, limit, what)                                \
+  do {                                                                \
+    if (static_cast<uint64_t>(value) >                                \
+        static_cast<uint64_t>(limit)) {                               \
+      return ::dbgc::Status::Corruption(std::string(what) +           \
+                                        ": value exceeds bound");     \
+    }                                                                 \
+  } while (false)
+
+/// Caps decoder allocations against the bytes remaining in the untrusted
+/// stream they decode from.
+///
+/// Construct one per framed section with the reader's remaining byte count,
+/// then route every count-sized allocation through it:
+///
+///   BoundedAlloc alloc(reader.remaining());
+///   DBGC_RETURN_NOT_OK(alloc.Reserve(&pc, count, /*min_bytes_each=*/12,
+///                                    "raw codec points"));
+///
+/// Works with both STL containers (.reserve/.resize) and this library's
+/// PointCloud-style types (.Reserve).
+class BoundedAlloc {
+ public:
+  explicit constexpr BoundedAlloc(uint64_t stream_bytes,
+                                  uint64_t cap = kMaxDecodedElements)
+      : stream_bytes_(stream_bytes), cap_(cap) {}
+
+  /// True iff `count` elements, each of which must have consumed at least
+  /// `min_bytes_each` stream bytes to encode, can be present.
+  constexpr bool Fits(uint64_t count, uint64_t min_bytes_each) const {
+    if (count > cap_) return false;
+    // Divide instead of multiplying: count * min_bytes_each can wrap.
+    if (min_bytes_each == 0) return true;
+    return count <= stream_bytes_ / min_bytes_each;
+  }
+
+  /// Validates `count` against the stream budget, then reserves. Use when
+  /// every element costs at least `min_bytes_each` whole stream bytes.
+  template <typename Container>
+  [[nodiscard]] Status Reserve(Container* c, uint64_t count,
+                               uint64_t min_bytes_each,
+                               const char* what) const {
+    DBGC_RETURN_NOT_OK(Check(count, min_bytes_each, what));
+    DoReserve(c, static_cast<size_t>(count));
+    return Status::OK();
+  }
+
+  /// Validates `count` against the stream budget, then resizes (value
+  /// initializing new elements).
+  template <typename Container>
+  [[nodiscard]] Status Resize(Container* c, uint64_t count,
+                              uint64_t min_bytes_each,
+                              const char* what) const {
+    DBGC_RETURN_NOT_OK(Check(count, min_bytes_each, what));
+    c->resize(static_cast<size_t>(count));
+    return Status::OK();
+  }
+
+  /// For entropy-coded elements with no whole-byte cost floor: validates
+  /// `count` against the absolute cap only, then reserves
+  /// min(count, kSpeculativeReserveLimit). The container still grows on
+  /// demand past the clamp; a lying header just loses its pre-allocation.
+  template <typename Container>
+  [[nodiscard]] Status ReserveSpeculative(Container* c, uint64_t count,
+                                          const char* what) const {
+    DBGC_BOUND(count, cap_, what);
+    DoReserve(c, static_cast<size_t>(count < kSpeculativeReserveLimit
+                                         ? count
+                                         : kSpeculativeReserveLimit));
+    return Status::OK();
+  }
+
+  /// The validation half of Reserve, for callers that allocate elsewhere.
+  [[nodiscard]] Status Check(uint64_t count, uint64_t min_bytes_each,
+                             const char* what) const {
+    if (!Fits(count, min_bytes_each)) {
+      return Status::Corruption(std::string(what) +
+                                ": count exceeds stream budget");
+    }
+    return Status::OK();
+  }
+
+ private:
+  template <typename Container>
+  static void DoReserve(Container* c, size_t n) {
+    if constexpr (requires { c->reserve(n); }) {
+      c->reserve(n);
+    } else {
+      c->Reserve(n);
+    }
+  }
+
+  uint64_t stream_bytes_;
+  uint64_t cap_;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_COMMON_CONTRACTS_H_

@@ -1,0 +1,82 @@
+// Checked integer arithmetic for untrusted size fields.
+//
+// Decoders in this library consume adversarial bytes by design: every count,
+// length, or shift amount parsed from a bitstream can be attacker-chosen.
+// Raw `*`, `+`, and `<<` on such values wrap (or are UB for signed types)
+// and turn a corrupt header into an under-sized allocation or an
+// out-of-bounds index. These helpers make overflow a first-class, checkable
+// outcome: each returns std::optional and is empty exactly when the
+// mathematical result does not fit the operand type.
+//
+// dbgc_lint rule R3 requires arithmetic on decoded size fields to go through
+// this header (see docs/LINTING.md).
+
+#ifndef DBGC_COMMON_SAFE_MATH_H_
+#define DBGC_COMMON_SAFE_MATH_H_
+
+#include <concepts>
+#include <limits>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+namespace dbgc {
+
+/// a + b, or nullopt on overflow/underflow of T.
+template <std::integral T>
+constexpr std::optional<T> CheckedAdd(T a, T b) {
+  T out;
+  if (__builtin_add_overflow(a, b, &out)) return std::nullopt;
+  return out;
+}
+
+/// a - b, or nullopt on overflow/underflow of T.
+template <std::integral T>
+constexpr std::optional<T> CheckedSub(T a, T b) {
+  T out;
+  if (__builtin_sub_overflow(a, b, &out)) return std::nullopt;
+  return out;
+}
+
+/// a * b, or nullopt on overflow of T.
+template <std::integral T>
+constexpr std::optional<T> CheckedMul(T a, T b) {
+  T out;
+  if (__builtin_mul_overflow(a, b, &out)) return std::nullopt;
+  return out;
+}
+
+/// v << shift, or nullopt when the shift is >= the bit width of T, v is
+/// negative, or shifted-out bits would be lost (i.e. the result does not
+/// round-trip through >> shift).
+template <std::integral T>
+constexpr std::optional<T> CheckedShl(T v, unsigned shift) {
+  constexpr unsigned kWidth = std::numeric_limits<T>::digits +
+                              (std::is_signed_v<T> ? 1 : 0);
+  if (shift >= kWidth) return std::nullopt;
+  if constexpr (std::is_signed_v<T>) {
+    if (v < 0) return std::nullopt;
+  }
+  using U = std::make_unsigned_t<T>;
+  const U shifted = static_cast<U>(static_cast<U>(v) << shift);
+  if (static_cast<U>(shifted >> shift) != static_cast<U>(v)) {
+    return std::nullopt;
+  }
+  if constexpr (std::is_signed_v<T>) {
+    if (shifted > static_cast<U>(std::numeric_limits<T>::max())) {
+      return std::nullopt;
+    }
+  }
+  return static_cast<T>(shifted);
+}
+
+/// v converted to To, or nullopt when v is not representable in To.
+template <std::integral To, std::integral From>
+constexpr std::optional<To> CheckedCast(From v) {
+  if (!std::in_range<To>(v)) return std::nullopt;
+  return static_cast<To>(v);
+}
+
+}  // namespace dbgc
+
+#endif  // DBGC_COMMON_SAFE_MATH_H_

@@ -7,10 +7,11 @@
 #ifndef DBGC_COMMON_STATUS_H_
 #define DBGC_COMMON_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "common/check.h"
 
 namespace dbgc {
 
@@ -31,8 +32,10 @@ const char* StatusCodeToString(StatusCode code);
 /// Outcome of an operation: OK, or an error code with a message.
 ///
 /// Status is cheap to copy in the OK case (no allocation) and carries a
-/// message string only on error.
-class Status {
+/// message string only on error. [[nodiscard]]: silently dropping a Status
+/// hides decode failures, so every call must be checked or explicitly
+/// voided.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -90,13 +93,13 @@ class Status {
 ///   if (!r.ok()) return r.status();
 ///   int v = r.value();
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs a successful result holding `value`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   /// Constructs a failed result from a non-OK status.
   Result(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok());
+    DBGC_CHECK(!status_.ok());
   }
 
   /// True iff a value is present.
@@ -106,17 +109,17 @@ class Result {
 
   /// The contained value. Must only be called when ok().
   const T& value() const& {
-    assert(ok());
+    DBGC_CHECK(ok());
     return *value_;
   }
   /// Moves the contained value out. Must only be called when ok().
   T&& value() && {
-    assert(ok());
+    DBGC_CHECK(ok());
     return std::move(*value_);
   }
   /// Mutable access to the contained value. Must only be called when ok().
   T& value() & {
-    assert(ok());
+    DBGC_CHECK(ok());
     return *value_;
   }
 

@@ -69,7 +69,7 @@ Result<std::vector<float>> AttributeCodec::Decompress(
   const Quantizer quantizer(q_attr);
   const std::vector<int64_t> quantized = DeltaDecode(deltas);
   std::vector<float> values;
-  values.reserve(count);
+  values.reserve(quantized.size());  // == count, checked above.
   for (int64_t v : quantized) {
     values.push_back(static_cast<float>(quantizer.Reconstruct(v)));
   }

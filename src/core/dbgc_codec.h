@@ -13,6 +13,7 @@
 #define DBGC_CORE_DBGC_CODEC_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "codec/codec.h"

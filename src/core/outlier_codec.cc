@@ -54,14 +54,14 @@ Result<QuadtreeStructure> DeserializeQuadtree(ByteReader* reader) {
   tree.depth = depth;
   uint64_t num_leaves;
   DBGC_RETURN_NOT_OK(GetVarint64(reader, &num_leaves));
-  if (num_leaves > kMaxReasonableCount) {
-    return Status::Corruption("outlier codec: implausible leaf count");
-  }
+  DBGC_BOUND(num_leaves, kMaxDecodedElements, "outlier codec leaf count");
+  const BoundedAlloc alloc(reader->remaining());
   ByteBuffer occ_stream, counts_stream;
   DBGC_RETURN_NOT_OK(reader->ReadLengthPrefixed(&occ_stream));
   DBGC_RETURN_NOT_OK(reader->ReadLengthPrefixed(&counts_stream));
 
-  tree.levels.assign(tree.depth, {});
+  DBGC_RETURN_NOT_OK(alloc.Resize(&tree.levels, tree.depth,
+                                  /*min_bytes_each=*/0, "quadtree levels"));
   if (num_leaves == 0) return tree;
 
   AdaptiveModel model(16);
@@ -190,12 +190,12 @@ Result<PointCloud> OutlierCodec::Decompress(const ByteBuffer& buffer,
   ByteReader reader(buffer);
   uint64_t count;
   DBGC_RETURN_NOT_OK(GetVarint64(&reader, &count));
-  if (count > kMaxReasonableCount) {
-    return Status::Corruption("outlier codec: implausible count");
-  }
   PointCloud pc;
   if (count == 0) return pc;
-  pc.Reserve(count);
+  // kNone stores 12 whole bytes per point; the tree modes entropy-code
+  // them, so the shared up-front reservation is speculative (clamped).
+  const BoundedAlloc alloc(reader.remaining());
+  DBGC_RETURN_NOT_OK(alloc.ReserveSpeculative(&pc, count, "outlier points"));
 
   switch (mode) {
     case OutlierMode::kNone: {

@@ -1,14 +1,15 @@
 #include "core/point_grouper.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace dbgc {
 
 std::vector<std::vector<uint32_t>> GroupByRadialDistance(
     const std::vector<uint32_t>& indices, const std::vector<double>& radii,
     int num_groups) {
-  assert(indices.size() == radii.size());
+  DBGC_CHECK(indices.size() == radii.size());
   std::vector<std::vector<uint32_t>> groups(
       static_cast<size_t>(num_groups < 1 ? 1 : num_groups));
   if (indices.empty()) return groups;

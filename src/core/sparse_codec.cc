@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "bitio/varint.h"
+#include "common/safe_math.h"
 #include "encoding/delta.h"
 #include "encoding/value_codec.h"
 #include "entropy/arithmetic_coder.h"
@@ -212,13 +213,16 @@ Status SparseCodec::DecodeGroup(const ByteBuffer& buffer,
   if (lengths.size() != num_lines) {
     return Status::Corruption("sparse codec: length stream mismatch");
   }
-  size_t total_points = 0;
-  size_t total_tail = 0;
+  uint64_t total_points = 0;
   for (uint64_t l : lengths) {
     if (l == 0) return Status::Corruption("sparse codec: zero-length line");
-    total_points += l;
-    total_tail += l - 1;
+    const std::optional<uint64_t> sum = CheckedAdd(total_points, l);
+    if (!sum) return Status::Corruption("sparse codec: line length overflow");
+    total_points = *sum;
   }
+  DBGC_BOUND(total_points, kMaxDecodedElements, "sparse codec point total");
+  const uint64_t total_tail = total_points - lengths.size();
+  const BoundedAlloc alloc(buffer.size());
 
   // Theta.
   std::vector<uint8_t> head_bytes, tail_bytes;
@@ -242,11 +246,12 @@ Status SparseCodec::DecodeGroup(const ByteBuffer& buffer,
   const std::vector<int64_t> phi_heads = DeltaDecode(phi_head_deltas);
 
   // Rebuild polylines with theta/phi; r is filled by the replay below.
-  lines->reserve(num_lines);
+  lines->reserve(lengths.size());  // == num_lines, checked above.
   size_t tail_cursor = 0;
   for (size_t li = 0; li < num_lines; ++li) {
     Polyline line;
-    line.points.resize(lengths[li]);
+    DBGC_RETURN_NOT_OK(alloc.Resize(&line.points, lengths[li],
+                                    /*min_bytes_each=*/0, "sparse polyline"));
     line.points[0].theta = theta_heads[li];
     line.points[0].phi = phi_heads[li];
     for (size_t pi = 1; pi < lengths[li]; ++pi) {

@@ -50,17 +50,12 @@ Result<DbgcStreamReader> DbgcStreamReader::Open(const ByteBuffer& stream) {
   }
   uint64_t count;
   DBGC_RETURN_NOT_OK(GetVarint64(&br, &count));
-  if (count > kMaxReasonableCount) {
-    return Status::Corruption("stream: implausible frame count");
-  }
   // Every frame size costs at least one index byte, so the remaining bytes
-  // bound the frame count; checking it first keeps the reserve below from
-  // trusting an untrusted header.
-  if (count > br.remaining()) {
-    return Status::Corruption("stream: frame index exceeds stream");
-  }
+  // bound the frame count before the reserve trusts the header.
+  const BoundedAlloc alloc(br.remaining());
   std::vector<uint64_t> sizes;
-  sizes.reserve(count);
+  DBGC_RETURN_NOT_OK(alloc.Reserve(&sizes, count, /*min_bytes_each=*/1,
+                                   "stream frame index"));
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t size;
     DBGC_RETURN_NOT_OK(GetVarint64(&br, &size));
@@ -70,9 +65,7 @@ Result<DbgcStreamReader> DbgcStreamReader::Open(const ByteBuffer& stream) {
   for (uint64_t size : sizes) {
     // Subtraction form: offset + size wraps for sizes near 2^64 and would
     // pass the additive comparison.
-    if (size > stream.size() - offset) {
-      return Status::Corruption("stream: truncated frame payload");
-    }
+    DBGC_BOUND(size, stream.size() - offset, "stream frame payload");
     reader.offsets_.push_back(offset);
     reader.sizes_.push_back(size);
     offset += size;

@@ -24,15 +24,17 @@ Status RleDecode(const ByteBuffer& buf, std::vector<int64_t>* out) {
   ByteReader reader(buf);
   uint64_t count;
   DBGC_RETURN_NOT_OK(GetVarint64(&reader, &count));
-  out->reserve(count);
+  // A single two-byte run can decode to arbitrarily many values, so the
+  // reservation is speculative (clamped); the vector grows on demand.
+  const BoundedAlloc alloc(reader.remaining());
+  DBGC_RETURN_NOT_OK(alloc.ReserveSpeculative(out, count, "rle values"));
   while (out->size() < count) {
     int64_t v;
     uint64_t run;
     DBGC_RETURN_NOT_OK(GetSignedVarint64(&reader, &v));
     DBGC_RETURN_NOT_OK(GetVarint64(&reader, &run));
-    if (run == 0 || out->size() + run > count) {
-      return Status::Corruption("rle: bad run length");
-    }
+    if (run == 0) return Status::Corruption("rle: bad run length");
+    DBGC_BOUND(run, count - out->size(), "rle run length");
     out->insert(out->end(), run, v);
   }
   return Status::OK();

@@ -98,10 +98,11 @@ Status DecompressUnsigned(const ByteBuffer& buf, std::vector<uint64_t>* out) {
     return (raw[byte] >> (7 - off)) & 1;
   };
 
-  // Clamp the speculative reserve: `count` is untrusted, and a corrupted
-  // header should not trigger a multi-GB allocation before the decode loop
-  // has produced a single value.
-  out->reserve(std::min<uint64_t>(count, 1u << 20));
+  // `count` is untrusted and the symbols are entropy-coded, so the reserve
+  // is speculative (clamped): a corrupted header cannot trigger a multi-GB
+  // allocation before the decode loop has produced a single value.
+  const BoundedAlloc alloc(reader.remaining());
+  DBGC_RETURN_NOT_OK(alloc.ReserveSpeculative(out, count, "value codec symbols"));
   for (uint64_t i = 0; i < count; ++i) {
     const uint32_t target = dec.DecodeTarget(model.total());
     SymbolRange range;

@@ -1,6 +1,6 @@
 #include "entropy/arithmetic_coder.h"
 
-#include <cassert>
+#include "common/check.h"
 
 namespace dbgc {
 
@@ -29,7 +29,7 @@ void ArithmeticEncoder::EmitBitWithPending(int bit) {
 }
 
 void ArithmeticEncoder::Encode(const SymbolRange& range) {
-  assert(range.cum_low < range.cum_high && range.cum_high <= range.total);
+  DBGC_CHECK(range.cum_low < range.cum_high && range.cum_high <= range.total);
   const uint64_t span = static_cast<uint64_t>(high_) - low_ + 1;
   high_ = low_ + static_cast<uint32_t>(span * range.cum_high / range.total) - 1;
   low_ = low_ + static_cast<uint32_t>(span * range.cum_low / range.total);
@@ -134,7 +134,10 @@ ByteBuffer ArithmeticCompress(const std::vector<uint32_t>& symbols,
 Status ArithmeticDecompress(const ByteBuffer& buf, uint32_t alphabet_size,
                             size_t count, std::vector<uint32_t>* out) {
   out->clear();
-  out->reserve(count);
+  // Callers pass decoded counts here, so guard the reservation even though
+  // `count` is a parameter: symbols are entropy-coded with no byte floor.
+  const BoundedAlloc alloc(buf.size());
+  DBGC_RETURN_NOT_OK(alloc.ReserveSpeculative(out, count, "arithmetic symbols"));
   AdaptiveModel model(alphabet_size);
   ArithmeticDecoder dec(buf);
   for (size_t i = 0; i < count; ++i) {

@@ -1,7 +1,8 @@
 #include "entropy/frequency_model.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "common/check.h"
 
 namespace dbgc {
 
@@ -11,7 +12,7 @@ AdaptiveModel::AdaptiveModel(uint32_t alphabet_size, uint32_t increment)
       total_(alphabet_size),
       tree_(alphabet_size + 1, 0),
       freq_(alphabet_size, 1) {
-  assert(alphabet_size >= 1);
+  DBGC_CHECK(alphabet_size >= 1);
   // Initialize the Fenwick tree with all-ones frequencies.
   for (uint32_t i = 0; i < size_; ++i) {
     uint32_t j = i + 1;
@@ -41,7 +42,7 @@ void AdaptiveModel::FenwickAdd(uint32_t symbol, int64_t delta) {
 }
 
 SymbolRange AdaptiveModel::Lookup(uint32_t symbol) const {
-  assert(symbol < size_);
+  DBGC_CHECK(symbol < size_);
   SymbolRange r;
   r.cum_low = FenwickPrefixSum(symbol);
   r.cum_high = r.cum_low + freq_[symbol];
@@ -50,7 +51,7 @@ SymbolRange AdaptiveModel::Lookup(uint32_t symbol) const {
 }
 
 uint32_t AdaptiveModel::FindSymbol(uint32_t cum, SymbolRange* range) const {
-  assert(cum < total_);
+  DBGC_CHECK(cum < total_);
   // Binary descent over the Fenwick tree.
   uint32_t idx = 0;
   uint32_t remaining = cum;
@@ -65,7 +66,7 @@ uint32_t AdaptiveModel::FindSymbol(uint32_t cum, SymbolRange* range) const {
     mask >>= 1;
   }
   const uint32_t symbol = idx;  // idx = count of symbols fully below cum.
-  assert(symbol < size_);
+  DBGC_CHECK(symbol < size_);
   range->cum_low = cum - remaining;
   range->cum_high = range->cum_low + freq_[symbol];
   range->total = total_;
@@ -73,7 +74,7 @@ uint32_t AdaptiveModel::FindSymbol(uint32_t cum, SymbolRange* range) const {
 }
 
 void AdaptiveModel::Update(uint32_t symbol) {
-  assert(symbol < size_);
+  DBGC_CHECK(symbol < size_);
   freq_[symbol] += increment_;
   FenwickAdd(symbol, increment_);
   total_ += increment_;
@@ -112,12 +113,12 @@ StaticModel::StaticModel(const std::vector<uint32_t>& counts) {
 }
 
 SymbolRange StaticModel::Lookup(uint32_t symbol) const {
-  assert(symbol + 1 < cum_.size());
+  DBGC_CHECK(symbol + 1 < cum_.size());
   return SymbolRange{cum_[symbol], cum_[symbol + 1], cum_.back()};
 }
 
 uint32_t StaticModel::FindSymbol(uint32_t cum, SymbolRange* range) const {
-  assert(cum < cum_.back());
+  DBGC_CHECK(cum < cum_.back());
   const auto it = std::upper_bound(cum_.begin(), cum_.end(), cum);
   const uint32_t symbol = static_cast<uint32_t>(it - cum_.begin()) - 1;
   range->cum_low = cum_[symbol];

@@ -1,8 +1,9 @@
 #include "entropy/huffman.h"
 
 #include <algorithm>
-#include <cassert>
 #include <queue>
+
+#include "common/check.h"
 
 namespace dbgc {
 
@@ -121,7 +122,7 @@ Status HuffmanCode::BuildFromLengths() {
 }
 
 void HuffmanCode::EncodeSymbol(uint32_t symbol, BitWriter* writer) const {
-  assert(symbol < lengths_.size() && lengths_[symbol] > 0);
+  DBGC_CHECK(symbol < lengths_.size() && lengths_[symbol] > 0);
   writer->WriteBits(codes_[symbol], lengths_[symbol]);
 }
 
@@ -170,6 +171,7 @@ void HuffmanCode::WriteTable(BitWriter* writer) const {
 Result<HuffmanCode> HuffmanCode::ReadTable(BitReader* reader,
                                            uint32_t alphabet_size) {
   std::vector<uint8_t> lengths;
+  // DBGC_LINT_ALLOW(R2): alphabet_size is a caller-side constant, not a decoded field.
   lengths.reserve(alphabet_size);
   while (lengths.size() < alphabet_size) {
     uint64_t l;
@@ -180,6 +182,7 @@ Result<HuffmanCode> HuffmanCode::ReadTable(BitReader* reader,
       if (run == 0xFF) {
         lengths.push_back(0);
       } else {
+        DBGC_BOUND(run, 0xFE, "huffman zero-run length");
         for (uint64_t k = 0; k < run + 3; ++k) lengths.push_back(0);
       }
     } else {

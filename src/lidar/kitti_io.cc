@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/contracts.h"
+
 namespace dbgc {
 
 Result<PointCloud> ParseKittiBin(const uint8_t* data, size_t size) {
@@ -10,7 +12,9 @@ Result<PointCloud> ParseKittiBin(const uint8_t* data, size_t size) {
     return Status::Corruption("kitti: file size is not a multiple of 16");
   }
   PointCloud pc;
-  pc.Reserve(size / 16);
+  const BoundedAlloc alloc(size);
+  DBGC_RETURN_NOT_OK(alloc.Reserve(&pc, size / 16, /*min_bytes_each=*/16,
+                                   "kitti points"));
   for (size_t off = 0; off < size; off += 16) {
     float v[4];
     std::memcpy(v, data + off, 16);
@@ -43,6 +47,7 @@ Result<PointCloud> ReadKittiBin(const std::string& path) {
     std::fclose(f);
     return Status::IOError("cannot stat " + path);
   }
+  // DBGC_LINT_ALLOW(R2): sized from local file metadata (ftell), not decoded data.
   std::vector<uint8_t> bytes(static_cast<size_t>(size));
   const size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
   std::fclose(f);

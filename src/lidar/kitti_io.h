@@ -7,7 +7,9 @@
 #ifndef DBGC_LIDAR_KITTI_IO_H_
 #define DBGC_LIDAR_KITTI_IO_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/point_cloud.h"
 #include "common/status.h"

@@ -6,6 +6,7 @@
 #ifndef DBGC_LIDAR_PLY_IO_H_
 #define DBGC_LIDAR_PLY_IO_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 

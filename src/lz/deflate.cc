@@ -1,11 +1,11 @@
 #include "lz/deflate.h"
 
 #include <array>
-#include <cassert>
 
 #include "bitio/bit_reader.h"
 #include "bitio/bit_writer.h"
 #include "bitio/varint.h"
+#include "common/check.h"
 #include "entropy/huffman.h"
 #include "lz/lz77.h"
 
@@ -35,7 +35,7 @@ constexpr uint32_t kNumLitLenSymbols = 257 + 29;  // 0..255 lit, 256 EOB, 29 len
 constexpr uint32_t kNumDistSymbols = 30;
 
 uint32_t LengthToCode(uint32_t length) {
-  assert(length >= 3 && length <= 258);
+  DBGC_CHECK(length >= 3 && length <= 258);
   for (uint32_t c = 28;; --c) {
     if (length >= kLengthBase[c]) return c;
     if (c == 0) break;
@@ -44,7 +44,7 @@ uint32_t LengthToCode(uint32_t length) {
 }
 
 uint32_t DistanceToCode(uint32_t distance) {
-  assert(distance >= 1 && distance <= 32768);
+  DBGC_CHECK(distance >= 1 && distance <= 32768);
   for (uint32_t c = 29;; --c) {
     if (distance >= kDistBase[c]) return c;
     if (c == 0) break;
@@ -75,7 +75,7 @@ ByteBuffer Deflate::Compress(const std::vector<uint8_t>& data) {
 
   auto litlen_code = HuffmanCode::FromCounts(litlen_counts);
   auto dist_code = HuffmanCode::FromCounts(dist_counts);
-  assert(litlen_code.ok() && dist_code.ok());
+  DBGC_CHECK(litlen_code.ok() && dist_code.ok());
 
   BitWriter writer;
   litlen_code.value().WriteTable(&writer);
@@ -112,7 +112,8 @@ Status Deflate::Decompress(const ByteBuffer& compressed,
   if (original_size > 2100 * compressed.size() + 1024) {
     return Status::Corruption("deflate: implausible original size");
   }
-  out->reserve(original_size);
+  const BoundedAlloc alloc(compressed.size());
+  DBGC_RETURN_NOT_OK(alloc.ReserveSpeculative(out, original_size, "deflate output"));
 
   BitReader reader(compressed.data() + byte_reader.position(),
                    compressed.size() - byte_reader.position());

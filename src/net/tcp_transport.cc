@@ -81,11 +81,12 @@ Result<ByteBuffer> TcpConnection::ReceiveFrame() {
   DBGC_RETURN_NOT_OK(RecvAll(fd_, header, 8));
   uint64_t length = 0;
   for (int i = 7; i >= 0; --i) length = (length << 8) | header[i];
-  if (length > (1ULL << 32)) {
-    return Status::Corruption("tcp: implausible frame length");
-  }
   ByteBuffer frame;
-  frame.mutable_bytes().resize(length);
+  // A socket has no "remaining bytes", so the frame length is its own
+  // stream budget; the explicit cap preserves the 4 GiB frame limit.
+  const BoundedAlloc alloc(length, /*cap=*/1ULL << 32);
+  DBGC_RETURN_NOT_OK(alloc.Resize(&frame.mutable_bytes(), length,
+                                  /*min_bytes_each=*/1, "tcp frame"));
   DBGC_RETURN_NOT_OK(RecvAll(fd_, frame.mutable_bytes().data(), length));
   return frame;
 }

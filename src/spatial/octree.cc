@@ -1,8 +1,9 @@
 #include "spatial/octree.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace dbgc {
 
@@ -135,7 +136,7 @@ std::vector<uint64_t> Octree::LeafKeys(const OctreeStructure& tree) {
     const std::vector<uint8_t>& occupancy = tree.levels[l];
     std::vector<uint64_t> next;
     next.reserve(occupancy.size() * 2);
-    assert(occupancy.size() == keys.size());
+    DBGC_CHECK(occupancy.size() == keys.size());
     for (size_t i = 0; i < occupancy.size(); ++i) {
       const uint8_t occ = occupancy[i];
       for (int octant = 0; octant < 8; ++octant) {
@@ -153,7 +154,7 @@ PointCloud Octree::ExtractPoints(const OctreeStructure& tree) {
   PointCloud pc;
   if (tree.leaf_counts.empty()) return pc;
   const std::vector<uint64_t> keys = LeafKeys(tree);
-  assert(keys.size() == tree.leaf_counts.size());
+  DBGC_CHECK(keys.size() == tree.leaf_counts.size());
   const double leaf_side =
       tree.root.side / static_cast<double>(1u << tree.depth);
   pc.Reserve(tree.num_points());

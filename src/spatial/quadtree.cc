@@ -1,9 +1,10 @@
 #include "spatial/quadtree.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
+
+#include "common/check.h"
 
 namespace dbgc {
 
@@ -126,7 +127,7 @@ std::vector<uint64_t> Quadtree::LeafKeys(const QuadtreeStructure& tree) {
   for (int l = 0; l < tree.depth; ++l) {
     const std::vector<uint8_t>& occupancy = tree.levels[l];
     std::vector<uint64_t> next;
-    assert(occupancy.size() == keys.size());
+    DBGC_CHECK(occupancy.size() == keys.size());
     for (size_t i = 0; i < occupancy.size(); ++i) {
       for (int quadrant = 0; quadrant < 4; ++quadrant) {
         if (occupancy[i] & (1u << quadrant)) {
@@ -143,7 +144,7 @@ std::vector<Point2> Quadtree::ExtractPoints(const QuadtreeStructure& tree) {
   std::vector<Point2> out;
   if (tree.leaf_counts.empty()) return out;
   const std::vector<uint64_t> keys = LeafKeys(tree);
-  assert(keys.size() == tree.leaf_counts.size());
+  DBGC_CHECK(keys.size() == tree.leaf_counts.size());
   const double leaf_side = tree.side / std::ldexp(1.0, tree.depth);
   out.reserve(tree.num_points());
   for (size_t i = 0; i < keys.size(); ++i) {

@@ -195,7 +195,7 @@ TEST(FrameStoreTest, FileStore) {
   FileFrameStore store(dir);
   ExerciseStore(&store);
   // Cleanup.
-  for (uint64_t id : store.List()) store.Remove(id);
+  for (uint64_t id : store.List()) EXPECT_TRUE(store.Remove(id).ok());
   ::rmdir(dir.c_str());
 }
 

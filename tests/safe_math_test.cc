@@ -1,0 +1,199 @@
+// Exhaustive edge-case tests for the checked-arithmetic and bounded-
+// allocation contract layer (src/common/safe_math.h, src/common/
+// contracts.h) that every decoder routes untrusted size fields through.
+
+#include "common/safe_math.h"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/contracts.h"
+#include "common/point_cloud.h"
+
+namespace dbgc {
+namespace {
+
+constexpr int64_t kI64Max = std::numeric_limits<int64_t>::max();
+constexpr int64_t kI64Min = std::numeric_limits<int64_t>::min();
+constexpr uint64_t kU64Max = std::numeric_limits<uint64_t>::max();
+constexpr uint32_t kU32Max = std::numeric_limits<uint32_t>::max();
+
+TEST(CheckedAddTest, Int64Boundaries) {
+  EXPECT_EQ(CheckedAdd<int64_t>(kI64Max, 0), kI64Max);
+  EXPECT_EQ(CheckedAdd<int64_t>(kI64Max - 1, 1), kI64Max);
+  EXPECT_FALSE(CheckedAdd<int64_t>(kI64Max, 1).has_value());
+  EXPECT_EQ(CheckedAdd<int64_t>(kI64Min, 0), kI64Min);
+  EXPECT_FALSE(CheckedAdd<int64_t>(kI64Min, -1).has_value());
+  EXPECT_EQ(CheckedAdd<int64_t>(kI64Max, kI64Min), -1);
+}
+
+TEST(CheckedAddTest, Uint32Boundaries) {
+  EXPECT_EQ(CheckedAdd<uint32_t>(kU32Max, 0u), kU32Max);
+  EXPECT_EQ(CheckedAdd<uint32_t>(kU32Max - 1, 1u), kU32Max);
+  EXPECT_FALSE(CheckedAdd<uint32_t>(kU32Max, 1u).has_value());
+  EXPECT_FALSE(CheckedAdd<uint32_t>(kU32Max, kU32Max).has_value());
+}
+
+TEST(CheckedAddTest, ZeroOperands) {
+  EXPECT_EQ(CheckedAdd<uint64_t>(0, 0), 0u);
+  EXPECT_EQ(CheckedAdd<int64_t>(0, 0), 0);
+  EXPECT_EQ(CheckedAdd<uint64_t>(0, kU64Max), kU64Max);
+}
+
+TEST(CheckedSubTest, Boundaries) {
+  EXPECT_EQ(CheckedSub<uint64_t>(0, 0), 0u);
+  EXPECT_FALSE(CheckedSub<uint64_t>(0, 1).has_value());
+  EXPECT_EQ(CheckedSub<int64_t>(kI64Min, 0), kI64Min);
+  EXPECT_FALSE(CheckedSub<int64_t>(kI64Min, 1).has_value());
+  EXPECT_FALSE(CheckedSub<int64_t>(kI64Max, -1).has_value());
+  EXPECT_EQ(CheckedSub<int64_t>(kI64Max, kI64Max), 0);
+}
+
+TEST(CheckedMulTest, Int64Boundaries) {
+  EXPECT_EQ(CheckedMul<int64_t>(kI64Max, 1), kI64Max);
+  EXPECT_FALSE(CheckedMul<int64_t>(kI64Max, 2).has_value());
+  EXPECT_FALSE(CheckedMul<int64_t>(kI64Min, -1).has_value());
+  EXPECT_EQ(CheckedMul<int64_t>(kI64Min, 1), kI64Min);
+  // The classic decoder bug: (2^32) * (2^32) wraps to 0 in uint64.
+  EXPECT_FALSE(
+      CheckedMul<uint64_t>(1ULL << 32, 1ULL << 32).has_value());
+}
+
+TEST(CheckedMulTest, Uint32Boundaries) {
+  EXPECT_EQ(CheckedMul<uint32_t>(kU32Max, 1u), kU32Max);
+  EXPECT_FALSE(CheckedMul<uint32_t>(kU32Max, 2u).has_value());
+  EXPECT_EQ(CheckedMul<uint32_t>(1u << 16, 1u << 15), 1u << 31);
+  EXPECT_FALSE(CheckedMul<uint32_t>(1u << 16, 1u << 16).has_value());
+}
+
+TEST(CheckedMulTest, ZeroOperands) {
+  EXPECT_EQ(CheckedMul<uint64_t>(0, kU64Max), 0u);
+  EXPECT_EQ(CheckedMul<uint64_t>(kU64Max, 0), 0u);
+  EXPECT_EQ(CheckedMul<int64_t>(0, kI64Min), 0);
+}
+
+TEST(CheckedShlTest, ShiftByWidthRejected) {
+  EXPECT_FALSE(CheckedShl<uint64_t>(1, 64).has_value());
+  EXPECT_FALSE(CheckedShl<uint32_t>(1, 32).has_value());
+  EXPECT_FALSE(CheckedShl<int64_t>(1, 64).has_value());
+  EXPECT_FALSE(CheckedShl<uint64_t>(0, 64).has_value());  // Even for v = 0.
+}
+
+TEST(CheckedShlTest, LostBitsRejected) {
+  EXPECT_EQ(CheckedShl<uint64_t>(1, 63), 1ULL << 63);
+  EXPECT_FALSE(CheckedShl<uint64_t>(2, 63).has_value());
+  EXPECT_FALSE(CheckedShl<uint64_t>(kU64Max, 1).has_value());
+  EXPECT_EQ(CheckedShl<uint32_t>(1, 31), 1u << 31);
+  EXPECT_FALSE(CheckedShl<uint32_t>(3, 31).has_value());
+}
+
+TEST(CheckedShlTest, SignedRules) {
+  EXPECT_FALSE(CheckedShl<int64_t>(-1, 1).has_value());  // Negative v is UB.
+  EXPECT_EQ(CheckedShl<int64_t>(1, 62), int64_t{1} << 62);
+  EXPECT_FALSE(CheckedShl<int64_t>(1, 63).has_value());  // Sign bit.
+}
+
+TEST(CheckedShlTest, ZeroOperands) {
+  EXPECT_EQ(CheckedShl<uint64_t>(0, 0), 0u);
+  EXPECT_EQ(CheckedShl<uint64_t>(0, 63), 0u);
+  EXPECT_EQ(CheckedShl<uint64_t>(5, 0), 5u);
+}
+
+TEST(CheckedCastTest, NarrowingAndSign) {
+  EXPECT_EQ(CheckedCast<uint32_t>(uint64_t{kU32Max}), kU32Max);
+  EXPECT_FALSE(CheckedCast<uint32_t>(uint64_t{kU32Max} + 1).has_value());
+  EXPECT_FALSE(CheckedCast<uint64_t>(int64_t{-1}).has_value());
+  EXPECT_EQ(CheckedCast<int64_t>(uint64_t{1} << 62), int64_t{1} << 62);
+  EXPECT_FALSE(CheckedCast<int64_t>(kU64Max).has_value());
+  EXPECT_EQ(CheckedCast<int8_t>(int64_t{-128}), int8_t{-128});
+  EXPECT_FALSE(CheckedCast<int8_t>(int64_t{128}).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// BoundedAlloc: allocations capped against the stream budget.
+
+TEST(BoundedAllocTest, FitsDividesInsteadOfMultiplying) {
+  const BoundedAlloc alloc(/*stream_bytes=*/120);
+  EXPECT_TRUE(alloc.Fits(10, 12));
+  EXPECT_FALSE(alloc.Fits(11, 12));
+  // count * min_bytes_each would wrap to a small value here; the divide
+  // form must still reject.
+  EXPECT_FALSE(alloc.Fits(kU64Max / 2 + 1, 2));
+}
+
+TEST(BoundedAllocTest, ZeroMinBytesChecksCapOnly) {
+  const BoundedAlloc alloc(/*stream_bytes=*/0);
+  EXPECT_TRUE(alloc.Fits(kMaxDecodedElements, 0));
+  EXPECT_FALSE(alloc.Fits(kMaxDecodedElements + 1, 0));
+}
+
+TEST(BoundedAllocTest, ReserveRejectsOversizedCount) {
+  const BoundedAlloc alloc(/*stream_bytes=*/24);
+  std::vector<uint64_t> v;
+  EXPECT_TRUE(alloc.Reserve(&v, 3, 8, "test").ok());
+  EXPECT_GE(v.capacity(), 3u);
+  const Status s = alloc.Reserve(&v, 4, 8, "test");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(BoundedAllocTest, ReserveWorksWithPointCloud) {
+  const BoundedAlloc alloc(/*stream_bytes=*/120);
+  PointCloud pc;
+  EXPECT_TRUE(alloc.Reserve(&pc, 10, 12, "points").ok());
+  EXPECT_FALSE(alloc.Reserve(&pc, 11, 12, "points").ok());
+}
+
+TEST(BoundedAllocTest, ResizeRejectsAndValueInitializes) {
+  const BoundedAlloc alloc(/*stream_bytes=*/16);
+  std::vector<uint8_t> v;
+  EXPECT_TRUE(alloc.Resize(&v, 16, 1, "bytes").ok());
+  EXPECT_EQ(v.size(), 16u);
+  EXPECT_EQ(v[15], 0u);
+  EXPECT_FALSE(alloc.Resize(&v, 17, 1, "bytes").ok());
+}
+
+TEST(BoundedAllocTest, ReserveSpeculativeClampsButAccepts) {
+  const BoundedAlloc alloc(/*stream_bytes=*/4);  // Tiny stream...
+  std::vector<uint32_t> v;
+  // ...may still declare many entropy-coded elements, up to the cap.
+  EXPECT_TRUE(
+      alloc.ReserveSpeculative(&v, kMaxDecodedElements, "symbols").ok());
+  EXPECT_LE(v.capacity(), 2 * kSpeculativeReserveLimit);
+  const Status s =
+      alloc.ReserveSpeculative(&v, kMaxDecodedElements + 1, "symbols");
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+}
+
+TEST(BoundedAllocTest, ExplicitCapOverridesDefault) {
+  const BoundedAlloc alloc(/*stream_bytes=*/kU64Max, /*cap=*/100);
+  EXPECT_TRUE(alloc.Fits(100, 1));
+  EXPECT_FALSE(alloc.Fits(101, 1));
+}
+
+TEST(BoundedAllocTest, CheckMatchesFits) {
+  const BoundedAlloc alloc(/*stream_bytes=*/10);
+  EXPECT_TRUE(alloc.Check(10, 1, "x").ok());
+  EXPECT_TRUE(alloc.Check(11, 1, "x").code() == StatusCode::kCorruption);
+}
+
+// DBGC_BOUND returns Corruption from the enclosing function iff the value
+// exceeds the limit.
+Status BoundHelper(uint64_t value, uint64_t limit) {
+  DBGC_BOUND(value, limit, "bound helper");
+  return Status::OK();
+}
+
+TEST(DbgcBoundTest, RejectsAboveLimitOnly) {
+  EXPECT_TRUE(BoundHelper(0, 0).ok());
+  EXPECT_TRUE(BoundHelper(10, 10).ok());
+  EXPECT_TRUE(BoundHelper(11, 10).code() == StatusCode::kCorruption);
+  EXPECT_TRUE(BoundHelper(kU64Max, kU64Max).ok());
+  EXPECT_TRUE(BoundHelper(kU64Max, kU64Max - 1).code() == StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace dbgc

@@ -1,0 +1,745 @@
+#include "analyzer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+namespace dbgc_lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers. Rules operate on `code`: the indices of non-comment
+// tokens, in order, so comments never break adjacency while staying
+// available for suppression scanning.
+
+struct CodeView {
+  const std::vector<Token>* all;
+  std::vector<size_t> code;  // Indices into *all, comments excluded.
+
+  const Token& Tok(size_t ci) const { return (*all)[code[ci]]; }
+  size_t size() const { return code.size(); }
+  bool Is(size_t ci, const char* text) const {
+    return ci < code.size() && Tok(ci).text == text;
+  }
+  bool IsIdent(size_t ci) const {
+    return ci < code.size() && Tok(ci).kind == TokenKind::kIdent;
+  }
+};
+
+CodeView MakeCodeView(const std::vector<Token>& tokens) {
+  CodeView v;
+  v.all = &tokens;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokenKind::kComment) v.code.push_back(i);
+  }
+  return v;
+}
+
+// Advances past a balanced (...) starting at `ci` (which must be "(").
+// Returns the index just past the matching ")". Preprocessor tokens are
+// treated as opaque. On imbalance returns v.size().
+size_t SkipParens(const CodeView& v, size_t ci) {
+  int depth = 0;
+  for (; ci < v.size(); ++ci) {
+    const std::string& t = v.Tok(ci).text;
+    if (v.Tok(ci).kind != TokenKind::kPunct) continue;
+    if (t == "(") ++depth;
+    if (t == ")" && --depth == 0) return ci + 1;
+  }
+  return v.size();
+}
+
+// Advances past a balanced <...> starting at `ci` (which must be "<").
+// ">>" closes two levels. Gives up (returns ci + 1) on expressions that are
+// clearly not template argument lists.
+size_t SkipAngles(const CodeView& v, size_t ci) {
+  int depth = 0;
+  const size_t limit = std::min(v.size(), ci + 64);
+  for (size_t k = ci; k < limit; ++k) {
+    const std::string& t = v.Tok(k).text;
+    if (t == "<") ++depth;
+    if (t == ">") {
+      if (--depth == 0) return k + 1;
+    }
+    if (t == ">>") {
+      depth -= 2;
+      if (depth <= 0) return k + 1;
+    }
+    if (t == ";" || t == "{") break;  // Not a template argument list.
+  }
+  return ci + 1;
+}
+
+bool IsControlKeyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch" || s == "return" || s == "sizeof" || s == "alignof" ||
+         s == "do" || s == "else" || s == "case" || s == "new" ||
+         s == "delete" || s == "throw" || s == "static_assert" ||
+         s == "decltype" || s == "requires" || s == "alignas";
+}
+
+// Matches an identifier chain `a::b.c->d` starting at `ci`. On success sets
+// *last_ident to the final identifier's code index and returns the index of
+// the token after the chain; otherwise returns ci.
+size_t MatchIdentChain(const CodeView& v, size_t ci, size_t* last_ident) {
+  if (!v.IsIdent(ci) || IsControlKeyword(v.Tok(ci).text)) return ci;
+  *last_ident = ci;
+  size_t k = ci + 1;
+  while (k + 1 < v.size() && v.Tok(k).kind == TokenKind::kPunct &&
+         (v.Tok(k).text == "::" || v.Tok(k).text == "." ||
+          v.Tok(k).text == "->") &&
+         v.IsIdent(k + 1)) {
+    *last_ident = k + 1;
+    k += 2;
+  }
+  return k;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: functions returning Status / Result<T>.
+
+bool AtDeclarationPosition(const CodeView& v, size_t ci) {
+  if (ci == 0) return true;
+  const Token& prev = v.Tok(ci - 1);
+  if (prev.kind == TokenKind::kPreproc) return true;
+  if (prev.kind == TokenKind::kPunct) {
+    const std::string& t = prev.text;
+    return t == ";" || t == "{" || t == "}" || t == ":" || t == "]";
+  }
+  if (prev.kind == TokenKind::kIdent) {
+    const std::string& t = prev.text;
+    return t == "static" || t == "inline" || t == "virtual" ||
+           t == "constexpr" || t == "explicit" || t == "friend" ||
+           t == "extern";
+  }
+  return false;
+}
+
+// Collects function names by declared return type: Status/Result<T>
+// declarations land in `status_out`, void declarations in `void_out`.
+// R1 matches call sites by bare name, so a name declared BOTH ways
+// (e.g. BoundedAlloc::Reserve vs PointCloud::Reserve) is ambiguous; such
+// names are subtracted below and their Status overloads are instead
+// enforced at compile time by [[nodiscard]] under DBGC_WERROR.
+void CollectFromFile(const SourceFile& file, std::set<std::string>* status_out,
+                     std::set<std::string>* void_out) {
+  const CodeView v = MakeCodeView(file.tokens);
+  for (size_t ci = 0; ci < v.size(); ++ci) {
+    if (!v.IsIdent(ci)) continue;
+    const std::string& t = v.Tok(ci).text;
+    if (t != "Status" && t != "Result" && t != "void") continue;
+    if (!AtDeclarationPosition(v, ci)) continue;
+    size_t k = ci + 1;
+    if (t == "Result") {
+      if (!v.Is(k, "<")) continue;
+      k = SkipAngles(v, k);
+    }
+    // Optional Class:: qualifiers, then the function name and its "(".
+    while (v.IsIdent(k) && v.Is(k + 1, "::")) k += 2;
+    if (!v.IsIdent(k) || !v.Is(k + 1, "(")) continue;
+    const std::string& name = v.Tok(k).text;
+    if (name == "Status" || name == "Result" || name == "operator") continue;
+    (t == "void" ? void_out : status_out)->insert(name);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R1: unchecked Status/Result-returning calls.
+
+bool IsStatementStart(const CodeView& v, size_t ci) {
+  if (ci == 0) return true;
+  const Token& prev = v.Tok(ci - 1);
+  if (prev.kind == TokenKind::kPreproc) return true;
+  if (prev.kind == TokenKind::kPunct) {
+    const std::string& t = prev.text;
+    return t == ";" || t == "{" || t == "}" || t == ")";
+  }
+  return prev.kind == TokenKind::kIdent && prev.text == "else";
+}
+
+void CheckR1(const SourceFile& file, const CodeView& v,
+             const std::set<std::string>& status_fns,
+             std::vector<Diagnostic>* diags) {
+  for (size_t ci = 0; ci < v.size(); ++ci) {
+    if (!IsStatementStart(v, ci)) continue;
+    size_t start = ci;
+    // `(void)` prefix: the call result is explicitly discarded. Skip the
+    // whole statement so its ")" is not mistaken for a new statement start.
+    if (v.Is(start, "(") && v.Is(start + 1, "void") && v.Is(start + 2, ")")) {
+      size_t k = start + 3;
+      while (k < v.size() && !v.Is(k, ";")) ++k;
+      ci = k;
+      continue;
+    }
+    size_t callee;
+    const size_t after_chain = MatchIdentChain(v, start, &callee);
+    if (after_chain == start || !v.Is(after_chain, "(")) continue;
+    const size_t after_call = SkipParens(v, after_chain);
+    if (!v.Is(after_call, ";")) continue;  // Part of a larger expression.
+    const std::string& name = v.Tok(callee).text;
+    if (status_fns.count(name) == 0) continue;
+    diags->push_back(Diagnostic{
+        file.path, v.Tok(start).line, "R1",
+        "result of Status/Result-returning call '" + name +
+            "' is ignored; check it, wrap in DBGC_RETURN_NOT_OK, or cast "
+            "to (void)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Function segmentation (for R2/R3).
+
+struct FunctionSpan {
+  std::string name;
+  size_t body_begin;  // Code index of "{".
+  size_t body_end;    // Code index just past the matching "}".
+};
+
+// Classifies the "{" at `ci` by walking backwards over constructor
+// initializer lists, cv/ref/noexcept qualifiers, and trailing return types
+// until the parameter list is found. Returns the function name, or "" when
+// the brace opens something other than a function body.
+std::string FunctionNameForBrace(const CodeView& v, size_t ci) {
+  size_t k = ci;
+  int steps = 0;
+  while (k > 0 && ++steps < 256) {
+    --k;
+    const Token& t = v.Tok(k);
+    if (t.kind == TokenKind::kPreproc || t.kind == TokenKind::kString ||
+        t.kind == TokenKind::kChar || t.kind == TokenKind::kNumber) {
+      // Numbers / literals appear inside init lists; skip.
+      continue;
+    }
+    const std::string& s = t.text;
+    if (t.kind == TokenKind::kIdent) {
+      if (s == "else" || s == "do" || s == "try" || s == "namespace" ||
+          s == "class" || s == "struct" || s == "union" || s == "enum") {
+        return "";
+      }
+      continue;  // Qualifiers (const, noexcept, override) or init names.
+    }
+    if (s == "}" || s == ")" || s == ">" || s == "]") {
+      // Balanced groups: init-list entries a_{1} / a_(1), the parameter
+      // list itself, template args in trailing return types, attributes.
+      const char open = s == "}" ? '{' : s == ")" ? '(' : s == ">" ? '<' : '[';
+      const char close = s[0];
+      int depth = 0;
+      while (k > 0) {
+        const std::string& u = v.Tok(k).text;
+        if (u.size() == 1 && u[0] == close) ++depth;
+        if (u.size() == 1 && u[0] == open && --depth == 0) break;
+        if (u == ">>" && close == '>') depth += 2;
+        --k;
+      }
+      if (close != ')') continue;
+      // A ")" group is the parameter list iff the token before its "(" is a
+      // plain identifier not reached via ":" or "," (those are ctor init
+      // entries) and not a control keyword (if/for/while/...).
+      if (k == 0) return "";
+      const Token& before = v.Tok(k - 1);
+      if (before.kind != TokenKind::kIdent) {
+        // E.g. lambda "](...)", cast "(...)(...)": not a function def.
+        return "";
+      }
+      if (IsControlKeyword(before.text)) return "";
+      const bool init_entry =
+          k >= 2 && (v.Tok(k - 2).text == ":" || v.Tok(k - 2).text == ",") &&
+          // Distinguish "Foo::Foo() :" (param list) from ": a_(1)" by
+          // whether more init-ish tokens continue leftwards; a parameter
+          // list is preceded by the function name which is preceded by
+          // "::" / type tokens, never by ":" or ",". Heuristic: treat as
+          // init entry and keep scanning.
+          true;
+      if (init_entry) continue;
+      return before.text;
+    }
+    if (s == ":" || s == "," || s == "&" || s == "&&" || s == "*" ||
+        s == "->" || s == "::" || s == "...") {
+      continue;  // Init-list separators, ref-qualifiers, trailing return.
+    }
+    // Any other punctuation (";", "=", "{", "(", ...) means this brace
+    // opens an initializer, a class, or a compound statement.
+    return "";
+  }
+  return "";
+}
+
+size_t FindMatchingBrace(const CodeView& v, size_t ci) {
+  int depth = 0;
+  for (size_t k = ci; k < v.size(); ++k) {
+    const std::string& t = v.Tok(k).text;
+    if (v.Tok(k).kind != TokenKind::kPunct) continue;
+    if (t == "{") ++depth;
+    if (t == "}" && --depth == 0) return k + 1;
+  }
+  return v.size();
+}
+
+std::vector<FunctionSpan> SegmentFunctions(const CodeView& v) {
+  std::vector<FunctionSpan> spans;
+  for (size_t ci = 0; ci < v.size(); ++ci) {
+    if (!v.Is(ci, "{")) continue;
+    const std::string name = FunctionNameForBrace(v, ci);
+    if (name.empty()) continue;
+    spans.push_back(FunctionSpan{name, ci, FindMatchingBrace(v, ci)});
+  }
+  return spans;
+}
+
+const char* const kDecodeMarkers[] = {"Decode", "Decompress", "Deserialize",
+                                      "Parse",  "Receive",    "Read",
+                                      "Recv",   "Open",       "Load"};
+
+bool IsDecodePath(const std::string& name) {
+  for (const char* m : kDecodeMarkers) {
+    if (name.find(m) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// R2: unguarded allocations in decode paths.
+
+// Splits the top level of a balanced (...) argument list beginning at
+// `open` into per-argument code-index ranges.
+std::vector<std::pair<size_t, size_t>> SplitArgs(const CodeView& v,
+                                                 size_t open) {
+  std::vector<std::pair<size_t, size_t>> args;
+  const size_t end = SkipParens(v, open) - 1;  // Index of ")".
+  if (end <= open + 1) return args;            // Empty list.
+  size_t start = open + 1;
+  int depth = 0;
+  for (size_t k = open + 1; k < end; ++k) {
+    const std::string& t = v.Tok(k).text;
+    if (t == "(" || t == "{" || t == "[") ++depth;
+    if (t == ")" || t == "}" || t == "]") --depth;
+    if (t == "<") ++depth;  // Approximate; template args in calls are rare.
+    if (t == ">") --depth;
+    if (t == "," && depth == 0) {
+      args.emplace_back(start, k);
+      start = k + 1;
+    }
+  }
+  args.emplace_back(start, end);
+  return args;
+}
+
+// An allocation size argument is trusted when it is a numeric constant or
+// the size()/remaining() of an object already in memory.
+bool IsTrustedSizeArg(const CodeView& v, size_t begin, size_t end) {
+  if (begin >= end) return false;
+  bool all_numbers = true;
+  for (size_t k = begin; k < end; ++k) {
+    if (v.Tok(k).kind != TokenKind::kNumber) all_numbers = false;
+  }
+  if (all_numbers) return true;
+  // ident-chain ending in .size() / .remaining() / .bit_position().
+  size_t last = 0;
+  const size_t after = MatchIdentChain(v, begin, &last);
+  if (after != begin && v.Is(after, "(") && SkipParens(v, after) == end) {
+    const std::string& m = v.Tok(last).text;
+    return m == "size" || m == "remaining" || m == "bit_position" ||
+           m == "num_leaves";
+  }
+  return false;
+}
+
+void CheckR2Body(const SourceFile& file, const CodeView& v,
+                 const FunctionSpan& fn, std::vector<Diagnostic>* diags) {
+  for (size_t ci = fn.body_begin; ci < fn.body_end; ++ci) {
+    // new-expressions: `new T[n]` in a decode path is always flagged.
+    if (v.IsIdent(ci) && v.Tok(ci).text == "new") {
+      for (size_t k = ci + 1; k < std::min(fn.body_end, ci + 16); ++k) {
+        if (v.Is(k, "(") || v.Is(k, ";")) break;
+        if (v.Is(k, "[")) {
+          diags->push_back(Diagnostic{
+              file.path, v.Tok(ci).line, "R2",
+              "raw array new in decode path '" + fn.name +
+                  "'; use a container sized through BoundedAlloc"});
+          break;
+        }
+      }
+    }
+    // vector<T> name(n, ...) constructors sized from an expression.
+    if (v.IsIdent(ci) && v.Tok(ci).text == "vector" && v.Is(ci + 1, "<")) {
+      const size_t after_t = SkipAngles(v, ci + 1);
+      if (v.IsIdent(after_t) && v.Is(after_t + 1, "(")) {
+        const auto args = SplitArgs(v, after_t + 1);
+        if (!args.empty() && args.size() <= 2 &&
+            !IsTrustedSizeArg(v, args[0].first, args[0].second)) {
+          diags->push_back(Diagnostic{
+              file.path, v.Tok(ci).line, "R2",
+              "vector sized at construction from decoded data in '" +
+                  fn.name + "'; use BoundedAlloc::Resize"});
+        }
+      }
+    }
+    // .reserve / .resize / .assign / .Reserve / .Resize member calls. The
+    // guard API takes what/min-bytes arguments, so arity <= 2 plus a
+    // non-trusted size expression identifies the raw container calls.
+    if (v.Tok(ci).kind == TokenKind::kPunct &&
+        (v.Tok(ci).text == "." || v.Tok(ci).text == "->") &&
+        v.IsIdent(ci + 1) && v.Is(ci + 2, "(")) {
+      const std::string& m = v.Tok(ci + 1).text;
+      if (m != "reserve" && m != "resize" && m != "assign" &&
+          m != "Reserve" && m != "Resize") {
+        continue;
+      }
+      const auto args = SplitArgs(v, ci + 2);
+      if (args.empty() || args.size() > 2) continue;  // Guard API arity.
+      if (IsTrustedSizeArg(v, args[0].first, args[0].second)) continue;
+      diags->push_back(Diagnostic{
+          file.path, v.Tok(ci + 1).line, "R2",
+          "allocation '" + m + "' sized from decoded data in decode path '" +
+              fn.name + "'; route through BoundedAlloc (common/contracts.h)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R3: raw size arithmetic on reader-tainted variables.
+
+bool IsTaintSource(const std::string& callee) {
+  // Floating-point reads carry geometry, not sizes: arithmetic on them
+  // cannot wrap an allocation count, so they do not taint.
+  if (callee == "ReadDouble" || callee == "ReadFloat") return false;
+  return callee.rfind("Read", 0) == 0 || callee.rfind("GetVarint", 0) == 0 ||
+         callee.rfind("GetSignedVarint", 0) == 0;
+}
+
+bool IsSanitizer(const std::string& callee) {
+  return callee == "DBGC_BOUND" || callee.rfind("Checked", 0) == 0 ||
+         callee == "BoundedAlloc" || callee == "Reserve" ||
+         callee == "Resize" || callee == "ReserveSpeculative" ||
+         callee == "Check" || callee == "Fits" || callee == "min" ||
+         callee == "max" || callee == "clamp";
+}
+
+void CheckR3Body(const SourceFile& file, const CodeView& v,
+                 const FunctionSpan& fn, std::vector<Diagnostic>* diags) {
+  std::set<std::string> tainted;
+  for (size_t ci = fn.body_begin; ci < fn.body_end; ++ci) {
+    // Calls: taint "&x" out-params of Read*/GetVarint*; sanitize arguments
+    // of DBGC_BOUND / Checked* / BoundedAlloc methods / std::min-style
+    // clamps.
+    size_t callee;
+    const size_t after_chain = MatchIdentChain(v, ci, &callee);
+    bool handled_call = false;
+    if (after_chain != ci) {
+      size_t open = after_chain;
+      if (v.Is(open, "<")) open = SkipAngles(v, open);  // std::min<uint64_t>.
+      if (v.Is(open, "(")) {
+        const std::string& name = v.Tok(callee).text;
+        if (IsTaintSource(name)) {
+          const auto args = SplitArgs(v, open);
+          // Free-function readers (GetVarint64(&reader, &out)) pass the
+          // reader itself by address as the first argument; only the
+          // remaining arguments are decoded out-params.
+          const bool free_reader = name.rfind("GetVarint", 0) == 0 ||
+                                   name.rfind("GetSignedVarint", 0) == 0;
+          for (size_t ai = free_reader ? 1 : 0; ai < args.size(); ++ai) {
+            const auto& [abegin, aend] = args[ai];
+            if (aend - abegin == 2 && v.Is(abegin, "&") &&
+                v.IsIdent(abegin + 1)) {
+              tainted.insert(v.Tok(abegin + 1).text);
+            }
+          }
+          handled_call = true;
+        } else if (IsSanitizer(name)) {
+          for (const auto& [abegin, aend] : SplitArgs(v, open)) {
+            for (size_t k = abegin; k < aend; ++k) {
+              if (v.IsIdent(k)) tainted.erase(v.Tok(k).text);
+            }
+          }
+          handled_call = true;
+        }
+      }
+      if (handled_call) {
+        ci = after_chain - 1;  // Operators inside the call still get seen.
+        continue;
+      }
+    }
+    // Binary * / + / << (and compound forms) touching a tainted variable.
+    if (v.Tok(ci).kind != TokenKind::kPunct) continue;
+    const std::string& op = v.Tok(ci).text;
+    const bool compound = op == "+=" || op == "*=" || op == "<<=";
+    if (op != "*" && op != "+" && op != "<<" && !compound) continue;
+    if (ci == 0 || ci + 1 >= v.size()) continue;
+    const Token& lhs = v.Tok(ci - 1);
+    const Token& rhs = v.Tok(ci + 1);
+    // Unary +/* (prefix) have an operator or "(" on their left.
+    const bool binary = lhs.kind == TokenKind::kIdent ||
+                        lhs.kind == TokenKind::kNumber ||
+                        lhs.text == ")" || lhs.text == "]";
+    if (!binary) continue;
+    for (const Token* side : {&lhs, &rhs}) {
+      if (side->kind == TokenKind::kIdent && tainted.count(side->text)) {
+        diags->push_back(Diagnostic{
+            file.path, v.Tok(ci).line, "R3",
+            "raw '" + op + "' on untrusted size '" + side->text +
+                "' in '" + fn.name +
+                "'; use CheckedMul/CheckedAdd/CheckedShl (common/"
+                "safe_math.h) or bound it first with DBGC_BOUND"});
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R4: assert() in library code.
+
+void CheckR4(const SourceFile& file, const CodeView& v,
+             std::vector<Diagnostic>* diags) {
+  if (file.is_test) return;
+  for (size_t ci = 0; ci + 1 < v.size(); ++ci) {
+    if (v.IsIdent(ci) && v.Tok(ci).text == "assert" && v.Is(ci + 1, "(")) {
+      diags->push_back(Diagnostic{
+          file.path, v.Tok(ci).line, "R4",
+          "assert() in library code; use DBGC_CHECK (common/check.h) for "
+          "invariants or return Status::Corruption for untrusted input"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// R5: header self-containment.
+
+struct StdRequirement {
+  const char* ident;
+  const char* header;
+};
+
+const StdRequirement kStdRequirements[] = {
+    {"vector", "vector"},
+    {"string", "string"},
+    {"optional", "optional"},
+    {"unordered_map", "unordered_map"},
+    {"unordered_set", "unordered_set"},
+    {"map", "map"},
+    {"set", "set"},
+    {"deque", "deque"},
+    {"array", "array"},
+    {"function", "functional"},
+    {"unique_ptr", "memory"},
+    {"shared_ptr", "memory"},
+    {"make_unique", "memory"},
+    {"make_shared", "memory"},
+    {"atomic", "atomic"},
+    {"mutex", "mutex"},
+    {"lock_guard", "mutex"},
+    {"unique_lock", "mutex"},
+    {"thread", "thread"},
+    {"condition_variable", "condition_variable"},
+};
+
+std::string ExpectedGuard(const std::string& rel_path) {
+  std::string guard = "DBGC_";
+  for (char c : rel_path) {
+    if (c == '/' || c == '.') {
+      guard += '_';
+    } else {
+      guard += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+// First whitespace-separated word after the directive name.
+std::string DirectiveArg(const std::string& line, size_t after) {
+  size_t b = line.find_first_not_of(" \t", after);
+  if (b == std::string::npos) return "";
+  size_t e = line.find_first_of(" \t\r", b);
+  return line.substr(b, e == std::string::npos ? std::string::npos : e - b);
+}
+
+void CheckR5(const SourceFile& file, const CodeView& v,
+             std::vector<Diagnostic>* diags) {
+  if (!file.is_header) return;
+
+  // Gather directives in order plus the set of directly included headers.
+  std::vector<std::pair<std::string, int>> directives;  // (full text, line).
+  std::set<std::string> includes;
+  for (size_t ci = 0; ci < v.size(); ++ci) {
+    const Token& t = v.Tok(ci);
+    if (t.kind != TokenKind::kPreproc) continue;
+    directives.emplace_back(t.text, t.line);
+    size_t p = t.text.find("include");
+    if (p != std::string::npos) {
+      size_t b = t.text.find_first_of("<\"", p);
+      if (b != std::string::npos) {
+        size_t e = t.text.find_first_of(">\"", b + 1);
+        if (e != std::string::npos) {
+          includes.insert(t.text.substr(b + 1, e - b - 1));
+        }
+      }
+    }
+  }
+
+  // Include guard: #ifndef G / #define G open the file, #endif closes it.
+  std::string guard;
+  if (directives.size() < 3 ||
+      directives[0].first.find("ifndef") == std::string::npos ||
+      directives[1].first.find("define") == std::string::npos) {
+    diags->push_back(Diagnostic{
+        file.path, 1, "R5",
+        "header does not open with an #ifndef/#define include guard"});
+  } else {
+    const std::string opened = DirectiveArg(
+        directives[0].first, directives[0].first.find("ifndef") + 6);
+    const std::string defined = DirectiveArg(
+        directives[1].first, directives[1].first.find("define") + 6);
+    if (opened != defined) {
+      diags->push_back(Diagnostic{
+          file.path, directives[1].second, "R5",
+          "include guard #define '" + defined + "' does not match #ifndef '" +
+              opened + "'"});
+    } else {
+      guard = opened;
+    }
+    if (directives.back().first.find("endif") == std::string::npos) {
+      diags->push_back(Diagnostic{file.path, directives.back().second, "R5",
+                                  "header does not close with #endif"});
+    }
+    if (!file.rel_path.empty() && !guard.empty()) {
+      const std::string expected = ExpectedGuard(file.rel_path);
+      if (guard != expected) {
+        diags->push_back(Diagnostic{
+            file.path, directives[0].second, "R5",
+            "include guard '" + guard + "' should be '" + expected + "'"});
+      }
+    }
+  }
+
+  // Self-containment: std:: types used must be included directly, and
+  // fixed-width integer types require <cstdint>.
+  std::set<std::string> reported;
+  for (size_t ci = 0; ci + 2 < v.size(); ++ci) {
+    if (v.IsIdent(ci) && v.Tok(ci).text == "std" && v.Is(ci + 1, "::") &&
+        v.IsIdent(ci + 2)) {
+      const std::string& used = v.Tok(ci + 2).text;
+      for (const StdRequirement& req : kStdRequirements) {
+        if (used == req.ident && includes.count(req.header) == 0 &&
+            reported.insert(req.header).second) {
+          diags->push_back(Diagnostic{
+              file.path, v.Tok(ci).line, "R5",
+              "header uses std::" + used + " but does not include <" +
+                  req.header + ">"});
+        }
+      }
+    }
+  }
+  for (size_t ci = 0; ci < v.size(); ++ci) {
+    if (!v.IsIdent(ci)) continue;
+    const std::string& t = v.Tok(ci).text;
+    const bool fixed_width =
+        (t.size() >= 6 && t.compare(t.size() - 2, 2, "_t") == 0 &&
+         (t.rfind("uint", 0) == 0 || t.rfind("int", 0) == 0));
+    if (fixed_width && includes.count("cstdint") == 0) {
+      if (reported.insert("cstdint").second) {
+        diags->push_back(Diagnostic{
+            file.path, v.Tok(ci).line, "R5",
+            "header uses " + t + " but does not include <cstdint>"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: // DBGC_LINT_ALLOW(Rn): reason
+
+struct Suppressions {
+  // line -> rules allowed on that line (and on the following line when the
+  // comment stands alone).
+  std::map<int, std::set<std::string>> by_line;
+  std::vector<Diagnostic> malformed;
+};
+
+Suppressions CollectSuppressions(const SourceFile& file) {
+  Suppressions sup;
+  // Lines that contain code, to decide whether an ALLOW comment stands
+  // alone (applies to the next line) or trails code (applies to its own).
+  std::set<int> code_lines;
+  for (const Token& t : file.tokens) {
+    if (t.kind != TokenKind::kComment) code_lines.insert(t.line);
+  }
+  for (const Token& t : file.tokens) {
+    if (t.kind != TokenKind::kComment) continue;
+    size_t pos = 0;
+    while ((pos = t.text.find("DBGC_LINT_ALLOW", pos)) != std::string::npos) {
+      const size_t open = t.text.find('(', pos);
+      const size_t close =
+          open == std::string::npos ? std::string::npos
+                                    : t.text.find(')', open);
+      bool ok = open != std::string::npos && close != std::string::npos;
+      std::string rule;
+      if (ok) {
+        rule = t.text.substr(open + 1, close - open - 1);
+        ok = rule.size() == 2 && rule[0] == 'R' && rule[1] >= '1' &&
+             rule[1] <= '5';
+      }
+      if (ok) {
+        // A reason after "):" is mandatory.
+        size_t colon = t.text.find(':', close);
+        ok = colon != std::string::npos &&
+             t.text.find_first_not_of(" \t", colon + 1) != std::string::npos;
+      }
+      if (!ok) {
+        sup.malformed.push_back(Diagnostic{
+            file.path, t.line, "lint",
+            "malformed suppression; use // DBGC_LINT_ALLOW(Rn): reason"});
+      } else {
+        const int target =
+            code_lines.count(t.line) ? t.line : t.line + 1;
+        sup.by_line[target].insert(rule);
+      }
+      pos = close == std::string::npos ? t.text.size() : close;
+    }
+  }
+  return sup;
+}
+
+}  // namespace
+
+std::set<std::string> CollectStatusFunctions(
+    const std::vector<SourceFile>& files) {
+  std::set<std::string> fns;
+  std::set<std::string> void_fns;
+  for (const SourceFile& f : files) CollectFromFile(f, &fns, &void_fns);
+  // Drop ambiguous names (declared Status in one place, void in another):
+  // flagging them by bare name would misfire on every void call site.
+  for (const std::string& name : void_fns) fns.erase(name);
+  return fns;
+}
+
+std::vector<Diagnostic> AnalyzeFile(const SourceFile& file,
+                                    const std::set<std::string>& status_fns) {
+  const CodeView v = MakeCodeView(file.tokens);
+  std::vector<Diagnostic> diags;
+
+  CheckR1(file, v, status_fns, &diags);
+  for (const FunctionSpan& fn : SegmentFunctions(v)) {
+    if (!IsDecodePath(fn.name)) continue;
+    CheckR2Body(file, v, fn, &diags);
+    CheckR3Body(file, v, fn, &diags);
+  }
+  CheckR4(file, v, &diags);
+  CheckR5(file, v, &diags);
+
+  const Suppressions sup = CollectSuppressions(file);
+  std::vector<Diagnostic> kept;
+  for (const Diagnostic& d : diags) {
+    auto it = sup.by_line.find(d.line);
+    if (it != sup.by_line.end() && it->second.count(d.rule)) continue;
+    kept.push_back(d);
+  }
+  kept.insert(kept.end(), sup.malformed.begin(), sup.malformed.end());
+  std::sort(kept.begin(), kept.end());
+  kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+  return kept;
+}
+
+}  // namespace dbgc_lint

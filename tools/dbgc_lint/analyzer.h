@@ -1,0 +1,69 @@
+// dbgc_lint rule engine.
+//
+// Five project-specific decoder-safety rules over the token stream produced
+// by lexer.h (see docs/LINTING.md for the full specification and rationale):
+//
+//   R1  every call to a Status/Result-returning function is checked or
+//       explicitly cast to void
+//   R2  no allocation sized from decoded data in a decode path outside the
+//       BoundedAlloc guard API (common/contracts.h)
+//   R3  no raw * / + / << on untrusted (reader-tainted) size variables
+//       outside CheckedMul/CheckedAdd/CheckedShl (common/safe_math.h)
+//   R4  no assert() in library code (tests exempt); use DBGC_CHECK
+//   R5  headers are self-contained: canonical include guards, and direct
+//       includes for the std types they use
+//
+// Diagnostics are suppressed by a trailing or preceding comment of the form
+//   // DBGC_LINT_ALLOW(R3): reason the code is safe
+// A suppression without a reason is itself a diagnostic.
+
+#ifndef DBGC_TOOLS_LINT_ANALYZER_H_
+#define DBGC_TOOLS_LINT_ANALYZER_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace dbgc_lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;     // "R1".."R5", or "lint" for tool-level problems.
+  std::string message;
+
+  bool operator<(const Diagnostic& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    if (rule != o.rule) return rule < o.rule;
+    return message < o.message;
+  }
+  bool operator==(const Diagnostic& o) const {
+    return file == o.file && line == o.line && rule == o.rule &&
+           message == o.message;
+  }
+};
+
+struct SourceFile {
+  std::string path;       // As given on the command line (diagnostics key).
+  std::string rel_path;   // Path relative to the repo's src/ dir, if under it.
+  bool is_header = false;
+  bool is_test = false;   // Test / tool code: R4 exempt.
+  std::vector<Token> tokens;
+};
+
+/// Pass 1: names of functions declared to return Status or Result<T>,
+/// collected across every file so cross-file calls are recognized.
+std::set<std::string> CollectStatusFunctions(
+    const std::vector<SourceFile>& files);
+
+/// Pass 2: runs all rules over one file. `status_fns` comes from pass 1.
+/// Suppressions are already applied; malformed suppressions are reported.
+std::vector<Diagnostic> AnalyzeFile(const SourceFile& file,
+                                    const std::set<std::string>& status_fns);
+
+}  // namespace dbgc_lint
+
+#endif  // DBGC_TOOLS_LINT_ANALYZER_H_

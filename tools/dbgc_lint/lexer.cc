@@ -1,0 +1,164 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace dbgc_lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Multi-character punctuators, longest first within each leading character.
+// Only operators the rules care to keep atomic need to be here; anything
+// else falls back to single-character tokens.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=",
+};
+
+}  // namespace
+
+std::vector<Token> Lex(const std::string& source) {
+  std::vector<Token> tokens;
+  const size_t n = source.size();
+  size_t i = 0;
+  int line = 1;
+
+  auto push = [&](TokenKind kind, size_t begin, size_t end, int tok_line) {
+    tokens.push_back(Token{kind, source.substr(begin, end - begin), tok_line});
+  };
+  auto count_lines = [&](size_t begin, size_t end) {
+    for (size_t k = begin; k < end; ++k) {
+      if (source[k] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = source[i];
+
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+
+    // Preprocessor directive: swallow the full logical line, including
+    // backslash continuations, as one token. A trailing // comment is left
+    // for the comment lexer so suppressions work on directive lines.
+    if (c == '#') {
+      const size_t begin = i;
+      const int tok_line = line;
+      while (i < n) {
+        if (source[i] == '\n') {
+          if (i > 0 && source[i - 1] == '\\') {
+            ++line;
+            ++i;
+            continue;
+          }
+          break;
+        }
+        if (source[i] == '/' && i + 1 < n && source[i + 1] == '/') break;
+        ++i;
+      }
+      push(TokenKind::kPreproc, begin, i, tok_line);
+      continue;
+    }
+
+    // Comments (retained: suppressions live in them).
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      const size_t begin = i;
+      while (i < n && source[i] != '\n') ++i;
+      push(TokenKind::kComment, begin, i, line);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const size_t begin = i;
+      const int tok_line = line;
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) ++i;
+      i = (i + 1 < n) ? i + 2 : n;
+      count_lines(begin, i);
+      push(TokenKind::kComment, begin, i, tok_line);
+      continue;
+    }
+
+    // String / char literals (with escape handling; encoding prefixes like
+    // u8"" lex as an identifier token followed by the literal, which is
+    // harmless for these rules).
+    if (c == '"' || c == '\'') {
+      const size_t begin = i;
+      const int tok_line = line;
+      ++i;
+      while (i < n && source[i] != c) {
+        if (source[i] == '\\' && i + 1 < n) ++i;
+        if (source[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;  // Closing quote.
+      push(c == '"' ? TokenKind::kString : TokenKind::kChar, begin, i,
+           tok_line);
+      continue;
+    }
+
+    if (IsIdentStart(c)) {
+      const size_t begin = i;
+      while (i < n && IsIdentChar(source[i])) ++i;
+      push(TokenKind::kIdent, begin, i, line);
+      continue;
+    }
+
+    // Numbers, including hex, separators, suffixes, and simple decimals.
+    // A leading '.' followed by a digit also starts a number.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      const size_t begin = i;
+      ++i;
+      while (i < n) {
+        const char d = source[i];
+        if (IsIdentChar(d) || d == '\'' || d == '.') {
+          ++i;
+        } else if ((d == '+' || d == '-') && i > begin &&
+                   (source[i - 1] == 'e' || source[i - 1] == 'E' ||
+                    source[i - 1] == 'p' || source[i - 1] == 'P')) {
+          ++i;  // Exponent sign.
+        } else {
+          break;
+        }
+      }
+      push(TokenKind::kNumber, begin, i, line);
+      continue;
+    }
+
+    // Punctuation: longest match among the multi-character set.
+    bool matched = false;
+    for (const char* p : kPuncts) {
+      const size_t len = std::char_traits<char>::length(p);
+      if (source.compare(i, len, p) == 0) {
+        push(TokenKind::kPunct, i, i + len, line);
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+
+    push(TokenKind::kPunct, i, i + 1, line);
+    ++i;
+  }
+
+  return tokens;
+}
+
+}  // namespace dbgc_lint

@@ -1,0 +1,40 @@
+// Minimal C++ lexer for dbgc_lint.
+//
+// Produces a flat token stream good enough for the project-specific safety
+// rules in analyzer.h: identifiers, numbers, string/char literals,
+// punctuation, comments (retained, for DBGC_LINT_ALLOW suppressions), and
+// whole preprocessor directives (one token each, so macro bodies never leak
+// into statement scanning). This is deliberately NOT a conforming
+// preprocessor or parser — see docs/LINTING.md for the accepted trade-offs.
+
+#ifndef DBGC_TOOLS_LINT_LEXER_H_
+#define DBGC_TOOLS_LINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace dbgc_lint {
+
+enum class TokenKind {
+  kIdent,    // Identifiers and keywords.
+  kNumber,   // Integer / floating literals (including separators, suffixes).
+  kString,   // "..." including encoding prefixes.
+  kChar,     // '...'
+  kPunct,    // Operators and punctuation, longest-match (e.g. "<<=", "->").
+  kComment,  // // or /* */, text includes the delimiters.
+  kPreproc,  // A full logical preprocessor line, continuations folded in.
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line;  // 1-based line of the token's first character.
+};
+
+/// Lexes `source`. Malformed input (unterminated literals or comments)
+/// never fails: the remainder of the file becomes the final token.
+std::vector<Token> Lex(const std::string& source);
+
+}  // namespace dbgc_lint
+
+#endif  // DBGC_TOOLS_LINT_LEXER_H_

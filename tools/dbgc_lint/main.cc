@@ -1,0 +1,222 @@
+// dbgc_lint: decoder-safety static analyzer for the dbgc tree.
+//
+//   dbgc_lint <file|dir>...            lint; exit 1 if any diagnostic
+//   dbgc_lint --self-test <corpus-dir> check the seeded-violation corpus:
+//                                      every // LINT-EXPECT: Rn annotation
+//                                      must fire on its line, and nothing
+//                                      unannotated may fire; exit 0 iff so
+//
+// Diagnostics: file:line: [rule] message. See docs/LINTING.md.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+#include "lexer.h"
+
+namespace dbgc_lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Path relative to the nearest "src/" component, for guard-name checks.
+std::string RelToSrc(const std::string& path) {
+  const std::string needle = "src/";
+  size_t pos = path.rfind(needle);
+  if (pos == std::string::npos) return "";
+  if (pos != 0 && path[pos - 1] != '/') return "";
+  return path.substr(pos + needle.size());
+}
+
+bool LooksLikeTestCode(const std::string& path) {
+  // The seeded-violation corpus deliberately exercises library-only rules.
+  if (path.find("testdata") != std::string::npos) return false;
+  return path.find("test") != std::string::npos ||
+         path.find("/tools/") != std::string::npos ||
+         path.find("/bench/") != std::string::npos ||
+         path.find("/examples/") != std::string::npos;
+}
+
+bool LoadFile(const std::string& path, SourceFile* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out->path = path;
+  out->rel_path = RelToSrc(path);
+  out->is_header = HasSuffix(path, ".h");
+  out->is_test = LooksLikeTestCode(path);
+  out->tokens = Lex(ss.str());
+  return true;
+}
+
+std::vector<std::string> GatherPaths(const std::vector<std::string>& args,
+                                     std::string* error) {
+  std::vector<std::string> files;
+  for (const std::string& arg : args) {
+    fs::path p(arg);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p, ec)) {
+        if (!entry.is_regular_file()) continue;
+        const std::string sp = entry.path().string();
+        if (HasSuffix(sp, ".h") || HasSuffix(sp, ".cc") ||
+            HasSuffix(sp, ".cpp")) {
+          files.push_back(sp);
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(arg);
+    } else {
+      *error = "dbgc_lint: cannot read '" + arg + "'";
+      return {};
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::vector<Diagnostic> RunLint(const std::vector<SourceFile>& sources) {
+  const std::set<std::string> status_fns = CollectStatusFunctions(sources);
+  std::vector<Diagnostic> diags;
+  for (const SourceFile& f : sources) {
+    std::vector<Diagnostic> d = AnalyzeFile(f, status_fns);
+    diags.insert(diags.end(), d.begin(), d.end());
+  }
+  return diags;
+}
+
+// --self-test: compare diagnostics against // LINT-EXPECT: Rn annotations.
+int RunSelfTest(const std::vector<SourceFile>& sources) {
+  const std::vector<Diagnostic> diags = RunLint(sources);
+
+  // Expected (file, line, rule) triples from annotations.
+  std::map<std::string, std::map<int, std::set<std::string>>> expected;
+  for (const SourceFile& f : sources) {
+    for (const Token& t : f.tokens) {
+      if (t.kind != TokenKind::kComment) continue;
+      size_t pos = 0;
+      while ((pos = t.text.find("LINT-EXPECT:", pos)) != std::string::npos) {
+        pos += 12;
+        std::istringstream rules(t.text.substr(pos));
+        std::string rule;
+        while (rules >> rule) {
+          if (rule.size() == 2 && rule[0] == 'R') {
+            expected[f.path][t.line].insert(rule);
+          } else {
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  int failures = 0;
+  std::set<std::string> rules_fired;
+  std::map<std::string, std::map<int, std::set<std::string>>> got;
+  for (const Diagnostic& d : diags) {
+    if (d.rule == "lint") continue;  // Malformed-suppression demo lines.
+    got[d.file][d.line].insert(d.rule);
+    rules_fired.insert(d.rule);
+    if (!expected[d.file][d.line].count(d.rule)) {
+      std::cerr << "UNEXPECTED: " << d.file << ":" << d.line << ": ["
+                << d.rule << "] " << d.message << "\n";
+      ++failures;
+    }
+  }
+  for (const auto& [file, lines] : expected) {
+    for (const auto& [line, rules] : lines) {
+      for (const std::string& rule : rules) {
+        if (!got[file][line].count(rule)) {
+          std::cerr << "MISSED: " << file << ":" << line << ": expected ["
+                    << rule << "] to fire\n";
+          ++failures;
+        }
+      }
+    }
+  }
+  // The corpus must exercise every rule, or the self-test proves nothing.
+  for (const char* rule : {"R1", "R2", "R3", "R4", "R5"}) {
+    if (!rules_fired.count(rule)) {
+      std::cerr << "MISSED: corpus does not demonstrate rule " << rule
+                << "\n";
+      ++failures;
+    }
+  }
+
+  if (failures > 0) {
+    std::cerr << "dbgc_lint self-test: " << failures << " failure(s)\n";
+    return 1;
+  }
+  std::cout << "dbgc_lint self-test: all " << diags.size()
+            << " seeded violations caught, all rules demonstrated\n";
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  bool self_test = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: dbgc_lint [--self-test] <file|dir>...\n";
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: dbgc_lint [--self-test] <file|dir>...\n";
+    return 2;
+  }
+
+  std::string error;
+  const std::vector<std::string> files = GatherPaths(paths, &error);
+  if (!error.empty()) {
+    std::cerr << error << "\n";
+    return 2;
+  }
+
+  std::vector<SourceFile> sources;
+  for (const std::string& f : files) {
+    SourceFile sf;
+    if (!LoadFile(f, &sf)) {
+      std::cerr << "dbgc_lint: cannot read '" << f << "'\n";
+      return 2;
+    }
+    sources.push_back(std::move(sf));
+  }
+
+  if (self_test) return RunSelfTest(sources);
+
+  const std::vector<Diagnostic> diags = RunLint(sources);
+  for (const Diagnostic& d : diags) {
+    std::cout << d.file << ":" << d.line << ": [" << d.rule << "] "
+              << d.message << "\n";
+  }
+  if (!diags.empty()) {
+    std::cout << diags.size() << " diagnostic(s) across " << sources.size()
+              << " file(s)\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace dbgc_lint
+
+int main(int argc, char** argv) { return dbgc_lint::Main(argc, argv); }

@@ -1,0 +1,17 @@
+// Seeded R5 violations: the guard #define does not match the #ifndef, and
+// std::vector / uint64_t are used without their headers being included
+// directly (this header is only self-contained by accident of its includer).
+
+#ifndef DBGC_TESTDATA_BAD_HEADER_H_
+#define DBGC_TESTDATA_WRONG_NAME_H_  // LINT-EXPECT: R5
+
+namespace dbgc {
+
+struct LeafIndex {
+  std::vector<uint64_t> offsets;  // LINT-EXPECT: R5
+  int depth = 0;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_TESTDATA_BAD_HEADER_H_

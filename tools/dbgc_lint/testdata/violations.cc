@@ -1,0 +1,96 @@
+// Seeded violations for the dbgc_lint self-test (R1-R4). Every line marked
+// LINT-EXPECT must produce exactly that diagnostic; unmarked lines must be
+// clean. This file is never compiled — it only feeds the analyzer.
+
+#include <cstdint>
+#include <vector>
+
+#include "bad_header.h"
+
+namespace dbgc {
+
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+class ByteReader {
+ public:
+  Status ReadUint64(uint64_t* out);
+  Status ReadByte(uint8_t* out);
+  Status Skip(uint64_t n);
+  uint64_t remaining() const { return 0; }
+};
+
+Status GetVarint64(ByteReader* reader, uint64_t* out);
+
+// --- R1: ignored Status-returning calls -----------------------------------
+
+void IgnoredStatusCalls(ByteReader* reader) {
+  uint64_t count = 0;
+  reader->ReadUint64(&count);  // LINT-EXPECT: R1
+  GetVarint64(reader, &count);  // LINT-EXPECT: R1
+  reader->Skip(4);  // LINT-EXPECT: R1
+  (void)reader->Skip(4);                     // Explicitly voided: clean.
+  Status st = reader->ReadUint64(&count);    // Assigned: clean.
+  if (!st.ok()) return;
+}
+
+// --- R2: unguarded allocations in a decode path ---------------------------
+
+Status DecodeUnguardedAllocs(ByteReader* reader) {
+  uint64_t count = 0;
+  Status st = reader->ReadUint64(&count);
+  if (!st.ok()) return st;
+  std::vector<uint8_t> payload;
+  payload.reserve(count);  // LINT-EXPECT: R2
+  payload.resize(count);  // LINT-EXPECT: R2
+  std::vector<uint8_t> grid(count, 0);  // LINT-EXPECT: R2
+  uint8_t* raw = new uint8_t[count];  // LINT-EXPECT: R2
+  delete[] raw;
+  payload.reserve(16);                       // Literal size: clean.
+  std::vector<uint8_t> copy;
+  copy.reserve(payload.size());              // Sized from memory: clean.
+  return st;
+}
+
+// --- R3: raw arithmetic on untrusted sizes --------------------------------
+
+Status DecodeRawSizeArithmetic(ByteReader* reader, uint64_t trusted) {
+  uint64_t count = 0;
+  Status st = reader->ReadUint64(&count);
+  if (!st.ok()) return st;
+  uint64_t bytes = count * 12;  // LINT-EXPECT: R3
+  bytes = count + 8;  // LINT-EXPECT: R3
+  bytes = count << 3;  // LINT-EXPECT: R3
+  bytes += count;  // LINT-EXPECT: R3
+  bytes = trusted * 12;                      // Untainted operand: clean.
+  if (count > reader->remaining()) return st;  // Comparison: clean.
+  return st;
+}
+
+// --- R4: assert in library code -------------------------------------------
+
+inline void Narrow(uint64_t v) {
+  assert(v < 256);  // LINT-EXPECT: R4
+  static_assert(sizeof(v) == 8);             // static_assert: clean.
+  (void)v;
+}
+
+// --- Suppressions: an allowed violation must NOT fire ---------------------
+
+Status DecodeWithSuppression(ByteReader* reader) {
+  uint64_t header_cells = 0;
+  Status st = reader->ReadUint64(&header_cells);
+  if (!st.ok()) return st;
+  std::vector<uint8_t> cells;
+  // Bounded two lines up by the protocol's 16-bit field width.
+  // DBGC_LINT_ALLOW(R2): header_cells is at most 65535 by construction.
+  cells.reserve(header_cells);  // DBGC_LINT_ALLOW(R3): bounded above.
+  return st;
+}
+
+// A suppression without a reason is itself flagged.
+// DBGC_LINT_ALLOW(R2)  LINT-EXPECT-NONE (malformed, reported as [lint])
+
+}  // namespace dbgc
