@@ -1,0 +1,157 @@
+// Intra-frame parallel scaling: encode wall-clock versus thread budget.
+//
+//   $ ./bench/bench_parallel_scaling [out.json]
+//
+// For each scene tier the DBGC encoder runs with thread budgets 1, 2, 4
+// and 8 on a shared pool (CompressParams::pool / max_threads,
+// docs/PARALLELISM.md) and the table reports encode ms and speedup over
+// the serial run. Every parallel bitstream is checked byte-identical to
+// the serial one before its timing counts. Results are also written as
+// JSON (default BENCH_parallel.json in the working directory — run from
+// the repo root, as scripts/check.sh does) together with
+// hardware_concurrency, because speedup is only meaningful relative to
+// the cores actually present: on a 1-core host every budget degenerates
+// to the caller thread and speedup ~1.0 is the honest result.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "codec/codec.h"
+#include "common/thread_pool.h"
+#include "core/dbgc_codec.h"
+
+namespace {
+
+struct Tier {
+  const char* name;
+  dbgc::SceneType scene;
+  size_t stride;  // Subsampling stride: 1 = full frame.
+};
+
+struct Row {
+  std::string tier;
+  size_t points = 0;
+  int threads = 1;
+  double encode_ms = 0;
+  double speedup = 1.0;
+};
+
+double EncodeMs(const dbgc::DbgcCodec& codec,
+                const std::vector<dbgc::PointCloud>& frames,
+                const dbgc::CompressParams& params,
+                const std::vector<dbgc::ByteBuffer>* reference,
+                std::vector<dbgc::ByteBuffer>* out) {
+  double total = 0;
+  for (size_t f = 0; f < frames.size(); ++f) {
+    dbgc::Result<dbgc::ByteBuffer> compressed = dbgc::ByteBuffer();
+    total += dbgc::bench::TimeSeconds(
+        [&] { compressed = codec.Compress(frames[f], params); });
+    if (!compressed.ok()) {
+      std::fprintf(stderr, "compress failed: %s\n",
+                   compressed.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (reference != nullptr &&
+        !(compressed.value() == (*reference)[f])) {
+      std::fprintf(stderr,
+                   "BITSTREAM MISMATCH at %d threads, frame %zu: parallel "
+                   "encode must be byte-identical (docs/PARALLELISM.md)\n",
+                   params.max_threads, f);
+      std::exit(1);
+    }
+    if (out != nullptr) out->push_back(std::move(compressed).value());
+  }
+  return 1000.0 * total / static_cast<double>(frames.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_parallel.json";
+  const int frames_per_config = dbgc::bench::FramesPerConfig();
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  dbgc::bench::Banner("Parallel scaling: encode time vs thread budget",
+                      "intra-frame parallel DBGC (docs/PARALLELISM.md)");
+  std::printf("hardware_concurrency: %u, frames per config: %d\n\n", hw,
+              frames_per_config);
+  std::printf("%-10s %9s %8s %11s %8s\n", "tier", "points", "threads",
+              "encode(ms)", "speedup");
+
+  const std::vector<Tier> tiers = {
+      {"city-s", dbgc::SceneType::kCity, 8},
+      {"campus-m", dbgc::SceneType::kCampus, 2},
+      {"urban-l", dbgc::SceneType::kUrban, 1},
+  };
+  const std::vector<int> budgets = {1, 2, 4, 8};
+
+  const dbgc::DbgcOptions options;
+  const dbgc::DbgcCodec codec(options);
+  std::vector<Row> rows;
+
+  for (const Tier& tier : tiers) {
+    std::vector<dbgc::PointCloud> frames;
+    size_t points = 0;
+    for (int f = 0; f < frames_per_config; ++f) {
+      const dbgc::PointCloud full =
+          dbgc::bench::Frame(tier.scene, static_cast<uint32_t>(f));
+      dbgc::PointCloud pc;
+      for (size_t i = 0; i < full.size(); i += tier.stride) pc.Add(full[i]);
+      points = pc.size();
+      frames.push_back(std::move(pc));
+    }
+
+    // Serial baseline: no pool at all, the exact single-threaded path.
+    dbgc::CompressParams serial;
+    serial.q_xyz = options.q_xyz;
+    std::vector<dbgc::ByteBuffer> reference;
+    const double serial_ms =
+        EncodeMs(codec, frames, serial, nullptr, &reference);
+
+    for (const int budget : budgets) {
+      double ms = serial_ms;
+      if (budget > 1) {
+        dbgc::ThreadPool pool(budget);
+        dbgc::CompressParams params;
+        params.q_xyz = options.q_xyz;
+        params.pool = &pool;
+        params.max_threads = budget;
+        ms = EncodeMs(codec, frames, params, &reference, nullptr);
+      }
+      Row row;
+      row.tier = tier.name;
+      row.points = points;
+      row.threads = budget;
+      row.encode_ms = ms;
+      row.speedup = ms > 0 ? serial_ms / ms : 1.0;
+      std::printf("%-10s %9zu %8d %11.2f %7.2fx\n", row.tier.c_str(),
+                  row.points, row.threads, row.encode_ms, row.speedup);
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"parallel_scaling\",\n");
+  std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(json, "  \"frames_per_config\": %d,\n", frames_per_config);
+  std::fprintf(json, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(json,
+                 "    {\"tier\": \"%s\", \"points\": %zu, \"threads\": %d, "
+                 "\"encode_ms\": %.3f, \"speedup\": %.3f}%s\n",
+                 r.tier.c_str(), r.points, r.threads, r.encode_ms, r.speedup,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

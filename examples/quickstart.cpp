@@ -12,6 +12,7 @@
 #include <cstdlib>
 
 #include "codec/codec.h"
+#include "common/thread_pool.h"
 #include "core/dbgc_codec.h"
 #include "core/error_metrics.h"
 #include "lidar/scene_generator.h"
@@ -37,10 +38,18 @@ int main(int argc, char** argv) {
   options.q_xyz = q_xyz;
   dbgc::DbgcCodec bound_codec(options);
 
-  // 3. Compress. CompressWithInfo additionally reports the dense/sparse
-  //    split, per-stage timings, and the one-to-one point mapping.
+  // 3. Compress. CompressParams carries the error bound, an optional
+  //    thread pool accelerating the encode (the bitstream is identical
+  //    with or without it), and an optional info sink reporting the
+  //    dense/sparse split, per-stage timings, and the one-to-one point
+  //    mapping. codec.Compress(cloud, q) remains as shorthand.
+  dbgc::ThreadPool pool(dbgc::ThreadPool::DefaultThreadCount());
   dbgc::DbgcCompressInfo info;
-  auto compressed = bound_codec.CompressWithInfo(cloud, &info);
+  dbgc::CompressParams params;
+  params.q_xyz = q_xyz;
+  params.pool = &pool;
+  params.info = &info;
+  auto compressed = bound_codec.Compress(cloud, params);
   if (!compressed.ok()) {
     std::fprintf(stderr, "compression failed: %s\n",
                  compressed.status().ToString().c_str());

@@ -26,8 +26,19 @@ if [[ "${MODE}" == "--tier1" ]]; then
   exit 0
 fi
 
+echo "==> parallel scaling bench: BENCH_parallel.json"
+# One frame per config keeps CI fast; the binary also re-verifies that
+# every parallel encode is byte-identical to the serial one.
+DBGC_BENCH_FRAMES="${DBGC_BENCH_FRAMES:-1}" \
+  ./build/bench/bench_parallel_scaling BENCH_parallel.json
+
 echo "==> lint gate: dbgc_lint over src/ + self-test corpus"
 ctest --test-dir build -L lint --output-on-failure -j "${JOBS}"
+# The lint label already covers all of src/; re-run the concurrency
+# substrate explicitly so a pool regression names itself in CI logs.
+./build/tools/dbgc_lint/dbgc_lint \
+  src/common/thread_pool.h src/common/thread_pool.cc \
+  src/net/pipeline.h src/net/pipeline.cc
 
 # Compile-only gate over the library and lint tool; tests are exercised by
 # the tier-1 and sanitizer builds above and stay on the permissive warning
@@ -59,14 +70,19 @@ ASAN_OPTIONS="abort_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="print_stacktrace=1" \
 ctest --test-dir build-asan -L "${SAN_LABELS}" --output-on-failure -j "${JOBS}"
 
-echo "==> sanitizer pass: TSan concurrency smoke"
+echo "==> sanitizer pass: TSan concurrency smoke + pool/pipeline suites"
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDBGC_SANITIZE=thread \
   -DDBGC_BUILD_BENCHMARKS=OFF \
   -DDBGC_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build build-tsan -j "${JOBS}" --target concurrency_smoke_test
+cmake --build build-tsan -j "${JOBS}" \
+  --target concurrency_smoke_test thread_pool_test net_test
+# ThreadPool/Parallelism: the ParallelFor stress mix; PipelineBackpressure:
+# the bounded-window frame pipeline; ConcurrencySmoke: codec statelessness.
 TSAN_OPTIONS="halt_on_error=1" \
-ctest --test-dir build-tsan -R ConcurrencySmoke --output-on-failure -j "${JOBS}"
+ctest --test-dir build-tsan \
+  -R "ConcurrencySmoke|ThreadPoolTest|ParallelismTest|PipelineBackpressure" \
+  --output-on-failure -j "${JOBS}"
 
 echo "==> all checks passed"

@@ -1,9 +1,11 @@
 #include "cluster/approx_clustering.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 #include "cluster/flat_map.h"
+#include "common/check.h"
 #include "spatial/voxel_grid.h"
 
 namespace dbgc {
@@ -19,7 +21,8 @@ VoxelCoord CoordAt(const Point3& p, double inv_side) {
 }  // namespace
 
 ClusteringResult ApproxClustering(const PointCloud& pc,
-                                  const ClusteringParams& params) {
+                                  const ClusteringParams& params,
+                                  const Parallelism& par) {
   ClusteringResult result;
   const size_t n = pc.size();
   result.is_dense.assign(n, false);
@@ -36,20 +39,50 @@ ClusteringResult ApproxClustering(const PointCloud& pc,
   const size_t min_pts = params.min_pts * 2;
 
   // One pass: per-point leaf key and coarse key; aggregate coarse counts.
+  // Under a thread budget each worker aggregates a contiguous slice into
+  // its own map; the merge adds counters, which commutes, so the merged
+  // counts match the serial single-map run exactly.
   std::vector<uint64_t> leaf_key(n);
   std::vector<uint64_t> coarse_key(n);
   FlatCountMap coarse_counts(n / 3 + 8);
-  for (size_t i = 0; i < n; ++i) {
-    leaf_key[i] = VoxelGrid::KeyOf(CoordAt(pc[i], inv_cell));
-    coarse_key[i] = VoxelGrid::KeyOf(CoordAt(pc[i], inv_coarse));
-    coarse_counts.Add(coarse_key[i], 1);
+  const size_t parts =
+      par.enabled() && n >= 4096 ? static_cast<size_t>(par.width()) : 1;
+  if (parts <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      leaf_key[i] = VoxelGrid::KeyOf(CoordAt(pc[i], inv_cell));
+      coarse_key[i] = VoxelGrid::KeyOf(CoordAt(pc[i], inv_coarse));
+      coarse_counts.Add(coarse_key[i], 1);
+    }
+  } else {
+    std::vector<FlatCountMap> part_counts;
+    part_counts.reserve(parts);
+    for (size_t p = 0; p < parts; ++p) {
+      part_counts.emplace_back(n / parts / 3 + 8);
+    }
+    const size_t slice = (n + parts - 1) / parts;
+    const Status key_status = par.For(0, parts, 1, [&](size_t lo, size_t hi) {
+      for (size_t p = lo; p < hi; ++p) {
+        const size_t pb = p * slice;
+        const size_t pe = std::min(n, pb + slice);
+        for (size_t i = pb; i < pe; ++i) {
+          leaf_key[i] = VoxelGrid::KeyOf(CoordAt(pc[i], inv_cell));
+          coarse_key[i] = VoxelGrid::KeyOf(CoordAt(pc[i], inv_coarse));
+          part_counts[p].Add(coarse_key[i], 1);
+        }
+      }
+    });
+    DBGC_CHECK(key_status.ok());
+    for (const FlatCountMap& m : part_counts) {
+      m.ForEach(
+          [&](uint64_t key, uint32_t count) { coarse_counts.Add(key, count); });
+    }
   }
 
   // Pass 1: a leaf cell is dense when the 5^3 coarse block around its
-  // representative coarse cell holds at least minPts points. Block sums are
-  // cached per coarse cell (many leaf cells share one).
-  // coarse_dense: 1 = block >= minPts, 2 = block below; 0 = not computed.
-  FlatCountMap coarse_dense(n / 3 + 8);
+  // representative coarse cell holds at least minPts points. Each distinct
+  // coarse cell gets its verdict from one representative point; the block
+  // sum is a pure function of the (frozen) coarse counts, so the verdicts
+  // can be computed concurrently and applied in the serial scan order.
   FlatCountMap dense_cells(n / 4 + 8);
   FlatCountMap seen_cells(n / 2 + 8);
   std::vector<size_t> first_point_of_cell;  // For the promotion pass.
@@ -59,48 +92,76 @@ ClusteringResult ApproxClustering(const PointCloud& pc,
     seen_cells.Add(leaf_key[i], 1);
     first_point_of_cell.push_back(i);
   }
+  FlatCountMap coarse_seen(n / 3 + 8);
+  std::vector<size_t> coarse_rep;  // One representative per coarse cell.
+  coarse_rep.reserve(first_point_of_cell.size());
   for (size_t i : first_point_of_cell) {
-    uint32_t verdict = coarse_dense.Get(coarse_key[i]);
-    if (verdict == 0) {
-      const VoxelCoord center = CoordAt(pc[i], inv_coarse);
-      uint64_t total = 0;
-      for (int dx = -2; dx <= 2 && total < min_pts; ++dx) {
-        for (int dy = -2; dy <= 2 && total < min_pts; ++dy) {
-          for (int dz = -2; dz <= 2; ++dz) {
-            total += coarse_counts.Get(VoxelGrid::KeyOf(VoxelCoord{
-                center.x + dx, center.y + dy, center.z + dz}));
-            if (total >= min_pts) break;
+    if (coarse_seen.Contains(coarse_key[i])) continue;
+    coarse_seen.Add(coarse_key[i], 1);
+    coarse_rep.push_back(i);
+  }
+  // verdicts[j]: 1 = block >= minPts, 2 = block below.
+  std::vector<uint32_t> verdicts(coarse_rep.size());
+  const Status verdict_status = par.For(
+      0, coarse_rep.size(), par.GrainFor(coarse_rep.size(), 64),
+      [&](size_t lo, size_t hi) {
+        for (size_t j = lo; j < hi; ++j) {
+          const VoxelCoord center = CoordAt(pc[coarse_rep[j]], inv_coarse);
+          uint64_t total = 0;
+          for (int dx = -2; dx <= 2 && total < min_pts; ++dx) {
+            for (int dy = -2; dy <= 2 && total < min_pts; ++dy) {
+              for (int dz = -2; dz <= 2; ++dz) {
+                total += coarse_counts.Get(VoxelGrid::KeyOf(VoxelCoord{
+                    center.x + dx, center.y + dy, center.z + dz}));
+                if (total >= min_pts) break;
+              }
+            }
           }
+          verdicts[j] = total >= min_pts ? 1 : 2;
         }
-      }
-      verdict = total >= min_pts ? 1 : 2;
-      coarse_dense.Add(coarse_key[i], verdict);
-    }
-    if (verdict == 1) dense_cells.Add(leaf_key[i], 1);
+      });
+  DBGC_CHECK(verdict_status.ok());
+  FlatCountMap coarse_dense(n / 3 + 8);
+  for (size_t j = 0; j < coarse_rep.size(); ++j) {
+    coarse_dense.Add(coarse_key[coarse_rep[j]], verdicts[j]);
+  }
+  for (size_t i : first_point_of_cell) {
+    if (coarse_dense.Get(coarse_key[i]) == 1) dense_cells.Add(leaf_key[i], 1);
   }
 
   // Pass 2: promote sparse leaf cells that touch a dense leaf cell
   // (26-neighbourhood), mirroring the paper's "if a sparse cell has at
-  // least one dense cell as a surrounding cell" promotion.
-  std::vector<uint64_t> promoted;
-  for (size_t i : first_point_of_cell) {
-    if (dense_cells.Contains(leaf_key[i])) continue;
-    const VoxelCoord c = CoordAt(pc[i], inv_cell);
-    bool near_dense = false;
-    for (int dx = -1; dx <= 1 && !near_dense; ++dx) {
-      for (int dy = -1; dy <= 1 && !near_dense; ++dy) {
-        for (int dz = -1; dz <= 1 && !near_dense; ++dz) {
-          if (dx == 0 && dy == 0 && dz == 0) continue;
-          if (dense_cells.Contains(VoxelGrid::KeyOf(
-                  VoxelCoord{c.x + dx, c.y + dy, c.z + dz}))) {
-            near_dense = true;
+  // least one dense cell as a surrounding cell" promotion. The scan only
+  // reads dense_cells, so the per-cell answers go to disjoint slots of a
+  // flag array and are applied afterwards in scan order.
+  std::vector<uint8_t> near_dense_flags(first_point_of_cell.size(), 0);
+  const Status promote_status = par.For(
+      0, first_point_of_cell.size(),
+      par.GrainFor(first_point_of_cell.size(), 512),
+      [&](size_t lo, size_t hi) {
+        for (size_t j = lo; j < hi; ++j) {
+          const size_t i = first_point_of_cell[j];
+          if (dense_cells.Contains(leaf_key[i])) continue;
+          const VoxelCoord c = CoordAt(pc[i], inv_cell);
+          bool near_dense = false;
+          for (int dx = -1; dx <= 1 && !near_dense; ++dx) {
+            for (int dy = -1; dy <= 1 && !near_dense; ++dy) {
+              for (int dz = -1; dz <= 1 && !near_dense; ++dz) {
+                if (dx == 0 && dy == 0 && dz == 0) continue;
+                if (dense_cells.Contains(VoxelGrid::KeyOf(
+                        VoxelCoord{c.x + dx, c.y + dy, c.z + dz}))) {
+                  near_dense = true;
+                }
+              }
+            }
           }
+          if (near_dense) near_dense_flags[j] = 1;
         }
-      }
-    }
-    if (near_dense) promoted.push_back(leaf_key[i]);
+      });
+  DBGC_CHECK(promote_status.ok());
+  for (size_t j = 0; j < first_point_of_cell.size(); ++j) {
+    if (near_dense_flags[j]) dense_cells.Add(leaf_key[first_point_of_cell[j]], 1);
   }
-  for (uint64_t key : promoted) dense_cells.Add(key, 1);
 
   // Pass 3: label points by leaf-cell membership.
   for (size_t i = 0; i < n; ++i) {

@@ -15,12 +15,18 @@
 
 #include "cluster/clustering_types.h"
 #include "common/point_cloud.h"
+#include "common/thread_pool.h"
 
 namespace dbgc {
 
-/// Runs the approximate grid clustering.
+/// Runs the approximate grid clustering. The optional thread budget
+/// parallelizes the per-point key pass (per-worker count maps merged by
+/// counter addition), the per-coarse-cell block sums, and the promotion
+/// scan; every parallel product is order-independent, so the labeling is
+/// identical for any budget.
 ClusteringResult ApproxClustering(const PointCloud& pc,
-                                  const ClusteringParams& params);
+                                  const ClusteringParams& params,
+                                  const Parallelism& par = {});
 
 }  // namespace dbgc
 

@@ -3,12 +3,14 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/check.h"
 #include "spatial/voxel_grid.h"
 
 namespace dbgc {
 
 ClusteringResult CellClustering(const PointCloud& pc,
-                                const ClusteringParams& params) {
+                                const ClusteringParams& params,
+                                const Parallelism& par) {
   ClusteringResult result;
   const size_t n = pc.size();
   result.is_dense.assign(n, false);
@@ -20,15 +22,41 @@ ClusteringResult CellClustering(const PointCloud& pc,
   VoxelGrid cell_grid(pc, params.cell_side);
 
   std::vector<uint64_t> cell_of(n);
-  for (size_t i = 0; i < n; ++i) {
-    cell_of[i] = VoxelGrid::KeyOf(cell_grid.CoordOf(pc[i]));
-  }
+  const Status cell_status =
+      par.For(0, n, par.GrainFor(n, 2048), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          cell_of[i] = VoxelGrid::KeyOf(cell_grid.CoordOf(pc[i]));
+        }
+      });
+  DBGC_CHECK(cell_status.ok());
 
   std::unordered_set<uint64_t> dense_cells;
   std::vector<bool> visited(n, false);
   std::vector<int> stack;
 
+  // The core predicate is pure, so under a thread budget it is evaluated
+  // for every point up front; the expansion below then consumes the cached
+  // answers exactly where the serial run would have evaluated lazily,
+  // keeping the dense/sparse labeling bit-identical. The dense-cell
+  // shortcut still skips the *lookup*, preserving the serial semantics.
+  std::vector<uint8_t> core_cache;
+  if (par.enabled() && n >= 1024) {
+    core_cache.resize(n);
+    const Status core_status =
+        par.For(0, n, par.GrainFor(n, 256), [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            core_cache[i] =
+                search_grid.CountWithinRadius(pc[i], params.epsilon,
+                                              params.min_pts) >= params.min_pts
+                    ? 1
+                    : 0;
+          }
+        });
+    DBGC_CHECK(core_status.ok());
+  }
+
   auto is_core = [&](int idx) {
+    if (!core_cache.empty()) return core_cache[static_cast<size_t>(idx)] != 0;
     return search_grid.CountWithinRadius(pc[idx], params.epsilon,
                                          params.min_pts) >= params.min_pts;
   };

@@ -13,12 +13,17 @@
 
 #include "cluster/clustering_types.h"
 #include "common/point_cloud.h"
+#include "common/thread_pool.h"
 
 namespace dbgc {
 
-/// Runs the exact cell-based clustering.
+/// Runs the exact cell-based clustering. The optional thread budget
+/// parallelizes the per-point core tests (a pure predicate), leaving the
+/// expansion order — and therefore the labeling — identical to the serial
+/// run.
 ClusteringResult CellClustering(const PointCloud& pc,
-                                const ClusteringParams& params);
+                                const ClusteringParams& params,
+                                const Parallelism& par = {});
 
 }  // namespace dbgc
 

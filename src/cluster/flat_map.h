@@ -79,6 +79,18 @@ class FlatCountMap {
 
   size_t size() const { return size_; }
 
+  /// Visits every (key, counter) pair. Iteration order follows the probe
+  /// layout and is NOT deterministic across differently-built maps; callers
+  /// merging maps must combine with an order-independent operation (counter
+  /// addition) so the merged contents stay deterministic.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (has_zero_) fn(uint64_t{0}, zero_value_);
+    for (size_t i = 0; i < keys_.size(); ++i) {
+      if (keys_[i] != 0) fn(keys_[i], values_[i]);
+    }
+  }
+
  private:
   static uint64_t Hash(uint64_t x) {
     x ^= x >> 33;

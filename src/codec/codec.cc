@@ -1,19 +1,65 @@
 #include "codec/codec.h"
 
+#include <cmath>
+
 #include "codec/gpcc_like_codec.h"
 #include "codec/kdtree_codec.h"
 #include "codec/octree_codec.h"
 #include "codec/octree_grouped_codec.h"
+#include "common/thread_pool.h"
 
 namespace dbgc {
 
+namespace {
+
+Status ValidateBudget(ThreadPool* pool, int max_threads) {
+  if (max_threads < 0) {
+    return Status::InvalidArgument("codec: max_threads must be >= 0");
+  }
+  (void)pool;  // A null pool is valid (serial execution).
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ByteBuffer> GeometryCodec::Compress(const PointCloud& pc,
+                                           const CompressParams& params) const {
+  DBGC_RETURN_NOT_OK(ValidateBudget(params.pool, params.max_threads));
+  if (std::isnan(params.q_xyz)) {
+    return Status::InvalidArgument("codec: q_xyz is NaN");
+  }
+  return CompressImpl(pc, params);
+}
+
+Result<PointCloud> GeometryCodec::Decompress(
+    const ByteBuffer& buffer, const DecompressParams& params) const {
+  DBGC_RETURN_NOT_OK(ValidateBudget(params.pool, params.max_threads));
+  return DecompressImpl(buffer, params);
+}
+
+Result<ByteBuffer> GeometryCodec::Compress(const PointCloud& pc,
+                                           double q_xyz) const {
+  CompressParams params;
+  params.q_xyz = q_xyz;
+  return Compress(pc, params);
+}
+
+Result<PointCloud> GeometryCodec::Decompress(const ByteBuffer& buffer) const {
+  return Decompress(buffer, DecompressParams());
+}
+
 double CompressionRatio(const PointCloud& pc, const ByteBuffer& compressed) {
-  if (compressed.size() == 0) return 0.0;
+  // Total function, no Status path (see header): both degenerate inputs
+  // yield 0, so a 0 ratio always reads as "no meaningful ratio".
+  if (compressed.size() == 0 || pc.empty()) return 0.0;
   return static_cast<double>(pc.RawSizeBytes()) /
          static_cast<double>(compressed.size());
 }
 
 double BandwidthMbps(const ByteBuffer& compressed, double fps) {
+  // Total function, no Status path (see header): empty frames and
+  // non-positive rates need no bandwidth, and NaN fps fails the > 0 test.
+  if (compressed.size() == 0 || !(fps > 0.0)) return 0.0;
   return 8.0 * fps * static_cast<double>(compressed.size()) / 1e6;
 }
 

@@ -4,6 +4,14 @@
 // A codec compresses a point cloud into a bit sequence B under a Cartesian
 // per-dimension error bound q_xyz, and decompresses B into a cloud PC' with
 // a one-to-one mapping to PC (Problem Statement, Section 2.1).
+//
+// The public entry points take CompressParams / DecompressParams so that a
+// thread budget (and, later, arenas or cancellation) can cross the codec
+// boundary without another signature change; thin forwarding overloads
+// preserve the original positional (pc, q_xyz) API. Implementations
+// override the protected CompressImpl / DecompressImpl hooks (NVI), which
+// keeps central parameter validation in one place and avoids the overload
+// hiding that overriding one of two public overloads would cause.
 
 #ifndef DBGC_CODEC_CODEC_H_
 #define DBGC_CODEC_CODEC_H_
@@ -18,6 +26,37 @@
 
 namespace dbgc {
 
+class ThreadPool;
+struct DbgcCompressInfo;
+
+/// Everything a codec may consume while compressing one frame.
+///
+/// Determinism contract: for a given cloud and q_xyz the emitted bitstream
+/// is byte-identical for every (pool, max_threads) combination, including
+/// pool == nullptr. Parallelism changes only wall-clock time.
+struct CompressParams {
+  /// Per-dimension Cartesian error bound in meters.
+  double q_xyz = 0.02;
+  /// Worker pool for intra-frame parallelism; null = serial. The pool is
+  /// borrowed for the duration of the call and must outlive it.
+  ThreadPool* pool = nullptr;
+  /// Cap on threads one compression may occupy (0 = all pool workers,
+  /// 1 = serial even with a pool). Negative values are rejected.
+  int max_threads = 0;
+  /// Optional instrumentation sink. Filled by the DBGC-family codecs
+  /// (stage timings, dense/sparse split, point mapping); baseline codecs
+  /// ignore it. May be null.
+  DbgcCompressInfo* info = nullptr;
+};
+
+/// Decompression-side counterpart of CompressParams.
+struct DecompressParams {
+  /// Worker pool for intra-frame parallelism; null = serial.
+  ThreadPool* pool = nullptr;
+  /// Cap on threads one decompression may occupy (0 = all pool workers).
+  int max_threads = 0;
+};
+
 /// Abstract geometry compressor/decompressor.
 class GeometryCodec {
  public:
@@ -26,20 +65,50 @@ class GeometryCodec {
   /// Short display name ("Octree", "G-PCC-like", "DBGC", ...).
   virtual std::string name() const = 0;
 
-  /// Compresses `pc` under the per-dimension error bound `q_xyz` (meters).
-  virtual Result<ByteBuffer> Compress(const PointCloud& pc,
-                                      double q_xyz) const = 0;
+  /// Compresses `pc` under `params` (error bound, thread budget,
+  /// instrumentation). Validates the budget, then dispatches to the
+  /// codec's CompressImpl.
+  Result<ByteBuffer> Compress(const PointCloud& pc,
+                              const CompressParams& params) const;
 
   /// Decompresses a stream produced by this codec's Compress.
-  virtual Result<PointCloud> Decompress(const ByteBuffer& buffer) const = 0;
+  Result<PointCloud> Decompress(const ByteBuffer& buffer,
+                                const DecompressParams& params) const;
+
+  /// Forwarding overload: the original positional API, equivalent to
+  /// Compress(pc, CompressParams{.q_xyz = q_xyz}).
+  Result<ByteBuffer> Compress(const PointCloud& pc, double q_xyz) const;
+
+  /// Forwarding overload: serial decompression with default params.
+  Result<PointCloud> Decompress(const ByteBuffer& buffer) const;
+
+ protected:
+  /// Codec-specific compression. `params` has been validated.
+  virtual Result<ByteBuffer> CompressImpl(
+      const PointCloud& pc, const CompressParams& params) const = 0;
+
+  /// Codec-specific decompression. `params` has been validated.
+  virtual Result<PointCloud> DecompressImpl(
+      const ByteBuffer& buffer, const DecompressParams& params) const = 0;
 };
 
 /// Compression ratio: raw geometry bytes (12 per point, Section 2.1) over
-/// |B|. Returns 0 when |B| is 0.
+/// |B|.
+///
+/// Contract: this is a total function with no Status path — it is a
+/// reporting metric, not a codec operation, so edge cases degrade to 0
+/// rather than fail. Returns 0 when |B| is 0 (nothing was produced, a
+/// ratio is meaningless) and 0 when the cloud is empty (0 raw bytes over
+/// anything). A return of 0 therefore always means "no meaningful ratio",
+/// never "infinitely good".
 double CompressionRatio(const PointCloud& pc, const ByteBuffer& compressed);
 
 /// Bandwidth in Mbps needed to ship one compressed frame `fps` times per
 /// second (Section 4.1, Metrics): 8 * fps * |B| / 10^6.
+///
+/// Contract: total function, no Status path. Returns 0 when the buffer is
+/// empty or fps <= 0 (a non-positive rate has no bandwidth requirement);
+/// the result is never negative.
 double BandwidthMbps(const ByteBuffer& compressed, double fps);
 
 /// Instantiates every baseline codec for comparison benchmarks

@@ -216,8 +216,9 @@ Status DecodeNode(DecodeContext* ctx, uint64_t prefix, int level,
 
 }  // namespace
 
-Result<ByteBuffer> GpccLikeCodec::Compress(const PointCloud& pc,
-                                           double q_xyz) const {
+Result<ByteBuffer> GpccLikeCodec::CompressImpl(
+    const PointCloud& pc, const CompressParams& params) const {
+  const double q_xyz = params.q_xyz;
   if (q_xyz <= 0) {
     return Status::InvalidArgument("gpcc codec: q_xyz must be positive");
   }
@@ -261,7 +262,9 @@ Result<ByteBuffer> GpccLikeCodec::Compress(const PointCloud& pc,
   return out;
 }
 
-Result<PointCloud> GpccLikeCodec::Decompress(const ByteBuffer& buffer) const {
+Result<PointCloud> GpccLikeCodec::DecompressImpl(
+    const ByteBuffer& buffer, const DecompressParams& params) const {
+  (void)params;  // One context-coded stream; decode is sequential.
   ByteReader reader(buffer);
   Cube root;
   DBGC_RETURN_NOT_OK(reader.ReadDouble(&root.origin.x));

@@ -25,9 +25,12 @@ namespace dbgc {
 class GpccLikeCodec : public GeometryCodec {
  public:
   std::string name() const override { return "G-PCC-like"; }
-  Result<ByteBuffer> Compress(const PointCloud& pc,
-                              double q_xyz) const override;
-  Result<PointCloud> Decompress(const ByteBuffer& buffer) const override;
+
+ protected:
+  Result<ByteBuffer> CompressImpl(const PointCloud& pc,
+                                  const CompressParams& params) const override;
+  Result<PointCloud> DecompressImpl(
+      const ByteBuffer& buffer, const DecompressParams& params) const override;
 };
 
 }  // namespace dbgc

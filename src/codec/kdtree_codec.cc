@@ -112,8 +112,9 @@ void DecodeRecursive(ArithmeticDecoder* dec, const IntBox& box, uint32_t n,
 
 }  // namespace
 
-Result<ByteBuffer> KdTreeCodec::Compress(const PointCloud& pc,
-                                         double q_xyz) const {
+Result<ByteBuffer> KdTreeCodec::CompressImpl(
+    const PointCloud& pc, const CompressParams& params) const {
+  const double q_xyz = params.q_xyz;
   if (q_xyz <= 0) {
     return Status::InvalidArgument("kd codec: q_xyz must be positive");
   }
@@ -155,7 +156,9 @@ Result<ByteBuffer> KdTreeCodec::Compress(const PointCloud& pc,
   return out;
 }
 
-Result<PointCloud> KdTreeCodec::Decompress(const ByteBuffer& buffer) const {
+Result<PointCloud> KdTreeCodec::DecompressImpl(
+    const ByteBuffer& buffer, const DecompressParams& params) const {
+  (void)params;  // The recursive count decode is inherently sequential.
   ByteReader reader(buffer);
   double ox, oy, oz, step;
   DBGC_RETURN_NOT_OK(reader.ReadDouble(&ox));

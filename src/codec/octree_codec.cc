@@ -1,12 +1,55 @@
 #include "codec/octree_codec.h"
 
 #include "bitio/varint.h"
+#include "common/thread_pool.h"
 #include "encoding/value_codec.h"
 #include "entropy/arithmetic_coder.h"
 
 namespace dbgc {
 
 ByteBuffer OctreeCodec::SerializeStructure(const OctreeStructure& tree) {
+  return SerializeStructure(tree, Parallelism());
+}
+
+ByteBuffer OctreeCodec::SerializeStructure(const OctreeStructure& tree,
+                                           const Parallelism& par) {
+  // The stream is two independent shards behind a fixed header: the
+  // arithmetic-coded occupancy codes and the value-coded per-leaf counts.
+  // Each shard is serialized into its own ByteBuffer (concurrently when a
+  // pool is available) and concatenated in fixed shard order, so the
+  // output is byte-identical for any thread count.
+  ByteBuffer occupancy_shard;
+  ByteBuffer counts_shard;
+  const Status shard_status = par.For(0, 2, 1, [&](size_t lo, size_t hi) {
+    for (size_t shard = lo; shard < hi; ++shard) {
+      if (shard == 0) {
+        // Occupancy codes, breadth-first, as one adaptive arithmetic
+        // stream. Symbol 0 (empty node) never occurs; the 256-symbol
+        // alphabet keeps the model simple.
+        AdaptiveModel model(256);
+        ArithmeticEncoder enc;
+        for (const auto& level : tree.levels) {
+          for (uint8_t occ : level) {
+            enc.Encode(model.Lookup(occ));
+            model.Update(occ);
+          }
+        }
+        occupancy_shard = enc.Finish();
+      } else {
+        // Per-leaf point counts minus one (almost always zero).
+        std::vector<uint64_t> extra_counts;
+        extra_counts.reserve(tree.leaf_counts.size());
+        for (uint32_t c : tree.leaf_counts) {
+          extra_counts.push_back(c > 0 ? c - 1 : 0);
+        }
+        counts_shard = UnsignedValueCodec::Compress(extra_counts);
+      }
+    }
+  });
+  // The shard bodies never fail; the Status only carries exceptions, which
+  // the encoders do not throw.
+  DBGC_CHECK(shard_status.ok());
+
   ByteBuffer out;
   out.AppendDouble(tree.root.origin.x);
   out.AppendDouble(tree.root.origin.y);
@@ -14,27 +57,8 @@ ByteBuffer OctreeCodec::SerializeStructure(const OctreeStructure& tree) {
   out.AppendDouble(tree.root.side);
   out.AppendByte(static_cast<uint8_t>(tree.depth));
   PutVarint64(&out, tree.num_leaves());
-
-  // Occupancy codes, breadth-first, as one adaptive arithmetic stream.
-  // Symbol 0 (empty node) never occurs; the 256-symbol alphabet keeps the
-  // model simple.
-  AdaptiveModel model(256);
-  ArithmeticEncoder enc;
-  for (const auto& level : tree.levels) {
-    for (uint8_t occ : level) {
-      enc.Encode(model.Lookup(occ));
-      model.Update(occ);
-    }
-  }
-  out.AppendLengthPrefixed(enc.Finish());
-
-  // Per-leaf point counts minus one (almost always zero).
-  std::vector<uint64_t> extra_counts;
-  extra_counts.reserve(tree.leaf_counts.size());
-  for (uint32_t c : tree.leaf_counts) {
-    extra_counts.push_back(c > 0 ? c - 1 : 0);
-  }
-  out.AppendLengthPrefixed(UnsignedValueCodec::Compress(extra_counts));
+  out.AppendLengthPrefixed(occupancy_shard);
+  out.AppendLengthPrefixed(counts_shard);
   return out;
 }
 
@@ -123,17 +147,20 @@ Result<OctreeStructure> OctreeCodec::DeserializeStructure(
   return tree;
 }
 
-Result<ByteBuffer> OctreeCodec::Compress(const PointCloud& pc,
-                                         double q_xyz) const {
-  if (q_xyz <= 0) {
+Result<ByteBuffer> OctreeCodec::CompressImpl(
+    const PointCloud& pc, const CompressParams& params) const {
+  if (params.q_xyz <= 0) {
     return Status::InvalidArgument("octree codec: q_xyz must be positive");
   }
+  const Parallelism par{params.pool, params.max_threads};
   DBGC_ASSIGN_OR_RETURN(OctreeStructure tree,
-                        Octree::Build(pc, 2.0 * q_xyz));
-  return SerializeStructure(tree);
+                        Octree::Build(pc, 2.0 * params.q_xyz, par));
+  return SerializeStructure(tree, par);
 }
 
-Result<PointCloud> OctreeCodec::Decompress(const ByteBuffer& buffer) const {
+Result<PointCloud> OctreeCodec::DecompressImpl(
+    const ByteBuffer& buffer, const DecompressParams& params) const {
+  (void)params;  // Decode is one sequential arithmetic stream.
   DBGC_ASSIGN_OR_RETURN(OctreeStructure tree, DeserializeStructure(buffer));
   return Octree::ExtractPoints(tree);
 }

@@ -5,6 +5,11 @@
 // compressed with an adaptive arithmetic coder. Per-leaf point counts are
 // carried in a side stream so decompression restores exactly |PC| points.
 // DBGC reuses this codec as the dense-point compressor (Section 3.2).
+//
+// The occupancy stream and the leaf-count stream are independent shards:
+// given a thread budget they are serialized concurrently and concatenated
+// in fixed shard order, leaving the bitstream byte-identical for any
+// thread count (docs/PARALLELISM.md).
 
 #ifndef DBGC_CODEC_OCTREE_CODEC_H_
 #define DBGC_CODEC_OCTREE_CODEC_H_
@@ -16,20 +21,31 @@
 
 namespace dbgc {
 
+struct Parallelism;
+
 /// Arithmetic-coded breadth-first octree geometry codec.
 class OctreeCodec : public GeometryCodec {
  public:
   std::string name() const override { return "Octree"; }
-  Result<ByteBuffer> Compress(const PointCloud& pc,
-                              double q_xyz) const override;
-  Result<PointCloud> Decompress(const ByteBuffer& buffer) const override;
 
   /// Serializes an already-built octree structure. Exposed so DBGC can
   /// compress its dense subset with an externally chosen bounding cube.
   static ByteBuffer SerializeStructure(const OctreeStructure& tree);
 
+  /// SerializeStructure under a thread budget: the occupancy and leaf-count
+  /// shards are encoded concurrently. Output bytes are identical to the
+  /// serial overload.
+  static ByteBuffer SerializeStructure(const OctreeStructure& tree,
+                                       const Parallelism& par);
+
   /// Inverse of SerializeStructure.
   static Result<OctreeStructure> DeserializeStructure(const ByteBuffer& buf);
+
+ protected:
+  Result<ByteBuffer> CompressImpl(const PointCloud& pc,
+                                  const CompressParams& params) const override;
+  Result<PointCloud> DecompressImpl(
+      const ByteBuffer& buffer, const DecompressParams& params) const override;
 };
 
 }  // namespace dbgc

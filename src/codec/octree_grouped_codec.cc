@@ -26,13 +26,16 @@ class ContextModels {
 
 }  // namespace
 
-Result<ByteBuffer> OctreeGroupedCodec::Compress(const PointCloud& pc,
-                                                double q_xyz) const {
+Result<ByteBuffer> OctreeGroupedCodec::CompressImpl(
+    const PointCloud& pc, const CompressParams& params) const {
+  const double q_xyz = params.q_xyz;
   if (q_xyz <= 0) {
     return Status::InvalidArgument("octree_i codec: q_xyz must be positive");
   }
-  DBGC_ASSIGN_OR_RETURN(OctreeStructure tree,
-                        Octree::Build(pc, 2.0 * q_xyz));
+  DBGC_ASSIGN_OR_RETURN(
+      OctreeStructure tree,
+      Octree::Build(pc, 2.0 * q_xyz,
+                    Parallelism{params.pool, params.max_threads}));
 
   ByteBuffer out;
   out.AppendDouble(tree.root.origin.x);
@@ -75,8 +78,9 @@ Result<ByteBuffer> OctreeGroupedCodec::Compress(const PointCloud& pc,
   return out;
 }
 
-Result<PointCloud> OctreeGroupedCodec::Decompress(
-    const ByteBuffer& buffer) const {
+Result<PointCloud> OctreeGroupedCodec::DecompressImpl(
+    const ByteBuffer& buffer, const DecompressParams& params) const {
+  (void)params;  // One context-coded stream; decode is sequential.
   OctreeStructure tree;
   ByteReader reader(buffer);
   DBGC_RETURN_NOT_OK(reader.ReadDouble(&tree.root.origin.x));

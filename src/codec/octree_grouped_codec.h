@@ -23,9 +23,12 @@ namespace dbgc {
 class OctreeGroupedCodec : public GeometryCodec {
  public:
   std::string name() const override { return "Octree_i"; }
-  Result<ByteBuffer> Compress(const PointCloud& pc,
-                              double q_xyz) const override;
-  Result<PointCloud> Decompress(const ByteBuffer& buffer) const override;
+
+ protected:
+  Result<ByteBuffer> CompressImpl(const PointCloud& pc,
+                                  const CompressParams& params) const override;
+  Result<PointCloud> DecompressImpl(
+      const ByteBuffer& buffer, const DecompressParams& params) const override;
 };
 
 }  // namespace dbgc

@@ -28,8 +28,9 @@ size_t ContextOf(int left, int above) {
 RangeImageCodec::RangeImageCodec(SensorMetadata sensor)
     : sensor_(sensor) {}
 
-Result<ByteBuffer> RangeImageCodec::Compress(const PointCloud& pc,
-                                             double q_xyz) const {
+Result<ByteBuffer> RangeImageCodec::CompressImpl(
+    const PointCloud& pc, const CompressParams& params) const {
+  const double q_xyz = params.q_xyz;
   if (q_xyz <= 0) {
     return Status::InvalidArgument("range image: q_xyz must be positive");
   }
@@ -100,8 +101,9 @@ Result<ByteBuffer> RangeImageCodec::Compress(const PointCloud& pc,
   return out;
 }
 
-Result<PointCloud> RangeImageCodec::Decompress(
-    const ByteBuffer& buffer) const {
+Result<PointCloud> RangeImageCodec::DecompressImpl(
+    const ByteBuffer& buffer, const DecompressParams& params) const {
+  (void)params;  // Row-delta decode carries state across the whole image.
   ByteReader reader(buffer);
   double theta_min, phi_max, u_theta, u_phi, step;
   DBGC_RETURN_NOT_OK(reader.ReadDouble(&theta_min));

@@ -31,14 +31,16 @@ class RangeImageCodec : public GeometryCodec {
 
   std::string name() const override { return "RangeImage"; }
 
-  /// Compresses by resampling onto the grid; q_xyz bounds only the radial
-  /// quantization - the angular snap error is unbounded by q (that is the
-  /// accuracy sacrifice of this family of methods).
-  Result<ByteBuffer> Compress(const PointCloud& pc,
-                              double q_xyz) const override;
+ protected:
+  /// Compresses by resampling onto the grid; params.q_xyz bounds only the
+  /// radial quantization - the angular snap error is unbounded by q (that
+  /// is the accuracy sacrifice of this family of methods).
+  Result<ByteBuffer> CompressImpl(const PointCloud& pc,
+                                  const CompressParams& params) const override;
 
   /// Returns one point per occupied grid cell (|PC'| <= |PC|).
-  Result<PointCloud> Decompress(const ByteBuffer& buffer) const override;
+  Result<PointCloud> DecompressImpl(
+      const ByteBuffer& buffer, const DecompressParams& params) const override;
 
  private:
   SensorMetadata sensor_;

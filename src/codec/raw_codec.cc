@@ -4,9 +4,9 @@
 
 namespace dbgc {
 
-Result<ByteBuffer> RawCodec::Compress(const PointCloud& pc,
-                                      double q_xyz) const {
-  (void)q_xyz;  // Lossless within float precision; the bound is trivial.
+Result<ByteBuffer> RawCodec::CompressImpl(const PointCloud& pc,
+                                          const CompressParams& params) const {
+  (void)params;  // Lossless within float precision; the bound is trivial.
   ByteBuffer out;
   out.Reserve(8 + pc.size() * 12);
   out.AppendUint64(pc.size());
@@ -20,7 +20,9 @@ Result<ByteBuffer> RawCodec::Compress(const PointCloud& pc,
   return out;
 }
 
-Result<PointCloud> RawCodec::Decompress(const ByteBuffer& buffer) const {
+Result<PointCloud> RawCodec::DecompressImpl(
+    const ByteBuffer& buffer, const DecompressParams& params) const {
+  (void)params;  // A 12-byte memcpy loop gains nothing from threads.
   ByteReader reader(buffer);
   uint64_t count;
   DBGC_RETURN_NOT_OK(reader.ReadUint64(&count));

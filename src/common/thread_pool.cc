@@ -1,0 +1,192 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <memory>
+#include <string>
+
+namespace dbgc {
+
+namespace {
+
+Status StatusFromCurrentException() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("parallel_for: ") + e.what());
+  } catch (...) {
+    return Status::Internal("parallel_for: unknown exception");
+  }
+}
+
+}  // namespace
+
+// Shared bookkeeping of one ParallelFor call. Helpers hold it by
+// shared_ptr: a helper scheduled behind unrelated work may wake after the
+// caller has already completed every chunk and returned, and must still
+// find valid state (it will claim nothing and exit).
+struct ThreadPool::ForState {
+  size_t begin = 0;
+  size_t grain = 1;
+  size_t num_chunks = 0;
+  std::function<void(size_t, size_t)> fn;
+
+  std::atomic<size_t> next_chunk{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t completed = 0;  // Ran or skipped chunks; guarded by mu.
+  Status error;          // Guarded by mu; first failure wins.
+
+  // Claims and runs chunks until none remain. On an exception the claim
+  // counter is poisoned so no further chunk starts anywhere, and the
+  // never-claimed chunks are credited as completed by the poisoning thread
+  // (exactly one thread observes the pre-poison counter), keeping the
+  // caller's completed == num_chunks wait condition exact.
+  void RunChunks(size_t range_end) {
+    size_t accounted = 0;
+    Status first_error;
+    for (;;) {
+      const size_t chunk = next_chunk.fetch_add(1);
+      if (chunk >= num_chunks) break;
+      const size_t lo = begin + chunk * grain;
+      const size_t hi = std::min(range_end, lo + grain);
+      try {
+        fn(lo, hi);
+        ++accounted;
+      } catch (...) {
+        first_error = StatusFromCurrentException();
+        const size_t old = next_chunk.exchange(num_chunks);
+        accounted += 1 + (num_chunks - std::min(old, num_chunks));
+        break;
+      }
+    }
+    if (accounted == 0) return;
+    std::lock_guard<std::mutex> lock(mu);
+    if (!first_error.ok() && error.ok()) error = std::move(first_error);
+    completed += accounted;
+    if (completed == num_chunks) done_cv.notify_all();
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Schedule(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(fn));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Shutting down and fully drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+Status ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
+                               const std::function<void(size_t, size_t)>& fn,
+                               int max_threads) {
+  if (end <= begin) return Status::OK();
+  if (grain < 1) grain = 1;
+  const size_t count = end - begin;
+  const size_t num_chunks = (count + grain - 1) / grain;
+
+  // Helpers beyond the caller: bounded by workers, chunks, and the budget.
+  size_t helpers = std::min(static_cast<size_t>(num_threads()),
+                            num_chunks - 1);
+  if (max_threads > 0) {
+    helpers = std::min(helpers, static_cast<size_t>(max_threads - 1));
+  }
+
+  if (helpers == 0) {
+    // Serial fast path: no shared state, no scheduling.
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      const size_t lo = begin + chunk * grain;
+      const size_t hi = std::min(end, lo + grain);
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        return StatusFromCurrentException();
+      }
+    }
+    return Status::OK();
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->begin = begin;
+  state->grain = grain;
+  state->num_chunks = num_chunks;
+  state->fn = fn;
+
+  for (size_t h = 0; h < helpers; ++h) {
+    Schedule([state, end] { state->RunChunks(end); });
+  }
+  state->RunChunks(end);
+
+  // Wait until every chunk has been run (or credited as skipped by an
+  // erroring thread). A chunk that is mid-run keeps completed below the
+  // target, so returning here never races a live fn invocation; helpers
+  // waking later claim nothing and exit without touching fn.
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done_cv.wait(lock,
+                      [&] { return state->completed == state->num_chunks; });
+  return state->error;
+}
+
+int ThreadPool::DefaultThreadCount() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int Parallelism::width() const {
+  if (!enabled()) return 1;
+  const int pooled = pool->num_threads() + 1;  // Workers + caller.
+  return max_threads > 0 ? std::min(max_threads, pooled) : pooled;
+}
+
+size_t Parallelism::GrainFor(size_t count, size_t min_grain) const {
+  const size_t lanes = static_cast<size_t>(width()) * 4;  // ~4 chunks/lane.
+  const size_t grain = (count + lanes - 1) / lanes;
+  return std::max<size_t>(std::max(grain, min_grain), 1);
+}
+
+Status Parallelism::For(size_t begin, size_t end, size_t grain,
+                        const std::function<void(size_t, size_t)>& fn) const {
+  if (end <= begin) return Status::OK();
+  if (!enabled()) {
+    try {
+      fn(begin, end);
+    } catch (...) {
+      return StatusFromCurrentException();
+    }
+    return Status::OK();
+  }
+  return pool->ParallelFor(begin, end, grain, fn, max_threads);
+}
+
+}  // namespace dbgc

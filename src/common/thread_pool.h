@@ -1,0 +1,107 @@
+// ThreadPool: the intra-frame parallelism substrate (docs/PARALLELISM.md).
+//
+// A fixed set of workers drains a FIFO task queue; the blocking
+// ParallelFor(begin, end, grain, fn) helper carves an index range into
+// chunks and runs them on the workers *and* the calling thread. The caller
+// always participates and waits only for chunks actually claimed, so
+// ParallelFor makes progress even when every worker is busy — including
+// when it is invoked from inside a pool task (the CompressionPipeline
+// shares one pool between inter-frame tasks and intra-frame loops).
+//
+// Exceptions thrown by chunk bodies never cross the pool boundary: the
+// first one is captured and surfaced as Status::Internal, matching the
+// library-wide no-exceptions-across-API-edges convention.
+//
+// Determinism contract: ParallelFor guarantees each index is processed
+// exactly once, but chunk *execution order* is unspecified. Callers that
+// need byte-identical output for any thread count (every codec in this
+// repository) must write results into disjoint, pre-sized slots and merge
+// them in deterministic shard order afterwards.
+
+#ifndef DBGC_COMMON_THREAD_POOL_H_
+#define DBGC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dbgc {
+
+/// Fixed-size worker pool with a blocking deterministic ParallelFor.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Joins all workers. Tasks already scheduled are completed first, so a
+  /// ParallelFor in flight on another thread can never be stranded.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads.
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues an asynchronous task. `fn` must not throw.
+  void Schedule(std::function<void()> fn);
+
+  /// Runs `fn(chunk_begin, chunk_end)` over [begin, end) split into chunks
+  /// of at most `grain` indices (grain clamped to >= 1). Blocks until every
+  /// chunk has run. Chunks run concurrently on the workers and on the
+  /// calling thread; `max_threads` caps the total concurrency (0 = no cap,
+  /// 1 = run everything on the caller). The first exception thrown by `fn`
+  /// is returned as Status::Internal and unclaimed chunks are skipped.
+  Status ParallelFor(size_t begin, size_t end, size_t grain,
+                     const std::function<void(size_t, size_t)>& fn,
+                     int max_threads = 0);
+
+  /// std::thread::hardware_concurrency() clamped to >= 1.
+  static int DefaultThreadCount();
+
+ private:
+  struct ForState;
+
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutting_down_ = false;
+};
+
+/// A thread budget threaded through codec stages: a (possibly null) pool
+/// plus a cap on how many threads one loop may occupy. Copyable view; the
+/// pool must outlive it.
+struct Parallelism {
+  ThreadPool* pool = nullptr;  ///< Null = run serially on the caller.
+  int max_threads = 0;         ///< 0 = all pool workers; 1 = serial.
+
+  /// True when For() may actually fan out.
+  bool enabled() const {
+    return pool != nullptr && max_threads != 1 && pool->num_threads() > 0;
+  }
+
+  /// Effective concurrency of one For() call (including the caller).
+  int width() const;
+
+  /// A grain that splits `count` items into a few chunks per thread, never
+  /// below `min_grain` items per chunk.
+  size_t GrainFor(size_t count, size_t min_grain) const;
+
+  /// Serial or pooled ParallelFor, per the budget. On the serial path the
+  /// body runs inline (exceptions still surface as Status::Internal).
+  Status For(size_t begin, size_t end, size_t grain,
+             const std::function<void(size_t, size_t)>& fn) const;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_COMMON_THREAD_POOL_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.h"
 #include "encoding/quantizer.h"
 #include "lidar/spherical.h"
 
@@ -10,22 +11,32 @@ namespace dbgc {
 
 ConvertedGroup ConvertGroup(const PointCloud& pc,
                             const std::vector<uint32_t>& indices,
-                            const ConverterConfig& config) {
+                            const ConverterConfig& config,
+                            const Parallelism& par) {
   ConvertedGroup group;
   group.params.radial_optimized = config.radial_optimized;
   const size_t n = indices.size();
-  group.role.reserve(n);
-  group.cartesian.reserve(n);
-  group.quantized.reserve(n);
+  group.role.resize(n);
+  group.cartesian.resize(n);
+
+  // Per-point conversion writes disjoint pre-sized slots; the scans that
+  // follow (exact max/min reductions over the filled arrays) stay serial,
+  // so the group parameters match the serial run bit for bit.
+  const Status fill_status =
+      par.For(0, n, par.GrainFor(n, 2048), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          const Point3& p = pc[indices[i]];
+          group.cartesian[i] = p;
+          group.role[i] = config.spherical
+                              ? CartesianToSpherical(p)
+                              : SphericalPoint{p.x, p.y, p.z};
+        }
+      });
+  DBGC_CHECK(fill_status.ok());
 
   if (config.spherical) {
     double r_max = 0.0;
-    for (uint32_t idx : indices) {
-      const Point3& p = pc[idx];
-      group.cartesian.push_back(p);
-      group.role.push_back(CartesianToSpherical(p));
-      r_max = std::max(r_max, group.role.back().r);
-    }
+    for (const SphericalPoint& s : group.role) r_max = std::max(r_max, s.r);
     r_max = std::max(r_max, 1e-6);
     const SphericalErrorBounds bounds =
         SphericalErrorBounds::FromCartesian(config.q_xyz, r_max);
@@ -40,10 +51,7 @@ ConvertedGroup ConvertGroup(const PointCloud& pc,
     // sample spacing estimate range / sqrt(n).
     double x_min = 0, x_max = 0, y_min = 0, y_max = 0;
     bool first = true;
-    for (uint32_t idx : indices) {
-      const Point3& p = pc[idx];
-      group.cartesian.push_back(p);
-      group.role.push_back(SphericalPoint{p.x, p.y, p.z});
+    for (const Point3& p : group.cartesian) {
       if (first) {
         x_min = x_max = p.x;
         y_min = y_max = p.y;
@@ -66,10 +74,17 @@ ConvertedGroup ConvertGroup(const PointCloud& pc,
   const Quantizer qt(group.params.step_theta / 2.0);
   const Quantizer qp(group.params.step_phi / 2.0);
   const Quantizer qr(group.params.step_r / 2.0);
-  for (const SphericalPoint& s : group.role) {
-    group.quantized.push_back(
-        QPoint{qt.Quantize(s.theta), qp.Quantize(s.phi), qr.Quantize(s.r)});
-  }
+  group.quantized.resize(n);
+  const Status quantize_status =
+      par.For(0, n, par.GrainFor(n, 2048), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          const SphericalPoint& s = group.role[i];
+          group.quantized[i] =
+              QPoint{qt.Quantize(s.theta), qp.Quantize(s.phi),
+                     qr.Quantize(s.r)};
+        }
+      });
+  DBGC_CHECK(quantize_status.ok());
 
   // Thresholds in quantized units (shared decision logic, Step 8).
   group.params.th_r =

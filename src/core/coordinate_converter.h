@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/point_cloud.h"
+#include "common/thread_pool.h"
 #include "core/polyline.h"
 #include "core/sparse_codec.h"
 
@@ -45,10 +46,14 @@ struct ConverterConfig {
   bool radial_optimized = true;
 };
 
-/// Converts and quantizes one group of points.
+/// Converts and quantizes one group of points. The optional thread budget
+/// parallelizes the per-point conversion and quantization (disjoint
+/// pre-sized slots); the extrema scans between them stay serial, so the
+/// output is identical for any budget.
 ConvertedGroup ConvertGroup(const PointCloud& pc,
                             const std::vector<uint32_t>& indices,
-                            const ConverterConfig& config);
+                            const ConverterConfig& config,
+                            const Parallelism& par = {});
 
 /// Reconstructs the Cartesian position of a decoded quantized point.
 Point3 ReconstructPoint(const QPoint& q, const SparseGroupParams& params,

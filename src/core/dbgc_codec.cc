@@ -7,6 +7,8 @@
 
 #include "bitio/varint.h"
 #include "codec/octree_codec.h"
+#include "common/check.h"
+#include "common/thread_pool.h"
 #include "core/coordinate_converter.h"
 #include "core/density_partitioner.h"
 #include "core/outlier_codec.h"
@@ -48,27 +50,31 @@ uint8_t EncodeFlags(const DbgcOptions& options) {
 
 DbgcCodec::DbgcCodec(DbgcOptions options) : options_(options) {}
 
-Result<ByteBuffer> DbgcCodec::Compress(const PointCloud& pc,
-                                       double q_xyz) const {
-  DbgcCodec override_codec(options_);
-  override_codec.options_.q_xyz = q_xyz;
-  DbgcCompressInfo info;
-  return override_codec.CompressWithInfo(pc, &info);
-}
-
 Result<ByteBuffer> DbgcCodec::CompressWithInfo(const PointCloud& pc,
                                                DbgcCompressInfo* info) const {
+  CompressParams params;
+  params.q_xyz = options_.q_xyz;
+  params.info = info;
+  return Compress(pc, params);
+}
+
+Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
+                                           const CompressParams& params) const {
+  DbgcCompressInfo local_info;
+  DbgcCompressInfo* info = params.info != nullptr ? params.info : &local_info;
   *info = DbgcCompressInfo();
-  if (const char* issue = options_.Validate()) {
+  DbgcOptions opt = options_;
+  opt.q_xyz = params.q_xyz;
+  if (const char* issue = opt.Validate()) {
     return Status::InvalidArgument(issue);
   }
-  const DbgcOptions& opt = options_;
+  const Parallelism par{params.pool, params.max_threads};
 
   // --- DEN: density-based clustering (Section 3.2). ---
   Partition partition;
   {
     StageTimer t(&info->timings.clustering);
-    partition = PartitionByDensity(pc, opt);
+    partition = PartitionByDensity(pc, opt, par);
   }
   info->num_dense = partition.dense.size();
 
@@ -81,13 +87,21 @@ Result<ByteBuffer> DbgcCodec::CompressWithInfo(const PointCloud& pc,
       dense_cloud.Reserve(partition.dense.size());
       for (uint32_t idx : partition.dense) dense_cloud.Add(pc[idx]);
       DBGC_ASSIGN_OR_RETURN(OctreeStructure tree,
-                            Octree::Build(dense_cloud, 2.0 * opt.q_xyz));
-      b_dense = OctreeCodec::SerializeStructure(tree);
+                            Octree::Build(dense_cloud, 2.0 * opt.q_xyz, par));
+      b_dense = OctreeCodec::SerializeStructure(tree, par);
       // Decoded order is Morton leaf order; mirror it for the mapping.
+      // Key computation fills disjoint slots; the stable sort that defines
+      // the mapping order stays serial.
       std::vector<uint64_t> keys(partition.dense.size());
-      for (size_t i = 0; i < partition.dense.size(); ++i) {
-        keys[i] = Octree::LeafKeyOf(dense_cloud[i], tree.root, tree.depth);
-      }
+      const Status key_status = par.For(
+          0, keys.size(), par.GrainFor(keys.size(), 1024),
+          [&](size_t lo, size_t hi) {
+            for (size_t i = lo; i < hi; ++i) {
+              keys[i] = Octree::LeafKeyOf(dense_cloud[i], tree.root,
+                                          tree.depth);
+            }
+          });
+      DBGC_CHECK(key_status.ok());
       std::vector<size_t> perm(partition.dense.size());
       for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
       std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
@@ -106,9 +120,14 @@ Result<ByteBuffer> DbgcCodec::CompressWithInfo(const PointCloud& pc,
   {
     StageTimer t(&info->timings.conversion);
     std::vector<double> radii(partition.sparse.size());
-    for (size_t i = 0; i < partition.sparse.size(); ++i) {
-      radii[i] = pc[partition.sparse[i]].Norm();
-    }
+    const Status radii_status = par.For(
+        0, radii.size(), par.GrainFor(radii.size(), 2048),
+        [&](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) {
+            radii[i] = pc[partition.sparse[i]].Norm();
+          }
+        });
+    DBGC_CHECK(radii_status.ok());
     group_indices =
         GroupByRadialDistance(partition.sparse, radii, opt.num_groups);
 
@@ -122,19 +141,27 @@ Result<ByteBuffer> DbgcCodec::CompressWithInfo(const PointCloud& pc,
     config.radial_optimized = opt.enable_radial_optimized_delta;
     groups.reserve(group_indices.size());
     for (const auto& indices : group_indices) {
-      groups.push_back(ConvertGroup(pc, indices, config));
+      groups.push_back(ConvertGroup(pc, indices, config, par));
     }
   }
 
   // --- ORG: polyline organization (Section 3.4, Algorithm 1). ---
+  // Groups are independent; each result lands in its own pre-sized slot
+  // and the outlier indices are collected afterwards in group order.
   std::vector<OrganizeResult> organized(groups.size());
   std::vector<uint32_t> outlier_indices;
   {
     StageTimer t(&info->timings.organization);
+    const Status org_status =
+        par.For(0, groups.size(), 1, [&](size_t lo, size_t hi) {
+          for (size_t g = lo; g < hi; ++g) {
+            organized[g] = OrganizeSparsePoints(
+                groups[g].role, groups[g].cartesian, groups[g].quantized,
+                groups[g].u_theta, groups[g].u_phi, opt.min_polyline_length);
+          }
+        });
+    DBGC_CHECK(org_status.ok());
     for (size_t g = 0; g < groups.size(); ++g) {
-      organized[g] = OrganizeSparsePoints(
-          groups[g].role, groups[g].cartesian, groups[g].quantized,
-          groups[g].u_theta, groups[g].u_phi, opt.min_polyline_length);
       for (uint32_t local : organized[g].outliers) {
         outlier_indices.push_back(group_indices[g][local]);
       }
@@ -143,12 +170,21 @@ Result<ByteBuffer> DbgcCodec::CompressWithInfo(const PointCloud& pc,
   info->num_outliers = outlier_indices.size();
 
   // --- SPA: sparse coordinate compression (Section 3.5). ---
+  // One independent entropy stream per group, written to per-group shards;
+  // the output layout concatenates them in group order, so the bitstream
+  // does not depend on the thread count.
   std::vector<ByteBuffer> group_streams(groups.size());
   {
     StageTimer t(&info->timings.sparse);
+    const Status spa_status =
+        par.For(0, groups.size(), 1, [&](size_t lo, size_t hi) {
+          for (size_t g = lo; g < hi; ++g) {
+            group_streams[g] = SparseCodec::EncodeGroup(organized[g].polylines,
+                                                        groups[g].params);
+          }
+        });
+    DBGC_CHECK(spa_status.ok());
     for (size_t g = 0; g < groups.size(); ++g) {
-      group_streams[g] = SparseCodec::EncodeGroup(organized[g].polylines,
-                                                  groups[g].params);
       info->bytes_sparse += group_streams[g].size();
       info->num_polylines += organized[g].polylines.size();
       for (const Polyline& line : organized[g].polylines) {
@@ -194,7 +230,9 @@ Result<ByteBuffer> DbgcCodec::CompressWithInfo(const PointCloud& pc,
   return out;
 }
 
-Result<PointCloud> DbgcCodec::Decompress(const ByteBuffer& buffer) const {
+Result<PointCloud> DbgcCodec::DecompressImpl(
+    const ByteBuffer& buffer, const DecompressParams& params) const {
+  (void)params;  // Decode follows one sequential stream layout.
   DbgcDecompressInfo info;
   return DecompressWithInfo(buffer, &info);
 }

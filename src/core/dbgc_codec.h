@@ -63,12 +63,8 @@ class DbgcCodec : public GeometryCodec {
 
   std::string name() const override { return "DBGC"; }
 
-  /// Compresses under the options' q_xyz overridden by `q_xyz`.
-  Result<ByteBuffer> Compress(const PointCloud& pc,
-                              double q_xyz) const override;
-  Result<PointCloud> Decompress(const ByteBuffer& buffer) const override;
-
-  /// Compression with full instrumentation.
+  /// Compression with full instrumentation under the options' q_xyz.
+  /// Equivalent to Compress with CompressParams{options().q_xyz, ..., info}.
   Result<ByteBuffer> CompressWithInfo(const PointCloud& pc,
                                       DbgcCompressInfo* info) const;
 
@@ -77,6 +73,16 @@ class DbgcCodec : public GeometryCodec {
                                         DbgcDecompressInfo* info) const;
 
   const DbgcOptions& options() const { return options_; }
+
+ protected:
+  /// Compresses under the options with q_xyz overridden by params.q_xyz.
+  /// params.pool/max_threads parallelize the independent work inside each
+  /// stage (docs/PARALLELISM.md); the bitstream is byte-identical for any
+  /// thread count. params.info, when set, receives full instrumentation.
+  Result<ByteBuffer> CompressImpl(const PointCloud& pc,
+                                  const CompressParams& params) const override;
+  Result<PointCloud> DecompressImpl(
+      const ByteBuffer& buffer, const DecompressParams& params) const override;
 
  private:
   DbgcOptions options_;

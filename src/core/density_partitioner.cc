@@ -8,8 +8,8 @@
 
 namespace dbgc {
 
-Partition PartitionByDensity(const PointCloud& pc,
-                             const DbgcOptions& options) {
+Partition PartitionByDensity(const PointCloud& pc, const DbgcOptions& options,
+                             const Parallelism& par) {
   Partition part;
   const size_t n = pc.size();
 
@@ -39,8 +39,8 @@ Partition PartitionByDensity(const PointCloud& pc,
   const ClusteringParams params = ClusteringParams::FromErrorBound(
       options.q_xyz, options.cluster_k, options.min_pts_scale);
   const ClusteringResult result = options.use_approx_clustering
-                                      ? ApproxClustering(pc, params)
-                                      : CellClustering(pc, params);
+                                      ? ApproxClustering(pc, params, par)
+                                      : CellClustering(pc, params, par);
   part.dense.reserve(n / 2);
   part.sparse.reserve(n / 2);
   for (uint32_t i = 0; i < n; ++i) {

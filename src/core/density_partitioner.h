@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/point_cloud.h"
+#include "common/thread_pool.h"
 #include "core/options.h"
 
 namespace dbgc {
@@ -23,8 +24,11 @@ struct Partition {
   std::vector<uint32_t> sparse;
 };
 
-/// Computes the dense/sparse partition per the options.
-Partition PartitionByDensity(const PointCloud& pc, const DbgcOptions& options);
+/// Computes the dense/sparse partition per the options. The optional
+/// thread budget is forwarded to the clustering pass; the partition is
+/// identical for any budget.
+Partition PartitionByDensity(const PointCloud& pc, const DbgcOptions& options,
+                             const Parallelism& par = {});
 
 }  // namespace dbgc
 

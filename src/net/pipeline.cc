@@ -1,34 +1,68 @@
 #include "net/pipeline.h"
 
+#include <utility>
+
+#include "common/check.h"
+
 namespace dbgc {
 
+namespace {
+
+CompressionPipeline::Config ConfigForWorkers(int num_workers) {
+  CompressionPipeline::Config config;
+  config.num_workers = num_workers;
+  return config;
+}
+
+}  // namespace
+
+CompressionPipeline::CompressionPipeline(DbgcOptions options, int num_workers)
+    : CompressionPipeline(std::move(options), ConfigForWorkers(num_workers)) {}
+
 CompressionPipeline::CompressionPipeline(DbgcOptions options,
-                                         int num_workers)
-    : codec_(options) {
-  if (num_workers < 1) num_workers = 1;
-  workers_.reserve(static_cast<size_t>(num_workers));
-  for (int i = 0; i < num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+                                         const Config& config)
+    : codec_(std::move(options)),
+      capacity_(config.queue_capacity < 1 ? 1 : config.queue_capacity),
+      max_threads_per_frame_(config.max_threads_per_frame) {
+  if (config.pool != nullptr) {
+    pool_ = config.pool;
+  } else {
+    owned_pool_ = std::make_unique<ThreadPool>(
+        config.num_workers < 1 ? 1 : config.num_workers);
+    pool_ = owned_pool_.get();
   }
 }
 
 CompressionPipeline::~CompressionPipeline() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    shutting_down_ = true;
-  }
-  input_cv_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  // Every scheduled task captures `this`, so the destructor must not return
+  // until all of them ran — on a shared pool the pool cannot be relied on
+  // to fence them. Draining also honours the accepted-frame contract:
+  // submitted work is finished, not discarded.
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [&] { return completed_ == next_seq_; });
+  // An owned pool joins its (now idle) workers in its destructor.
 }
 
 uint64_t CompressionPipeline::Submit(PointCloud pc) {
-  uint64_t seq;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    seq = next_seq_++;
-    input_.push_back(Task{seq, std::move(pc)});
-  }
-  input_cv_.notify_one();
+  std::unique_lock<std::mutex> lock(mutex_);
+  space_cv_.wait(lock, [&] { return next_seq_ - delivered_ < capacity_; });
+  return SubmitLocked(lock, std::move(pc));
+}
+
+bool CompressionPipeline::TrySubmit(PointCloud pc, uint64_t* seq) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (next_seq_ - delivered_ >= capacity_) return false;
+  const uint64_t assigned = SubmitLocked(lock, std::move(pc));
+  if (seq != nullptr) *seq = assigned;
+  return true;
+}
+
+uint64_t CompressionPipeline::SubmitLocked(std::unique_lock<std::mutex>& lock,
+                                           PointCloud pc) {
+  const uint64_t seq = next_seq_++;
+  input_.push_back(Task{seq, std::move(pc)});
+  lock.unlock();
+  pool_->Schedule([this] { CompressOne(); });
   return seq;
 }
 
@@ -40,26 +74,55 @@ Result<ByteBuffer> CompressionPipeline::NextResult() {
   const uint64_t want = next_delivery_++;
   output_cv_.wait(lock, [&] { return output_.count(want) > 0; });
   auto node = output_.extract(want);
+  ++delivered_;
+  lock.unlock();
+  space_cv_.notify_all();
   return std::move(node.mapped());
 }
 
-void CompressionPipeline::WorkerLoop() {
-  for (;;) {
-    Task task{0, PointCloud()};
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      input_cv_.wait(lock,
-                     [&] { return shutting_down_ || !input_.empty(); });
-      if (input_.empty()) return;  // Shutting down.
-      task = std::move(input_.front());
-      input_.pop_front();
-    }
-    Result<ByteBuffer> result = codec_.Compress(task.cloud, codec_.options().q_xyz);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      output_.emplace(task.seq, std::move(result));
-    }
+Status CompressionPipeline::Drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drain_cv_.wait(lock, [&] { return completed_ == next_seq_; });
+  for (const auto& entry : output_) {
+    if (!entry.second.ok()) return entry.second.status();
+  }
+  return Status::OK();
+}
+
+uint64_t CompressionPipeline::submitted() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_seq_;
+}
+
+void CompressionPipeline::CompressOne() {
+  Task task{0, PointCloud()};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Exactly one closure is scheduled per queued task.
+    DBGC_CHECK(!input_.empty());
+    task = std::move(input_.front());
+    input_.pop_front();
+  }
+  CompressParams params;
+  params.q_xyz = codec_.options().q_xyz;
+  if (max_threads_per_frame_ != 1) {
+    // Nested use of the shared pool: ParallelFor callers always run chunks
+    // themselves, so frames make progress even with every worker busy.
+    params.pool = pool_;
+    params.max_threads = max_threads_per_frame_;
+  }
+  Result<ByteBuffer> result = codec_.Compress(task.cloud, params);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    output_.emplace(task.seq, std::move(result));
+    ++completed_;
+    // Notify under the lock: the destructor destroys these condition
+    // variables as soon as its drain predicate holds, and a waiter can
+    // only pass its predicate check while holding mutex_ — so notifying
+    // here guarantees this thread is done with the object before the
+    // destructor can proceed.
     output_cv_.notify_all();
+    drain_cv_.notify_all();
   }
 }
 

@@ -3,6 +3,13 @@
 // frame intervals, so a real deployment overlaps frames. The pipeline
 // preserves submission order on the output side, which the frame protocol
 // requires.
+//
+// Frames are compressed as tasks on a dbgc::ThreadPool — either a pool the
+// pipeline owns, or one shared with other pipelines / intra-frame stage
+// parallelism (docs/PARALLELISM.md). A bounded in-flight window applies
+// backpressure: Submit blocks while `submitted - delivered` frames are
+// outstanding, TrySubmit refuses instead of blocking, and Drain() flushes
+// every accepted frame. The destructor drains rather than discarding.
 
 #ifndef DBGC_NET_PIPELINE_H_
 #define DBGC_NET_PIPELINE_H_
@@ -11,38 +18,74 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <mutex>
-#include <thread>
-#include <vector>
 
 #include "bitio/byte_buffer.h"
 #include "common/point_cloud.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "core/dbgc_codec.h"
 
 namespace dbgc {
 
-/// Orders-preserving parallel DBGC compressor.
+/// Order-preserving parallel DBGC compressor with bounded admission.
 class CompressionPipeline {
  public:
-  /// Starts `num_workers` compression threads (>= 1).
+  struct Config {
+    /// Worker threads when the pipeline owns its pool (>= 1). Ignored when
+    /// `pool` is set.
+    int num_workers = 2;
+    /// Maximum frames in flight (submitted but not yet delivered, >= 1).
+    /// Submit blocks and TrySubmit fails while the window is full.
+    size_t queue_capacity = 8;
+    /// Thread budget *inside* one frame's compression (CompressParams
+    /// semantics: 1 = serial, 0 = whole pool). Frame-level parallelism
+    /// usually beats intra-frame parallelism on throughput; raise this for
+    /// latency-sensitive single-stream use.
+    int max_threads_per_frame = 1;
+    /// Shared pool to run on instead of owning one. Must outlive the
+    /// pipeline. The bitstreams are identical either way.
+    ThreadPool* pool = nullptr;
+  };
+
+  /// Starts a pipeline owning `num_workers` compression threads (>= 1).
   explicit CompressionPipeline(DbgcOptions options, int num_workers = 2);
 
-  /// Joins all workers; pending results are discarded.
+  /// Starts a pipeline per `config`.
+  CompressionPipeline(DbgcOptions options, const Config& config);
+
+  /// Drains every accepted frame (completing their compressions), then
+  /// stops. Undelivered results are dropped after compression — call
+  /// Drain() + NextResult() first if they matter.
   ~CompressionPipeline();
 
   CompressionPipeline(const CompressionPipeline&) = delete;
   CompressionPipeline& operator=(const CompressionPipeline&) = delete;
 
-  /// Enqueues a frame; returns its sequence number.
+  /// Enqueues a frame and returns its sequence number; blocks while the
+  /// in-flight window is full.
   uint64_t Submit(PointCloud pc);
+
+  /// Non-blocking Submit: returns false (and does not accept the frame)
+  /// when the in-flight window is full. On success stores the sequence
+  /// number through `seq` when non-null.
+  bool TrySubmit(PointCloud pc, uint64_t* seq = nullptr);
 
   /// Blocks until the next frame (in submission order) is compressed and
   /// returns its bitstream. Fails if called more times than Submit.
   Result<ByteBuffer> NextResult();
 
+  /// Blocks until every submitted frame has been compressed. Returns the
+  /// first error among the not-yet-delivered results (without consuming
+  /// them; NextResult still yields every frame), OK otherwise.
+  Status Drain();
+
   /// Frames submitted so far.
-  uint64_t submitted() const { return next_seq_; }
+  uint64_t submitted() const;
+
+  /// The admission bound (Config::queue_capacity).
+  size_t capacity() const { return capacity_; }
 
  private:
   struct Task {
@@ -50,19 +93,25 @@ class CompressionPipeline {
     PointCloud cloud;
   };
 
-  void WorkerLoop();
+  void CompressOne();
+  uint64_t SubmitLocked(std::unique_lock<std::mutex>& lock, PointCloud pc);
 
   DbgcCodec codec_;
-  std::vector<std::thread> workers_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;  // owned_pool_.get() or the shared Config::pool.
+  const size_t capacity_;
+  const int max_threads_per_frame_;
 
-  std::mutex mutex_;
-  std::condition_variable input_cv_;
-  std::condition_variable output_cv_;
+  mutable std::mutex mutex_;
+  std::condition_variable output_cv_;  // A result became available.
+  std::condition_variable space_cv_;   // The in-flight window shrank.
+  std::condition_variable drain_cv_;   // A compression completed.
   std::deque<Task> input_;
   std::map<uint64_t, Result<ByteBuffer>> output_;
   uint64_t next_seq_ = 0;
   uint64_t next_delivery_ = 0;
-  bool shutting_down_ = false;
+  uint64_t delivered_ = 0;
+  uint64_t completed_ = 0;
 };
 
 }  // namespace dbgc

@@ -63,18 +63,20 @@ uint64_t Octree::LeafKeyOf(const Point3& p, const Cube& root, int depth) {
   return MortonEncode3(ix, iy, iz);
 }
 
-Result<OctreeStructure> Octree::Build(const PointCloud& pc, double leaf_side) {
+Result<OctreeStructure> Octree::Build(const PointCloud& pc, double leaf_side,
+                                      const Parallelism& par) {
   if (leaf_side <= 0) {
     return Status::InvalidArgument("octree: leaf_side must be positive");
   }
   const BoundingBox box = BoundingBox::Of(pc);
   const Cube root = Cube::BoundingCube(box, leaf_side);
-  return BuildWithRoot(pc, root, leaf_side);
+  return BuildWithRoot(pc, root, leaf_side, par);
 }
 
 Result<OctreeStructure> Octree::BuildWithRoot(const PointCloud& pc,
                                               const Cube& root,
-                                              double leaf_side) {
+                                              double leaf_side,
+                                              const Parallelism& par) {
   OctreeStructure tree;
   tree.root = root;
   int depth = 0;
@@ -90,10 +92,17 @@ Result<OctreeStructure> Octree::BuildWithRoot(const PointCloud& pc,
   tree.levels.assign(depth, {});
   if (pc.empty()) return tree;
 
-  // Leaf keys in Morton order with per-leaf counts.
-  std::vector<uint64_t> keys;
-  keys.reserve(pc.size());
-  for (const Point3& p : pc) keys.push_back(LeafKeyOf(p, root, depth));
+  // Leaf keys in Morton order with per-leaf counts. The per-point key
+  // computation writes disjoint pre-sized slots, so the parallel fill is
+  // index-for-index identical to the serial loop; the sorted sequence that
+  // the rest of the build consumes is therefore invariant under the budget.
+  std::vector<uint64_t> keys(pc.size());
+  DBGC_RETURN_NOT_OK(par.For(
+      0, pc.size(), par.GrainFor(pc.size(), 1024), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          keys[i] = LeafKeyOf(pc[i], root, depth);
+        }
+      }));
   std::sort(keys.begin(), keys.end());
 
   std::vector<uint64_t> unique_keys;

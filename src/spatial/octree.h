@@ -16,6 +16,7 @@
 #include "common/bounding_box.h"
 #include "common/point_cloud.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace dbgc {
 
@@ -49,14 +50,18 @@ class Octree {
   static constexpr int kMaxDepth = 21;
 
   /// Builds the structure for `pc` with the given leaf side length.
-  /// Uses the centered bounding cube of the cloud.
-  static Result<OctreeStructure> Build(const PointCloud& pc, double leaf_side);
+  /// Uses the centered bounding cube of the cloud. The optional thread
+  /// budget parallelizes the per-point leaf-key computation; the structure
+  /// produced is identical for any budget.
+  static Result<OctreeStructure> Build(const PointCloud& pc, double leaf_side,
+                                       const Parallelism& par = {});
 
   /// Builds with an explicit root cube (must contain all points and have
   /// side = leaf_side * 2^depth for some depth <= kMaxDepth).
   static Result<OctreeStructure> BuildWithRoot(const PointCloud& pc,
                                                const Cube& root,
-                                               double leaf_side);
+                                               double leaf_side,
+                                               const Parallelism& par = {});
 
   /// Reconstructs the represented points: each non-empty leaf contributes
   /// its center, repeated leaf_count times.

@@ -14,6 +14,7 @@
 #include "codec/octree_grouped_codec.h"
 #include "codec/raw_codec.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/error_metrics.h"
 #include "lidar/scene_generator.h"
 
@@ -209,6 +210,82 @@ TEST(CodecTest, MetricsHelpers) {
   for (int i = 0; i < 120; ++i) buf.AppendByte(0);
   EXPECT_DOUBLE_EQ(CompressionRatio(pc, buf), 10.0);
   EXPECT_DOUBLE_EQ(BandwidthMbps(buf, 10.0), 120 * 8 * 10 / 1e6);
+}
+
+TEST(CodecTest, MetricsHelperEdgeCases) {
+  // Documented total-function contract (codec/codec.h): every degenerate
+  // input yields 0, never a division blow-up, NaN, or a negative value.
+  PointCloud pc;
+  for (int i = 0; i < 100; ++i) pc.Add(i, 0, 0);
+  PointCloud empty_pc;
+  ByteBuffer buf;
+  for (int i = 0; i < 120; ++i) buf.AppendByte(0);
+  const ByteBuffer empty_buf;
+
+  EXPECT_DOUBLE_EQ(CompressionRatio(pc, empty_buf), 0.0);
+  EXPECT_DOUBLE_EQ(CompressionRatio(empty_pc, buf), 0.0);
+  EXPECT_DOUBLE_EQ(CompressionRatio(empty_pc, empty_buf), 0.0);
+
+  EXPECT_DOUBLE_EQ(BandwidthMbps(empty_buf, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(BandwidthMbps(buf, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BandwidthMbps(buf, -5.0), 0.0);
+  EXPECT_DOUBLE_EQ(BandwidthMbps(buf, std::nan("")), 0.0);
+  EXPECT_GE(BandwidthMbps(buf, 1e-300), 0.0);
+}
+
+TEST(CodecTest, ForwardingOverloadMatchesParamsCall) {
+  // Compress(pc, q) and Decompress(buf) must be exact shorthands for the
+  // CompressParams/DecompressParams entry points.
+  const PointCloud pc = RandomCloud(400, 10, 21);
+  for (auto& codec : MakeBaselineCodecs()) {
+    auto via_double = codec->Compress(pc, 0.02);
+    CompressParams params;
+    params.q_xyz = 0.02;
+    auto via_params = codec->Compress(pc, params);
+    ASSERT_TRUE(via_double.ok() && via_params.ok()) << codec->name();
+    EXPECT_TRUE(via_double.value() == via_params.value()) << codec->name();
+
+    auto via_plain = codec->Decompress(via_double.value());
+    auto via_dparams =
+        codec->Decompress(via_double.value(), DecompressParams());
+    ASSERT_TRUE(via_plain.ok() && via_dparams.ok()) << codec->name();
+    EXPECT_EQ(via_plain.value().size(), via_dparams.value().size())
+        << codec->name();
+  }
+}
+
+TEST(CodecTest, InvalidParamsRejectedBeforeDispatch) {
+  const PointCloud pc = RandomCloud(10, 5, 3);
+  for (auto& codec : MakeBaselineCodecs()) {
+    CompressParams params;
+    params.q_xyz = 0.02;
+    params.max_threads = -1;
+    EXPECT_FALSE(codec->Compress(pc, params).ok()) << codec->name();
+
+    CompressParams nan_params;
+    nan_params.q_xyz = std::nan("");
+    EXPECT_FALSE(codec->Compress(pc, nan_params).ok()) << codec->name();
+
+    DecompressParams dparams;
+    dparams.max_threads = -3;
+    ByteBuffer empty;
+    EXPECT_FALSE(codec->Decompress(empty, dparams).ok()) << codec->name();
+  }
+}
+
+TEST(CodecTest, PooledCompressionMatchesSerial) {
+  const PointCloud pc = RandomCloud(3000, 25, 77);
+  ThreadPool pool(4);
+  for (auto& codec : MakeBaselineCodecs()) {
+    auto serial = codec->Compress(pc, 0.02);
+    CompressParams params;
+    params.q_xyz = 0.02;
+    params.pool = &pool;
+    auto pooled = codec->Compress(pc, params);
+    ASSERT_TRUE(serial.ok() && pooled.ok()) << codec->name();
+    EXPECT_TRUE(serial.value() == pooled.value())
+        << codec->name() << ": bitstream depends on the thread budget";
+  }
 }
 
 TEST(CodecTest, BaselineFactoryProducesFour) {

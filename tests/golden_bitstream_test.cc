@@ -12,6 +12,7 @@
 #include <map>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "harness/codec_registry.h"
 #include "harness/corpus.h"
 #include "harness/golden.h"
@@ -135,6 +136,39 @@ TEST_F(GoldenBitstreamTest, CompressionIsDeterministic) {
     ASSERT_TRUE(first.ok() && second.ok()) << registered.id;
     EXPECT_TRUE(first.value() == second.value())
         << registered.id << ": nondeterministic compression on " << c.id;
+  }
+}
+
+// The thread-count half of the determinism guarantee
+// (docs/PARALLELISM.md): every codec must emit the serial golden bytes
+// under any thread budget. Budgets 1, 2 and 8 on an 8-worker pool cover
+// the serial path, a partial budget, and full width.
+TEST_F(GoldenBitstreamTest, BitstreamInvariantUnderThreadCount) {
+  ThreadPool pool(8);
+  for (const RegisteredCodec& registered : AllRegisteredCodecs()) {
+    SCOPED_TRACE(registered.id);
+    for (const CorpusCase& c : Corpus()) {
+      auto serial =
+          registered.codec->Compress(c.cloud, harness::kConformanceQ);
+      ASSERT_TRUE(serial.ok()) << c.id << ": " << serial.status().ToString();
+      for (int budget : {1, 2, 8}) {
+        CompressParams params;
+        params.q_xyz = harness::kConformanceQ;
+        params.pool = &pool;
+        params.max_threads = budget;
+        auto parallel = registered.codec->Compress(c.cloud, params);
+        ASSERT_TRUE(parallel.ok())
+            << c.id << " @" << budget << " threads: "
+            << parallel.status().ToString();
+        ASSERT_TRUE(parallel.value() == serial.value())
+            << "BITSTREAM DEPENDS ON THREAD COUNT for codec '"
+            << registered.id << "', case '" << c.id << "' at budget "
+            << budget << ": parallel size " << parallel.value().size()
+            << " vs serial size " << serial.value().size()
+            << ". Parallel stages must write disjoint pre-sized shards "
+               "merged in deterministic order (docs/PARALLELISM.md).";
+      }
+    }
   }
 }
 

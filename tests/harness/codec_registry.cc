@@ -33,17 +33,20 @@ class StreamFrameCodec : public GeometryCodec {
  public:
   std::string name() const override { return "Stream"; }
 
-  Result<ByteBuffer> Compress(const PointCloud& pc,
-                              double q_xyz) const override {
+ protected:
+  Result<ByteBuffer> CompressImpl(const PointCloud& pc,
+                                  const CompressParams& params) const override {
     DbgcOptions options = ConformanceDbgcOptions();
-    options.q_xyz = q_xyz;
+    options.q_xyz = params.q_xyz;
     DbgcStreamWriter writer(options);
     DBGC_ASSIGN_OR_RETURN(size_t bytes, writer.AddFrame(pc));
     (void)bytes;
     return writer.Finish();
   }
 
-  Result<PointCloud> Decompress(const ByteBuffer& buffer) const override {
+  Result<PointCloud> DecompressImpl(
+      const ByteBuffer& buffer, const DecompressParams& params) const override {
+    (void)params;
     DBGC_ASSIGN_OR_RETURN(DbgcStreamReader reader,
                           DbgcStreamReader::Open(buffer));
     if (reader.frame_count() != 1) {

@@ -3,8 +3,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 
+#include "common/rng.h"
+#include "common/thread_pool.h"
 #include "core/error_metrics.h"
 #include "harness/fault_injection.h"
 #include "lidar/scene_generator.h"
@@ -12,6 +16,7 @@
 #include "net/client.h"
 #include "net/frame_protocol.h"
 #include "net/frame_store.h"
+#include "net/pipeline.h"
 #include "net/server.h"
 #include "net/tcp_transport.h"
 
@@ -238,6 +243,160 @@ TEST(ClientServerTest, CorruptWireRejected) {
   for (int i = 0; i < 100; ++i) junk.AppendByte(static_cast<uint8_t>(i));
   ServerFrameReport report;
   EXPECT_FALSE(server.HandleFrame(junk, &report).ok());
+}
+
+// ---------------------------------------------------------------------------
+// CompressionPipeline admission control (docs/PARALLELISM.md): the bounded
+// in-flight window, TrySubmit refusal, Drain, and shared-pool configs.
+
+PointCloud SmallFrame(uint32_t seed) {
+  Rng rng(seed);
+  PointCloud pc;
+  for (int i = 0; i < 400; ++i) {
+    pc.Add(rng.NextRange(-20, 20), rng.NextRange(-20, 20),
+           rng.NextRange(-2, 2));
+  }
+  return pc;
+}
+
+DbgcOptions SmallFrameOptions() {
+  DbgcOptions options;
+  options.min_pts_scale = 0.05;
+  return options;
+}
+
+TEST(PipelineBackpressureTest, TrySubmitRefusesWhenWindowFull) {
+  CompressionPipeline::Config config;
+  config.num_workers = 1;
+  config.queue_capacity = 2;
+  CompressionPipeline pipeline(SmallFrameOptions(), config);
+  EXPECT_EQ(pipeline.capacity(), 2u);
+
+  // The window counts undelivered frames, so two accepted submissions fill
+  // it deterministically regardless of how fast the worker compresses.
+  EXPECT_TRUE(pipeline.TrySubmit(SmallFrame(1)));
+  EXPECT_TRUE(pipeline.TrySubmit(SmallFrame(2)));
+  EXPECT_FALSE(pipeline.TrySubmit(SmallFrame(3)));
+  EXPECT_EQ(pipeline.submitted(), 2u);
+
+  // Delivering one result frees one slot; the refused frame now fits.
+  ASSERT_TRUE(pipeline.NextResult().ok());
+  uint64_t seq = 0;
+  EXPECT_TRUE(pipeline.TrySubmit(SmallFrame(3), &seq));
+  EXPECT_EQ(seq, 2u);
+  EXPECT_FALSE(pipeline.TrySubmit(SmallFrame(4)));
+
+  ASSERT_TRUE(pipeline.Drain().ok());
+  ASSERT_TRUE(pipeline.NextResult().ok());
+  ASSERT_TRUE(pipeline.NextResult().ok());
+}
+
+TEST(PipelineBackpressureTest, SubmitBlocksUntilWindowFrees) {
+  CompressionPipeline::Config config;
+  config.num_workers = 1;
+  config.queue_capacity = 1;
+  CompressionPipeline pipeline(SmallFrameOptions(), config);
+
+  EXPECT_EQ(pipeline.Submit(SmallFrame(1)), 0u);
+  // A second Submit must wait for the window; free it from another thread
+  // after a beat. If blocking were broken this still passes, but under
+  // TSan/slow schedulers an eager Submit would race NextResult's delivery
+  // accounting and trip the window invariant below.
+  std::thread release([&pipeline] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(pipeline.NextResult().ok());
+  });
+  EXPECT_EQ(pipeline.Submit(SmallFrame(2)), 1u);
+  release.join();
+  EXPECT_EQ(pipeline.submitted(), 2u);
+  ASSERT_TRUE(pipeline.Drain().ok());
+  ASSERT_TRUE(pipeline.NextResult().ok());
+}
+
+TEST(PipelineBackpressureTest, DrainFlushesWithoutConsumingResults) {
+  CompressionPipeline pipeline(SmallFrameOptions(), /*num_workers=*/2);
+  const DbgcCodec reference(SmallFrameOptions());
+  std::vector<ByteBuffer> expected;
+  for (uint32_t f = 0; f < 3; ++f) {
+    const PointCloud pc = SmallFrame(f);
+    auto c = reference.Compress(pc, SmallFrameOptions().q_xyz);
+    ASSERT_TRUE(c.ok());
+    expected.push_back(std::move(c).value());
+    pipeline.Submit(pc);
+  }
+  ASSERT_TRUE(pipeline.Drain().ok());
+  // Drain is idempotent and leaves every result deliverable, in order.
+  ASSERT_TRUE(pipeline.Drain().ok());
+  for (size_t f = 0; f < expected.size(); ++f) {
+    auto result = pipeline.NextResult();
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value(), expected[f]) << "frame " << f;
+  }
+}
+
+TEST(PipelineBackpressureTest, SharedPoolServesTwoPipelines) {
+  ThreadPool pool(2);
+  CompressionPipeline::Config config;
+  config.pool = &pool;
+  config.queue_capacity = 4;
+  CompressionPipeline left(SmallFrameOptions(), config);
+  CompressionPipeline right(SmallFrameOptions(), config);
+  const DbgcCodec reference(SmallFrameOptions());
+
+  for (uint32_t f = 0; f < 3; ++f) {
+    left.Submit(SmallFrame(f));
+    right.Submit(SmallFrame(100 + f));
+  }
+  for (uint32_t f = 0; f < 3; ++f) {
+    auto serial_l = reference.Compress(SmallFrame(f), SmallFrameOptions().q_xyz);
+    auto serial_r =
+        reference.Compress(SmallFrame(100 + f), SmallFrameOptions().q_xyz);
+    auto got_l = left.NextResult();
+    auto got_r = right.NextResult();
+    ASSERT_TRUE(serial_l.ok() && serial_r.ok());
+    ASSERT_TRUE(got_l.ok() && got_r.ok());
+    EXPECT_EQ(got_l.value(), serial_l.value()) << "left frame " << f;
+    EXPECT_EQ(got_r.value(), serial_r.value()) << "right frame " << f;
+  }
+}
+
+TEST(PipelineBackpressureTest, IntraFrameParallelismKeepsBytes) {
+  // max_threads_per_frame = 0 hands each frame the whole pool; the
+  // bitstream contract says the bytes cannot change.
+  ThreadPool pool(3);
+  CompressionPipeline::Config config;
+  config.pool = &pool;
+  config.max_threads_per_frame = 0;
+  CompressionPipeline pipeline(SmallFrameOptions(), config);
+  const DbgcCodec reference(SmallFrameOptions());
+
+  const PointCloud pc = SmallFrame(7);
+  auto serial = reference.Compress(pc, SmallFrameOptions().q_xyz);
+  ASSERT_TRUE(serial.ok());
+  pipeline.Submit(pc);
+  auto parallel = pipeline.NextResult();
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel.value(), serial.value());
+}
+
+TEST(PipelineBackpressureTest, DestructorDrainsOutstandingFrames) {
+  // Dropping a pipeline with accepted-but-undelivered frames must complete
+  // their compressions before tearing down (tasks capture `this`).
+  ThreadPool pool(2);
+  {
+    CompressionPipeline::Config config;
+    config.pool = &pool;
+    config.queue_capacity = 4;
+    CompressionPipeline pipeline(SmallFrameOptions(), config);
+    for (uint32_t f = 0; f < 4; ++f) pipeline.Submit(SmallFrame(f));
+  }
+  // The shared pool is still healthy after the pipeline is gone.
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(pool.ParallelFor(0, 16, 1, [&](size_t lo, size_t hi) {
+                    ran.fetch_add(static_cast<int>(hi - lo));
+                  })
+                  .ok());
+  EXPECT_EQ(ran.load(), 16);
 }
 
 }  // namespace

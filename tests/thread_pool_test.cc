@@ -1,0 +1,216 @@
+// Tests for the intra-frame parallelism substrate (docs/PARALLELISM.md):
+// ParallelFor index coverage, exception-to-Status propagation, nested use
+// from inside pool tasks, and a stress mix designed to surface data races
+// under -DDBGC_SANITIZE=thread (scripts/check.sh runs exactly that).
+
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dbgc {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+    for (size_t grain : {1u, 3u, 64u, 5000u}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      const Status st = pool.ParallelFor(
+          0, n, grain, [&](size_t lo, size_t hi) {
+            ASSERT_LE(lo, hi);
+            ASSERT_LE(hi - lo, grain);
+            for (size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+          });
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " grain=" << grain
+                                     << " index " << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForHonoursNonZeroBegin) {
+  ThreadPool pool(2);
+  std::vector<uint8_t> hit(100, 0);
+  const Status st = pool.ParallelFor(40, 100, 7, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) hit[i] = 1;
+  });
+  ASSERT_TRUE(st.ok());
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(hit[i], i >= 40 ? 1 : 0);
+}
+
+TEST(ThreadPoolTest, ExceptionBecomesInternalStatus) {
+  ThreadPool pool(3);
+  const Status st = pool.ParallelFor(0, 100, 1, [&](size_t lo, size_t) {
+    if (lo == 37) throw std::runtime_error("chunk 37 exploded");
+  });
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("chunk 37 exploded"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(ThreadPoolTest, ExceptionOnEveryChunkStillReturns) {
+  ThreadPool pool(4);
+  // Poisoning must terminate even when many chunks throw concurrently.
+  const Status st = pool.ParallelFor(
+      0, 1000, 1, [&](size_t, size_t) { throw 42; });
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(ThreadPoolTest, MaxThreadsOneRunsOnCaller) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> off_thread{false};
+  const Status st = pool.ParallelFor(
+      0, 64, 4,
+      [&](size_t, size_t) {
+        if (std::this_thread::get_id() != caller) off_thread = true;
+      },
+      /*max_threads=*/1);
+  ASSERT_TRUE(st.ok());
+  EXPECT_FALSE(off_thread.load());
+}
+
+TEST(ThreadPoolTest, ScheduleRunsEveryTask) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Schedule([&ran] { ran.fetch_add(1); });
+    }
+    // Destructor completes scheduled tasks before joining.
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, NestedParallelForOnSamePoolDoesNotDeadlock) {
+  ThreadPool pool(2);
+  // More outer loops than workers, each running an inner loop on the same
+  // pool: progress relies on callers executing chunks themselves.
+  std::atomic<int64_t> sum{0};
+  const Status outer = pool.ParallelFor(0, 8, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      const Status inner =
+          pool.ParallelFor(0, 100, 9, [&](size_t ilo, size_t ihi) {
+            for (size_t j = ilo; j < ihi; ++j) {
+              sum.fetch_add(static_cast<int64_t>(j));
+            }
+          });
+      ASSERT_TRUE(inner.ok());
+    }
+  });
+  ASSERT_TRUE(outer.ok());
+  EXPECT_EQ(sum.load(), 8 * (99 * 100 / 2));
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForsFromManyThreads) {
+  // TSan stress: several external threads drive ParallelFor on one shared
+  // pool while Schedule tasks churn in between.
+  ThreadPool pool(4);
+  constexpr int kDrivers = 4;
+  constexpr int kRounds = 25;
+  std::atomic<int64_t> total{0};
+  std::vector<std::thread> drivers;
+  drivers.reserve(kDrivers);
+  for (int d = 0; d < kDrivers; ++d) {
+    drivers.emplace_back([&pool, &total] {
+      for (int r = 0; r < kRounds; ++r) {
+        std::vector<int64_t> partial(128, 0);
+        const Status st =
+            pool.ParallelFor(0, partial.size(), 8,
+                             [&](size_t lo, size_t hi) {
+                               for (size_t i = lo; i < hi; ++i) {
+                                 partial[i] = static_cast<int64_t>(i);
+                               }
+                             });
+        ASSERT_TRUE(st.ok());
+        total.fetch_add(std::accumulate(partial.begin(), partial.end(),
+                                        int64_t{0}));
+      }
+    });
+  }
+  for (std::thread& t : drivers) t.join();
+  EXPECT_EQ(total.load(), int64_t{kDrivers} * kRounds * (127 * 128 / 2));
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+}
+
+TEST(ParallelismTest, DisabledBudgetsRunInline) {
+  // Null pool and max_threads == 1 both mean serial.
+  Parallelism null_budget;
+  EXPECT_FALSE(null_budget.enabled());
+  EXPECT_EQ(null_budget.width(), 1);
+
+  ThreadPool pool(4);
+  Parallelism serial{&pool, 1};
+  EXPECT_FALSE(serial.enabled());
+
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> off_thread{false};
+  int calls = 0;
+  const Status st = serial.For(0, 10, 2, [&](size_t lo, size_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 10u);
+    if (std::this_thread::get_id() != caller) off_thread = true;
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(calls, 1);  // Inline path runs the whole range as one chunk.
+  EXPECT_FALSE(off_thread.load());
+}
+
+TEST(ParallelismTest, InlineForStillCapturesExceptions) {
+  Parallelism serial;
+  const Status st = serial.For(
+      0, 5, 1, [&](size_t, size_t) { throw std::runtime_error("inline"); });
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("inline"), std::string::npos);
+}
+
+TEST(ParallelismTest, WidthAndGrainRespectCaps) {
+  ThreadPool pool(7);
+  const Parallelism all{&pool, 0};
+  EXPECT_TRUE(all.enabled());
+  EXPECT_EQ(all.width(), 8);  // Workers + the calling thread.
+
+  const Parallelism capped{&pool, 3};
+  EXPECT_EQ(capped.width(), 3);
+
+  // GrainFor never goes below min_grain and always stays positive.
+  EXPECT_GE(all.GrainFor(10000, 64), 64u);
+  EXPECT_GE(all.GrainFor(10, 64), 64u);
+  EXPECT_GE(all.GrainFor(0, 1), 1u);
+}
+
+TEST(ParallelismTest, EnabledForMatchesSerialResult) {
+  ThreadPool pool(4);
+  const Parallelism par{&pool, 0};
+  std::vector<uint64_t> parallel_out(5000);
+  std::vector<uint64_t> serial_out(5000);
+  const Status st = par.For(0, parallel_out.size(),
+                            par.GrainFor(parallel_out.size(), 16),
+                            [&](size_t lo, size_t hi) {
+                              for (size_t i = lo; i < hi; ++i) {
+                                parallel_out[i] = i * 2654435761u;
+                              }
+                            });
+  ASSERT_TRUE(st.ok());
+  for (size_t i = 0; i < serial_out.size(); ++i) {
+    serial_out[i] = i * 2654435761u;
+  }
+  EXPECT_EQ(parallel_out, serial_out);
+}
+
+}  // namespace
+}  // namespace dbgc
