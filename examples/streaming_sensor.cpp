@@ -19,6 +19,7 @@
 #include "net/client.h"
 #include "net/pipeline.h"
 #include "net/server.h"
+#include "obs/metrics.h"
 
 int main(int argc, char** argv) {
   const int num_frames = argc > 1 ? std::atoi(argv[1]) : 5;
@@ -129,5 +130,9 @@ int main(int argc, char** argv) {
               accepted / elapsed >= sensor.frames_per_second ? "sustains"
                                                              : "trails",
               sensor.frames_per_second);
+  // Everything the run just did — per-codec bytes, stage latencies, queue
+  // depth, drops — is in the process-wide registry (docs/OBSERVABILITY.md).
+  std::printf("\nmetrics snapshot:\n%s\n",
+              dbgc::obs::MetricsRegistry::Global().ToJson().c_str());
   return 0;
 }

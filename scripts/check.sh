@@ -39,6 +39,28 @@ ctest --test-dir build -L lint --output-on-failure -j "${JOBS}"
 ./build/tools/dbgc_lint/dbgc_lint \
   src/common/thread_pool.h src/common/thread_pool.cc \
   src/net/pipeline.h src/net/pipeline.cc
+# Rule R6 (docs/OBSERVABILITY.md): the obs layer owns the monotonic clock;
+# name its wrapper explicitly so a new ad-hoc timer fails loudly here.
+./build/tools/dbgc_lint/dbgc_lint src/obs/trace.h src/obs/trace.cc
+
+echo "==> obs gate: enabled-build snapshot + DBGC_OBS_OFF parity"
+# Enabled build: the overhead bench doubles as the snapshot emitter; the
+# JSON must carry per-codec latency histograms and stage spans.
+DBGC_BENCH_FRAMES="${DBGC_BENCH_FRAMES:-1}" \
+  ./build/bench/bench_obs_overhead BENCH_obs.json
+# Disabled build: every call site compiles against the no-op stubs and the
+# bench proves the hot path carries no instrumentation cost
+# (BENCH_obs_off.json records the same micro-timings for comparison).
+cmake -B build-obsoff -S . \
+  -DDBGC_OBS_OFF=ON \
+  -DDBGC_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-obsoff -j "${JOBS}" \
+  --target obs_test net_test bench_obs_overhead dbgc_stats
+./build-obsoff/tests/obs_test >/dev/null
+./build-obsoff/tests/net_test \
+  --gtest_filter='PipelineBackpressureTest.*:FrameStoreTest.*' >/dev/null
+DBGC_BENCH_FRAMES="${DBGC_BENCH_FRAMES:-1}" \
+  ./build-obsoff/bench/bench_obs_overhead BENCH_obs_off.json
 
 # Compile-only gate over the library and lint tool; tests are exercised by
 # the tier-1 and sanitizer builds above and stay on the permissive warning
@@ -77,12 +99,13 @@ cmake -B build-tsan -S . \
   -DDBGC_BUILD_BENCHMARKS=OFF \
   -DDBGC_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j "${JOBS}" \
-  --target concurrency_smoke_test thread_pool_test net_test
+  --target concurrency_smoke_test thread_pool_test net_test obs_test
 # ThreadPool/Parallelism: the ParallelFor stress mix; PipelineBackpressure:
-# the bounded-window frame pipeline; ConcurrencySmoke: codec statelessness.
+# the bounded-window frame pipeline; ConcurrencySmoke: codec statelessness;
+# MetricsStress: sharded counters/histograms under concurrent readers.
 TSAN_OPTIONS="halt_on_error=1" \
 ctest --test-dir build-tsan \
-  -R "ConcurrencySmoke|ThreadPoolTest|ParallelismTest|PipelineBackpressure" \
+  -R "ConcurrencySmoke|ThreadPoolTest|ParallelismTest|PipelineBackpressure|MetricsStress" \
   --output-on-failure -j "${JOBS}"
 
 echo "==> all checks passed"

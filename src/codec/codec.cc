@@ -1,14 +1,37 @@
 #include "codec/codec.h"
 
 #include <cmath>
+#include <map>
+#include <mutex>
 
 #include "codec/gpcc_like_codec.h"
 #include "codec/kdtree_codec.h"
 #include "codec/octree_codec.h"
 #include "codec/octree_grouped_codec.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dbgc {
+
+namespace internal {
+
+/// Registry handles for one codec name. Every increment on the Compress /
+/// Decompress hot path goes through these cached pointers — the registry
+/// map lookup happens once per name, not once per frame.
+struct CodecMetrics {
+  obs::Counter* compress_frames;
+  obs::Counter* compress_points;
+  obs::Counter* compress_bytes_in;   // Raw geometry bytes (12 per point).
+  obs::Counter* compress_bytes_out;  // Emitted bitstream bytes.
+  obs::Counter* decompress_frames;
+  obs::Counter* decompress_bytes_in;
+  obs::Counter* decompress_points;
+  obs::Histogram* compress_seconds;
+  obs::Histogram* decompress_seconds;
+};
+
+}  // namespace internal
 
 namespace {
 
@@ -20,7 +43,57 @@ Status ValidateBudget(ThreadPool* pool, int max_threads) {
   return Status::OK();
 }
 
+/// Interns the handle block for `codec`: one block per distinct name, kept
+/// alive for the process so GeometryCodec can cache the pointer.
+const internal::CodecMetrics& MetricsForName(const std::string& codec) {
+  static std::mutex mutex;
+  static auto* blocks = new std::map<std::string, internal::CodecMetrics>();
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = blocks->find(codec);
+  if (it == blocks->end()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+    const auto counter = [&](const char* base) {
+      return reg.GetCounter(obs::LabeledName(base, {{"codec", codec}}));
+    };
+    const auto histogram = [&](const char* base) {
+      return reg.GetHistogram(obs::LabeledName(base, {{"codec", codec}}));
+    };
+    internal::CodecMetrics m;
+    m.compress_frames = counter("codec_compress_frames_total");
+    m.compress_points = counter("codec_compress_points_total");
+    m.compress_bytes_in = counter("codec_compress_bytes_in_total");
+    m.compress_bytes_out = counter("codec_compress_bytes_out_total");
+    m.decompress_frames = counter("codec_decompress_frames_total");
+    m.decompress_bytes_in = counter("codec_decompress_bytes_in_total");
+    m.decompress_points = counter("codec_decompress_points_total");
+    m.compress_seconds = histogram("codec_compress_seconds");
+    m.decompress_seconds = histogram("codec_decompress_seconds");
+    it = blocks->emplace(codec, m).first;
+  }
+  return it->second;
+}
+
+/// Error-path accounting: one increment per failed Decompress call, labeled
+/// by codec and status code. Resolved per event — decode errors are rare,
+/// and the reason label space is the StatusCode enum.
+void CountDecodeError(const std::string& codec, StatusCode code) {
+  obs::MetricsRegistry::Global()
+      .GetCounter(obs::LabeledName(
+          "decode_error_total",
+          {{"codec", codec}, {"reason", StatusCodeToString(code)}}))
+      ->Increment();
+}
+
 }  // namespace
+
+const internal::CodecMetrics& GeometryCodec::metrics() const {
+  const internal::CodecMetrics* m = metrics_.load(std::memory_order_acquire);
+  if (m == nullptr) {
+    m = &MetricsForName(name());
+    metrics_.store(m, std::memory_order_release);
+  }
+  return *m;
+}
 
 Result<ByteBuffer> GeometryCodec::Compress(const PointCloud& pc,
                                            const CompressParams& params) const {
@@ -28,13 +101,37 @@ Result<ByteBuffer> GeometryCodec::Compress(const PointCloud& pc,
   if (std::isnan(params.q_xyz)) {
     return Status::InvalidArgument("codec: q_xyz is NaN");
   }
-  return CompressImpl(pc, params);
+  const internal::CodecMetrics& m = metrics();
+  Result<ByteBuffer> result = [&] {
+    obs::ScopedTimer timer(nullptr, m.compress_seconds);
+    return CompressImpl(pc, params);
+  }();
+  if (result.ok()) {
+    m.compress_frames->Increment();
+    m.compress_points->Add(pc.size());
+    m.compress_bytes_in->Add(pc.RawSizeBytes());
+    m.compress_bytes_out->Add(result.value().size());
+  }
+  return result;
 }
 
 Result<PointCloud> GeometryCodec::Decompress(
     const ByteBuffer& buffer, const DecompressParams& params) const {
   DBGC_RETURN_NOT_OK(ValidateBudget(params.pool, params.max_threads));
-  return DecompressImpl(buffer, params);
+  const internal::CodecMetrics& m = metrics();
+  Result<PointCloud> result = [&] {
+    obs::ScopedTimer timer(nullptr, m.decompress_seconds);
+    obs::TraceSpan span(obs::Stage::kDecode);
+    return DecompressImpl(buffer, params);
+  }();
+  if (result.ok()) {
+    m.decompress_frames->Increment();
+    m.decompress_bytes_in->Add(buffer.size());
+    m.decompress_points->Add(result.value().size());
+  } else {
+    CountDecodeError(name(), result.status().code());
+  }
+  return result;
 }
 
 Result<ByteBuffer> GeometryCodec::Compress(const PointCloud& pc,

@@ -16,6 +16,7 @@
 #ifndef DBGC_CODEC_CODEC_H_
 #define DBGC_CODEC_CODEC_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,6 +29,10 @@ namespace dbgc {
 
 class ThreadPool;
 struct DbgcCompressInfo;
+
+namespace internal {
+struct CodecMetrics;  // Per-codec-name observability handles (codec.cc).
+}  // namespace internal
 
 /// Everything a codec may consume while compressing one frame.
 ///
@@ -60,7 +65,19 @@ struct DecompressParams {
 /// Abstract geometry compressor/decompressor.
 class GeometryCodec {
  public:
+  GeometryCodec() = default;
   virtual ~GeometryCodec() = default;
+
+  // The cached metrics handle is interned per name() and copies preserve
+  // the dynamic type, so copying the cached pointer value is safe (the
+  // atomic member would otherwise delete copy/move for every codec).
+  GeometryCodec(const GeometryCodec& other)
+      : metrics_(other.metrics_.load(std::memory_order_relaxed)) {}
+  GeometryCodec& operator=(const GeometryCodec& other) {
+    metrics_.store(other.metrics_.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    return *this;
+  }
 
   /// Short display name ("Octree", "G-PCC-like", "DBGC", ...).
   virtual std::string name() const = 0;
@@ -90,6 +107,13 @@ class GeometryCodec {
   /// Codec-specific decompression. `params` has been validated.
   virtual Result<PointCloud> DecompressImpl(
       const ByteBuffer& buffer, const DecompressParams& params) const = 0;
+
+ private:
+  /// Observability handles for this codec's name(), resolved on first use.
+  /// The pointee is interned per name and lives for the process, so a
+  /// benign store race between threads writes the same pointer.
+  const internal::CodecMetrics& metrics() const;
+  mutable std::atomic<const internal::CodecMetrics*> metrics_{nullptr};
 };
 
 /// Compression ratio: raw geometry bytes (12 per point, Section 2.1) over

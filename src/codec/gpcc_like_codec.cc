@@ -7,6 +7,7 @@
 #include "common/bounding_box.h"
 #include "encoding/value_codec.h"
 #include "entropy/arithmetic_coder.h"
+#include "obs/trace.h"
 #include "entropy/binary_coder.h"
 #include "spatial/octree.h"
 
@@ -251,6 +252,7 @@ Result<ByteBuffer> GpccLikeCodec::CompressImpl(
   }
   std::sort(keys.begin(), keys.end());
 
+  obs::TraceSpan entropy_span(obs::Stage::kEntropy);
   ArithmeticEncoder enc;
   Models models;
   std::vector<uint64_t> leaf_extra;

@@ -7,6 +7,7 @@
 #include "bitio/varint.h"
 #include "common/bounding_box.h"
 #include "entropy/arithmetic_coder.h"
+#include "obs/trace.h"
 
 namespace dbgc {
 
@@ -150,6 +151,7 @@ Result<ByteBuffer> KdTreeCodec::CompressImpl(
   IntBox root;
   root.lo = {0, 0, 0};
   root.size = {cells, cells, cells};
+  obs::TraceSpan entropy_span(obs::Stage::kEntropy);
   ArithmeticEncoder enc;
   EncodeRecursive(&enc, &points, 0, points.size(), root);
   out.AppendLengthPrefixed(enc.Finish());

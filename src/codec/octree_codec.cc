@@ -4,6 +4,7 @@
 #include "common/thread_pool.h"
 #include "encoding/value_codec.h"
 #include "entropy/arithmetic_coder.h"
+#include "obs/trace.h"
 
 namespace dbgc {
 
@@ -26,6 +27,7 @@ ByteBuffer OctreeCodec::SerializeStructure(const OctreeStructure& tree,
         // Occupancy codes, breadth-first, as one adaptive arithmetic
         // stream. Symbol 0 (empty node) never occurs; the 256-symbol
         // alphabet keeps the model simple.
+        obs::TraceSpan entropy_span(obs::Stage::kEntropy);
         AdaptiveModel model(256);
         ArithmeticEncoder enc;
         for (const auto& level : tree.levels) {
@@ -50,6 +52,7 @@ ByteBuffer OctreeCodec::SerializeStructure(const OctreeStructure& tree,
   // the encoders do not throw.
   DBGC_CHECK(shard_status.ok());
 
+  obs::TraceSpan serialize_span(obs::Stage::kSerialize);
   ByteBuffer out;
   out.AppendDouble(tree.root.origin.x);
   out.AppendDouble(tree.root.origin.y);

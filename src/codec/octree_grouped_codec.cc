@@ -5,6 +5,7 @@
 #include "bitio/varint.h"
 #include "encoding/value_codec.h"
 #include "entropy/arithmetic_coder.h"
+#include "obs/trace.h"
 
 namespace dbgc {
 
@@ -46,6 +47,7 @@ Result<ByteBuffer> OctreeGroupedCodec::CompressImpl(
   PutVarint64(&out, tree.num_leaves());
 
   // Breadth-first traversal carrying each node's parent occupancy code.
+  obs::TraceSpan entropy_span(obs::Stage::kEntropy);
   ContextModels contexts;
   ArithmeticEncoder enc;
   std::vector<uint8_t> parent_codes{0};  // Root context.

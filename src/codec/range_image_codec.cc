@@ -9,6 +9,7 @@
 #include "encoding/value_codec.h"
 #include "entropy/binary_coder.h"
 #include "lidar/spherical.h"
+#include "obs/trace.h"
 
 namespace dbgc {
 
@@ -88,6 +89,7 @@ Result<ByteBuffer> RangeImageCodec::CompressImpl(
     }
   }
 
+  obs::TraceSpan serialize_span(obs::Stage::kSerialize);
   ByteBuffer out;
   out.AppendDouble(sensor_.theta_min);
   out.AppendDouble(sensor_.phi_max);

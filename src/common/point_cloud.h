@@ -12,7 +12,10 @@
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
+
+#include "common/safe_math.h"
 
 namespace dbgc {
 
@@ -106,7 +109,13 @@ class PointCloud {
   ///
   /// The paper's compression-ratio convention (Section 2.1 and Section 4.4)
   /// stores each coordinate as a 32-bit float: 96 bits = 12 bytes per point.
-  size_t RawSizeBytes() const { return points_.size() * 12; }
+  /// Returned as uint64_t with checked (saturating) math: this value feeds
+  /// the cumulative byte counters and ratio/bandwidth figures, which must
+  /// stay monotone past 4 GiB even where size_t is 32 bits.
+  uint64_t RawSizeBytes() const {
+    return CheckedMul<uint64_t>(points_.size(), 12)
+        .value_or(std::numeric_limits<uint64_t>::max());
+  }
 
   /// The maximum radial distance from the origin over all points.
   /// Returns 0 for an empty cloud.

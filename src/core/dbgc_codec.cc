@@ -1,7 +1,6 @@
 #include "core/dbgc_codec.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstring>
 
@@ -15,6 +14,7 @@
 #include "core/point_grouper.h"
 #include "core/polyline_organizer.h"
 #include "core/sparse_codec.h"
+#include "obs/trace.h"
 #include "spatial/octree.h"
 
 namespace dbgc {
@@ -24,19 +24,11 @@ namespace {
 constexpr uint8_t kMagic[4] = {'D', 'B', 'G', 'C'};
 constexpr uint8_t kVersion = 1;
 
-class StageTimer {
- public:
-  explicit StageTimer(double* slot)
-      : slot_(slot), start_(std::chrono::steady_clock::now()) {}
-  ~StageTimer() {
-    const auto end = std::chrono::steady_clock::now();
-    *slot_ += std::chrono::duration<double>(end - start_).count();
-  }
-
- private:
-  double* slot_;
-  std::chrono::steady_clock::time_point start_;
-};
+// Stage blocks below time themselves with obs::TraceSpan: the duration
+// lands both in the DbgcCompressInfo slot (per-call report) and in the
+// process-wide stage_seconds{stage=...} histograms (docs/OBSERVABILITY.md).
+using obs::Stage;
+using obs::TraceSpan;
 
 uint8_t EncodeFlags(const DbgcOptions& options) {
   uint8_t flags = 0;
@@ -73,7 +65,7 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
   // --- DEN: density-based clustering (Section 3.2). ---
   Partition partition;
   {
-    StageTimer t(&info->timings.clustering);
+    TraceSpan t(Stage::kClustering, &info->timings.clustering);
     partition = PartitionByDensity(pc, opt, par);
   }
   info->num_dense = partition.dense.size();
@@ -81,7 +73,7 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
   // --- OCT: octree compression of dense points. ---
   ByteBuffer b_dense;
   {
-    StageTimer t(&info->timings.octree);
+    TraceSpan t(Stage::kOctree, &info->timings.octree);
     if (!partition.dense.empty()) {
       PointCloud dense_cloud;
       dense_cloud.Reserve(partition.dense.size());
@@ -118,7 +110,7 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
   std::vector<std::vector<uint32_t>> group_indices;
   std::vector<ConvertedGroup> groups;
   {
-    StageTimer t(&info->timings.conversion);
+    TraceSpan t(Stage::kConversion, &info->timings.conversion);
     std::vector<double> radii(partition.sparse.size());
     const Status radii_status = par.For(
         0, radii.size(), par.GrainFor(radii.size(), 2048),
@@ -151,7 +143,7 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
   std::vector<OrganizeResult> organized(groups.size());
   std::vector<uint32_t> outlier_indices;
   {
-    StageTimer t(&info->timings.organization);
+    TraceSpan t(Stage::kOrganization, &info->timings.organization);
     const Status org_status =
         par.For(0, groups.size(), 1, [&](size_t lo, size_t hi) {
           for (size_t g = lo; g < hi; ++g) {
@@ -175,7 +167,7 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
   // does not depend on the thread count.
   std::vector<ByteBuffer> group_streams(groups.size());
   {
-    StageTimer t(&info->timings.sparse);
+    TraceSpan t(Stage::kSparse, &info->timings.sparse);
     const Status spa_status =
         par.For(0, groups.size(), 1, [&](size_t lo, size_t hi) {
           for (size_t g = lo; g < hi; ++g) {
@@ -199,7 +191,7 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
   // --- OUT: outlier compression (Section 3.6). ---
   ByteBuffer b_outlier;
   {
-    StageTimer t(&info->timings.outlier);
+    TraceSpan t(Stage::kOutlier, &info->timings.outlier);
     std::vector<uint32_t> outlier_order;
     DBGC_ASSIGN_OR_RETURN(
         b_outlier, OutlierCodec::Compress(pc, outlier_indices, opt.q_xyz,
@@ -209,6 +201,7 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
   info->bytes_outlier = b_outlier.size();
 
   // --- Output layout (Figure 8). ---
+  TraceSpan serialize_span(Stage::kSerialize);
   ByteBuffer out;
   out.Append(kMagic, 4);
   out.AppendByte(kVersion);
@@ -261,7 +254,7 @@ Result<PointCloud> DbgcCodec::DecompressWithInfo(
 
   // Dense points.
   {
-    StageTimer t(&info->timings.octree);
+    obs::ScopedTimer t(&info->timings.octree);
     ByteBuffer b_dense;
     DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&b_dense));
     if (!b_dense.empty()) {
@@ -288,11 +281,11 @@ Result<PointCloud> DbgcCodec::DecompressWithInfo(
 
     std::vector<Polyline> lines;
     {
-      StageTimer t(&info->timings.sparse);
+      obs::ScopedTimer t(&info->timings.sparse);
       DBGC_RETURN_NOT_OK(SparseCodec::DecodeGroup(stream, params, &lines));
     }
     {
-      StageTimer t(&info->timings.conversion);
+      obs::ScopedTimer t(&info->timings.conversion);
       for (const Polyline& line : lines) {
         for (const QPoint& q : line.points) {
           out.Add(ReconstructPoint(q, params, spherical));
@@ -303,7 +296,7 @@ Result<PointCloud> DbgcCodec::DecompressWithInfo(
 
   // Outliers.
   {
-    StageTimer t(&info->timings.outlier);
+    obs::ScopedTimer t(&info->timings.outlier);
     ByteBuffer b_outlier;
     DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&b_outlier));
     DBGC_ASSIGN_OR_RETURN(PointCloud outliers,

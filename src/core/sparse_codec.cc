@@ -10,6 +10,7 @@
 #include "entropy/arithmetic_coder.h"
 #include "core/reference_polyline.h"
 #include "lz/deflate.h"
+#include "obs/trace.h"
 
 namespace dbgc {
 
@@ -165,6 +166,7 @@ ByteBuffer SparseCodec::EncodeGroup(const std::vector<Polyline>& lines,
   }
 
   // --- Steps 6, 7, 9: entropy coding and stream assembly. ---
+  obs::TraceSpan entropy_span(obs::Stage::kEntropy);
   ByteBuffer out;
   PutVarint64(&out, lines.size());
   if (lines.empty()) return out;

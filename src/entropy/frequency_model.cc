@@ -13,6 +13,15 @@ AdaptiveModel::AdaptiveModel(uint32_t alphabet_size, uint32_t increment)
       tree_(alphabet_size + 1, 0),
       freq_(alphabet_size, 1) {
   DBGC_CHECK(alphabet_size >= 1);
+  // Every symbol keeps frequency >= 1 forever (round-up halving in
+  // Rescale), so the all-ones floor `alphabet_size` must itself fit under
+  // the coder's total budget — otherwise no amount of rescaling restores
+  // the invariant total < kMaxTotal and encoder/decoder desync.
+  DBGC_CHECK(alphabet_size < kMaxTotal);
+  // A zero increment would make Update a no-op (harmless but senseless);
+  // an increment at kMaxTotal or beyond could overshoot the budget faster
+  // than one halving recovers. Both are contract violations.
+  DBGC_CHECK(increment >= 1 && increment < kMaxTotal);
   // Initialize the Fenwick tree with all-ones frequencies.
   for (uint32_t i = 0; i < size_; ++i) {
     uint32_t j = i + 1;
@@ -82,11 +91,20 @@ void AdaptiveModel::Update(uint32_t symbol) {
 }
 
 void AdaptiveModel::Rescale() {
-  total_ = 0;
-  for (uint32_t i = 0; i < size_; ++i) {
-    freq_[i] = (freq_[i] + 1) / 2;
-    total_ += freq_[i];
-  }
+  // Halve with rounding up: (f + 1) / 2 >= 1 for every f >= 1, so a
+  // rescale can never drive a symbol's frequency to zero — a zero-width
+  // range would desync the decoder on the next occurrence of that symbol.
+  // One halving suffices for any sane increment, but loop anyway: the
+  // all-ones fixed point has total == size_ < kMaxTotal (checked in the
+  // constructor), so termination is guaranteed even for extreme
+  // increments near the budget.
+  do {
+    total_ = 0;
+    for (uint32_t i = 0; i < size_; ++i) {
+      freq_[i] = (freq_[i] + 1) / 2;
+      total_ += freq_[i];
+    }
+  } while (total_ >= kMaxTotal);
   std::fill(tree_.begin(), tree_.end(), 0u);
   for (uint32_t i = 0; i < size_; ++i) {
     uint32_t j = i + 1;
@@ -98,11 +116,21 @@ void AdaptiveModel::Rescale() {
 }
 
 StaticModel::StaticModel(const std::vector<uint32_t>& counts) {
+  DBGC_CHECK(!counts.empty());
+  // Each symbol is floored at frequency 1, so an alphabet at or above
+  // kMaxTotal cannot fit the coder's budget. Before this bound existed,
+  // `kMaxTotal - counts.size()` below underflowed for oversized alphabets
+  // (size_t arithmetic), which skipped scaling entirely and let the
+  // uint32 cumulative table wrap into non-monotone ranges.
+  DBGC_CHECK(counts.size() < AdaptiveModel::kMaxTotal);
   cum_.resize(counts.size() + 1, 0);
   uint64_t total = 0;
   for (uint32_t c : counts) total += std::max<uint32_t>(c, 1);
-  // Scale so the total stays under the coder's precision budget.
-  const uint64_t limit = AdaptiveModel::kMaxTotal - counts.size();
+  // Scale so the total stays under the coder's precision budget. With the
+  // size bound above, limit >= 1 and the scaled total is at most
+  // limit + size == kMaxTotal.
+  const uint64_t limit =
+      AdaptiveModel::kMaxTotal - static_cast<uint64_t>(counts.size());
   for (size_t i = 0; i < counts.size(); ++i) {
     uint64_t f = std::max<uint32_t>(counts[i], 1);
     if (total > limit) {

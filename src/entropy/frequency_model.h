@@ -31,7 +31,10 @@ class AdaptiveModel {
   /// Maximum total frequency; must leave headroom for the 32-bit coder.
   static constexpr uint32_t kMaxTotal = 1u << 16;
 
-  /// Creates a model over [0, alphabet_size). alphabet_size must be >= 1.
+  /// Creates a model over [0, alphabet_size). Contract (DBGC_CHECK):
+  /// 1 <= alphabet_size < kMaxTotal and 1 <= increment < kMaxTotal — the
+  /// all-ones frequency floor must fit the coder's total budget or no
+  /// rescale can restore it.
   explicit AdaptiveModel(uint32_t alphabet_size, uint32_t increment = 32);
 
   /// Number of symbols in the alphabet.
@@ -67,6 +70,9 @@ class StaticModel {
  public:
   /// Builds a model from per-symbol counts; zero counts are bumped to 1.
   /// Counts are proportionally scaled so the total fits the coder's limits.
+  /// Contract (DBGC_CHECK): counts is non-empty and smaller than
+  /// AdaptiveModel::kMaxTotal — larger alphabets cannot fit the budget
+  /// with every symbol floored at frequency 1.
   explicit StaticModel(const std::vector<uint32_t>& counts);
 
   uint32_t alphabet_size() const {

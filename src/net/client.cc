@@ -1,8 +1,34 @@
 #include "net/client.h"
 
-#include <chrono>
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dbgc {
+
+namespace {
+
+/// Process-wide client instruments, resolved once.
+struct ClientMetrics {
+  obs::Counter* frames;
+  obs::Counter* raw_bytes;
+  obs::Counter* wire_bytes;
+  obs::Histogram* compress_seconds;
+
+  static const ClientMetrics& Get() {
+    static const ClientMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      ClientMetrics c;
+      c.frames = reg.GetCounter("client_frames_total");
+      c.raw_bytes = reg.GetCounter("client_raw_bytes_total");
+      c.wire_bytes = reg.GetCounter("client_wire_bytes_total");
+      c.compress_seconds = reg.GetHistogram("client_compress_seconds");
+      return c;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 DbgcClient::DbgcClient(DbgcOptions options, SimulatedChannel sensor_link,
                        SimulatedChannel uplink)
@@ -10,25 +36,34 @@ DbgcClient::DbgcClient(DbgcOptions options, SimulatedChannel sensor_link,
 
 Result<ByteBuffer> DbgcClient::ProcessFrame(const PointCloud& pc,
                                             ClientFrameReport* report) {
+  const ClientMetrics& metrics = ClientMetrics::Get();
   *report = ClientFrameReport();
   report->frame_id = next_frame_id_++;
   report->raw_bytes = pc.RawSizeBytes();
   report->sensor_transfer_seconds =
       sensor_link_.TransferSeconds(report->raw_bytes);
 
-  const auto start = std::chrono::steady_clock::now();
+  // A FrameTrace captures this frame's per-stage split (DEN/OCT/...) on
+  // this thread; its breakdown is folded into the stage histograms by the
+  // spans themselves.
+  obs::FrameTrace frame_trace;
   DbgcCompressInfo info;
-  DBGC_ASSIGN_OR_RETURN(ByteBuffer compressed,
-                        codec_.CompressWithInfo(pc, &info));
-  const auto end = std::chrono::steady_clock::now();
-  report->compress_seconds =
-      std::chrono::duration<double>(end - start).count();
+  Result<ByteBuffer> compressed_result = [&] {
+    obs::ScopedTimer timer(&report->compress_seconds,
+                           metrics.compress_seconds);
+    return codec_.CompressWithInfo(pc, &info);
+  }();
+  DBGC_RETURN_NOT_OK(compressed_result.status());
+  ByteBuffer compressed = std::move(compressed_result).value();
   report->compressed_bytes = compressed.size();
+  metrics.frames->Increment();
+  metrics.raw_bytes->Add(pc.RawSizeBytes());
 
   Frame frame;
   frame.frame_id = report->frame_id;
   frame.payload = std::move(compressed);
   ByteBuffer wire = FrameProtocol::Serialize(frame);
+  metrics.wire_bytes->Add(wire.size());
   report->uplink_seconds = uplink_.TransferSeconds(wire.size());
   return wire;
 }

@@ -6,16 +6,86 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+
 namespace dbgc {
 
+namespace {
+
+/// Process-wide frame-store instruments, resolved once. Resident gauges
+/// are delta-updated so several stores compose additively.
+struct StoreMetrics {
+  obs::Counter* puts;
+  obs::Counter* evictions;
+  obs::Counter* get_misses;
+  obs::Gauge* resident_frames;
+  obs::Gauge* resident_bytes;
+
+  static const StoreMetrics& Get() {
+    static const StoreMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      StoreMetrics s;
+      s.puts = reg.GetCounter("store_put_total");
+      s.evictions = reg.GetCounter("store_evicted_total");
+      s.get_misses = reg.GetCounter("store_get_miss_total");
+      s.resident_frames = reg.GetGauge("store_resident_frames");
+      s.resident_bytes = reg.GetGauge("store_resident_bytes");
+      return s;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+MemoryFrameStore::MemoryFrameStore(size_t capacity) : capacity_(capacity) {}
+
+MemoryFrameStore::~MemoryFrameStore() {
+  const StoreMetrics& m = StoreMetrics::Get();
+  for (const auto& [id, bytes] : frames_) {
+    (void)id;
+    m.resident_bytes->Sub(static_cast<int64_t>(bytes.size()));
+    m.resident_frames->Sub(1);
+  }
+}
+
+void MemoryFrameStore::ReleaseEntry(size_t bytes) {
+  const StoreMetrics& m = StoreMetrics::Get();
+  m.resident_bytes->Sub(static_cast<int64_t>(bytes));
+  m.resident_frames->Sub(1);
+}
+
 Status MemoryFrameStore::Put(uint64_t frame_id, const ByteBuffer& bitstream) {
+  const StoreMetrics& m = StoreMetrics::Get();
+  m.puts->Increment();
+  const auto it = frames_.find(frame_id);
+  if (it != frames_.end()) {
+    // Replacement: adjust the byte share, never evict.
+    m.resident_bytes->Add(static_cast<int64_t>(bitstream.size()) -
+                          static_cast<int64_t>(it->second.size()));
+    it->second = bitstream;
+    return Status::OK();
+  }
+  if (capacity_ != 0 && frames_.size() >= capacity_) {
+    // Evict oldest (smallest) ids until the new frame fits the bound.
+    while (frames_.size() >= capacity_) {
+      const auto oldest = frames_.begin();
+      ReleaseEntry(oldest->second.size());
+      frames_.erase(oldest);
+      ++evicted_;
+      m.evictions->Increment();
+    }
+  }
   frames_[frame_id] = bitstream;
+  m.resident_frames->Add(1);
+  m.resident_bytes->Add(static_cast<int64_t>(bitstream.size()));
   return Status::OK();
 }
 
 Result<ByteBuffer> MemoryFrameStore::Get(uint64_t frame_id) const {
   const auto it = frames_.find(frame_id);
   if (it == frames_.end()) {
+    StoreMetrics::Get().get_misses->Increment();
     return Status::InvalidArgument("frame not found");
   }
   return it->second;
@@ -32,7 +102,11 @@ std::vector<uint64_t> MemoryFrameStore::List() const {
 }
 
 Status MemoryFrameStore::Remove(uint64_t frame_id) {
-  frames_.erase(frame_id);
+  const auto it = frames_.find(frame_id);
+  if (it != frames_.end()) {
+    ReleaseEntry(it->second.size());
+    frames_.erase(it);
+  }
   return Status::OK();
 }
 

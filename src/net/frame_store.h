@@ -35,14 +35,32 @@ class FrameStore {
 };
 
 /// In-memory table (the stand-in for the ODBC/relational backend).
+///
+/// With a non-zero `capacity`, the store holds at most that many frames:
+/// inserting a new id beyond the bound evicts the oldest (smallest) id
+/// first. Replacing an existing id never evicts. Capacity 0 (the default)
+/// is unbounded, preserving the original behavior.
 class MemoryFrameStore : public FrameStore {
  public:
+  explicit MemoryFrameStore(size_t capacity = 0);
+  ~MemoryFrameStore() override;
+
   Status Put(uint64_t frame_id, const ByteBuffer& bitstream) override;
   Result<ByteBuffer> Get(uint64_t frame_id) const override;
   std::vector<uint64_t> List() const override;
   Status Remove(uint64_t frame_id) override;
 
+  /// The eviction bound (0 = unbounded).
+  size_t capacity() const { return capacity_; }
+  /// Frames evicted by the capacity bound since construction.
+  uint64_t evicted() const { return evicted_; }
+
  private:
+  /// Drops the byte/frame share of one entry from the resident gauges.
+  void ReleaseEntry(size_t bytes);
+
+  const size_t capacity_;
+  uint64_t evicted_ = 0;
   std::map<uint64_t, ByteBuffer> frames_;
 };
 

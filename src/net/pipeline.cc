@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dbgc {
 
@@ -13,6 +15,32 @@ CompressionPipeline::Config ConfigForWorkers(int num_workers) {
   config.num_workers = num_workers;
   return config;
 }
+
+/// Process-wide pipeline instruments, resolved once. Gauges are updated by
+/// deltas so several pipelines sharing the process compose additively.
+struct PipelineMetrics {
+  obs::Counter* submitted;
+  obs::Counter* rejected;
+  obs::Counter* delivered;
+  obs::Gauge* queue_depth;  // Accepted, compression not started.
+  obs::Gauge* inflight;     // Accepted, not yet delivered.
+  obs::Histogram* encode_seconds;
+
+  static const PipelineMetrics& Get() {
+    static const PipelineMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      PipelineMetrics p;
+      p.submitted = reg.GetCounter("pipeline_submitted_total");
+      p.rejected = reg.GetCounter("pipeline_rejected_total");
+      p.delivered = reg.GetCounter("pipeline_delivered_total");
+      p.queue_depth = reg.GetGauge("pipeline_queue_depth");
+      p.inflight = reg.GetGauge("pipeline_inflight");
+      p.encode_seconds = reg.GetHistogram("pipeline_encode_seconds");
+      return p;
+    }();
+    return m;
+  }
+};
 
 }  // namespace
 
@@ -40,6 +68,10 @@ CompressionPipeline::~CompressionPipeline() {
   // submitted work is finished, not discarded.
   std::unique_lock<std::mutex> lock(mutex_);
   drain_cv_.wait(lock, [&] { return completed_ == next_seq_; });
+  // Compressed-but-undelivered frames die with the pipeline; release their
+  // share of the inflight gauge so it tracks live pipelines only.
+  PipelineMetrics::Get().inflight->Sub(
+      static_cast<int64_t>(next_seq_ - delivered_));
   // An owned pool joins its (now idle) workers in its destructor.
 }
 
@@ -51,7 +83,11 @@ uint64_t CompressionPipeline::Submit(PointCloud pc) {
 
 bool CompressionPipeline::TrySubmit(PointCloud pc, uint64_t* seq) {
   std::unique_lock<std::mutex> lock(mutex_);
-  if (next_seq_ - delivered_ >= capacity_) return false;
+  if (next_seq_ - delivered_ >= capacity_) {
+    ++rejected_;
+    PipelineMetrics::Get().rejected->Increment();
+    return false;
+  }
   const uint64_t assigned = SubmitLocked(lock, std::move(pc));
   if (seq != nullptr) *seq = assigned;
   return true;
@@ -62,6 +98,10 @@ uint64_t CompressionPipeline::SubmitLocked(std::unique_lock<std::mutex>& lock,
   const uint64_t seq = next_seq_++;
   input_.push_back(Task{seq, std::move(pc)});
   lock.unlock();
+  const PipelineMetrics& m = PipelineMetrics::Get();
+  m.submitted->Increment();
+  m.queue_depth->Add(1);
+  m.inflight->Add(1);
   pool_->Schedule([this] { CompressOne(); });
   return seq;
 }
@@ -76,6 +116,9 @@ Result<ByteBuffer> CompressionPipeline::NextResult() {
   auto node = output_.extract(want);
   ++delivered_;
   lock.unlock();
+  const PipelineMetrics& m = PipelineMetrics::Get();
+  m.delivered->Increment();
+  m.inflight->Sub(1);
   space_cv_.notify_all();
   return std::move(node.mapped());
 }
@@ -94,6 +137,21 @@ uint64_t CompressionPipeline::submitted() const {
   return next_seq_;
 }
 
+size_t CompressionPipeline::inflight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<size_t>(next_seq_ - delivered_);
+}
+
+size_t CompressionPipeline::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return input_.size();
+}
+
+uint64_t CompressionPipeline::rejected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
 void CompressionPipeline::CompressOne() {
   Task task{0, PointCloud()};
   {
@@ -103,6 +161,7 @@ void CompressionPipeline::CompressOne() {
     task = std::move(input_.front());
     input_.pop_front();
   }
+  PipelineMetrics::Get().queue_depth->Sub(1);
   CompressParams params;
   params.q_xyz = codec_.options().q_xyz;
   if (max_threads_per_frame_ != 1) {
@@ -111,7 +170,10 @@ void CompressionPipeline::CompressOne() {
     params.pool = pool_;
     params.max_threads = max_threads_per_frame_;
   }
-  Result<ByteBuffer> result = codec_.Compress(task.cloud, params);
+  Result<ByteBuffer> result = [&] {
+    obs::ScopedTimer timer(nullptr, PipelineMetrics::Get().encode_seconds);
+    return codec_.Compress(task.cloud, params);
+  }();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     output_.emplace(task.seq, std::move(result));

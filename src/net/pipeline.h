@@ -87,6 +87,19 @@ class CompressionPipeline {
   /// The admission bound (Config::queue_capacity).
   size_t capacity() const { return capacity_; }
 
+  /// Frames accepted but not yet delivered (the in-flight window load).
+  /// Ground truth for the pipeline_inflight gauge.
+  size_t inflight() const;
+
+  /// Accepted frames whose compression has not started yet. Ground truth
+  /// for the pipeline_queue_depth gauge.
+  size_t queue_depth() const;
+
+  /// TrySubmit calls refused because the window was full. Ground truth for
+  /// the pipeline_rejected_total counter (this instance only; the counter
+  /// aggregates across pipelines).
+  uint64_t rejected() const;
+
  private:
   struct Task {
     uint64_t seq;
@@ -112,6 +125,7 @@ class CompressionPipeline {
   uint64_t next_delivery_ = 0;
   uint64_t delivered_ = 0;
   uint64_t completed_ = 0;
+  uint64_t rejected_ = 0;
 };
 
 }  // namespace dbgc

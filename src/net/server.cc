@@ -1,18 +1,52 @@
 #include "net/server.h"
 
-#include <chrono>
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace dbgc {
+
+namespace {
+
+/// Process-wide server instruments, resolved once.
+struct ServerMetrics {
+  obs::Counter* frames;
+  obs::Counter* wire_bytes;
+  obs::Counter* parse_errors;
+  obs::Gauge* stored_frames;  // Resident decoded clouds + bitstreams.
+  obs::Histogram* decompress_seconds;
+
+  static const ServerMetrics& Get() {
+    static const ServerMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      ServerMetrics s;
+      s.frames = reg.GetCounter("server_frames_total");
+      s.wire_bytes = reg.GetCounter("server_wire_bytes_total");
+      s.parse_errors = reg.GetCounter("server_parse_errors_total");
+      s.stored_frames = reg.GetGauge("server_stored_frames");
+      s.decompress_seconds = reg.GetHistogram("server_decompress_seconds");
+      return s;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 DbgcServer::DbgcServer(bool store_compressed)
     : store_compressed_(store_compressed) {}
 
 Status DbgcServer::HandleFrame(const ByteBuffer& wire,
                                ServerFrameReport* report) {
+  const ServerMetrics& metrics = ServerMetrics::Get();
   *report = ServerFrameReport();
   report->wire_bytes = wire.size();
   auto frame_result = FrameProtocol::Parse(wire);
-  if (!frame_result.ok()) return frame_result.status();
+  if (!frame_result.ok()) {
+    metrics.parse_errors->Increment();
+    return frame_result.status();
+  }
+  metrics.frames->Increment();
+  metrics.wire_bytes->Add(wire.size());
   Frame frame = std::move(frame_result).value();
   report->frame_id = frame.frame_id;
 
@@ -20,17 +54,19 @@ Status DbgcServer::HandleFrame(const ByteBuffer& wire,
     DBGC_RETURN_NOT_OK(archive_->Put(frame.frame_id, frame.payload));
   }
   if (store_compressed_) {
+    if (bitstreams_.count(frame.frame_id) == 0) metrics.stored_frames->Add(1);
     bitstreams_[frame.frame_id] = std::move(frame.payload);
     return Status::OK();
   }
 
-  const auto start = std::chrono::steady_clock::now();
-  auto cloud_result = codec_.Decompress(frame.payload);
-  const auto end = std::chrono::steady_clock::now();
+  Result<PointCloud> cloud_result = [&] {
+    obs::ScopedTimer timer(&report->decompress_seconds,
+                           metrics.decompress_seconds);
+    return codec_.Decompress(frame.payload);
+  }();
   if (!cloud_result.ok()) return cloud_result.status();
-  report->decompress_seconds =
-      std::chrono::duration<double>(end - start).count();
   report->num_points = cloud_result.value().size();
+  if (clouds_.count(frame.frame_id) == 0) metrics.stored_frames->Add(1);
   clouds_[frame.frame_id] = std::move(cloud_result).value();
   return Status::OK();
 }

@@ -1,0 +1,275 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/safe_math.h"
+
+namespace dbgc {
+namespace obs {
+
+namespace {
+
+/// Saturating uint64 accumulate: a derived ratio over a wrapped byte total
+/// would silently report nonsense, so pin at the ceiling instead.
+uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  return CheckedAdd<uint64_t>(a, b).value_or(
+      std::numeric_limits<uint64_t>::max());
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string LabeledName(const std::string& base,
+                        const std::vector<Label>& labels) {
+  if (labels.empty()) return base;
+  std::string out = base;
+  out.push_back('{');
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += labels[i].first;
+    out += "=\"";
+    out += labels[i].second;
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+#ifndef DBGC_OBS_OFF
+
+namespace internal {
+
+size_t ShardIndex() {
+  static std::atomic<size_t> next{0};
+  static thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+}  // namespace internal
+
+uint64_t Counter::Value() const {
+  uint64_t sum = 0;
+  for (const Cell& cell : cells_) {
+    sum = SaturatingAdd(sum, cell.v.load(std::memory_order_relaxed));
+  }
+  return sum;
+}
+
+void Counter::Reset() {
+  for (Cell& cell : cells_) cell.v.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::Observe(double seconds) {
+  if (!(seconds >= 0.0)) return;  // NaN/negative: drop, never wrap.
+  const double us = seconds * 1e6;
+  // Bucket 0: < 1 us. Bucket i >= 1: [2^(i-1), 2^i) us; last is open.
+  size_t bucket = 0;
+  if (us >= 1.0) {
+    uint64_t whole =
+        us >= 9e18 ? std::numeric_limits<uint64_t>::max()
+                   : static_cast<uint64_t>(us);
+    while (whole > 0 && bucket + 1 < kBuckets) {
+      whole >>= 1;
+      ++bucket;
+    }
+  }
+  const double nanos = seconds * 1e9;
+  const uint64_t whole_nanos =
+      nanos >= 9e18 ? std::numeric_limits<uint64_t>::max()
+                    : static_cast<uint64_t>(nanos);
+  Shard& shard = shards_[internal::ShardIndex()];
+  shard.buckets[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum_nanos.fetch_add(whole_nanos, std::memory_order_relaxed);
+}
+
+void Histogram::Merge(uint64_t* buckets, uint64_t* count,
+                      uint64_t* nanos) const {
+  for (size_t b = 0; b < kBuckets; ++b) buckets[b] = 0;
+  *count = 0;
+  *nanos = 0;
+  for (const Shard& shard : shards_) {
+    for (size_t b = 0; b < kBuckets; ++b) {
+      buckets[b] = SaturatingAdd(
+          buckets[b], shard.buckets[b].load(std::memory_order_relaxed));
+    }
+    *count = SaturatingAdd(*count,
+                           shard.count.load(std::memory_order_relaxed));
+    *nanos = SaturatingAdd(*nanos,
+                           shard.sum_nanos.load(std::memory_order_relaxed));
+  }
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t buckets[kBuckets], count, nanos;
+  Merge(buckets, &count, &nanos);
+  return count;
+}
+
+double Histogram::SumSeconds() const {
+  uint64_t buckets[kBuckets], count, nanos;
+  Merge(buckets, &count, &nanos);
+  return static_cast<double>(nanos) * 1e-9;
+}
+
+double Histogram::Quantile(double q) const {
+  uint64_t buckets[kBuckets], count, nanos;
+  Merge(buckets, &count, &nanos);
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target observation (1-based, nearest-rank definition).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(count)));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen = SaturatingAdd(seen, buckets[b]);
+    if (seen >= rank) {
+      // Upper edge of bucket b in seconds: 2^b us (bucket 0 edge = 1 us).
+      const double upper_us =
+          b == 0 ? 1.0 : static_cast<double>(uint64_t{1} << b);
+      return upper_us * 1e-6;
+    }
+  }
+  return static_cast<double>(uint64_t{1} << (kBuckets - 1)) * 1e-6;
+}
+
+void Histogram::Reset() {
+  for (Shard& shard : shards_) {
+    for (size_t b = 0; b < kBuckets; ++b) {
+      shard.buckets[b].store(0, std::memory_order_relaxed);
+    }
+    shard.count.store(0, std::memory_order_relaxed);
+    shard.sum_nanos.store(0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // Never dies.
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->Value();
+}
+
+uint64_t MetricsRegistry::SumCountersWithPrefix(
+    const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t sum = 0;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    sum = SaturatingAdd(sum, it->second->Value());
+  }
+  return sum;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n  \"obs\": \"on\",\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(&out, name);
+    out += ": " + std::to_string(counter->Value());
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(&out, name);
+    out += ": " + std::to_string(gauge->Value());
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    AppendJsonString(&out, name);
+    out += ": {\"count\": " + std::to_string(hist->Count());
+    out += ", \"sum_ms\": ";
+    AppendDouble(&out, hist->SumSeconds() * 1e3);
+    out += ", \"p50_us\": ";
+    AppendDouble(&out, hist->Quantile(0.50) * 1e6);
+    out += ", \"p95_us\": ";
+    AppendDouble(&out, hist->Quantile(0.95) * 1e6);
+    out += ", \"p99_us\": ";
+    AppendDouble(&out, hist->Quantile(0.99) * 1e6);
+    out += "}";
+  }
+  out += "\n  }\n}";
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+#else  // DBGC_OBS_OFF
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+#endif  // DBGC_OBS_OFF
+
+}  // namespace obs
+}  // namespace dbgc

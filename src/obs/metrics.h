@@ -1,0 +1,251 @@
+// MetricsRegistry: the always-on, near-zero-overhead metrics layer for the
+// codec/pipeline stack (docs/OBSERVABILITY.md).
+//
+// Three instrument kinds, all registered by name and handed out as stable
+// pointers ("static handles"):
+//
+//   Counter    monotonic event/byte totals. Increments are a relaxed atomic
+//              add on a per-thread shard, so hot paths (per-symbol, per-
+//              frame) pay one uncontended cache line.
+//   Gauge      instantaneous signed level (queue depth, in-flight window
+//              occupancy, resident frames). Updated by +/- deltas so
+//              several producers compose additively.
+//   Histogram  fixed-bucket latency distribution (power-of-two microsecond
+//              buckets) with p50/p95/p99 readback.
+//
+// Registration (GetCounter/GetGauge/GetHistogram) takes a lock and is meant
+// to happen once per call site — cache the pointer in a static or a member.
+// Reads (Value, Percentile, ToJson) merge the shards; they are wait-free
+// for writers and safe to call concurrently with updates.
+//
+// Cumulative byte counters are uint64_t throughout and cross-shard sums
+// saturate instead of wrapping (CheckedAdd, common/safe_math.h): a >4 GiB
+// running total must never fold back into a small number, because derived
+// ratios would silently report nonsense.
+//
+// Compiling with -DDBGC_OBS_OFF replaces every instrument with an inline
+// no-op stub with the same API: call sites compile unchanged and the hot
+// path carries zero instructions. The emitted bitstreams are byte-identical
+// either way — metrics never feed back into encoding decisions.
+
+#ifndef DBGC_OBS_METRICS_H_
+#define DBGC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#ifndef DBGC_OBS_OFF
+#include <map>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace dbgc {
+namespace obs {
+
+/// True when the library was built with observability compiled in.
+#ifdef DBGC_OBS_OFF
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// One key="value" pair of a labeled metric name.
+using Label = std::pair<std::string, std::string>;
+
+/// Canonical labeled-metric spelling: base{k1="v1",k2="v2"} with labels in
+/// the given order. An empty label list returns the base name unchanged.
+std::string LabeledName(const std::string& base,
+                        const std::vector<Label>& labels);
+
+#ifndef DBGC_OBS_OFF
+
+/// Shard count for write-sharded instruments. Eight 64-byte cells bound the
+/// memory cost per counter while keeping typical thread counts collision-
+/// free.
+inline constexpr size_t kShards = 8;
+
+namespace internal {
+/// Stable per-thread shard slot, assigned round-robin at first use.
+size_t ShardIndex();
+}  // namespace internal
+
+/// Monotonic event counter. Add() is a relaxed atomic add on the calling
+/// thread's shard; Value() merges shards with saturating arithmetic.
+class Counter {
+ public:
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// Adds `n` (relaxed; never blocks, never fails).
+  void Add(uint64_t n) {
+    cells_[internal::ShardIndex()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Adds 1.
+  void Increment() { Add(1); }
+
+  /// Sum over shards, saturating at UINT64_MAX instead of wrapping.
+  uint64_t Value() const;
+
+  /// Zeroes every shard (test/tool support; racy against writers by design).
+  void Reset();
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  Cell cells_[kShards];
+};
+
+/// Instantaneous signed level. Single cell: gauges are updated at frame
+/// granularity, not per symbol, so sharding would only blur Value().
+class Gauge {
+ public:
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void Sub(int64_t d) { v_.fetch_sub(d, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Fixed-bucket latency histogram. Bucket i counts observations in
+/// [2^(i-1), 2^i) microseconds (bucket 0 is < 1 us, the last bucket is
+/// open-ended), so the full range 1 us .. ~67 s is covered with 28 cells
+/// and percentile error bounded by the bucket ratio (2x).
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 28;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one latency observation (relaxed adds on this thread's shard).
+  void Observe(double seconds);
+
+  /// Total observation count.
+  uint64_t Count() const;
+  /// Sum of observations in seconds (accumulated as integer nanoseconds).
+  double SumSeconds() const;
+  /// Upper edge, in seconds, of the bucket holding quantile `q` in [0, 1].
+  /// Returns 0 when the histogram is empty.
+  double Quantile(double q) const;
+
+  void Reset();
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> buckets[kBuckets] = {};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum_nanos{0};
+  };
+  void Merge(uint64_t* buckets, uint64_t* count, uint64_t* nanos) const;
+
+  Shard shards_[kShards];
+};
+
+/// Process-wide instrument registry. Instruments live for the lifetime of
+/// the registry; handles returned by Get* never dangle.
+class MetricsRegistry {
+ public:
+  /// The process-global registry (what all library wiring uses).
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named instrument. Stable pointer; thread-safe.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// Current value of a counter, or 0 when it was never registered.
+  uint64_t CounterValue(const std::string& name) const;
+  /// Sum of every counter whose name starts with `prefix` (saturating).
+  uint64_t SumCountersWithPrefix(const std::string& prefix) const;
+
+  /// Full snapshot as a JSON object:
+  ///   {"obs": "on",
+  ///    "counters": {name: value, ...},
+  ///    "gauges": {name: value, ...},
+  ///    "histograms": {name: {"count": n, "sum_ms": s,
+  ///                          "p50_us": a, "p95_us": b, "p99_us": c}, ...}}
+  /// Keys are emitted in lexicographic order so snapshots diff cleanly.
+  std::string ToJson() const;
+
+  /// Zeroes every registered instrument (handles stay valid). Test/tool
+  /// support — not meant for production use.
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+#else  // DBGC_OBS_OFF: same API, zero code on the hot path.
+
+class Counter {
+ public:
+  void Add(uint64_t) {}
+  void Increment() {}
+  uint64_t Value() const { return 0; }
+  void Reset() {}
+};
+
+class Gauge {
+ public:
+  void Set(int64_t) {}
+  void Add(int64_t) {}
+  void Sub(int64_t) {}
+  int64_t Value() const { return 0; }
+  void Reset() {}
+};
+
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 28;
+  void Observe(double) {}
+  uint64_t Count() const { return 0; }
+  double SumSeconds() const { return 0.0; }
+  double Quantile(double) const { return 0.0; }
+  void Reset() {}
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+  Counter* GetCounter(const std::string&) { return &stub_counter_; }
+  Gauge* GetGauge(const std::string&) { return &stub_gauge_; }
+  Histogram* GetHistogram(const std::string&) { return &stub_histogram_; }
+  uint64_t CounterValue(const std::string&) const { return 0; }
+  uint64_t SumCountersWithPrefix(const std::string&) const { return 0; }
+  std::string ToJson() const { return "{\"obs\": \"off\"}"; }
+  void ResetForTest() {}
+
+ private:
+  Counter stub_counter_;
+  Gauge stub_gauge_;
+  Histogram stub_histogram_;
+};
+
+#endif  // DBGC_OBS_OFF
+
+}  // namespace obs
+}  // namespace dbgc
+
+#endif  // DBGC_OBS_METRICS_H_

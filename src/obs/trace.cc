@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace dbgc {
+namespace obs {
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kClustering:
+      return "DEN";
+    case Stage::kOctree:
+      return "OCT";
+    case Stage::kConversion:
+      return "COR";
+    case Stage::kOrganization:
+      return "ORG";
+    case Stage::kSparse:
+      return "SPA";
+    case Stage::kOutlier:
+      return "OUT";
+    case Stage::kEntropy:
+      return "ENT";
+    case Stage::kSerialize:
+      return "SER";
+    case Stage::kDecode:
+      return "DEC";
+  }
+  return "UNK";
+}
+
+double MonotonicSeconds() {
+  // The library's single sanctioned steady_clock read (lint rule R6).
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+#ifndef DBGC_OBS_OFF
+
+namespace {
+
+// Per-stage registry histograms, resolved once per process. Index by Stage.
+Histogram* StageHistogram(Stage stage) {
+  static Histogram* histograms[kStageCount] = {};
+  static const bool initialized = [] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    for (size_t s = 0; s < kStageCount; ++s) {
+      histograms[s] = registry.GetHistogram(LabeledName(
+          "stage_seconds", {{"stage", StageName(static_cast<Stage>(s))}}));
+    }
+    return true;
+  }();
+  (void)initialized;
+  return histograms[static_cast<size_t>(stage)];
+}
+
+// Thread-local trace state: the innermost FrameTrace and a bitmask of
+// stages currently open on this thread (used to bill recursion once).
+thread_local FrameTrace* tls_frame_trace = nullptr;
+thread_local uint32_t tls_open_stages = 0;
+
+uint32_t StageBit(Stage stage) {
+  return uint32_t{1} << static_cast<uint32_t>(stage);
+}
+
+}  // namespace
+
+double FrameBreakdown::TotalSeconds() const {
+  double total = 0.0;
+  for (double t : totals_) total += t;
+  return total;
+}
+
+std::string FrameBreakdown::ToJson() const {
+  std::string out = "{";
+  for (size_t s = 0; s < kStageCount; ++s) {
+    if (s > 0) out += ", ";
+    out.push_back('"');
+    out += StageName(static_cast<Stage>(s));
+    out += "\": ";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", totals_[s] * 1e3);
+    out += buf;
+  }
+  out.push_back('}');
+  return out;
+}
+
+FrameTrace::FrameTrace() : prev_(tls_frame_trace) { tls_frame_trace = this; }
+
+FrameTrace::~FrameTrace() { tls_frame_trace = prev_; }
+
+FrameTrace* FrameTrace::Current() { return tls_frame_trace; }
+
+TraceSpan::TraceSpan(Stage stage, double* slot)
+    : stage_(stage),
+      slot_(slot),
+      start_(MonotonicSeconds()),
+      outermost_((tls_open_stages & StageBit(stage)) == 0) {
+  if (outermost_) tls_open_stages |= StageBit(stage);
+}
+
+TraceSpan::~TraceSpan() {
+  const double elapsed = MonotonicSeconds() - start_;
+  if (slot_ != nullptr) *slot_ += elapsed;
+  if (!outermost_) return;  // Inner span of a recursive stage: outer bills.
+  tls_open_stages &= ~StageBit(stage_);
+  StageHistogram(stage_)->Observe(elapsed);
+  if (FrameTrace* trace = FrameTrace::Current(); trace != nullptr) {
+    trace->breakdown_.Add(stage_, elapsed);
+  }
+}
+
+#endif  // DBGC_OBS_OFF
+
+}  // namespace obs
+}  // namespace dbgc

@@ -1,0 +1,177 @@
+// TraceSpan: RAII scoped stage timers feeding the metrics registry, plus
+// the per-frame stage breakdown (docs/OBSERVABILITY.md).
+//
+// The span taxonomy is a fixed enum mirroring the paper's pipeline stages
+// (Figure 2 / Figure 13): DEN, OCT, COR, ORG, SPA, OUT, plus the two
+// cross-cutting phases ENT (entropy coding) and SER (bitstream assembly)
+// and the decode-side DEC. Fixing the taxonomy keeps metric names stable
+// across PRs and lets dashboards join on stage.
+//
+// Each thread keeps a span stack: opening a span pushes it, closing pops
+// and publishes the wall-clock duration to
+//   - the registry histogram  stage_seconds{stage=<name>},
+//   - an optional double* accumulation slot (the DbgcTimings fields), and
+//   - the innermost active FrameTrace on this thread, which is how one
+//     frame's DEN/OCT/COR/ORG/SPA/OUT split is collected and dumped.
+// Re-entering a stage already on this thread's stack only counts the outer
+// span, so recursive helpers cannot double-bill a stage.
+//
+// This header is also the library's only sanctioned monotonic clock:
+// dbgc_lint rule R6 forbids std::chrono::steady_clock::now() in src/
+// outside src/obs/, so that every timing either goes through a span (and
+// is visible in the registry) or is a deliberate, reviewed exception.
+//
+// Under -DDBGC_OBS_OFF spans compile to empty objects: no clock reads, no
+// TLS, no slot writes.
+
+#ifndef DBGC_OBS_TRACE_H_
+#define DBGC_OBS_TRACE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dbgc {
+namespace obs {
+
+/// The fixed stage taxonomy (paper pipeline stages + cross-cutting phases).
+enum class Stage : uint8_t {
+  kClustering = 0,    ///< DEN: density-based clustering (Section 3.2).
+  kOctree = 1,        ///< OCT: octree coding of dense points.
+  kConversion = 2,    ///< COR: coordinate conversion + scaling.
+  kOrganization = 3,  ///< ORG: polyline organization (Algorithm 1).
+  kSparse = 4,        ///< SPA: sparse coordinate codec (Section 3.5).
+  kOutlier = 5,       ///< OUT: outlier codec (Section 3.6).
+  kEntropy = 6,       ///< ENT: entropy-coding phases of any codec.
+  kSerialize = 7,     ///< SER: output layout / container assembly.
+  kDecode = 8,        ///< DEC: whole-stream decode phases.
+};
+
+inline constexpr size_t kStageCount = 9;
+
+/// Short fixed name ("DEN", "OCT", ...) used in metric labels and JSON.
+const char* StageName(Stage stage);
+
+/// Seconds on the monotonic clock. The only steady_clock call site in the
+/// library (lint rule R6); everything in src/ times through this or a span.
+double MonotonicSeconds();
+
+#ifndef DBGC_OBS_OFF
+
+/// Per-frame stage breakdown: seconds per Stage for one frame.
+class FrameBreakdown {
+ public:
+  FrameBreakdown() { totals_.fill(0.0); }
+
+  double seconds(Stage stage) const {
+    return totals_[static_cast<size_t>(stage)];
+  }
+  void Add(Stage stage, double seconds) {
+    totals_[static_cast<size_t>(stage)] += seconds;
+  }
+  /// Sum over all stages.
+  double TotalSeconds() const;
+  /// {"DEN": ms, "OCT": ms, ...} in stage order (milliseconds), stages
+  /// with zero time included so rows align across frames.
+  std::string ToJson() const;
+
+ private:
+  std::array<double, kStageCount> totals_;
+};
+
+/// RAII collector: while alive, every span closed on this thread adds its
+/// duration to this frame's breakdown. Nests (inner frame shadows outer).
+class FrameTrace {
+ public:
+  FrameTrace();
+  ~FrameTrace();
+  FrameTrace(const FrameTrace&) = delete;
+  FrameTrace& operator=(const FrameTrace&) = delete;
+
+  const FrameBreakdown& breakdown() const { return breakdown_; }
+
+ private:
+  friend class TraceSpan;
+  /// Innermost active trace on this thread, or null.
+  static FrameTrace* Current();
+
+  FrameBreakdown breakdown_;
+  FrameTrace* prev_;
+};
+
+/// RAII scoped stage timer. On destruction publishes the elapsed wall time
+/// to the registry stage histogram, the optional `slot`, and the active
+/// FrameTrace.
+class TraceSpan {
+ public:
+  explicit TraceSpan(Stage stage, double* slot = nullptr);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  Stage stage_;
+  double* slot_;
+  double start_;
+  bool outermost_;  // False when this stage is already open on this thread.
+};
+
+/// RAII wall-clock timer without a stage: publishes into an optional
+/// histogram and an optional accumulation slot. For codec- and frame-level
+/// latencies where the stage taxonomy does not apply.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* slot, Histogram* histogram = nullptr)
+      : slot_(slot), histogram_(histogram), start_(MonotonicSeconds()) {}
+  ~ScopedTimer() {
+    const double elapsed = MonotonicSeconds() - start_;
+    if (slot_ != nullptr) *slot_ += elapsed;
+    if (histogram_ != nullptr) histogram_->Observe(elapsed);
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* slot_;
+  Histogram* histogram_;
+  double start_;
+};
+
+#else  // DBGC_OBS_OFF: empty shells, zero instructions on the hot path.
+
+class FrameBreakdown {
+ public:
+  double seconds(Stage) const { return 0.0; }
+  void Add(Stage, double) {}
+  double TotalSeconds() const { return 0.0; }
+  std::string ToJson() const { return "{}"; }
+};
+
+class FrameTrace {
+ public:
+  FrameTrace() = default;
+  const FrameBreakdown& breakdown() const { return breakdown_; }
+
+ private:
+  FrameBreakdown breakdown_;
+};
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(Stage, double* = nullptr) {}
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double*, Histogram* = nullptr) {}
+};
+
+#endif  // DBGC_OBS_OFF
+
+}  // namespace obs
+}  // namespace dbgc
+
+#endif  // DBGC_OBS_TRACE_H_

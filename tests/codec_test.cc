@@ -233,6 +233,32 @@ TEST(CodecTest, MetricsHelperEdgeCases) {
   EXPECT_GE(BandwidthMbps(buf, 1e-300), 0.0);
 }
 
+TEST(CodecTest, MetricsHelpersSurvivePathologicalTotals) {
+  // Regression (docs/OBSERVABILITY.md): ratio/bandwidth math must stay in
+  // uint64/double throughout. A 32-bit intermediate anywhere folds >4 GiB
+  // cumulative totals into nonsense.
+  //
+  // RawSizeBytes goes through CheckedMul<uint64_t>: 400M points = 4.8 GB
+  // raw, past UINT32_MAX. Build the cloud shape without the memory by
+  // checking the formula's type directly.
+  PointCloud pc;
+  for (int i = 0; i < 100; ++i) pc.Add(i, 0, 0);
+  static_assert(std::is_same_v<decltype(pc.RawSizeBytes()), uint64_t>,
+                "raw-size accounting must be 64-bit");
+
+  // 8 * fps * |B| blows past 2^32 bits here (120 B at 1e9 fps = 9.6e11
+  // bits); the double math must carry it exactly, where a 32-bit bit-count
+  // intermediate would wrap to ~2.4e9.
+  ByteBuffer buf;
+  for (int i = 0; i < 120; ++i) buf.AppendByte(0);
+  EXPECT_DOUBLE_EQ(BandwidthMbps(buf, 1e9), 8.0 * 1e9 * 120 / 1e6);
+
+  // The cumulative-counter side of the same contract (>4 GiB totals
+  // saturate instead of wrapping) is pinned by obs_test's
+  // CounterOverflowTest suite against the registry the codec wrappers
+  // feed RawSizeBytes into.
+}
+
 TEST(CodecTest, ForwardingOverloadMatchesParamsCall) {
   // Compress(pc, q) and Decompress(buf) must be exact shorthands for the
   // CompressParams/DecompressParams entry points.

@@ -65,6 +65,107 @@ TEST(AdaptiveModelTest, RescaleKeepsConsistency) {
   EXPECT_LT(model.total(), AdaptiveModel::kMaxTotal);
 }
 
+TEST(AdaptiveModelTest, RescaleNeverZeroesAFrequency) {
+  // Long, maximally skewed input: one hot symbol driven through many
+  // rescales while the cold symbols sit at the frequency floor. Round-up
+  // halving must keep every width >= 1 or the cold symbols become
+  // unencodable (decoder desync on long skewed inputs).
+  AdaptiveModel model(16, 512);
+  for (int i = 0; i < 4000; ++i) model.Update(7);
+  for (uint32_t s = 0; s < 16; ++s) {
+    const SymbolRange r = model.Lookup(s);
+    EXPECT_GE(r.cum_high - r.cum_low, 1u) << "symbol " << s;
+  }
+  EXPECT_LT(model.total(), AdaptiveModel::kMaxTotal);
+}
+
+// Round-trips a symbol sequence through the streaming coder with one
+// model configuration on both sides.
+std::vector<uint32_t> CoderRoundTrip(const std::vector<uint32_t>& symbols,
+                                     uint32_t alphabet, uint32_t increment) {
+  ArithmeticEncoder enc;
+  AdaptiveModel enc_model(alphabet, increment);
+  for (uint32_t s : symbols) {
+    enc.Encode(enc_model.Lookup(s));
+    enc_model.Update(s);
+  }
+  const ByteBuffer bits = enc.Finish();
+  ArithmeticDecoder dec(bits);
+  AdaptiveModel dec_model(alphabet, increment);
+  std::vector<uint32_t> decoded;
+  decoded.reserve(symbols.size());
+  for (size_t i = 0; i < symbols.size(); ++i) {
+    SymbolRange range;
+    const uint32_t s =
+        dec_model.FindSymbol(dec.DecodeTarget(dec_model.total()), &range);
+    dec.Advance(range);
+    dec_model.Update(s);
+    decoded.push_back(s);
+  }
+  return decoded;
+}
+
+TEST(ArithmeticCoderTest, RoundTripAtRescaleBoundary) {
+  // increment 2 on a 2-symbol alphabet walks the total to kMaxTotal
+  // exactly (64k start=2, +2 per step crosses 1<<16 on an even total), so
+  // encoder and decoder rescale mid-stream — repeatedly — and must stay
+  // in lockstep. The tail flips to the cold symbol right around the
+  // boundary crossings to catch any post-rescale range mismatch.
+  std::vector<uint32_t> symbols;
+  for (int i = 0; i < 40000; ++i) {
+    symbols.push_back(i % 101 == 0 ? 1u : 0u);
+  }
+  EXPECT_EQ(CoderRoundTrip(symbols, 2, 2), symbols);
+}
+
+TEST(ArithmeticCoderTest, RoundTripWithHugeIncrement) {
+  // An increment near the budget forces a rescale on almost every update;
+  // skewed data holds cold symbols at the floor across all of them.
+  Rng rng(99);
+  std::vector<uint32_t> symbols;
+  for (int i = 0; i < 3000; ++i) {
+    symbols.push_back(i % 37 == 0
+                          ? static_cast<uint32_t>(rng.NextBounded(8))
+                          : 3u);
+  }
+  EXPECT_EQ(CoderRoundTrip(symbols, 8, (1u << 16) - 1), symbols);
+}
+
+TEST(AdaptiveModelDeathTest, OversizedAlphabetRejected) {
+  // An alphabet at kMaxTotal cannot fit the coder budget with every
+  // frequency floored at 1; the constructor enforces the contract.
+  EXPECT_DEATH(AdaptiveModel model(AdaptiveModel::kMaxTotal),
+               "alphabet_size");
+}
+
+TEST(AdaptiveModelDeathTest, ZeroIncrementRejected) {
+  EXPECT_DEATH(AdaptiveModel model(4, 0), "increment");
+}
+
+TEST(StaticModelDeathTest, OversizedAlphabetRejected) {
+  // Regression: this size used to underflow the scaling limit
+  // (kMaxTotal - counts.size() in size_t arithmetic), skip scaling, and
+  // wrap the uint32 cumulative table into non-monotone ranges.
+  const std::vector<uint32_t> counts(AdaptiveModel::kMaxTotal + 1u, 70000u);
+  EXPECT_DEATH(StaticModel model(counts), "kMaxTotal");
+}
+
+TEST(StaticModelTest, MaxAllowedAlphabetStaysMonotone) {
+  // Largest legal alphabet: every frequency lands on the floor of 1 and
+  // the cumulative table must stay strictly increasing end to end.
+  const std::vector<uint32_t> counts(AdaptiveModel::kMaxTotal - 1u, 70000u);
+  StaticModel model(counts);
+  EXPECT_LE(model.total(), AdaptiveModel::kMaxTotal);
+  uint32_t prev_high = 0;
+  for (uint32_t s = 0; s < model.alphabet_size(); ++s) {
+    const SymbolRange r = model.Lookup(s);
+    EXPECT_EQ(r.cum_low, prev_high);
+    EXPECT_GT(r.cum_high, r.cum_low);
+    prev_high = r.cum_high;
+  }
+  EXPECT_EQ(prev_high, model.total());
+}
+
 TEST(StaticModelTest, ZeroCountsBumped) {
   StaticModel model({0, 5, 0});
   for (uint32_t s = 0; s < 3; ++s) {

@@ -16,6 +16,7 @@
 #include "harness/corpus.h"
 #include "harness/fault_injection.h"
 #include "net/frame_protocol.h"
+#include "obs/metrics.h"
 
 namespace dbgc {
 namespace {
@@ -139,6 +140,73 @@ TEST(FaultInjectionTest, StreamContainerContainsFaults) {
             << "stream container: " << fault.description;
       }
     }
+  }
+}
+
+TEST(FaultInjectionTest, DecodeErrorsAreCountedExactlyOncePerFailure) {
+  // Containment has an accounting contract (docs/OBSERVABILITY.md): every
+  // failed Decompress increments decode_error_total{codec,reason} exactly
+  // once, and a successful decode increments nothing. The registry is
+  // process-global, so everything is asserted on deltas.
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "built with DBGC_OBS_OFF";
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const std::vector<CorpusCase> corpus = BuildFuzzCorpus();
+  FaultInjector injector(4242);
+
+  for (const RegisteredCodec& registered : AllRegisteredCodecs()) {
+    auto stream = registered.codec->Compress(corpus[0].cloud, kConformanceQ);
+    ASSERT_TRUE(stream.ok()) << registered.id;
+    const std::string prefix =
+        obs::LabeledName("decode_error_total",
+                         {{"codec", registered.codec->name()}});
+    // LabeledName closes with '}' — strip it so the prefix matches every
+    // reason label of this codec and no other codec's.
+    const std::string codec_prefix = prefix.substr(0, prefix.size() - 1);
+
+    // Success path: no error increment, no leak into other labels.
+    {
+      const uint64_t before =
+          registry.SumCountersWithPrefix("decode_error_total");
+      ASSERT_TRUE(registered.codec->Decompress(stream.value()).ok())
+          << registered.id;
+      EXPECT_EQ(registry.SumCountersWithPrefix("decode_error_total"), before)
+          << registered.id << ": successful decode bumped an error counter";
+    }
+
+    // Failure path: each non-OK Decompress adds exactly one, under this
+    // codec's label. Short truncations reliably fail header parsing.
+    int failures_seen = 0;
+    for (size_t cut : {size_t{0}, size_t{1}, size_t{3}, size_t{7}}) {
+      if (cut >= stream.value().size()) continue;
+      const ByteBuffer bad = injector.Truncate(stream.value(), cut);
+      const uint64_t all_before =
+          registry.SumCountersWithPrefix("decode_error_total");
+      const uint64_t mine_before =
+          registry.SumCountersWithPrefix(codec_prefix);
+      auto decoded = registered.codec->Decompress(bad);
+      const uint64_t all_after =
+          registry.SumCountersWithPrefix("decode_error_total");
+      const uint64_t mine_after =
+          registry.SumCountersWithPrefix(codec_prefix);
+      if (decoded.ok()) {
+        EXPECT_EQ(all_after, all_before)
+            << registered.id << ": contained-OK decode at cut " << cut
+            << " bumped an error counter";
+      } else {
+        ++failures_seen;
+        EXPECT_EQ(all_after, all_before + 1)
+            << registered.id << ": cut " << cut
+            << " must count exactly one decode error";
+        EXPECT_EQ(mine_after, mine_before + 1)
+            << registered.id << ": cut " << cut
+            << " charged the wrong codec label";
+      }
+    }
+    EXPECT_GT(failures_seen, 0)
+        << registered.id << ": truncations never failed; the exactly-once "
+        << "contract was not exercised";
   }
 }
 

@@ -19,6 +19,7 @@
 #include "net/pipeline.h"
 #include "net/server.h"
 #include "net/tcp_transport.h"
+#include "obs/metrics.h"
 
 namespace dbgc {
 namespace {
@@ -397,6 +398,167 @@ TEST(PipelineBackpressureTest, DestructorDrainsOutstandingFrames) {
                   })
                   .ok());
   EXPECT_EQ(ran.load(), 16);
+}
+
+// ---------------------------------------------------------------------------
+// Observability accounting (docs/OBSERVABILITY.md): the pipeline/store
+// metrics must agree with the components' own ground-truth accessors. The
+// registry is process-global, so every assertion is on a delta against a
+// snapshot taken before the component ran.
+
+uint64_t CounterVal(const char* name) {
+  return obs::MetricsRegistry::Global().CounterValue(name);
+}
+
+int64_t GaugeVal(const char* name) {
+  return obs::MetricsRegistry::Global().GetGauge(name)->Value();
+}
+
+TEST(PipelineBackpressureTest, MetricsMatchGroundTruthUnderFullWindow) {
+  const uint64_t submitted0 = CounterVal("pipeline_submitted_total");
+  const uint64_t rejected0 = CounterVal("pipeline_rejected_total");
+  const uint64_t delivered0 = CounterVal("pipeline_delivered_total");
+  const int64_t inflight0 = GaugeVal("pipeline_inflight");
+  const int64_t depth0 = GaugeVal("pipeline_queue_depth");
+
+  CompressionPipeline::Config config;
+  config.num_workers = 1;
+  config.queue_capacity = 2;
+  CompressionPipeline pipeline(SmallFrameOptions(), config);
+
+  // Fill the window, then get refused twice: the rejected counter and the
+  // accessor count every refusal, not just the first.
+  EXPECT_TRUE(pipeline.TrySubmit(SmallFrame(1)));
+  EXPECT_TRUE(pipeline.TrySubmit(SmallFrame(2)));
+  EXPECT_FALSE(pipeline.TrySubmit(SmallFrame(3)));
+  EXPECT_FALSE(pipeline.TrySubmit(SmallFrame(4)));
+  EXPECT_EQ(pipeline.rejected(), 2u);
+  EXPECT_EQ(pipeline.inflight(), 2u);
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(CounterVal("pipeline_submitted_total") - submitted0, 2u);
+    EXPECT_EQ(CounterVal("pipeline_rejected_total") - rejected0, 2u);
+    EXPECT_EQ(GaugeVal("pipeline_inflight") - inflight0, 2);
+  }
+
+  // Drain and deliver everything: the window empties and the gauges return
+  // to their baseline, so repeated runs compose additively.
+  ASSERT_TRUE(pipeline.Drain().ok());
+  ASSERT_TRUE(pipeline.NextResult().ok());
+  ASSERT_TRUE(pipeline.NextResult().ok());
+  EXPECT_EQ(pipeline.inflight(), 0u);
+  EXPECT_EQ(pipeline.queue_depth(), 0u);
+  EXPECT_EQ(pipeline.rejected(), 2u);
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(CounterVal("pipeline_delivered_total") - delivered0, 2u);
+    EXPECT_EQ(GaugeVal("pipeline_inflight"), inflight0);
+    EXPECT_EQ(GaugeVal("pipeline_queue_depth"), depth0);
+  }
+}
+
+TEST(PipelineBackpressureTest, DestructorReleasesUndeliveredInflight) {
+  const int64_t inflight0 = GaugeVal("pipeline_inflight");
+  const int64_t depth0 = GaugeVal("pipeline_queue_depth");
+  {
+    CompressionPipeline::Config config;
+    config.num_workers = 1;
+    config.queue_capacity = 4;
+    CompressionPipeline pipeline(SmallFrameOptions(), config);
+    for (uint32_t f = 0; f < 3; ++f) pipeline.Submit(SmallFrame(f));
+    ASSERT_TRUE(pipeline.Drain().ok());
+    // Consume one of three; the other two die undelivered with the
+    // pipeline and must not leak inflight occupancy.
+    ASSERT_TRUE(pipeline.NextResult().ok());
+    EXPECT_EQ(pipeline.inflight(), 2u);
+  }
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(GaugeVal("pipeline_inflight"), inflight0);
+    EXPECT_EQ(GaugeVal("pipeline_queue_depth"), depth0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MemoryFrameStore eviction (bounded capacity) and its accounting.
+
+ByteBuffer PayloadOfSize(size_t n) {
+  ByteBuffer buf;
+  for (size_t i = 0; i < n; ++i) buf.AppendByte(static_cast<uint8_t>(i));
+  return buf;
+}
+
+TEST(FrameStoreTest, BoundedStoreEvictsOldestIdFirst) {
+  const uint64_t puts0 = CounterVal("store_put_total");
+  const uint64_t evicted0 = CounterVal("store_evicted_total");
+  const uint64_t miss0 = CounterVal("store_get_miss_total");
+
+  MemoryFrameStore store(/*capacity=*/2);
+  EXPECT_EQ(store.capacity(), 2u);
+  ASSERT_TRUE(store.Put(10, PayloadOfSize(8)).ok());
+  ASSERT_TRUE(store.Put(11, PayloadOfSize(8)).ok());
+  EXPECT_EQ(store.evicted(), 0u);
+  // A third id exceeds the bound: the oldest (smallest) id goes.
+  ASSERT_TRUE(store.Put(12, PayloadOfSize(8)).ok());
+  EXPECT_EQ(store.evicted(), 1u);
+  EXPECT_EQ(store.List(), (std::vector<uint64_t>{11, 12}));
+  EXPECT_FALSE(store.Get(10).ok());
+  EXPECT_TRUE(store.Get(11).ok());
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(CounterVal("store_put_total") - puts0, 3u);
+    EXPECT_EQ(CounterVal("store_evicted_total") - evicted0,
+              store.evicted());
+    EXPECT_EQ(CounterVal("store_get_miss_total") - miss0, 1u);
+  }
+}
+
+TEST(FrameStoreTest, ReplacingAResidentIdNeverEvicts) {
+  const int64_t bytes0 = GaugeVal("store_resident_bytes");
+  MemoryFrameStore store(/*capacity=*/2);
+  ASSERT_TRUE(store.Put(1, PayloadOfSize(10)).ok());
+  ASSERT_TRUE(store.Put(2, PayloadOfSize(20)).ok());
+  // Replacement at full capacity: same id set, new bytes, no eviction.
+  ASSERT_TRUE(store.Put(1, PayloadOfSize(50)).ok());
+  EXPECT_EQ(store.evicted(), 0u);
+  EXPECT_EQ(store.List(), (std::vector<uint64_t>{1, 2}));
+  auto got = store.Get(1);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(got.value().size(), 50u);
+  if constexpr (obs::kEnabled) {
+    // Resident bytes track the replacement delta exactly: 50 + 20.
+    EXPECT_EQ(GaugeVal("store_resident_bytes") - bytes0, 70);
+    EXPECT_GE(GaugeVal("store_resident_frames"), 2);
+  }
+}
+
+TEST(FrameStoreTest, UnboundedDefaultNeverEvicts) {
+  MemoryFrameStore store;  // capacity 0 = unbounded.
+  for (uint64_t id = 0; id < 64; ++id) {
+    ASSERT_TRUE(store.Put(id, PayloadOfSize(4)).ok());
+  }
+  EXPECT_EQ(store.evicted(), 0u);
+  EXPECT_EQ(store.List().size(), 64u);
+}
+
+TEST(FrameStoreTest, LifecycleReleasesResidentGauges) {
+  const int64_t frames0 = GaugeVal("store_resident_frames");
+  const int64_t bytes0 = GaugeVal("store_resident_bytes");
+  {
+    MemoryFrameStore store(/*capacity=*/3);
+    ASSERT_TRUE(store.Put(1, PayloadOfSize(16)).ok());
+    ASSERT_TRUE(store.Put(2, PayloadOfSize(16)).ok());
+    if constexpr (obs::kEnabled) {
+      EXPECT_EQ(GaugeVal("store_resident_frames") - frames0, 2);
+      EXPECT_EQ(GaugeVal("store_resident_bytes") - bytes0, 32);
+    }
+    // Remove drops one entry's share; eviction and destruction the rest.
+    ASSERT_TRUE(store.Remove(1).ok());
+    if constexpr (obs::kEnabled) {
+      EXPECT_EQ(GaugeVal("store_resident_frames") - frames0, 1);
+      EXPECT_EQ(GaugeVal("store_resident_bytes") - bytes0, 16);
+    }
+  }
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(GaugeVal("store_resident_frames"), frames0);
+    EXPECT_EQ(GaugeVal("store_resident_bytes"), bytes0);
+  }
 }
 
 }  // namespace

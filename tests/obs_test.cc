@@ -1,0 +1,388 @@
+// Tests for src/obs: registry semantics, instrument arithmetic, the span
+// taxonomy, and the >4 GiB cumulative-counter regression (the registry must
+// saturate, never wrap, so derived ratios stay sane — see
+// docs/OBSERVABILITY.md).
+//
+// The multithreaded stress tests double as the TSan gate in
+// scripts/check.sh: counters, histograms, and concurrent ToJson() readers
+// must be clean under -DDBGC_SANITIZE=thread.
+//
+// Value assertions are guarded with `if constexpr (!obs::kEnabled)`: under
+// -DDBGC_OBS_OFF every instrument is a stub reading zero, and the point of
+// building this suite in that configuration is that call sites compile
+// unchanged.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dbgc {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry semantics.
+
+TEST(MetricsRegistryTest, HandlesAreStableAndInterned) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("obs_test_counter");
+  Counter* b = registry.GetCounter("obs_test_counter");
+  EXPECT_EQ(a, b);
+  Gauge* g1 = registry.GetGauge("obs_test_gauge");
+  Gauge* g2 = registry.GetGauge("obs_test_gauge");
+  EXPECT_EQ(g1, g2);
+  Histogram* h1 = registry.GetHistogram("obs_test_hist");
+  Histogram* h2 = registry.GetHistogram("obs_test_hist");
+  EXPECT_EQ(h1, h2);
+  if constexpr (!kEnabled) return;
+  // Different names get different instruments.
+  EXPECT_NE(a, registry.GetCounter("obs_test_counter2"));
+}
+
+TEST(MetricsRegistryTest, CounterValueReadsBackAndMissingReadsZero) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "built with DBGC_OBS_OFF";
+  MetricsRegistry registry;
+  registry.GetCounter("reads_back")->Add(41);
+  registry.GetCounter("reads_back")->Increment();
+  EXPECT_EQ(registry.CounterValue("reads_back"), 42u);
+  EXPECT_EQ(registry.CounterValue("never_registered"), 0u);
+}
+
+TEST(MetricsRegistryTest, SumCountersWithPrefixSelectsByPrefix) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "built with DBGC_OBS_OFF";
+  MetricsRegistry registry;
+  registry.GetCounter("family_total{codec=\"a\"}")->Add(3);
+  registry.GetCounter("family_total{codec=\"b\"}")->Add(4);
+  registry.GetCounter("other_total")->Add(100);
+  EXPECT_EQ(registry.SumCountersWithPrefix("family_total"), 7u);
+  EXPECT_EQ(registry.SumCountersWithPrefix("family_total{codec=\"a\""), 3u);
+  EXPECT_EQ(registry.SumCountersWithPrefix("no_such_prefix"), 0u);
+}
+
+TEST(MetricsRegistryTest, LabeledNameCanonicalSpelling) {
+  EXPECT_EQ(LabeledName("base", {}), "base");
+  EXPECT_EQ(LabeledName("decode_error_total",
+                        {{"codec", "DBGC"}, {"reason", "Corruption"}}),
+            "decode_error_total{codec=\"DBGC\",reason=\"Corruption\"}");
+}
+
+TEST(MetricsRegistryTest, ResetForTestZeroesButKeepsHandles) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "built with DBGC_OBS_OFF";
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("reset_me");
+  Gauge* g = registry.GetGauge("reset_me_too");
+  Histogram* h = registry.GetHistogram("reset_me_three");
+  c->Add(7);
+  g->Add(-3);
+  h->Observe(0.001);
+  registry.ResetForTest();
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(g->Value(), 0);
+  EXPECT_EQ(h->Count(), 0u);
+  // Handles are still the registered ones.
+  EXPECT_EQ(registry.GetCounter("reset_me"), c);
+  c->Increment();
+  EXPECT_EQ(registry.CounterValue("reset_me"), 1u);
+}
+
+TEST(MetricsRegistryTest, ToJsonShapeAndOrdering) {
+  MetricsRegistry registry;
+  const std::string off_json = registry.ToJson();
+  if constexpr (!kEnabled) {
+    EXPECT_EQ(off_json, "{\"obs\": \"off\"}");
+    return;
+  }
+  registry.GetCounter("zulu")->Add(1);
+  registry.GetCounter("alpha")->Add(2);
+  registry.GetGauge("depth")->Set(5);
+  registry.GetHistogram("lat")->Observe(0.002);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"obs\": \"on\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  // Lexicographic key order: "alpha" before "zulu".
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zulu\""));
+  // Histogram entries expose the documented fields.
+  for (const char* field :
+       {"\"count\"", "\"sum_ms\"", "\"p50_us\"", "\"p95_us\"", "\"p99_us\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Instrument arithmetic.
+
+TEST(GaugeTest, DeltasCompose) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "built with DBGC_OBS_OFF";
+  Gauge g;
+  g.Add(10);
+  g.Sub(3);
+  g.Add(1);
+  EXPECT_EQ(g.Value(), 8);
+  g.Sub(20);  // Gauges are signed; transient negatives are representable.
+  EXPECT_EQ(g.Value(), -12);
+  g.Set(0);
+  EXPECT_EQ(g.Value(), 0);
+}
+
+TEST(HistogramTest, CountSumAndQuantiles) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "built with DBGC_OBS_OFF";
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);  // Empty histogram reads zero.
+
+  // 90 fast observations and 10 slow ones: the median lands in the fast
+  // bucket, the p99 in the slow one. Quantiles report the bucket's upper
+  // edge, so check bucket membership rather than exact values.
+  for (int i = 0; i < 90; ++i) h.Observe(100e-6);  // 100 us
+  for (int i = 0; i < 10; ++i) h.Observe(50e-3);   // 50 ms
+  EXPECT_EQ(h.Count(), 100u);
+  EXPECT_NEAR(h.SumSeconds(), 90 * 100e-6 + 10 * 50e-3, 1e-6);
+  const double p50 = h.Quantile(0.5);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_GE(p50, 100e-6);
+  EXPECT_LT(p50, 1e-3);  // Within 2x of 100 us (power-of-two buckets).
+  EXPECT_GE(p99, 50e-3);
+  EXPECT_LT(p99, 200e-3);
+  EXPECT_LE(p50, p99);
+}
+
+TEST(HistogramTest, ExtremeObservationsLandInEdgeBuckets) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "built with DBGC_OBS_OFF";
+  Histogram h;
+  h.Observe(0.0);       // Below 1 us: bucket 0.
+  h.Observe(-1.0);      // Negative/NaN durations are dropped, never wrap.
+  h.Observe(1000.0);    // Far beyond the last edge: open-ended bucket.
+  EXPECT_EQ(h.Count(), 2u);
+  EXPECT_GT(h.Quantile(1.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// The >4 GiB pathological-totals regression (satellite bugfix). Cumulative
+// byte counters routinely exceed 2^32 on long captures; a 32-bit
+// intermediate anywhere in the pipeline folds them to garbage.
+
+TEST(CounterOverflowTest, CumulativeBytesPast4GiBDoNotWrap) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "built with DBGC_OBS_OFF";
+  Counter c;
+  // 3 GiB + 3 GiB = 6 GiB: wraps to ~2 GiB in uint32 arithmetic.
+  const uint64_t three_gib = 3ull << 30;
+  c.Add(three_gib);
+  c.Add(three_gib);
+  EXPECT_EQ(c.Value(), 6ull << 30);
+  EXPECT_GT(c.Value(), std::numeric_limits<uint32_t>::max());
+}
+
+TEST(CounterOverflowTest, CrossShardSumSaturatesInsteadOfWrapping) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "built with DBGC_OBS_OFF";
+  Counter c;
+  // Two near-max contributions from the same thread land in one shard and
+  // wrap at the atomic itself — that is unavoidable modular arithmetic. The
+  // contract under test is the cross-shard merge: feed near-max totals from
+  // distinct threads (distinct shards) and the merged Value() must
+  // saturate at UINT64_MAX, not wrap to a small number.
+  const uint64_t half = std::numeric_limits<uint64_t>::max() / 2 + 1;
+  std::thread t1([&c, half] { c.Add(half); });
+  std::thread t2([&c, half] { c.Add(half); });
+  std::thread t3([&c] { c.Add(12345); });
+  t1.join();
+  t2.join();
+  t3.join();
+  EXPECT_EQ(c.Value(), std::numeric_limits<uint64_t>::max());
+}
+
+TEST(CounterOverflowTest, RegistryPrefixSumSaturates) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "built with DBGC_OBS_OFF";
+  MetricsRegistry registry;
+  const uint64_t huge = std::numeric_limits<uint64_t>::max() - 10;
+  registry.GetCounter("sat_total{codec=\"a\"}")->Add(huge);
+  registry.GetCounter("sat_total{codec=\"b\"}")->Add(huge);
+  EXPECT_EQ(registry.SumCountersWithPrefix("sat_total"),
+            std::numeric_limits<uint64_t>::max());
+}
+
+// ---------------------------------------------------------------------------
+// Multithreaded stress: the TSan gate. N writer threads hammer one counter,
+// one gauge, and one histogram while readers snapshot concurrently; totals
+// must come out exact and the run must be race-free under
+// -DDBGC_SANITIZE=thread (scripts/check.sh).
+
+TEST(MetricsStressTest, ConcurrentWritersAndReadersAreExactAndRaceFree) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("stress_events_total");
+  Gauge* gauge = registry.GetGauge("stress_level");
+  Histogram* histogram = registry.GetHistogram("stress_seconds");
+
+  constexpr int kWriters = 8;
+  constexpr int kOpsPerWriter = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + 2);
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        counter->Add(static_cast<uint64_t>(w + 1));
+        gauge->Add(1);
+        gauge->Sub(1);
+        histogram->Observe(1e-6 * static_cast<double>(i % 1000));
+      }
+    });
+  }
+  // Two concurrent readers exercising the merge paths while writes land.
+  for (int r = 0; r < 2; ++r) {
+    threads.emplace_back([&registry, counter, histogram] {
+      for (int i = 0; i < 200; ++i) {
+        (void)counter->Value();
+        (void)histogram->Quantile(0.95);
+        (void)registry.ToJson();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  if constexpr (!kEnabled) return;
+  // Sum over writers of w+1 per op: (1 + ... + kWriters) * kOpsPerWriter.
+  const uint64_t expected =
+      static_cast<uint64_t>(kWriters) * (kWriters + 1) / 2 * kOpsPerWriter;
+  EXPECT_EQ(counter->Value(), expected);
+  EXPECT_EQ(gauge->Value(), 0);
+  EXPECT_EQ(histogram->Count(),
+            static_cast<uint64_t>(kWriters) * kOpsPerWriter);
+}
+
+TEST(MetricsStressTest, ConcurrentRegistrationIsSafeAndInterned) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> handles(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &handles, t] {
+      // Everyone registers the same name plus a private one.
+      handles[static_cast<size_t>(t)] = registry.GetCounter("shared_total");
+      registry.GetCounter("private_total{t=\"" + std::to_string(t) + "\"}")
+          ->Increment();
+      handles[static_cast<size_t>(t)]->Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(handles[static_cast<size_t>(t)], handles[0]);
+  }
+  if constexpr (!kEnabled) return;
+  EXPECT_EQ(registry.CounterValue("shared_total"),
+            static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(registry.SumCountersWithPrefix("private_total"),
+            static_cast<uint64_t>(kThreads));
+}
+
+// ---------------------------------------------------------------------------
+// Trace spans and per-frame breakdowns.
+
+TEST(TraceSpanTest, SpanFeedsSlotFrameTraceAndRegistry) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "built with DBGC_OBS_OFF";
+  Histogram* stage_hist = MetricsRegistry::Global().GetHistogram(
+      LabeledName("stage_seconds", {{"stage", "ENT"}}));
+  const uint64_t count_before = stage_hist->Count();
+
+  double slot = 0.0;
+  FrameTrace trace;
+  {
+    TraceSpan span(Stage::kEntropy, &slot);
+    // Spin a hair so the duration is visibly non-negative.
+    volatile int sink = 0;
+    for (int i = 0; i < 1000; ++i) sink += i;
+  }
+  EXPECT_GT(slot, 0.0);
+  EXPECT_DOUBLE_EQ(trace.breakdown().seconds(Stage::kEntropy), slot);
+  EXPECT_DOUBLE_EQ(trace.breakdown().TotalSeconds(), slot);
+  EXPECT_EQ(stage_hist->Count(), count_before + 1);
+}
+
+TEST(TraceSpanTest, ReenteringAStageBillsOnlyTheOuterSpan) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "built with DBGC_OBS_OFF";
+  FrameTrace trace;
+  double outer_slot = 0.0;
+  double inner_slot = 0.0;
+  {
+    TraceSpan outer(Stage::kOctree, &outer_slot);
+    {
+      TraceSpan inner(Stage::kOctree, &inner_slot);
+    }
+  }
+  // Both slots accumulate (CompressWithInfo timings stay additive), but the
+  // frame breakdown and the registry bill the stage once: the recursive
+  // inner span must not double-count wall time.
+  EXPECT_GT(outer_slot, 0.0);
+  EXPECT_DOUBLE_EQ(trace.breakdown().seconds(Stage::kOctree), outer_slot);
+  EXPECT_LT(trace.breakdown().seconds(Stage::kOctree), outer_slot * 2);
+}
+
+TEST(TraceSpanTest, DistinctStagesNestIndependently) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "built with DBGC_OBS_OFF";
+  FrameTrace trace;
+  {
+    TraceSpan outer(Stage::kSparse);
+    TraceSpan inner(Stage::kEntropy);
+  }
+  EXPECT_GT(trace.breakdown().seconds(Stage::kSparse), 0.0);
+  EXPECT_GT(trace.breakdown().seconds(Stage::kEntropy), 0.0);
+  // ENT is nested inside SPA, so it cannot exceed it.
+  EXPECT_LE(trace.breakdown().seconds(Stage::kEntropy),
+            trace.breakdown().seconds(Stage::kSparse));
+}
+
+TEST(FrameTraceTest, NestedTracesShadowAndRestore) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "built with DBGC_OBS_OFF";
+  FrameTrace outer;
+  {
+    FrameTrace inner;
+    TraceSpan span(Stage::kOutlier);
+  }
+  // The span closed while `inner` was current: `outer` saw nothing.
+  EXPECT_DOUBLE_EQ(outer.breakdown().seconds(Stage::kOutlier), 0.0);
+  {
+    TraceSpan span(Stage::kOutlier);
+  }
+  EXPECT_GT(outer.breakdown().seconds(Stage::kOutlier), 0.0);
+}
+
+TEST(FrameBreakdownTest, ToJsonListsEveryStageInOrder) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "built with DBGC_OBS_OFF";
+  FrameBreakdown breakdown;
+  breakdown.Add(Stage::kClustering, 0.5);
+  const std::string json = breakdown.ToJson();
+  // All nine stages present, zero or not, and in enum order.
+  size_t last = 0;
+  for (const char* name :
+       {"DEN", "OCT", "COR", "ORG", "SPA", "OUT", "ENT", "SER", "DEC"}) {
+    const size_t pos = json.find("\"" + std::string(name) + "\"");
+    ASSERT_NE(pos, std::string::npos) << name;
+    EXPECT_GT(pos, last) << name;
+    last = pos;
+  }
+}
+
+TEST(StageNameTest, CoversTheWholeTaxonomy) {
+  const char* expected[kStageCount] = {"DEN", "OCT", "COR", "ORG", "SPA",
+                                       "OUT", "ENT", "SER", "DEC"};
+  for (size_t i = 0; i < kStageCount; ++i) {
+    EXPECT_STREQ(StageName(static_cast<Stage>(i)), expected[i]);
+  }
+}
+
+TEST(MonotonicSecondsTest, IsMonotone) {
+  const double a = MonotonicSeconds();
+  const double b = MonotonicSeconds();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace dbgc

@@ -649,6 +649,28 @@ void CheckR5(const SourceFile& file, const CodeView& v,
 }
 
 // ---------------------------------------------------------------------------
+// R6: ad-hoc monotonic clock reads. src/obs/trace.h is the library's one
+// sanctioned steady_clock call site; everything else times through a span
+// or obs::MonotonicSeconds so the latency is visible in the registry
+// (docs/OBSERVABILITY.md). Tests/tools/benches stay free to time directly.
+
+void CheckR6(const SourceFile& file, const CodeView& v,
+             std::vector<Diagnostic>* diags) {
+  if (file.is_test) return;
+  if (file.rel_path.rfind("obs/", 0) == 0) return;  // The wrapper itself.
+  for (size_t ci = 0; ci + 2 < v.size(); ++ci) {
+    if (v.IsIdent(ci) && v.Tok(ci).text == "steady_clock" &&
+        v.Is(ci + 1, "::") && v.Is(ci + 2, "now")) {
+      diags->push_back(Diagnostic{
+          file.path, v.Tok(ci).line, "R6",
+          "direct steady_clock::now() in library code; time through "
+          "obs::TraceSpan/obs::ScopedTimer or obs::MonotonicSeconds "
+          "(src/obs/trace.h) so the latency reaches the metrics registry"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions: // DBGC_LINT_ALLOW(Rn): reason
 
 struct Suppressions {
@@ -679,7 +701,7 @@ Suppressions CollectSuppressions(const SourceFile& file) {
       if (ok) {
         rule = t.text.substr(open + 1, close - open - 1);
         ok = rule.size() == 2 && rule[0] == 'R' && rule[1] >= '1' &&
-             rule[1] <= '5';
+             rule[1] <= '6';
       }
       if (ok) {
         // A reason after "):" is mandatory.
@@ -728,6 +750,7 @@ std::vector<Diagnostic> AnalyzeFile(const SourceFile& file,
   }
   CheckR4(file, v, &diags);
   CheckR5(file, v, &diags);
+  CheckR6(file, v, &diags);
 
   const Suppressions sup = CollectSuppressions(file);
   std::vector<Diagnostic> kept;

@@ -1,6 +1,6 @@
 // dbgc_lint rule engine.
 //
-// Five project-specific decoder-safety rules over the token stream produced
+// Six project-specific decoder-safety rules over the token stream produced
 // by lexer.h (see docs/LINTING.md for the full specification and rationale):
 //
 //   R1  every call to a Status/Result-returning function is checked or
@@ -12,6 +12,9 @@
 //   R4  no assert() in library code (tests exempt); use DBGC_CHECK
 //   R5  headers are self-contained: canonical include guards, and direct
 //       includes for the std types they use
+//   R6  no direct std::chrono::steady_clock::now() in library code outside
+//       src/obs/; timing goes through obs::TraceSpan/ScopedTimer or
+//       obs::MonotonicSeconds so latencies land in the metrics registry
 //
 // Diagnostics are suppressed by a trailing or preceding comment of the form
 //   // DBGC_LINT_ALLOW(R3): reason the code is safe
@@ -31,7 +34,7 @@ namespace dbgc_lint {
 struct Diagnostic {
   std::string file;
   int line = 0;
-  std::string rule;     // "R1".."R5", or "lint" for tool-level problems.
+  std::string rule;     // "R1".."R6", or "lint" for tool-level problems.
   std::string message;
 
   bool operator<(const Diagnostic& o) const {

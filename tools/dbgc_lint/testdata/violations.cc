@@ -1,4 +1,5 @@
-// Seeded violations for the dbgc_lint self-test (R1-R4). Every line marked
+// Seeded violations for the dbgc_lint self-test (R1-R4, R6). Every line
+// marked
 // LINT-EXPECT must produce exactly that diagnostic; unmarked lines must be
 // clean. This file is never compiled — it only feeds the analyzer.
 
@@ -75,6 +76,21 @@ inline void Narrow(uint64_t v) {
   assert(v < 256);  // LINT-EXPECT: R4
   static_assert(sizeof(v) == 8);             // static_assert: clean.
   (void)v;
+}
+
+// --- R6: ad-hoc monotonic clock reads -------------------------------------
+
+double AdHocTiming() {
+  const auto t0 = std::chrono::steady_clock::now();  // LINT-EXPECT: R6
+  const auto t1 = std::chrono::steady_clock::now();  // LINT-EXPECT: R6
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+double ReviewedTimingException() {
+  // The escape hatch for a deliberate, reviewed clock read:
+  // DBGC_LINT_ALLOW(R6): demo of a sanctioned direct read.
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
 }
 
 // --- Suppressions: an allowed violation must NOT fire ---------------------

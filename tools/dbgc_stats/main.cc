@@ -1,0 +1,115 @@
+// dbgc_stats: exercise the codec stack and dump the observability state.
+//
+//   dbgc_stats [--frames N] [--scene urban|city|road] [--json PATH]
+//
+// Generates N synthetic LiDAR frames, pushes each through the full DBGC
+// client path (compress with stage spans) and the server path (decompress),
+// prints a per-frame stage breakdown (DEN/OCT/COR/ORG/SPA/OUT/ENT/SER ms,
+// from obs::FrameTrace), and finally dumps the process-wide
+// MetricsRegistry::ToJson() snapshot to stdout or --json PATH.
+//
+// This is the dump mode of the observability layer: point it at a workload
+// and read back every counter, gauge, and latency histogram the library
+// exported (docs/OBSERVABILITY.md describes the schema).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/dbgc_codec.h"
+#include "lidar/scene_generator.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--frames N] [--scene urban|city|road] "
+               "[--json PATH]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int num_frames = 3;
+  dbgc::SceneType scene = dbgc::SceneType::kUrban;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--frames" && i + 1 < argc) {
+      num_frames = std::atoi(argv[++i]);
+      if (num_frames < 1) return Usage(argv[0]);
+    } else if (arg == "--scene" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "urban") {
+        scene = dbgc::SceneType::kUrban;
+      } else if (name == "city") {
+        scene = dbgc::SceneType::kCity;
+      } else if (name == "road") {
+        scene = dbgc::SceneType::kRoad;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  if (!dbgc::obs::kEnabled) {
+    std::fprintf(stderr,
+                 "note: built with DBGC_OBS_OFF; all metrics read zero\n");
+  }
+
+  dbgc::DbgcOptions options;
+  dbgc::DbgcCodec codec(options);
+  dbgc::SceneGenerator generator(scene);
+
+  std::printf("%-6s %9s %10s | per-stage ms\n", "frame", "points", "bytes");
+  for (int f = 0; f < num_frames; ++f) {
+    const dbgc::PointCloud pc =
+        generator.Generate(static_cast<uint32_t>(f));
+
+    dbgc::obs::FrameTrace trace;  // Collects this frame's stage split.
+    dbgc::DbgcCompressInfo info;
+    const dbgc::Result<dbgc::ByteBuffer> compressed =
+        codec.CompressWithInfo(pc, &info);
+    if (!compressed.ok()) {
+      std::fprintf(stderr, "frame %d: compress failed: %s\n", f,
+                   compressed.status().ToString().c_str());
+      return 1;
+    }
+    const dbgc::Result<dbgc::PointCloud> decoded =
+        codec.Decompress(compressed.value());
+    if (!decoded.ok()) {
+      std::fprintf(stderr, "frame %d: decompress failed: %s\n", f,
+                   decoded.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-6d %9zu %10zu | %s\n", f, pc.size(),
+                compressed.value().size(),
+                trace.breakdown().ToJson().c_str());
+  }
+
+  const std::string snapshot =
+      dbgc::obs::MetricsRegistry::Global().ToJson();
+  if (json_path.empty()) {
+    std::printf("\n%s\n", snapshot.c_str());
+  } else {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fwrite(snapshot.data(), 1, snapshot.size(), out);
+    std::fputc('\n', out);
+    std::fclose(out);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
