@@ -1,0 +1,167 @@
+// Entropy backend comparison: WNC arithmetic (v1) vs byte-wise range
+// coder (v2) on the urban-l tier (docs/ENTROPY.md).
+//
+//   $ ./bench/bench_entropy_backend [out.json]
+//
+// The PR 6 headline claim is that replacing the bit-renormalizing
+// Witten-Neal-Cleary coder with a byte-renormalizing range coder cuts the
+// DBGC ENT stage by >= 2x and the total encode time measurably. This
+// bench pins that claim: it encodes the same urban-l frames under both
+// CompressParams::entropy_backend settings, splits the wall time by trace
+// span (ENT / SER / total), verifies both streams decode back losslessly,
+// and writes the ratios to BENCH_entropy.json for the scripts/check.sh
+// entropy gate.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "codec/codec.h"
+#include "core/dbgc_codec.h"
+#include "obs/trace.h"
+
+namespace {
+
+struct BackendRow {
+  std::string name;
+  dbgc::EntropyBackend backend = dbgc::kDefaultEntropyBackend;
+  size_t compressed_bytes = 0;
+  double encode_ms = 0;
+  double decode_ms = 0;
+  double ent_ms = 0;  // ENT trace-span share of the encode.
+  double ser_ms = 0;  // SER trace-span share of the encode.
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_entropy.json";
+  dbgc::bench::Banner(
+      "Entropy backend: arithmetic (v1) vs range coder (v2)",
+      "versioned entropy backend swap, docs/ENTROPY.md");
+  if (!dbgc::obs::kEnabled) {
+    std::printf("note: DBGC_OBS_OFF build — ENT/SER spans read as zero\n");
+  }
+
+  // urban-l: the paper's largest tier, full-resolution urban frames
+  // (matches bench_parallel_scaling's tier table).
+  const int num_frames = dbgc::bench::FramesPerConfig();
+  std::vector<dbgc::PointCloud> frames;
+  size_t points = 0;
+  for (int f = 0; f < num_frames; ++f) {
+    frames.push_back(
+        dbgc::bench::Frame(dbgc::SceneType::kUrban, static_cast<uint32_t>(f)));
+    points = frames.back().size();
+  }
+  std::printf("tier urban-l: %zu points/frame, %d frame(s)\n\n", points,
+              num_frames);
+
+  const dbgc::DbgcOptions options;
+  const dbgc::DbgcCodec codec(options);
+
+  std::vector<BackendRow> rows = {
+      {"arithmetic_v1", dbgc::EntropyBackend::kArithmeticV1, 0, 0, 0, 0, 0},
+      {"range_v2", dbgc::EntropyBackend::kRangeV2, 0, 0, 0, 0, 0},
+  };
+
+  std::printf("%-14s %12s %11s %11s %9s %9s\n", "backend", "bytes/frame",
+              "encode ms", "decode ms", "ENT ms", "SER ms");
+  for (BackendRow& row : rows) {
+    dbgc::CompressParams params;
+    params.q_xyz = options.q_xyz;
+    params.entropy_backend = row.backend;
+    for (const dbgc::PointCloud& pc : frames) {
+      dbgc::Result<dbgc::ByteBuffer> compressed = dbgc::ByteBuffer();
+      {
+        dbgc::obs::FrameTrace trace;
+        row.encode_ms += 1e3 * dbgc::bench::TimeSeconds([&] {
+          compressed = codec.Compress(pc, params);
+        });
+        row.ent_ms +=
+            1e3 * trace.breakdown().seconds(dbgc::obs::Stage::kEntropy);
+        row.ser_ms +=
+            1e3 * trace.breakdown().seconds(dbgc::obs::Stage::kSerialize);
+      }
+      if (!compressed.ok()) {
+        std::fprintf(stderr, "%s: compress failed: %s\n", row.name.c_str(),
+                     compressed.status().ToString().c_str());
+        return 1;
+      }
+      row.compressed_bytes += compressed.value().size();
+      dbgc::Result<dbgc::PointCloud> decoded = dbgc::PointCloud();
+      row.decode_ms += 1e3 * dbgc::bench::TimeSeconds([&] {
+        decoded = codec.Decompress(compressed.value());
+      });
+      if (!decoded.ok()) {
+        std::fprintf(stderr, "%s: decompress failed: %s\n", row.name.c_str(),
+                     decoded.status().ToString().c_str());
+        return 1;
+      }
+      if (decoded.value().size() != pc.size()) {
+        std::fprintf(stderr, "%s: point count changed in round trip\n",
+                     row.name.c_str());
+        return 1;
+      }
+    }
+    row.encode_ms /= num_frames;
+    row.decode_ms /= num_frames;
+    row.ent_ms /= num_frames;
+    row.ser_ms /= num_frames;
+    row.compressed_bytes /= static_cast<size_t>(num_frames);
+    std::printf("%-14s %12zu %11.2f %11.2f %9.2f %9.2f\n", row.name.c_str(),
+                row.compressed_bytes, row.encode_ms, row.decode_ms, row.ent_ms,
+                row.ser_ms);
+  }
+
+  const BackendRow& v1 = rows[0];
+  const BackendRow& v2 = rows[1];
+  const double ent_speedup = v2.ent_ms > 0 ? v1.ent_ms / v2.ent_ms : 0.0;
+  const double total_speedup =
+      v2.encode_ms > 0 ? v1.encode_ms / v2.encode_ms : 0.0;
+  const double decode_speedup =
+      v2.decode_ms > 0 ? v1.decode_ms / v2.decode_ms : 0.0;
+  const double size_ratio =
+      v1.compressed_bytes > 0
+          ? static_cast<double>(v2.compressed_bytes) /
+                static_cast<double>(v1.compressed_bytes)
+          : 0.0;
+  std::printf("\nENT speedup (v1/v2):    %.2fx\n", ent_speedup);
+  std::printf("encode speedup (v1/v2): %.2fx\n", total_speedup);
+  std::printf("decode speedup (v1/v2): %.2fx\n", decode_speedup);
+  std::printf("size ratio (v2/v1):     %.4f\n", size_ratio);
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"entropy_backend\",\n");
+  std::fprintf(json, "  \"tier\": \"urban-l\",\n");
+  std::fprintf(json, "  \"points_per_frame\": %zu,\n", points);
+  std::fprintf(json, "  \"frames_per_config\": %d,\n", num_frames);
+  std::fprintf(json, "  \"obs_enabled\": %s,\n",
+               dbgc::obs::kEnabled ? "true" : "false");
+  std::fprintf(json, "  \"backends\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BackendRow& r = rows[i];
+    std::fprintf(json,
+                 "    {\"backend\": \"%s\", \"version_byte\": %u, "
+                 "\"bytes_per_frame\": %zu, \"encode_ms\": %.3f, "
+                 "\"decode_ms\": %.3f, \"ent_ms\": %.3f, \"ser_ms\": %.3f}%s\n",
+                 r.name.c_str(), unsigned{dbgc::EntropyVersionByte(r.backend)},
+                 r.compressed_bytes, r.encode_ms, r.decode_ms, r.ent_ms,
+                 r.ser_ms, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"ent_speedup_v1_over_v2\": %.3f,\n", ent_speedup);
+  std::fprintf(json, "  \"encode_speedup_v1_over_v2\": %.3f,\n",
+               total_speedup);
+  std::fprintf(json, "  \"decode_speedup_v1_over_v2\": %.3f,\n",
+               decode_speedup);
+  std::fprintf(json, "  \"size_ratio_v2_over_v1\": %.4f\n", size_ratio);
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -32,6 +32,26 @@ echo "==> parallel scaling bench: BENCH_parallel.json"
 DBGC_BENCH_FRAMES="${DBGC_BENCH_FRAMES:-1}" \
   ./build/bench/bench_parallel_scaling BENCH_parallel.json
 
+echo "==> entropy gate: backend differential suite + v1 goldens + bench"
+# The differential suite proves both entropy backends decode each other's
+# symbol streams; the v1 golden test decodes every pinned legacy stream
+# (docs/ENTROPY.md). Both already ran under tier-1 — re-run them named so
+# a backend regression identifies itself in CI logs.
+ctest --test-dir build \
+  -R "EntropyBackendDiff|GoldenBitstreamTest.V1BackendStreamsStayPinnedAndDecodable" \
+  --output-on-failure -j "${JOBS}"
+DBGC_BENCH_FRAMES="${DBGC_BENCH_FRAMES:-1}" \
+  ./build/bench/bench_entropy_backend BENCH_entropy.json
+# Hard-regression tripwire on the headline claim (committed runs record
+# >= 2x; 1.5x leaves room for CI noise, see docs/ENTROPY.md).
+awk -F': ' '
+  /"ent_speedup_v1_over_v2"/ { speedup = $2 + 0 }
+  /"size_ratio_v2_over_v1"/  { ratio = $2 + 0 }
+  END {
+    if (speedup < 1.5) { print "ENT speedup regressed: " speedup; exit 1 }
+    if (ratio > 1.02)  { print "v2 size regressed: " ratio; exit 1 }
+  }' BENCH_entropy.json
+
 echo "==> lint gate: dbgc_lint over src/ + self-test corpus"
 ctest --test-dir build -L lint --output-on-failure -j "${JOBS}"
 # The lint label already covers all of src/; re-run the concurrency

@@ -106,23 +106,42 @@ Result<ByteBuffer> GeometryCodec::Compress(const PointCloud& pc,
     obs::ScopedTimer timer(nullptr, m.compress_seconds);
     return CompressImpl(pc, params);
   }();
-  if (result.ok()) {
-    m.compress_frames->Increment();
-    m.compress_points->Add(pc.size());
-    m.compress_bytes_in->Add(pc.RawSizeBytes());
-    m.compress_bytes_out->Add(result.value().size());
-  }
-  return result;
+  if (!result.ok()) return result;
+  // Container framing: one version byte naming the entropy backend, so the
+  // decode side can dispatch with no out-of-band knowledge (docs/ENTROPY.md).
+  ByteBuffer framed;
+  framed.Reserve(result.value().size() + 1);
+  framed.AppendByte(EntropyVersionByte(params.entropy_backend));
+  framed.Append(result.value());
+  m.compress_frames->Increment();
+  m.compress_points->Add(pc.size());
+  m.compress_bytes_in->Add(pc.RawSizeBytes());
+  m.compress_bytes_out->Add(framed.size());
+  return framed;
 }
 
 Result<PointCloud> GeometryCodec::Decompress(
     const ByteBuffer& buffer, const DecompressParams& params) const {
   DBGC_RETURN_NOT_OK(ValidateBudget(params.pool, params.max_threads));
   const internal::CodecMetrics& m = metrics();
-  Result<PointCloud> result = [&] {
+  Result<PointCloud> result = [&]() -> Result<PointCloud> {
     obs::ScopedTimer timer(nullptr, m.decompress_seconds);
     obs::TraceSpan span(obs::Stage::kDecode);
-    return DecompressImpl(buffer, params);
+    // Strip and validate the container version byte before the codec sees
+    // the payload; unknown versions fail here, counted once like any other
+    // decode error.
+    if (buffer.size() == 0) {
+      return Status::Corruption("codec: missing entropy version byte");
+    }
+    EntropyBackend backend;
+    if (!EntropyBackendFromVersionByte(buffer[0], &backend)) {
+      return Status::Corruption("codec: unsupported entropy version byte");
+    }
+    ByteBuffer payload;
+    payload.Append(buffer.data() + 1, buffer.size() - 1);
+    DecompressParams inner = params;
+    inner.entropy_backend = backend;
+    return DecompressImpl(payload, inner);
   }();
   if (result.ok()) {
     m.decompress_frames->Increment();

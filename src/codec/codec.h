@@ -24,6 +24,7 @@
 #include "bitio/byte_buffer.h"
 #include "common/point_cloud.h"
 #include "common/status.h"
+#include "entropy/entropy_backend.h"
 
 namespace dbgc {
 
@@ -52,6 +53,9 @@ struct CompressParams {
   /// (stage timings, dense/sparse split, point mapping); baseline codecs
   /// ignore it. May be null.
   DbgcCompressInfo* info = nullptr;
+  /// Entropy coder backend for the emitted stream. Recorded in the
+  /// container version byte, so decoders need no out-of-band knowledge.
+  EntropyBackend entropy_backend = kDefaultEntropyBackend;
 };
 
 /// Decompression-side counterpart of CompressParams.
@@ -60,6 +64,9 @@ struct DecompressParams {
   ThreadPool* pool = nullptr;
   /// Cap on threads one decompression may occupy (0 = all pool workers).
   int max_threads = 0;
+  /// Entropy backend of the payload handed to DecompressImpl. Set by the
+  /// NVI wrapper from the container version byte; callers need not fill it.
+  EntropyBackend entropy_backend = kDefaultEntropyBackend;
 };
 
 /// Abstract geometry compressor/decompressor.

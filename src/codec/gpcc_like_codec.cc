@@ -6,7 +6,7 @@
 #include "bitio/varint.h"
 #include "common/bounding_box.h"
 #include "encoding/value_codec.h"
-#include "entropy/arithmetic_coder.h"
+#include "entropy/entropy_coder.h"
 #include "obs/trace.h"
 #include "entropy/binary_coder.h"
 #include "spatial/octree.h"
@@ -65,19 +65,19 @@ struct Models {
 };
 
 struct EncodeContext {
-  ArithmeticEncoder* enc;
+  EntropyEncoder* enc;
   Models* models;
   std::vector<uint64_t>* leaf_extra;  // Per-leaf (count - 1).
   const std::vector<uint64_t>* keys;  // Sorted leaf Morton keys per point.
   int depth;
 };
 
-void EncodeBit(ArithmeticEncoder* enc, AdaptiveBitModel* model, int bit) {
+void EncodeBit(EntropyEncoder* enc, AdaptiveBitModel* model, int bit) {
   enc->Encode(model->Lookup(bit));
   model->Update(bit);
 }
 
-int DecodeBit(ArithmeticDecoder* dec, AdaptiveBitModel* model) {
+int DecodeBit(EntropyDecoder* dec, AdaptiveBitModel* model) {
   const uint32_t target = dec->DecodeTarget(model->total());
   SymbolRange range;
   const int bit = model->FindBit(target, &range);
@@ -151,7 +151,7 @@ void EncodeNode(EncodeContext* ctx, size_t lo, size_t hi, int level,
 }
 
 struct DecodeContext {
-  ArithmeticDecoder* dec;
+  EntropyDecoder* dec;
   Models* models;
   const std::vector<uint64_t>* leaf_extra;
   size_t leaf_cursor = 0;
@@ -253,20 +253,20 @@ Result<ByteBuffer> GpccLikeCodec::CompressImpl(
   std::sort(keys.begin(), keys.end());
 
   obs::TraceSpan entropy_span(obs::Stage::kEntropy);
-  ArithmeticEncoder enc;
+  EntropyEncoder enc(params.entropy_backend);
   Models models;
   std::vector<uint64_t> leaf_extra;
   EncodeContext ctx{&enc, &models, &leaf_extra, &keys, depth};
   EncodeNode(&ctx, 0, keys.size(), 0, 8);
 
   out.AppendLengthPrefixed(enc.Finish());
-  out.AppendLengthPrefixed(UnsignedValueCodec::Compress(leaf_extra));
+  out.AppendLengthPrefixed(
+      UnsignedValueCodec::Compress(leaf_extra, params.entropy_backend));
   return out;
 }
 
 Result<PointCloud> GpccLikeCodec::DecompressImpl(
     const ByteBuffer& buffer, const DecompressParams& params) const {
-  (void)params;  // One context-coded stream; decode is sequential.
   ByteReader reader(buffer);
   Cube root;
   DBGC_RETURN_NOT_OK(reader.ReadDouble(&root.origin.x));
@@ -289,10 +289,10 @@ Result<PointCloud> GpccLikeCodec::DecompressImpl(
   DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&counts_stream));
 
   std::vector<uint64_t> leaf_extra;
-  DBGC_RETURN_NOT_OK(
-      UnsignedValueCodec::Decompress(counts_stream, &leaf_extra));
+  DBGC_RETURN_NOT_OK(UnsignedValueCodec::Decompress(
+      counts_stream, &leaf_extra, params.entropy_backend));
 
-  ArithmeticDecoder dec(coder_stream);
+  EntropyDecoder dec(coder_stream, params.entropy_backend);
   Models models;
   std::vector<std::pair<uint64_t, uint32_t>> leaves;
   DecodeContext ctx{&dec, &models, &leaf_extra, 0, &leaves, depth};

@@ -6,7 +6,7 @@
 
 #include "bitio/varint.h"
 #include "common/bounding_box.h"
-#include "entropy/arithmetic_coder.h"
+#include "entropy/entropy_coder.h"
 #include "obs/trace.h"
 
 namespace dbgc {
@@ -33,7 +33,7 @@ struct IntBox {
 using IntPoint = std::array<uint32_t, 3>;
 
 // Encodes v in [0, n] at ~log2(n+1) bits with a uniform range.
-void EncodeUniform(ArithmeticEncoder* enc, uint32_t v, uint32_t n) {
+void EncodeUniform(EntropyEncoder* enc, uint32_t v, uint32_t n) {
   if (n == 0) return;
   // Split values exceeding the coder's total-frequency budget into two
   // stages (high and low halves).
@@ -50,7 +50,7 @@ void EncodeUniform(ArithmeticEncoder* enc, uint32_t v, uint32_t n) {
   enc->Encode(SymbolRange{v, v + 1, n + 1});
 }
 
-uint32_t DecodeUniform(ArithmeticDecoder* dec, uint32_t n) {
+uint32_t DecodeUniform(EntropyDecoder* dec, uint32_t n) {
   if (n == 0) return 0;
   constexpr uint32_t kLimit = 1u << 15;
   if (n + 1 > kLimit) {
@@ -67,7 +67,7 @@ uint32_t DecodeUniform(ArithmeticDecoder* dec, uint32_t n) {
   return v;
 }
 
-void EncodeRecursive(ArithmeticEncoder* enc, std::vector<IntPoint>* points,
+void EncodeRecursive(EntropyEncoder* enc, std::vector<IntPoint>* points,
                      size_t lo, size_t hi, const IntBox& box) {
   if (box.IsUnit() || lo >= hi) return;
   const int axis = box.SplitAxis();
@@ -89,7 +89,7 @@ void EncodeRecursive(ArithmeticEncoder* enc, std::vector<IntPoint>* points,
   if (n_left < n) EncodeRecursive(enc, points, lo + n_left, hi, right);
 }
 
-void DecodeRecursive(ArithmeticDecoder* dec, const IntBox& box, uint32_t n,
+void DecodeRecursive(EntropyDecoder* dec, const IntBox& box, uint32_t n,
                      std::vector<IntPoint>* out) {
   if (n == 0) return;
   if (box.IsUnit()) {
@@ -152,7 +152,7 @@ Result<ByteBuffer> KdTreeCodec::CompressImpl(
   root.lo = {0, 0, 0};
   root.size = {cells, cells, cells};
   obs::TraceSpan entropy_span(obs::Stage::kEntropy);
-  ArithmeticEncoder enc;
+  EntropyEncoder enc(params.entropy_backend);
   EncodeRecursive(&enc, &points, 0, points.size(), root);
   out.AppendLengthPrefixed(enc.Finish());
   return out;
@@ -160,7 +160,6 @@ Result<ByteBuffer> KdTreeCodec::CompressImpl(
 
 Result<PointCloud> KdTreeCodec::DecompressImpl(
     const ByteBuffer& buffer, const DecompressParams& params) const {
-  (void)params;  // The recursive count decode is inherently sequential.
   ByteReader reader(buffer);
   double ox, oy, oz, step;
   DBGC_RETURN_NOT_OK(reader.ReadDouble(&ox));
@@ -188,7 +187,7 @@ Result<PointCloud> KdTreeCodec::DecompressImpl(
   IntBox root;
   root.lo = {0, 0, 0};
   root.size = {1u << qb, 1u << qb, 1u << qb};
-  ArithmeticDecoder dec(stream);
+  EntropyDecoder dec(stream, params.entropy_backend);
   std::vector<IntPoint> points;
   // Points are entropy-coded with no whole-byte cost floor, so only the
   // speculative clamp protects the up-front reservation.

@@ -3,17 +3,19 @@
 #include "bitio/varint.h"
 #include "common/thread_pool.h"
 #include "encoding/value_codec.h"
-#include "entropy/arithmetic_coder.h"
+#include "entropy/entropy_coder.h"
 #include "obs/trace.h"
 
 namespace dbgc {
 
-ByteBuffer OctreeCodec::SerializeStructure(const OctreeStructure& tree) {
-  return SerializeStructure(tree, Parallelism());
+ByteBuffer OctreeCodec::SerializeStructure(const OctreeStructure& tree,
+                                           EntropyBackend backend) {
+  return SerializeStructure(tree, Parallelism(), backend);
 }
 
 ByteBuffer OctreeCodec::SerializeStructure(const OctreeStructure& tree,
-                                           const Parallelism& par) {
+                                           const Parallelism& par,
+                                           EntropyBackend backend) {
   // The stream is two independent shards behind a fixed header: the
   // arithmetic-coded occupancy codes and the value-coded per-leaf counts.
   // Each shard is serialized into its own ByteBuffer (concurrently when a
@@ -29,7 +31,7 @@ ByteBuffer OctreeCodec::SerializeStructure(const OctreeStructure& tree,
         // alphabet keeps the model simple.
         obs::TraceSpan entropy_span(obs::Stage::kEntropy);
         AdaptiveModel model(256);
-        ArithmeticEncoder enc;
+        EntropyEncoder enc(backend);
         for (const auto& level : tree.levels) {
           for (uint8_t occ : level) {
             enc.Encode(model.Lookup(occ));
@@ -44,7 +46,7 @@ ByteBuffer OctreeCodec::SerializeStructure(const OctreeStructure& tree,
         for (uint32_t c : tree.leaf_counts) {
           extra_counts.push_back(c > 0 ? c - 1 : 0);
         }
-        counts_shard = UnsignedValueCodec::Compress(extra_counts);
+        counts_shard = UnsignedValueCodec::Compress(extra_counts, backend);
       }
     }
   });
@@ -66,7 +68,7 @@ ByteBuffer OctreeCodec::SerializeStructure(const OctreeStructure& tree,
 }
 
 Result<OctreeStructure> OctreeCodec::DeserializeStructure(
-    const ByteBuffer& buf) {
+    const ByteBuffer& buf, EntropyBackend backend) {
   OctreeStructure tree;
   ByteReader reader(buf);
   DBGC_RETURN_NOT_OK(reader.ReadDouble(&tree.root.origin.x));
@@ -97,7 +99,7 @@ Result<OctreeStructure> OctreeCodec::DeserializeStructure(
   // Re-expand breadth-first: the number of nodes at each level follows from
   // the popcounts of the previous level.
   AdaptiveModel model(256);
-  ArithmeticDecoder dec(occupancy_stream);
+  EntropyDecoder dec(occupancy_stream, backend);
   DBGC_RETURN_NOT_OK(alloc.Resize(&tree.levels, tree.depth,
                                   /*min_bytes_each=*/0, "octree levels"));
   size_t nodes_at_level = 1;
@@ -131,7 +133,7 @@ Result<OctreeStructure> OctreeCodec::DeserializeStructure(
 
   std::vector<uint64_t> extra_counts;
   DBGC_RETURN_NOT_OK(
-      UnsignedValueCodec::Decompress(counts_stream, &extra_counts));
+      UnsignedValueCodec::Decompress(counts_stream, &extra_counts, backend));
   if (extra_counts.size() != num_leaves) {
     return Status::Corruption("octree codec: counts stream mismatch");
   }
@@ -158,13 +160,14 @@ Result<ByteBuffer> OctreeCodec::CompressImpl(
   const Parallelism par{params.pool, params.max_threads};
   DBGC_ASSIGN_OR_RETURN(OctreeStructure tree,
                         Octree::Build(pc, 2.0 * params.q_xyz, par));
-  return SerializeStructure(tree, par);
+  return SerializeStructure(tree, par, params.entropy_backend);
 }
 
 Result<PointCloud> OctreeCodec::DecompressImpl(
     const ByteBuffer& buffer, const DecompressParams& params) const {
-  (void)params;  // Decode is one sequential arithmetic stream.
-  DBGC_ASSIGN_OR_RETURN(OctreeStructure tree, DeserializeStructure(buffer));
+  DBGC_ASSIGN_OR_RETURN(
+      OctreeStructure tree,
+      DeserializeStructure(buffer, params.entropy_backend));
   return Octree::ExtractPoints(tree);
 }
 

@@ -30,16 +30,20 @@ class OctreeCodec : public GeometryCodec {
 
   /// Serializes an already-built octree structure. Exposed so DBGC can
   /// compress its dense subset with an externally chosen bounding cube.
-  static ByteBuffer SerializeStructure(const OctreeStructure& tree);
+  static ByteBuffer SerializeStructure(
+      const OctreeStructure& tree,
+      EntropyBackend backend = kDefaultEntropyBackend);
 
   /// SerializeStructure under a thread budget: the occupancy and leaf-count
   /// shards are encoded concurrently. Output bytes are identical to the
   /// serial overload.
   static ByteBuffer SerializeStructure(const OctreeStructure& tree,
-                                       const Parallelism& par);
+                                       const Parallelism& par,
+                                       EntropyBackend backend);
 
-  /// Inverse of SerializeStructure.
-  static Result<OctreeStructure> DeserializeStructure(const ByteBuffer& buf);
+  /// Inverse of SerializeStructure (same backend as the serializer).
+  static Result<OctreeStructure> DeserializeStructure(
+      const ByteBuffer& buf, EntropyBackend backend = kDefaultEntropyBackend);
 
  protected:
   Result<ByteBuffer> CompressImpl(const PointCloud& pc,

@@ -4,7 +4,7 @@
 
 #include "bitio/varint.h"
 #include "encoding/value_codec.h"
-#include "entropy/arithmetic_coder.h"
+#include "entropy/entropy_coder.h"
 #include "obs/trace.h"
 
 namespace dbgc {
@@ -49,7 +49,7 @@ Result<ByteBuffer> OctreeGroupedCodec::CompressImpl(
   // Breadth-first traversal carrying each node's parent occupancy code.
   obs::TraceSpan entropy_span(obs::Stage::kEntropy);
   ContextModels contexts;
-  ArithmeticEncoder enc;
+  EntropyEncoder enc(params.entropy_backend);
   std::vector<uint8_t> parent_codes{0};  // Root context.
   for (int l = 0; l < tree.depth; ++l) {
     const auto& level = tree.levels[l];
@@ -76,13 +76,13 @@ Result<ByteBuffer> OctreeGroupedCodec::CompressImpl(
   std::vector<uint64_t> extra_counts;
   extra_counts.reserve(tree.leaf_counts.size());
   for (uint32_t c : tree.leaf_counts) extra_counts.push_back(c - 1);
-  out.AppendLengthPrefixed(UnsignedValueCodec::Compress(extra_counts));
+  out.AppendLengthPrefixed(
+      UnsignedValueCodec::Compress(extra_counts, params.entropy_backend));
   return out;
 }
 
 Result<PointCloud> OctreeGroupedCodec::DecompressImpl(
     const ByteBuffer& buffer, const DecompressParams& params) const {
-  (void)params;  // One context-coded stream; decode is sequential.
   OctreeStructure tree;
   ByteReader reader(buffer);
   DBGC_RETURN_NOT_OK(reader.ReadDouble(&tree.root.origin.x));
@@ -109,7 +109,7 @@ Result<PointCloud> OctreeGroupedCodec::DecompressImpl(
   if (num_leaves == 0) return Octree::ExtractPoints(tree);
 
   ContextModels contexts;
-  ArithmeticDecoder dec(occupancy_stream);
+  EntropyDecoder dec(occupancy_stream, params.entropy_backend);
   std::vector<uint8_t> parent_codes{0};
   for (int l = 0; l < tree.depth; ++l) {
     auto& level = tree.levels[l];
@@ -147,8 +147,8 @@ Result<PointCloud> OctreeGroupedCodec::DecompressImpl(
   }
 
   std::vector<uint64_t> extra_counts;
-  DBGC_RETURN_NOT_OK(
-      UnsignedValueCodec::Decompress(counts_stream, &extra_counts));
+  DBGC_RETURN_NOT_OK(UnsignedValueCodec::Decompress(
+      counts_stream, &extra_counts, params.entropy_backend));
   if (extra_counts.size() != num_leaves) {
     return Status::Corruption("octree_i codec: counts stream mismatch");
   }

@@ -59,7 +59,7 @@ Result<ByteBuffer> RangeImageCodec::CompressImpl(
   }
 
   // Occupancy bitmap with (left, above) contexts.
-  BinaryEncoder occupancy(kNumContexts);
+  BinaryEncoder occupancy(kNumContexts, params.entropy_backend);
   std::vector<uint8_t> occupied(range.size(), 0);
   size_t num_occupied = 0;
   for (int row = 0; row < height; ++row) {
@@ -99,13 +99,13 @@ Result<ByteBuffer> RangeImageCodec::CompressImpl(
   PutVarint64(&out, static_cast<uint64_t>(width));
   PutVarint64(&out, static_cast<uint64_t>(height));
   out.AppendLengthPrefixed(occupancy.Finish());
-  out.AppendLengthPrefixed(SignedValueCodec::Compress(deltas));
+  out.AppendLengthPrefixed(
+      SignedValueCodec::Compress(deltas, params.entropy_backend));
   return out;
 }
 
 Result<PointCloud> RangeImageCodec::DecompressImpl(
     const ByteBuffer& buffer, const DecompressParams& params) const {
-  (void)params;  // Row-delta decode carries state across the whole image.
   ByteReader reader(buffer);
   double theta_min, phi_max, u_theta, u_phi, step;
   DBGC_RETURN_NOT_OK(reader.ReadDouble(&theta_min));
@@ -134,7 +134,8 @@ Result<PointCloud> RangeImageCodec::DecompressImpl(
   DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&occupancy_stream));
   DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&range_stream));
 
-  BinaryDecoder occupancy(occupancy_stream, kNumContexts);
+  BinaryDecoder occupancy(occupancy_stream, kNumContexts,
+                          params.entropy_backend);
   // Occupancy bits are entropy-coded (no whole-byte floor per cell), so the
   // bitmap is bounded by the absolute element cap rather than stream bytes.
   std::vector<uint8_t> occupied;
@@ -153,7 +154,8 @@ Result<PointCloud> RangeImageCodec::DecompressImpl(
   }
 
   std::vector<int64_t> deltas;
-  DBGC_RETURN_NOT_OK(SignedValueCodec::Decompress(range_stream, &deltas));
+  DBGC_RETURN_NOT_OK(SignedValueCodec::Decompress(range_stream, &deltas,
+                                                  params.entropy_backend));
   if (deltas.size() != num_occupied) {
     return Status::Corruption("range image: radial channel mismatch");
   }

@@ -15,7 +15,8 @@ constexpr uint8_t kMagic = 0xA7;
 
 Result<ByteBuffer> AttributeCodec::Compress(
     const std::vector<float>& values,
-    const std::vector<uint32_t>& emission_order, double q_attr) {
+    const std::vector<uint32_t>& emission_order, double q_attr,
+    EntropyBackend backend) {
   if (q_attr <= 0) {
     return Status::InvalidArgument("attribute codec: q_attr must be > 0");
   }
@@ -37,10 +38,13 @@ Result<ByteBuffer> AttributeCodec::Compress(
 
   ByteBuffer out;
   out.AppendByte(kMagic);
+  // Attribute streams stand alone (no geometry container around them), so
+  // they carry their own entropy version byte.
+  out.AppendByte(EntropyVersionByte(backend));
   out.AppendDouble(q_attr);
   PutVarint64(&out, values.size());
   out.AppendLengthPrefixed(
-      SignedValueCodec::Compress(DeltaEncode(quantized)));
+      SignedValueCodec::Compress(DeltaEncode(quantized), backend));
   return out;
 }
 
@@ -52,6 +56,12 @@ Result<std::vector<float>> AttributeCodec::Decompress(
   if (magic != kMagic) {
     return Status::Corruption("attribute codec: bad magic");
   }
+  uint8_t version_byte;
+  DBGC_RETURN_NOT_OK(reader.ReadByte(&version_byte));
+  EntropyBackend backend;
+  if (!EntropyBackendFromVersionByte(version_byte, &backend)) {
+    return Status::Corruption("attribute codec: bad entropy version byte");
+  }
   double q_attr;
   DBGC_RETURN_NOT_OK(reader.ReadDouble(&q_attr));
   if (!(q_attr > 0) || !std::isfinite(q_attr)) {
@@ -62,7 +72,7 @@ Result<std::vector<float>> AttributeCodec::Decompress(
   ByteBuffer stream;
   DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&stream));
   std::vector<int64_t> deltas;
-  DBGC_RETURN_NOT_OK(SignedValueCodec::Decompress(stream, &deltas));
+  DBGC_RETURN_NOT_OK(SignedValueCodec::Decompress(stream, &deltas, backend));
   if (deltas.size() != count) {
     return Status::Corruption("attribute codec: count mismatch");
   }

@@ -14,6 +14,7 @@
 
 #include "bitio/byte_buffer.h"
 #include "common/status.h"
+#include "entropy/entropy_backend.h"
 
 namespace dbgc {
 
@@ -27,9 +28,12 @@ class AttributeCodec {
   /// emission order, aligned with the decompressed cloud.
   static Result<ByteBuffer> Compress(const std::vector<float>& values,
                                      const std::vector<uint32_t>& emission_order,
-                                     double q_attr);
+                                     double q_attr,
+                                     EntropyBackend backend = kDefaultEntropyBackend);
 
-  /// Decompresses a channel; values come back in emission order.
+  /// Decompresses a channel; values come back in emission order. The
+  /// attribute stream is self-describing (it records its entropy version
+  /// byte), so no backend parameter is needed.
   static Result<std::vector<float>> Decompress(const ByteBuffer& buffer);
 };
 

@@ -80,7 +80,8 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
       for (uint32_t idx : partition.dense) dense_cloud.Add(pc[idx]);
       DBGC_ASSIGN_OR_RETURN(OctreeStructure tree,
                             Octree::Build(dense_cloud, 2.0 * opt.q_xyz, par));
-      b_dense = OctreeCodec::SerializeStructure(tree, par);
+      b_dense = OctreeCodec::SerializeStructure(tree, par,
+                                                params.entropy_backend);
       // Decoded order is Morton leaf order; mirror it for the mapping.
       // Key computation fills disjoint slots; the stable sort that defines
       // the mapping order stays serial.
@@ -171,8 +172,9 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
     const Status spa_status =
         par.For(0, groups.size(), 1, [&](size_t lo, size_t hi) {
           for (size_t g = lo; g < hi; ++g) {
-            group_streams[g] = SparseCodec::EncodeGroup(organized[g].polylines,
-                                                        groups[g].params);
+            group_streams[g] = SparseCodec::EncodeGroup(
+                organized[g].polylines, groups[g].params,
+                params.entropy_backend);
           }
         });
     DBGC_CHECK(spa_status.ok());
@@ -194,8 +196,10 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
     TraceSpan t(Stage::kOutlier, &info->timings.outlier);
     std::vector<uint32_t> outlier_order;
     DBGC_ASSIGN_OR_RETURN(
-        b_outlier, OutlierCodec::Compress(pc, outlier_indices, opt.q_xyz,
-                                          opt.outlier_mode, &outlier_order));
+        b_outlier,
+        OutlierCodec::Compress(pc, outlier_indices, opt.q_xyz,
+                               opt.outlier_mode, &outlier_order,
+                               params.entropy_backend));
     for (uint32_t idx : outlier_order) info->point_mapping.push_back(idx);
   }
   info->bytes_outlier = b_outlier.size();
@@ -225,13 +229,30 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
 
 Result<PointCloud> DbgcCodec::DecompressImpl(
     const ByteBuffer& buffer, const DecompressParams& params) const {
-  (void)params;  // Decode follows one sequential stream layout.
+  // The NVI wrapper already stripped the container version byte.
   DbgcDecompressInfo info;
-  return DecompressWithInfo(buffer, &info);
+  return DecompressPayload(buffer, params.entropy_backend, &info);
 }
 
 Result<PointCloud> DbgcCodec::DecompressWithInfo(
     const ByteBuffer& buffer, DbgcDecompressInfo* info) const {
+  // Public instrumented entry point: sees the same container-framed streams
+  // as Decompress, so it strips and dispatches the version byte itself.
+  if (buffer.size() == 0) {
+    return Status::Corruption("dbgc: missing entropy version byte");
+  }
+  EntropyBackend backend;
+  if (!EntropyBackendFromVersionByte(buffer[0], &backend)) {
+    return Status::Corruption("dbgc: unsupported entropy version byte");
+  }
+  ByteBuffer payload;
+  payload.Append(buffer.data() + 1, buffer.size() - 1);
+  return DecompressPayload(payload, backend, info);
+}
+
+Result<PointCloud> DbgcCodec::DecompressPayload(
+    const ByteBuffer& buffer, EntropyBackend backend,
+    DbgcDecompressInfo* info) const {
   *info = DbgcDecompressInfo();
   ByteReader reader(buffer);
   uint8_t magic[4];
@@ -259,7 +280,8 @@ Result<PointCloud> DbgcCodec::DecompressWithInfo(
     DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&b_dense));
     if (!b_dense.empty()) {
       DBGC_ASSIGN_OR_RETURN(OctreeStructure tree,
-                            OctreeCodec::DeserializeStructure(b_dense));
+                            OctreeCodec::DeserializeStructure(
+                                b_dense, backend));
       const PointCloud dense = Octree::ExtractPoints(tree);
       for (const Point3& p : dense) out.Add(p);
     }
@@ -282,7 +304,8 @@ Result<PointCloud> DbgcCodec::DecompressWithInfo(
     std::vector<Polyline> lines;
     {
       obs::ScopedTimer t(&info->timings.sparse);
-      DBGC_RETURN_NOT_OK(SparseCodec::DecodeGroup(stream, params, &lines));
+      DBGC_RETURN_NOT_OK(
+          SparseCodec::DecodeGroup(stream, params, &lines, backend));
     }
     {
       obs::ScopedTimer t(&info->timings.conversion);
@@ -300,7 +323,8 @@ Result<PointCloud> DbgcCodec::DecompressWithInfo(
     ByteBuffer b_outlier;
     DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&b_outlier));
     DBGC_ASSIGN_OR_RETURN(PointCloud outliers,
-                          OutlierCodec::Decompress(b_outlier, outlier_mode));
+                          OutlierCodec::Decompress(b_outlier, outlier_mode,
+                                                   backend));
     for (const Point3& p : outliers) out.Add(p);
   }
   return out;

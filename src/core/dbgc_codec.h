@@ -68,7 +68,9 @@ class DbgcCodec : public GeometryCodec {
   Result<ByteBuffer> CompressWithInfo(const PointCloud& pc,
                                       DbgcCompressInfo* info) const;
 
-  /// Decompression with stage timings.
+  /// Decompression with stage timings. Accepts the same container-framed
+  /// streams as Decompress (the leading entropy version byte is stripped
+  /// and dispatched here).
   Result<PointCloud> DecompressWithInfo(const ByteBuffer& buffer,
                                         DbgcDecompressInfo* info) const;
 
@@ -85,6 +87,12 @@ class DbgcCodec : public GeometryCodec {
       const ByteBuffer& buffer, const DecompressParams& params) const override;
 
  private:
+  /// Shared decode body over the unframed payload (container version byte
+  /// already stripped, its backend passed explicitly).
+  Result<PointCloud> DecompressPayload(const ByteBuffer& payload,
+                                       EntropyBackend backend,
+                                       DbgcDecompressInfo* info) const;
+
   DbgcOptions options_;
 };
 

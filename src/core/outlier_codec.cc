@@ -8,7 +8,7 @@
 #include "encoding/delta.h"
 #include "encoding/quantizer.h"
 #include "encoding/value_codec.h"
-#include "entropy/arithmetic_coder.h"
+#include "entropy/entropy_coder.h"
 #include "spatial/octree.h"
 #include "spatial/quadtree.h"
 
@@ -16,7 +16,8 @@ namespace dbgc {
 
 namespace {
 
-ByteBuffer SerializeQuadtree(const QuadtreeStructure& tree) {
+ByteBuffer SerializeQuadtree(const QuadtreeStructure& tree,
+                             EntropyBackend backend) {
   ByteBuffer out;
   out.AppendDouble(tree.origin_x);
   out.AppendDouble(tree.origin_y);
@@ -25,7 +26,7 @@ ByteBuffer SerializeQuadtree(const QuadtreeStructure& tree) {
   PutVarint64(&out, tree.num_leaves());
 
   AdaptiveModel model(16);
-  ArithmeticEncoder enc;
+  EntropyEncoder enc(backend);
   for (const auto& level : tree.levels) {
     for (uint8_t occ : level) {
       enc.Encode(model.Lookup(occ));
@@ -37,11 +38,13 @@ ByteBuffer SerializeQuadtree(const QuadtreeStructure& tree) {
   std::vector<uint64_t> extra_counts;
   extra_counts.reserve(tree.leaf_counts.size());
   for (uint32_t c : tree.leaf_counts) extra_counts.push_back(c - 1);
-  out.AppendLengthPrefixed(UnsignedValueCodec::Compress(extra_counts));
+  out.AppendLengthPrefixed(
+      UnsignedValueCodec::Compress(extra_counts, backend));
   return out;
 }
 
-Result<QuadtreeStructure> DeserializeQuadtree(ByteReader* reader) {
+Result<QuadtreeStructure> DeserializeQuadtree(ByteReader* reader,
+                                              EntropyBackend backend) {
   QuadtreeStructure tree;
   DBGC_RETURN_NOT_OK(reader->ReadDouble(&tree.origin_x));
   DBGC_RETURN_NOT_OK(reader->ReadDouble(&tree.origin_y));
@@ -65,7 +68,7 @@ Result<QuadtreeStructure> DeserializeQuadtree(ByteReader* reader) {
   if (num_leaves == 0) return tree;
 
   AdaptiveModel model(16);
-  ArithmeticDecoder dec(occ_stream);
+  EntropyDecoder dec(occ_stream, backend);
   size_t nodes_at_level = 1;
   for (int l = 0; l < tree.depth; ++l) {
     auto& level = tree.levels[l];
@@ -92,8 +95,8 @@ Result<QuadtreeStructure> DeserializeQuadtree(ByteReader* reader) {
   }
 
   std::vector<uint64_t> extra_counts;
-  DBGC_RETURN_NOT_OK(
-      UnsignedValueCodec::Decompress(counts_stream, &extra_counts));
+  DBGC_RETURN_NOT_OK(UnsignedValueCodec::Decompress(
+      counts_stream, &extra_counts, backend));
   if (extra_counts.size() != num_leaves) {
     return Status::Corruption("outlier codec: quadtree counts mismatch");
   }
@@ -107,7 +110,8 @@ Result<QuadtreeStructure> DeserializeQuadtree(ByteReader* reader) {
 
 Result<ByteBuffer> OutlierCodec::Compress(
     const PointCloud& pc, const std::vector<uint32_t>& indices, double q_xyz,
-    OutlierMode mode, std::vector<uint32_t>* encoded_order) {
+    OutlierMode mode, std::vector<uint32_t>* encoded_order,
+    EntropyBackend backend) {
   encoded_order->clear();
   ByteBuffer out;
   PutVarint64(&out, indices.size());
@@ -146,7 +150,8 @@ Result<ByteBuffer> OutlierCodec::Compress(
                        [&](size_t a, size_t b) { return keys[a] < keys[b]; });
       encoded_order->reserve(indices.size());
       for (size_t i : perm) encoded_order->push_back(indices[i]);
-      out.AppendLengthPrefixed(OctreeCodec::SerializeStructure(tree));
+      out.AppendLengthPrefixed(
+          OctreeCodec::SerializeStructure(tree, backend));
       return out;
     }
     case OutlierMode::kQuadtree:
@@ -179,14 +184,15 @@ Result<ByteBuffer> OutlierCodec::Compress(
   }
 
   out.AppendDouble(q_xyz);
-  out.AppendLengthPrefixed(SerializeQuadtree(tree));
+  out.AppendLengthPrefixed(SerializeQuadtree(tree, backend));
   out.AppendLengthPrefixed(
-      SignedValueCodec::Compress(DeltaEncode(z_values)));  // B_delta_z
+      SignedValueCodec::Compress(DeltaEncode(z_values), backend));  // B_delta_z
   return out;
 }
 
 Result<PointCloud> OutlierCodec::Decompress(const ByteBuffer& buffer,
-                                            OutlierMode mode) {
+                                            OutlierMode mode,
+                                            EntropyBackend backend) {
   ByteReader reader(buffer);
   uint64_t count;
   DBGC_RETURN_NOT_OK(GetVarint64(&reader, &count));
@@ -212,7 +218,8 @@ Result<PointCloud> OutlierCodec::Decompress(const ByteBuffer& buffer,
       ByteBuffer tree_stream;
       DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&tree_stream));
       DBGC_ASSIGN_OR_RETURN(OctreeStructure tree,
-                            OctreeCodec::DeserializeStructure(tree_stream));
+                            OctreeCodec::DeserializeStructure(
+                                tree_stream, backend));
       PointCloud sub = Octree::ExtractPoints(tree);
       if (sub.size() != count) {
         return Status::Corruption("outlier codec: octree point mismatch");
@@ -231,13 +238,14 @@ Result<PointCloud> OutlierCodec::Decompress(const ByteBuffer& buffer,
 
   ByteReader tree_reader(tree_stream);
   DBGC_ASSIGN_OR_RETURN(QuadtreeStructure tree,
-                        DeserializeQuadtree(&tree_reader));
+                        DeserializeQuadtree(&tree_reader, backend));
   const std::vector<Point2> xy = Quadtree::ExtractPoints(tree);
   if (xy.size() != count) {
     return Status::Corruption("outlier codec: quadtree point mismatch");
   }
   std::vector<int64_t> z_deltas;
-  DBGC_RETURN_NOT_OK(SignedValueCodec::Decompress(z_stream, &z_deltas));
+  DBGC_RETURN_NOT_OK(
+      SignedValueCodec::Decompress(z_stream, &z_deltas, backend));
   if (z_deltas.size() != count) {
     return Status::Corruption("outlier codec: z stream mismatch");
   }

@@ -16,6 +16,7 @@
 #include "common/point_cloud.h"
 #include "common/status.h"
 #include "core/options.h"
+#include "entropy/entropy_backend.h"
 
 namespace dbgc {
 
@@ -28,11 +29,13 @@ class OutlierCodec {
   static Result<ByteBuffer> Compress(const PointCloud& pc,
                                      const std::vector<uint32_t>& indices,
                                      double q_xyz, OutlierMode mode,
-                                     std::vector<uint32_t>* encoded_order);
+                                     std::vector<uint32_t>* encoded_order,
+                                     EntropyBackend backend = kDefaultEntropyBackend);
 
-  /// Decompresses an outlier stream produced with the same mode.
+  /// Decompresses an outlier stream produced with the same mode/backend.
   static Result<PointCloud> Decompress(const ByteBuffer& buffer,
-                                       OutlierMode mode);
+                                       OutlierMode mode,
+                                       EntropyBackend backend = kDefaultEntropyBackend);
 };
 
 }  // namespace dbgc

@@ -7,7 +7,7 @@
 #include "common/safe_math.h"
 #include "encoding/delta.h"
 #include "encoding/value_codec.h"
-#include "entropy/arithmetic_coder.h"
+#include "entropy/entropy_coder.h"
 #include "core/reference_polyline.h"
 #include "lz/deflate.h"
 #include "obs/trace.h"
@@ -22,6 +22,40 @@ std::vector<uint8_t> ToVarintBytes(const std::vector<int64_t>& values) {
   ByteBuffer buf;
   for (int64_t v : values) PutSignedVarint64(&buf, v);
   return buf.bytes();
+}
+
+// Theta residual byte streams are format-versioned: v1 Deflates the varint
+// bytes, v2 feeds them through the adaptive order-0 byte model under the
+// range coder. On these heavily skewed delta streams the adaptive model is
+// both smaller and about twice as fast as the LZ77 match finder, and it
+// keeps the whole ENT stage on the versioned backend (docs/ENTROPY.md).
+ByteBuffer CompressThetaBytes(const std::vector<uint8_t>& bytes,
+                              EntropyBackend backend) {
+  if (backend == EntropyBackend::kArithmeticV1) return Deflate::Compress(bytes);
+  ByteBuffer out;
+  PutVarint64(&out, bytes.size());
+  const std::vector<uint32_t> symbols(bytes.begin(), bytes.end());
+  out.AppendLengthPrefixed(EntropyCompress(symbols, 256, backend));
+  return out;
+}
+
+Status DecompressThetaBytes(const ByteBuffer& buf, EntropyBackend backend,
+                            std::vector<uint8_t>* bytes) {
+  if (backend == EntropyBackend::kArithmeticV1) {
+    return Deflate::Decompress(buf, bytes);
+  }
+  ByteReader reader(buf);
+  uint64_t count = 0;
+  DBGC_RETURN_NOT_OK(GetVarint64(&reader, &count));
+  ByteBuffer coded;
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&coded));
+  // `count` is untrusted; EntropyDecompress bounds the reservation against
+  // the coded payload size before decoding.
+  std::vector<uint32_t> symbols;
+  DBGC_RETURN_NOT_OK(EntropyDecompress(coded, 256, count, backend, &symbols));
+  // DBGC_LINT_ALLOW(R2): count EntropyDecompress reserved under BoundedAlloc.
+  bytes->assign(symbols.begin(), symbols.end());
+  return Status::OK();
 }
 
 Status FromVarintBytes(const std::vector<uint8_t>& bytes, size_t count,
@@ -117,7 +151,8 @@ RadialDecision DecideReference(const std::vector<Polyline>& lines,
 }  // namespace
 
 ByteBuffer SparseCodec::EncodeGroup(const std::vector<Polyline>& lines,
-                                    const SparseGroupParams& params) {
+                                    const SparseGroupParams& params,
+                                    EntropyBackend backend) {
   // --- Steps 3-5: lengths and reorganized head/tail sequences. ---
   std::vector<uint64_t> lengths;
   std::vector<int64_t> theta_heads, phi_heads;
@@ -171,26 +206,31 @@ ByteBuffer SparseCodec::EncodeGroup(const std::vector<Polyline>& lines,
   PutVarint64(&out, lines.size());
   if (lines.empty()) return out;
 
-  out.AppendLengthPrefixed(UnsignedValueCodec::Compress(lengths));  // B_len
-  // Step 6: theta -> delta across heads, Deflate on both sequences.
   out.AppendLengthPrefixed(
-      Deflate::Compress(ToVarintBytes(DeltaEncode(theta_heads))));
+      UnsignedValueCodec::Compress(lengths, backend));  // B_len
+  // Step 6: theta -> delta across heads, versioned byte-stream codec.
   out.AppendLengthPrefixed(
-      Deflate::Compress(ToVarintBytes(theta_tail_deltas)));
+      CompressThetaBytes(ToVarintBytes(DeltaEncode(theta_heads)), backend));
+  out.AppendLengthPrefixed(
+      CompressThetaBytes(ToVarintBytes(theta_tail_deltas), backend));
   // Step 7: phi -> delta across heads, arithmetic coding.
   out.AppendLengthPrefixed(
-      SignedValueCodec::Compress(DeltaEncode(phi_heads)));
-  out.AppendLengthPrefixed(SignedValueCodec::Compress(phi_tail_deltas));
+      SignedValueCodec::Compress(DeltaEncode(phi_heads), backend));
+  out.AppendLengthPrefixed(
+      SignedValueCodec::Compress(phi_tail_deltas, backend));
   // Step 8 outputs.
-  out.AppendLengthPrefixed(SignedValueCodec::Compress(nabla_r));  // B_nabla_r
+  out.AppendLengthPrefixed(
+      SignedValueCodec::Compress(nabla_r, backend));  // B_nabla_r
   PutVarint64(&out, ref_symbols.size());
-  out.AppendLengthPrefixed(ArithmeticCompress(ref_symbols, 4));   // B_ref
+  out.AppendLengthPrefixed(
+      EntropyCompress(ref_symbols, 4, backend));  // B_ref
   return out;
 }
 
 Status SparseCodec::DecodeGroup(const ByteBuffer& buffer,
                                 const SparseGroupParams& params,
-                                std::vector<Polyline>* lines) {
+                                std::vector<Polyline>* lines,
+                                EntropyBackend backend) {
   lines->clear();
   ByteReader reader(buffer);
   uint64_t num_lines;
@@ -211,7 +251,8 @@ Status SparseCodec::DecodeGroup(const ByteBuffer& buffer,
 
   // Lengths.
   std::vector<uint64_t> lengths;
-  DBGC_RETURN_NOT_OK(UnsignedValueCodec::Decompress(b_len, &lengths));
+  DBGC_RETURN_NOT_OK(
+      UnsignedValueCodec::Decompress(b_len, &lengths, backend));
   if (lengths.size() != num_lines) {
     return Status::Corruption("sparse codec: length stream mismatch");
   }
@@ -228,8 +269,8 @@ Status SparseCodec::DecodeGroup(const ByteBuffer& buffer,
 
   // Theta.
   std::vector<uint8_t> head_bytes, tail_bytes;
-  DBGC_RETURN_NOT_OK(Deflate::Decompress(b_theta_head, &head_bytes));
-  DBGC_RETURN_NOT_OK(Deflate::Decompress(b_theta_tail, &tail_bytes));
+  DBGC_RETURN_NOT_OK(DecompressThetaBytes(b_theta_head, backend, &head_bytes));
+  DBGC_RETURN_NOT_OK(DecompressThetaBytes(b_theta_tail, backend, &tail_bytes));
   std::vector<int64_t> theta_head_deltas, theta_tail_deltas;
   DBGC_RETURN_NOT_OK(
       FromVarintBytes(head_bytes, num_lines, &theta_head_deltas));
@@ -239,8 +280,10 @@ Status SparseCodec::DecodeGroup(const ByteBuffer& buffer,
 
   // Phi.
   std::vector<int64_t> phi_head_deltas, phi_tail_deltas;
-  DBGC_RETURN_NOT_OK(SignedValueCodec::Decompress(b_phi_head, &phi_head_deltas));
-  DBGC_RETURN_NOT_OK(SignedValueCodec::Decompress(b_phi_tail, &phi_tail_deltas));
+  DBGC_RETURN_NOT_OK(
+      SignedValueCodec::Decompress(b_phi_head, &phi_head_deltas, backend));
+  DBGC_RETURN_NOT_OK(
+      SignedValueCodec::Decompress(b_phi_tail, &phi_tail_deltas, backend));
   if (phi_head_deltas.size() != num_lines ||
       phi_tail_deltas.size() != total_tail) {
     return Status::Corruption("sparse codec: phi stream mismatch");
@@ -268,13 +311,14 @@ Status SparseCodec::DecodeGroup(const ByteBuffer& buffer,
 
   // Radial replay.
   std::vector<int64_t> nabla_r;
-  DBGC_RETURN_NOT_OK(SignedValueCodec::Decompress(b_nabla_r, &nabla_r));
+  DBGC_RETURN_NOT_OK(
+      SignedValueCodec::Decompress(b_nabla_r, &nabla_r, backend));
   if (nabla_r.size() != total_points) {
     return Status::Corruption("sparse codec: nabla_r stream mismatch");
   }
   std::vector<uint32_t> ref_symbols;
   DBGC_RETURN_NOT_OK(
-      ArithmeticDecompress(b_ref, 4, num_ref_symbols, &ref_symbols));
+      EntropyDecompress(b_ref, 4, num_ref_symbols, backend, &ref_symbols));
 
   size_t r_cursor = 0;
   size_t symbol_cursor = 0;

@@ -26,6 +26,7 @@
 #include "common/point_cloud.h"
 #include "common/status.h"
 #include "core/polyline.h"
+#include "entropy/entropy_backend.h"
 
 namespace dbgc {
 
@@ -45,13 +46,15 @@ class SparseCodec {
   /// Encodes the organized polylines of one group into B_sparse_n.
   /// `lines` must be sorted (Section 3.4) with quantized coordinates.
   static ByteBuffer EncodeGroup(const std::vector<Polyline>& lines,
-                                const SparseGroupParams& params);
+                                const SparseGroupParams& params,
+                                EntropyBackend backend = kDefaultEntropyBackend);
 
   /// Decodes a group stream back into quantized polylines (source_indices
-  /// left empty).
+  /// left empty). `backend` must match the encoder's.
   static Status DecodeGroup(const ByteBuffer& buffer,
                             const SparseGroupParams& params,
-                            std::vector<Polyline>* lines);
+                            std::vector<Polyline>* lines,
+                            EntropyBackend backend = kDefaultEntropyBackend);
 };
 
 }  // namespace dbgc

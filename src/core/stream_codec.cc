@@ -15,10 +15,14 @@ DbgcStreamWriter::DbgcStreamWriter(DbgcOptions options)
     : codec_(options) {}
 
 Result<size_t> DbgcStreamWriter::AddFrame(const PointCloud& pc) {
-  DBGC_ASSIGN_OR_RETURN(ByteBuffer compressed, [&]() -> Result<ByteBuffer> {
-    DbgcCompressInfo info;
-    return codec_.CompressWithInfo(pc, &info);
-  }());
+  CompressParams params;
+  params.q_xyz = codec_.options().q_xyz;
+  return AddFrame(pc, params);
+}
+
+Result<size_t> DbgcStreamWriter::AddFrame(const PointCloud& pc,
+                                          const CompressParams& params) {
+  DBGC_ASSIGN_OR_RETURN(ByteBuffer compressed, codec_.Compress(pc, params));
   frame_sizes_.push_back(compressed.size());
   payload_.Append(compressed);
   return static_cast<size_t>(compressed.size());

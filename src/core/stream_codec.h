@@ -24,8 +24,14 @@ class DbgcStreamWriter {
   /// Creates a writer compressing every frame with `options`.
   explicit DbgcStreamWriter(DbgcOptions options = DbgcOptions());
 
-  /// Compresses and appends one frame. Returns its compressed size.
+  /// Compresses and appends one frame with the writer's options (their
+  /// q_xyz, default entropy backend). Returns its compressed size.
   Result<size_t> AddFrame(const PointCloud& pc);
+
+  /// AddFrame with explicit per-frame params (thread budget, entropy
+  /// backend). params.q_xyz is used as-is; each frame records its own
+  /// entropy version byte, so backends may vary across a stream.
+  Result<size_t> AddFrame(const PointCloud& pc, const CompressParams& params);
 
   /// Number of frames appended so far.
   size_t frame_count() const { return frame_sizes_.size(); }

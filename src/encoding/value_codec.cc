@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "bitio/varint.h"
-#include "entropy/arithmetic_coder.h"
+#include "entropy/entropy_coder.h"
 
 namespace dbgc {
 
@@ -26,9 +26,10 @@ int ValueBitWidth(uint64_t v) {
   return w;
 }
 
-ByteBuffer CompressUnsigned(const std::vector<uint64_t>& values) {
+ByteBuffer CompressUnsigned(const std::vector<uint64_t>& values,
+                            EntropyBackend backend) {
   AdaptiveModel model(kAlphabet);
-  ArithmeticEncoder enc;
+  EntropyEncoder enc(backend);
   // Remainder bits are collected into a separate raw section so the
   // arithmetic stream stays byte-aligned and simple.
   std::vector<uint8_t> raw_bits;
@@ -70,7 +71,8 @@ ByteBuffer CompressUnsigned(const std::vector<uint64_t>& values) {
   return out;
 }
 
-Status DecompressUnsigned(const ByteBuffer& buf, std::vector<uint64_t>* out) {
+Status DecompressUnsigned(const ByteBuffer& buf, std::vector<uint64_t>* out,
+                          EntropyBackend backend) {
   out->clear();
   ByteReader reader(buf);
   uint64_t count;
@@ -88,7 +90,7 @@ Status DecompressUnsigned(const ByteBuffer& buf, std::vector<uint64_t>* out) {
   const uint8_t* raw = buf.data() + reader.position();
 
   AdaptiveModel model(kAlphabet);
-  ArithmeticDecoder dec(arith);
+  EntropyDecoder dec(arith, backend);
   size_t bit_pos = 0;
   auto get_bit = [&]() -> int {
     const size_t byte = bit_pos / 8;
@@ -131,30 +133,34 @@ Status DecompressUnsigned(const ByteBuffer& buf, std::vector<uint64_t>* out) {
 
 }  // namespace
 
-ByteBuffer SignedValueCodec::Compress(const std::vector<int64_t>& values) {
+ByteBuffer SignedValueCodec::Compress(const std::vector<int64_t>& values,
+                                      EntropyBackend backend) {
   std::vector<uint64_t> mapped;
   mapped.reserve(values.size());
   for (int64_t v : values) mapped.push_back(ZigZagEncode(v));
-  return CompressUnsigned(mapped);
+  return CompressUnsigned(mapped, backend);
 }
 
 Status SignedValueCodec::Decompress(const ByteBuffer& buf,
-                                    std::vector<int64_t>* out) {
+                                    std::vector<int64_t>* out,
+                                    EntropyBackend backend) {
   std::vector<uint64_t> mapped;
-  DBGC_RETURN_NOT_OK(DecompressUnsigned(buf, &mapped));
+  DBGC_RETURN_NOT_OK(DecompressUnsigned(buf, &mapped, backend));
   out->clear();
   out->reserve(mapped.size());
   for (uint64_t u : mapped) out->push_back(ZigZagDecode(u));
   return Status::OK();
 }
 
-ByteBuffer UnsignedValueCodec::Compress(const std::vector<uint64_t>& values) {
-  return CompressUnsigned(values);
+ByteBuffer UnsignedValueCodec::Compress(const std::vector<uint64_t>& values,
+                                        EntropyBackend backend) {
+  return CompressUnsigned(values, backend);
 }
 
 Status UnsignedValueCodec::Decompress(const ByteBuffer& buf,
-                                      std::vector<uint64_t>* out) {
-  return DecompressUnsigned(buf, out);
+                                      std::vector<uint64_t>* out,
+                                      EntropyBackend backend) {
+  return DecompressUnsigned(buf, out, backend);
 }
 
 }  // namespace dbgc

@@ -17,27 +17,35 @@
 
 #include "bitio/byte_buffer.h"
 #include "common/status.h"
+#include "entropy/entropy_backend.h"
 
 namespace dbgc {
 
-/// Arithmetic-coded signed-value sequence codec.
+/// Entropy-coded signed-value sequence codec.
 class SignedValueCodec {
  public:
-  /// Compresses a sequence of signed values. The stream records its length.
-  static ByteBuffer Compress(const std::vector<int64_t>& values);
+  /// Compresses a sequence of signed values with the selected entropy
+  /// backend. The stream records its length but not the backend; the
+  /// container version byte carries that.
+  static ByteBuffer Compress(const std::vector<int64_t>& values,
+                             EntropyBackend backend = kDefaultEntropyBackend);
 
-  /// Decompresses a stream produced by Compress.
-  static Status Decompress(const ByteBuffer& buf, std::vector<int64_t>* out);
+  /// Decompresses a stream produced by Compress with the same backend.
+  static Status Decompress(const ByteBuffer& buf, std::vector<int64_t>* out,
+                           EntropyBackend backend = kDefaultEntropyBackend);
 };
 
 /// The same bucket scheme for unsigned values.
 class UnsignedValueCodec {
  public:
-  /// Compresses a sequence of unsigned values. The stream records its length.
-  static ByteBuffer Compress(const std::vector<uint64_t>& values);
+  /// Compresses a sequence of unsigned values with the selected entropy
+  /// backend. The stream records its length.
+  static ByteBuffer Compress(const std::vector<uint64_t>& values,
+                             EntropyBackend backend = kDefaultEntropyBackend);
 
-  /// Decompresses a stream produced by Compress.
-  static Status Decompress(const ByteBuffer& buf, std::vector<uint64_t>* out);
+  /// Decompresses a stream produced by Compress with the same backend.
+  static Status Decompress(const ByteBuffer& buf, std::vector<uint64_t>* out,
+                           EntropyBackend backend = kDefaultEntropyBackend);
 };
 
 }  // namespace dbgc

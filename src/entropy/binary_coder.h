@@ -8,7 +8,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "entropy/arithmetic_coder.h"
+#include "entropy/entropy_coder.h"
 
 namespace dbgc {
 
@@ -61,11 +61,13 @@ class AdaptiveBitModel {
   uint32_t c1_ = 1;
 };
 
-/// Encoder for context-modelled bits on top of ArithmeticEncoder.
+/// Encoder for context-modelled bits on top of EntropyEncoder.
 class BinaryEncoder {
  public:
   /// Creates an encoder with `num_contexts` independent bit models.
-  explicit BinaryEncoder(size_t num_contexts) : models_(num_contexts) {}
+  explicit BinaryEncoder(size_t num_contexts,
+                         EntropyBackend backend = kDefaultEntropyBackend)
+      : enc_(backend), models_(num_contexts) {}
 
   /// Encodes `bit` under context `ctx` and updates the context model.
   void EncodeBit(size_t ctx, int bit) {
@@ -77,15 +79,16 @@ class BinaryEncoder {
   ByteBuffer Finish() { return enc_.Finish(); }
 
  private:
-  ArithmeticEncoder enc_;
+  EntropyEncoder enc_;
   std::vector<AdaptiveBitModel> models_;
 };
 
 /// Decoder matching BinaryEncoder.
 class BinaryDecoder {
  public:
-  BinaryDecoder(const ByteBuffer& buf, size_t num_contexts)
-      : dec_(buf), models_(num_contexts) {}
+  BinaryDecoder(const ByteBuffer& buf, size_t num_contexts,
+                EntropyBackend backend = kDefaultEntropyBackend)
+      : dec_(buf, backend), models_(num_contexts) {}
 
   /// Decodes one bit under context `ctx`.
   int DecodeBit(size_t ctx) {
@@ -99,7 +102,7 @@ class BinaryDecoder {
   }
 
  private:
-  ArithmeticDecoder dec_;
+  EntropyDecoder dec_;
   std::vector<AdaptiveBitModel> models_;
 };
 

@@ -1,0 +1,57 @@
+// Entropy-backend selection and the container-level bitstream version byte.
+//
+// Every compressed frame produced by GeometryCodec::Compress is prefixed by
+// one version byte identifying the entropy backend that coded the payload:
+//
+//   0x01  v1: Witten–Neal–Cleary bit-wise arithmetic coder
+//   0x02  v2: byte-renormalizing range coder (default)
+//
+// Decoders dispatch on this byte, so every v1 stream ever written stays
+// decodable after the default flipped to v2. See docs/ENTROPY.md for the
+// full back-compat policy.
+//
+// This header is intentionally dependency-free so src/codec/codec.h can
+// include it without pulling in coder implementations.
+
+#ifndef DBGC_ENTROPY_ENTROPY_BACKEND_H_
+#define DBGC_ENTROPY_ENTROPY_BACKEND_H_
+
+#include <cstdint>
+
+namespace dbgc {
+
+/// Which entropy coder implementation frames a bitstream.
+enum class EntropyBackend : uint8_t {
+  kArithmeticV1 = 1,  ///< WNC bit-wise arithmetic coder (legacy streams).
+  kRangeV2 = 2,       ///< Byte-renormalizing range coder.
+};
+
+/// The backend new streams are written with unless a caller overrides
+/// CompressParams::entropy_backend.
+inline constexpr EntropyBackend kDefaultEntropyBackend =
+    EntropyBackend::kRangeV2;
+
+/// The container version byte for a backend (the enum value is the wire
+/// byte; this helper names the conversion at the single dispatch site).
+inline constexpr uint8_t EntropyVersionByte(EntropyBackend backend) {
+  return static_cast<uint8_t>(backend);
+}
+
+/// Maps a container version byte back to a backend. Returns false for
+/// unknown versions (corrupt or future streams).
+inline bool EntropyBackendFromVersionByte(uint8_t byte, EntropyBackend* out) {
+  switch (byte) {
+    case static_cast<uint8_t>(EntropyBackend::kArithmeticV1):
+      *out = EntropyBackend::kArithmeticV1;
+      return true;
+    case static_cast<uint8_t>(EntropyBackend::kRangeV2):
+      *out = EntropyBackend::kRangeV2;
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace dbgc
+
+#endif  // DBGC_ENTROPY_ENTROPY_BACKEND_H_

@@ -1,0 +1,40 @@
+#include "entropy/entropy_coder.h"
+
+#include "common/check.h"
+#include "common/contracts.h"
+
+namespace dbgc {
+
+ByteBuffer EntropyCompress(const std::vector<uint32_t>& symbols,
+                           uint32_t alphabet_size, EntropyBackend backend) {
+  AdaptiveModel model(alphabet_size);
+  EntropyEncoder enc(backend);
+  for (uint32_t s : symbols) {
+    enc.Encode(model.Lookup(s));
+    model.Update(s);
+  }
+  return enc.Finish();
+}
+
+Status EntropyDecompress(const ByteBuffer& buf, uint32_t alphabet_size,
+                         size_t count, EntropyBackend backend,
+                         std::vector<uint32_t>* out) {
+  out->clear();
+  // Callers pass decoded counts here, so guard the reservation even though
+  // `count` is a parameter: symbols are entropy-coded with no byte floor.
+  const BoundedAlloc alloc(buf.size());
+  DBGC_RETURN_NOT_OK(alloc.ReserveSpeculative(out, count, "entropy symbols"));
+  AdaptiveModel model(alphabet_size);
+  EntropyDecoder dec(buf, backend);
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t target = dec.DecodeTarget(model.total());
+    SymbolRange range;
+    const uint32_t symbol = model.FindSymbol(target, &range);
+    dec.Advance(range);
+    model.Update(symbol);
+    out->push_back(symbol);
+  }
+  return Status::OK();
+}
+
+}  // namespace dbgc

@@ -1,0 +1,99 @@
+#include "entropy/range_coder.h"
+
+#include "common/check.h"
+
+namespace dbgc {
+
+namespace {
+// Renormalization threshold: shift out an 8-bit digit whenever the range
+// drops below 2^24. With SymbolRange::total <= 2^16 this keeps
+// range_/total >= 2^8, so the unit never truncates to zero.
+constexpr uint32_t kTopValue = 1u << 24;
+}  // namespace
+
+void RangeEncoder::Encode(const SymbolRange& range) {
+  DBGC_CHECK(range.cum_low < range.cum_high && range.cum_high <= range.total);
+  const uint32_t unit = range_ / range.total;
+  low_ += static_cast<uint64_t>(unit) * range.cum_low;
+  if (range.cum_high == range.total) {
+    // The top symbol absorbs the rounding slack range_ - unit*total.
+    range_ -= unit * range.cum_low;
+  } else {
+    range_ = unit * (range.cum_high - range.cum_low);
+  }
+  while (range_ < kTopValue) {
+    ShiftLow();
+    range_ <<= 8;
+  }
+}
+
+void RangeEncoder::ShiftLow() {
+  // Emit the cached byte once a carry into it is resolved either way: the
+  // low 32 bits being below 0xFF000000 means no later carry can reach it,
+  // and bit 32 being set means the carry already happened.
+  if (static_cast<uint32_t>(low_) < 0xFF000000u || (low_ >> 32) != 0) {
+    const uint8_t carry = static_cast<uint8_t>(low_ >> 32);
+    bytes_.push_back(static_cast<uint8_t>(cache_ + carry));
+    while (pending_ > 0) {
+      bytes_.push_back(static_cast<uint8_t>(0xFFu + carry));
+      --pending_;
+    }
+    cache_ = static_cast<uint8_t>(low_ >> 24);
+  } else {
+    ++pending_;  // 0xFF digit: carry resolution deferred.
+  }
+  low_ = (low_ & 0x00FFFFFFu) << 8;
+}
+
+ByteBuffer RangeEncoder::Finish() {
+  // Flush the cache byte plus all 32 bits of low: any value inside the
+  // final interval disambiguates, and low itself is in it.
+  for (int i = 0; i < 5; ++i) ShiftLow();
+  ByteBuffer out(std::move(bytes_));
+  bytes_.clear();
+  low_ = 0;
+  range_ = 0xFFFFFFFFu;
+  cache_ = 0;
+  pending_ = 0;
+  return out;
+}
+
+RangeDecoder::RangeDecoder(const ByteBuffer& buf)
+    : RangeDecoder(buf.data(), buf.size()) {}
+
+RangeDecoder::RangeDecoder(const uint8_t* data, size_t size)
+    : data_(data), size_(size) {
+  NextByte();  // The encoder's initial zero cache byte.
+  for (int i = 0; i < 4; ++i) {
+    code_ = (code_ << 8) | NextByte();
+  }
+}
+
+uint8_t RangeDecoder::NextByte() {
+  if (pos_ >= size_) return 0;  // Zero-extension past the stream end.
+  return data_[pos_++];
+}
+
+uint32_t RangeDecoder::DecodeTarget(uint32_t total) const {
+  const uint32_t unit = range_ / total;
+  const uint32_t target = code_ / unit;
+  // code_ can land in the rounding slack above unit*total; that region
+  // belongs to the top symbol.
+  return target >= total ? total - 1 : target;
+}
+
+void RangeDecoder::Advance(const SymbolRange& range) {
+  const uint32_t unit = range_ / range.total;
+  code_ -= unit * range.cum_low;
+  if (range.cum_high == range.total) {
+    range_ -= unit * range.cum_low;
+  } else {
+    range_ = unit * (range.cum_high - range.cum_low);
+  }
+  while (range_ < kTopValue) {
+    code_ = (code_ << 8) | NextByte();
+    range_ <<= 8;
+  }
+}
+
+}  // namespace dbgc

@@ -1,0 +1,84 @@
+// Byte-renormalizing range coder (64-bit low / 32-bit range, 8-bit digits).
+//
+// Same SymbolRange protocol and encode/decode surface as ArithmeticCoder,
+// but renormalization emits whole bytes instead of single bits: the encoder
+// keeps a 64-bit low accumulator whose upper bits carry-propagate through a
+// cached byte plus a run of pending 0xFF bytes, and both sides shift out an
+// 8-bit digit whenever the 32-bit range drops below 2^24. This is the v2
+// backend behind the container version byte (entropy_backend.h); the cut in
+// per-symbol renormalization work is where the encode-latency win over the
+// bit-wise WNC coder comes from. See docs/ENTROPY.md.
+//
+// Precision contract: callers keep SymbolRange::total <= 2^16 (the
+// AdaptiveModel kMaxTotal rescale bound), so after renormalization
+// range_/total >= 2^8 and the per-symbol unit never truncates to zero.
+
+#ifndef DBGC_ENTROPY_RANGE_CODER_H_
+#define DBGC_ENTROPY_RANGE_CODER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitio/byte_buffer.h"
+#include "common/status.h"
+#include "entropy/frequency_model.h"
+
+namespace dbgc {
+
+/// Streaming range encoder. Drop-in surface match for ArithmeticEncoder:
+///
+///   RangeEncoder enc;
+///   for (symbol : data) { enc.Encode(model.Lookup(symbol)); model.Update(symbol); }
+///   ByteBuffer bytes = enc.Finish();
+class RangeEncoder {
+ public:
+  RangeEncoder() = default;
+
+  /// Narrows the interval to the symbol's cumulative range.
+  void Encode(const SymbolRange& range);
+
+  /// Flushes the interval state and returns the coded bytes. The first
+  /// output byte is always the initial zero cache byte (a carry into it is
+  /// impossible); the decoder skips it. The encoder is reset and reusable
+  /// afterwards.
+  ByteBuffer Finish();
+
+ private:
+  void ShiftLow();
+
+  uint64_t low_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint8_t cache_ = 0;
+  uint64_t pending_ = 0;  // Run length of bytes awaiting carry resolution.
+  std::vector<uint8_t> bytes_;
+};
+
+/// Streaming range decoder over a byte span (does not own the bytes).
+/// Reads past the end of the span zero-extend, mirroring ArithmeticDecoder,
+/// so truncated streams decode to well-defined (if wrong) symbols and the
+/// surrounding containers' integrity checks decide validity.
+class RangeDecoder {
+ public:
+  explicit RangeDecoder(const ByteBuffer& buf);
+  RangeDecoder(const uint8_t* data, size_t size);
+
+  /// Returns the cumulative-frequency value of the current code point under
+  /// a model with the given total; pass it to the model's FindSymbol.
+  uint32_t DecodeTarget(uint32_t total) const;
+
+  /// Consumes the symbol whose range was found by the model.
+  void Advance(const SymbolRange& range);
+
+ private:
+  uint8_t NextByte();
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  uint32_t range_ = 0xFFFFFFFFu;
+  uint32_t code_ = 0;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_ENTROPY_RANGE_CODER_H_

@@ -25,7 +25,16 @@ class Lz77 {
   static constexpr uint32_t kMinMatch = 3;
   static constexpr uint32_t kMaxMatch = 258;
   /// Chain length bound; trades compression for speed.
-  static constexpr uint32_t kMaxChainLength = 64;
+  static constexpr uint32_t kMaxChainLength = 16;
+  /// Stop the chain search once a match of at least this length is found
+  /// (zlib's nice_length). The delta streams the codec feeds through
+  /// Deflate are highly repetitive; without this cutoff the finder walks
+  /// the full chain at nearly every position for marginal ratio gain.
+  static constexpr uint32_t kNiceLength = 32;
+  /// Skip the one-step lazy probe when the current match already reaches
+  /// this length (zlib's max_lazy): a longer match at i+1 can displace at
+  /// most one byte of a match this good.
+  static constexpr uint32_t kMaxLazy = 32;
 
   /// Tokenizes `data` greedily with one-step lazy matching.
   static std::vector<Lz77Token> Tokenize(const std::vector<uint8_t>& data);

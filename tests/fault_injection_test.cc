@@ -210,5 +210,36 @@ TEST(FaultInjectionTest, DecodeErrorsAreCountedExactlyOncePerFailure) {
   }
 }
 
+TEST(FaultInjectionTest, VersionByteMismatchCountedExactlyOnce) {
+  // A bad container version byte is the earliest possible decode failure;
+  // it must follow the same exactly-once accounting contract as every
+  // later failure mode (docs/OBSERVABILITY.md, docs/ENTROPY.md).
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "built with DBGC_OBS_OFF";
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const std::vector<CorpusCase> corpus = BuildFuzzCorpus();
+  for (const RegisteredCodec& registered : AllRegisteredCodecs()) {
+    auto stream = registered.codec->Compress(corpus[0].cloud, kConformanceQ);
+    ASSERT_TRUE(stream.ok()) << registered.id;
+    ASSERT_FALSE(stream.value().empty());
+    // 0x00 and 0x7F are never valid entropy version bytes.
+    for (uint8_t bad_version : {uint8_t{0x00}, uint8_t{0x7F}}) {
+      ByteBuffer relabeled = stream.value();
+      relabeled.mutable_bytes()[0] = bad_version;
+      const uint64_t before =
+          registry.SumCountersWithPrefix("decode_error_total");
+      auto decoded = registered.codec->Decompress(relabeled);
+      EXPECT_FALSE(decoded.ok())
+          << registered.id << ": version byte " << int{bad_version}
+          << " accepted";
+      EXPECT_EQ(registry.SumCountersWithPrefix("decode_error_total"),
+                before + 1)
+          << registered.id << ": version-byte mismatch must count exactly "
+          << "one decode error";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dbgc

@@ -149,6 +149,80 @@ TEST(FuzzCorruptionTest, GpccLikeSurvivesStructuredFaults) {
   DeepFuzzCodec(GpccLikeCodec(), 503);
 }
 
+// The container's entropy version byte (docs/ENTROPY.md) is the very
+// first decode decision; corrupting it must be contained like any other
+// fault. Unknown version values must be rejected with a Status, and a
+// *valid but wrong* version byte (a v2 payload relabeled v1, or vice
+// versa) sends the payload to the wrong entropy decoder — which must
+// still either fail or produce a bounded cloud, never crash.
+TEST(FuzzCorruptionTest, VersionByteMismatchContained) {
+  DbgcOptions options;
+  options.min_pts_scale = 0.05;
+  const DbgcCodec codec(options);
+  const PointCloud pc = SmallFrame();
+  for (EntropyBackend backend :
+       {EntropyBackend::kArithmeticV1, EntropyBackend::kRangeV2}) {
+    CompressParams params;
+    params.q_xyz = 0.02;
+    params.entropy_backend = backend;
+    auto compressed = codec.Compress(pc, params);
+    ASSERT_TRUE(compressed.ok());
+    // Every possible value of the version byte, exhaustively.
+    for (int v = 0; v < 256; ++v) {
+      ByteBuffer relabeled = compressed.value();
+      relabeled.mutable_bytes()[0] = static_cast<uint8_t>(v);
+      auto decoded = codec.Decompress(relabeled);
+      EntropyBackend parsed;
+      if (!EntropyBackendFromVersionByte(static_cast<uint8_t>(v), &parsed)) {
+        EXPECT_FALSE(decoded.ok())
+            << "unknown entropy version byte " << v << " was accepted";
+      } else if (decoded.ok()) {
+        // Cross-backend decode that happens to parse: containment only.
+        EXPECT_LE(decoded.value().size(), kMaxReasonableCount);
+      }
+    }
+  }
+}
+
+// Byte-flip and truncation fuzzing specifically over range-coded (v2)
+// and legacy (v1) streams: the default-backend fuzz above follows the
+// session default, so pin both explicitly.
+TEST(FuzzCorruptionTest, BothBackendStreamsSurviveMutations) {
+  DbgcOptions options;
+  options.min_pts_scale = 0.05;
+  const DbgcCodec codec(options);
+  const PointCloud pc = SmallFrame();
+  uint64_t seed = 600;
+  for (EntropyBackend backend :
+       {EntropyBackend::kArithmeticV1, EntropyBackend::kRangeV2}) {
+    CompressParams params;
+    params.q_xyz = 0.02;
+    params.entropy_backend = backend;
+    auto compressed = codec.Compress(pc, params);
+    ASSERT_TRUE(compressed.ok());
+    Rng rng(seed++);
+    for (int trial = 0; trial < 40; ++trial) {
+      const int flips = 1 + static_cast<int>(rng.NextBounded(8));
+      const ByteBuffer mutated = Mutate(compressed.value(), &rng, flips);
+      auto decoded = codec.Decompress(mutated);
+      if (decoded.ok()) {
+        ASSERT_LE(decoded.value().size(), kMaxReasonableCount)
+            << "backend v" << static_cast<int>(backend);
+      }
+    }
+    for (size_t cut = 0; cut < compressed.value().size();
+         cut += compressed.value().size() / 16 + 1) {
+      ByteBuffer truncated;
+      truncated.Append(compressed.value().data(), cut);
+      auto decoded = codec.Decompress(truncated);
+      if (decoded.ok()) {
+        ASSERT_LE(decoded.value().size(), kMaxReasonableCount)
+            << "backend v" << static_cast<int>(backend) << " cut " << cut;
+      }
+    }
+  }
+}
+
 TEST(FuzzCorruptionTest, PureGarbageRejectedQuickly) {
   Rng rng(400);
   DbgcOptions options;

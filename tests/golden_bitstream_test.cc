@@ -109,6 +109,75 @@ TEST_F(GoldenBitstreamTest, AllCodecsMatchVault) {
   }
 }
 
+// Back-compat vault for the legacy entropy backend: compressing with
+// entropy_backend = kArithmeticV1 must keep emitting the exact bytes
+// pinned in tests/golden/<id>.v1.golden, and every v1 stream must still
+// decode — to the same cloud the default (v2 range coder) stream yields.
+// This is the guarantee that flipping the default backend never strands
+// stored v1 bitstreams (docs/ENTROPY.md).
+TEST_F(GoldenBitstreamTest, V1BackendStreamsStayPinnedAndDecodable) {
+  for (const RegisteredCodec& registered : AllRegisteredCodecs()) {
+    SCOPED_TRACE(registered.id);
+    std::vector<GoldenEntry> actual;
+    for (const CorpusCase& c : Corpus()) {
+      SCOPED_TRACE(c.id);
+      CompressParams v1_params;
+      v1_params.q_xyz = harness::kConformanceQ;
+      v1_params.entropy_backend = EntropyBackend::kArithmeticV1;
+      auto v1 = registered.codec->Compress(c.cloud, v1_params);
+      ASSERT_TRUE(v1.ok()) << v1.status().ToString();
+      ASSERT_FALSE(v1.value().empty());
+      EXPECT_EQ(v1.value()[0],
+                EntropyVersionByte(EntropyBackend::kArithmeticV1))
+          << "container version byte must record the v1 backend";
+
+      // The decoder dispatches on the version byte alone: no params hint.
+      auto v1_cloud = registered.codec->Decompress(v1.value());
+      ASSERT_TRUE(v1_cloud.ok())
+          << "v1 stream no longer decodes: " << v1_cloud.status().ToString();
+      auto v2 = registered.codec->Compress(c.cloud, harness::kConformanceQ);
+      ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+      auto v2_cloud = registered.codec->Decompress(v2.value());
+      ASSERT_TRUE(v2_cloud.ok()) << v2_cloud.status().ToString();
+      EXPECT_TRUE(v1_cloud.value().points() == v2_cloud.value().points())
+          << "v1 and v2 streams reconstruct different clouds";
+
+      GoldenEntry e;
+      e.case_id = c.id;
+      e.size = v1.value().size();
+      e.hash = harness::HashHex(v1.value());
+      actual.push_back(std::move(e));
+    }
+
+    const std::string path = harness::GoldenPath(registered.id + ".v1");
+    if (harness::RegenRequested()) {
+      const Status st = harness::WriteGoldenFile(path, actual);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      GTEST_LOG_(INFO) << "regenerated " << path;
+      continue;
+    }
+    auto golden = harness::LoadGoldenFile(path);
+    ASSERT_TRUE(golden.ok())
+        << "No v1 golden vault for codec '" << registered.id << "' ("
+        << golden.status().ToString()
+        << "). Generate with DBGC_REGEN_GOLDEN=1 ctest -R GoldenBitstream.";
+    std::map<std::string, GoldenEntry> expected;
+    for (const GoldenEntry& e : golden.value()) expected[e.case_id] = e;
+    ASSERT_EQ(actual.size(), expected.size()) << registered.id;
+    for (const GoldenEntry& e : actual) {
+      auto it = expected.find(e.case_id);
+      ASSERT_NE(it, expected.end()) << registered.id << "/" << e.case_id;
+      EXPECT_TRUE(e.hash == it->second.hash && e.size == it->second.size)
+          << "LEGACY v1 FORMAT DRIFT for codec '" << registered.id
+          << "', case '" << e.case_id << "': the arithmetic (v1) backend "
+          << "must stay frozen so stored v1 streams remain decodable.\n"
+          << "  golden: size " << it->second.size << ", hash "
+          << it->second.hash << "\n  actual: size " << e.size << ", hash "
+          << e.hash;
+    }
+  }
+}
+
 // The vault must catch a single flipped byte: this is the sensitivity
 // guarantee the whole scheme rests on.
 TEST_F(GoldenBitstreamTest, HashCatchesSingleByteChange) {

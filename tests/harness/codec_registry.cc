@@ -39,7 +39,8 @@ class StreamFrameCodec : public GeometryCodec {
     DbgcOptions options = ConformanceDbgcOptions();
     options.q_xyz = params.q_xyz;
     DbgcStreamWriter writer(options);
-    DBGC_ASSIGN_OR_RETURN(size_t bytes, writer.AddFrame(pc));
+    // Forward params so thread budget and entropy backend reach the frame.
+    DBGC_ASSIGN_OR_RETURN(size_t bytes, writer.AddFrame(pc, params));
     (void)bytes;
     return writer.Finish();
   }

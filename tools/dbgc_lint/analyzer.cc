@@ -671,6 +671,36 @@ void CheckR6(const SourceFile& file, const CodeView& v,
 }
 
 // ---------------------------------------------------------------------------
+// R7: direct construction of a concrete entropy coder. The container's
+// version byte (docs/ENTROPY.md) only stays authoritative if every stream
+// is produced and consumed through the EntropyEncoder/EntropyDecoder
+// facade, which selects the backend the byte records. Library code that
+// names ArithmeticEncoder/RangeDecoder/etc. directly bakes in one backend
+// and silently bypasses the dispatch. src/entropy/ itself (the facade and
+// the coders) is exempt, as are tests/tools/benches.
+
+void CheckR7(const SourceFile& file, const CodeView& v,
+             std::vector<Diagnostic>* diags) {
+  if (file.is_test) return;
+  if (file.rel_path.rfind("entropy/", 0) == 0) return;  // The facade itself.
+  static const char* kConcrete[] = {"ArithmeticEncoder", "ArithmeticDecoder",
+                                    "RangeEncoder", "RangeDecoder"};
+  for (size_t ci = 0; ci < v.size(); ++ci) {
+    if (!v.IsIdent(ci)) continue;
+    const std::string& t = v.Tok(ci).text;
+    bool concrete = false;
+    for (const char* name : kConcrete) concrete |= (t == name);
+    if (!concrete) continue;
+    diags->push_back(Diagnostic{
+        file.path, v.Tok(ci).line, "R7",
+        "direct use of concrete entropy coder " + t +
+            " in library code; go through EntropyEncoder/EntropyDecoder "
+            "(src/entropy/entropy_coder.h) so the container version byte "
+            "keeps selecting the backend (docs/ENTROPY.md)"});
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions: // DBGC_LINT_ALLOW(Rn): reason
 
 struct Suppressions {
@@ -701,7 +731,7 @@ Suppressions CollectSuppressions(const SourceFile& file) {
       if (ok) {
         rule = t.text.substr(open + 1, close - open - 1);
         ok = rule.size() == 2 && rule[0] == 'R' && rule[1] >= '1' &&
-             rule[1] <= '6';
+             rule[1] <= '7';
       }
       if (ok) {
         // A reason after "):" is mandatory.
@@ -751,6 +781,7 @@ std::vector<Diagnostic> AnalyzeFile(const SourceFile& file,
   CheckR4(file, v, &diags);
   CheckR5(file, v, &diags);
   CheckR6(file, v, &diags);
+  CheckR7(file, v, &diags);
 
   const Suppressions sup = CollectSuppressions(file);
   std::vector<Diagnostic> kept;

@@ -15,6 +15,11 @@
 //   R6  no direct std::chrono::steady_clock::now() in library code outside
 //       src/obs/; timing goes through obs::TraceSpan/ScopedTimer or
 //       obs::MonotonicSeconds so latencies land in the metrics registry
+//   R7  no direct use of a concrete entropy coder (ArithmeticEncoder/
+//       ArithmeticDecoder/RangeEncoder/RangeDecoder) in library code
+//       outside src/entropy/; streams go through the EntropyEncoder/
+//       EntropyDecoder facade so the container version byte keeps
+//       selecting the backend (docs/ENTROPY.md)
 //
 // Diagnostics are suppressed by a trailing or preceding comment of the form
 //   // DBGC_LINT_ALLOW(R3): reason the code is safe
@@ -34,7 +39,7 @@ namespace dbgc_lint {
 struct Diagnostic {
   std::string file;
   int line = 0;
-  std::string rule;     // "R1".."R6", or "lint" for tool-level problems.
+  std::string rule;     // "R1".."R7", or "lint" for tool-level problems.
   std::string message;
 
   bool operator<(const Diagnostic& o) const {

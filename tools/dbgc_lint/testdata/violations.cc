@@ -109,4 +109,26 @@ Status DecodeWithSuppression(ByteReader* reader) {
 // A suppression without a reason is itself flagged.
 // DBGC_LINT_ALLOW(R2)  LINT-EXPECT-NONE (malformed, reported as [lint])
 
+// --- R7: concrete entropy coders bypass the version-byte dispatch ---------
+
+void EncodeWithConcreteCoder() {
+  ArithmeticEncoder enc;              // LINT-EXPECT: R7
+  RangeEncoder renc;                  // LINT-EXPECT: R7
+  (void)enc;
+  (void)renc;
+}
+
+void DecodeWithConcreteCoder(const ByteBuffer& buf) {
+  ArithmeticDecoder dec(buf);         // LINT-EXPECT: R7
+  RangeDecoder rdec(buf);             // LINT-EXPECT: R7
+  (void)dec;
+  (void)rdec;
+}
+
+void ReviewedConcreteCoderException(const ByteBuffer& buf) {
+  // DBGC_LINT_ALLOW(R7): demo of a reviewed single-backend call site.
+  RangeDecoder rdec(buf);
+  (void)rdec;
+}
+
 }  // namespace dbgc
