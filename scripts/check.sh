@@ -8,7 +8,12 @@
 #
 # CTest labels shard the suite: fast (unit/conformance, < ~60 s even
 # sanitized), slow (end-to-end + differential oracle), fuzz (corruption and
-# fault-injection suites), lint (dbgc_lint gate, docs/LINTING.md).
+# fault-injection suites), lint (dbgc_lint gate + its lexer suite,
+# docs/LINTING.md).
+#
+# The script fails fast (set -e): the first broken gate stops the run. The
+# EXIT trap prints a per-gate PASS/FAIL/SKIP table either way, so CI logs
+# always end with the full picture of what ran, what didn't, and why.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,23 +21,70 @@ cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
 MODE="${1:-}"
 
-echo "==> tier-1: Release build + full test suite"
+# --- gate bookkeeping -------------------------------------------------------
+# start_gate begins a named gate; pass_gate marks it green; skip_gate records
+# a gate that cannot run in this environment, with the reason in the table.
+# A gate still "current" when the script exits (set -e abort) prints FAIL.
+GATE_ROWS=()
+CURRENT_GATE=""
+
+start_gate() {
+  CURRENT_GATE="$1"
+  echo "==> ${CURRENT_GATE}"
+}
+
+pass_gate() {
+  GATE_ROWS+=("${CURRENT_GATE}|PASS")
+  CURRENT_GATE=""
+}
+
+skip_gate() {
+  echo "==> $1: SKIPPED ($2)"
+  GATE_ROWS+=("$1|SKIP: $2")
+}
+
+print_summary() {
+  local rc=$?
+  if [[ -n "${CURRENT_GATE}" ]]; then
+    GATE_ROWS+=("${CURRENT_GATE}|FAIL")
+  fi
+  echo
+  echo "================ gate summary ================"
+  local row
+  for row in "${GATE_ROWS[@]}"; do
+    printf '  %-38s %s\n' "${row%%|*}" "${row#*|}"
+  done
+  echo "=============================================="
+  if [[ ${rc} -eq 0 ]]; then
+    echo "all executed gates passed"
+  else
+    echo "FAILED (exit ${rc})"
+  fi
+}
+trap print_summary EXIT
+
+# --- tier-1 -----------------------------------------------------------------
+
+start_gate "tier-1: Release build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
+pass_gate
 
 if [[ "${MODE}" == "--tier1" ]]; then
-  echo "==> tier-1 OK (lint/sanitizer passes skipped)"
   exit 0
 fi
 
-echo "==> parallel scaling bench: BENCH_parallel.json"
+# --- benches with hard tripwires -------------------------------------------
+
+start_gate "parallel scaling bench: BENCH_parallel.json"
 # One frame per config keeps CI fast; the binary also re-verifies that
 # every parallel encode is byte-identical to the serial one.
 DBGC_BENCH_FRAMES="${DBGC_BENCH_FRAMES:-1}" \
   ./build/bench/bench_parallel_scaling BENCH_parallel.json
+pass_gate
 
-echo "==> entropy gate: backend differential suite + v1 goldens + bench"
+start_gate "entropy gate: backend differential suite + v1 goldens + bench"
 # The differential suite proves both entropy backends decode each other's
 # symbol streams; the v1 golden test decodes every pinned legacy stream
 # (docs/ENTROPY.md). Both already ran under tier-1 — re-run them named so
@@ -51,19 +103,47 @@ awk -F': ' '
     if (speedup < 1.5) { print "ENT speedup regressed: " speedup; exit 1 }
     if (ratio > 1.02)  { print "v2 size regressed: " ratio; exit 1 }
   }' BENCH_entropy.json
+pass_gate
 
-echo "==> lint gate: dbgc_lint over src/ + self-test corpus"
+# --- static analysis --------------------------------------------------------
+
+start_gate "lint gate: dbgc_lint over src/tools/bench + self-test corpus"
 ctest --test-dir build -L lint --output-on-failure -j "${JOBS}"
-# The lint label already covers all of src/; re-run the concurrency
-# substrate explicitly so a pool regression names itself in CI logs.
+# The lint label already covers the whole tree; re-run the concurrency
+# substrate explicitly so a pool or pipeline regression names itself in CI
+# logs (rules R8-R12, docs/CONCURRENCY.md).
 ./build/tools/dbgc_lint/dbgc_lint \
   src/common/thread_pool.h src/common/thread_pool.cc \
   src/net/pipeline.h src/net/pipeline.cc
 # Rule R6 (docs/OBSERVABILITY.md): the obs layer owns the monotonic clock;
 # name its wrapper explicitly so a new ad-hoc timer fails loudly here.
 ./build/tools/dbgc_lint/dbgc_lint src/obs/trace.h src/obs/trace.cc
+# Analyzer wall time over the full tree, tracked like any other bench.
+./build/tools/dbgc_lint/dbgc_lint --bench BENCH_lint.json src tools bench
+pass_gate
 
-echo "==> obs gate: enabled-build snapshot + DBGC_OBS_OFF parity"
+# Clang Thread Safety Analysis (docs/CONCURRENCY.md): the DBGC_GUARDED_BY /
+# DBGC_REQUIRES contracts become compiler-checked. Clang-only; on a
+# gcc-only runner the gate is skipped VISIBLY in the summary table rather
+# than silently thinning the CI matrix.
+if command -v clang++ >/dev/null 2>&1; then
+  start_gate "thread-safety gate: clang -Wthread-safety build"
+  cmake -B build-tsa -S . \
+    -DCMAKE_CXX_COMPILER=clang++ \
+    -DDBGC_THREAD_SAFETY=ON \
+    -DDBGC_BUILD_TESTS=OFF \
+    -DDBGC_BUILD_BENCHMARKS=OFF \
+    -DDBGC_BUILD_EXAMPLES=OFF >/dev/null
+  cmake --build build-tsa -j "${JOBS}"
+  pass_gate
+else
+  skip_gate "thread-safety gate: clang -Wthread-safety build" \
+    "clang++ not on PATH; annotation contracts checked by dbgc_lint only"
+fi
+
+# --- observability ----------------------------------------------------------
+
+start_gate "obs gate: enabled-build snapshot + DBGC_OBS_OFF parity"
 # Enabled build: the overhead bench doubles as the snapshot emitter; the
 # JSON must carry per-codec latency histograms and stage spans.
 DBGC_BENCH_FRAMES="${DBGC_BENCH_FRAMES:-1}" \
@@ -81,19 +161,23 @@ cmake --build build-obsoff -j "${JOBS}" \
   --gtest_filter='PipelineBackpressureTest.*:FrameStoreTest.*' >/dev/null
 DBGC_BENCH_FRAMES="${DBGC_BENCH_FRAMES:-1}" \
   ./build-obsoff/bench/bench_obs_overhead BENCH_obs_off.json
+pass_gate
+
+# --- hardened + sanitizer builds -------------------------------------------
 
 # Compile-only gate over the library and lint tool; tests are exercised by
 # the tier-1 and sanitizer builds above and stay on the permissive warning
 # set (gtest macros trip -Wconversion).
-echo "==> hardened build: -Wshadow -Wconversion -Werror"
+start_gate "hardened build: -Wshadow -Wconversion -Werror"
 cmake -B build-werror -S . \
   -DDBGC_WERROR=ON \
   -DDBGC_BUILD_TESTS=OFF \
   -DDBGC_BUILD_BENCHMARKS=OFF \
   -DDBGC_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-werror -j "${JOBS}"
+pass_gate
 
-echo "==> sanitizer pass: ASan+UBSan build"
+start_gate "sanitizer pass: ASan+UBSan build"
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDBGC_SANITIZE=address,undefined \
@@ -111,8 +195,9 @@ fi
 ASAN_OPTIONS="abort_on_error=1:detect_leaks=1" \
 UBSAN_OPTIONS="print_stacktrace=1" \
 ctest --test-dir build-asan -L "${SAN_LABELS}" --output-on-failure -j "${JOBS}"
+pass_gate
 
-echo "==> sanitizer pass: TSan concurrency smoke + pool/pipeline suites"
+start_gate "sanitizer pass: TSan concurrency smoke + pool/pipeline/store"
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDBGC_SANITIZE=thread \
@@ -121,11 +206,12 @@ cmake -B build-tsan -S . \
 cmake --build build-tsan -j "${JOBS}" \
   --target concurrency_smoke_test thread_pool_test net_test obs_test
 # ThreadPool/Parallelism: the ParallelFor stress mix; PipelineBackpressure:
-# the bounded-window frame pipeline; ConcurrencySmoke: codec statelessness;
-# MetricsStress: sharded counters/histograms under concurrent readers.
+# the bounded-window frame pipeline; FrameStoreConcurrency: parallel
+# Put/Get/eviction on the bounded store; ConcurrencySmoke: codec
+# statelessness; MetricsStress: sharded counters/histograms under
+# concurrent readers.
 TSAN_OPTIONS="halt_on_error=1" \
 ctest --test-dir build-tsan \
-  -R "ConcurrencySmoke|ThreadPoolTest|ParallelismTest|PipelineBackpressure|MetricsStress" \
+  -R "ConcurrencySmoke|ThreadPoolTest|ParallelismTest|PipelineBackpressure|FrameStoreConcurrency|MetricsStress" \
   --output-on-failure -j "${JOBS}"
-
-echo "==> all checks passed"
+pass_gate

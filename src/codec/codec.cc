@@ -2,9 +2,9 @@
 
 #include <cmath>
 #include <map>
-#include <mutex>
 
 #include "codec/gpcc_like_codec.h"
+#include "common/mutex.h"
 #include "codec/kdtree_codec.h"
 #include "codec/octree_codec.h"
 #include "codec/octree_grouped_codec.h"
@@ -46,9 +46,11 @@ Status ValidateBudget(ThreadPool* pool, int max_threads) {
 /// Interns the handle block for `codec`: one block per distinct name, kept
 /// alive for the process so GeometryCodec can cache the pointer.
 const internal::CodecMetrics& MetricsForName(const std::string& codec) {
-  static std::mutex mutex;
+  static Mutex mutex;
+  // DBGC_LINT_ALLOW(R11): per-codec-name intern table, registry-internal by
+  // design and guarded by the adjacent static mutex for the process life.
   static auto* blocks = new std::map<std::string, internal::CodecMetrics>();
-  std::lock_guard<std::mutex> lock(mutex);
+  MutexLock lock(mutex);
   auto it = blocks->find(codec);
   if (it == blocks->end()) {
     obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();

@@ -1,0 +1,111 @@
+// Annotated synchronization primitives (docs/CONCURRENCY.md).
+//
+// Thin wrappers over std::mutex / std::condition_variable_any that carry
+// the Clang Thread Safety Analysis capability attributes from
+// common/thread_annotations.h. Library code under src/ locks through these
+// types so that both clang (-DDBGC_THREAD_SAFETY=ON) and dbgc_lint rule R9
+// can prove every DBGC_GUARDED_BY access happens under the right mutex.
+//
+// Wait loops must be written out explicitly —
+//
+//   ReleasableMutexLock lock(mutex_);
+//   while (!ready_) cv_.Wait(lock);
+//
+// — not with the predicate-lambda overload of std::condition_variable:
+// the analysis does not carry capabilities into lambdas, so a predicate
+// that reads a guarded member would be flagged (and rightly so: it hides a
+// guarded access from every static checker, including dbgc_lint).
+
+#ifndef DBGC_COMMON_MUTEX_H_
+#define DBGC_COMMON_MUTEX_H_
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace dbgc {
+
+/// std::mutex with capability annotations. BasicLockable, so it still
+/// composes with standard lock adapters where needed.
+class DBGC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DBGC_ACQUIRE() { mu_.lock(); }
+  void unlock() DBGC_RELEASE() { mu_.unlock(); }
+  bool try_lock() DBGC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock-for-scope, the default way to hold a Mutex (lock_guard shape).
+class DBGC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) DBGC_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() DBGC_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII lock that may be released and re-acquired mid-scope (unique_lock
+/// shape). BasicLockable, so CondVar can wait on it. The destructor
+/// releases only if currently held.
+class DBGC_SCOPED_CAPABILITY ReleasableMutexLock {
+ public:
+  explicit ReleasableMutexLock(Mutex& mu) DBGC_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~ReleasableMutexLock() DBGC_RELEASE() {
+    if (held_) mu_.unlock();
+  }
+
+  void lock() DBGC_ACQUIRE() {
+    mu_.lock();
+    held_ = true;
+  }
+  void unlock() DBGC_RELEASE() {
+    held_ = false;
+    mu_.unlock();
+  }
+
+  ReleasableMutexLock(const ReleasableMutexLock&) = delete;
+  ReleasableMutexLock& operator=(const ReleasableMutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+  // Owned by the single thread that holds the RAII object on its stack.
+  bool held_ DBGC_THREAD_CONFINED = true;
+};
+
+/// Condition variable that waits on a ReleasableMutexLock. Wraps
+/// condition_variable_any: the unlock/relock it performs happen inside the
+/// standard headers, where clang suppresses thread-safety diagnostics, so
+/// caller-side wait loops analyze cleanly.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`, sleeps, re-acquires before returning.
+  /// Callers re-check their condition in an explicit while loop.
+  void Wait(ReleasableMutexLock& lock) { cv_.wait(lock); }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_COMMON_MUTEX_H_

@@ -1,0 +1,74 @@
+// Thread-safety annotation contracts (docs/CONCURRENCY.md).
+//
+// These macros lower to Clang Thread Safety Analysis attributes when the
+// compiler supports them (build with -DDBGC_THREAD_SAFETY=ON to turn the
+// analysis into a hard error gate) and compile to nothing everywhere else.
+// They are also read *statically* by tools/dbgc_lint rules R8-R12, which
+// enforce the same lock discipline on every compiler: a class that owns a
+// mutex must annotate each shared mutable member (R8), and a
+// DBGC_GUARDED_BY member may only be touched under its mutex or inside a
+// DBGC_REQUIRES method (R9).
+//
+// Annotate with the dbgc::Mutex wrapper from common/mutex.h, not a bare
+// std::mutex: the standard-library types carry no capability attributes,
+// so clang would be unable to see any acquisition and would flag every
+// guarded access.
+
+#ifndef DBGC_COMMON_THREAD_ANNOTATIONS_H_
+#define DBGC_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define DBGC_TSA_HAS_ATTRIBUTE(x) __has_attribute(x)
+#else
+#define DBGC_TSA_HAS_ATTRIBUTE(x) 0
+#endif
+
+#if DBGC_TSA_HAS_ATTRIBUTE(guarded_by)
+#define DBGC_TSA(x) __attribute__((x))
+#else
+#define DBGC_TSA(x)
+#endif
+
+/// Data member readable/writable only while `m` is held.
+#define DBGC_GUARDED_BY(m) DBGC_TSA(guarded_by(m))
+
+/// Pointer member whose *pointee* is protected by `m` (the pointer itself
+/// may be read freely).
+#define DBGC_PT_GUARDED_BY(m) DBGC_TSA(pt_guarded_by(m))
+
+/// Function that must be called with `m` already held by the caller.
+#define DBGC_REQUIRES(...) DBGC_TSA(requires_capability(__VA_ARGS__))
+
+/// Function that must be called with `m` NOT held (it acquires internally;
+/// calling it while holding `m` would self-deadlock).
+#define DBGC_EXCLUDES(...) DBGC_TSA(locks_excluded(__VA_ARGS__))
+
+/// Function that acquires the listed capabilities and returns holding them.
+#define DBGC_ACQUIRE(...) DBGC_TSA(acquire_capability(__VA_ARGS__))
+
+/// Function that releases the listed capabilities.
+#define DBGC_RELEASE(...) DBGC_TSA(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability iff it returns `ret`.
+#define DBGC_TRY_ACQUIRE(ret, ...) \
+  DBGC_TSA(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Class that models a lockable capability (mutex wrappers).
+#define DBGC_CAPABILITY(name) DBGC_TSA(capability(name))
+
+/// RAII class whose constructor acquires and destructor releases.
+#define DBGC_SCOPED_CAPABILITY DBGC_TSA(scoped_lockable)
+
+/// Return-value annotation: the function returns a reference to data
+/// guarded by `m` without holding it (caller must ensure quiescence).
+#define DBGC_NO_THREAD_SAFETY_ANALYSIS DBGC_TSA(no_thread_safety_analysis)
+
+/// Documentation-only marker (never lowers to an attribute): the member is
+/// written once during construction/startup and then only read, or is
+/// synchronized by an external protocol the class documents (e.g. a worker
+/// vector joined in the destructor). dbgc_lint rule R8 accepts it in place
+/// of DBGC_GUARDED_BY; the comment next to each use must say *what* the
+/// external discipline is.
+#define DBGC_THREAD_CONFINED
+
+#endif  // DBGC_COMMON_THREAD_ANNOTATIONS_H_

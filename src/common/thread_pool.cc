@@ -27,16 +27,17 @@ Status StatusFromCurrentException() {
 // caller has already completed every chunk and returned, and must still
 // find valid state (it will claim nothing and exit).
 struct ThreadPool::ForState {
-  size_t begin = 0;
-  size_t grain = 1;
-  size_t num_chunks = 0;
-  std::function<void(size_t, size_t)> fn;
+  // Set once by the caller before any helper is scheduled.
+  size_t begin DBGC_THREAD_CONFINED = 0;
+  size_t grain DBGC_THREAD_CONFINED = 1;
+  size_t num_chunks DBGC_THREAD_CONFINED = 0;
+  std::function<void(size_t, size_t)> fn DBGC_THREAD_CONFINED;
 
   std::atomic<size_t> next_chunk{0};
-  std::mutex mu;
-  std::condition_variable done_cv;
-  size_t completed = 0;  // Ran or skipped chunks; guarded by mu.
-  Status error;          // Guarded by mu; first failure wins.
+  Mutex mu;
+  CondVar done_cv;
+  size_t completed DBGC_GUARDED_BY(mu) = 0;  // Ran or skipped chunks.
+  Status error DBGC_GUARDED_BY(mu);          // First failure wins.
 
   // Claims and runs chunks until none remain. On an exception the claim
   // counter is poisoned so no further chunk starts anywhere, and the
@@ -62,10 +63,10 @@ struct ThreadPool::ForState {
       }
     }
     if (accounted == 0) return;
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     if (!first_error.ok() && error.ok()) error = std::move(first_error);
     completed += accounted;
-    if (completed == num_chunks) done_cv.notify_all();
+    if (completed == num_chunks) done_cv.NotifyAll();
   }
 };
 
@@ -79,27 +80,27 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutting_down_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Schedule(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push_back(std::move(fn));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [&] { return shutting_down_ || !queue_.empty(); });
+      ReleasableMutexLock lock(mutex_);
+      while (!shutting_down_ && queue_.empty()) cv_.Wait(lock);
       if (queue_.empty()) return;  // Shutting down and fully drained.
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -152,9 +153,8 @@ Status ThreadPool::ParallelFor(size_t begin, size_t end, size_t grain,
   // erroring thread). A chunk that is mid-run keeps completed below the
   // target, so returning here never races a live fn invocation; helpers
   // waking later claim nothing and exit without touching fn.
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done_cv.wait(lock,
-                      [&] { return state->completed == state->num_chunks; });
+  ReleasableMutexLock lock(state->mu);
+  while (state->completed != state->num_chunks) state->done_cv.Wait(lock);
   return state->error;
 }
 

@@ -21,15 +21,15 @@
 #ifndef DBGC_COMMON_THREAD_POOL_H_
 #define DBGC_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace dbgc {
 
@@ -70,11 +70,13 @@ class ThreadPool {
 
   void WorkerLoop();
 
-  std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutting_down_ = false;
+  // Written once in the constructor, joined in the destructor; never
+  // touched from worker threads.
+  std::vector<std::thread> workers_ DBGC_THREAD_CONFINED;
+  Mutex mutex_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ DBGC_GUARDED_BY(mutex_);
+  bool shutting_down_ DBGC_GUARDED_BY(mutex_) = false;
 };
 
 /// A thread budget threaded through codec stages: a (possibly null) pool

@@ -41,12 +41,18 @@ struct StoreMetrics {
 MemoryFrameStore::MemoryFrameStore(size_t capacity) : capacity_(capacity) {}
 
 MemoryFrameStore::~MemoryFrameStore() {
+  MutexLock lock(mutex_);
   const StoreMetrics& m = StoreMetrics::Get();
   for (const auto& [id, bytes] : frames_) {
     (void)id;
     m.resident_bytes->Sub(static_cast<int64_t>(bytes.size()));
     m.resident_frames->Sub(1);
   }
+}
+
+uint64_t MemoryFrameStore::evicted() const {
+  MutexLock lock(mutex_);
+  return evicted_;
 }
 
 void MemoryFrameStore::ReleaseEntry(size_t bytes) {
@@ -56,6 +62,7 @@ void MemoryFrameStore::ReleaseEntry(size_t bytes) {
 }
 
 Status MemoryFrameStore::Put(uint64_t frame_id, const ByteBuffer& bitstream) {
+  MutexLock lock(mutex_);
   const StoreMetrics& m = StoreMetrics::Get();
   m.puts->Increment();
   const auto it = frames_.find(frame_id);
@@ -83,6 +90,7 @@ Status MemoryFrameStore::Put(uint64_t frame_id, const ByteBuffer& bitstream) {
 }
 
 Result<ByteBuffer> MemoryFrameStore::Get(uint64_t frame_id) const {
+  MutexLock lock(mutex_);
   const auto it = frames_.find(frame_id);
   if (it == frames_.end()) {
     StoreMetrics::Get().get_misses->Increment();
@@ -92,6 +100,7 @@ Result<ByteBuffer> MemoryFrameStore::Get(uint64_t frame_id) const {
 }
 
 std::vector<uint64_t> MemoryFrameStore::List() const {
+  MutexLock lock(mutex_);
   std::vector<uint64_t> ids;
   ids.reserve(frames_.size());
   for (const auto& [id, bytes] : frames_) {
@@ -102,6 +111,7 @@ std::vector<uint64_t> MemoryFrameStore::List() const {
 }
 
 Status MemoryFrameStore::Remove(uint64_t frame_id) {
+  MutexLock lock(mutex_);
   const auto it = frames_.find(frame_id);
   if (it != frames_.end()) {
     ReleaseEntry(it->second.size());

@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "bitio/byte_buffer.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace dbgc {
 
@@ -40,6 +42,10 @@ class FrameStore {
 /// inserting a new id beyond the bound evicts the oldest (smallest) id
 /// first. Replacing an existing id never evicts. Capacity 0 (the default)
 /// is unbounded, preserving the original behavior.
+///
+/// Thread-safe: every operation locks the table, so pool workers may
+/// Put/Get/Remove concurrently (the fleet-server direction in ROADMAP.md
+/// stores frames from many sessions at once).
 class MemoryFrameStore : public FrameStore {
  public:
   explicit MemoryFrameStore(size_t capacity = 0);
@@ -53,15 +59,16 @@ class MemoryFrameStore : public FrameStore {
   /// The eviction bound (0 = unbounded).
   size_t capacity() const { return capacity_; }
   /// Frames evicted by the capacity bound since construction.
-  uint64_t evicted() const { return evicted_; }
+  uint64_t evicted() const;
 
  private:
   /// Drops the byte/frame share of one entry from the resident gauges.
   void ReleaseEntry(size_t bytes);
 
   const size_t capacity_;
-  uint64_t evicted_ = 0;
-  std::map<uint64_t, ByteBuffer> frames_;
+  mutable Mutex mutex_;
+  uint64_t evicted_ DBGC_GUARDED_BY(mutex_) = 0;
+  std::map<uint64_t, ByteBuffer> frames_ DBGC_GUARDED_BY(mutex_);
 };
 
 /// One file per frame under a directory ("<dir>/<id>.dbgc").

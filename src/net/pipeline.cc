@@ -50,24 +50,21 @@ CompressionPipeline::CompressionPipeline(DbgcOptions options, int num_workers)
 CompressionPipeline::CompressionPipeline(DbgcOptions options,
                                          const Config& config)
     : codec_(std::move(options)),
+      owned_pool_(config.pool != nullptr
+                      ? nullptr
+                      : std::make_unique<ThreadPool>(
+                            config.num_workers < 1 ? 1 : config.num_workers)),
+      pool_(config.pool != nullptr ? config.pool : owned_pool_.get()),
       capacity_(config.queue_capacity < 1 ? 1 : config.queue_capacity),
-      max_threads_per_frame_(config.max_threads_per_frame) {
-  if (config.pool != nullptr) {
-    pool_ = config.pool;
-  } else {
-    owned_pool_ = std::make_unique<ThreadPool>(
-        config.num_workers < 1 ? 1 : config.num_workers);
-    pool_ = owned_pool_.get();
-  }
-}
+      max_threads_per_frame_(config.max_threads_per_frame) {}
 
 CompressionPipeline::~CompressionPipeline() {
   // Every scheduled task captures `this`, so the destructor must not return
   // until all of them ran — on a shared pool the pool cannot be relied on
   // to fence them. Draining also honours the accepted-frame contract:
   // submitted work is finished, not discarded.
-  std::unique_lock<std::mutex> lock(mutex_);
-  drain_cv_.wait(lock, [&] { return completed_ == next_seq_; });
+  ReleasableMutexLock lock(mutex_);
+  while (completed_ != next_seq_) drain_cv_.Wait(lock);
   // Compressed-but-undelivered frames die with the pipeline; release their
   // share of the inflight gauge so it tracks live pipelines only.
   PipelineMetrics::Get().inflight->Sub(
@@ -76,56 +73,73 @@ CompressionPipeline::~CompressionPipeline() {
 }
 
 uint64_t CompressionPipeline::Submit(PointCloud pc) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  space_cv_.wait(lock, [&] { return next_seq_ - delivered_ < capacity_; });
-  return SubmitLocked(lock, std::move(pc));
+  uint64_t seq = 0;
+  {
+    ReleasableMutexLock lock(mutex_);
+    while (next_seq_ - delivered_ >= capacity_) space_cv_.Wait(lock);
+    seq = EnqueueLocked(std::move(pc));
+  }
+  ScheduleCompression();
+  return seq;
 }
 
 bool CompressionPipeline::TrySubmit(PointCloud pc, uint64_t* seq) {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (next_seq_ - delivered_ >= capacity_) {
-    ++rejected_;
+  bool accepted = false;
+  uint64_t assigned = 0;
+  {
+    MutexLock lock(mutex_);
+    if (next_seq_ - delivered_ < capacity_) {
+      assigned = EnqueueLocked(std::move(pc));
+      accepted = true;
+    } else {
+      ++rejected_;
+    }
+  }
+  if (!accepted) {
     PipelineMetrics::Get().rejected->Increment();
     return false;
   }
-  const uint64_t assigned = SubmitLocked(lock, std::move(pc));
+  ScheduleCompression();
   if (seq != nullptr) *seq = assigned;
   return true;
 }
 
-uint64_t CompressionPipeline::SubmitLocked(std::unique_lock<std::mutex>& lock,
-                                           PointCloud pc) {
+uint64_t CompressionPipeline::EnqueueLocked(PointCloud pc) {
   const uint64_t seq = next_seq_++;
   input_.push_back(Task{seq, std::move(pc)});
-  lock.unlock();
+  return seq;
+}
+
+void CompressionPipeline::ScheduleCompression() {
   const PipelineMetrics& m = PipelineMetrics::Get();
   m.submitted->Increment();
   m.queue_depth->Add(1);
   m.inflight->Add(1);
   pool_->Schedule([this] { CompressOne(); });
-  return seq;
 }
 
 Result<ByteBuffer> CompressionPipeline::NextResult() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (next_delivery_ >= next_seq_) {
-    return Status::InvalidArgument("pipeline: no frame pending");
+  std::map<uint64_t, Result<ByteBuffer>>::node_type node;
+  {
+    ReleasableMutexLock lock(mutex_);
+    if (next_delivery_ >= next_seq_) {
+      return Status::InvalidArgument("pipeline: no frame pending");
+    }
+    const uint64_t want = next_delivery_++;
+    while (output_.count(want) == 0) output_cv_.Wait(lock);
+    node = output_.extract(want);
+    ++delivered_;
   }
-  const uint64_t want = next_delivery_++;
-  output_cv_.wait(lock, [&] { return output_.count(want) > 0; });
-  auto node = output_.extract(want);
-  ++delivered_;
-  lock.unlock();
   const PipelineMetrics& m = PipelineMetrics::Get();
   m.delivered->Increment();
   m.inflight->Sub(1);
-  space_cv_.notify_all();
+  space_cv_.NotifyAll();
   return std::move(node.mapped());
 }
 
 Status CompressionPipeline::Drain() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  drain_cv_.wait(lock, [&] { return completed_ == next_seq_; });
+  ReleasableMutexLock lock(mutex_);
+  while (completed_ != next_seq_) drain_cv_.Wait(lock);
   for (const auto& entry : output_) {
     if (!entry.second.ok()) return entry.second.status();
   }
@@ -133,29 +147,29 @@ Status CompressionPipeline::Drain() {
 }
 
 uint64_t CompressionPipeline::submitted() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return next_seq_;
 }
 
 size_t CompressionPipeline::inflight() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return static_cast<size_t>(next_seq_ - delivered_);
 }
 
 size_t CompressionPipeline::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return input_.size();
 }
 
 uint64_t CompressionPipeline::rejected() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return rejected_;
 }
 
 void CompressionPipeline::CompressOne() {
   Task task{0, PointCloud()};
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     // Exactly one closure is scheduled per queued task.
     DBGC_CHECK(!input_.empty());
     task = std::move(input_.front());
@@ -175,16 +189,16 @@ void CompressionPipeline::CompressOne() {
     return codec_.Compress(task.cloud, params);
   }();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     output_.emplace(task.seq, std::move(result));
     ++completed_;
     // Notify under the lock: the destructor destroys these condition
-    // variables as soon as its drain predicate holds, and a waiter can
-    // only pass its predicate check while holding mutex_ — so notifying
-    // here guarantees this thread is done with the object before the
-    // destructor can proceed.
-    output_cv_.notify_all();
-    drain_cv_.notify_all();
+    // variables as soon as its drain wait condition holds, and a waiter
+    // can only re-check that condition while holding mutex_ — so
+    // notifying here guarantees this thread is done with the object
+    // before the destructor can proceed.
+    output_cv_.NotifyAll();
+    drain_cv_.NotifyAll();
   }
 }
 

@@ -14,16 +14,16 @@
 #ifndef DBGC_NET_PIPELINE_H_
 #define DBGC_NET_PIPELINE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "bitio/byte_buffer.h"
+#include "common/mutex.h"
 #include "common/point_cloud.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/dbgc_codec.h"
 
@@ -107,25 +107,33 @@ class CompressionPipeline {
   };
 
   void CompressOne();
-  uint64_t SubmitLocked(std::unique_lock<std::mutex>& lock, PointCloud pc);
 
-  DbgcCodec codec_;
-  std::unique_ptr<ThreadPool> owned_pool_;
-  ThreadPool* pool_;  // owned_pool_.get() or the shared Config::pool.
+  /// Appends the frame and assigns its sequence number. The caller
+  /// publishes metrics and schedules the compression *after* releasing
+  /// the lock (lock discipline R10: no pool call while a lock is held).
+  uint64_t EnqueueLocked(PointCloud pc) DBGC_REQUIRES(mutex_);
+
+  /// Publishes the admission metrics for one accepted frame and schedules
+  /// its compression task. Must be called without mutex_ held.
+  void ScheduleCompression() DBGC_EXCLUDES(mutex_);
+
+  const DbgcCodec codec_;
+  const std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* const pool_;  // owned_pool_.get() or the shared Config::pool.
   const size_t capacity_;
   const int max_threads_per_frame_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable output_cv_;  // A result became available.
-  std::condition_variable space_cv_;   // The in-flight window shrank.
-  std::condition_variable drain_cv_;   // A compression completed.
-  std::deque<Task> input_;
-  std::map<uint64_t, Result<ByteBuffer>> output_;
-  uint64_t next_seq_ = 0;
-  uint64_t next_delivery_ = 0;
-  uint64_t delivered_ = 0;
-  uint64_t completed_ = 0;
-  uint64_t rejected_ = 0;
+  mutable Mutex mutex_;
+  CondVar output_cv_;  // A result became available.
+  CondVar space_cv_;   // The in-flight window shrank.
+  CondVar drain_cv_;   // A compression completed.
+  std::deque<Task> input_ DBGC_GUARDED_BY(mutex_);
+  std::map<uint64_t, Result<ByteBuffer>> output_ DBGC_GUARDED_BY(mutex_);
+  uint64_t next_seq_ DBGC_GUARDED_BY(mutex_) = 0;
+  uint64_t next_delivery_ DBGC_GUARDED_BY(mutex_) = 0;
+  uint64_t delivered_ DBGC_GUARDED_BY(mutex_) = 0;
+  uint64_t completed_ DBGC_GUARDED_BY(mutex_) = 0;
+  uint64_t rejected_ DBGC_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace dbgc

@@ -50,15 +50,21 @@ Status DbgcServer::HandleFrame(const ByteBuffer& wire,
   Frame frame = std::move(frame_result).value();
   report->frame_id = frame.frame_id;
 
+  // Archive writes run outside the lock (lock discipline R10,
+  // docs/CONCURRENCY.md): FileFrameStore does real file I/O, and the
+  // store synchronizes itself.
   if (archive_ != nullptr) {
     DBGC_RETURN_NOT_OK(archive_->Put(frame.frame_id, frame.payload));
   }
   if (store_compressed_) {
+    MutexLock lock(mutex_);
     if (bitstreams_.count(frame.frame_id) == 0) metrics.stored_frames->Add(1);
     bitstreams_[frame.frame_id] = std::move(frame.payload);
     return Status::OK();
   }
 
+  // Decompression is the expensive step; it also stays outside the lock so
+  // concurrent sessions decode in parallel.
   Result<PointCloud> cloud_result = [&] {
     obs::ScopedTimer timer(&report->decompress_seconds,
                            metrics.decompress_seconds);
@@ -66,6 +72,7 @@ Status DbgcServer::HandleFrame(const ByteBuffer& wire,
   }();
   if (!cloud_result.ok()) return cloud_result.status();
   report->num_points = cloud_result.value().size();
+  MutexLock lock(mutex_);
   if (clouds_.count(frame.frame_id) == 0) metrics.stored_frames->Add(1);
   clouds_[frame.frame_id] = std::move(cloud_result).value();
   return Status::OK();

@@ -8,7 +8,9 @@
 #include <cstdint>
 #include <map>
 
+#include "common/mutex.h"
 #include "common/point_cloud.h"
+#include "common/thread_annotations.h"
 #include "core/dbgc_codec.h"
 #include "net/frame_protocol.h"
 #include "net/frame_store.h"
@@ -32,27 +34,38 @@ class DbgcServer {
 
   /// Attaches a persistent archive: every incoming bitstream is also
   /// written to `store` (the file/ODBC storage of Section 4.1). The store
-  /// must outlive the server.
+  /// must outlive the server and be attached before traffic starts — the
+  /// pointer itself is not synchronized, only what it points to.
   void set_archive(FrameStore* store) { archive_ = store; }
 
-  /// Handles one wire frame; fills `report`.
+  /// Handles one wire frame; fills `report`. Safe to call from several
+  /// transport threads at once: parsing, archiving, and decompression run
+  /// outside the lock; only the table insertion is serialized.
   Status HandleFrame(const ByteBuffer& wire, ServerFrameReport* report);
 
   /// Frames decompressed and stored (empty in store_compressed mode).
-  const std::map<uint64_t, PointCloud>& stored_clouds() const {
+  /// Returns a reference into the guarded table without taking the lock:
+  /// only valid while the server is quiescent (no HandleFrame in flight),
+  /// the single-threaded inspection pattern tests and examples use.
+  const std::map<uint64_t, PointCloud>& stored_clouds() const
+      DBGC_NO_THREAD_SAFETY_ANALYSIS {
     return clouds_;
   }
-  /// Compressed frames archived in store_compressed mode.
-  const std::map<uint64_t, ByteBuffer>& stored_bitstreams() const {
+  /// Compressed frames archived in store_compressed mode. Same quiescence
+  /// contract as stored_clouds().
+  const std::map<uint64_t, ByteBuffer>& stored_bitstreams() const
+      DBGC_NO_THREAD_SAFETY_ANALYSIS {
     return bitstreams_;
   }
 
  private:
-  bool store_compressed_;
-  FrameStore* archive_ = nullptr;
-  DbgcCodec codec_;
-  std::map<uint64_t, PointCloud> clouds_;
-  std::map<uint64_t, ByteBuffer> bitstreams_;
+  const bool store_compressed_;
+  // Written by set_archive during single-threaded setup, read-only after.
+  FrameStore* archive_ DBGC_THREAD_CONFINED = nullptr;
+  const DbgcCodec codec_;
+  mutable Mutex mutex_;
+  std::map<uint64_t, PointCloud> clouds_ DBGC_GUARDED_BY(mutex_);
+  std::map<uint64_t, ByteBuffer> bitstreams_ DBGC_GUARDED_BY(mutex_);
 };
 
 }  // namespace dbgc

@@ -41,7 +41,9 @@
 #ifndef DBGC_OBS_OFF
 #include <map>
 #include <memory>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #endif
 
 namespace dbgc {
@@ -191,10 +193,13 @@ class MetricsRegistry {
   void ResetForTest();
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      DBGC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      DBGC_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      DBGC_GUARDED_BY(mutex_);
 };
 
 #else  // DBGC_OBS_OFF: same API, zero code on the hot path.

@@ -1,0 +1,151 @@
+// Unit tests for the dbgc_lint lexer (tools/dbgc_lint/lexer.h), focused on
+// the constructs most likely to desync a token scan: raw string literals
+// (which may contain quotes, parens, and decoy code) and digit separators
+// (which embed single quotes inside number tokens).
+
+#include "lexer.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace dbgc_lint {
+namespace {
+
+std::vector<Token> LexOf(const std::string& src) { return Lex(src); }
+
+// Texts of all tokens of `kind`.
+std::vector<std::string> TextsOf(const std::string& src, TokenKind kind) {
+  std::vector<std::string> out;
+  for (const Token& t : LexOf(src)) {
+    if (t.kind == kind) out.push_back(t.text);
+  }
+  return out;
+}
+
+TEST(LintLexer, DigitSeparatorsStayInNumberToken) {
+  const auto nums = TextsOf("int x = 1'000'000;", TokenKind::kNumber);
+  ASSERT_EQ(nums.size(), 1u);
+  EXPECT_EQ(nums[0], "1'000'000");
+}
+
+TEST(LintLexer, HexDigitSeparators) {
+  const auto nums = TextsOf("uint32_t m = 0xFF'FF'00'00u;", TokenKind::kNumber);
+  ASSERT_EQ(nums.size(), 1u);
+  EXPECT_EQ(nums[0], "0xFF'FF'00'00u");
+}
+
+TEST(LintLexer, QuoteAfterNumberIsCharLiteralNotSeparator) {
+  // `0'c'` must lex as the number 0 followed by the char literal 'c';
+  // a greedy separator rule would swallow the quote and desync.
+  const auto tokens = LexOf("f(0, 'c');");
+  std::vector<std::string> nums, chars;
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kNumber) nums.push_back(t.text);
+    if (t.kind == TokenKind::kChar) chars.push_back(t.text);
+  }
+  ASSERT_EQ(nums.size(), 1u);
+  EXPECT_EQ(nums[0], "0");
+  ASSERT_EQ(chars.size(), 1u);
+  EXPECT_EQ(chars[0], "'c'");
+}
+
+TEST(LintLexer, ExponentSignsStayInNumberToken) {
+  const auto nums = TextsOf("double d = 1.5e+10;", TokenKind::kNumber);
+  ASSERT_EQ(nums.size(), 1u);
+  EXPECT_EQ(nums[0], "1.5e+10");
+}
+
+TEST(LintLexer, RawStringIsOneToken) {
+  const auto strs =
+      TextsOf("auto s = R\"(a \"b\" (c) d)\";", TokenKind::kString);
+  ASSERT_EQ(strs.size(), 1u);
+  EXPECT_EQ(strs[0], "R\"(a \"b\" (c) d)\"");
+}
+
+TEST(LintLexer, RawStringWithDelimiter) {
+  // The body contains a plain `)"` that only the delimiter disambiguates.
+  const std::string src = "auto s = R\"x(quote \" close )\" inner)x\";";
+  const auto strs = TextsOf(src, TokenKind::kString);
+  ASSERT_EQ(strs.size(), 1u);
+  EXPECT_EQ(strs[0], "R\"x(quote \" close )\" inner)x\"");
+}
+
+TEST(LintLexer, RawStringBodyIsNotScannedAsCode) {
+  // Decoy code inside the literal must not produce ident/punct tokens.
+  const auto tokens = LexOf("auto s = R\"(MutexLock lock(mu_);)\"; int y;");
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kIdent) {
+      EXPECT_NE(t.text, "MutexLock");
+      EXPECT_NE(t.text, "lock");
+    }
+  }
+  const auto idents = TextsOf("auto s = R\"(MutexLock lock(mu_);)\"; int y;",
+                              TokenKind::kIdent);
+  ASSERT_EQ(idents.size(), 4u);  // auto, s, int, y.
+  EXPECT_EQ(idents[2], "int");
+  EXPECT_EQ(idents[3], "y");
+}
+
+TEST(LintLexer, RawStringEncodingPrefixes) {
+  for (const std::string prefix : {"u8R", "uR", "UR", "LR"}) {
+    const std::string src = "auto s = " + prefix + "\"(x)\";";
+    const auto strs = TextsOf(src, TokenKind::kString);
+    ASSERT_EQ(strs.size(), 1u) << prefix;
+    EXPECT_EQ(strs[0], prefix + "\"(x)\"") << prefix;
+  }
+}
+
+TEST(LintLexer, RawStringTracksLineNumbers) {
+  const auto tokens = LexOf("auto s = R\"(line one\nline two)\";\nint y;");
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kIdent && t.text == "y") {
+      EXPECT_EQ(t.line, 3);
+      return;
+    }
+  }
+  FAIL() << "ident y not found";
+}
+
+TEST(LintLexer, IdentifierRWithoutRawStringFallsBack) {
+  // An identifier merely ending in R, or R used as a plain name, must not
+  // trigger raw-string lexing.
+  const auto idents = TextsOf("int R = 2; int FooR = R + 1;",
+                              TokenKind::kIdent);
+  ASSERT_EQ(idents.size(), 5u);  // int, R, int, FooR, R.
+  EXPECT_EQ(idents[1], "R");
+  EXPECT_EQ(idents[3], "FooR");
+}
+
+TEST(LintLexer, NonRawStringAfterRIdentFallsBack) {
+  // `R"str"` with no '(' terminating the (bounded) delimiter scan is an
+  // ident followed by an ordinary string, not a raw string; likewise an
+  // identifier that only ends in R never starts the raw-string path.
+  const auto tokens = LexOf("R\"str\" DBGC_R\"s2\" ;");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[0].text, "R");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[1].text, "\"str\"");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[2].text, "DBGC_R");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[3].text, "\"s2\"");
+}
+
+TEST(LintLexer, UnterminatedRawStringSwallowsRest) {
+  // Matches the unterminated-literal policy for plain strings: the token
+  // extends to end of input rather than desyncing the scan.
+  const auto tokens = LexOf("auto s = R\"(never closed; int x;");
+  ASSERT_FALSE(tokens.empty());
+  EXPECT_EQ(tokens.back().kind, TokenKind::kString);
+  for (const Token& t : tokens) {
+    if (t.kind == TokenKind::kIdent) {
+      EXPECT_NE(t.text, "x");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dbgc_lint

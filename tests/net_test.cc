@@ -561,5 +561,40 @@ TEST(FrameStoreTest, LifecycleReleasesResidentGauges) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Concurrent store access. The assertions here are liveness and accounting;
+// the locking itself is checked by ThreadSanitizer (scripts/check.sh runs
+// this suite under -fsanitize=thread) and statically by dbgc_lint R8/R9 and
+// the clang thread-safety gate.
+
+TEST(FrameStoreConcurrency, ParallelPutGetEvictStaysConsistent) {
+  constexpr uint64_t kIdSpace = 32;
+  constexpr size_t kOps = 512;
+  MemoryFrameStore store(/*capacity=*/8);
+  ThreadPool pool(4);
+  std::atomic<uint64_t> hits{0};
+  ASSERT_TRUE(pool.ParallelFor(0, kOps, 1, [&](size_t lo, size_t hi) {
+                    for (size_t i = lo; i < hi; ++i) {
+                      const uint64_t id = i % kIdSpace;
+                      ASSERT_TRUE(store.Put(id, PayloadOfSize(1 + i % 64)).ok());
+                      auto got = store.Get((id + 7) % kIdSpace);
+                      if (got.ok()) {
+                        EXPECT_GE(got.value().size(), 1u);
+                        hits.fetch_add(1);
+                      }
+                      if (i % 16 == 0) (void)store.Remove((id + 3) % kIdSpace);
+                      EXPECT_LE(store.List().size(), 8u);
+                    }
+                  })
+                  .ok());
+  // Every surviving id is readable, occupancy respects the bound, and the
+  // eviction counter accounts for the overflow traffic.
+  const std::vector<uint64_t> ids = store.List();
+  EXPECT_LE(ids.size(), 8u);
+  for (const uint64_t id : ids) EXPECT_TRUE(store.Get(id).ok());
+  EXPECT_GT(store.evicted(), 0u);
+  EXPECT_GT(hits.load(), 0u);
+}
+
 }  // namespace
 }  // namespace dbgc

@@ -252,6 +252,12 @@ std::string FunctionNameForBrace(const CodeView& v, size_t ci) {
           // init entry and keep scanning.
           true;
       if (init_entry) continue;
+      if (before.text.rfind("DBGC_", 0) == 0) {
+        // Trailing annotation (DBGC_REQUIRES(mu_) etc.) between the
+        // parameter list and the body; its argument parens are not the
+        // parameter list. Keep walking left.
+        continue;
+      }
       return before.text;
     }
     if (s == ":" || s == "," || s == "&" || s == "&&" || s == "*" ||
@@ -492,7 +498,7 @@ void CheckR3Body(const SourceFile& file, const CodeView& v,
 
 void CheckR4(const SourceFile& file, const CodeView& v,
              std::vector<Diagnostic>* diags) {
-  if (file.is_test) return;
+  if (file.kind == FileKind::kTest) return;
   for (size_t ci = 0; ci + 1 < v.size(); ++ci) {
     if (v.IsIdent(ci) && v.Tok(ci).text == "assert" && v.Is(ci + 1, "(")) {
       diags->push_back(Diagnostic{
@@ -652,12 +658,20 @@ void CheckR5(const SourceFile& file, const CodeView& v,
 // R6: ad-hoc monotonic clock reads. src/obs/trace.h is the library's one
 // sanctioned steady_clock call site; everything else times through a span
 // or obs::MonotonicSeconds so the latency is visible in the registry
-// (docs/OBSERVABILITY.md). Tests/tools/benches stay free to time directly.
+// (docs/OBSERVABILITY.md). Tests stay free to time directly; tools and
+// benches are linted too, with bench/bench_util.h allowlisted as the one
+// sanctioned bench-local timer.
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
 
 void CheckR6(const SourceFile& file, const CodeView& v,
              std::vector<Diagnostic>* diags) {
-  if (file.is_test) return;
+  if (file.kind == FileKind::kTest) return;
   if (file.rel_path.rfind("obs/", 0) == 0) return;  // The wrapper itself.
+  if (HasSuffix(file.path, "bench/bench_util.h")) return;  // Timer allowlist.
   for (size_t ci = 0; ci + 2 < v.size(); ++ci) {
     if (v.IsIdent(ci) && v.Tok(ci).text == "steady_clock" &&
         v.Is(ci + 1, "::") && v.Is(ci + 2, "now")) {
@@ -681,7 +695,6 @@ void CheckR6(const SourceFile& file, const CodeView& v,
 
 void CheckR7(const SourceFile& file, const CodeView& v,
              std::vector<Diagnostic>* diags) {
-  if (file.is_test) return;
   if (file.rel_path.rfind("entropy/", 0) == 0) return;  // The facade itself.
   static const char* kConcrete[] = {"ArithmeticEncoder", "ArithmeticDecoder",
                                     "RangeEncoder", "RangeDecoder"};
@@ -701,7 +714,638 @@ void CheckR7(const SourceFile& file, const CodeView& v,
 }
 
 // ---------------------------------------------------------------------------
-// Suppressions: // DBGC_LINT_ALLOW(Rn): reason
+// Concurrency rules R8-R12 (docs/CONCURRENCY.md). ParseClasses records each
+// class's annotation contract into a ClassInfo (pass 1 merges them into the
+// SymbolTable); pass 2 then checks member annotation coverage (R8), lock
+// discipline at guarded accesses (R9), blocking calls under a held lock
+// (R10), mutable global state (R11), and raw thread primitives (R12).
+
+bool IsMutexType(const std::string& t) {
+  return t == "Mutex" || t == "mutex" || t == "shared_mutex" ||
+         t == "timed_mutex" || t == "recursive_mutex";
+}
+
+bool IsCondVarType(const std::string& t) {
+  return t == "CondVar" || t == "condition_variable" ||
+         t == "condition_variable_any";
+}
+
+// Advances past a balanced [...] starting at `ci` (which must be "[").
+size_t SkipBrackets(const CodeView& v, size_t ci) {
+  int depth = 0;
+  for (; ci < v.size(); ++ci) {
+    const std::string& t = v.Tok(ci).text;
+    if (t == "[") ++depth;
+    if (t == "]" && --depth == 0) return ci + 1;
+  }
+  return v.size();
+}
+
+// Identifiers inside the balanced (...) at `open`, in order.
+std::vector<std::string> IdentsInParens(const CodeView& v, size_t open) {
+  std::vector<std::string> idents;
+  const size_t close = SkipParens(v, open);
+  for (size_t k = open + 1; k + 1 < close; ++k) {
+    if (v.IsIdent(k)) idents.push_back(v.Tok(k).text);
+  }
+  return idents;
+}
+
+// Parses one member declaration of a class body beginning at `s`. `end` is
+// the code index of the class's closing brace. Records what it learns into
+// `info` and returns the index just past the declaration.
+size_t ParseMember(const CodeView& v, size_t s, size_t end, ClassInfo* info) {
+  if (v.IsIdent(s)) {
+    const std::string& first = v.Tok(s).text;
+    if ((first == "public" || first == "private" || first == "protected") &&
+        v.Is(s + 1, ":")) {
+      return s + 2;
+    }
+    if (first == "using" || first == "typedef" || first == "friend" ||
+        first == "static_assert") {
+      size_t k = s;
+      while (k < end && !v.Is(k, ";")) ++k;
+      return k + 1;
+    }
+    if (first == "template") {
+      return v.Is(s + 1, "<") ? SkipAngles(v, s + 1) : s + 1;
+    }
+    if (first == "class" || first == "struct" || first == "union" ||
+        first == "enum") {
+      // Nested type: the top-level class scan parses its body separately;
+      // here it (or a forward declaration) is skipped whole.
+      size_t k = s + 1;
+      while (k < end && !v.Is(k, "{") && !v.Is(k, ";")) ++k;
+      if (v.Is(k, "{")) k = FindMatchingBrace(v, k);
+      while (k < end && !v.Is(k, ";")) ++k;
+      return k + 1;
+    }
+  }
+
+  bool is_const = false, is_mutex = false, is_cv = false, is_atomic = false;
+  bool is_confined = false, is_fn = false, no_analysis = false;
+  std::string name, fn_name, guarded_mutex, pt_guarded_mutex;
+  std::vector<std::string> extra_names;
+  std::set<std::string> required;
+  int name_line = v.Tok(s).line;
+  size_t k = s;
+  while (k < end) {
+    const Token& t = v.Tok(k);
+    const std::string& txt = t.text;
+    if (t.kind == TokenKind::kIdent) {
+      if (txt == "const" || txt == "constexpr" || txt == "constinit") {
+        is_const = true;
+      } else if (IsMutexType(txt)) {
+        is_mutex = true;
+      } else if (IsCondVarType(txt)) {
+        is_cv = true;
+      } else if (txt == "atomic" || txt == "atomic_flag") {
+        is_atomic = true;
+      } else if (txt == "DBGC_THREAD_CONFINED") {
+        is_confined = true;
+      } else if (txt == "DBGC_NO_THREAD_SAFETY_ANALYSIS") {
+        no_analysis = true;
+      } else if (txt == "operator") {
+        // Operators are always functions; skip ahead to the parameter list.
+        is_fn = true;
+        if (fn_name.empty()) fn_name = "operator";
+        while (k < end && !v.Is(k, "(")) ++k;
+        continue;
+      } else if (txt.rfind("DBGC_", 0) == 0 && v.Is(k + 1, "(")) {
+        const std::vector<std::string> args = IdentsInParens(v, k + 1);
+        if (txt == "DBGC_GUARDED_BY" && !args.empty()) {
+          guarded_mutex = args.back();
+        } else if (txt == "DBGC_PT_GUARDED_BY" && !args.empty()) {
+          pt_guarded_mutex = args.back();
+        } else if (txt == "DBGC_REQUIRES") {
+          required.insert(args.begin(), args.end());
+        }
+        k = SkipParens(v, k + 1);
+        continue;
+      } else if (txt != "static" && txt != "inline" && txt != "mutable" &&
+                 txt != "explicit" && txt != "virtual" && txt != "volatile" &&
+                 txt != "typename" && txt != "final" && txt != "override" &&
+                 txt != "noexcept" && txt != "default" && txt != "delete") {
+        if (!is_fn) {
+          name = txt;
+          name_line = t.line;
+        }
+      }
+      ++k;
+      continue;
+    }
+    if (txt == "<") { k = SkipAngles(v, k); continue; }
+    if (txt == "[") { k = SkipBrackets(v, k); continue; }
+    if (txt == "(") {
+      // At class scope a parenthesis means a function declaration:
+      // in-class member initializers can only use "=" or braces.
+      is_fn = true;
+      if (fn_name.empty()) fn_name = name;
+      k = SkipParens(v, k);
+      continue;
+    }
+    if (txt == "{") {
+      if (is_fn) {  // Inline body ends the declaration.
+        k = FindMatchingBrace(v, k);
+        if (v.Is(k, ";")) ++k;
+        break;
+      }
+      k = FindMatchingBrace(v, k);  // Brace initializer.
+      continue;
+    }
+    if (txt == "=") {
+      int depth = 0;
+      ++k;
+      while (k < end) {
+        const std::string& u = v.Tok(k).text;
+        if (u == "(" || u == "{" || u == "[") ++depth;
+        else if (u == ")" || u == "}" || u == "]") --depth;
+        else if (u == ";" && depth == 0) break;
+        else if (u == "," && depth == 0 && !is_fn) break;
+        ++k;
+      }
+      continue;
+    }
+    if (txt == ";") { ++k; break; }
+    if (txt == ",") {
+      if (!is_fn && !name.empty()) {
+        extra_names.push_back(name);
+        name.clear();
+      }
+      ++k;
+      continue;
+    }
+    ++k;  // ~ & * :: : ... and other declarator punctuation.
+  }
+
+  if (is_fn) {
+    if (!fn_name.empty()) {
+      if (no_analysis) info->method_no_analysis.insert(fn_name);
+      if (!required.empty()) {
+        info->method_requires[fn_name].insert(required.begin(),
+                                              required.end());
+      }
+    }
+  } else {
+    if (!name.empty()) extra_names.push_back(name);
+    for (const std::string& member : extra_names) {
+      info->members.insert(member);
+      info->member_lines.emplace(member, name_line);
+      if (is_mutex) info->mutexes.insert(member);
+      if (is_cv) info->condvars.insert(member);
+      if (is_atomic) info->atomics.insert(member);
+      if (is_const) info->consts.insert(member);
+      if (is_confined) info->confined.insert(member);
+      if (!guarded_mutex.empty()) info->guarded[member] = guarded_mutex;
+      if (!pt_guarded_mutex.empty()) {
+        info->pt_guarded[member] = pt_guarded_mutex;
+      }
+    }
+  }
+  return std::max(k, s + 1);
+}
+
+struct ParsedClass {
+  ClassInfo info;
+  size_t body_begin = 0;  // Code index of "{".
+  size_t body_end = 0;    // Just past the matching "}".
+};
+
+void ParseClassBody(const CodeView& v, size_t open, size_t end_past,
+                    ClassInfo* info) {
+  const size_t end = end_past == 0 ? 0 : end_past - 1;  // The "}" itself.
+  size_t k = open + 1;
+  while (k < end) {
+    const size_t next = ParseMember(v, k, end, info);
+    k = next > k ? next : k + 1;
+  }
+}
+
+// Every class/struct definition in the file, including nested ones (the
+// scan visits all tokens, so an inner class shows up as its own entry).
+std::vector<ParsedClass> ParseClasses(const CodeView& v) {
+  std::vector<ParsedClass> out;
+  for (size_t ci = 0; ci < v.size(); ++ci) {
+    if (!v.IsIdent(ci)) continue;
+    const std::string& kw = v.Tok(ci).text;
+    if (kw != "class" && kw != "struct") continue;
+    if (ci > 0 && v.Tok(ci - 1).kind == TokenKind::kIdent &&
+        v.Tok(ci - 1).text == "enum") {
+      continue;
+    }
+    size_t k = ci + 1;
+    // Capability attributes between the keyword and the name.
+    while (v.IsIdent(k) && v.Tok(k).text.rfind("DBGC_", 0) == 0) {
+      k = v.Is(k + 1, "(") ? SkipParens(v, k + 1) : k + 1;
+    }
+    // Qualified name: the definition names the last :: component.
+    std::string name;
+    while (v.IsIdent(k)) {
+      name = v.Tok(k).text;
+      if (v.Is(k + 1, "::")) {
+        k += 2;
+      } else {
+        ++k;
+        break;
+      }
+    }
+    if (name.empty()) continue;
+    if (v.Is(k, "final")) ++k;
+    if (v.Is(k, ":")) {  // Base clause: scan forward to the body brace.
+      while (k < v.size() && !v.Is(k, "{") && !v.Is(k, ";")) {
+        k = v.Is(k, "<") ? SkipAngles(v, k) : k + 1;
+      }
+    }
+    if (!v.Is(k, "{")) continue;  // Forward declaration or variable.
+    ParsedClass pc;
+    pc.info.name = name;
+    pc.body_begin = k;
+    pc.body_end = FindMatchingBrace(v, k);
+    ParseClassBody(v, pc.body_begin, pc.body_end, &pc.info);
+    out.push_back(std::move(pc));
+  }
+  return out;
+}
+
+// R8: every mutable member of a mutex-owning class carries an annotation.
+
+void CheckR8(const SourceFile& file, const std::vector<ParsedClass>& classes,
+             std::vector<Diagnostic>* diags) {
+  for (const ParsedClass& pc : classes) {
+    const ClassInfo& c = pc.info;
+    if (c.mutexes.empty()) continue;
+    for (const std::string& m : c.members) {
+      if (c.mutexes.count(m) || c.condvars.count(m) || c.atomics.count(m) ||
+          c.consts.count(m) || c.confined.count(m) || c.guarded.count(m) ||
+          c.pt_guarded.count(m)) {
+        continue;
+      }
+      const auto line = c.member_lines.find(m);
+      diags->push_back(Diagnostic{
+          file.path, line == c.member_lines.end() ? 1 : line->second, "R8",
+          "class '" + c.name + "' owns a mutex but member '" + m +
+              "' is neither const/atomic nor annotated DBGC_GUARDED_BY/"
+              "DBGC_PT_GUARDED_BY/DBGC_THREAD_CONFINED "
+              "(common/thread_annotations.h)"});
+    }
+  }
+}
+
+// R9/R10: lock discipline inside method bodies.
+
+bool IsBlockingCall(const std::string& name) {
+  static const char* kBlocking[] = {
+      "ParallelFor", "Schedule",  "Submit",      "TrySubmit", "Drain",
+      "NextResult",  "Compress",  "Decompress",  "CompressImpl",
+      "DecompressImpl", "HandleFrame", "Put",    "join",      "detach",
+      "sleep_for",   "sleep_until", "fopen",     "fread",     "fwrite",
+      "fclose",      "opendir",   "readdir",     "closedir"};
+  for (const char* b : kBlocking) {
+    if (name == b) return true;
+  }
+  return false;
+}
+
+bool IsWaitCall(const std::string& name) {
+  return name == "Wait" || name == "wait" || name == "wait_for" ||
+         name == "wait_until";
+}
+
+// Resolves the class a function definition belongs to via its qualified
+// name (`Class::Method(...) {`). Returns "" for free functions, in-class
+// definitions (resolved by body position instead), and constructors with
+// initializer lists (exempt anyway).
+std::string OutOfLineOwner(const CodeView& v, const FunctionSpan& fn) {
+  size_t k = fn.body_begin;
+  int steps = 0;
+  while (k > 0 && ++steps < 64) {
+    --k;
+    const Token& t = v.Tok(k);
+    if (t.kind == TokenKind::kIdent) continue;  // const / noexcept / override.
+    if (t.text != ")") return "";  // Init list or not a definition header.
+    int depth = 0;
+    size_t j = k;
+    while (j > 0) {
+      const std::string& u = v.Tok(j).text;
+      if (u == ")") ++depth;
+      if (u == "(" && --depth == 0) break;
+      --j;
+    }
+    if (j < 2 || !v.IsIdent(j - 1)) return "";
+    const std::string& before = v.Tok(j - 1).text;
+    if (before.rfind("DBGC_", 0) == 0 || before == "noexcept") {
+      k = j - 1;  // Trailing annotation group; keep walking left.
+      continue;
+    }
+    size_t prev = j - 2;  // Token before the function name.
+    if (v.Tok(prev).text == "~") {
+      if (prev == 0) return "";
+      --prev;
+    }
+    if (v.Tok(prev).text == "::" && prev >= 1 && v.IsIdent(prev - 1)) {
+      return v.Tok(prev - 1).text;
+    }
+    return "";
+  }
+  return "";
+}
+
+struct HeldGuard {
+  std::string var;  // The RAII object's name.
+  std::string mu;   // The mutex expression's final identifier.
+  int depth;        // Brace depth of the declaration (popped on scope exit).
+  bool held;        // false between var.unlock() and var.lock().
+};
+
+void CheckMethodBody(const SourceFile& file, const CodeView& v,
+                     const FunctionSpan& fn, const ClassInfo* cls,
+                     bool check_r9, std::vector<Diagnostic>* diags) {
+  std::set<std::string> required;
+  if (cls != nullptr) {
+    const auto it = cls->method_requires.find(fn.name);
+    if (it != cls->method_requires.end()) required = it->second;
+  }
+  std::vector<HeldGuard> guards;
+  int depth = 0;
+  const auto holds = [&](const std::string& mu) {
+    if (required.count(mu)) return true;
+    for (const HeldGuard& g : guards) {
+      if (g.held && g.mu == mu) return true;
+    }
+    return false;
+  };
+  const auto any_held = [&] {
+    if (!required.empty()) return true;
+    for (const HeldGuard& g : guards) {
+      if (g.held) return true;
+    }
+    return false;
+  };
+  for (size_t ci = fn.body_begin; ci < fn.body_end; ++ci) {
+    const Token& t = v.Tok(ci);
+    const std::string& txt = t.text;
+    if (t.kind == TokenKind::kPunct) {
+      if (txt == "{") {
+        ++depth;
+      } else if (txt == "}") {
+        --depth;
+        while (!guards.empty() && guards.back().depth > depth) {
+          guards.pop_back();
+        }
+      }
+      continue;
+    }
+    if (t.kind != TokenKind::kIdent) continue;
+    // RAII guard declarations (ours and the std adapters).
+    if (txt == "MutexLock" || txt == "ReleasableMutexLock" ||
+        txt == "lock_guard" || txt == "unique_lock" || txt == "scoped_lock") {
+      size_t k = ci + 1;
+      if (v.Is(k, "<")) k = SkipAngles(v, k);
+      if (v.IsIdent(k) && v.Is(k + 1, "(")) {
+        const std::vector<std::string> args = IdentsInParens(v, k + 1);
+        if (!args.empty()) {
+          guards.push_back(HeldGuard{v.Tok(k).text, args.back(), depth, true});
+          ci = SkipParens(v, k + 1) - 1;
+          continue;
+        }
+      }
+    }
+    // var.lock() / var.unlock() on a tracked guard.
+    if ((txt == "lock" || txt == "unlock") && ci >= 2 && v.Is(ci - 1, ".") &&
+        v.IsIdent(ci - 2) && v.Is(ci + 1, "(")) {
+      for (HeldGuard& g : guards) {
+        if (g.var == v.Tok(ci - 2).text) g.held = (txt == "lock");
+      }
+      continue;
+    }
+    // R10: blocking calls while any lock is held.
+    if (v.Is(ci + 1, "(") && any_held()) {
+      if (IsWaitCall(txt)) {
+        const std::vector<std::string> args = IdentsInParens(v, ci + 1);
+        bool on_held_guard = false;
+        for (const HeldGuard& g : guards) {
+          if (g.held && !args.empty() && g.var == args.front()) {
+            on_held_guard = true;
+          }
+        }
+        if (!on_held_guard) {
+          diags->push_back(Diagnostic{
+              file.path, t.line, "R10",
+              "condition wait in '" + fn.name +
+                  "' does not wait on the held scoped lock; waiting while "
+                  "holding an unrelated mutex deadlocks "
+                  "(docs/CONCURRENCY.md rule R10)"});
+        }
+      } else if (IsBlockingCall(txt)) {
+        diags->push_back(Diagnostic{
+            file.path, t.line, "R10",
+            "blocking call '" + txt + "' in '" + fn.name +
+                "' while a lock is held; release the lock first "
+                "(docs/CONCURRENCY.md rule R10)"});
+      }
+    }
+    // R9: unqualified access to a guarded member.
+    if (check_r9 && cls != nullptr) {
+      const auto git = cls->guarded.find(txt);
+      if (git != cls->guarded.end()) {
+        const std::string& prev = ci > 0 ? v.Tok(ci - 1).text : "";
+        if (prev != "." && prev != "->" && prev != "::" &&
+            !holds(git->second)) {
+          diags->push_back(Diagnostic{
+              file.path, t.line, "R9",
+              "member '" + txt + "' is guarded by '" + git->second +
+                  "' but '" + fn.name +
+                  "' accesses it without holding the lock; take a MutexLock "
+                  "or annotate the method DBGC_REQUIRES(" + git->second +
+                  ") (docs/CONCURRENCY.md rule R9)"});
+        }
+      }
+    }
+  }
+}
+
+void CheckR9R10(const SourceFile& file, const CodeView& v,
+                const SymbolTable& table,
+                const std::vector<ParsedClass>& classes,
+                std::vector<Diagnostic>* diags) {
+  for (const FunctionSpan& fn : SegmentFunctions(v)) {
+    std::string owner = OutOfLineOwner(v, fn);
+    if (owner.empty()) {
+      for (const ParsedClass& pc : classes) {
+        if (fn.body_begin > pc.body_begin && fn.body_begin < pc.body_end) {
+          owner = pc.info.name;  // The last hit is the innermost class.
+        }
+      }
+    }
+    const ClassInfo* cls = nullptr;
+    if (!owner.empty()) {
+      const auto it = table.classes.find(owner);
+      if (it != table.classes.end()) cls = &it->second;
+    }
+    if (cls != nullptr && cls->method_no_analysis.count(fn.name)) continue;
+    // Constructors and destructors are exempt from R9: no second thread
+    // can hold a reference while the object is being built or torn down.
+    const bool check_r9 = cls != nullptr && fn.name != cls->name;
+    CheckMethodBody(file, v, fn, cls, check_r9, diags);
+  }
+}
+
+// R11: mutable static / namespace-scope state.
+
+enum class DeclClass { kSkip, kOk, kMutable };
+
+DeclClass ClassifyDecl(const CodeView& v, size_t ci, std::string* name) {
+  if (!v.IsIdent(ci)) return DeclClass::kSkip;
+  const std::string& first = v.Tok(ci).text;
+  if (IsControlKeyword(first) || first == "using" || first == "typedef" ||
+      first == "friend" || first == "namespace" || first == "extern" ||
+      first == "template" || first == "class" || first == "struct" ||
+      first == "union" || first == "enum" || first == "public" ||
+      first == "private" || first == "protected" || first == "try" ||
+      first == "break" || first == "continue" || first == "goto") {
+    return DeclClass::kSkip;
+  }
+  bool saw_const = false;
+  bool saw_sync = false;
+  std::string last_ident;
+  const size_t limit = std::min(v.size(), ci + 96);
+  for (size_t k = ci; k < limit; ++k) {
+    const Token& t = v.Tok(k);
+    const std::string& txt = t.text;
+    if (t.kind == TokenKind::kPreproc) return DeclClass::kSkip;
+    if (t.kind == TokenKind::kIdent) {
+      if (txt == "const" || txt == "constexpr" || txt == "constinit") {
+        saw_const = true;
+      } else if (IsMutexType(txt) || IsCondVarType(txt) ||
+                 txt == "once_flag") {
+        saw_sync = true;
+      } else if (txt == "operator" || txt == "using" || txt == "class" ||
+                 txt == "struct" || txt == "enum" || txt == "union") {
+        return DeclClass::kSkip;
+      } else if (txt != "static" && txt != "thread_local" &&
+                 txt != "inline" && txt != "mutable" && txt != "auto" &&
+                 txt != "volatile") {
+        last_ident = txt;
+      }
+      continue;
+    }
+    if (txt == "<") { k = SkipAngles(v, k) - 1; continue; }
+    if (txt == "[") { k = SkipBrackets(v, k) - 1; continue; }
+    if (txt == "(") return DeclClass::kSkip;  // Function or macro call.
+    if (txt == "=" || txt == "{" || txt == ";") {
+      if (saw_sync || saw_const) return DeclClass::kOk;
+      *name = last_ident;
+      return last_ident.empty() ? DeclClass::kSkip : DeclClass::kMutable;
+    }
+    // * & :: , : keep scanning the declarator.
+  }
+  return DeclClass::kSkip;
+}
+
+void CheckR11(const SourceFile& file, const CodeView& v,
+              std::vector<Diagnostic>* diags) {
+  if (file.rel_path.rfind("obs/", 0) == 0) return;  // Registry internals.
+  const auto flag = [&](size_t ci, const std::string& name,
+                        const char* where) {
+    diags->push_back(Diagnostic{
+        file.path, v.Tok(ci).line, "R11",
+        std::string("mutable ") + where + " state '" + name +
+            "' in library code; keep shared state inside a mutex-owning "
+            "class or the obs registry (docs/CONCURRENCY.md rule R11)"});
+  };
+  // Static and thread_local declarations anywhere (function-local statics,
+  // class statics, namespace-scope statics).
+  for (size_t ci = 0; ci < v.size(); ++ci) {
+    if (!v.IsIdent(ci)) continue;
+    const std::string& txt = v.Tok(ci).text;
+    if (txt != "static" && txt != "thread_local") continue;
+    std::string name;
+    if (ClassifyDecl(v, ci, &name) == DeclClass::kMutable) {
+      flag(ci, name, "static");
+    }
+  }
+  // Namespace-scope declarations without the static keyword. Braces are
+  // classified as namespace-braces or other; a statement is at namespace
+  // scope when every enclosing brace is a namespace.
+  std::vector<bool> ns_stack;
+  bool all_ns = true;
+  for (size_t ci = 0; ci < v.size(); ++ci) {
+    const Token& t = v.Tok(ci);
+    if (t.kind == TokenKind::kPunct) {
+      if (t.text == "{") {
+        bool ns = false;
+        if (ci >= 1 && v.Is(ci - 1, "namespace")) ns = true;
+        if (ci >= 2 && v.IsIdent(ci - 1) && v.Is(ci - 2, "namespace")) {
+          ns = true;
+        }
+        ns_stack.push_back(ns);
+      } else if (t.text == "}" && !ns_stack.empty()) {
+        ns_stack.pop_back();
+      }
+      all_ns = true;
+      for (const bool ns : ns_stack) all_ns = all_ns && ns;
+      continue;
+    }
+    if (!all_ns || !v.IsIdent(ci)) continue;
+    const bool at_start =
+        ci == 0 || v.Tok(ci - 1).kind == TokenKind::kPreproc ||
+        (v.Tok(ci - 1).kind == TokenKind::kPunct &&
+         (v.Tok(ci - 1).text == ";" || v.Tok(ci - 1).text == "{" ||
+          v.Tok(ci - 1).text == "}"));
+    if (!at_start) continue;
+    const std::string& txt = t.text;
+    if (txt == "static" || txt == "thread_local") continue;  // Handled above.
+    std::string name;
+    if (ClassifyDecl(v, ci, &name) == DeclClass::kMutable) {
+      flag(ci, name, "namespace-scope");
+    }
+  }
+}
+
+// R12: raw thread primitives outside the pool implementation.
+
+void CheckR12(const SourceFile& file, const CodeView& v,
+              std::vector<Diagnostic>* diags) {
+  if (file.rel_path == "common/thread_pool.h" ||
+      file.rel_path == "common/thread_pool.cc") {
+    return;  // The one sanctioned implementation.
+  }
+  for (size_t ci = 0; ci < v.size(); ++ci) {
+    if (!v.IsIdent(ci)) continue;
+    const std::string& t = v.Tok(ci).text;
+    const bool std_qualified =
+        ci >= 2 && v.Is(ci - 1, "::") && v.Tok(ci - 2).text == "std";
+    if ((t == "thread" || t == "jthread") && std_qualified &&
+        !v.Is(ci + 1, "::")) {
+      // std::thread::hardware_concurrency and friends stay legal: the
+      // trailing :: marks a static query, not a thread being created.
+      diags->push_back(Diagnostic{
+          file.path, v.Tok(ci).line, "R12",
+          "raw std::" + t + " outside the thread pool; run work on a "
+              "dbgc::ThreadPool (common/thread_pool.h, docs/PARALLELISM.md)"});
+    }
+    if (t == "async" && std_qualified) {
+      diags->push_back(Diagnostic{
+          file.path, v.Tok(ci).line, "R12",
+          "std::async outside the thread pool; run work on a "
+          "dbgc::ThreadPool (common/thread_pool.h, docs/PARALLELISM.md)"});
+    }
+    if (t == "detach" && v.Is(ci + 1, "(") && ci >= 1 &&
+        (v.Is(ci - 1, ".") || v.Is(ci - 1, "->"))) {
+      diags->push_back(Diagnostic{
+          file.path, v.Tok(ci).line, "R12",
+          "detached thread; pool workers are joined in ~ThreadPool so "
+          "shutdown stays deterministic (docs/PARALLELISM.md)"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions. A comment naming DBGC_LINT_ALLOW with a parenthesized rule
+// and a mandatory reason disables that rule on its own line (trailing
+// comment) or on the next code line (standalone comment). A prose mention
+// of the macro name without an immediately following parenthesis is not a
+// suppression attempt.
 
 struct Suppressions {
   // line -> rules allowed on that line (and on the following line when the
@@ -721,17 +1365,25 @@ Suppressions CollectSuppressions(const SourceFile& file) {
   for (const Token& t : file.tokens) {
     if (t.kind != TokenKind::kComment) continue;
     size_t pos = 0;
-    while ((pos = t.text.find("DBGC_LINT_ALLOW", pos)) != std::string::npos) {
-      const size_t open = t.text.find('(', pos);
-      const size_t close =
-          open == std::string::npos ? std::string::npos
-                                    : t.text.find(')', open);
-      bool ok = open != std::string::npos && close != std::string::npos;
+    const std::string kMarker = "DBGC_LINT_ALLOW";
+    while ((pos = t.text.find(kMarker, pos)) != std::string::npos) {
+      const size_t open = pos + kMarker.size();
+      if (open >= t.text.size() || t.text[open] != '(') {
+        pos = open;  // Prose mention, not a suppression attempt.
+        continue;
+      }
+      const size_t close = t.text.find(')', open);
+      bool ok = close != std::string::npos;
       std::string rule;
       if (ok) {
         rule = t.text.substr(open + 1, close - open - 1);
-        ok = rule.size() == 2 && rule[0] == 'R' && rule[1] >= '1' &&
-             rule[1] <= '7';
+        ok = rule.size() >= 2 && rule.size() <= 3 && rule[0] == 'R';
+        int num = 0;
+        for (size_t d = 1; ok && d < rule.size(); ++d) {
+          ok = std::isdigit(static_cast<unsigned char>(rule[d])) != 0;
+          num = num * 10 + (rule[d] - '0');
+        }
+        ok = ok && num >= 1 && num <= 12;
       }
       if (ok) {
         // A reason after "):" is mandatory.
@@ -743,10 +1395,13 @@ Suppressions CollectSuppressions(const SourceFile& file) {
         sup.malformed.push_back(Diagnostic{
             file.path, t.line, "lint",
             "malformed suppression; use // DBGC_LINT_ALLOW(Rn): reason"});
+      } else if (code_lines.count(t.line)) {
+        sup.by_line[t.line].insert(rule);
       } else {
-        const int target =
-            code_lines.count(t.line) ? t.line : t.line + 1;
-        sup.by_line[target].insert(rule);
+        // Standalone comment (possibly the first line of a multi-line
+        // comment): applies to the next line that holds code.
+        const auto next = code_lines.upper_bound(t.line);
+        if (next != code_lines.end()) sup.by_line[*next].insert(rule);
       }
       pos = close == std::string::npos ? t.text.size() : close;
     }
@@ -754,34 +1409,73 @@ Suppressions CollectSuppressions(const SourceFile& file) {
   return sup;
 }
 
+// Merges one class's parsed contract into the table. Contracts are
+// collected across files so a DBGC_REQUIRES on the header declaration
+// covers the out-of-line definition in the .cc.
+void MergeClassInfo(const ClassInfo& in, ClassInfo* out) {
+  out->name = in.name;
+  out->mutexes.insert(in.mutexes.begin(), in.mutexes.end());
+  out->condvars.insert(in.condvars.begin(), in.condvars.end());
+  out->atomics.insert(in.atomics.begin(), in.atomics.end());
+  out->consts.insert(in.consts.begin(), in.consts.end());
+  out->confined.insert(in.confined.begin(), in.confined.end());
+  out->guarded.insert(in.guarded.begin(), in.guarded.end());
+  out->pt_guarded.insert(in.pt_guarded.begin(), in.pt_guarded.end());
+  out->members.insert(in.members.begin(), in.members.end());
+  out->member_lines.insert(in.member_lines.begin(), in.member_lines.end());
+  for (const auto& [fn, mus] : in.method_requires) {
+    out->method_requires[fn].insert(mus.begin(), mus.end());
+  }
+  out->method_no_analysis.insert(in.method_no_analysis.begin(),
+                                 in.method_no_analysis.end());
+}
+
 }  // namespace
 
-std::set<std::string> CollectStatusFunctions(
-    const std::vector<SourceFile>& files) {
-  std::set<std::string> fns;
+SymbolTable BuildSymbolTable(const std::vector<SourceFile>& files) {
+  SymbolTable table;
   std::set<std::string> void_fns;
-  for (const SourceFile& f : files) CollectFromFile(f, &fns, &void_fns);
+  for (const SourceFile& f : files) {
+    CollectFromFile(f, &table.status_fns, &void_fns);
+    const CodeView v = MakeCodeView(f.tokens);
+    for (const ParsedClass& pc : ParseClasses(v)) {
+      MergeClassInfo(pc.info, &table.classes[pc.info.name]);
+    }
+  }
   // Drop ambiguous names (declared Status in one place, void in another):
   // flagging them by bare name would misfire on every void call site.
-  for (const std::string& name : void_fns) fns.erase(name);
-  return fns;
+  for (const std::string& name : void_fns) table.status_fns.erase(name);
+  return table;
 }
 
 std::vector<Diagnostic> AnalyzeFile(const SourceFile& file,
-                                    const std::set<std::string>& status_fns) {
+                                    const SymbolTable& table) {
   const CodeView v = MakeCodeView(file.tokens);
   std::vector<Diagnostic> diags;
 
-  CheckR1(file, v, status_fns, &diags);
-  for (const FunctionSpan& fn : SegmentFunctions(v)) {
-    if (!IsDecodePath(fn.name)) continue;
-    CheckR2Body(file, v, fn, &diags);
-    CheckR3Body(file, v, fn, &diags);
+  // Decoder-safety rules apply to library code and to the self-test
+  // fixtures (which must be able to demonstrate every rule); hygiene and
+  // concurrency rules R4/R5/R6/R12 run everywhere, with per-kind gates
+  // inside each checker.
+  const bool library_like =
+      file.kind == FileKind::kLibrary || file.kind == FileKind::kFixture;
+  if (library_like) {
+    CheckR1(file, v, table.status_fns, &diags);
+    for (const FunctionSpan& fn : SegmentFunctions(v)) {
+      if (!IsDecodePath(fn.name)) continue;
+      CheckR2Body(file, v, fn, &diags);
+      CheckR3Body(file, v, fn, &diags);
+    }
+    CheckR7(file, v, &diags);
+    const std::vector<ParsedClass> classes = ParseClasses(v);
+    CheckR8(file, classes, &diags);
+    CheckR9R10(file, v, table, classes, &diags);
+    CheckR11(file, v, &diags);
   }
   CheckR4(file, v, &diags);
   CheckR5(file, v, &diags);
   CheckR6(file, v, &diags);
-  CheckR7(file, v, &diags);
+  if (file.kind != FileKind::kTest) CheckR12(file, v, &diags);
 
   const Suppressions sup = CollectSuppressions(file);
   std::vector<Diagnostic> kept;

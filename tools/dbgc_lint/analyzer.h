@@ -1,7 +1,8 @@
 // dbgc_lint rule engine.
 //
-// Six project-specific decoder-safety rules over the token stream produced
-// by lexer.h (see docs/LINTING.md for the full specification and rationale):
+// Project-specific decoder-safety and concurrency-safety rules over the
+// token stream produced by lexer.h (see docs/LINTING.md and
+// docs/CONCURRENCY.md for the full specification and rationale):
 //
 //   R1  every call to a Status/Result-returning function is checked or
 //       explicitly cast to void
@@ -20,6 +21,21 @@
 //       outside src/entropy/; streams go through the EntropyEncoder/
 //       EntropyDecoder facade so the container version byte keeps
 //       selecting the backend (docs/ENTROPY.md)
+//   R8  a class that owns a mutex must annotate every mutable, non-const,
+//       non-atomic data member with DBGC_GUARDED_BY / DBGC_PT_GUARDED_BY /
+//       DBGC_THREAD_CONFINED (common/thread_annotations.h)
+//   R9  a DBGC_GUARDED_BY member may only be touched inside a method that
+//       either holds a scoped lock on the named mutex or is itself
+//       annotated DBGC_REQUIRES on that mutex
+//   R10 no blocking call (pool submission, Compress/Decompress, file I/O,
+//       joins, sleeps, waits on an unrelated lock) while a lock is held
+//   R11 no mutable namespace-scope or function-local static state in
+//       library code outside src/obs/ registry internals; synchronization
+//       primitives themselves are exempt
+//   R12 no raw std::thread / std::async / detach outside the thread-pool
+//       implementation; parallelism goes through common/thread_pool.h
+//       (std::thread::hardware_concurrency and similar ::-qualified
+//       constant queries stay legal)
 //
 // Diagnostics are suppressed by a trailing or preceding comment of the form
 //   // DBGC_LINT_ALLOW(R3): reason the code is safe
@@ -28,6 +44,7 @@
 #ifndef DBGC_TOOLS_LINT_ANALYZER_H_
 #define DBGC_TOOLS_LINT_ANALYZER_H_
 
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -39,7 +56,7 @@ namespace dbgc_lint {
 struct Diagnostic {
   std::string file;
   int line = 0;
-  std::string rule;     // "R1".."R7", or "lint" for tool-level problems.
+  std::string rule;     // "R1".."R12", or "lint" for tool-level problems.
   std::string message;
 
   bool operator<(const Diagnostic& o) const {
@@ -54,23 +71,62 @@ struct Diagnostic {
   }
 };
 
+/// What part of the tree a file belongs to; decides which rules apply.
+///
+///   kLibrary  src/               all rules
+///   kTool     tools/             R4, R5, R6, R12 (hygiene + concurrency)
+///   kBench    bench/             R4, R5, R6 (with timer allowlist), R12
+///   kTest     tests/, examples/  R5 only
+///   kFixture  */testdata/        all rules (the self-test corpus must be
+///                                able to demonstrate each one)
+enum class FileKind { kLibrary, kTool, kBench, kTest, kFixture };
+
 struct SourceFile {
   std::string path;       // As given on the command line (diagnostics key).
   std::string rel_path;   // Path relative to the repo's src/ dir, if under it.
   bool is_header = false;
-  bool is_test = false;   // Test / tool code: R4 exempt.
+  FileKind kind = FileKind::kLibrary;
   std::vector<Token> tokens;
 };
 
-/// Pass 1: names of functions declared to return Status or Result<T>,
-/// collected across every file so cross-file calls are recognized.
-std::set<std::string> CollectStatusFunctions(
-    const std::vector<SourceFile>& files);
+/// Everything pass 1 learned about one class: which members are
+/// synchronization primitives, which are annotated how, and which methods
+/// carry lock-contract annotations. Method annotations are collected
+/// across files, so a DBGC_REQUIRES on a header declaration covers the
+/// out-of-line definition in the .cc.
+struct ClassInfo {
+  std::string name;
+  std::set<std::string> mutexes;    // Mutex / std::mutex members.
+  std::set<std::string> condvars;   // CondVar / condition_variable members.
+  std::set<std::string> atomics;    // std::atomic<...> members.
+  std::set<std::string> consts;     // const / constexpr members.
+  std::set<std::string> confined;   // DBGC_THREAD_CONFINED members.
+  std::map<std::string, std::string> guarded;     // member -> mutex member.
+  std::map<std::string, std::string> pt_guarded;  // member -> mutex member.
+  std::set<std::string> members;                  // All data members.
+  std::map<std::string, int> member_lines;        // member -> decl line.
+  // method -> mutexes it requires the caller to hold (DBGC_REQUIRES).
+  std::map<std::string, std::set<std::string>> method_requires;
+  // Methods opted out of analysis (DBGC_NO_THREAD_SAFETY_ANALYSIS).
+  std::set<std::string> method_no_analysis;
+};
 
-/// Pass 2: runs all rules over one file. `status_fns` comes from pass 1.
-/// Suppressions are already applied; malformed suppressions are reported.
+/// Pass 1 output: the cross-file symbol table the rules consult.
+struct SymbolTable {
+  /// Names of functions declared to return Status or Result<T>, collected
+  /// across every file so cross-file calls are recognized (R1).
+  std::set<std::string> status_fns;
+  /// Class name -> annotation contract, for R8/R9/R10.
+  std::map<std::string, ClassInfo> classes;
+};
+
+/// Pass 1: builds the symbol table over every file in the run.
+SymbolTable BuildSymbolTable(const std::vector<SourceFile>& files);
+
+/// Pass 2: runs all applicable rules over one file. Suppressions are
+/// already applied; malformed suppressions are reported.
 std::vector<Diagnostic> AnalyzeFile(const SourceFile& file,
-                                    const std::set<std::string>& status_fns);
+                                    const SymbolTable& table);
 
 }  // namespace dbgc_lint
 

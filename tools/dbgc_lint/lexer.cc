@@ -113,7 +113,41 @@ std::vector<Token> Lex(const std::string& source) {
 
     if (IsIdentStart(c)) {
       const size_t begin = i;
-      while (i < n && IsIdentChar(source[i])) ++i;
+      size_t j = i;
+      while (j < n && IsIdentChar(source[j])) ++j;
+      // Raw string literal: R"delim( ... )delim", with optional encoding
+      // prefix. Lexed as ONE kString token (no escape processing), so rule
+      // scans can never desync on quotes/parens in the raw body. A raw
+      // string missing its closing delimiter swallows the rest of the file,
+      // matching the unterminated-literal policy above.
+      const std::string ident = source.substr(begin, j - begin);
+      if (j < n && source[j] == '"' &&
+          (ident == "R" || ident == "u8R" || ident == "uR" ||
+           ident == "UR" || ident == "LR")) {
+        size_t k = j + 1;
+        std::string delim;
+        while (k < n && delim.size() <= 16 && source[k] != '(' &&
+               source[k] != ')' && source[k] != '\\' &&
+               !std::isspace(static_cast<unsigned char>(source[k]))) {
+          delim.push_back(source[k]);
+          ++k;
+        }
+        if (k < n && source[k] == '(') {
+          const int tok_line = line;
+          const std::string closer = ")" + delim + "\"";
+          const size_t close = source.find(closer, k + 1);
+          const size_t stop =
+              close == std::string::npos ? n : close + closer.size();
+          count_lines(begin, stop);
+          push(TokenKind::kString, begin, stop, tok_line);
+          i = stop;
+          continue;
+        }
+        // No '(' where the delimiter must end: not a raw string after all
+        // (e.g. a macro named R followed by a normal string); fall through
+        // and lex the identifier normally.
+      }
+      i = j;
       push(TokenKind::kIdent, begin, i, line);
       continue;
     }
@@ -127,7 +161,13 @@ std::vector<Token> Lex(const std::string& source) {
       ++i;
       while (i < n) {
         const char d = source[i];
-        if (IsIdentChar(d) || d == '\'' || d == '.') {
+        if (IsIdentChar(d) || d == '.') {
+          ++i;
+        } else if (d == '\'' && i + 1 < n &&
+                   std::isalnum(static_cast<unsigned char>(source[i + 1]))) {
+          // Digit separator (1'000'000): the quote only joins the number
+          // when another digit (or hex digit / suffix letter) follows, so
+          // `0'c'` stays a number followed by a char literal.
           ++i;
         } else if ((d == '+' || d == '-') && i > begin &&
                    (source[i - 1] == 'e' || source[i - 1] == 'E' ||

@@ -1,14 +1,22 @@
-// dbgc_lint: decoder-safety static analyzer for the dbgc tree.
+// dbgc_lint: decoder-safety and concurrency-safety static analyzer for the
+// dbgc tree.
 //
 //   dbgc_lint <file|dir>...            lint; exit 1 if any diagnostic
 //   dbgc_lint --self-test <corpus-dir> check the seeded-violation corpus:
 //                                      every // LINT-EXPECT: Rn annotation
 //                                      must fire on its line, and nothing
 //                                      unannotated may fire; exit 0 iff so
+//   dbgc_lint --bench <json> <dir>...  lint repeatedly and write wall-time
+//                                      stats to <json> (scripts/check.sh)
 //
-// Diagnostics: file:line: [rule] message. See docs/LINTING.md.
+// Diagnostics: file:line: [rule] message. See docs/LINTING.md and
+// docs/CONCURRENCY.md. Rule applicability depends on where a file lives
+// (FileKind in analyzer.h): src/ gets all rules, tools/ and bench/ the
+// hygiene and concurrency subset, tests only header hygiene, and testdata
+// fixtures everything.
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -40,13 +48,24 @@ std::string RelToSrc(const std::string& path) {
   return path.substr(pos + needle.size());
 }
 
-bool LooksLikeTestCode(const std::string& path) {
-  // The seeded-violation corpus deliberately exercises library-only rules.
-  if (path.find("testdata") != std::string::npos) return false;
-  return path.find("test") != std::string::npos ||
-         path.find("/tools/") != std::string::npos ||
-         path.find("/bench/") != std::string::npos ||
-         path.find("/examples/") != std::string::npos;
+// True when the path contains `component` as a full directory name, either
+// at the start ("bench/foo.cc") or after a slash (".../bench/foo.cc").
+bool HasPathComponent(const std::string& path, const std::string& component) {
+  if (path.rfind(component + "/", 0) == 0) return true;
+  return path.find("/" + component + "/") != std::string::npos;
+}
+
+// Most-specific classification wins: a testdata fixture inside tools/ is
+// still a fixture, a test under src/ is still a test.
+FileKind ClassifyPath(const std::string& path) {
+  if (path.find("testdata") != std::string::npos) return FileKind::kFixture;
+  if (path.find("test") != std::string::npos ||
+      HasPathComponent(path, "examples")) {
+    return FileKind::kTest;
+  }
+  if (HasPathComponent(path, "bench")) return FileKind::kBench;
+  if (HasPathComponent(path, "tools")) return FileKind::kTool;
+  return FileKind::kLibrary;
 }
 
 bool LoadFile(const std::string& path, SourceFile* out) {
@@ -57,7 +76,7 @@ bool LoadFile(const std::string& path, SourceFile* out) {
   out->path = path;
   out->rel_path = RelToSrc(path);
   out->is_header = HasSuffix(path, ".h");
-  out->is_test = LooksLikeTestCode(path);
+  out->kind = ClassifyPath(path);
   out->tokens = Lex(ss.str());
   return true;
 }
@@ -66,12 +85,19 @@ std::vector<std::string> GatherPaths(const std::vector<std::string>& args,
                                      std::string* error) {
   std::vector<std::string> files;
   for (const std::string& arg : args) {
+    // Fixture corpora are linted only when named explicitly (--self-test or
+    // a direct testdata path), never swept up in a directory walk: they are
+    // seeded with violations by design.
+    const bool include_fixtures = arg.find("testdata") != std::string::npos;
     fs::path p(arg);
     std::error_code ec;
     if (fs::is_directory(p, ec)) {
       for (const auto& entry : fs::recursive_directory_iterator(p, ec)) {
         if (!entry.is_regular_file()) continue;
         const std::string sp = entry.path().string();
+        if (!include_fixtures && sp.find("testdata") != std::string::npos) {
+          continue;
+        }
         if (HasSuffix(sp, ".h") || HasSuffix(sp, ".cc") ||
             HasSuffix(sp, ".cpp")) {
           files.push_back(sp);
@@ -89,10 +115,10 @@ std::vector<std::string> GatherPaths(const std::vector<std::string>& args,
 }
 
 std::vector<Diagnostic> RunLint(const std::vector<SourceFile>& sources) {
-  const std::set<std::string> status_fns = CollectStatusFunctions(sources);
+  const SymbolTable table = BuildSymbolTable(sources);
   std::vector<Diagnostic> diags;
   for (const SourceFile& f : sources) {
-    std::vector<Diagnostic> d = AnalyzeFile(f, status_fns);
+    std::vector<Diagnostic> d = AnalyzeFile(f, table);
     diags.insert(diags.end(), d.begin(), d.end());
   }
   return diags;
@@ -113,7 +139,7 @@ int RunSelfTest(const std::vector<SourceFile>& sources) {
         std::istringstream rules(t.text.substr(pos));
         std::string rule;
         while (rules >> rule) {
-          if (rule.size() == 2 && rule[0] == 'R') {
+          if ((rule.size() == 2 || rule.size() == 3) && rule[0] == 'R') {
             expected[f.path][t.line].insert(rule);
           } else {
             break;
@@ -148,7 +174,8 @@ int RunSelfTest(const std::vector<SourceFile>& sources) {
     }
   }
   // The corpus must exercise every rule, or the self-test proves nothing.
-  for (const char* rule : {"R1", "R2", "R3", "R4", "R5", "R6", "R7"}) {
+  for (const char* rule : {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8",
+                           "R9", "R10", "R11", "R12"}) {
     if (!rules_fired.count(rule)) {
       std::cerr << "MISSED: corpus does not demonstrate rule " << rule
                 << "\n";
@@ -165,22 +192,70 @@ int RunSelfTest(const std::vector<SourceFile>& sources) {
   return 0;
 }
 
+// --bench: lint the given tree repeatedly, report wall-time stats as JSON.
+// Measures the full analysis (symbol table + all rules), not file I/O.
+int RunBench(const std::string& json_path,
+             const std::vector<SourceFile>& sources) {
+  constexpr int kIters = 5;
+  // DBGC_LINT_ALLOW(R6): benchmark driver timing the linter itself; tools
+  // stay decoupled from the src/obs registry, so a raw clock is the tool.
+  const auto now = [] { return std::chrono::steady_clock::now(); };
+  size_t diag_count = 0;
+  std::vector<double> millis;
+  for (int it = 0; it < kIters; ++it) {
+    const auto t0 = now();
+    diag_count = RunLint(sources).size();
+    const auto t1 = now();
+    millis.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::sort(millis.begin(), millis.end());
+  double sum = 0;
+  for (double m : millis) sum += m;
+  std::ofstream out(json_path);
+  if (!out) {
+    std::cerr << "dbgc_lint: cannot write '" << json_path << "'\n";
+    return 2;
+  }
+  size_t tokens = 0;
+  for (const SourceFile& f : sources) tokens += f.tokens.size();
+  out << "{\n"
+      << "  \"benchmark\": \"dbgc_lint\",\n"
+      << "  \"files\": " << sources.size() << ",\n"
+      << "  \"tokens\": " << tokens << ",\n"
+      << "  \"diagnostics\": " << diag_count << ",\n"
+      << "  \"iterations\": " << kIters << ",\n"
+      << "  \"min_ms\": " << millis.front() << ",\n"
+      << "  \"median_ms\": " << millis[millis.size() / 2] << ",\n"
+      << "  \"mean_ms\": " << sum / static_cast<double>(millis.size()) << ",\n"
+      << "  \"max_ms\": " << millis.back() << "\n"
+      << "}\n";
+  std::cout << "dbgc_lint bench: " << sources.size() << " file(s), median "
+            << millis[millis.size() / 2] << " ms -> " << json_path << "\n";
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   bool self_test = false;
+  std::string bench_json;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--self-test") {
       self_test = true;
+    } else if (arg == "--bench" && i + 1 < argc) {
+      bench_json = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: dbgc_lint [--self-test] <file|dir>...\n";
+      std::cout
+          << "usage: dbgc_lint [--self-test | --bench out.json] <file|dir>...\n";
       return 0;
     } else {
       paths.push_back(arg);
     }
   }
   if (paths.empty()) {
-    std::cerr << "usage: dbgc_lint [--self-test] <file|dir>...\n";
+    std::cerr
+        << "usage: dbgc_lint [--self-test | --bench out.json] <file|dir>...\n";
     return 2;
   }
 
@@ -202,6 +277,7 @@ int Main(int argc, char** argv) {
   }
 
   if (self_test) return RunSelfTest(sources);
+  if (!bench_json.empty()) return RunBench(bench_json, sources);
 
   const std::vector<Diagnostic> diags = RunLint(sources);
   for (const Diagnostic& d : diags) {

@@ -1,0 +1,138 @@
+// Seeded concurrency violations for the dbgc_lint self-test (R8-R12).
+// Every line marked LINT-EXPECT must produce exactly that diagnostic;
+// unmarked lines must be clean. This file is never compiled — it only
+// feeds the analyzer, so the DBGC_* annotation macros and the mutex types
+// below are lint-visible stand-ins, not the real common/ headers.
+
+namespace dbgc {
+
+class Mutex {
+ public:
+  void lock();
+  void unlock();
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu);
+};
+
+class ReleasableMutexLock {
+ public:
+  explicit ReleasableMutexLock(Mutex& mu);
+  void lock();
+  void unlock();
+};
+
+class CondVar {
+ public:
+  void Wait(ReleasableMutexLock& lock);
+  void NotifyAll();
+};
+
+// --- R8: mutex-owning class with an unannotated mutable member ------------
+
+class BadStore {
+ public:
+  int capacity() const;
+
+ private:
+  Mutex mu_;
+  int hits_;  // LINT-EXPECT: R8
+  const int capacity_ = 8;       // const: clean.
+};
+
+// --- R9: guarded member touched without the lock --------------------------
+
+class Pipeline {
+ public:
+  void Enqueue(int v) {
+    MutexLock lock(mu_);
+    queue_size_ = queue_size_ + v;       // Held via scoped lock: clean.
+  }
+  int Peek() {
+    return queue_size_;  // LINT-EXPECT: R9
+  }
+  int PeekLocked() DBGC_REQUIRES(mu_) {
+    return queue_size_;                  // Caller holds mu_: clean.
+  }
+
+ private:
+  Mutex mu_;
+  int queue_size_ DBGC_GUARDED_BY(mu_) = 0;
+};
+
+// --- R10: blocking calls while a lock is held -----------------------------
+
+class Worker {
+ public:
+  void Flush() {
+    MutexLock lock(mu_);
+    Compress();  // LINT-EXPECT: R10
+  }
+  void WaitOnWrongLock(ReleasableMutexLock& other) {
+    MutexLock lock(mu_);
+    cv_.Wait(other);  // LINT-EXPECT: R10
+  }
+  void DrainProperly() {
+    ReleasableMutexLock lock(mu_);
+    while (pending_ != 0) cv_.Wait(lock);  // Waits on the held lock: clean.
+  }
+  void Compress();
+
+ private:
+  Mutex mu_;
+  CondVar cv_;
+  int pending_ DBGC_GUARDED_BY(mu_) = 0;
+};
+
+// --- R11: mutable static / namespace-scope state --------------------------
+
+int frame_counter = 0;  // LINT-EXPECT: R11
+const int kMaxFrames = 64;               // const: clean.
+
+int NextId() {
+  static int next_id = 0;  // LINT-EXPECT: R11
+  return ++next_id;
+}
+
+// A raw string full of quotes, parens, and decoy code must lex as one
+// token: the mutable declaration after it still fires, proving the scan
+// did not desync inside the literal.
+const char* kRawDoc = R"lint(decoy: MutexLock lock(mu_); " unbalanced ) )lint";
+int after_raw_string = 1;  // LINT-EXPECT: R11
+
+// Digit separators must stay part of the number token for the same reason.
+int big_budget = 1'000'000;  // LINT-EXPECT: R11
+
+// --- R12: raw thread primitives outside the pool --------------------------
+
+void SpawnRaw() {
+  std::thread worker([] {});  // LINT-EXPECT: R12
+  worker.detach();  // LINT-EXPECT: R12
+  auto pending = std::async([] {});  // LINT-EXPECT: R12
+  (void)pending;
+  const unsigned hw = std::thread::hardware_concurrency();  // Query: clean.
+  (void)hw;
+}
+
+// --- Suppressions: an allowed concurrency violation must NOT fire ---------
+
+class Registry {
+ public:
+  int Lookup();
+
+ private:
+  Mutex mu_;
+  // DBGC_LINT_ALLOW(R8): intern table pointer is written once before any
+  // worker thread exists; documented in the class comment.
+  int* table_;
+};
+
+int SuppressedCounter() {
+  // DBGC_LINT_ALLOW(R11): demo that suppressions silence concurrency rules.
+  static int calls = 0;
+  return ++calls;
+}
+
+}  // namespace dbgc
