@@ -29,7 +29,7 @@ int main() {
     exact_time += bench::TimeSeconds(
         [&] { exact = CellClustering(pc, params); });
     approx_time += bench::TimeSeconds(
-        [&] { approx = ApproxClustering(pc, params); });
+        [&] { approx = ApproxClustering(pc.view(), params); });
     size_t same = 0;
     for (size_t i = 0; i < pc.size(); ++i) {
       same += exact.is_dense[i] == approx.is_dense[i];

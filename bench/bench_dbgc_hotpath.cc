@@ -1,0 +1,199 @@
+// DBGC encode hot-path tracker: per-stage ns/point and end-to-end ms/frame
+// on the two urban workloads, emitted as BENCH_hotpath.json for the CI
+// tripwire in scripts/check.sh (docs/PERFORMANCE.md).
+//
+//   urban-l  : every 4th point of an Apollo-style urban frame (~31 k points),
+//              the single-frame latency workload the ≤25 ms budget is set on.
+//   urban-xl : the full frame (~124 k points), tracking how the kernels
+//              scale with density.
+//
+// Encodes run single-threaded (no pool) so the numbers are comparable
+// across machines with different core counts. Each workload is measured
+// over several warm repetitions; the JSON records the minimum and median,
+// and the gate reads the minimum — on a loaded CI box the scheduler only
+// ever adds time, so min-over-reps is the robust estimator of kernel cost.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/dbgc_codec.h"
+#include "obs/trace.h"
+
+using namespace dbgc;
+
+namespace {
+
+// Single-threaded encode wall time recorded before this rework, same
+// machine class, urban-l at q = 2 cm. The JSON reports the speedup against
+// it; check.sh trips if the ratio falls below 3x.
+constexpr double kBaselineUrbanLMs = 89.5;
+
+constexpr obs::Stage kEncodeStages[] = {
+    obs::Stage::kClustering, obs::Stage::kOctree,  obs::Stage::kConversion,
+    obs::Stage::kOrganization, obs::Stage::kSparse, obs::Stage::kOutlier,
+    obs::Stage::kSerialize,
+};
+
+const char* StageKey(obs::Stage stage) {
+  switch (stage) {
+    case obs::Stage::kClustering:   return "den";
+    case obs::Stage::kOctree:       return "oct";
+    case obs::Stage::kConversion:   return "cor";
+    case obs::Stage::kOrganization: return "org";
+    case obs::Stage::kSparse:       return "spa";
+    case obs::Stage::kOutlier:      return "out";
+    case obs::Stage::kSerialize:    return "ser";
+    default:                        return "?";
+  }
+}
+
+int Reps() {
+  const char* env = std::getenv("DBGC_HOTPATH_REPS");
+  if (env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return 10;
+}
+
+struct WorkloadResult {
+  std::string name;
+  size_t num_points = 0;
+  size_t compressed_bytes = 0;
+  double ms_min = 0.0;
+  double ms_median = 0.0;
+  // Per-stage ns/point, each stage's minimum across reps.
+  double stage_ns_per_point[std::size(kEncodeStages)] = {};
+};
+
+/// Encodes `pc` `reps` times (after warmup) and collects wall/stage stats.
+bool MeasureWorkload(const DbgcCodec& codec, const PointCloud& pc,
+                     const std::string& name, int reps, WorkloadResult* out) {
+  out->name = name;
+  out->num_points = pc.size();
+
+  CompressParams params;
+  params.q_xyz = codec.options().q_xyz;
+
+  std::vector<double> wall_ms;
+  double stage_min[std::size(kEncodeStages)];
+  std::fill(std::begin(stage_min), std::end(stage_min), 1e300);
+
+  const int kWarmup = 2;
+  for (int rep = 0; rep < kWarmup + reps; ++rep) {
+    obs::FrameTrace trace;
+    Result<ByteBuffer> compressed(ByteBuffer{});
+    const double seconds =
+        bench::TimeSeconds([&] { compressed = codec.Compress(pc, params); });
+    if (!compressed.ok()) {
+      std::fprintf(stderr, "compress failed: %s\n",
+                   compressed.status().ToString().c_str());
+      return false;
+    }
+    if (rep < kWarmup) continue;
+    out->compressed_bytes = compressed.value().size();
+    wall_ms.push_back(1e3 * seconds);
+    const obs::FrameBreakdown& b = trace.breakdown();
+    for (size_t s = 0; s < std::size(kEncodeStages); ++s) {
+      stage_min[s] = std::min(stage_min[s], b.seconds(kEncodeStages[s]));
+    }
+  }
+
+  std::sort(wall_ms.begin(), wall_ms.end());
+  out->ms_min = wall_ms.front();
+  out->ms_median = wall_ms[wall_ms.size() / 2];
+  for (size_t s = 0; s < std::size(kEncodeStages); ++s) {
+    out->stage_ns_per_point[s] =
+        pc.size() > 0 ? 1e9 * stage_min[s] / static_cast<double>(pc.size())
+                      : 0.0;
+  }
+
+  std::printf("%-9s %7zu pts  %8zu B  e2e min %7.2f ms  median %7.2f ms\n",
+              name.c_str(), pc.size(), out->compressed_bytes, out->ms_min,
+              out->ms_median);
+  for (size_t s = 0; s < std::size(kEncodeStages); ++s) {
+    std::printf("  %-4s %8.1f ns/pt\n", StageKey(kEncodeStages[s]),
+                out->stage_ns_per_point[s]);
+  }
+  return true;
+}
+
+void AppendWorkloadJson(std::string* json, const WorkloadResult& r) {
+  char buf[256];
+  *json += "  \"" + r.name + "\": {\n";
+  std::snprintf(buf, sizeof(buf), "    \"num_points\": %zu,\n", r.num_points);
+  *json += buf;
+  std::snprintf(buf, sizeof(buf), "    \"compressed_bytes\": %zu,\n",
+                r.compressed_bytes);
+  *json += buf;
+  std::snprintf(buf, sizeof(buf), "    \"e2e_ms_min\": %.3f,\n", r.ms_min);
+  *json += buf;
+  std::snprintf(buf, sizeof(buf), "    \"e2e_ms_median\": %.3f,\n",
+                r.ms_median);
+  *json += buf;
+  *json += "    \"stage_ns_per_point\": {";
+  for (size_t s = 0; s < std::size(kEncodeStages); ++s) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\": %.1f", s == 0 ? "" : ", ",
+                  StageKey(kEncodeStages[s]), r.stage_ns_per_point[s]);
+    *json += buf;
+  }
+  *json += "}\n  },\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Banner("DBGC encode hot path (urban-l / urban-xl, q = 2 cm)",
+                "hot-path budget, docs/PERFORMANCE.md");
+
+  SceneGenerator gen(SceneType::kUrban);
+  const PointCloud full = gen.Generate(0);
+  PointCloud strided;
+  strided.Reserve((full.size() + 3) / 4);
+  for (size_t i = 0; i < full.size(); i += 4) strided.Add(full[i]);
+
+  const int reps = Reps();
+  const DbgcCodec codec;
+  std::printf("reps per workload: %d (+2 warmup), single-threaded\n\n", reps);
+
+  WorkloadResult urban_l, urban_xl;
+  if (!MeasureWorkload(codec, strided, "urban-l", reps, &urban_l)) return 1;
+  if (!MeasureWorkload(codec, full, "urban-xl", reps, &urban_xl)) return 1;
+
+  const double speedup = kBaselineUrbanLMs / urban_l.ms_min;
+  std::printf("\nurban-l speedup vs pre-rework baseline (%.1f ms): %.2fx\n",
+              kBaselineUrbanLMs, speedup);
+
+  std::string json = "{\n";
+  json += "  \"schema\": \"dbgc-hotpath-bench-v1\",\n";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "  \"reps\": %d,\n", reps);
+  json += buf;
+  AppendWorkloadJson(&json, urban_l);
+  AppendWorkloadJson(&json, urban_xl);
+  std::snprintf(buf, sizeof(buf), "  \"baseline_urban_l_ms\": %.1f,\n",
+                kBaselineUrbanLMs);
+  json += buf;
+  // Flat copies of the gated numbers so the check.sh awk tripwire can read
+  // them without a JSON parser.
+  std::snprintf(buf, sizeof(buf), "  \"urban_l_e2e_ms_min\": %.3f,\n",
+                urban_l.ms_min);
+  json += buf;
+  std::snprintf(buf, sizeof(buf), "  \"urban_l_speedup\": %.3f\n", speedup);
+  json += buf;
+  json += "}\n";
+
+  const char* path = argc > 1 ? argv[1] : "BENCH_hotpath.json";
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+  return 0;
+}

@@ -46,8 +46,11 @@ int main() {
   double ratio = 0, dense_pct = 0;
   for (int f = 0; f < frames; ++f) {
     const PointCloud pc = bench::Frame(SceneType::kCity, f);
-    DbgcCompressInfo info;
-    auto c = codec.CompressWithInfo(pc, &info);
+    CompressStats info;
+    CompressParams cparams;
+    cparams.q_xyz = codec.options().q_xyz;
+    cparams.info = &info;
+    auto c = codec.Compress(pc, cparams);
     if (!c.ok()) return 1;
     ratio += CompressionRatio(pc, c.value());
     dense_pct += 100.0 * static_cast<double>(info.num_dense) /

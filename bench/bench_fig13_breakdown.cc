@@ -5,32 +5,45 @@
 //
 // Paper's shape (compression): DEN ~31%, ORG ~22%, SPA ~44% dominate; OCT,
 // COR, OUT are negligible. Decompression is dominated by SPA.
+//
+// Stage times are collected with obs::FrameTrace around each codec call:
+// every pipeline stage runs under a TraceSpan, so the trace's breakdown is
+// the per-frame DEN/OCT/COR/ORG/SPA/OUT split.
 
 #include <cstdio>
 
 #include "bench_util.h"
 #include "core/dbgc_codec.h"
+#include "obs/trace.h"
 
 using namespace dbgc;
 
 namespace {
 
-void PrintBreakdown(const char* title, const DbgcTimings& t) {
-  const double total = t.Total();
+constexpr obs::Stage kPipelineStages[] = {
+    obs::Stage::kClustering,   obs::Stage::kOctree, obs::Stage::kConversion,
+    obs::Stage::kOrganization, obs::Stage::kSparse, obs::Stage::kOutlier,
+};
+
+const char* StageLabel(obs::Stage stage) {
+  switch (stage) {
+    case obs::Stage::kClustering:   return "DEN (clustering)";
+    case obs::Stage::kOctree:       return "OCT (octree)";
+    case obs::Stage::kConversion:   return "COR (conversion)";
+    case obs::Stage::kOrganization: return "ORG (organization)";
+    case obs::Stage::kSparse:       return "SPA (sparse codec)";
+    case obs::Stage::kOutlier:      return "OUT (outliers)";
+    default:                        return "?";
+  }
+}
+
+void PrintBreakdown(const char* title, const obs::FrameBreakdown& b) {
+  double total = 0.0;
+  for (obs::Stage s : kPipelineStages) total += b.seconds(s);
   std::printf("%s (total %.3f s):\n", title, total);
-  struct Row {
-    const char* label;
-    double v;
-  };
-  const Row rows[] = {{"DEN (clustering)", t.clustering},
-                      {"OCT (octree)", t.octree},
-                      {"COR (conversion)", t.conversion},
-                      {"ORG (organization)", t.organization},
-                      {"SPA (sparse codec)", t.sparse},
-                      {"OUT (outliers)", t.outlier}};
-  for (const Row& r : rows) {
-    std::printf("  %-20s %8.4f s  %5.1f%%\n", r.label, r.v,
-                total > 0 ? 100.0 * r.v / total : 0.0);
+  for (obs::Stage s : kPipelineStages) {
+    std::printf("  %-20s %8.4f s  %5.1f%%\n", StageLabel(s), b.seconds(s),
+                total > 0 ? 100.0 * b.seconds(s) / total : 0.0);
   }
 }
 
@@ -41,28 +54,24 @@ int main() {
 
   const int frames = bench::FramesPerConfig();
   const DbgcCodec codec;
-  DbgcTimings compress_total, decompress_total;
+  obs::FrameBreakdown compress_total, decompress_total;
   for (int f = 0; f < frames; ++f) {
     const PointCloud pc = bench::Frame(SceneType::kCity, f);
-    DbgcCompressInfo cinfo;
-    auto compressed = codec.CompressWithInfo(pc, &cinfo);
+    Result<ByteBuffer> compressed = [&] {
+      obs::FrameTrace trace;
+      Result<ByteBuffer> r = codec.Compress(pc, codec.options().q_xyz);
+      for (obs::Stage s : kPipelineStages) {
+        compress_total.Add(s, trace.breakdown().seconds(s) / frames);
+      }
+      return r;
+    }();
     if (!compressed.ok()) return 1;
-    DbgcDecompressInfo dinfo;
-    auto decoded = codec.DecompressWithInfo(compressed.value(), &dinfo);
+    obs::FrameTrace trace;
+    auto decoded = codec.Decompress(compressed.value());
     if (!decoded.ok()) return 1;
-
-    compress_total.clustering += cinfo.timings.clustering / frames;
-    compress_total.octree += cinfo.timings.octree / frames;
-    compress_total.conversion += cinfo.timings.conversion / frames;
-    compress_total.organization += cinfo.timings.organization / frames;
-    compress_total.sparse += cinfo.timings.sparse / frames;
-    compress_total.outlier += cinfo.timings.outlier / frames;
-    decompress_total.clustering += dinfo.timings.clustering / frames;
-    decompress_total.octree += dinfo.timings.octree / frames;
-    decompress_total.conversion += dinfo.timings.conversion / frames;
-    decompress_total.organization += dinfo.timings.organization / frames;
-    decompress_total.sparse += dinfo.timings.sparse / frames;
-    decompress_total.outlier += dinfo.timings.outlier / frames;
+    for (obs::Stage s : kPipelineStages) {
+      decompress_total.Add(s, trace.breakdown().seconds(s) / frames);
+    }
   }
   PrintBreakdown("Compression", compress_total);
   PrintBreakdown("Decompression", decompress_total);

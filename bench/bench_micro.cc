@@ -87,7 +87,7 @@ void BM_ApproxClustering(benchmark::State& state) {
   const PointCloud& pc = CityFrame();
   const auto params = ClusteringParams::FromErrorBound(0.02, 10, 0.15);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(ApproxClustering(pc, params));
+    benchmark::DoNotOptimize(ApproxClustering(pc.view(), params));
   }
   state.SetItemsProcessed(state.iterations() * pc.size());
 }

@@ -49,7 +49,7 @@ int main() {
 
     // Density-based dense fraction at the default parameters.
     const auto params = ClusteringParams::FromErrorBound(0.02, 10, 0.10);
-    const ClusteringResult clusters = ApproxClustering(pc, params);
+    const ClusteringResult clusters = ApproxClustering(pc.view(), params);
 
     std::printf("%-12s %8zu %9.1f /%6.2f /%6.3f %21.1f%% %11.1f%%\n",
                 SceneTypeName(scene).c_str(), pc.size(), d5, d20, d60,

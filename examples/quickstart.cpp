@@ -40,11 +40,13 @@ int main(int argc, char** argv) {
 
   // 3. Compress. CompressParams carries the error bound, an optional
   //    thread pool accelerating the encode (the bitstream is identical
-  //    with or without it), and an optional info sink reporting the
-  //    dense/sparse split, per-stage timings, and the one-to-one point
-  //    mapping. codec.Compress(cloud, q) remains as shorthand.
+  //    with or without it), and an optional stats sink reporting the
+  //    dense/sparse split, byte sizes, and (opt-in) the one-to-one point
+  //    mapping. codec.Compress(cloud, q) remains as shorthand; per-stage
+  //    timings come from wrapping the call in an obs::FrameTrace.
   dbgc::ThreadPool pool(dbgc::ThreadPool::DefaultThreadCount());
-  dbgc::DbgcCompressInfo info;
+  dbgc::CompressStats info;
+  info.record_point_mapping = true;  // Needed for MappedError below.
   dbgc::CompressParams params;
   params.q_xyz = q_xyz;
   params.pool = &pool;

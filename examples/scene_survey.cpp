@@ -40,8 +40,12 @@ int main(int argc, char** argv) {
     const dbgc::SceneGenerator generator(scene);
     const dbgc::PointCloud cloud = generator.Generate(0);
 
-    dbgc::DbgcCompressInfo info;
-    auto compressed = dbgc_codec.CompressWithInfo(cloud, &info);
+    dbgc::CompressStats info;
+    info.record_point_mapping = true;
+    dbgc::CompressParams info_params;
+    info_params.q_xyz = dbgc_codec.options().q_xyz;
+    info_params.info = &info;
+    auto compressed = dbgc_codec.Compress(cloud, info_params);
     if (!compressed.ok()) {
       std::fprintf(stderr, "DBGC failed on %s: %s\n",
                    dbgc::SceneTypeName(scene).c_str(),

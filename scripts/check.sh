@@ -84,6 +84,22 @@ DBGC_BENCH_FRAMES="${DBGC_BENCH_FRAMES:-1}" \
   ./build/bench/bench_parallel_scaling BENCH_parallel.json
 pass_gate
 
+start_gate "hot-path bench: BENCH_hotpath.json + encode budget tripwire"
+# Single-threaded encode must hold the <= 25 ms urban-l budget and keep
+# the >= 3x speedup over the pre-rework baseline (docs/PERFORMANCE.md).
+# The gate reads min-over-reps, which absorbs CI scheduler noise; raise
+# DBGC_HOTPATH_REPS for a more thorough run.
+DBGC_HOTPATH_REPS="${DBGC_HOTPATH_REPS:-6}" \
+  ./build/bench/bench_dbgc_hotpath BENCH_hotpath.json
+awk -F': ' '
+  /"urban_l_e2e_ms_min"/ { ms = $2 + 0 }
+  /"urban_l_speedup"/    { speedup = $2 + 0 }
+  END {
+    if (ms > 25.0)     { print "urban-l encode budget blown: " ms " ms"; exit 1 }
+    if (speedup < 3.0) { print "hot-path speedup regressed: " speedup "x"; exit 1 }
+  }' BENCH_hotpath.json
+pass_gate
+
 start_gate "entropy gate: backend differential suite + v1 goldens + bench"
 # The differential suite proves both entropy backends decode each other's
 # symbol streams; the v1 golden test decodes every pinned legacy stream
@@ -204,14 +220,16 @@ cmake -B build-tsan -S . \
   -DDBGC_BUILD_BENCHMARKS=OFF \
   -DDBGC_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j "${JOBS}" \
-  --target concurrency_smoke_test thread_pool_test net_test obs_test
+  --target concurrency_smoke_test thread_pool_test net_test obs_test \
+           point_soa_test
 # ThreadPool/Parallelism: the ParallelFor stress mix; PipelineBackpressure:
 # the bounded-window frame pipeline; FrameStoreConcurrency: parallel
 # Put/Get/eviction on the bounded store; ConcurrencySmoke: codec
 # statelessness; MetricsStress: sharded counters/histograms under
-# concurrent readers.
+# concurrent readers; PointSoAStress: concurrent clustering over the
+# thread-local flat-array density counters.
 TSAN_OPTIONS="halt_on_error=1" \
 ctest --test-dir build-tsan \
-  -R "ConcurrencySmoke|ThreadPoolTest|ParallelismTest|PipelineBackpressure|FrameStoreConcurrency|MetricsStress" \
+  -R "ConcurrencySmoke|ThreadPoolTest|ParallelismTest|PipelineBackpressure|FrameStoreConcurrency|MetricsStress|PointSoAStress" \
   --output-on-failure -j "${JOBS}"
 pass_gate

@@ -2,15 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <vector>
 
-#include "cluster/flat_map.h"
 #include "common/check.h"
+#include "common/radix_sort.h"
 #include "spatial/voxel_grid.h"
 
 namespace dbgc {
 
 namespace {
+
+constexpr uint64_t kFieldMask = 0x1FFFFF;      // 21 bits per KeyOf field.
+constexpr int64_t kSafeCoord = (1 << 20) - 3;  // +-2 neighbours never wrap.
 
 VoxelCoord CoordAt(const Point3& p, double inv_side) {
   return VoxelCoord{static_cast<int32_t>(std::floor(p.x * inv_side)),
@@ -18,13 +22,309 @@ VoxelCoord CoordAt(const Point3& p, double inv_side) {
                     static_cast<int32_t>(std::floor(p.z * inv_side))};
 }
 
+// The sorted flat-array replacement for the per-point hash-map probes: the
+// distinct cells of one grid resolution, sorted by their packed VoxelGrid
+// key, with per-cell point counts and representatives plus the per-point
+// cell id. KeyOf packs (z, y, x) high-to-low, so ascending key order groups
+// cells sharing (z, y) into contiguous "columns" ascending in x — the block
+// sums of the verdict and promotion passes become sliding windows over
+// neighbouring columns instead of 5^3 / 3^3 hash probes per cell.
+struct CellArray {
+  std::vector<uint64_t> keys;     // Sorted packed keys, one per cell.
+  std::vector<uint32_t> reps;     // Minimum point index per cell.
+  std::vector<uint32_t> counts;   // Points per cell.
+  std::vector<uint32_t> cell_of;  // Per point: cell id in `keys` order.
+  // Columns: runs of cells sharing key >> 21 (the (z, y) fields).
+  std::vector<uint64_t> col_keys;   // key >> 21 per column, ascending.
+  std::vector<uint32_t> col_begin;  // First cell of each column; +1 sentinel.
+
+  size_t num_cells() const { return keys.size(); }
+};
+
+// Reusable sort buffers: one frame builds two CellArrays (leaf and coarse
+// grid), and sharing the buffers halves the transient allocations (and the
+// page faults they cost on every frame).
+struct CellScratch {
+  std::vector<uint64_t> packed;
+  std::vector<uint64_t> radix;
+};
+
+// All per-frame working buffers of one clustering run. Kept in one
+// thread-local slot so consecutive frames on the same thread reuse warm
+// pages instead of re-faulting a fresh allocation set each call (worth a
+// few ms per frame); every buffer is fully (re)written each run, so reuse
+// cannot leak state between frames. Concurrent calls from different
+// threads get independent slots.
+struct FrameScratch {
+  std::vector<uint64_t> leaf_key;
+  std::vector<uint64_t> coarse_key;
+  CellArray leaf_cells;
+  CellArray coarse_cells;
+  CellScratch cells;
+  std::vector<uint32_t> block_sums;
+  std::vector<uint32_t> dense_weight;
+  std::vector<uint32_t> near_dense;
+  std::vector<uint8_t> coarse_dense;
+  std::vector<uint8_t> leaf_dense;
+  std::vector<uint8_t> safe;
+};
+
+FrameScratch& TlsFrameScratch() {
+  // DBGC_LINT_ALLOW(R11): thread_local, so never shared — pure per-thread
+  // buffer reuse; every field is fully rewritten by each run.
+  thread_local FrameScratch scratch;
+  return scratch;
+}
+
+// Sorts the per-point keys into a CellArray. The fast path range-compresses
+// the three wrapped key fields and packs (local key << idx_bits | point
+// index) into one u64, so a few byte-wise counting-sort passes over a flat
+// array replace every hash insert and probe; LSD stability makes the first
+// element of each sorted run the run's minimum point index, and the run
+// scan reads cells straight out of the packed words. Falls back to a
+// stable index sort on the raw 63-bit keys when the packed form would
+// overflow 64 bits (clouds spanning nearly the full 2^21-cell axis range).
+void BuildCellArray(std::span<const uint64_t> point_keys, CellScratch* scratch,
+                    CellArray* out) {
+  const size_t n = point_keys.size();
+  out->keys.clear();
+  out->reps.clear();
+  out->counts.clear();
+  out->cell_of.assign(n, 0);
+  out->col_keys.clear();
+  out->col_begin.clear();
+  if (n == 0) {
+    out->col_begin.push_back(0);
+    return;
+  }
+
+  uint64_t f_min[3] = {kFieldMask, kFieldMask, kFieldMask};
+  uint64_t f_max[3] = {0, 0, 0};
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t k = point_keys[i];
+    const uint64_t f0 = k & kFieldMask;
+    const uint64_t f1 = (k >> 21) & kFieldMask;
+    const uint64_t f2 = k >> 42;
+    f_min[0] = std::min(f_min[0], f0);
+    f_max[0] = std::max(f_max[0], f0);
+    f_min[1] = std::min(f_min[1], f1);
+    f_max[1] = std::max(f_max[1], f1);
+    f_min[2] = std::min(f_min[2], f2);
+    f_max[2] = std::max(f_max[2], f2);
+  }
+  const int b0 = SignificantBits(f_max[0] - f_min[0]);
+  const int b1 = SignificantBits(f_max[1] - f_min[1]);
+  const int b2 = SignificantBits(f_max[2] - f_min[2]);
+  const int idx_bits = SignificantBits(n - 1);
+  const int key_bits = b0 + b1 + b2;
+
+  out->keys.reserve(n / 2 + 8);
+  out->reps.reserve(n / 2 + 8);
+  out->counts.reserve(n / 2 + 8);
+
+  if (key_bits + idx_bits <= 64) {
+    std::vector<uint64_t>& packed = scratch->packed;
+    packed.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t k = point_keys[i];
+      const uint64_t local =
+          ((((k >> 42) - f_min[2]) << b1 | (((k >> 21) & kFieldMask) - f_min[1]))
+           << b0) |
+          ((k & kFieldMask) - f_min[0]);
+      packed[i] = local << idx_bits | i;
+    }
+    RadixSortU64(packed, scratch->radix, key_bits + idx_bits);
+    // Run scan: each maximal run of one local key is a cell. Equal local
+    // keys imply equal original keys (range compression is injective), so
+    // the run's first packed word carries the cell's minimum point index.
+    const uint64_t idx_mask = (uint64_t{1} << idx_bits) - 1;
+    size_t run_begin = 0;
+    for (size_t i = 1; i <= n; ++i) {
+      if (i == n || (packed[i] >> idx_bits) != (packed[run_begin] >> idx_bits)) {
+        const uint32_t cell = static_cast<uint32_t>(out->keys.size());
+        const uint32_t rep =
+            static_cast<uint32_t>(packed[run_begin] & idx_mask);
+        out->keys.push_back(point_keys[rep]);
+        out->reps.push_back(rep);
+        out->counts.push_back(static_cast<uint32_t>(i - run_begin));
+        for (size_t j = run_begin; j < i; ++j) {
+          out->cell_of[packed[j] & idx_mask] = cell;
+        }
+        run_begin = i;
+      }
+    }
+  } else {
+    std::vector<uint32_t> perm(n);
+    for (size_t i = 0; i < n; ++i) perm[i] = static_cast<uint32_t>(i);
+    std::vector<uint32_t> perm_scratch;
+    RadixSortIndicesByKey(point_keys, perm, perm_scratch, 63);
+    size_t run_begin = 0;
+    for (size_t i = 1; i <= n; ++i) {
+      if (i == n || point_keys[perm[i]] != point_keys[perm[run_begin]]) {
+        const uint32_t cell = static_cast<uint32_t>(out->keys.size());
+        out->keys.push_back(point_keys[perm[run_begin]]);
+        out->reps.push_back(perm[run_begin]);
+        out->counts.push_back(static_cast<uint32_t>(i - run_begin));
+        for (size_t j = run_begin; j < i; ++j) out->cell_of[perm[j]] = cell;
+        run_begin = i;
+      }
+    }
+  }
+
+  // Column index: runs of cells sharing the (z, y) fields.
+  for (size_t c = 0; c < out->keys.size(); ++c) {
+    const uint64_t col = out->keys[c] >> 21;
+    if (out->col_keys.empty() || out->col_keys.back() != col) {
+      out->col_keys.push_back(col);
+      out->col_begin.push_back(static_cast<uint32_t>(c));
+    }
+  }
+  out->col_begin.push_back(static_cast<uint32_t>(out->keys.size()));
+}
+
+// True when every +-`reach` neighbour key of this coordinate is plain field
+// arithmetic (no 21-bit wraparound). Real scans sit tens of kilometres away
+// from the +-2^20-cell boundary; the slow path below keeps the wrapped
+// extremes exact.
+bool SafeCoord(const VoxelCoord& c, int32_t reach) {
+  return std::abs(static_cast<int64_t>(c.x)) <= kSafeCoord - reach &&
+         std::abs(static_cast<int64_t>(c.y)) <= kSafeCoord - reach &&
+         std::abs(static_cast<int64_t>(c.z)) <= kSafeCoord - reach;
+}
+
+// For every cell of `cells`, sums `weight[cell]` over the (2*reach+1)^3
+// block of cells centred on it, into `sums`. Fast path: one merge-join over
+// the sorted column arrays per (dy, dz) offset plus a sliding x-window per
+// matched column pair — O(cells) per offset, no hashing. Cells whose
+// representative coordinate sits within `reach` of the key wraparound get
+// exact per-key binary-search block sums instead, reproducing the hash
+// implementation's KeyOf probes bit for bit.
+void AccumulateBlockSums(const CellArray& cells, std::span<const Point3> pts,
+                         double inv_side, int32_t reach, bool all_safe,
+                         std::span<const uint32_t> weight,
+                         std::vector<uint8_t>& safe,
+                         std::vector<uint32_t>* sums) {
+  const size_t num_cells = cells.num_cells();
+  sums->assign(num_cells, 0);
+  if (num_cells == 0) return;
+
+  safe.resize(num_cells);
+  bool any_unsafe = false;
+  if (all_safe) {
+    // The caller proved the whole cloud's coordinate bounding box safe, so
+    // the per-cell representative gathers (a cache miss per cell) are
+    // unnecessary.
+    std::fill(safe.begin(), safe.end(), uint8_t{1});
+  } else {
+    for (size_t c = 0; c < num_cells; ++c) {
+      safe[c] =
+          SafeCoord(CoordAt(pts[cells.reps[c]], inv_side), reach) ? 1 : 0;
+      any_unsafe |= safe[c] == 0;
+    }
+  }
+
+  // Per-column weight totals: a neighbour column whose weights sum to zero
+  // contributes nothing, so its window pass is skipped outright. The
+  // promotion pass weights only dense cells, which concentrate in a small
+  // fraction of columns — most pairs vanish.
+  const size_t num_cols = cells.col_keys.size();
+  std::vector<uint64_t> col_total(num_cols, 0);
+  // Narrow per-cell x fields: the window compares touch 4 bytes per cell
+  // instead of re-masking the 8-byte keys on every visit.
+  std::vector<uint32_t> xs(num_cells);
+  for (size_t ci = 0; ci < num_cols; ++ci) {
+    for (uint32_t c = cells.col_begin[ci]; c < cells.col_begin[ci + 1]; ++c) {
+      col_total[ci] += weight[c];
+      xs[c] = static_cast<uint32_t>(cells.keys[c] & kFieldMask);
+    }
+  }
+  // Centre columns outer, the (dy, dz) offsets inner: one centre column's
+  // cells stay cache-hot while all its neighbour contributions accumulate,
+  // instead of streaming the whole cell array once per offset. Column keys
+  // ascend, so each offset keeps a monotone neighbour cursor across the
+  // pass (the classic merge-join, one cursor per offset).
+  const int32_t span = 2 * reach + 1;
+  const size_t num_offsets = static_cast<size_t>(span) * span;
+  int64_t deltas[25];
+  size_t nbs[25] = {};
+  {
+    size_t k = 0;
+    for (int32_t dz = -reach; dz <= reach; ++dz) {
+      for (int32_t dy = -reach; dy <= reach; ++dy) {
+        // Column-key offset of the (dy, dz) neighbour, non-wrapping space.
+        deltas[k++] = static_cast<int64_t>(dz) * (int64_t{1} << 21) +
+                      static_cast<int64_t>(dy);
+      }
+    }
+  }
+  for (size_t ci = 0; ci < num_cols; ++ci) {
+    const int64_t col = static_cast<int64_t>(cells.col_keys[ci]);
+    const uint32_t cb = cells.col_begin[ci];
+    const uint32_t ce = cells.col_begin[ci + 1];
+    for (size_t k = 0; k < num_offsets; ++k) {
+      const int64_t want = col + deltas[k];
+      if (want < 0) continue;
+      size_t nb = nbs[k];
+      while (nb < num_cols && static_cast<int64_t>(cells.col_keys[nb]) < want) {
+        ++nb;
+      }
+      nbs[k] = nb;
+      if (nb == num_cols) continue;
+      if (static_cast<int64_t>(cells.col_keys[nb]) != want) continue;
+      if (col_total[nb] == 0) continue;
+      // Sliding x-window: both columns ascend in the x field. Safe cells
+      // never have x fields within `reach` of the field range ends, so
+      // the window arithmetic cannot underflow or wrap.
+      const uint32_t te = cells.col_begin[nb + 1];
+      uint32_t lo = cells.col_begin[nb], hi = cells.col_begin[nb];
+      uint32_t window = 0;
+      for (uint32_t c = cb; c < ce; ++c) {
+        if (!safe[c]) continue;
+        const uint32_t x = xs[c];
+        const uint32_t x_lo = x - static_cast<uint32_t>(reach);
+        const uint32_t x_hi = x + static_cast<uint32_t>(reach);
+        while (hi < te && xs[hi] <= x_hi) {
+          window += weight[hi];
+          ++hi;
+        }
+        while (lo < hi && xs[lo] < x_lo) {
+          window -= weight[lo];
+          ++lo;
+        }
+        (*sums)[c] += window;
+      }
+    }
+  }
+
+  if (!any_unsafe) return;
+  for (size_t c = 0; c < num_cells; ++c) {
+    if (safe[c]) continue;
+    const VoxelCoord centre = CoordAt(pts[cells.reps[c]], inv_side);
+    uint32_t total = 0;
+    for (int32_t dx = -reach; dx <= reach; ++dx) {
+      for (int32_t dy = -reach; dy <= reach; ++dy) {
+        for (int32_t dz = -reach; dz <= reach; ++dz) {
+          const uint64_t key = VoxelGrid::KeyOf(
+              VoxelCoord{centre.x + dx, centre.y + dy, centre.z + dz});
+          const auto it =
+              std::lower_bound(cells.keys.begin(), cells.keys.end(), key);
+          if (it != cells.keys.end() && *it == key) {
+            total += weight[static_cast<size_t>(it - cells.keys.begin())];
+          }
+        }
+      }
+    }
+    (*sums)[c] = total;
+  }
+}
+
 }  // namespace
 
-ClusteringResult ApproxClustering(const PointCloud& pc,
+ClusteringResult ApproxClustering(std::span<const Point3> pts,
                                   const ClusteringParams& params,
                                   const Parallelism& par) {
   ClusteringResult result;
-  const size_t n = pc.size();
+  const size_t n = pts.size();
   result.is_dense.assign(n, false);
   if (n == 0) return result;
 
@@ -38,134 +338,99 @@ ClusteringResult ApproxClustering(const PointCloud& pc,
   // exact method's decisions (measured agreement ~98%).
   const size_t min_pts = params.min_pts * 2;
 
-  // One pass: per-point leaf key and coarse key; aggregate coarse counts.
-  // Under a thread budget each worker aggregates a contiguous slice into
-  // its own map; the merge adds counters, which commutes, so the merged
-  // counts match the serial single-map run exactly.
-  std::vector<uint64_t> leaf_key(n);
-  std::vector<uint64_t> coarse_key(n);
-  FlatCountMap coarse_counts(n / 3 + 8);
-  const size_t parts =
-      par.enabled() && n >= 4096 ? static_cast<size_t>(par.width()) : 1;
-  if (parts <= 1) {
-    for (size_t i = 0; i < n; ++i) {
-      leaf_key[i] = VoxelGrid::KeyOf(CoordAt(pc[i], inv_cell));
-      coarse_key[i] = VoxelGrid::KeyOf(CoordAt(pc[i], inv_coarse));
-      coarse_counts.Add(coarse_key[i], 1);
-    }
-  } else {
-    std::vector<FlatCountMap> part_counts;
-    part_counts.reserve(parts);
-    for (size_t p = 0; p < parts; ++p) {
-      part_counts.emplace_back(n / parts / 3 + 8);
-    }
-    const size_t slice = (n + parts - 1) / parts;
-    const Status key_status = par.For(0, parts, 1, [&](size_t lo, size_t hi) {
-      for (size_t p = lo; p < hi; ++p) {
-        const size_t pb = p * slice;
-        const size_t pe = std::min(n, pb + slice);
-        for (size_t i = pb; i < pe; ++i) {
-          leaf_key[i] = VoxelGrid::KeyOf(CoordAt(pc[i], inv_cell));
-          coarse_key[i] = VoxelGrid::KeyOf(CoordAt(pc[i], inv_coarse));
-          part_counts[p].Add(coarse_key[i], 1);
-        }
-      }
-    });
-    DBGC_CHECK(key_status.ok());
-    for (const FlatCountMap& m : part_counts) {
-      m.ForEach(
-          [&](uint64_t key, uint32_t count) { coarse_counts.Add(key, count); });
-    }
+  // Global coordinate bounding box: floor() is monotone, so the extreme
+  // cell coordinates of each grid come from the extreme point coordinates.
+  // When even the extremes sit clear of the key wraparound (the usual
+  // case — a real scan is tens of kilometres from the boundary), the block
+  // sum passes skip their per-cell safety gathers entirely.
+  double mn[3] = {pts[0].x, pts[0].y, pts[0].z};
+  double mx[3] = {pts[0].x, pts[0].y, pts[0].z};
+  for (size_t i = 1; i < n; ++i) {
+    mn[0] = std::min(mn[0], pts[i].x);
+    mx[0] = std::max(mx[0], pts[i].x);
+    mn[1] = std::min(mn[1], pts[i].y);
+    mx[1] = std::max(mx[1], pts[i].y);
+    mn[2] = std::min(mn[2], pts[i].z);
+    mx[2] = std::max(mx[2], pts[i].z);
   }
+  const auto bbox_safe = [&](double inv_side, int32_t reach) {
+    const Point3 lo{mn[0], mn[1], mn[2]};
+    const Point3 hi{mx[0], mx[1], mx[2]};
+    return SafeCoord(CoordAt(lo, inv_side), reach) &&
+           SafeCoord(CoordAt(hi, inv_side), reach);
+  };
+  const bool coarse_all_safe = bbox_safe(inv_coarse, 2);
+  const bool leaf_all_safe = bbox_safe(inv_cell, 1);
 
-  // Pass 1: a leaf cell is dense when the 5^3 coarse block around its
-  // representative coarse cell holds at least minPts points. Each distinct
-  // coarse cell gets its verdict from one representative point; the block
-  // sum is a pure function of the (frozen) coarse counts, so the verdicts
-  // can be computed concurrently and applied in the serial scan order.
-  FlatCountMap dense_cells(n / 4 + 8);
-  FlatCountMap seen_cells(n / 2 + 8);
-  std::vector<size_t> first_point_of_cell;  // For the promotion pass.
-  first_point_of_cell.reserve(n / 2);
-  for (size_t i = 0; i < n; ++i) {
-    if (seen_cells.Contains(leaf_key[i])) continue;
-    seen_cells.Add(leaf_key[i], 1);
-    first_point_of_cell.push_back(i);
-  }
-  FlatCountMap coarse_seen(n / 3 + 8);
-  std::vector<size_t> coarse_rep;  // One representative per coarse cell.
-  coarse_rep.reserve(first_point_of_cell.size());
-  for (size_t i : first_point_of_cell) {
-    if (coarse_seen.Contains(coarse_key[i])) continue;
-    coarse_seen.Add(coarse_key[i], 1);
-    coarse_rep.push_back(i);
-  }
-  // verdicts[j]: 1 = block >= minPts, 2 = block below.
-  std::vector<uint32_t> verdicts(coarse_rep.size());
-  const Status verdict_status = par.For(
-      0, coarse_rep.size(), par.GrainFor(coarse_rep.size(), 64),
-      [&](size_t lo, size_t hi) {
-        for (size_t j = lo; j < hi; ++j) {
-          const VoxelCoord center = CoordAt(pc[coarse_rep[j]], inv_coarse);
-          uint64_t total = 0;
-          for (int dx = -2; dx <= 2 && total < min_pts; ++dx) {
-            for (int dy = -2; dy <= 2 && total < min_pts; ++dy) {
-              for (int dz = -2; dz <= 2; ++dz) {
-                total += coarse_counts.Get(VoxelGrid::KeyOf(VoxelCoord{
-                    center.x + dx, center.y + dy, center.z + dz}));
-                if (total >= min_pts) break;
-              }
-            }
-          }
-          verdicts[j] = total >= min_pts ? 1 : 2;
+  // Key derivation: two packed cell keys per point, written to disjoint
+  // slots, so the pass parallelizes without any merge step.
+  FrameScratch& fs = TlsFrameScratch();
+  std::vector<uint64_t>& leaf_key = fs.leaf_key;
+  std::vector<uint64_t>& coarse_key = fs.coarse_key;
+  leaf_key.resize(n);
+  coarse_key.resize(n);
+  const Status key_status =
+      par.For(0, n, par.GrainFor(n, 2048), [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          leaf_key[i] = VoxelGrid::KeyOf(CoordAt(pts[i], inv_cell));
+          coarse_key[i] = VoxelGrid::KeyOf(CoordAt(pts[i], inv_coarse));
         }
       });
-  DBGC_CHECK(verdict_status.ok());
-  FlatCountMap coarse_dense(n / 3 + 8);
-  for (size_t j = 0; j < coarse_rep.size(); ++j) {
-    coarse_dense.Add(coarse_key[coarse_rep[j]], verdicts[j]);
+  DBGC_CHECK(key_status.ok());
+
+  // Flat sorted cell arrays replace the per-point hash maps: counts,
+  // representatives, and per-point cell ids all fall out of one stable
+  // radix sort per grid.
+  CellArray& leaf_cells = fs.leaf_cells;
+  CellArray& coarse_cells = fs.coarse_cells;
+  BuildCellArray(leaf_key, &fs.cells, &leaf_cells);
+  BuildCellArray(coarse_key, &fs.cells, &coarse_cells);
+
+  // Pass 1: a leaf cell is dense when the 5^3 coarse block around its
+  // representative's coarse cell holds at least minPts points. The block
+  // sums are sliding windows over the sorted coarse columns; each verdict
+  // is a pure function of the frozen counts, so evaluation order is
+  // irrelevant.
+  std::vector<uint32_t>& block_sums = fs.block_sums;
+  AccumulateBlockSums(coarse_cells, pts, inv_coarse, 2, coarse_all_safe,
+                      coarse_cells.counts, fs.safe, &block_sums);
+  std::vector<uint8_t>& coarse_dense = fs.coarse_dense;
+  coarse_dense.resize(coarse_cells.num_cells());
+  for (size_t c = 0; c < coarse_cells.num_cells(); ++c) {
+    coarse_dense[c] = block_sums[c] >= min_pts ? 1 : 0;
   }
-  for (size_t i : first_point_of_cell) {
-    if (coarse_dense.Get(coarse_key[i]) == 1) dense_cells.Add(leaf_key[i], 1);
+  // A leaf cell takes the verdict of its representative point's coarse cell
+  // (the grids are not nested, so a leaf cell can straddle two coarse
+  // cells; the representative — the cell's minimum point index — pins
+  // which coarse cell decides, matching the scan-order representative of
+  // the hash implementation).
+  std::vector<uint8_t>& leaf_dense = fs.leaf_dense;
+  leaf_dense.resize(leaf_cells.num_cells());
+  for (size_t c = 0; c < leaf_cells.num_cells(); ++c) {
+    leaf_dense[c] = coarse_dense[coarse_cells.cell_of[leaf_cells.reps[c]]];
   }
 
   // Pass 2: promote sparse leaf cells that touch a dense leaf cell
   // (26-neighbourhood), mirroring the paper's "if a sparse cell has at
-  // least one dense cell as a surrounding cell" promotion. The scan only
-  // reads dense_cells, so the per-cell answers go to disjoint slots of a
-  // flag array and are applied afterwards in scan order.
-  std::vector<uint8_t> near_dense_flags(first_point_of_cell.size(), 0);
-  const Status promote_status = par.For(
-      0, first_point_of_cell.size(),
-      par.GrainFor(first_point_of_cell.size(), 512),
-      [&](size_t lo, size_t hi) {
-        for (size_t j = lo; j < hi; ++j) {
-          const size_t i = first_point_of_cell[j];
-          if (dense_cells.Contains(leaf_key[i])) continue;
-          const VoxelCoord c = CoordAt(pc[i], inv_cell);
-          bool near_dense = false;
-          for (int dx = -1; dx <= 1 && !near_dense; ++dx) {
-            for (int dy = -1; dy <= 1 && !near_dense; ++dy) {
-              for (int dz = -1; dz <= 1 && !near_dense; ++dz) {
-                if (dx == 0 && dy == 0 && dz == 0) continue;
-                if (dense_cells.Contains(VoxelGrid::KeyOf(
-                        VoxelCoord{c.x + dx, c.y + dy, c.z + dz}))) {
-                  near_dense = true;
-                }
-              }
-            }
-          }
-          if (near_dense) near_dense_flags[j] = 1;
-        }
-      });
-  DBGC_CHECK(promote_status.ok());
-  for (size_t j = 0; j < first_point_of_cell.size(); ++j) {
-    if (near_dense_flags[j]) dense_cells.Add(leaf_key[first_point_of_cell[j]], 1);
+  // least one dense cell as a surrounding cell" promotion. The window sums
+  // read only the pre-promotion flags, so the result matches the two-phase
+  // hash scan exactly; a candidate's own flag is zero, so the full 3^3
+  // block sum equals the 26-neighbour sum.
+  std::vector<uint32_t>& dense_weight = fs.dense_weight;
+  dense_weight.resize(leaf_cells.num_cells());
+  for (size_t c = 0; c < leaf_cells.num_cells(); ++c) {
+    dense_weight[c] = leaf_dense[c];
+  }
+  std::vector<uint32_t>& near_dense = fs.near_dense;
+  AccumulateBlockSums(leaf_cells, pts, inv_cell, 1, leaf_all_safe,
+                      dense_weight, fs.safe, &near_dense);
+  for (size_t c = 0; c < leaf_cells.num_cells(); ++c) {
+    if (!leaf_dense[c] && near_dense[c] > 0) leaf_dense[c] = 1;
   }
 
-  // Pass 3: label points by leaf-cell membership.
+  // Pass 3: label points by leaf-cell membership (pure gather).
   for (size_t i = 0; i < n; ++i) {
-    if (dense_cells.Contains(leaf_key[i])) result.is_dense[i] = true;
+    result.is_dense[i] = leaf_dense[leaf_cells.cell_of[i]] != 0;
   }
   return result;
 }

@@ -13,18 +13,23 @@
 #ifndef DBGC_CLUSTER_APPROX_CLUSTERING_H_
 #define DBGC_CLUSTER_APPROX_CLUSTERING_H_
 
+#include <span>
+
 #include "cluster/clustering_types.h"
 #include "common/point_cloud.h"
 #include "common/thread_pool.h"
 
 namespace dbgc {
 
-/// Runs the approximate grid clustering. The optional thread budget
-/// parallelizes the per-point key pass (per-worker count maps merged by
-/// counter addition), the per-coarse-cell block sums, and the promotion
-/// scan; every parallel product is order-independent, so the labeling is
-/// identical for any budget.
-ClusteringResult ApproxClustering(const PointCloud& pc,
+/// Runs the approximate grid clustering over any contiguous point storage
+/// (pass PointCloud::view()). Cell statistics live in flat radix-sorted
+/// key arrays rather than hash maps; the block sums of the verdict and
+/// promotion passes are sliding windows over the sorted cell columns. The
+/// optional thread budget parallelizes the per-point key derivation (all
+/// writes go to disjoint slots); the sort and window passes are
+/// deterministic by construction, so the labeling is identical for any
+/// budget.
+ClusteringResult ApproxClustering(std::span<const Point3> pts,
                                   const ClusteringParams& params,
                                   const Parallelism& par = {});
 

@@ -1,8 +1,8 @@
 #include "cluster/cell_clustering.h"
 
-#include <unordered_set>
 #include <vector>
 
+#include "cluster/flat_map.h"
 #include "common/check.h"
 #include "spatial/voxel_grid.h"
 
@@ -30,7 +30,10 @@ ClusteringResult CellClustering(const PointCloud& pc,
       });
   DBGC_CHECK(cell_status.ok());
 
-  std::unordered_set<uint64_t> dense_cells;
+  // Open-addressed flat set: the dense-cell shortcut probes this once per
+  // expanded point, and node-based containers are banned from the
+  // clustering hot paths (lint rule R13).
+  FlatCountMap dense_cells(n / 4 + 8);
   std::vector<bool> visited(n, false);
   std::vector<int> stack;
 
@@ -64,11 +67,11 @@ ClusteringResult CellClustering(const PointCloud& pc,
   for (size_t seed = 0; seed < n; ++seed) {
     if (visited[seed]) continue;
     visited[seed] = true;
-    const bool seed_in_dense_cell = dense_cells.count(cell_of[seed]) > 0;
+    const bool seed_in_dense_cell = dense_cells.Contains(cell_of[seed]);
     bool seed_core = seed_in_dense_cell;
     if (!seed_core) {
       seed_core = is_core(static_cast<int>(seed));
-      if (seed_core) dense_cells.insert(cell_of[seed]);
+      if (seed_core) dense_cells.Add(cell_of[seed], 1);
     }
     if (!seed_core) continue;  // Backtrack; may become dense in pass 2.
     result.is_dense[seed] = true;
@@ -82,10 +85,10 @@ ClusteringResult CellClustering(const PointCloud& pc,
       if (visited[cur]) continue;
       visited[cur] = true;
       result.is_dense[cur] = true;  // Cluster member (core or border).
-      bool cur_core = dense_cells.count(cell_of[cur]) > 0;
+      bool cur_core = dense_cells.Contains(cell_of[cur]);
       if (!cur_core) {
         cur_core = is_core(cur);
-        if (cur_core) dense_cells.insert(cell_of[cur]);
+        if (cur_core) dense_cells.Add(cell_of[cur], 1);
       }
       if (cur_core) {
         for (int nb : search_grid.RadiusSearch(pc[cur], params.epsilon)) {
@@ -98,7 +101,7 @@ ClusteringResult CellClustering(const PointCloud& pc,
   // Second iteration (Section 3.2): points that were classified before
   // their cell became dense are promoted now.
   for (size_t i = 0; i < n; ++i) {
-    if (!result.is_dense[i] && dense_cells.count(cell_of[i]) > 0) {
+    if (!result.is_dense[i] && dense_cells.Contains(cell_of[i])) {
       result.is_dense[i] = true;
     }
   }

@@ -29,7 +29,7 @@
 namespace dbgc {
 
 class ThreadPool;
-struct DbgcCompressInfo;
+struct CompressStats;
 
 namespace internal {
 struct CodecMetrics;  // Per-codec-name observability handles (codec.cc).
@@ -49,10 +49,11 @@ struct CompressParams {
   /// Cap on threads one compression may occupy (0 = all pool workers,
   /// 1 = serial even with a pool). Negative values are rejected.
   int max_threads = 0;
-  /// Optional instrumentation sink. Filled by the DBGC-family codecs
-  /// (stage timings, dense/sparse split, point mapping); baseline codecs
-  /// ignore it. May be null.
-  DbgcCompressInfo* info = nullptr;
+  /// Optional statistics sink. Filled by the DBGC-family codecs
+  /// (dense/sparse split, per-section bytes, opt-in point mapping);
+  /// baseline codecs ignore it. May be null. Stage timings are not
+  /// reported here — wrap the call in an obs::FrameTrace instead.
+  CompressStats* info = nullptr;
   /// Entropy coder backend for the emitted stream. Recorded in the
   /// container version byte, so decoders need no out-of-band knowledge.
   EntropyBackend entropy_backend = kDefaultEntropyBackend;

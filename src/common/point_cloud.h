@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
 
 #include "common/safe_math.h"
@@ -90,6 +91,12 @@ class PointCloud {
 
   const std::vector<Point3>& points() const { return points_; }
   std::vector<Point3>& mutable_points() { return points_; }
+
+  /// Non-copying view of the points. The stage kernels and clustering
+  /// passes take spans so they run over any contiguous Point3 storage
+  /// (a PointCloud, a gathered scratch vector) without materializing a
+  /// PointCloud copy. Invalidated by any mutation of this cloud.
+  std::span<const Point3> view() const { return {points_.data(), points_.size()}; }
 
   /// Appends a point.
   void Add(const Point3& p) { points_.push_back(p); }

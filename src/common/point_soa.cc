@@ -1,0 +1,78 @@
+#include "common/point_soa.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace dbgc {
+
+PointSoA PointSoA::FromPoints(std::span<const Point3> points) {
+  PointSoA soa(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    soa.c0_[i] = points[i].x;
+    soa.c1_[i] = points[i].y;
+    soa.c2_[i] = points[i].z;
+  }
+  return soa;
+}
+
+PointSoA PointSoA::Adopt(std::vector<double> c0, std::vector<double> c1,
+                         std::vector<double> c2) {
+  DBGC_CHECK(c0.size() == c1.size() && c1.size() == c2.size());
+  PointSoA soa;
+  soa.c0_ = std::move(c0);
+  soa.c1_ = std::move(c1);
+  soa.c2_ = std::move(c2);
+  return soa;
+}
+
+PointSoA::Columns PointSoA::Release() && {
+  Columns cols;
+  cols.c0 = std::move(c0_);
+  cols.c1 = std::move(c1_);
+  cols.c2 = std::move(c2_);
+  c0_.clear();
+  c1_.clear();
+  c2_.clear();
+  return cols;
+}
+
+std::vector<Point3> PointSoA::ToPoints() const {
+  std::vector<Point3> points(size());
+  for (size_t i = 0; i < size(); ++i) {
+    points[i] = Point3{c0_[i], c1_[i], c2_[i]};
+  }
+  return points;
+}
+
+void PointSoA::Resize(size_t n) {
+  c0_.resize(n);
+  c1_.resize(n);
+  c2_.resize(n);
+}
+
+void PointSoA::Reserve(size_t n) {
+  c0_.reserve(n);
+  c1_.reserve(n);
+  c2_.reserve(n);
+}
+
+void PointSoA::Clear() {
+  c0_.clear();
+  c1_.clear();
+  c2_.clear();
+}
+
+void PointSoA::PushBack(const Point3& p) {
+  c0_.push_back(p.x);
+  c1_.push_back(p.y);
+  c2_.push_back(p.z);
+}
+
+void PointSoA::PushBack(const SphericalPoint& s) {
+  c0_.push_back(s.theta);
+  c1_.push_back(s.phi);
+  c2_.push_back(s.r);
+}
+
+}  // namespace dbgc

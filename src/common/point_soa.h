@@ -1,0 +1,112 @@
+// PointSoA: a structure-of-arrays mirror of a Point3 / SphericalPoint
+// sequence (docs/PERFORMANCE.md).
+//
+// The DBGC encode hot path streams millions of coordinates per second
+// through per-stage kernels that each touch only one or two dimensions
+// (cell-key derivation reads x/y/z, the organizer's candidate filter reads
+// theta/phi, quantization reads one column at a time). An array of 24-byte
+// Point3 structs wastes two thirds of every cache line in those loops and
+// blocks vectorization; PointSoA stores the three coordinates as separate
+// contiguous double columns instead.
+//
+// The same storage carries both naming surfaces: x/y/z for Cartesian data
+// and theta/phi/r for spherical data (the columns alias pairwise:
+// x==theta, y==phi, z==r). Values round-trip bit-exactly: conversion is a
+// pure memory transpose, never an arithmetic transform.
+//
+// Adopt/Release move existing std::vector<double> columns in and out
+// without copying, so a stage that already produced a column (e.g. the
+// radial distances that feed grouping) can hand it off for free.
+
+#ifndef DBGC_COMMON_POINT_SOA_H_
+#define DBGC_COMMON_POINT_SOA_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/point_cloud.h"
+
+namespace dbgc {
+
+/// Three contiguous coordinate columns of equal length.
+class PointSoA {
+ public:
+  /// The released column triple (see Release()).
+  struct Columns {
+    std::vector<double> c0;  ///< x / theta column.
+    std::vector<double> c1;  ///< y / phi column.
+    std::vector<double> c2;  ///< z / r column.
+  };
+
+  PointSoA() = default;
+  /// Creates n zero-initialized points.
+  explicit PointSoA(size_t n) : c0_(n), c1_(n), c2_(n) {}
+
+  /// Transposes an AoS point sequence into columns (bit-exact copies).
+  static PointSoA FromPoints(std::span<const Point3> points);
+
+  /// Wraps three existing columns without copying. The columns must have
+  /// equal lengths.
+  static PointSoA Adopt(std::vector<double> c0, std::vector<double> c1,
+                        std::vector<double> c2);
+
+  /// Moves the columns out, leaving this container empty. The inverse of
+  /// Adopt: no copies, no value changes.
+  Columns Release() &&;
+
+  /// Transposes back into an AoS point sequence (bit-exact copies).
+  std::vector<Point3> ToPoints() const;
+
+  size_t size() const { return c0_.size(); }
+  bool empty() const { return c0_.empty(); }
+  void Resize(size_t n);
+  void Reserve(size_t n);
+  void Clear();
+
+  // Cartesian column views.
+  double* x() { return c0_.data(); }
+  double* y() { return c1_.data(); }
+  double* z() { return c2_.data(); }
+  const double* x() const { return c0_.data(); }
+  const double* y() const { return c1_.data(); }
+  const double* z() const { return c2_.data(); }
+
+  // Spherical column views (aliases of the same storage).
+  double* theta() { return c0_.data(); }
+  double* phi() { return c1_.data(); }
+  double* r() { return c2_.data(); }
+  const double* theta() const { return c0_.data(); }
+  const double* phi() const { return c1_.data(); }
+  const double* r() const { return c2_.data(); }
+
+  /// Row i as a Cartesian point.
+  Point3 PointAt(size_t i) const { return Point3{c0_[i], c1_[i], c2_[i]}; }
+  /// Row i as a spherical point.
+  SphericalPoint SphericalAt(size_t i) const {
+    return SphericalPoint{c0_[i], c1_[i], c2_[i]};
+  }
+
+  void Set(size_t i, const Point3& p) {
+    c0_[i] = p.x;
+    c1_[i] = p.y;
+    c2_[i] = p.z;
+  }
+  void Set(size_t i, const SphericalPoint& s) {
+    c0_[i] = s.theta;
+    c1_[i] = s.phi;
+    c2_[i] = s.r;
+  }
+
+  void PushBack(const Point3& p);
+  void PushBack(const SphericalPoint& s);
+
+ private:
+  std::vector<double> c0_;
+  std::vector<double> c1_;
+  std::vector<double> c2_;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_COMMON_POINT_SOA_H_

@@ -1,0 +1,120 @@
+// Stable LSD radix sorts for the compression hot paths
+// (docs/PERFORMANCE.md).
+//
+// The clustering and octree stages sort hundreds of thousands of packed
+// cell keys per frame; std::sort's comparison loop dominates their
+// profiles. These byte-wise counting sorts run in a fixed number of linear
+// passes and skip passes whose digit is constant across the input.
+//
+// Both sorts are stable and produce exactly the ordering std::stable_sort
+// (or std::sort, for plain values) would: callers rely on that equivalence
+// to keep emitted bitstreams byte-identical to the comparison-sort
+// implementations they replaced.
+
+#ifndef DBGC_COMMON_RADIX_SORT_H_
+#define DBGC_COMMON_RADIX_SORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dbgc {
+
+/// Sorts `values` ascending in place. `scratch` is resized as needed and
+/// reusable across calls. Only the low `key_bits` bits are significant:
+/// callers whose keys fit fewer bits save passes.
+inline void RadixSortU64(std::vector<uint64_t>& values,
+                         std::vector<uint64_t>& scratch, int key_bits = 64) {
+  const size_t n = values.size();
+  if (n < 2) return;
+  scratch.resize(n);
+  uint64_t* src = values.data();
+  uint64_t* dst = scratch.data();
+  const int passes = (key_bits + 7) / 8;
+  for (int pass = 0; pass < passes; ++pass) {
+    const int shift = pass * 8;
+    size_t count[256] = {0};
+    for (size_t i = 0; i < n; ++i) ++count[(src[i] >> shift) & 0xFF];
+    // A constant digit means the pass is the identity permutation.
+    bool trivial = false;
+    for (size_t b = 0; b < 256; ++b) {
+      if (count[b] == n) {
+        trivial = true;
+        break;
+      }
+      if (count[b] != 0) break;
+    }
+    if (trivial) continue;
+    size_t offset = 0;
+    for (size_t b = 0; b < 256; ++b) {
+      const size_t c = count[b];
+      count[b] = offset;
+      offset += c;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      dst[count[(src[i] >> shift) & 0xFF]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != values.data()) {
+    for (size_t i = 0; i < n; ++i) values[i] = src[i];
+  }
+}
+
+/// Stably sorts the index array `perm` ascending by `keys[perm[i]]`,
+/// producing exactly the permutation std::stable_sort with a key-less-than
+/// comparator would. `scratch` is resized as needed and reusable.
+inline void RadixSortIndicesByKey(std::span<const uint64_t> keys,
+                                  std::vector<uint32_t>& perm,
+                                  std::vector<uint32_t>& scratch,
+                                  int key_bits = 64) {
+  const size_t n = perm.size();
+  if (n < 2) return;
+  scratch.resize(n);
+  uint32_t* src = perm.data();
+  uint32_t* dst = scratch.data();
+  const int passes = (key_bits + 7) / 8;
+  for (int pass = 0; pass < passes; ++pass) {
+    const int shift = pass * 8;
+    size_t count[256] = {0};
+    for (size_t i = 0; i < n; ++i) ++count[(keys[src[i]] >> shift) & 0xFF];
+    bool trivial = false;
+    for (size_t b = 0; b < 256; ++b) {
+      if (count[b] == n) {
+        trivial = true;
+        break;
+      }
+      if (count[b] != 0) break;
+    }
+    if (trivial) continue;
+    size_t offset = 0;
+    for (size_t b = 0; b < 256; ++b) {
+      const size_t c = count[b];
+      count[b] = offset;
+      offset += c;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      dst[count[(keys[src[i]] >> shift) & 0xFF]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != perm.data()) {
+    for (size_t i = 0; i < n; ++i) perm[i] = src[i];
+  }
+}
+
+/// Number of significant low bits in `max_value` (0 -> 0 bits).
+inline int SignificantBits(uint64_t max_value) {
+  int bits = 0;
+  while (max_value != 0) {
+    ++bits;
+    max_value >>= 1;
+  }
+  return bits;
+}
+
+}  // namespace dbgc
+
+#endif  // DBGC_COMMON_RADIX_SORT_H_

@@ -2,7 +2,7 @@
 // carry attributes such as intensity). DBGC itself compresses geometry
 // only, as the paper does; this codec handles the attribute channel
 // alongside it, reordered into the geometry codec's emission order (the
-// one-to-one mapping from DbgcCompressInfo) so that spatially adjacent
+// one-to-one mapping from CompressStats) so that spatially adjacent
 // points - whose attributes correlate - sit next to each other before
 // quantization, delta coding, and arithmetic coding.
 
@@ -23,7 +23,8 @@ class AttributeCodec {
  public:
   /// Compresses `values` under absolute error bound `q_attr` (> 0).
   /// `emission_order[i]` gives the source index of the i-th emitted
-  /// geometry point (DbgcCompressInfo::point_mapping); pass an empty vector
+  /// geometry point (CompressStats::point_mapping, recorded when
+  /// CompressStats::record_point_mapping is set); pass an empty vector
   /// to keep the input order. The decompressed channel is returned in
   /// emission order, aligned with the decompressed cloud.
   static Result<ByteBuffer> Compress(const std::vector<float>& values,

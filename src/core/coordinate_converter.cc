@@ -9,34 +9,40 @@
 
 namespace dbgc {
 
-ConvertedGroup ConvertGroup(const PointCloud& pc,
-                            const std::vector<uint32_t>& indices,
+ConvertedGroup ConvertGroup(std::span<const Point3> pts,
+                            std::span<const uint32_t> members,
                             const ConverterConfig& config,
                             const Parallelism& par) {
   ConvertedGroup group;
   group.params.radial_optimized = config.radial_optimized;
-  const size_t n = indices.size();
-  group.role.resize(n);
-  group.cartesian.resize(n);
+  const size_t n = members.size();
+  group.role.Resize(n);
+  double* const theta = group.role.theta();
+  double* const phi = group.role.phi();
+  double* const r = group.role.r();
 
-  // Per-point conversion writes disjoint pre-sized slots; the scans that
-  // follow (exact max/min reductions over the filled arrays) stay serial,
-  // so the group parameters match the serial run bit for bit.
+  // One conversion pass straight into the role columns; no Cartesian copy
+  // is kept (the organizer reads positions through pts + members). Writes
+  // go to disjoint pre-sized slots; the scans that follow (exact max/min
+  // reductions over the filled columns) stay serial, so the group
+  // parameters match the serial run bit for bit.
   const Status fill_status =
       par.For(0, n, par.GrainFor(n, 2048), [&](size_t lo, size_t hi) {
         for (size_t i = lo; i < hi; ++i) {
-          const Point3& p = pc[indices[i]];
-          group.cartesian[i] = p;
-          group.role[i] = config.spherical
-                              ? CartesianToSpherical(p)
-                              : SphericalPoint{p.x, p.y, p.z};
+          const Point3& p = pts[members[i]];
+          const SphericalPoint s = config.spherical
+                                       ? CartesianToSpherical(p)
+                                       : SphericalPoint{p.x, p.y, p.z};
+          theta[i] = s.theta;
+          phi[i] = s.phi;
+          r[i] = s.r;
         }
       });
   DBGC_CHECK(fill_status.ok());
 
   if (config.spherical) {
     double r_max = 0.0;
-    for (const SphericalPoint& s : group.role) r_max = std::max(r_max, s.r);
+    for (size_t i = 0; i < n; ++i) r_max = std::max(r_max, r[i]);
     r_max = std::max(r_max, 1e-6);
     const SphericalErrorBounds bounds =
         SphericalErrorBounds::FromCartesian(config.q_xyz, r_max);
@@ -50,17 +56,14 @@ ConvertedGroup ConvertGroup(const PointCloud& pc,
     // theta/phi/r roles. The extraction windows come from the mean nearest
     // sample spacing estimate range / sqrt(n).
     double x_min = 0, x_max = 0, y_min = 0, y_max = 0;
-    bool first = true;
-    for (const Point3& p : group.cartesian) {
-      if (first) {
-        x_min = x_max = p.x;
-        y_min = y_max = p.y;
-        first = false;
-      } else {
-        x_min = std::min(x_min, p.x);
-        x_max = std::max(x_max, p.x);
-        y_min = std::min(y_min, p.y);
-        y_max = std::max(y_max, p.y);
+    if (n > 0) {
+      x_min = x_max = theta[0];
+      y_min = y_max = phi[0];
+      for (size_t i = 1; i < n; ++i) {
+        x_min = std::min(x_min, theta[i]);
+        x_max = std::max(x_max, theta[i]);
+        y_min = std::min(y_min, phi[i]);
+        y_max = std::max(y_max, phi[i]);
       }
     }
     group.params.step_theta = 2.0 * config.q_xyz;
@@ -75,13 +78,12 @@ ConvertedGroup ConvertGroup(const PointCloud& pc,
   const Quantizer qp(group.params.step_phi / 2.0);
   const Quantizer qr(group.params.step_r / 2.0);
   group.quantized.resize(n);
+  QPoint* const quantized = group.quantized.data();
   const Status quantize_status =
       par.For(0, n, par.GrainFor(n, 2048), [&](size_t lo, size_t hi) {
         for (size_t i = lo; i < hi; ++i) {
-          const SphericalPoint& s = group.role[i];
-          group.quantized[i] =
-              QPoint{qt.Quantize(s.theta), qp.Quantize(s.phi),
-                     qr.Quantize(s.r)};
+          quantized[i] = QPoint{qt.Quantize(theta[i]), qp.Quantize(phi[i]),
+                                qr.Quantize(r[i])};
         }
       });
   DBGC_CHECK(quantize_status.ok());

@@ -11,9 +11,11 @@
 #define DBGC_CORE_COORDINATE_CONVERTER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/point_cloud.h"
+#include "common/point_soa.h"
 #include "common/thread_pool.h"
 #include "core/polyline.h"
 #include "core/sparse_codec.h"
@@ -21,11 +23,15 @@
 namespace dbgc {
 
 /// A sparse group after conversion + quantization, ready for organization.
+///
+/// The group does not copy the Cartesian points: the organizer reads them
+/// through the parent cloud and the member index list (the
+/// candidate-distance metric of Algorithm 1), so the only per-group point
+/// storage is the role columns and the quantized triples.
 struct ConvertedGroup {
-  /// Role coordinates (theta/phi plane for Algorithm 1), unquantized.
-  std::vector<SphericalPoint> role;
-  /// Original Cartesian points (candidate-distance metric in Algorithm 1).
-  std::vector<Point3> cartesian;
+  /// Role coordinates (theta/phi plane for Algorithm 1), unquantized,
+  /// stored as columns (theta() / phi() / r()).
+  PointSoA role;
   /// Quantized integer coordinates (what the bitstream carries).
   std::vector<QPoint> quantized;
   /// Scaling factors and thresholds shared with the decoder.
@@ -46,12 +52,12 @@ struct ConverterConfig {
   bool radial_optimized = true;
 };
 
-/// Converts and quantizes one group of points. The optional thread budget
-/// parallelizes the per-point conversion and quantization (disjoint
-/// pre-sized slots); the extrema scans between them stay serial, so the
-/// output is identical for any budget.
-ConvertedGroup ConvertGroup(const PointCloud& pc,
-                            const std::vector<uint32_t>& indices,
+/// Converts and quantizes the group whose members are `pts[members[i]]`.
+/// The optional thread budget parallelizes the per-point conversion and
+/// quantization (disjoint pre-sized column slots); the extrema scans
+/// between them stay serial, so the output is identical for any budget.
+ConvertedGroup ConvertGroup(std::span<const Point3> pts,
+                            std::span<const uint32_t> members,
                             const ConverterConfig& config,
                             const Parallelism& par = {});
 

@@ -25,8 +25,9 @@ constexpr uint8_t kMagic[4] = {'D', 'B', 'G', 'C'};
 constexpr uint8_t kVersion = 1;
 
 // Stage blocks below time themselves with obs::TraceSpan: the duration
-// lands both in the DbgcCompressInfo slot (per-call report) and in the
-// process-wide stage_seconds{stage=...} histograms (docs/OBSERVABILITY.md).
+// lands in the process-wide stage_seconds{stage=...} histograms and in the
+// caller's FrameTrace, if one is active (docs/OBSERVABILITY.md). Counts
+// and byte sizes land in the caller's CompressStats.
 using obs::Stage;
 using obs::TraceSpan;
 
@@ -42,19 +43,17 @@ uint8_t EncodeFlags(const DbgcOptions& options) {
 
 DbgcCodec::DbgcCodec(DbgcOptions options) : options_(options) {}
 
-Result<ByteBuffer> DbgcCodec::CompressWithInfo(const PointCloud& pc,
-                                               DbgcCompressInfo* info) const {
-  CompressParams params;
-  params.q_xyz = options_.q_xyz;
-  params.info = info;
-  return Compress(pc, params);
-}
-
 Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
                                            const CompressParams& params) const {
-  DbgcCompressInfo local_info;
-  DbgcCompressInfo* info = params.info != nullptr ? params.info : &local_info;
-  *info = DbgcCompressInfo();
+  CompressStats* stats = params.info;
+  // Deriving the point mapping costs a leaf-key sort of the dense points
+  // plus per-point bookkeeping in SPA/OUT, so it runs only on request.
+  const bool want_mapping = stats != nullptr && stats->record_point_mapping;
+  if (stats != nullptr) {
+    CompressStats fresh;
+    fresh.record_point_mapping = stats->record_point_mapping;
+    *stats = std::move(fresh);
+  }
   DbgcOptions opt = options_;
   opt.q_xyz = params.q_xyz;
   if (const char* issue = opt.Validate()) {
@@ -65,15 +64,15 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
   // --- DEN: density-based clustering (Section 3.2). ---
   Partition partition;
   {
-    TraceSpan t(Stage::kClustering, &info->timings.clustering);
+    TraceSpan t(Stage::kClustering);
     partition = PartitionByDensity(pc, opt, par);
   }
-  info->num_dense = partition.dense.size();
+  if (stats != nullptr) stats->num_dense = partition.dense.size();
 
   // --- OCT: octree compression of dense points. ---
   ByteBuffer b_dense;
   {
-    TraceSpan t(Stage::kOctree, &info->timings.octree);
+    TraceSpan t(Stage::kOctree);
     if (!partition.dense.empty()) {
       PointCloud dense_cloud;
       dense_cloud.Reserve(partition.dense.size());
@@ -82,36 +81,38 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
                             Octree::Build(dense_cloud, 2.0 * opt.q_xyz, par));
       b_dense = OctreeCodec::SerializeStructure(tree, par,
                                                 params.entropy_backend);
-      // Decoded order is Morton leaf order; mirror it for the mapping.
-      // Key computation fills disjoint slots; the stable sort that defines
-      // the mapping order stays serial.
-      std::vector<uint64_t> keys(partition.dense.size());
-      const Status key_status = par.For(
-          0, keys.size(), par.GrainFor(keys.size(), 1024),
-          [&](size_t lo, size_t hi) {
-            for (size_t i = lo; i < hi; ++i) {
-              keys[i] = Octree::LeafKeyOf(dense_cloud[i], tree.root,
-                                          tree.depth);
-            }
-          });
-      DBGC_CHECK(key_status.ok());
-      std::vector<size_t> perm(partition.dense.size());
-      for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
-      std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
-        return keys[a] < keys[b];
-      });
-      for (size_t i : perm) {
-        info->point_mapping.push_back(partition.dense[i]);
+      if (want_mapping) {
+        // Decoded order is Morton leaf order; mirror it for the mapping.
+        // Key computation fills disjoint slots; the stable sort that
+        // defines the mapping order stays serial.
+        std::vector<uint64_t> keys(partition.dense.size());
+        const Status key_status = par.For(
+            0, keys.size(), par.GrainFor(keys.size(), 1024),
+            [&](size_t lo, size_t hi) {
+              for (size_t i = lo; i < hi; ++i) {
+                keys[i] = Octree::LeafKeyOf(dense_cloud[i], tree.root,
+                                            tree.depth);
+              }
+            });
+        DBGC_CHECK(key_status.ok());
+        std::vector<size_t> perm(partition.dense.size());
+        for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+        std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+          return keys[a] < keys[b];
+        });
+        for (size_t i : perm) {
+          stats->point_mapping.push_back(partition.dense[i]);
+        }
       }
     }
   }
-  info->bytes_dense = b_dense.size();
+  if (stats != nullptr) stats->bytes_dense = b_dense.size();
 
   // --- COR: conversion + grouping + scaling (Sections 3.3, 3.5). ---
   std::vector<std::vector<uint32_t>> group_indices;
   std::vector<ConvertedGroup> groups;
   {
-    TraceSpan t(Stage::kConversion, &info->timings.conversion);
+    TraceSpan t(Stage::kConversion);
     std::vector<double> radii(partition.sparse.size());
     const Status radii_status = par.For(
         0, radii.size(), par.GrainFor(radii.size(), 2048),
@@ -121,8 +122,18 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
           }
         });
     DBGC_CHECK(radii_status.ok());
-    group_indices =
-        GroupByRadialDistance(partition.sparse, radii, opt.num_groups);
+    // The grouper works in local sparse positions; map each group back to
+    // global point ids once (the mapping and outlier bookkeeping below all
+    // use the global ids).
+    const std::vector<std::vector<uint32_t>> local_groups =
+        GroupByRadialDistance(radii, opt.num_groups);
+    group_indices.resize(local_groups.size());
+    for (size_t g = 0; g < local_groups.size(); ++g) {
+      group_indices[g].reserve(local_groups[g].size());
+      for (uint32_t local : local_groups[g]) {
+        group_indices[g].push_back(partition.sparse[local]);
+      }
+    }
 
     ConverterConfig config;
     config.q_xyz = opt.q_xyz;
@@ -134,7 +145,7 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
     config.radial_optimized = opt.enable_radial_optimized_delta;
     groups.reserve(group_indices.size());
     for (const auto& indices : group_indices) {
-      groups.push_back(ConvertGroup(pc, indices, config, par));
+      groups.push_back(ConvertGroup(pc.view(), indices, config, par));
     }
   }
 
@@ -144,13 +155,14 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
   std::vector<OrganizeResult> organized(groups.size());
   std::vector<uint32_t> outlier_indices;
   {
-    TraceSpan t(Stage::kOrganization, &info->timings.organization);
+    TraceSpan t(Stage::kOrganization);
     const Status org_status =
         par.For(0, groups.size(), 1, [&](size_t lo, size_t hi) {
           for (size_t g = lo; g < hi; ++g) {
             organized[g] = OrganizeSparsePoints(
-                groups[g].role, groups[g].cartesian, groups[g].quantized,
-                groups[g].u_theta, groups[g].u_phi, opt.min_polyline_length);
+                groups[g].role, pc.view(), group_indices[g],
+                groups[g].quantized, groups[g].u_theta, groups[g].u_phi,
+                opt.min_polyline_length);
           }
         });
     DBGC_CHECK(org_status.ok());
@@ -160,7 +172,7 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
       }
     }
   }
-  info->num_outliers = outlier_indices.size();
+  if (stats != nullptr) stats->num_outliers = outlier_indices.size();
 
   // --- SPA: sparse coordinate compression (Section 3.5). ---
   // One independent entropy stream per group, written to per-group shards;
@@ -168,7 +180,7 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
   // does not depend on the thread count.
   std::vector<ByteBuffer> group_streams(groups.size());
   {
-    TraceSpan t(Stage::kSparse, &info->timings.sparse);
+    TraceSpan t(Stage::kSparse);
     const Status spa_status =
         par.For(0, groups.size(), 1, [&](size_t lo, size_t hi) {
           for (size_t g = lo; g < hi; ++g) {
@@ -178,13 +190,17 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
           }
         });
     DBGC_CHECK(spa_status.ok());
-    for (size_t g = 0; g < groups.size(); ++g) {
-      info->bytes_sparse += group_streams[g].size();
-      info->num_polylines += organized[g].polylines.size();
-      for (const Polyline& line : organized[g].polylines) {
-        info->num_sparse += line.size();
-        for (uint32_t local : line.source_indices) {
-          info->point_mapping.push_back(group_indices[g][local]);
+    if (stats != nullptr) {
+      for (size_t g = 0; g < groups.size(); ++g) {
+        stats->bytes_sparse += group_streams[g].size();
+        stats->num_polylines += organized[g].polylines.size();
+        for (const Polyline& line : organized[g].polylines) {
+          stats->num_sparse += line.size();
+          if (want_mapping) {
+            for (uint32_t local : line.source_indices) {
+              stats->point_mapping.push_back(group_indices[g][local]);
+            }
+          }
         }
       }
     }
@@ -193,16 +209,19 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
   // --- OUT: outlier compression (Section 3.6). ---
   ByteBuffer b_outlier;
   {
-    TraceSpan t(Stage::kOutlier, &info->timings.outlier);
+    TraceSpan t(Stage::kOutlier);
     std::vector<uint32_t> outlier_order;
     DBGC_ASSIGN_OR_RETURN(
         b_outlier,
         OutlierCodec::Compress(pc, outlier_indices, opt.q_xyz,
-                               opt.outlier_mode, &outlier_order,
+                               opt.outlier_mode,
+                               want_mapping ? &outlier_order : nullptr,
                                params.entropy_backend));
-    for (uint32_t idx : outlier_order) info->point_mapping.push_back(idx);
+    if (want_mapping) {
+      for (uint32_t idx : outlier_order) stats->point_mapping.push_back(idx);
+    }
   }
-  info->bytes_outlier = b_outlier.size();
+  if (stats != nullptr) stats->bytes_outlier = b_outlier.size();
 
   // --- Output layout (Figure 8). ---
   TraceSpan serialize_span(Stage::kSerialize);
@@ -229,31 +248,10 @@ Result<ByteBuffer> DbgcCodec::CompressImpl(const PointCloud& pc,
 
 Result<PointCloud> DbgcCodec::DecompressImpl(
     const ByteBuffer& buffer, const DecompressParams& params) const {
-  // The NVI wrapper already stripped the container version byte.
-  DbgcDecompressInfo info;
-  return DecompressPayload(buffer, params.entropy_backend, &info);
-}
-
-Result<PointCloud> DbgcCodec::DecompressWithInfo(
-    const ByteBuffer& buffer, DbgcDecompressInfo* info) const {
-  // Public instrumented entry point: sees the same container-framed streams
-  // as Decompress, so it strips and dispatches the version byte itself.
-  if (buffer.size() == 0) {
-    return Status::Corruption("dbgc: missing entropy version byte");
-  }
-  EntropyBackend backend;
-  if (!EntropyBackendFromVersionByte(buffer[0], &backend)) {
-    return Status::Corruption("dbgc: unsupported entropy version byte");
-  }
-  ByteBuffer payload;
-  payload.Append(buffer.data() + 1, buffer.size() - 1);
-  return DecompressPayload(payload, backend, info);
-}
-
-Result<PointCloud> DbgcCodec::DecompressPayload(
-    const ByteBuffer& buffer, EntropyBackend backend,
-    DbgcDecompressInfo* info) const {
-  *info = DbgcDecompressInfo();
+  // The NVI wrapper already stripped the container version byte. Decode
+  // stages time themselves with spans like the encoder, so a FrameTrace
+  // around Decompress yields the decode-side Figure 13 breakdown.
+  const EntropyBackend backend = params.entropy_backend;
   ByteReader reader(buffer);
   uint8_t magic[4];
   DBGC_RETURN_NOT_OK(reader.Read(magic, 4));
@@ -275,7 +273,7 @@ Result<PointCloud> DbgcCodec::DecompressPayload(
 
   // Dense points.
   {
-    obs::ScopedTimer t(&info->timings.octree);
+    TraceSpan t(Stage::kOctree);
     ByteBuffer b_dense;
     DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&b_dense));
     if (!b_dense.empty()) {
@@ -291,27 +289,27 @@ Result<PointCloud> DbgcCodec::DecompressPayload(
   uint64_t num_groups;
   DBGC_RETURN_NOT_OK(GetVarint64(&reader, &num_groups));
   for (uint64_t g = 0; g < num_groups; ++g) {
-    SparseGroupParams params;
-    DBGC_RETURN_NOT_OK(reader.ReadDouble(&params.step_theta));
-    DBGC_RETURN_NOT_OK(reader.ReadDouble(&params.step_phi));
-    DBGC_RETURN_NOT_OK(reader.ReadDouble(&params.step_r));
-    DBGC_RETURN_NOT_OK(GetSignedVarint64(&reader, &params.th_r));
-    DBGC_RETURN_NOT_OK(GetSignedVarint64(&reader, &params.th_phi));
-    params.radial_optimized = radial_optimized;
+    SparseGroupParams params_g;
+    DBGC_RETURN_NOT_OK(reader.ReadDouble(&params_g.step_theta));
+    DBGC_RETURN_NOT_OK(reader.ReadDouble(&params_g.step_phi));
+    DBGC_RETURN_NOT_OK(reader.ReadDouble(&params_g.step_r));
+    DBGC_RETURN_NOT_OK(GetSignedVarint64(&reader, &params_g.th_r));
+    DBGC_RETURN_NOT_OK(GetSignedVarint64(&reader, &params_g.th_phi));
+    params_g.radial_optimized = radial_optimized;
     ByteBuffer stream;
     DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&stream));
 
     std::vector<Polyline> lines;
     {
-      obs::ScopedTimer t(&info->timings.sparse);
+      TraceSpan t(Stage::kSparse);
       DBGC_RETURN_NOT_OK(
-          SparseCodec::DecodeGroup(stream, params, &lines, backend));
+          SparseCodec::DecodeGroup(stream, params_g, &lines, backend));
     }
     {
-      obs::ScopedTimer t(&info->timings.conversion);
+      TraceSpan t(Stage::kConversion);
       for (const Polyline& line : lines) {
         for (const QPoint& q : line.points) {
-          out.Add(ReconstructPoint(q, params, spherical));
+          out.Add(ReconstructPoint(q, params_g, spherical));
         }
       }
     }
@@ -319,7 +317,7 @@ Result<PointCloud> DbgcCodec::DecompressPayload(
 
   // Outliers.
   {
-    obs::ScopedTimer t(&info->timings.outlier);
+    TraceSpan t(Stage::kOutlier);
     ByteBuffer b_outlier;
     DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&b_outlier));
     DBGC_ASSIGN_OR_RETURN(PointCloud outliers,

@@ -5,9 +5,12 @@
 // -> polyline organization -> sparse coordinate compression -> outlier
 // compression -> output layout (Figure 8). Decompression reverses it.
 //
-// Besides the GeometryCodec interface, the class exposes instrumented
-// entry points returning stage timings (Figure 13) and the one-to-one
-// point mapping used by error verification.
+// Instrumentation surface: every stage runs under an obs::TraceSpan, so
+// per-frame stage timings (Figure 13) are collected by wrapping a call in
+// an obs::FrameTrace and reading its breakdown — there is no codec-private
+// timing struct. Counts, per-section byte sizes, and the optional
+// point mapping are returned through CompressStats, attached to a call via
+// CompressParams::info.
 
 #ifndef DBGC_CORE_DBGC_CODEC_H_
 #define DBGC_CORE_DBGC_CODEC_H_
@@ -21,23 +24,22 @@
 
 namespace dbgc {
 
-/// Per-stage wall-clock seconds (the components of Figure 13).
-struct DbgcTimings {
-  double clustering = 0.0;    ///< DEN: density-based clustering.
-  double octree = 0.0;        ///< OCT: octree compression/decompression.
-  double conversion = 0.0;    ///< COR: coordinate conversion (+ scaling).
-  double organization = 0.0;  ///< ORG: point organization (Algorithm 1).
-  double sparse = 0.0;        ///< SPA: sparse coordinate codec (Steps 2-9).
-  double outlier = 0.0;       ///< OUT: outlier codec.
+/// Per-run statistics of one DBGC compression, filled when a CompressStats
+/// is attached to the call through CompressParams::info. Stage wall-clock
+/// times are deliberately not here: wrap the call in an obs::FrameTrace to
+/// collect them (docs/OBSERVABILITY.md).
+///
+///   obs::FrameTrace trace;
+///   CompressStats stats;
+///   stats.record_point_mapping = true;  // only if the mapping is needed
+///   auto compressed = codec.Compress(pc, {.q_xyz = q, .info = &stats});
+///   double den_s = trace.breakdown().seconds(obs::Stage::kClustering);
+struct CompressStats {
+  /// Input: when true, `point_mapping` is filled. Deriving the mapping
+  /// costs a leaf-key sort of the dense points, so it is opt-in; leave
+  /// false on hot paths that only need counts and sizes.
+  bool record_point_mapping = false;
 
-  double Total() const {
-    return clustering + octree + conversion + organization + sparse + outlier;
-  }
-};
-
-/// Instrumentation of one compression run.
-struct DbgcCompressInfo {
-  DbgcTimings timings;
   size_t num_dense = 0;
   size_t num_sparse = 0;    ///< Sparse points on polylines.
   size_t num_outliers = 0;
@@ -46,13 +48,9 @@ struct DbgcCompressInfo {
   size_t bytes_sparse = 0;
   size_t bytes_outlier = 0;
   /// Source index of each point the decompressor will emit, in emission
-  /// order: the one-to-one mapping M (Problem Statement).
+  /// order: the one-to-one mapping M (Problem Statement). Empty unless
+  /// `record_point_mapping` was set before the call.
   std::vector<uint32_t> point_mapping;
-};
-
-/// Instrumentation of one decompression run.
-struct DbgcDecompressInfo {
-  DbgcTimings timings;
 };
 
 /// The DBGC geometry codec.
@@ -63,36 +61,20 @@ class DbgcCodec : public GeometryCodec {
 
   std::string name() const override { return "DBGC"; }
 
-  /// Compression with full instrumentation under the options' q_xyz.
-  /// Equivalent to Compress with CompressParams{options().q_xyz, ..., info}.
-  Result<ByteBuffer> CompressWithInfo(const PointCloud& pc,
-                                      DbgcCompressInfo* info) const;
-
-  /// Decompression with stage timings. Accepts the same container-framed
-  /// streams as Decompress (the leading entropy version byte is stripped
-  /// and dispatched here).
-  Result<PointCloud> DecompressWithInfo(const ByteBuffer& buffer,
-                                        DbgcDecompressInfo* info) const;
-
   const DbgcOptions& options() const { return options_; }
 
  protected:
   /// Compresses under the options with q_xyz overridden by params.q_xyz.
   /// params.pool/max_threads parallelize the independent work inside each
   /// stage (docs/PARALLELISM.md); the bitstream is byte-identical for any
-  /// thread count. params.info, when set, receives full instrumentation.
+  /// thread count. params.info, when set, receives counts, byte sizes and
+  /// (opt-in) the point mapping; stage timings flow through obs spans.
   Result<ByteBuffer> CompressImpl(const PointCloud& pc,
                                   const CompressParams& params) const override;
   Result<PointCloud> DecompressImpl(
       const ByteBuffer& buffer, const DecompressParams& params) const override;
 
  private:
-  /// Shared decode body over the unframed payload (container version byte
-  /// already stripped, its backend passed explicitly).
-  Result<PointCloud> DecompressPayload(const ByteBuffer& payload,
-                                       EntropyBackend backend,
-                                       DbgcDecompressInfo* info) const;
-
   DbgcOptions options_;
 };
 

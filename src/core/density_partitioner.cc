@@ -39,7 +39,7 @@ Partition PartitionByDensity(const PointCloud& pc, const DbgcOptions& options,
   const ClusteringParams params = ClusteringParams::FromErrorBound(
       options.q_xyz, options.cluster_k, options.min_pts_scale);
   const ClusteringResult result = options.use_approx_clustering
-                                      ? ApproxClustering(pc, params, par)
+                                      ? ApproxClustering(pc.view(), params, par)
                                       : CellClustering(pc, params, par);
   part.dense.reserve(n / 2);
   part.sparse.reserve(n / 2);

@@ -112,7 +112,7 @@ Result<ByteBuffer> OutlierCodec::Compress(
     const PointCloud& pc, const std::vector<uint32_t>& indices, double q_xyz,
     OutlierMode mode, std::vector<uint32_t>* encoded_order,
     EntropyBackend backend) {
-  encoded_order->clear();
+  if (encoded_order != nullptr) encoded_order->clear();
   ByteBuffer out;
   PutVarint64(&out, indices.size());
   if (indices.empty()) return out;
@@ -120,7 +120,7 @@ Result<ByteBuffer> OutlierCodec::Compress(
   switch (mode) {
     case OutlierMode::kNone: {
       // Raw 32-bit floats; the order is unchanged.
-      *encoded_order = indices;
+      if (encoded_order != nullptr) *encoded_order = indices;
       for (uint32_t idx : indices) {
         const Point3& p = pc[idx];
         const float v[3] = {static_cast<float>(p.x), static_cast<float>(p.y),
@@ -138,18 +138,21 @@ Result<ByteBuffer> OutlierCodec::Compress(
       DBGC_ASSIGN_OR_RETURN(OctreeStructure tree,
                             Octree::Build(sub, 2.0 * q_xyz));
       // Decoded order = Morton order of leaf keys (duplicates grouped);
-      // reproduce it with a stable sort of the source indices.
-      std::vector<uint32_t> order(indices.begin(), indices.end());
-      std::vector<uint64_t> keys(indices.size());
-      for (size_t i = 0; i < indices.size(); ++i) {
-        keys[i] = Octree::LeafKeyOf(pc[indices[i]], tree.root, tree.depth);
+      // reproduce it with a stable sort of the source indices. The order
+      // exists only for the caller's mapping, so skip it when unwanted.
+      if (encoded_order != nullptr) {
+        std::vector<uint64_t> keys(indices.size());
+        for (size_t i = 0; i < indices.size(); ++i) {
+          keys[i] = Octree::LeafKeyOf(pc[indices[i]], tree.root, tree.depth);
+        }
+        std::vector<size_t> perm(indices.size());
+        for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+        std::stable_sort(perm.begin(), perm.end(), [&](size_t a, size_t b) {
+          return keys[a] < keys[b];
+        });
+        encoded_order->reserve(indices.size());
+        for (size_t i : perm) encoded_order->push_back(indices[i]);
       }
-      std::vector<size_t> perm(indices.size());
-      for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
-      std::stable_sort(perm.begin(), perm.end(),
-                       [&](size_t a, size_t b) { return keys[a] < keys[b]; });
-      encoded_order->reserve(indices.size());
-      for (size_t i : perm) encoded_order->push_back(indices[i]);
       out.AppendLengthPrefixed(
           OctreeCodec::SerializeStructure(tree, backend));
       return out;
@@ -174,12 +177,12 @@ Result<ByteBuffer> OutlierCodec::Compress(
   for (size_t i = 0; i < perm.size(); ++i) perm[i] = i;
   std::stable_sort(perm.begin(), perm.end(),
                    [&](size_t a, size_t b) { return keys[a] < keys[b]; });
-  encoded_order->reserve(indices.size());
+  if (encoded_order != nullptr) encoded_order->reserve(indices.size());
   const Quantizer qz(q_xyz);
   std::vector<int64_t> z_values;
   z_values.reserve(indices.size());
   for (size_t i : perm) {
-    encoded_order->push_back(indices[i]);
+    if (encoded_order != nullptr) encoded_order->push_back(indices[i]);
     z_values.push_back(qz.Quantize(pc[indices[i]].z));
   }
 

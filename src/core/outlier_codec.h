@@ -24,8 +24,9 @@ namespace dbgc {
 class OutlierCodec {
  public:
   /// Compresses the points of `pc` selected by `indices` under error bound
-  /// q_xyz. On return, `encoded_order` holds the source indices in the
-  /// order the decompressor will emit the points (the one-to-one mapping).
+  /// q_xyz. On return, `encoded_order` (if non-null) holds the source
+  /// indices in the order the decompressor will emit the points (the
+  /// one-to-one mapping); pass null to skip deriving it.
   static Result<ByteBuffer> Compress(const PointCloud& pc,
                                      const std::vector<uint32_t>& indices,
                                      double q_xyz, OutlierMode mode,

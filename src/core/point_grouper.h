@@ -9,19 +9,21 @@
 #define DBGC_CORE_POINT_GROUPER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace dbgc {
 
-/// Splits point indices into `num_groups` groups evenly by radial distance
+/// Splits points into `num_groups` groups evenly by radial distance
 /// (radial quantile boundaries, so the groups are evenly sized and each
 /// near group earns a coarser angular scaling factor from its smaller
-/// r_max). `radii[i]` is the radial distance of the point at `indices[i]`.
-/// Groups may be empty; the returned values are the same identifiers
-/// passed in.
+/// r_max). `radii[i]` is the radial distance of point i; the returned
+/// groups hold indices into `radii` (the caller owns any mapping to global
+/// point ids). Groups may be empty. The quantile boundaries come from
+/// selection (nth_element) rather than a full sort, but are by definition
+/// the same order statistics either way.
 std::vector<std::vector<uint32_t>> GroupByRadialDistance(
-    const std::vector<uint32_t>& indices, const std::vector<double>& radii,
-    int num_groups);
+    std::span<const double> radii, int num_groups);
 
 }  // namespace dbgc
 

@@ -3,25 +3,83 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_map>
+
+#include "common/radix_sort.h"
 
 namespace dbgc {
 
 namespace {
 
-// Hash grid over the (theta, phi) plane for candidate search. Cells are
-// 2*u_theta wide and u_phi tall so an extension query touches at most a
-// 2 x 3 cell block.
+// Candidate-search grid over the (theta, phi) plane. Cells are 2*u_theta
+// wide and u_phi tall so an extension query touches at most a 2 x 3 cell
+// block.
+//
+// The grid is a dense CSR layout over the occupied cell bounding box:
+// cell (cx, cy) maps to slot (cx - min_x) * height + (cy - min_y), point
+// ids are scattered into per-cell slices by a counting sort that preserves
+// ascending id order (the same order the hash-bucket push_backs produced).
+// When the bounding box is degenerate or too large relative to the point
+// count (pathological coordinates), a sorted-key fallback serves the same
+// lookups through binary search; candidate visit order is identical either
+// way.
 class PlaneGrid {
  public:
-  PlaneGrid(const std::vector<SphericalPoint>& pts, double u_theta,
+  PlaneGrid(const double* theta, const double* phi, size_t n, double u_theta,
             double u_phi)
-      : pts_(pts),
+      : theta_(theta),
+        phi_(phi),
         inv_w_(1.0 / (2.0 * u_theta)),
         inv_h_(1.0 / u_phi) {
-    cells_.reserve(pts.size() / 2 + 8);
-    for (uint32_t i = 0; i < pts.size(); ++i) {
-      cells_[KeyFor(pts[i].theta, pts[i].phi)].push_back(i);
+    std::vector<int64_t> cxs(n), cys(n);
+    int64_t min_x = 0, max_x = 0, min_y = 0, max_y = 0;
+    for (size_t i = 0; i < n; ++i) {
+      cxs[i] = CellX(theta_[i]);
+      cys[i] = CellY(phi_[i]);
+      if (i == 0) {
+        min_x = max_x = cxs[0];
+        min_y = max_y = cys[0];
+      } else {
+        min_x = std::min(min_x, cxs[i]);
+        max_x = std::max(max_x, cxs[i]);
+        min_y = std::min(min_y, cys[i]);
+        max_y = std::max(max_y, cys[i]);
+      }
+    }
+    min_x_ = min_x;
+    min_y_ = min_y;
+    // Dense layout whenever the bbox area stays within a small multiple of
+    // n (plus a flat allowance: a LiDAR scan's cell plane is fixed by the
+    // sensor's field of view, so a subsampled frame still spans the full
+    // plane). The fallback below only serves pathological coordinates.
+    const uint64_t limit = 8 * static_cast<uint64_t>(n) + 65536;
+    const uint64_t span_x = static_cast<uint64_t>(max_x) - static_cast<uint64_t>(min_x);
+    const uint64_t span_y = static_cast<uint64_t>(max_y) - static_cast<uint64_t>(min_y);
+    if (n > 0 && span_x < limit && span_y < limit &&
+        (span_x + 1) <= limit / (span_y + 1)) {
+      width_ = span_x + 1;
+      height_ = span_y + 1;
+      starts_.assign(width_ * height_ + 1, 0);
+      items_.resize(n);
+      for (size_t i = 0; i < n; ++i) ++starts_[SlotOf(cxs[i], cys[i]) + 1];
+      for (size_t s = 1; s < starts_.size(); ++s) starts_[s] += starts_[s - 1];
+      std::vector<uint32_t> cursor(starts_.begin(), starts_.end() - 1);
+      for (size_t i = 0; i < n; ++i) {
+        items_[cursor[SlotOf(cxs[i], cys[i])]++] = static_cast<uint32_t>(i);
+      }
+      return;
+    }
+    // Fallback: points stably sorted by packed cell key; per-cell slices
+    // found by binary search. Stability keeps ids ascending within a cell.
+    sorted_keys_.resize(n);
+    items_.resize(n);
+    std::vector<uint64_t> keys(n);
+    for (size_t i = 0; i < n; ++i) keys[i] = Key(cxs[i], cys[i]);
+    std::vector<uint32_t> perm(n), perm_scratch;
+    for (size_t i = 0; i < n; ++i) perm[i] = static_cast<uint32_t>(i);
+    RadixSortIndicesByKey(keys, perm, perm_scratch, 64);
+    for (size_t i = 0; i < n; ++i) {
+      items_[i] = perm[i];
+      sorted_keys_[i] = keys[perm[i]];
     }
   }
 
@@ -30,7 +88,7 @@ class PlaneGrid {
   /// Returns -1 if none.
   template <typename DistanceFn>
   int FindBest(double theta_lo, double theta_hi, double phi_lo,
-               double phi_hi, const std::vector<bool>& used,
+               double phi_hi, const std::vector<uint8_t>& used,
                DistanceFn&& distance) const {
     int best = -1;
     double best_d = std::numeric_limits<double>::infinity();
@@ -40,13 +98,14 @@ class PlaneGrid {
     const int64_t cy1 = CellY(phi_hi);
     for (int64_t cx = cx0; cx <= cx1; ++cx) {
       for (int64_t cy = cy0; cy <= cy1; ++cy) {
-        const auto it = cells_.find(Key(cx, cy));
-        if (it == cells_.end()) continue;
-        for (uint32_t idx : it->second) {
+        const uint32_t* it;
+        const uint32_t* end;
+        if (!CellSlice(cx, cy, &it, &end)) continue;
+        for (; it != end; ++it) {
+          const uint32_t idx = *it;
           if (used[idx]) continue;
-          const SphericalPoint& s = pts_[idx];
-          if (s.theta <= theta_lo || s.theta > theta_hi) continue;
-          if (s.phi < phi_lo || s.phi > phi_hi) continue;
+          if (theta_[idx] <= theta_lo || theta_[idx] > theta_hi) continue;
+          if (phi_[idx] < phi_lo || phi_[idx] > phi_hi) continue;
           const double d = distance(idx);
           if (d < best_d) {
             best_d = d;
@@ -69,74 +128,110 @@ class PlaneGrid {
     return (static_cast<uint64_t>(cx + (1LL << 31)) << 32) |
            static_cast<uint64_t>(cy + (1LL << 31));
   }
-  uint64_t KeyFor(double theta, double phi) const {
-    return Key(CellX(theta), CellY(phi));
+  size_t SlotOf(int64_t cx, int64_t cy) const {
+    return static_cast<size_t>(cx - min_x_) * height_ +
+           static_cast<size_t>(cy - min_y_);
+  }
+  // Writes the [begin, end) item slice of cell (cx, cy); false if empty.
+  bool CellSlice(int64_t cx, int64_t cy, const uint32_t** begin,
+                 const uint32_t** end) const {
+    if (height_ != 0) {
+      if (cx < min_x_ || cy < min_y_ ||
+          static_cast<uint64_t>(cx - min_x_) >= width_ ||
+          static_cast<uint64_t>(cy - min_y_) >= height_) {
+        return false;
+      }
+      const size_t slot = SlotOf(cx, cy);
+      if (starts_[slot] == starts_[slot + 1]) return false;
+      *begin = items_.data() + starts_[slot];
+      *end = items_.data() + starts_[slot + 1];
+      return true;
+    }
+    const auto [lo, hi] = std::equal_range(sorted_keys_.begin(),
+                                           sorted_keys_.end(), Key(cx, cy));
+    if (lo == hi) return false;
+    *begin = items_.data() + (lo - sorted_keys_.begin());
+    *end = items_.data() + (hi - sorted_keys_.begin());
+    return true;
   }
 
-  const std::vector<SphericalPoint>& pts_;
+  const double* theta_;
+  const double* phi_;
   double inv_w_;
   double inv_h_;
-  std::unordered_map<uint64_t, std::vector<uint32_t>> cells_;
+  int64_t min_x_ = 0;
+  int64_t min_y_ = 0;
+  uint64_t width_ = 0;
+  uint64_t height_ = 0;           // 0 = fallback layout in use.
+  std::vector<uint32_t> starts_;  // Dense layout: per-slot slice starts.
+  std::vector<uint32_t> items_;   // Point ids, grouped by cell.
+  std::vector<uint64_t> sorted_keys_;  // Fallback: sorted key per item.
 };
 
 }  // namespace
 
-OrganizeResult OrganizeSparsePoints(
-    const std::vector<SphericalPoint>& role_coords,
-    const std::vector<Point3>& cartesian,
-    const std::vector<QPoint>& quantized, double u_theta, double u_phi,
-    int min_polyline_length) {
+OrganizeResult OrganizeSparsePoints(const PointSoA& role,
+                                    std::span<const Point3> parent,
+                                    std::span<const uint32_t> members,
+                                    const std::vector<QPoint>& quantized,
+                                    double u_theta, double u_phi,
+                                    int min_polyline_length) {
   OrganizeResult result;
-  const size_t n = role_coords.size();
+  const size_t n = role.size();
   if (n == 0) return result;
+  const double* const theta = role.theta();
+  const double* const phi = role.phi();
 
-  PlaneGrid grid(role_coords, u_theta, u_phi);
-  std::vector<bool> used(n, false);
+  PlaneGrid grid(theta, phi, n, u_theta, u_phi);
+  std::vector<uint8_t> used(n, 0);
 
   // Seeds in (phi, theta) order for determinism.
   std::vector<uint32_t> seed_order(n);
   for (uint32_t i = 0; i < n; ++i) seed_order[i] = i;
   std::sort(seed_order.begin(), seed_order.end(), [&](uint32_t a, uint32_t b) {
-    if (role_coords[a].phi != role_coords[b].phi) {
-      return role_coords[a].phi < role_coords[b].phi;
-    }
-    return role_coords[a].theta < role_coords[b].theta;
+    if (phi[a] != phi[b]) return phi[a] < phi[b];
+    return theta[a] < theta[b];
   });
 
   std::vector<std::vector<uint32_t>> raw_lines;
   for (uint32_t seed : seed_order) {
     if (used[seed]) continue;
-    used[seed] = true;
-    const double phi_lo = role_coords[seed].phi - u_phi;
-    const double phi_hi = role_coords[seed].phi + u_phi;
+    used[seed] = 1;
+    const double phi_lo = phi[seed] - u_phi;
+    const double phi_hi = phi[seed] + u_phi;
 
     std::vector<uint32_t> right{seed};
     // Extend to the right: candidate theta in (theta_tail, theta_tail+2u].
     for (;;) {
       const uint32_t tail = right.back();
-      const Point3& tail_cart = cartesian[tail];
-      const int next = grid.FindBest(
-          role_coords[tail].theta, role_coords[tail].theta + 2.0 * u_theta,
-          phi_lo, phi_hi, used,
-          [&](uint32_t idx) { return (cartesian[idx] - tail_cart).SquaredNorm(); });
+      const Point3& tail_cart = parent[members[tail]];
+      const int next =
+          grid.FindBest(theta[tail], theta[tail] + 2.0 * u_theta, phi_lo,
+                        phi_hi, used, [&](uint32_t idx) {
+                          return (parent[members[idx]] - tail_cart)
+                              .SquaredNorm();
+                        });
       if (next < 0) break;
-      used[next] = true;
+      used[next] = 1;
       right.push_back(static_cast<uint32_t>(next));
     }
     // Extend to the left: candidate theta in [theta_head - 2u, theta_head).
     std::vector<uint32_t> left;
     for (;;) {
       const uint32_t head = left.empty() ? seed : left.back();
-      const Point3& head_cart = cartesian[head];
+      const Point3& head_cart = parent[members[head]];
       // FindBest uses a half-open (lo, hi] window; mirror it for the left
       // by offsetting an epsilon below the head's theta.
-      const double head_theta = role_coords[head].theta;
-      const int next = grid.FindBest(
-          head_theta - 2.0 * u_theta - 1e-15, head_theta - 1e-15, phi_lo,
-          phi_hi, used,
-          [&](uint32_t idx) { return (cartesian[idx] - head_cart).SquaredNorm(); });
+      const double head_theta = theta[head];
+      const int next =
+          grid.FindBest(head_theta - 2.0 * u_theta - 1e-15,
+                        head_theta - 1e-15, phi_lo, phi_hi, used,
+                        [&](uint32_t idx) {
+                          return (parent[members[idx]] - head_cart)
+                              .SquaredNorm();
+                        });
       if (next < 0) break;
-      used[next] = true;
+      used[next] = 1;
       left.push_back(static_cast<uint32_t>(next));
     }
     std::vector<uint32_t> line;

@@ -16,9 +16,11 @@
 #define DBGC_CORE_POLYLINE_ORGANIZER_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/point_cloud.h"
+#include "common/point_soa.h"
 #include "core/polyline.h"
 
 namespace dbgc {
@@ -28,18 +30,21 @@ struct OrganizeResult {
   /// Polylines sorted by ascending (polar angle of head, azimuth of head),
   /// each with quantized points and their source indices.
   std::vector<Polyline> polylines;
-  /// Indices (into the input arrays) of points on no surviving polyline.
+  /// Indices (into the group's arrays) of points on no surviving polyline.
   std::vector<uint32_t> outliers;
 };
 
 /// Runs Algorithm 1 on one group of sparse points.
 ///
-/// `role_coords[i]` supplies the (theta, phi) extraction plane for point i,
-/// `cartesian[i]` the actual 3D position used for candidate distance, and
+/// `role.theta()/phi()[i]` supply the (theta, phi) extraction plane for
+/// group point i, `parent[members[i]]` its actual 3D position (the
+/// candidate-distance metric — the group stores no Cartesian copy), and
 /// `quantized[i]` the integer coordinates stored on the polylines.
-/// `u_theta` / `u_phi` are the average sampling steps (Section 3.3).
-OrganizeResult OrganizeSparsePoints(const std::vector<SphericalPoint>& role_coords,
-                                    const std::vector<Point3>& cartesian,
+/// `u_theta` / `u_phi` are the average sampling steps (Section 3.3). All
+/// indices in the result are group-local (positions in `members`).
+OrganizeResult OrganizeSparsePoints(const PointSoA& role,
+                                    std::span<const Point3> parent,
+                                    std::span<const uint32_t> members,
                                     const std::vector<QPoint>& quantized,
                                     double u_theta, double u_phi,
                                     int min_polyline_length);

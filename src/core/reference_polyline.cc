@@ -1,13 +1,14 @@
 #include "core/reference_polyline.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace dbgc {
 
-ConsensusLine ConsensusLine::Build(const std::vector<Polyline>& lines,
-                                   size_t line_index, int64_t th_phi) {
-  ConsensusLine consensus;
-  if (line_index == 0) return consensus;
+void ConsensusLine::Rebuild(const std::vector<Polyline>& lines,
+                            size_t line_index, int64_t th_phi) {
+  points_.clear();
+  if (line_index == 0) return;
   const int64_t phi_l = lines[line_index].PolarAngle();
   // Collect the reference set: preceding polylines within TH_phi. Lines are
   // sorted by polar angle, so scanning backwards stops at the first line
@@ -27,8 +28,7 @@ ConsensusLine ConsensusLine::Build(const std::vector<Polyline>& lines,
     --first;
   }
   // Merge in <PL> order so later polylines overwrite earlier spans.
-  for (size_t i = first; i < line_index; ++i) consensus.Merge(lines[i]);
-  return consensus;
+  for (size_t i = first; i < line_index; ++i) Merge(lines[i]);
 }
 
 void ConsensusLine::Merge(const Polyline& line) {
@@ -55,25 +55,50 @@ void ConsensusLine::Merge(const Polyline& line) {
   // element below it is one before.
   const size_t id_right_plus1 = static_cast<size_t>(right_it - points_.begin());
 
-  std::vector<ConsensusPoint> merged;
-  merged.reserve(points_.size() + line.size());
-  merged.insert(merged.end(), points_.begin(), points_.begin() + id_left);
-  for (const QPoint& p : line.points) {
-    merged.push_back(ConsensusPoint{p.theta, p.r});
-  }
-  if (id_right_plus1 > id_left) {
-    merged.insert(merged.end(), points_.begin() + id_right_plus1,
-                  points_.end());
+  // Splice the line over [id_left, tail_src) in place: keep the prefix,
+  // shift the suffix to its final slot (ConsensusPoint is trivially
+  // copyable, so memmove is fine), and write the line into the gap. The
+  // arrangement is prefix + line + suffix, exactly the rebuilt vector of
+  // the copying implementation this replaces.
+  const size_t old_size = points_.size();
+  const size_t tail_src = std::max(id_left, id_right_plus1);
+  const size_t tail_len = old_size - tail_src;
+  const size_t new_size = id_left + line.size() + tail_len;
+  if (new_size > old_size) {
+    points_.resize(new_size);
+    std::memmove(points_.data() + id_left + line.size(),
+                 points_.data() + tail_src, tail_len * sizeof(ConsensusPoint));
   } else {
-    merged.insert(merged.end(), points_.begin() + id_left, points_.end());
+    std::memmove(points_.data() + id_left + line.size(),
+                 points_.data() + tail_src, tail_len * sizeof(ConsensusPoint));
+    points_.resize(new_size);
   }
-  // Boundary ties can leave the sequence locally unordered; restore the
-  // sorted invariant with a stable sort (cheap: nearly sorted).
-  std::stable_sort(merged.begin(), merged.end(),
-                   [](const ConsensusPoint& a, const ConsensusPoint& b) {
-                     return a.theta < b.theta;
-                   });
-  points_ = std::move(merged);
+  for (size_t i = 0; i < line.size(); ++i) {
+    points_[id_left + i] = ConsensusPoint{line.points[i].theta,
+                                          line.points[i].r};
+  }
+
+  // The bound choices make the splice nondecreasing whenever the incoming
+  // line is (prefix ends <= head_theta, suffix starts >= tail_theta), so
+  // the sort the copying implementation ran was the identity permutation.
+  // Verify the affected region; if a boundary tie or an unsorted line ever
+  // breaks the invariant, restore it with the same stable sort as before
+  // (same arrangement, same comparator — bit-identical output).
+  const size_t check_lo = id_left > 0 ? id_left : 1;
+  const size_t check_hi = std::min(new_size, id_left + line.size() + 1);
+  bool ordered = true;
+  for (size_t i = check_lo; i < check_hi; ++i) {
+    if (points_[i - 1].theta > points_[i].theta) {
+      ordered = false;
+      break;
+    }
+  }
+  if (!ordered) {
+    std::stable_sort(points_.begin(), points_.end(),
+                     [](const ConsensusPoint& a, const ConsensusPoint& b) {
+                       return a.theta < b.theta;
+                     });
+  }
 }
 
 int ConsensusLine::RightmostBelow(int64_t t) const {

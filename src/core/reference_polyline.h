@@ -31,7 +31,18 @@ class ConsensusLine {
   /// (preceding polylines with |phi - phi_l| <= th_phi), per Algorithm 2.
   /// Radial distances of all preceding polylines must already be final.
   static ConsensusLine Build(const std::vector<Polyline>& lines,
-                             size_t line_index, int64_t th_phi);
+                             size_t line_index, int64_t th_phi) {
+    ConsensusLine consensus;
+    consensus.Rebuild(lines, line_index, th_phi);
+    return consensus;
+  }
+
+  /// In-place Build: clears this line and rebuilds it for lines[line_index],
+  /// reusing the point buffer's capacity. The per-line encode and decode
+  /// loops call this once per polyline; buffer reuse keeps the consensus
+  /// construction allocation-free in steady state.
+  void Rebuild(const std::vector<Polyline>& lines, size_t line_index,
+               int64_t th_phi);
 
   bool empty() const { return points_.empty(); }
   size_t size() const { return points_.size(); }

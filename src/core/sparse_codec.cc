@@ -175,9 +175,9 @@ ByteBuffer SparseCodec::EncodeGroup(const std::vector<Polyline>& lines,
   std::vector<int64_t> nabla_r;
   std::vector<uint32_t> ref_symbols;
   nabla_r.reserve(total_points);
+  ConsensusLine consensus;  // Reused across lines; Rebuild keeps capacity.
   for (size_t li = 0; li < lines.size(); ++li) {
-    const ConsensusLine consensus =
-        ConsensusLine::Build(lines, li, params.th_phi);
+    consensus.Rebuild(lines, li, params.th_phi);
     for (size_t pi = 0; pi < lines[li].size(); ++pi) {
       const RadialDecision d =
           DecideReference(lines, li, pi, consensus, params);
@@ -322,9 +322,9 @@ Status SparseCodec::DecodeGroup(const ByteBuffer& buffer,
 
   size_t r_cursor = 0;
   size_t symbol_cursor = 0;
+  ConsensusLine consensus;  // Reused across lines; Rebuild keeps capacity.
   for (size_t li = 0; li < lines->size(); ++li) {
-    const ConsensusLine consensus =
-        ConsensusLine::Build(*lines, li, params.th_phi);
+    consensus.Rebuild(*lines, li, params.th_phi);
     for (size_t pi = 0; pi < (*lines)[li].size(); ++pi) {
       const RadialDecision d =
           DecideReference(*lines, li, pi, consensus, params);

@@ -47,11 +47,12 @@ Result<ByteBuffer> DbgcClient::ProcessFrame(const PointCloud& pc,
   // this thread; its breakdown is folded into the stage histograms by the
   // spans themselves.
   obs::FrameTrace frame_trace;
-  DbgcCompressInfo info;
   Result<ByteBuffer> compressed_result = [&] {
     obs::ScopedTimer timer(&report->compress_seconds,
                            metrics.compress_seconds);
-    return codec_.CompressWithInfo(pc, &info);
+    CompressParams params;
+    params.q_xyz = codec_.options().q_xyz;
+    return codec_.Compress(pc, params);
   }();
   DBGC_RETURN_NOT_OK(compressed_result.status());
   ByteBuffer compressed = std::move(compressed_result).value();

@@ -10,7 +10,7 @@
 // Each thread keeps a span stack: opening a span pushes it, closing pops
 // and publishes the wall-clock duration to
 //   - the registry histogram  stage_seconds{stage=<name>},
-//   - an optional double* accumulation slot (the DbgcTimings fields), and
+//   - an optional double* accumulation slot, and
 //   - the innermost active FrameTrace on this thread, which is how one
 //     frame's DEN/OCT/COR/ORG/SPA/OUT split is collected and dumped.
 // Re-entering a stage already on this thread's stack only counts the outer

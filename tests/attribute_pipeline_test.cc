@@ -63,8 +63,12 @@ TEST(AttributeCodecTest, PairsWithGeometryMapping) {
   DbgcOptions options;
   options.min_pts_scale = 0.05;
   const DbgcCodec codec(options);
-  DbgcCompressInfo info;
-  auto geometry = codec.CompressWithInfo(pc, &info);
+  CompressStats info;
+  info.record_point_mapping = true;
+  CompressParams info_params;
+  info_params.q_xyz = codec.options().q_xyz;
+  info_params.info = &info;
+  auto geometry = codec.Compress(pc, info_params);
   ASSERT_TRUE(geometry.ok());
   auto attr = AttributeCodec::Compress(intensity, info.point_mapping, 0.01);
   ASSERT_TRUE(attr.ok());

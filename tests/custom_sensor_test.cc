@@ -46,8 +46,12 @@ TEST(CustomSensorTest, FullPipelineWithinBound) {
   options.q_xyz = 0.02;
   options.sensor = sensor;  // u_theta / u_phi drive Algorithm 1.
   const DbgcCodec codec(options);
-  DbgcCompressInfo info;
-  auto compressed = codec.CompressWithInfo(pc, &info);
+  CompressStats info;
+  info.record_point_mapping = true;
+  CompressParams info_params;
+  info_params.q_xyz = codec.options().q_xyz;
+  info_params.info = &info;
+  auto compressed = codec.Compress(pc, info_params);
   ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
   auto decoded = codec.Decompress(compressed.value());
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
@@ -80,8 +84,12 @@ TEST(CustomSensorTest, MismatchedMetadataStillBounded) {
   options.q_xyz = 0.02;
   options.sensor = Beam32Sensor();
   const DbgcCodec codec(options);
-  DbgcCompressInfo info;
-  auto compressed = codec.CompressWithInfo(pc, &info);
+  CompressStats info;
+  info.record_point_mapping = true;
+  CompressParams info_params;
+  info_params.q_xyz = codec.options().q_xyz;
+  info_params.info = &info;
+  auto compressed = codec.Compress(pc, info_params);
   ASSERT_TRUE(compressed.ok());
   auto decoded = codec.Decompress(compressed.value());
   ASSERT_TRUE(decoded.ok());
@@ -117,8 +125,12 @@ TEST(CustomSensorTest, AzimuthWrapRegionAccounted) {
   DbgcOptions options;
   options.q_xyz = 0.02;
   const DbgcCodec codec(options);
-  DbgcCompressInfo info;
-  auto compressed = codec.CompressWithInfo(pc, &info);
+  CompressStats info;
+  info.record_point_mapping = true;
+  CompressParams info_params;
+  info_params.q_xyz = codec.options().q_xyz;
+  info_params.info = &info;
+  auto compressed = codec.Compress(pc, info_params);
   ASSERT_TRUE(compressed.ok());
   auto decoded = codec.Decompress(compressed.value());
   ASSERT_TRUE(decoded.ok());

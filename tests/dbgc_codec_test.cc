@@ -11,6 +11,7 @@
 #include "core/dbgc_codec.h"
 #include "core/error_metrics.h"
 #include "lidar/scene_generator.h"
+#include "obs/trace.h"
 
 namespace dbgc {
 namespace {
@@ -46,8 +47,12 @@ TEST(DbgcCodecTest, MappingIsPermutationAndWithinBound) {
   options.q_xyz = 0.02;
   const DbgcCodec codec(options);
   const PointCloud pc = TestFrame();
-  DbgcCompressInfo info;
-  auto compressed = codec.CompressWithInfo(pc, &info);
+  CompressStats info;
+  info.record_point_mapping = true;
+  CompressParams info_params;
+  info_params.q_xyz = codec.options().q_xyz;
+  info_params.info = &info;
+  auto compressed = codec.Compress(pc, info_params);
   ASSERT_TRUE(compressed.ok());
   EXPECT_EQ(info.point_mapping.size(), pc.size());
   auto decoded = codec.Decompress(compressed.value());
@@ -66,8 +71,12 @@ TEST_P(DbgcErrorBound, HoldsAcrossBounds) {
   options.q_xyz = q;
   const DbgcCodec codec(options);
   const PointCloud pc = TestFrame(SceneType::kResidential, 10);
-  DbgcCompressInfo info;
-  auto compressed = codec.CompressWithInfo(pc, &info);
+  CompressStats info;
+  info.record_point_mapping = true;
+  CompressParams info_params;
+  info_params.q_xyz = codec.options().q_xyz;
+  info_params.info = &info;
+  auto compressed = codec.Compress(pc, info_params);
   ASSERT_TRUE(compressed.ok());
   auto decoded = codec.Decompress(compressed.value());
   ASSERT_TRUE(decoded.ok());
@@ -108,23 +117,43 @@ TEST(DbgcCodecTest, TinyClouds) {
 TEST(DbgcCodecTest, InfoAccountsForEveryPoint) {
   const DbgcCodec codec(FastOptions());
   const PointCloud pc = TestFrame();
-  DbgcCompressInfo info;
-  auto compressed = codec.CompressWithInfo(pc, &info);
+  CompressStats info;
+  info.record_point_mapping = true;
+  CompressParams info_params;
+  info_params.q_xyz = codec.options().q_xyz;
+  info_params.info = &info;
+  auto compressed = codec.Compress(pc, info_params);
   ASSERT_TRUE(compressed.ok());
   EXPECT_EQ(info.num_dense + info.num_sparse + info.num_outliers, pc.size());
   EXPECT_GT(info.num_polylines, 0u);
   EXPECT_GT(info.bytes_sparse, 0u);
 }
 
-TEST(DbgcCodecTest, TimingsArePopulated) {
+TEST(DbgcCodecTest, StageTimingsFlowThroughFrameTrace) {
+  if constexpr (!obs::kEnabled) GTEST_SKIP() << "built with DBGC_OBS_OFF";
   const DbgcCodec codec(FastOptions());
   const PointCloud pc = TestFrame();
-  DbgcCompressInfo info;
-  ASSERT_TRUE(codec.CompressWithInfo(pc, &info).ok());
-  EXPECT_GT(info.timings.Total(), 0.0);
-  EXPECT_GT(info.timings.clustering, 0.0);
-  EXPECT_GT(info.timings.organization, 0.0);
-  EXPECT_GT(info.timings.sparse, 0.0);
+  obs::FrameTrace trace;
+  ASSERT_TRUE(codec.Compress(pc, 0.02).ok());
+  const obs::FrameBreakdown& b = trace.breakdown();
+  EXPECT_GT(b.TotalSeconds(), 0.0);
+  EXPECT_GT(b.seconds(obs::Stage::kClustering), 0.0);
+  EXPECT_GT(b.seconds(obs::Stage::kOrganization), 0.0);
+  EXPECT_GT(b.seconds(obs::Stage::kSparse), 0.0);
+}
+
+TEST(DbgcCodecTest, MappingSkippedUnlessRequested) {
+  // The point mapping costs a dense-point sort, so stats requests without
+  // record_point_mapping must leave it empty (and still fill the counts).
+  const DbgcCodec codec(FastOptions());
+  const PointCloud pc = TestFrame();
+  CompressStats info;
+  CompressParams info_params;
+  info_params.q_xyz = codec.options().q_xyz;
+  info_params.info = &info;
+  ASSERT_TRUE(codec.Compress(pc, info_params).ok());
+  EXPECT_TRUE(info.point_mapping.empty());
+  EXPECT_EQ(info.num_dense + info.num_sparse + info.num_outliers, pc.size());
 }
 
 struct AblationCase {
@@ -140,8 +169,12 @@ TEST_P(DbgcAblationTest, RoundTripsWithinBound) {
   options.q_xyz = 0.02;
   const DbgcCodec codec(options);
   const PointCloud pc = TestFrame(SceneType::kCampus, 8);
-  DbgcCompressInfo info;
-  auto compressed = codec.CompressWithInfo(pc, &info);
+  CompressStats info;
+  info.record_point_mapping = true;
+  CompressParams info_params;
+  info_params.q_xyz = codec.options().q_xyz;
+  info_params.info = &info;
+  auto compressed = codec.Compress(pc, info_params);
   ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
   auto decoded = codec.Decompress(compressed.value());
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
@@ -233,14 +266,15 @@ TEST(DbgcCodecTest, CorruptedStreamsFailCleanly) {
 }
 
 TEST(DbgcCodecTest, DecompressTimingsPopulated) {
+  if constexpr (!obs::kEnabled) GTEST_SKIP() << "built with DBGC_OBS_OFF";
   const DbgcCodec codec(FastOptions());
   const PointCloud pc = TestFrame();
   auto compressed = codec.Compress(pc, 0.02);
   ASSERT_TRUE(compressed.ok());
-  DbgcDecompressInfo info;
-  auto decoded = codec.DecompressWithInfo(compressed.value(), &info);
+  obs::FrameTrace trace;
+  auto decoded = codec.Decompress(compressed.value());
   ASSERT_TRUE(decoded.ok());
-  EXPECT_GT(info.timings.sparse, 0.0);
+  EXPECT_GT(trace.breakdown().seconds(obs::Stage::kSparse), 0.0);
 }
 
 TEST(DbgcCodecTest, DeterministicOutput) {

@@ -45,8 +45,12 @@ TEST_P(SceneSweep, AllCodecsRoundTripWithinBound) {
   options.min_pts_scale = 0.05;
   options.q_xyz = q;
   const DbgcCodec dbgc(options);
-  DbgcCompressInfo info;
-  auto compressed = dbgc.CompressWithInfo(pc, &info);
+  CompressStats info;
+  info.record_point_mapping = true;
+  CompressParams info_params;
+  info_params.q_xyz = dbgc.options().q_xyz;
+  info_params.info = &info;
+  auto compressed = dbgc.Compress(pc, info_params);
   ASSERT_TRUE(compressed.ok());
   auto decoded = dbgc.Decompress(compressed.value());
   ASSERT_TRUE(decoded.ok());

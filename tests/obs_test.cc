@@ -316,7 +316,7 @@ TEST(TraceSpanTest, ReenteringAStageBillsOnlyTheOuterSpan) {
       TraceSpan inner(Stage::kOctree, &inner_slot);
     }
   }
-  // Both slots accumulate (CompressWithInfo timings stay additive), but the
+  // Both slots accumulate (slot accumulation stays additive), but the
   // frame breakdown and the registry bill the stage once: the recursive
   // inner span must not double-count wall time.
   EXPECT_GT(outer_slot, 0.0);

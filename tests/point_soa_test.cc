@@ -1,0 +1,230 @@
+// Tests for the SoA stage-buffer layer (common/point_soa.h): AoS <-> SoA
+// transposes must preserve order and exact bit patterns (the hot-path
+// kernels are pure layout changes, never value transforms), and
+// Adopt/Release must move columns without copying. The stress suite
+// hammers the clustering hot path — whose per-frame flat-array counters
+// live in thread-local scratch — from many threads at once; it runs under
+// TSan in scripts/check.sh alongside the other concurrency suites.
+
+#include "common/point_soa.h"
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/approx_clustering.h"
+#include "cluster/flat_map.h"
+#include "common/point_cloud.h"
+#include "common/thread_pool.h"
+
+namespace dbgc {
+namespace {
+
+uint64_t Bits(double v) { return std::bit_cast<uint64_t>(v); }
+
+std::vector<Point3> RandomPoints(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-100.0, 100.0);
+  std::vector<Point3> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back(Point3{dist(rng), dist(rng), dist(rng)});
+  }
+  return pts;
+}
+
+// --- AoS <-> SoA round trips ----------------------------------------------
+
+TEST(PointSoATest, EmptyRoundTrip) {
+  const PointSoA soa = PointSoA::FromPoints({});
+  EXPECT_TRUE(soa.empty());
+  EXPECT_EQ(soa.size(), 0u);
+  EXPECT_TRUE(soa.ToPoints().empty());
+}
+
+TEST(PointSoATest, SinglePointRoundTrip) {
+  const std::vector<Point3> one = {Point3{1.25, -2.5, 3.75}};
+  const PointSoA soa = PointSoA::FromPoints(one);
+  ASSERT_EQ(soa.size(), 1u);
+  EXPECT_EQ(soa.x()[0], 1.25);
+  EXPECT_EQ(soa.y()[0], -2.5);
+  EXPECT_EQ(soa.z()[0], 3.75);
+  const std::vector<Point3> back = soa.ToPoints();
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(Bits(back[0].x), Bits(one[0].x));
+  EXPECT_EQ(Bits(back[0].y), Bits(one[0].y));
+  EXPECT_EQ(Bits(back[0].z), Bits(one[0].z));
+}
+
+TEST(PointSoATest, RoundTripPreservesOrderAndBits) {
+  for (const size_t n : {size_t{2}, size_t{17}, size_t{1024}, size_t{4097}}) {
+    const std::vector<Point3> pts = RandomPoints(n, /*seed=*/n);
+    const PointSoA soa = PointSoA::FromPoints(pts);
+    ASSERT_EQ(soa.size(), n);
+    const std::vector<Point3> back = soa.ToPoints();
+    ASSERT_EQ(back.size(), n);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(Bits(back[i].x), Bits(pts[i].x)) << "n=" << n << " i=" << i;
+      ASSERT_EQ(Bits(back[i].y), Bits(pts[i].y)) << "n=" << n << " i=" << i;
+      ASSERT_EQ(Bits(back[i].z), Bits(pts[i].z)) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(PointSoATest, NonFiniteValuesRoundTripBitExact) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const double payload_nan =
+      std::bit_cast<double>(uint64_t{0x7FF8DEADBEEF0001ull});
+  const std::vector<Point3> pts = {
+      Point3{std::numeric_limits<double>::quiet_NaN(), kInf, -kInf},
+      Point3{payload_nan, -0.0, std::numeric_limits<double>::denorm_min()},
+      Point3{std::numeric_limits<double>::max(),
+             -std::numeric_limits<double>::max(), 0.0},
+  };
+  const std::vector<Point3> back = PointSoA::FromPoints(pts).ToPoints();
+  ASSERT_EQ(back.size(), pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(Bits(back[i].x), Bits(pts[i].x)) << "i=" << i;
+    EXPECT_EQ(Bits(back[i].y), Bits(pts[i].y)) << "i=" << i;
+    EXPECT_EQ(Bits(back[i].z), Bits(pts[i].z)) << "i=" << i;
+  }
+}
+
+TEST(PointSoATest, FromPointCloudView) {
+  PointCloud pc;
+  pc.Add(1.0, 2.0, 3.0);
+  pc.Add(-4.0, 5.5, -6.25);
+  const PointSoA soa = PointSoA::FromPoints(pc.view());
+  ASSERT_EQ(soa.size(), pc.size());
+  for (size_t i = 0; i < pc.size(); ++i) {
+    EXPECT_EQ(Bits(soa.PointAt(i).x), Bits(pc[i].x));
+    EXPECT_EQ(Bits(soa.PointAt(i).y), Bits(pc[i].y));
+    EXPECT_EQ(Bits(soa.PointAt(i).z), Bits(pc[i].z));
+  }
+}
+
+// --- Adopt / Release ------------------------------------------------------
+
+TEST(PointSoATest, AdoptDoesNotCopy) {
+  std::vector<double> c0 = {1.0, 2.0};
+  std::vector<double> c1 = {3.0, 4.0};
+  std::vector<double> c2 = {5.0, 6.0};
+  const double* p0 = c0.data();
+  const double* p1 = c1.data();
+  const double* p2 = c2.data();
+  PointSoA soa = PointSoA::Adopt(std::move(c0), std::move(c1), std::move(c2));
+  ASSERT_EQ(soa.size(), 2u);
+  EXPECT_EQ(soa.x(), p0);
+  EXPECT_EQ(soa.y(), p1);
+  EXPECT_EQ(soa.z(), p2);
+}
+
+TEST(PointSoATest, AdoptReleaseRoundTrip) {
+  const std::vector<Point3> pts = RandomPoints(64, /*seed=*/7);
+  PointSoA soa = PointSoA::FromPoints(pts);
+  const double* p0 = soa.x();
+  PointSoA::Columns cols = std::move(soa).Release();
+  EXPECT_TRUE(soa.empty());  // NOLINT(bugprone-use-after-move): documented
+  EXPECT_EQ(cols.c0.data(), p0);
+  ASSERT_EQ(cols.c0.size(), pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(Bits(cols.c0[i]), Bits(pts[i].x));
+    EXPECT_EQ(Bits(cols.c1[i]), Bits(pts[i].y));
+    EXPECT_EQ(Bits(cols.c2[i]), Bits(pts[i].z));
+  }
+  PointSoA again = PointSoA::Adopt(std::move(cols.c0), std::move(cols.c1),
+                                   std::move(cols.c2));
+  EXPECT_EQ(again.x(), p0);
+  EXPECT_EQ(again.size(), pts.size());
+}
+
+TEST(PointSoATest, SphericalColumnsAliasCartesian) {
+  PointSoA soa(1);
+  soa.Set(0, SphericalPoint{0.5, -1.5, 42.0});
+  EXPECT_EQ(soa.theta()[0], soa.x()[0]);
+  EXPECT_EQ(soa.phi()[0], soa.y()[0]);
+  EXPECT_EQ(soa.r()[0], soa.z()[0]);
+  const SphericalPoint s = soa.SphericalAt(0);
+  EXPECT_EQ(s.theta, 0.5);
+  EXPECT_EQ(s.phi, -1.5);
+  EXPECT_EQ(s.r, 42.0);
+}
+
+// --- FlatCountMap (the clustering counters' open-addressing map) ----------
+
+TEST(FlatCountMapTest, CountsGrowthAndZeroKey) {
+  FlatCountMap map(/*expected=*/4);
+  map.Add(0, 3);  // The zero key lives in a dedicated side slot.
+  for (uint64_t k = 1; k <= 1000; ++k) map.Add(k * 0x9E3779B97F4A7C15ull, 2);
+  EXPECT_EQ(map.Get(0), 3u);
+  for (uint64_t k = 1; k <= 1000; ++k) {
+    ASSERT_EQ(map.Get(k * 0x9E3779B97F4A7C15ull), 2u) << "k=" << k;
+  }
+  EXPECT_EQ(map.Get(12345), 0u);
+}
+
+// --- Concurrent clustering stress (run under TSan in scripts/check.sh) ----
+
+// A scene with a decided density split: a tight slab that clears minPts
+// and a wide scatter that cannot.
+std::vector<Point3> MixedDensityScene() {
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> tight(0.0, 0.5);
+  std::uniform_real_distribution<double> wide(-50.0, 50.0);
+  std::vector<Point3> pts;
+  pts.reserve(7000);
+  for (int i = 0; i < 5000; ++i) {
+    pts.push_back(Point3{tight(rng), tight(rng), tight(rng)});
+  }
+  for (int i = 0; i < 2000; ++i) {
+    pts.push_back(Point3{wide(rng), wide(rng), wide(rng)});
+  }
+  return pts;
+}
+
+TEST(PointSoAStressTest, ConcurrentClusteringCountersStayIsolated) {
+  const std::vector<Point3> pts = MixedDensityScene();
+  const ClusteringParams params = ClusteringParams::FromErrorBound(0.02);
+  const ClusteringResult reference = ApproxClustering(pts, params);
+  ASSERT_GT(reference.NumDense(), 0u);
+  ASSERT_LT(reference.NumDense(), pts.size());
+
+  // Many frames in flight at once: every call reuses its own thread's
+  // scratch buffers, and some calls additionally fan their key derivation
+  // out over a shared pool. Each result must match the serial reference
+  // exactly — any cross-thread bleed in the flat-array counters flips a
+  // label (and trips TSan in the sanitized run).
+  ThreadPool pool(4);
+  constexpr int kThreads = 8;
+  constexpr int kItersPerThread = 4;
+  std::vector<int> mismatches(kThreads, 0);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        for (int it = 0; it < kItersPerThread; ++it) {
+          Parallelism par;
+          if ((t + it) % 2 == 1) {
+            par.pool = &pool;
+            par.max_threads = 2;
+          }
+          const ClusteringResult got = ApproxClustering(pts, params, par);
+          if (got.is_dense != reference.is_dense) ++mismatches[t];
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0) << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace dbgc

@@ -5,6 +5,7 @@
 
 #include <cmath>
 
+#include "common/point_soa.h"
 #include "common/rng.h"
 #include "core/polyline.h"
 #include "core/polyline_organizer.h"
@@ -17,9 +18,17 @@ namespace {
 // Builds parallel arrays for n points laid out on `rings` horizontal scan
 // rings with `per_ring` samples each, in spherical space.
 struct TestPoints {
-  std::vector<SphericalPoint> role;
+  PointSoA role;
   std::vector<Point3> cart;
   std::vector<QPoint> quantized;
+  std::vector<uint32_t> members;  // Identity mapping into `cart`.
+
+  void Add(const SphericalPoint& s, const QPoint& q) {
+    role.PushBack(s);
+    cart.push_back(SphericalToCartesian(s));
+    quantized.push_back(q);
+    members.push_back(static_cast<uint32_t>(members.size()));
+  }
 };
 
 TestPoints MakeRings(int rings, int per_ring, double u_theta, double u_phi,
@@ -32,18 +41,16 @@ TestPoints MakeRings(int rings, int per_ring, double u_theta, double u_phi,
       s.theta = -1.0 + h * u_theta + rng.NextGaussian() * jitter * u_theta;
       s.phi = -0.1 - w * u_phi + rng.NextGaussian() * jitter * u_phi;
       s.r = 10.0 + 0.05 * h;
-      t.role.push_back(s);
-      t.cart.push_back(SphericalToCartesian(s));
-      t.quantized.push_back(QPoint{static_cast<int64_t>(std::llround(s.theta / 1e-4)),
-                                   static_cast<int64_t>(std::llround(s.phi / 1e-4)),
-                                   static_cast<int64_t>(std::llround(s.r / 0.04))});
+      t.Add(s, QPoint{static_cast<int64_t>(std::llround(s.theta / 1e-4)),
+                      static_cast<int64_t>(std::llround(s.phi / 1e-4)),
+                      static_cast<int64_t>(std::llround(s.r / 0.04))});
     }
   }
   return t;
 }
 
 TEST(OrganizerTest, EmptyInput) {
-  const OrganizeResult r = OrganizeSparsePoints({}, {}, {}, 0.01, 0.01, 2);
+  const OrganizeResult r = OrganizeSparsePoints({}, {}, {}, {}, 0.01, 0.01, 2);
   EXPECT_TRUE(r.polylines.empty());
   EXPECT_TRUE(r.outliers.empty());
 }
@@ -52,7 +59,7 @@ TEST(OrganizerTest, SingleRingBecomesOnePolyline) {
   const double u_theta = 0.003, u_phi = 0.0073;
   const TestPoints t = MakeRings(1, 50, u_theta, u_phi, 0.05, 1);
   const OrganizeResult r =
-      OrganizeSparsePoints(t.role, t.cart, t.quantized, u_theta, u_phi, 2);
+      OrganizeSparsePoints(t.role, t.cart, t.members, t.quantized, u_theta, u_phi, 2);
   ASSERT_EQ(r.polylines.size(), 1u);
   EXPECT_EQ(r.polylines[0].size(), 50u);
   EXPECT_TRUE(r.outliers.empty());
@@ -67,7 +74,7 @@ TEST(OrganizerTest, MultipleRingsSeparate) {
   const double u_theta = 0.003, u_phi = 0.0073;
   const TestPoints t = MakeRings(4, 40, u_theta, u_phi, 0.05, 2);
   const OrganizeResult r =
-      OrganizeSparsePoints(t.role, t.cart, t.quantized, u_theta, u_phi, 2);
+      OrganizeSparsePoints(t.role, t.cart, t.members, t.quantized, u_theta, u_phi, 2);
   EXPECT_EQ(r.polylines.size(), 4u);
   // Sorted by polar angle ascending.
   for (size_t i = 1; i < r.polylines.size(); ++i) {
@@ -79,7 +86,7 @@ TEST(OrganizerTest, EveryPointAppearsExactlyOnce) {
   const double u_theta = 0.003, u_phi = 0.0073;
   const TestPoints t = MakeRings(6, 30, u_theta, u_phi, 0.3, 3);
   const OrganizeResult r =
-      OrganizeSparsePoints(t.role, t.cart, t.quantized, u_theta, u_phi, 2);
+      OrganizeSparsePoints(t.role, t.cart, t.members, t.quantized, u_theta, u_phi, 2);
   std::vector<int> seen(t.role.size(), 0);
   for (const Polyline& line : r.polylines) {
     EXPECT_EQ(line.points.size(), line.source_indices.size());
@@ -96,16 +103,13 @@ TEST(OrganizerTest, GapsBreakPolylines) {
   TestPoints t = MakeRings(1, 20, u_theta, u_phi, 0.02, 4);
   const TestPoints shifted = MakeRings(1, 20, u_theta, u_phi, 0.02, 5);
   for (size_t i = 0; i < shifted.role.size(); ++i) {
-    SphericalPoint s = shifted.role[i];
+    SphericalPoint s = shifted.role.SphericalAt(i);
     s.theta += 1.5;  // Far to the right of the first segment.
-    t.role.push_back(s);
-    t.cart.push_back(SphericalToCartesian(s));
-    t.quantized.push_back(QPoint{shifted.quantized[i].theta + 15000,
-                                 shifted.quantized[i].phi,
-                                 shifted.quantized[i].r});
+    t.Add(s, QPoint{shifted.quantized[i].theta + 15000, shifted.quantized[i].phi,
+                    shifted.quantized[i].r});
   }
   const OrganizeResult r =
-      OrganizeSparsePoints(t.role, t.cart, t.quantized, u_theta, u_phi, 2);
+      OrganizeSparsePoints(t.role, t.cart, t.members, t.quantized, u_theta, u_phi, 2);
   EXPECT_EQ(r.polylines.size(), 2u);
 }
 
@@ -114,11 +118,9 @@ TEST(OrganizerTest, IsolatedPointsBecomeOutliers) {
   TestPoints t = MakeRings(1, 30, u_theta, u_phi, 0.02, 6);
   // A lone point far above the ring.
   SphericalPoint lone{0.0, 0.5, 20.0};
-  t.role.push_back(lone);
-  t.cart.push_back(SphericalToCartesian(lone));
-  t.quantized.push_back(QPoint{0, 5000, 500});
+  t.Add(lone, QPoint{0, 5000, 500});
   const OrganizeResult r =
-      OrganizeSparsePoints(t.role, t.cart, t.quantized, u_theta, u_phi, 2);
+      OrganizeSparsePoints(t.role, t.cart, t.members, t.quantized, u_theta, u_phi, 2);
   ASSERT_EQ(r.outliers.size(), 1u);
   EXPECT_EQ(r.outliers[0], 30u);
 }
@@ -127,10 +129,10 @@ TEST(OrganizerTest, MinLengthControlsOutliers) {
   const double u_theta = 0.003, u_phi = 0.0073;
   const TestPoints t = MakeRings(1, 3, u_theta, u_phi, 0.02, 7);
   const OrganizeResult keep =
-      OrganizeSparsePoints(t.role, t.cart, t.quantized, u_theta, u_phi, 2);
+      OrganizeSparsePoints(t.role, t.cart, t.members, t.quantized, u_theta, u_phi, 2);
   EXPECT_EQ(keep.polylines.size(), 1u);
   const OrganizeResult drop =
-      OrganizeSparsePoints(t.role, t.cart, t.quantized, u_theta, u_phi, 4);
+      OrganizeSparsePoints(t.role, t.cart, t.members, t.quantized, u_theta, u_phi, 4);
   EXPECT_TRUE(drop.polylines.empty());
   EXPECT_EQ(drop.outliers.size(), 3u);
 }

@@ -178,8 +178,12 @@ TEST_P(DbgcAdversarialCloud, RoundTripsWithinBound) {
   DbgcOptions options;
   options.q_xyz = 0.02;
   const DbgcCodec codec(options);
-  DbgcCompressInfo info;
-  auto compressed = codec.CompressWithInfo(pc, &info);
+  CompressStats info;
+  info.record_point_mapping = true;
+  CompressParams info_params;
+  info_params.q_xyz = codec.options().q_xyz;
+  info_params.info = &info;
+  auto compressed = codec.Compress(pc, info_params);
   ASSERT_TRUE(compressed.ok()) << compressed.status().ToString();
   auto decoded = codec.Decompress(compressed.value());
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();

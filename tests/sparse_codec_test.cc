@@ -162,9 +162,9 @@ TEST(SparseCodecTest, RealFrameGroupRoundTrip) {
   config.spherical = true;
   config.sensor_u_theta = 2 * M_PI / 2083;
   config.sensor_u_phi = 26.8 * M_PI / 180 / 64;
-  const ConvertedGroup group = ConvertGroup(full, indices, config);
+  const ConvertedGroup group = ConvertGroup(full.view(), indices, config);
   const OrganizeResult organized = OrganizeSparsePoints(
-      group.role, group.cartesian, group.quantized, group.u_theta,
+      group.role, full.view(), indices, group.quantized, group.u_theta,
       group.u_phi, 2);
   ASSERT_GT(organized.polylines.size(), 10u);
 
@@ -181,7 +181,7 @@ TEST(SparseCodecTest, RealFrameGroupRoundTrip) {
       const Point3 rec =
           ReconstructPoint(decoded[l].points[p], group.params, true);
       const uint32_t src = organized.polylines[l].source_indices[p];
-      EXPECT_LE(rec.DistanceTo(group.cartesian[src]), limit);
+      EXPECT_LE(rec.DistanceTo(full[indices[src]]), limit);
     }
   }
 }
@@ -209,9 +209,9 @@ TEST(SparseCodecTest, RadialOptimizationShrinksStream) {
   config.spherical = true;
   config.sensor_u_theta = 2 * M_PI / 2083;
   config.sensor_u_phi = 26.8 * M_PI / 180 / 64;
-  const ConvertedGroup group = ConvertGroup(full, indices, config);
+  const ConvertedGroup group = ConvertGroup(full.view(), indices, config);
   const OrganizeResult organized = OrganizeSparsePoints(
-      group.role, group.cartesian, group.quantized, group.u_theta,
+      group.role, full.view(), indices, group.quantized, group.u_theta,
       group.u_phi, 2);
 
   SparseGroupParams radial = group.params;

@@ -1340,6 +1340,44 @@ void CheckR12(const SourceFile& file, const CodeView& v,
   }
 }
 
+// R13: node-based standard containers in hot-path function bodies. The
+// encode hot path (src/core/, src/cluster/) runs over flat sorted arrays
+// (docs/PERFORMANCE.md): a per-element heap node costs an allocation on
+// insert and a cache miss on every probe, and each node container that has
+// crept into the pipeline eventually surfaced in a profile. Function-local
+// declarations are flagged; use a sorted std::vector (sort + merge-join /
+// binary search) or cluster/flat_map.h instead. Long-lived member state
+// and code outside the hot-path directories are unaffected.
+
+void CheckR13(const SourceFile& file, const CodeView& v,
+              std::vector<Diagnostic>* diags) {
+  const bool hot_path = file.kind == FileKind::kFixture ||
+                        file.rel_path.rfind("core/", 0) == 0 ||
+                        file.rel_path.rfind("cluster/", 0) == 0;
+  if (!hot_path) return;
+  for (const FunctionSpan& fn : SegmentFunctions(v)) {
+    for (size_t ci = fn.body_begin; ci < fn.body_end; ++ci) {
+      if (!v.IsIdent(ci)) continue;
+      const std::string& t = v.Tok(ci).text;
+      if (t != "map" && t != "set" && t != "unordered_map" &&
+          t != "unordered_set" && t != "multimap" && t != "multiset") {
+        continue;
+      }
+      if (!(ci >= 2 && v.Is(ci - 1, "::") && v.Tok(ci - 2).text == "std")) {
+        continue;
+      }
+      // Only a template-argument list marks a declaration; bare mentions
+      // (e.g. a qualified nested name in a cast) are someone else's type.
+      if (!v.Is(ci + 1, "<")) continue;
+      diags->push_back(Diagnostic{
+          file.path, v.Tok(ci).line, "R13",
+          "node-based std::" + t + " in hot-path function '" + fn.name +
+              "'; keep per-frame state in flat sorted vectors or "
+              "cluster/flat_map.h (docs/PERFORMANCE.md rule R13)"});
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Suppressions. A comment naming DBGC_LINT_ALLOW with a parenthesized rule
 // and a mandatory reason disables that rule on its own line (trailing
@@ -1383,7 +1421,7 @@ Suppressions CollectSuppressions(const SourceFile& file) {
           ok = std::isdigit(static_cast<unsigned char>(rule[d])) != 0;
           num = num * 10 + (rule[d] - '0');
         }
-        ok = ok && num >= 1 && num <= 12;
+        ok = ok && num >= 1 && num <= 13;
       }
       if (ok) {
         // A reason after "):" is mandatory.
@@ -1471,6 +1509,7 @@ std::vector<Diagnostic> AnalyzeFile(const SourceFile& file,
     CheckR8(file, classes, &diags);
     CheckR9R10(file, v, table, classes, &diags);
     CheckR11(file, v, &diags);
+    CheckR13(file, v, &diags);
   }
   CheckR4(file, v, &diags);
   CheckR5(file, v, &diags);

@@ -175,7 +175,7 @@ int RunSelfTest(const std::vector<SourceFile>& sources) {
   }
   // The corpus must exercise every rule, or the self-test proves nothing.
   for (const char* rule : {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8",
-                           "R9", "R10", "R11", "R12"}) {
+                           "R9", "R10", "R11", "R12", "R13"}) {
     if (!rules_fired.count(rule)) {
       std::cerr << "MISSED: corpus does not demonstrate rule " << rule
                 << "\n";

@@ -1,4 +1,5 @@
-// Seeded violations for the dbgc_lint self-test (R1-R4, R6). Every line
+// Seeded violations for the dbgc_lint self-test (R1-R4, R6, R7, R13). Every
+// line
 // marked
 // LINT-EXPECT must produce exactly that diagnostic; unmarked lines must be
 // clean. This file is never compiled — it only feeds the analyzer.
@@ -129,6 +130,23 @@ void ReviewedConcreteCoderException(const ByteBuffer& buf) {
   // DBGC_LINT_ALLOW(R7): demo of a reviewed single-backend call site.
   RangeDecoder rdec(buf);
   (void)rdec;
+}
+
+// --- R13: node-based containers in hot-path function bodies ---------------
+
+void CountCellsWithNodeContainers() {
+  std::map<uint64_t, uint32_t> per_cell;       // LINT-EXPECT: R13
+  std::unordered_map<uint64_t, int> probes;    // LINT-EXPECT: R13
+  std::set<uint64_t> seen;                     // LINT-EXPECT: R13
+  (void)per_cell;
+  (void)probes;
+  (void)seen;
+}
+
+void ReviewedNodeContainerException() {
+  // DBGC_LINT_ALLOW(R13): demo of a reviewed cold-path lookup table.
+  std::map<uint64_t, uint32_t> cold_index;
+  (void)cold_index;
 }
 
 }  // namespace dbgc

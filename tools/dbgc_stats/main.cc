@@ -76,9 +76,10 @@ int main(int argc, char** argv) {
         generator.Generate(static_cast<uint32_t>(f));
 
     dbgc::obs::FrameTrace trace;  // Collects this frame's stage split.
-    dbgc::DbgcCompressInfo info;
+    dbgc::CompressParams cparams;
+    cparams.q_xyz = options.q_xyz;
     const dbgc::Result<dbgc::ByteBuffer> compressed =
-        codec.CompressWithInfo(pc, &info);
+        codec.Compress(pc, cparams);
     if (!compressed.ok()) {
       std::fprintf(stderr, "frame %d: compress failed: %s\n", f,
                    compressed.status().ToString().c_str());
