@@ -1,0 +1,235 @@
+// Fleet load: end-to-end latency, admission rejects, and fairness with N
+// concurrent simulated sensors against one SessionManager (docs/FLEET.md).
+//
+//   $ ./bench/bench_fleet_load [out.json]
+//
+// For each fleet size N in {1, 8, 64}, N sensor threads each compress and
+// submit their frames (applying every ack's advertised degradation level,
+// the fleet control loop) while the server decodes on a shared pool under
+// a fixed global in-flight budget. The table reports p50/p95/p99
+// end-to-end latency (admission -> decode done), the rejected-frame rate,
+// and the per-session fairness spread of accepted frames
+// ((max - min) / mean across sessions). Results go to BENCH_fleet.json
+// (run from the repo root, as scripts/check.sh does); the fleet gate
+// tripwires on the N=64 reject rate and p99.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/thread_pool.h"
+#include "core/dbgc_codec.h"
+#include "net/client.h"
+#include "net/session.h"
+
+namespace {
+
+struct Row {
+  int sensors = 0;
+  int frames_per_sensor = 0;
+  uint64_t submitted = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  double reject_rate = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double fairness_spread = 0.0;
+  uint64_t degraded_frames = 0;
+};
+
+double PercentileMs(std::vector<double>* seconds, double q) {
+  if (seconds->empty()) return 0.0;
+  std::sort(seconds->begin(), seconds->end());
+  const size_t idx = static_cast<size_t>(
+      q * static_cast<double>(seconds->size() - 1) + 0.5);
+  return 1000.0 * (*seconds)[std::min(idx, seconds->size() - 1)];
+}
+
+Row RunFleet(int sensors, int frames_per_sensor,
+             const std::vector<dbgc::PointCloud>& clouds,
+             const dbgc::DbgcOptions& options, int workers, size_t budget) {
+  dbgc::ThreadPool pool(workers);
+
+  std::mutex latencies_mutex;
+  std::vector<double> latencies;
+
+  dbgc::FleetConfig config;
+  config.pool = &pool;
+  config.max_sessions = static_cast<size_t>(sensors);
+  config.global_inflight_budget = budget;
+  config.session_store_capacity = 4;
+  config.options = options;
+  config.on_frame_done = [&](const dbgc::FleetFrameReport& report) {
+    if (!report.ok) return;
+    std::lock_guard<std::mutex> lock(latencies_mutex);
+    latencies.push_back(report.e2e_seconds);
+  };
+  dbgc::SessionManager fleet(config);
+
+  std::vector<uint64_t> sids(sensors);
+  for (int s = 0; s < sensors; ++s) {
+    auto sid = fleet.OpenSession();
+    if (!sid.ok()) {
+      std::fprintf(stderr, "OpenSession failed: %s\n",
+                   sid.status().ToString().c_str());
+      std::exit(1);
+    }
+    sids[s] = sid.value();
+  }
+
+  std::atomic<uint64_t> submitted{0}, accepted{0}, rejected{0};
+  std::atomic<uint64_t> degraded{0};
+  // DBGC_LINT_ALLOW(R12): the N sensors are independent external clients
+  // being simulated, not server work — running them on the server's pool
+  // would serialize the load the bench exists to generate. All joined.
+  std::vector<std::thread> sensors_threads;
+  for (int s = 0; s < sensors; ++s) {
+    sensors_threads.emplace_back([&, s] {
+      // Each sensor owns a client: its own frame-id sequence and its own
+      // degradation state, steered by the server's acks.
+      dbgc::DbgcClient client(options);
+      for (int f = 0; f < frames_per_sensor; ++f) {
+        const dbgc::PointCloud& pc = clouds[(s + f) % clouds.size()];
+        dbgc::ClientFrameReport creport;
+        auto wire = client.ProcessFrame(pc, &creport);
+        if (!wire.ok()) {
+          std::fprintf(stderr, "compress failed: %s\n",
+                       wire.status().ToString().c_str());
+          std::exit(1);
+        }
+        if (creport.degrade != dbgc::DegradeLevel::kNone) {
+          degraded.fetch_add(1);
+        }
+        const dbgc::FrameAck ack = fleet.SubmitFrame(sids[s], wire.value());
+        submitted.fetch_add(1);
+        if (ack.verdict == dbgc::AdmitVerdict::kAccepted) {
+          accepted.fetch_add(1);
+        } else {
+          rejected.fetch_add(1);  // A live sensor drops the frame and moves on.
+        }
+        client.ApplyAck(ack);
+      }
+    });
+  }
+  // DBGC_LINT_ALLOW(R12): joining the simulated sensors (see above).
+  for (std::thread& t : sensors_threads) t.join();
+  if (!fleet.Drain().ok()) {
+    std::fprintf(stderr, "Drain failed\n");
+    std::exit(1);
+  }
+
+  // Fairness: spread of accepted frames across sessions.
+  uint64_t min_acc = UINT64_MAX, max_acc = 0, sum_acc = 0;
+  for (int s = 0; s < sensors; ++s) {
+    auto stats = fleet.stats(sids[s]);
+    if (!stats.ok()) std::exit(1);
+    min_acc = std::min(min_acc, stats.value().accepted);
+    max_acc = std::max(max_acc, stats.value().accepted);
+    sum_acc += stats.value().accepted;
+  }
+  const double mean_acc =
+      static_cast<double>(sum_acc) / static_cast<double>(sensors);
+
+  Row row;
+  row.sensors = sensors;
+  row.frames_per_sensor = frames_per_sensor;
+  row.submitted = submitted.load();
+  row.accepted = accepted.load();
+  row.rejected = rejected.load();
+  row.reject_rate = row.submitted > 0 ? static_cast<double>(row.rejected) /
+                                            static_cast<double>(row.submitted)
+                                      : 0.0;
+  row.p50_ms = PercentileMs(&latencies, 0.50);
+  row.p95_ms = PercentileMs(&latencies, 0.95);
+  row.p99_ms = PercentileMs(&latencies, 0.99);
+  row.fairness_spread =
+      mean_acc > 0 ? static_cast<double>(max_acc - min_acc) / mean_acc : 0.0;
+  row.degraded_frames = degraded.load();
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_fleet.json";
+  const int frames_per_sensor = 3 * dbgc::bench::FramesPerConfig();
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int workers = static_cast<int>(std::min(8u, std::max(2u, hw)));
+  const size_t budget = static_cast<size_t>(2 * workers);
+
+  dbgc::bench::Banner(
+      "Fleet load: N sensors vs one SessionManager",
+      "multi-session serving with admission control (docs/FLEET.md)");
+  std::printf(
+      "hardware_concurrency: %u, pool workers: %d, inflight budget: %zu, "
+      "frames per sensor: %d\n\n",
+      hw, workers, budget, frames_per_sensor);
+
+  // A small pool of distinct frames shared by all sensors; stride keeps
+  // the per-frame decode cheap so the bench stresses the serving path.
+  dbgc::DbgcOptions options;
+  options.min_pts_scale = 0.05;
+  std::vector<dbgc::PointCloud> clouds;
+  for (uint32_t f = 0; f < 4; ++f) {
+    const dbgc::PointCloud full = dbgc::bench::Frame(dbgc::SceneType::kCity, f);
+    dbgc::PointCloud pc;
+    for (size_t i = 0; i < full.size(); i += 16) pc.Add(full[i]);
+    clouds.push_back(std::move(pc));
+  }
+
+  std::printf("%7s %9s %9s %9s %7s %9s %9s %9s %9s %9s\n", "sensors",
+              "submitted", "accepted", "rejected", "rej%", "p50(ms)",
+              "p95(ms)", "p99(ms)", "spread", "degraded");
+
+  std::vector<Row> rows;
+  for (const int sensors : {1, 8, 64}) {
+    const Row row = RunFleet(sensors, frames_per_sensor, clouds, options,
+                             workers, budget);
+    std::printf(
+        "%7d %9llu %9llu %9llu %6.1f%% %9.2f %9.2f %9.2f %9.3f %9llu\n",
+        row.sensors, static_cast<unsigned long long>(row.submitted),
+        static_cast<unsigned long long>(row.accepted),
+        static_cast<unsigned long long>(row.rejected), 100.0 * row.reject_rate,
+        row.p50_ms, row.p95_ms, row.p99_ms, row.fairness_spread,
+        static_cast<unsigned long long>(row.degraded_frames));
+    rows.push_back(row);
+  }
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"fleet_load\",\n");
+  std::fprintf(json, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(json, "  \"pool_workers\": %d,\n", workers);
+  std::fprintf(json, "  \"global_inflight_budget\": %zu,\n", budget);
+  std::fprintf(json, "  \"frames_per_sensor\": %d,\n", frames_per_sensor);
+  std::fprintf(json, "  \"results\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(
+        json,
+        "    {\"sensors\": %d, \"submitted\": %llu, \"accepted\": %llu, "
+        "\"rejected\": %llu, \"reject_rate\": %.4f, \"p50_ms\": %.3f, "
+        "\"p95_ms\": %.3f, \"p99_ms\": %.3f, \"fairness_spread\": %.4f, "
+        "\"degraded_frames\": %llu}%s\n",
+        r.sensors, static_cast<unsigned long long>(r.submitted),
+        static_cast<unsigned long long>(r.accepted),
+        static_cast<unsigned long long>(r.rejected), r.reject_rate, r.p50_ms,
+        r.p95_ms, r.p99_ms, r.fairness_spread,
+        static_cast<unsigned long long>(r.degraded_frames),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ]\n}\n");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return 0;
+}

@@ -123,6 +123,34 @@ pass_gate
 
 # --- static analysis --------------------------------------------------------
 
+start_gate "fleet gate: BENCH_fleet.json + admission tripwires"
+# N sensors against one SessionManager (docs/FLEET.md). Tripwires read the
+# N=64 oversubscription row: the server must keep making forward progress
+# (accepted frames on every row), reject rate must stay below total
+# starvation, and p99 end-to-end latency must stay bounded even while
+# shedding load. Absolute latency is machine-dependent, so the bound is
+# generous; the committed BENCH_fleet.json records the real numbers.
+DBGC_BENCH_FRAMES="${DBGC_BENCH_FRAMES:-1}" \
+  ./build/bench/bench_fleet_load BENCH_fleet.json
+awk '
+  /"sensors"/ {
+    match($0, /"accepted": [0-9]+/);
+    acc = substr($0, RSTART + 12, RLENGTH - 12) + 0;
+    if (acc <= 0) { print "fleet starved: no accepted frames"; exit 1 }
+    if ($0 ~ /"sensors": 64/) {
+      match($0, /"reject_rate": [0-9.]+/);
+      rej = substr($0, RSTART + 15, RLENGTH - 15) + 0;
+      match($0, /"p99_ms": [0-9.]+/);
+      p99 = substr($0, RSTART + 10, RLENGTH - 10) + 0;
+      if (rej > 0.97)   { print "fleet reject rate degenerate: " rej; exit 1 }
+      if (p99 > 5000.0) { print "fleet p99 latency blown: " p99 " ms"; exit 1 }
+      seen64 = 1;
+    }
+  }
+  END { if (!seen64) { print "missing N=64 fleet row"; exit 1 } }
+' BENCH_fleet.json
+pass_gate
+
 start_gate "lint gate: dbgc_lint over src/tools/bench + self-test corpus"
 ctest --test-dir build -L lint --output-on-failure -j "${JOBS}"
 # The lint label already covers the whole tree; re-run the concurrency
@@ -130,7 +158,9 @@ ctest --test-dir build -L lint --output-on-failure -j "${JOBS}"
 # logs (rules R8-R12, docs/CONCURRENCY.md).
 ./build/tools/dbgc_lint/dbgc_lint \
   src/common/thread_pool.h src/common/thread_pool.cc \
-  src/net/pipeline.h src/net/pipeline.cc
+  src/net/pipeline.h src/net/pipeline.cc \
+  src/net/session.h src/net/session.cc \
+  src/net/frame_store.h src/net/frame_store.cc
 # Rule R6 (docs/OBSERVABILITY.md): the obs layer owns the monotonic clock;
 # name its wrapper explicitly so a new ad-hoc timer fails loudly here.
 ./build/tools/dbgc_lint/dbgc_lint src/obs/trace.h src/obs/trace.cc
@@ -174,7 +204,8 @@ cmake --build build-obsoff -j "${JOBS}" \
   --target obs_test net_test bench_obs_overhead dbgc_stats
 ./build-obsoff/tests/obs_test >/dev/null
 ./build-obsoff/tests/net_test \
-  --gtest_filter='PipelineBackpressureTest.*:FrameStoreTest.*' >/dev/null
+  --gtest_filter='PipelineBackpressureTest.*:FrameStoreTest.*:FleetSessionTest.*:AckProtocolTest.*' \
+  >/dev/null
 DBGC_BENCH_FRAMES="${DBGC_BENCH_FRAMES:-1}" \
   ./build-obsoff/bench/bench_obs_overhead BENCH_obs_off.json
 pass_gate
@@ -227,9 +258,10 @@ cmake --build build-tsan -j "${JOBS}" \
 # Put/Get/eviction on the bounded store; ConcurrencySmoke: codec
 # statelessness; MetricsStress: sharded counters/histograms under
 # concurrent readers; PointSoAStress: concurrent clustering over the
-# thread-local flat-array density counters.
+# thread-local flat-array density counters; FleetStress + FleetSessionTest:
+# many-session admission/decode on the fleet server (docs/FLEET.md).
 TSAN_OPTIONS="halt_on_error=1" \
 ctest --test-dir build-tsan \
-  -R "ConcurrencySmoke|ThreadPoolTest|ParallelismTest|PipelineBackpressure|FrameStoreConcurrency|MetricsStress|PointSoAStress" \
+  -R "ConcurrencySmoke|ThreadPoolTest|ParallelismTest|PipelineBackpressure|FrameStoreConcurrency|MetricsStress|PointSoAStress|FleetStress|FleetSessionTest" \
   --output-on-failure -j "${JOBS}"
 pass_gate

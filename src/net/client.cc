@@ -12,6 +12,7 @@ struct ClientMetrics {
   obs::Counter* frames;
   obs::Counter* raw_bytes;
   obs::Counter* wire_bytes;
+  obs::Counter* degraded_frames;
   obs::Histogram* compress_seconds;
 
   static const ClientMetrics& Get() {
@@ -21,6 +22,7 @@ struct ClientMetrics {
       c.frames = reg.GetCounter("client_frames_total");
       c.raw_bytes = reg.GetCounter("client_raw_bytes_total");
       c.wire_bytes = reg.GetCounter("client_wire_bytes_total");
+      c.degraded_frames = reg.GetCounter("client_degraded_frames_total");
       c.compress_seconds = reg.GetHistogram("client_compress_seconds");
       return c;
     }();
@@ -28,11 +30,42 @@ struct ClientMetrics {
   }
 };
 
+/// The kCoarserQuant configuration: double the error bound, keep the rest.
+DbgcOptions CoarseOptions(DbgcOptions options) {
+  options.q_xyz *= 2.0;
+  return options;
+}
+
+/// The kCheapCodec configuration: coarser bound and the clustering-free
+/// all-octree path (Figure 10's forced_dense_fraction = 1), the cheapest
+/// decode the format offers.
+DbgcOptions CheapOptions(DbgcOptions options) {
+  options = CoarseOptions(std::move(options));
+  options.forced_dense_fraction = 1.0;
+  return options;
+}
+
 }  // namespace
 
 DbgcClient::DbgcClient(DbgcOptions options, SimulatedChannel sensor_link,
                        SimulatedChannel uplink)
-    : codec_(options), sensor_link_(sensor_link), uplink_(uplink) {}
+    : codec_(options),
+      coarse_codec_(CoarseOptions(options)),
+      cheap_codec_(CheapOptions(options)),
+      sensor_link_(sensor_link),
+      uplink_(uplink) {}
+
+const DbgcCodec& DbgcClient::ActiveCodec() const {
+  switch (degrade_) {
+    case DegradeLevel::kCoarserQuant:
+      return coarse_codec_;
+    case DegradeLevel::kCheapCodec:
+      return cheap_codec_;
+    case DegradeLevel::kNone:
+      break;
+  }
+  return codec_;
+}
 
 Result<ByteBuffer> DbgcClient::ProcessFrame(const PointCloud& pc,
                                             ClientFrameReport* report) {
@@ -47,17 +80,20 @@ Result<ByteBuffer> DbgcClient::ProcessFrame(const PointCloud& pc,
   // this thread; its breakdown is folded into the stage histograms by the
   // spans themselves.
   obs::FrameTrace frame_trace;
+  const DbgcCodec& active = ActiveCodec();
+  report->degrade = degrade_;
   Result<ByteBuffer> compressed_result = [&] {
     obs::ScopedTimer timer(&report->compress_seconds,
                            metrics.compress_seconds);
     CompressParams params;
-    params.q_xyz = codec_.options().q_xyz;
-    return codec_.Compress(pc, params);
+    params.q_xyz = active.options().q_xyz;
+    return active.Compress(pc, params);
   }();
   DBGC_RETURN_NOT_OK(compressed_result.status());
   ByteBuffer compressed = std::move(compressed_result).value();
   report->compressed_bytes = compressed.size();
   metrics.frames->Increment();
+  if (degrade_ != DegradeLevel::kNone) metrics.degraded_frames->Increment();
   metrics.raw_bytes->Add(pc.RawSizeBytes());
 
   Frame frame;

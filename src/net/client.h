@@ -21,6 +21,8 @@ struct ClientFrameReport {
   double sensor_transfer_seconds = 0.0;  ///< Sensor -> client link time.
   double compress_seconds = 0.0;
   double uplink_seconds = 0.0;           ///< Client -> server link time.
+  /// Degradation level this frame was encoded at (docs/FLEET.md).
+  DegradeLevel degrade = DegradeLevel::kNone;
 };
 
 /// The capture-compress-send pipeline.
@@ -34,17 +36,36 @@ class DbgcClient {
 
   /// Processes one captured frame: compress + frame. Returns the wire
   /// bytes and fills `report` with sizes and (modeled link + measured
-  /// compute) times.
+  /// compute) times. Frames are encoded at the currently applied
+  /// degradation level (see ApplyAck).
   Result<ByteBuffer> ProcessFrame(const PointCloud& pc,
                                   ClientFrameReport* report);
+
+  /// Applies a server ack (docs/FLEET.md): the advertised degradation
+  /// level takes effect from the next ProcessFrame on. kCoarserQuant
+  /// doubles q_xyz; kCheapCodec additionally drops to the all-octree path
+  /// (forced_dense_fraction = 1). Both remain ordinary self-describing
+  /// DBGC bitstreams, so the server decode path is unchanged. The client
+  /// recovers (back to the baseline codec) as soon as an ack advertises a
+  /// lower level — the server re-advertises on every frame.
+  void ApplyAck(const FrameAck& ack) { degrade_ = ack.degrade; }
+
+  /// The degradation level currently in effect.
+  DegradeLevel degrade() const { return degrade_; }
 
   const DbgcCodec& codec() const { return codec_; }
 
  private:
-  DbgcCodec codec_;
+  /// The codec encoding the next frame (baseline or a degraded variant).
+  const DbgcCodec& ActiveCodec() const;
+
+  DbgcCodec codec_;         // Baseline configuration.
+  DbgcCodec coarse_codec_;  // kCoarserQuant: doubled q_xyz.
+  DbgcCodec cheap_codec_;   // kCheapCodec: all-octree + doubled q_xyz.
   SimulatedChannel sensor_link_;
   SimulatedChannel uplink_;
   uint64_t next_frame_id_ = 0;
+  DegradeLevel degrade_ = DegradeLevel::kNone;
 };
 
 }  // namespace dbgc

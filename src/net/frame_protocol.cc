@@ -4,7 +4,36 @@ namespace dbgc {
 
 namespace {
 constexpr uint8_t kFrameMagic[4] = {'D', 'B', 'F', '1'};
+constexpr uint8_t kAckMagic[4] = {'D', 'B', 'A', '1'};
 }  // namespace
+
+const char* AdmitVerdictName(AdmitVerdict verdict) {
+  switch (verdict) {
+    case AdmitVerdict::kAccepted:
+      return "accepted";
+    case AdmitVerdict::kRejectedGlobalBudget:
+      return "global_budget";
+    case AdmitVerdict::kRejectedSessionShare:
+      return "session_share";
+    case AdmitVerdict::kRejectedUnknownSession:
+      return "unknown_session";
+    case AdmitVerdict::kRejectedParse:
+      return "parse";
+  }
+  return "unknown";
+}
+
+const char* DegradeLevelName(DegradeLevel level) {
+  switch (level) {
+    case DegradeLevel::kNone:
+      return "none";
+    case DegradeLevel::kCoarserQuant:
+      return "coarser_quant";
+    case DegradeLevel::kCheapCodec:
+      return "cheap_codec";
+  }
+  return "unknown";
+}
 
 uint64_t FrameProtocol::Checksum(const uint8_t* data, size_t size) {
   uint64_t h = 0xCBF29CE484222325ULL;
@@ -49,6 +78,48 @@ Result<Frame> FrameProtocol::Parse(const ByteBuffer& wire) {
     return Status::Corruption("frame: checksum mismatch");
   }
   return frame;
+}
+
+ByteBuffer FrameProtocol::SerializeAck(const FrameAck& ack) {
+  ByteBuffer out;
+  out.Reserve(kAckBytes);
+  out.Append(kAckMagic, 4);
+  out.AppendUint64(ack.frame_id);
+  out.AppendByte(static_cast<uint8_t>(ack.verdict));
+  out.AppendByte(static_cast<uint8_t>(ack.degrade));
+  // Checksum over everything after the magic (id + verdict + level).
+  out.AppendUint64(Checksum(out.data() + 4, 8 + 1 + 1));
+  return out;
+}
+
+Result<FrameAck> FrameProtocol::ParseAck(const ByteBuffer& wire) {
+  ByteReader reader(wire);
+  uint8_t magic[4];
+  DBGC_RETURN_NOT_OK(reader.Read(magic, 4));
+  for (int i = 0; i < 4; ++i) {
+    if (magic[i] != kAckMagic[i]) {
+      return Status::Corruption("ack: bad magic");
+    }
+  }
+  uint8_t verdict = 0, degrade = 0;
+  uint64_t checksum = 0;
+  FrameAck ack;
+  DBGC_RETURN_NOT_OK(reader.ReadUint64(&ack.frame_id));
+  DBGC_RETURN_NOT_OK(reader.Read(&verdict, 1));
+  DBGC_RETURN_NOT_OK(reader.Read(&degrade, 1));
+  DBGC_RETURN_NOT_OK(reader.ReadUint64(&checksum));
+  if (Checksum(wire.data() + 4, 8 + 1 + 1) != checksum) {
+    return Status::Corruption("ack: checksum mismatch");
+  }
+  if (verdict > static_cast<uint8_t>(AdmitVerdict::kRejectedParse)) {
+    return Status::Corruption("ack: unknown verdict");
+  }
+  if (degrade > static_cast<uint8_t>(DegradeLevel::kCheapCodec)) {
+    return Status::Corruption("ack: unknown degradation level");
+  }
+  ack.verdict = static_cast<AdmitVerdict>(verdict);
+  ack.degrade = static_cast<DegradeLevel>(degrade);
+  return ack;
 }
 
 }  // namespace dbgc

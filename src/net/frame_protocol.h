@@ -1,6 +1,8 @@
 // Wire framing between the DBGC client and server: a fixed header carrying
 // frame id, payload length, and a checksum, followed by the compressed bit
-// sequence B.
+// sequence B. The server answers each frame with a fixed-size ack carrying
+// the admission verdict and the advertised degradation level (the fleet
+// control loop, docs/FLEET.md).
 
 #ifndef DBGC_NET_FRAME_PROTOCOL_H_
 #define DBGC_NET_FRAME_PROTOCOL_H_
@@ -18,6 +20,45 @@ struct Frame {
   ByteBuffer payload;
 };
 
+/// Admission outcome of one submitted frame. Stable wire values: acks
+/// carry the verdict as a single byte.
+enum class AdmitVerdict : uint8_t {
+  kAccepted = 0,
+  /// The server-wide in-flight decode budget is exhausted.
+  kRejectedGlobalBudget = 1,
+  /// The session exceeded its fair share of the in-flight budget.
+  kRejectedSessionShare = 2,
+  /// The session id is unknown or already closed.
+  kRejectedUnknownSession = 3,
+  /// The wire frame failed to parse (bad magic/truncation/checksum).
+  kRejectedParse = 4,
+};
+
+/// Human-readable verdict name ("accepted", "global_budget", ...). Also
+/// the `reason` label of fleet_rejected_total (docs/FLEET.md).
+const char* AdmitVerdictName(AdmitVerdict verdict);
+
+/// Server-advertised degradation ladder (docs/FLEET.md): under load the
+/// server asks clients to spend less decode budget per frame. Stable wire
+/// values; levels are ordered by severity.
+enum class DegradeLevel : uint8_t {
+  kNone = 0,
+  /// Double the quantization step q_xyz (coarser geometry, ~same codec).
+  kCoarserQuant = 1,
+  /// Drop to the cheap all-octree DBGC path (and coarser q_xyz).
+  kCheapCodec = 2,
+};
+
+/// Human-readable level name ("none", "coarser_quant", "cheap_codec").
+const char* DegradeLevelName(DegradeLevel level);
+
+/// The server's answer to one submitted frame.
+struct FrameAck {
+  uint64_t frame_id = 0;
+  AdmitVerdict verdict = AdmitVerdict::kAccepted;
+  DegradeLevel degrade = DegradeLevel::kNone;
+};
+
 /// Frame (de)serialization with integrity checking.
 class FrameProtocol {
  public:
@@ -30,8 +71,18 @@ class FrameProtocol {
   /// Parses one frame; fails on bad magic, truncation, or checksum.
   static Result<Frame> Parse(const ByteBuffer& wire);
 
+  /// Serializes an ack: ack magic, frame id, verdict, level, checksum.
+  static ByteBuffer SerializeAck(const FrameAck& ack);
+
+  /// Parses one ack; fails on bad magic, truncation, checksum, or an
+  /// out-of-range verdict/level byte.
+  static Result<FrameAck> ParseAck(const ByteBuffer& wire);
+
   /// Header size in bytes (magic + id + length + checksum).
   static constexpr size_t kHeaderBytes = 4 + 8 + 8 + 8;
+
+  /// Ack size in bytes (magic + id + verdict + level + checksum).
+  static constexpr size_t kAckBytes = 4 + 8 + 1 + 1 + 8;
 };
 
 }  // namespace dbgc

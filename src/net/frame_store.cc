@@ -43,9 +43,9 @@ MemoryFrameStore::MemoryFrameStore(size_t capacity) : capacity_(capacity) {}
 MemoryFrameStore::~MemoryFrameStore() {
   MutexLock lock(mutex_);
   const StoreMetrics& m = StoreMetrics::Get();
-  for (const auto& [id, bytes] : frames_) {
+  for (const auto& [id, entry] : frames_) {
     (void)id;
-    m.resident_bytes->Sub(static_cast<int64_t>(bytes.size()));
+    m.resident_bytes->Sub(static_cast<int64_t>(entry.bits.size()));
     m.resident_frames->Sub(1);
   }
 }
@@ -61,29 +61,103 @@ void MemoryFrameStore::ReleaseEntry(size_t bytes) {
   m.resident_frames->Sub(1);
 }
 
+void MemoryFrameStore::ForgetNewestLocked(uint64_t frame_id,
+                                          uint64_t session_id) {
+  const auto pin = newest_.find(session_id);
+  if (pin == newest_.end() || pin->second != frame_id) return;
+  // Repoint at the session's remaining newest frame (bounded stores are
+  // small, so the scan stays cheap), or drop the session entirely.
+  bool found = false;
+  uint64_t best = 0;
+  for (const auto& [id, entry] : frames_) {
+    if (entry.session != session_id) continue;
+    if (!found || id > best) best = id;
+    found = true;
+  }
+  if (found) {
+    pin->second = best;
+  } else {
+    newest_.erase(pin);
+  }
+}
+
+void MemoryFrameStore::EvictOneLocked(uint64_t incoming_id,
+                                      uint64_t incoming_session) {
+  auto victim = frames_.end();
+  auto fallback = frames_.end();  // Plain LRU, ignoring pins.
+  for (auto it = frames_.begin(); it != frames_.end(); ++it) {
+    if (fallback == frames_.end() ||
+        it->second.last_use < fallback->second.last_use) {
+      fallback = it;
+    }
+    const auto pin = newest_.find(it->second.session);
+    bool pinned = pin != newest_.end() && pin->second == it->first;
+    // The incoming session's current newest stops being the keyframe the
+    // moment a newer frame arrives to replace it.
+    if (pinned && it->second.session == incoming_session &&
+        incoming_id > it->first) {
+      pinned = false;
+    }
+    if (pinned) continue;
+    if (victim == frames_.end() ||
+        it->second.last_use < victim->second.last_use) {
+      victim = it;
+    }
+  }
+  if (victim == frames_.end()) victim = fallback;
+  if (victim == frames_.end()) return;  // Empty table; nothing to evict.
+  const uint64_t gone_id = victim->first;
+  const uint64_t gone_session = victim->second.session;
+  ReleaseEntry(victim->second.bits.size());
+  frames_.erase(victim);
+  ForgetNewestLocked(gone_id, gone_session);
+  ++evicted_;
+  StoreMetrics::Get().evictions->Increment();
+}
+
 Status MemoryFrameStore::Put(uint64_t frame_id, const ByteBuffer& bitstream) {
+  return Put(frame_id, bitstream, /*session_id=*/0);
+}
+
+Status MemoryFrameStore::Put(uint64_t frame_id, const ByteBuffer& bitstream,
+                             uint64_t session_id) {
   MutexLock lock(mutex_);
   const StoreMetrics& m = StoreMetrics::Get();
   m.puts->Increment();
   const auto it = frames_.find(frame_id);
   if (it != frames_.end()) {
-    // Replacement: adjust the byte share, never evict.
+    // Replacement: adjust the byte share and refresh LRU, never evict.
+    // A replacement may re-tag the frame's session (id collisions across
+    // sessions are the caller's concern; the fleet server namespaces ids).
     m.resident_bytes->Add(static_cast<int64_t>(bitstream.size()) -
-                          static_cast<int64_t>(it->second.size()));
-    it->second = bitstream;
+                          static_cast<int64_t>(it->second.bits.size()));
+    const uint64_t old_session = it->second.session;
+    it->second.bits = bitstream;
+    it->second.session = session_id;
+    it->second.last_use = ++tick_;
+    if (old_session != session_id) {
+      ForgetNewestLocked(frame_id, old_session);
+    }
+    auto& pin = newest_[session_id];
+    if (frames_.find(pin) == frames_.end() || frame_id >= pin) {
+      pin = frame_id;
+    }
     return Status::OK();
   }
-  if (capacity_ != 0 && frames_.size() >= capacity_) {
-    // Evict oldest (smallest) ids until the new frame fits the bound.
+  if (capacity_ != 0) {
     while (frames_.size() >= capacity_) {
-      const auto oldest = frames_.begin();
-      ReleaseEntry(oldest->second.size());
-      frames_.erase(oldest);
-      ++evicted_;
-      m.evictions->Increment();
+      EvictOneLocked(frame_id, session_id);
     }
   }
-  frames_[frame_id] = bitstream;
+  Entry entry;
+  entry.bits = bitstream;
+  entry.session = session_id;
+  entry.last_use = ++tick_;
+  frames_[frame_id] = std::move(entry);
+  const auto pin = newest_.find(session_id);
+  if (pin == newest_.end() || frame_id > pin->second) {
+    newest_[session_id] = frame_id;
+  }
   m.resident_frames->Add(1);
   m.resident_bytes->Add(static_cast<int64_t>(bitstream.size()));
   return Status::OK();
@@ -96,15 +170,16 @@ Result<ByteBuffer> MemoryFrameStore::Get(uint64_t frame_id) const {
     StoreMetrics::Get().get_misses->Increment();
     return Status::InvalidArgument("frame not found");
   }
-  return it->second;
+  it->second.last_use = ++tick_;
+  return it->second.bits;
 }
 
 std::vector<uint64_t> MemoryFrameStore::List() const {
   MutexLock lock(mutex_);
   std::vector<uint64_t> ids;
   ids.reserve(frames_.size());
-  for (const auto& [id, bytes] : frames_) {
-    (void)bytes;
+  for (const auto& [id, entry] : frames_) {
+    (void)entry;
     ids.push_back(id);
   }
   return ids;
@@ -114,8 +189,10 @@ Status MemoryFrameStore::Remove(uint64_t frame_id) {
   MutexLock lock(mutex_);
   const auto it = frames_.find(frame_id);
   if (it != frames_.end()) {
-    ReleaseEntry(it->second.size());
+    const uint64_t session = it->second.session;
+    ReleaseEntry(it->second.bits.size());
     frames_.erase(it);
+    ForgetNewestLocked(frame_id, session);
   }
   return Status::OK();
 }

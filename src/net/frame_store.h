@@ -38,14 +38,23 @@ class FrameStore {
 
 /// In-memory table (the stand-in for the ODBC/relational backend).
 ///
-/// With a non-zero `capacity`, the store holds at most that many frames:
-/// inserting a new id beyond the bound evicts the oldest (smallest) id
-/// first. Replacing an existing id never evicts. Capacity 0 (the default)
-/// is unbounded, preserving the original behavior.
+/// With a non-zero `capacity`, the store holds at most that many frames.
+/// Eviction is least-recently-used (Put and Get both refresh an entry),
+/// with one carve-out for multi-session stores: the newest frame of every
+/// session is pinned, so a slow session's keyframe is never displaced by
+/// another session's burst of disposable frames. A session's previous
+/// newest frame becomes evictable the moment its next frame arrives.
+/// When every resident frame is pinned (capacity <= live sessions) the
+/// pin degrades to plain LRU — the bound always holds. Replacing an
+/// existing id never evicts. Capacity 0 (the default) is unbounded.
+///
+/// The single-argument FrameStore::Put tags frames with session 0, which
+/// reproduces the historical single-stream behavior: LRU without Get
+/// traffic is oldest-id-first.
 ///
 /// Thread-safe: every operation locks the table, so pool workers may
-/// Put/Get/Remove concurrently (the fleet-server direction in ROADMAP.md
-/// stores frames from many sessions at once).
+/// Put/Get/Remove concurrently (the fleet server stores frames from many
+/// sessions at once, docs/FLEET.md).
 class MemoryFrameStore : public FrameStore {
  public:
   explicit MemoryFrameStore(size_t capacity = 0);
@@ -56,19 +65,47 @@ class MemoryFrameStore : public FrameStore {
   std::vector<uint64_t> List() const override;
   Status Remove(uint64_t frame_id) override;
 
+  /// Session-tagged Put: the frame belongs to `session_id` for eviction
+  /// purposes (per-session LRU, newest frame pinned).
+  Status Put(uint64_t frame_id, const ByteBuffer& bitstream,
+             uint64_t session_id);
+
   /// The eviction bound (0 = unbounded).
   size_t capacity() const { return capacity_; }
   /// Frames evicted by the capacity bound since construction.
   uint64_t evicted() const;
 
  private:
+  struct Entry {
+    ByteBuffer bits;
+    uint64_t session = 0;
+    uint64_t last_use = 0;  // LRU tick; refreshed by Put and Get.
+  };
+
   /// Drops the byte/frame share of one entry from the resident gauges.
   void ReleaseEntry(size_t bytes);
+
+  /// Evicts one frame to make room for (`incoming_id`, `incoming_session`):
+  /// the least-recently-used entry that is not its session's newest frame.
+  /// The incoming session's current newest is evictable when the incoming
+  /// frame supersedes it; if every entry is pinned, plain LRU applies.
+  void EvictOneLocked(uint64_t incoming_id, uint64_t incoming_session)
+      DBGC_REQUIRES(mutex_);
+
+  /// Maintains newest_ after `frame_id` of `session_id` left the table:
+  /// repoints the pin at the session's remaining newest frame, or drops
+  /// the session when no frames remain.
+  void ForgetNewestLocked(uint64_t frame_id, uint64_t session_id)
+      DBGC_REQUIRES(mutex_);
 
   const size_t capacity_;
   mutable Mutex mutex_;
   uint64_t evicted_ DBGC_GUARDED_BY(mutex_) = 0;
-  std::map<uint64_t, ByteBuffer> frames_ DBGC_GUARDED_BY(mutex_);
+  mutable uint64_t tick_ DBGC_GUARDED_BY(mutex_) = 0;
+  // Mutable because Get() refreshes the LRU tick of the hit entry.
+  mutable std::map<uint64_t, Entry> frames_ DBGC_GUARDED_BY(mutex_);
+  /// session id -> its newest resident frame id (the pinned keyframe).
+  std::map<uint64_t, uint64_t> newest_ DBGC_GUARDED_BY(mutex_);
 };
 
 /// One file per frame under a directory ("<dir>/<id>.dbgc").

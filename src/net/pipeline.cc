@@ -56,7 +56,12 @@ CompressionPipeline::CompressionPipeline(DbgcOptions options,
                             config.num_workers < 1 ? 1 : config.num_workers)),
       pool_(config.pool != nullptr ? config.pool : owned_pool_.get()),
       capacity_(config.queue_capacity < 1 ? 1 : config.queue_capacity),
-      max_threads_per_frame_(config.max_threads_per_frame) {}
+      max_threads_per_frame_(config.max_threads_per_frame) {
+  // Resolve the process-wide instruments now, outside any lock: the first
+  // Get() registers names under the registry lock, and every later use —
+  // including uses under mutex_ — is then a plain pointer read.
+  (void)PipelineMetrics::Get();
+}
 
 CompressionPipeline::~CompressionPipeline() {
   // Every scheduled task captures `this`, so the destructor must not return
@@ -66,7 +71,11 @@ CompressionPipeline::~CompressionPipeline() {
   ReleasableMutexLock lock(mutex_);
   while (completed_ != next_seq_) drain_cv_.Wait(lock);
   // Compressed-but-undelivered frames die with the pipeline; release their
-  // share of the inflight gauge so it tracks live pipelines only.
+  // share of the inflight gauge so it tracks live pipelines only. Holding
+  // mutex_ makes the release exactly-once against NextResult: a delivery
+  // either finished its own Sub(1) under the lock (and bumped delivered_)
+  // before this point, or never ran — the gauge can neither leak nor
+  // underflow.
   PipelineMetrics::Get().inflight->Sub(
       static_cast<int64_t>(next_seq_ - delivered_));
   // An owned pool joins its (now idle) workers in its destructor.
@@ -92,13 +101,13 @@ bool CompressionPipeline::TrySubmit(PointCloud pc, uint64_t* seq) {
       assigned = EnqueueLocked(std::move(pc));
       accepted = true;
     } else {
+      // Refusal leaves no admission state behind, so there is no gauge
+      // bump to unwind: EnqueueLocked publishes only on acceptance.
       ++rejected_;
+      PipelineMetrics::Get().rejected->Increment();
     }
   }
-  if (!accepted) {
-    PipelineMetrics::Get().rejected->Increment();
-    return false;
-  }
+  if (!accepted) return false;
   ScheduleCompression();
   if (seq != nullptr) *seq = assigned;
   return true;
@@ -107,14 +116,19 @@ bool CompressionPipeline::TrySubmit(PointCloud pc, uint64_t* seq) {
 uint64_t CompressionPipeline::EnqueueLocked(PointCloud pc) {
   const uint64_t seq = next_seq_++;
   input_.push_back(Task{seq, std::move(pc)});
-  return seq;
-}
-
-void CompressionPipeline::ScheduleCompression() {
+  // Publish admission exactly when the state changes, under the same lock:
+  // a gauge bump can then never outlive (or predate) the queue entry it
+  // accounts for, so rejects and racing releases cannot underflow the
+  // gauges. Gauge/counter updates are relaxed atomic adds — non-blocking,
+  // legal under a held lock (docs/CONCURRENCY.md rule R10).
   const PipelineMetrics& m = PipelineMetrics::Get();
   m.submitted->Increment();
   m.queue_depth->Add(1);
   m.inflight->Add(1);
+  return seq;
+}
+
+void CompressionPipeline::ScheduleCompression() {
   pool_->Schedule([this] { CompressOne(); });
 }
 
@@ -129,11 +143,12 @@ Result<ByteBuffer> CompressionPipeline::NextResult() {
     while (output_.count(want) == 0) output_cv_.Wait(lock);
     node = output_.extract(want);
     ++delivered_;
+    // Release this frame's inflight share under the lock (see ~CompressionPipeline).
+    const PipelineMetrics& m = PipelineMetrics::Get();
+    m.delivered->Increment();
+    m.inflight->Sub(1);
+    space_cv_.NotifyAll();
   }
-  const PipelineMetrics& m = PipelineMetrics::Get();
-  m.delivered->Increment();
-  m.inflight->Sub(1);
-  space_cv_.NotifyAll();
   return std::move(node.mapped());
 }
 
@@ -174,8 +189,11 @@ void CompressionPipeline::CompressOne() {
     DBGC_CHECK(!input_.empty());
     task = std::move(input_.front());
     input_.pop_front();
+    // Release the queue-depth share with the pop it accounts for: outside
+    // the lock a racing enqueue/pop pair could transiently drive the
+    // gauge negative.
+    PipelineMetrics::Get().queue_depth->Sub(1);
   }
-  PipelineMetrics::Get().queue_depth->Sub(1);
   CompressParams params;
   params.q_xyz = codec_.options().q_xyz;
   if (max_threads_per_frame_ != 1) {

@@ -108,13 +108,15 @@ class CompressionPipeline {
 
   void CompressOne();
 
-  /// Appends the frame and assigns its sequence number. The caller
-  /// publishes metrics and schedules the compression *after* releasing
-  /// the lock (lock discipline R10: no pool call while a lock is held).
+  /// Appends the frame, assigns its sequence number, and publishes the
+  /// admission metrics under the lock — gauge bumps happen exactly when
+  /// the state they account for changes, so no interleaving of rejects,
+  /// deliveries, and the draining destructor can underflow them. The
+  /// caller schedules the compression *after* releasing the lock (lock
+  /// discipline R10: no pool call while a lock is held).
   uint64_t EnqueueLocked(PointCloud pc) DBGC_REQUIRES(mutex_);
 
-  /// Publishes the admission metrics for one accepted frame and schedules
-  /// its compression task. Must be called without mutex_ held.
+  /// Schedules one compression task. Must be called without mutex_ held.
   void ScheduleCompression() DBGC_EXCLUDES(mutex_);
 
   const DbgcCodec codec_;

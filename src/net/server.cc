@@ -68,7 +68,12 @@ Status DbgcServer::HandleFrame(const ByteBuffer& wire,
   Result<PointCloud> cloud_result = [&] {
     obs::ScopedTimer timer(&report->decompress_seconds,
                            metrics.decompress_seconds);
-    return codec_.Decompress(frame.payload);
+    DecompressParams params;
+    if (decode_pool_ != nullptr) {
+      params.pool = decode_pool_;
+      params.max_threads = decode_max_threads_;
+    }
+    return codec_.Decompress(frame.payload, params);
   }();
   if (!cloud_result.ok()) return cloud_result.status();
   report->num_points = cloud_result.value().size();

@@ -11,6 +11,7 @@
 #include "common/mutex.h"
 #include "common/point_cloud.h"
 #include "common/thread_annotations.h"
+#include "common/thread_pool.h"
 #include "core/dbgc_codec.h"
 #include "net/frame_protocol.h"
 #include "net/frame_store.h"
@@ -38,6 +39,16 @@ class DbgcServer {
   /// pointer itself is not synchronized, only what it points to.
   void set_archive(FrameStore* store) { archive_ = store; }
 
+  /// Enables intra-frame decode parallelism: each Decompress may occupy up
+  /// to `max_threads` workers of `pool` (0 = the whole pool). The pool
+  /// must outlive the server; same thread-confined setup contract as
+  /// set_archive. Bitstream decoding is byte-exact at any thread budget,
+  /// so this only changes latency.
+  void set_decode_parallelism(ThreadPool* pool, int max_threads = 0) {
+    decode_pool_ = pool;
+    decode_max_threads_ = max_threads;
+  }
+
   /// Handles one wire frame; fills `report`. Safe to call from several
   /// transport threads at once: parsing, archiving, and decompression run
   /// outside the lock; only the table insertion is serialized.
@@ -62,6 +73,9 @@ class DbgcServer {
   const bool store_compressed_;
   // Written by set_archive during single-threaded setup, read-only after.
   FrameStore* archive_ DBGC_THREAD_CONFINED = nullptr;
+  // Written by set_decode_parallelism during setup, read-only after.
+  ThreadPool* decode_pool_ DBGC_THREAD_CONFINED = nullptr;
+  int decode_max_threads_ DBGC_THREAD_CONFINED = 0;
   const DbgcCodec codec_;
   mutable Mutex mutex_;
   std::map<uint64_t, PointCloud> clouds_ DBGC_GUARDED_BY(mutex_);

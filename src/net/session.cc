@@ -1,0 +1,342 @@
+#include "net/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace dbgc {
+
+namespace {
+
+/// Process-wide fleet instruments, resolved once. Gauges are delta-based
+/// so several managers sharing the process compose additively; the reject
+/// and degrade counters are labeled per reason/level (docs/OBSERVABILITY.md
+/// naming: `fleet_*`).
+struct FleetMetrics {
+  obs::Gauge* sessions_open;
+  obs::Counter* sessions_opened;
+  obs::Counter* sessions_rejected;
+  obs::Counter* submitted;
+  obs::Counter* accepted;
+  // Indexed by AdmitVerdict (kAccepted unused; kept so the verdict byte
+  // indexes directly).
+  obs::Counter* rejected[5];
+  obs::Gauge* inflight;
+  obs::Counter* decoded;
+  obs::Counter* decode_errors;
+  // Indexed by DegradeLevel (kNone unused).
+  obs::Counter* degrade_advised[3];
+  obs::Histogram* e2e_seconds;
+  obs::Histogram* decode_seconds;
+
+  static const FleetMetrics& Get() {
+    static const FleetMetrics m = [] {
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+      FleetMetrics f;
+      f.sessions_open = reg.GetGauge("fleet_sessions_open");
+      f.sessions_opened = reg.GetCounter("fleet_sessions_opened_total");
+      f.sessions_rejected = reg.GetCounter("fleet_sessions_rejected_total");
+      f.submitted = reg.GetCounter("fleet_frames_submitted_total");
+      f.accepted = reg.GetCounter("fleet_frames_accepted_total");
+      for (int v = 0; v < 5; ++v) {
+        f.rejected[v] = reg.GetCounter(obs::LabeledName(
+            "fleet_rejected_total",
+            {{"reason", AdmitVerdictName(static_cast<AdmitVerdict>(v))}}));
+      }
+      f.inflight = reg.GetGauge("fleet_inflight");
+      f.decoded = reg.GetCounter("fleet_decoded_total");
+      f.decode_errors = reg.GetCounter("fleet_decode_errors_total");
+      for (int l = 0; l < 3; ++l) {
+        f.degrade_advised[l] = reg.GetCounter(obs::LabeledName(
+            "fleet_degrade_advised_total",
+            {{"level", DegradeLevelName(static_cast<DegradeLevel>(l))}}));
+      }
+      f.e2e_seconds = reg.GetHistogram("fleet_e2e_seconds");
+      f.decode_seconds = reg.GetHistogram("fleet_decode_seconds");
+      return f;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
+
+SessionManager::SessionManager(FleetConfig config)
+    : config_(std::move(config)),
+      owned_pool_(config_.pool != nullptr
+                      ? nullptr
+                      : std::make_unique<ThreadPool>(
+                            config_.num_workers < 1 ? 1 : config_.num_workers)),
+      pool_(config_.pool != nullptr ? config_.pool : owned_pool_.get()),
+      budget_(config_.global_inflight_budget < 1
+                  ? 1
+                  : config_.global_inflight_budget),
+      codec_(config_.options) {
+  // Resolve the process-wide instruments now, outside any lock: the first
+  // Get() registers names under the registry lock, and every later use —
+  // including uses under mutex_ — is then a plain pointer read.
+  (void)FleetMetrics::Get();
+}
+
+SessionManager::~SessionManager() {
+  // Every decode task captures `this`; fence them all before members die
+  // (the CompressionPipeline tear-down contract).
+  ReleasableMutexLock lock(mutex_);
+  while (completed_ != scheduled_) drain_cv_.Wait(lock);
+  // Sessions die with the manager: release their share of the open-session
+  // gauge so it tracks live managers only. Exactly-once against
+  // Open/CloseSession, which adjust the gauge under this same lock.
+  FleetMetrics::Get().sessions_open->Sub(static_cast<int64_t>(open_sessions_));
+  // An owned pool joins its (now idle) workers in its destructor.
+}
+
+Result<uint64_t> SessionManager::OpenSession(std::string name) {
+  MutexLock lock(mutex_);
+  const FleetMetrics& m = FleetMetrics::Get();
+  if (open_sessions_ >= config_.max_sessions) {
+    m.sessions_rejected->Increment();
+    return Status::OutOfRange("fleet: session table full");
+  }
+  const uint64_t id = next_session_id_++;
+  auto session = std::make_unique<Session>();
+  session->name = std::move(name);
+  session->store =
+      std::make_unique<MemoryFrameStore>(config_.session_store_capacity);
+  sessions_.emplace(id, std::move(session));
+  ++open_sessions_;
+  m.sessions_opened->Increment();
+  m.sessions_open->Add(1);
+  return id;
+}
+
+Status SessionManager::CloseSession(uint64_t session_id) {
+  MutexLock lock(mutex_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end() || !it->second->open) {
+    return Status::InvalidArgument("fleet: unknown session");
+  }
+  it->second->open = false;
+  --open_sessions_;
+  FleetMetrics::Get().sessions_open->Sub(1);
+  return Status::OK();
+}
+
+DegradeLevel SessionManager::DegradeFor(size_t inflight) const {
+  const double load =
+      static_cast<double>(inflight) / static_cast<double>(budget_);
+  if (load >= config_.degrade_cheap_at) return DegradeLevel::kCheapCodec;
+  if (load >= config_.degrade_coarse_at) return DegradeLevel::kCoarserQuant;
+  return DegradeLevel::kNone;
+}
+
+FrameAck SessionManager::SubmitFrame(uint64_t session_id,
+                                     const ByteBuffer& wire) {
+  const FleetMetrics& m = FleetMetrics::Get();
+  // Parse outside the lock: checksumming the payload is O(bytes) and needs
+  // no shared state.
+  Result<Frame> parsed = FrameProtocol::Parse(wire);
+  const double admit_time = obs::MonotonicSeconds();
+
+  FrameAck ack;
+  MemoryFrameStore* store = nullptr;
+  {
+    MutexLock lock(mutex_);
+    m.submitted->Increment();
+    auto it = sessions_.find(session_id);
+    Session* session =
+        (it != sessions_.end() && it->second->open) ? it->second.get()
+                                                    : nullptr;
+    if (session != nullptr) ++session->stats.submitted;
+
+    // Admission verdict, most specific reason first: a broken frame or a
+    // dead session is its own fault regardless of load; a session over its
+    // fair share is throttled even when the global budget has room left.
+    if (!parsed.ok()) {
+      ack.verdict = AdmitVerdict::kRejectedParse;
+    } else if (session == nullptr) {
+      ack.frame_id = parsed.value().frame_id;
+      ack.verdict = AdmitVerdict::kRejectedUnknownSession;
+    } else {
+      ack.frame_id = parsed.value().frame_id;
+      const size_t share = open_sessions_ == 0
+                               ? budget_
+                               : std::max<size_t>(1, budget_ / open_sessions_);
+      if (session->stats.inflight >= share) {
+        ack.verdict = AdmitVerdict::kRejectedSessionShare;
+      } else if (inflight_ >= budget_) {
+        ack.verdict = AdmitVerdict::kRejectedGlobalBudget;
+      } else {
+        ack.verdict = AdmitVerdict::kAccepted;
+      }
+    }
+
+    if (ack.verdict == AdmitVerdict::kAccepted) {
+      // Publish admission exactly when the state changes, under the lock
+      // (the pipeline gauge discipline): the inflight share is released by
+      // DecodeOne under this same lock.
+      ++inflight_;
+      ++session->stats.inflight;
+      ++session->stats.accepted;
+      ++scheduled_;
+      m.accepted->Increment();
+      m.inflight->Add(1);
+      store = session->store.get();
+    } else {
+      if (session != nullptr) ++session->stats.rejected;
+      m.rejected[static_cast<int>(ack.verdict)]->Increment();
+    }
+
+    // Advertise degradation from the post-decision load, so an accepted
+    // frame that fills the budget already warns its sender.
+    ack.degrade = DegradeFor(inflight_);
+    if (ack.degrade != DegradeLevel::kNone) {
+      m.degrade_advised[static_cast<int>(ack.degrade)]->Increment();
+    }
+  }
+
+  if (ack.verdict != AdmitVerdict::kAccepted) return ack;
+
+  // Archive and schedule outside the lock (lock discipline R10: store Put
+  // and pool Schedule are blocking calls). The store pointer stays valid —
+  // sessions are never erased while the manager lives.
+  Frame frame = std::move(parsed).value();
+  (void)store->Put(frame.frame_id, frame.payload, session_id);
+  const size_t wire_bytes = wire.size();
+  pool_->Schedule([this, session_id, frame = std::move(frame), admit_time,
+                   wire_bytes]() mutable {
+    DecodeOne(session_id, std::move(frame), admit_time, wire_bytes);
+  });
+  return ack;
+}
+
+void SessionManager::DecodeOne(uint64_t session_id, Frame frame,
+                               double admit_time, size_t wire_bytes) {
+  const FleetMetrics& m = FleetMetrics::Get();
+  DecompressParams params;
+  if (config_.max_threads_per_frame != 1) {
+    // Nested use of the shared pool: ParallelFor callers always run chunks
+    // themselves, so frames make progress even with every worker busy.
+    params.pool = pool_;
+    params.max_threads = config_.max_threads_per_frame;
+  }
+  const double decode_start = obs::MonotonicSeconds();
+  Result<PointCloud> decoded = codec_.Decompress(frame.payload, params);
+  const double done = obs::MonotonicSeconds();
+  m.decode_seconds->Observe(done - decode_start);
+  m.e2e_seconds->Observe(done - admit_time);
+
+  FleetFrameReport report;
+  report.session_id = session_id;
+  report.frame_id = frame.frame_id;
+  report.ok = decoded.ok();
+  report.wire_bytes = wire_bytes;
+  report.num_points = decoded.ok() ? decoded.value().size() : 0;
+  report.e2e_seconds = done - admit_time;
+  report.decode_seconds = done - decode_start;
+
+  {
+    MutexLock lock(mutex_);
+    auto it = sessions_.find(session_id);
+    DBGC_CHECK(it != sessions_.end());  // Sessions are never erased.
+    Session& session = *it->second;
+    if (decoded.ok()) {
+      ++session.stats.decoded;
+      // Concurrent decodes of one session finish in any order; "latest" is
+      // the highest frame id, not the last completion, so interleaving
+      // never changes the result.
+      if (!session.has_cloud || frame.frame_id >= session.latest_decoded_id) {
+        session.latest_decoded_id = frame.frame_id;
+        session.has_cloud = true;
+        session.latest_cloud = std::move(decoded).value();
+      }
+      m.decoded->Increment();
+    } else {
+      ++session.stats.decode_errors;
+      m.decode_errors->Increment();
+    }
+    // Release the admission slot exactly where its state dies (see
+    // SubmitFrame): new frames may be admitted while the completion
+    // callback below still runs.
+    DBGC_CHECK(session.stats.inflight > 0);
+    DBGC_CHECK(inflight_ > 0);
+    --session.stats.inflight;
+    --inflight_;
+    m.inflight->Sub(1);
+  }
+
+  // User callback outside the lock (it may block, and decode results must
+  // not serialize behind it) but BEFORE the frame retires: Drain() and the
+  // destructor wait on completed_, so advancing it first would let them
+  // return — and the callback's captured state die — mid-call.
+  if (config_.on_frame_done) config_.on_frame_done(report);
+
+  {
+    MutexLock lock(mutex_);
+    ++completed_;
+    // Notify under the lock: the destructor destroys the condition
+    // variable as soon as its wait condition holds, and a waiter can only
+    // re-check that condition while holding mutex_ — so notifying here
+    // guarantees this thread is done with the object before tear-down.
+    drain_cv_.NotifyAll();
+  }
+}
+
+Status SessionManager::Drain() {
+  ReleasableMutexLock lock(mutex_);
+  while (completed_ != scheduled_) drain_cv_.Wait(lock);
+  return Status::OK();
+}
+
+size_t SessionManager::open_sessions() const {
+  MutexLock lock(mutex_);
+  return open_sessions_;
+}
+
+size_t SessionManager::inflight() const {
+  MutexLock lock(mutex_);
+  return inflight_;
+}
+
+size_t SessionManager::fair_share() const {
+  MutexLock lock(mutex_);
+  if (open_sessions_ == 0) return budget_;
+  return std::max<size_t>(1, budget_ / open_sessions_);
+}
+
+DegradeLevel SessionManager::advertised_degrade() const {
+  MutexLock lock(mutex_);
+  return DegradeFor(inflight_);
+}
+
+Result<SessionStats> SessionManager::stats(uint64_t session_id) const {
+  MutexLock lock(mutex_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::InvalidArgument("fleet: unknown session");
+  }
+  return it->second->stats;
+}
+
+Result<PointCloud> SessionManager::LatestCloud(uint64_t session_id) const {
+  MutexLock lock(mutex_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::InvalidArgument("fleet: unknown session");
+  }
+  if (!it->second->has_cloud) {
+    return Status::InvalidArgument("fleet: no frame decoded yet");
+  }
+  return it->second->latest_cloud;
+}
+
+const MemoryFrameStore* SessionManager::store(uint64_t session_id) const {
+  MutexLock lock(mutex_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return nullptr;
+  return it->second->store.get();
+}
+
+}  // namespace dbgc

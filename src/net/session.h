@@ -1,0 +1,195 @@
+// SessionManager: the multi-sensor fleet server (ROADMAP item 2,
+// docs/FLEET.md). Where DbgcServer serves the single client of Figure 2,
+// the SessionManager multiplexes N concurrent sensor sessions over one
+// shared thread pool:
+//
+//   * per-session state — a bounded MemoryFrameStore archiving the
+//     compressed payloads (newest frame pinned, per-session LRU) plus the
+//     decode state (latest decoded cloud, counters);
+//   * admission control — a bounded global in-flight decode budget with a
+//     per-session fair share, refusing frames with an explicit verdict
+//     (counted per reason in the metrics registry) instead of queueing
+//     without bound;
+//   * graceful degradation — a server-advertised ladder (coarser q_xyz,
+//     then the cheap all-octree path) carried back to clients on every
+//     FrameAck, so the fleet sheds decode cost before the budget saturates.
+//
+// Decodes run as tasks on the shared pool (the inter-frame axis); each
+// decode may additionally use Config::max_threads_per_frame workers inside
+// the frame (the intra-frame axis, docs/PARALLELISM.md). Admission is
+// decided synchronously under the session lock, so rejects are
+// deterministic for a given submission interleaving; decode completion is
+// asynchronous and awaited with Drain().
+
+#ifndef DBGC_NET_SESSION_H_
+#define DBGC_NET_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/point_cloud.h"
+#include "common/thread_annotations.h"
+#include "common/thread_pool.h"
+#include "core/dbgc_codec.h"
+#include "net/frame_protocol.h"
+#include "net/frame_store.h"
+
+namespace dbgc {
+
+/// Per-session accounting snapshot (all counters since OpenSession).
+struct SessionStats {
+  uint64_t submitted = 0;      ///< Frames offered to SubmitFrame.
+  uint64_t accepted = 0;       ///< Frames admitted for decode.
+  uint64_t rejected = 0;       ///< Frames refused (any verdict).
+  uint64_t decoded = 0;        ///< Decodes completed successfully.
+  uint64_t decode_errors = 0;  ///< Decodes that failed.
+  size_t inflight = 0;         ///< Accepted, decode not yet finished.
+};
+
+/// Completion report of one accepted frame, delivered to
+/// FleetConfig::on_frame_done from a pool thread after its decode.
+struct FleetFrameReport {
+  uint64_t session_id = 0;
+  uint64_t frame_id = 0;
+  bool ok = false;             ///< Decode succeeded.
+  size_t wire_bytes = 0;
+  size_t num_points = 0;       ///< Decoded points (0 on error).
+  double e2e_seconds = 0.0;    ///< SubmitFrame admission -> decode done.
+  double decode_seconds = 0.0;
+};
+
+/// Fleet-server configuration.
+struct FleetConfig {
+  /// Sessions that may be open at once; OpenSession refuses beyond this.
+  size_t max_sessions = 256;
+  /// Server-wide bound on frames admitted but not yet decoded. The fair
+  /// share of one session is max(1, budget / open_sessions).
+  size_t global_inflight_budget = 16;
+  /// Capacity of each session's compressed-frame store (0 = unbounded).
+  size_t session_store_capacity = 8;
+  /// Thread budget inside one frame's decode (CompressParams semantics:
+  /// 1 = serial, 0 = whole pool). Frame-level fan-out usually beats
+  /// intra-frame parallelism on fleet throughput.
+  int max_threads_per_frame = 1;
+  /// Shared pool the decode tasks run on. Must outlive the manager. Null
+  /// = own a small pool of `num_workers` threads.
+  ThreadPool* pool = nullptr;
+  /// Worker threads when the manager owns its pool (>= 1).
+  int num_workers = 2;
+  /// Load fraction (inflight / budget) at or above which the server
+  /// advertises DegradeLevel::kCoarserQuant...
+  double degrade_coarse_at = 0.5;
+  /// ...and kCheapCodec. Thresholds are inspected on every ack.
+  double degrade_cheap_at = 0.875;
+  /// Codec options used for decoding (the stream itself is
+  /// self-describing; these supply the baseline configuration).
+  DbgcOptions options;
+  /// Optional completion callback, invoked from a pool thread once per
+  /// accepted frame, outside the session lock. Drain() and the destructor
+  /// wait for in-flight callbacks, so captured state may be destroyed as
+  /// soon as either returns.
+  std::function<void(const FleetFrameReport&)> on_frame_done;
+};
+
+/// Multi-session fleet server: admission control + pooled decode.
+class SessionManager {
+ public:
+  explicit SessionManager(FleetConfig config);
+
+  /// Drains every accepted frame, then stops (decode tasks capture
+  /// `this`, so tear-down must fence them — same contract as
+  /// CompressionPipeline).
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Opens a session and returns its id. Fails with OutOfRange when
+  /// `max_sessions` sessions are open (counted in
+  /// fleet_sessions_rejected_total).
+  Result<uint64_t> OpenSession(std::string name = "");
+
+  /// Closes a session: later submits are refused with
+  /// kRejectedUnknownSession; in-flight decodes finish normally and the
+  /// session's store/stats stay readable.
+  Status CloseSession(uint64_t session_id);
+
+  /// Handles one wire frame for `session_id`: parse, admission verdict,
+  /// archive, and (when accepted) an asynchronous decode on the pool.
+  /// Always returns a complete ack — verdict plus the currently
+  /// advertised degradation level. Safe to call from many transport
+  /// threads at once; admission is serialized, decode is not.
+  FrameAck SubmitFrame(uint64_t session_id, const ByteBuffer& wire);
+
+  /// Blocks until every accepted frame has finished decoding and its
+  /// on_frame_done callback (if any) has returned.
+  Status Drain();
+
+  // --- introspection ------------------------------------------------------
+
+  /// Sessions currently open.
+  size_t open_sessions() const;
+  /// Frames admitted but not yet decoded, across all sessions. Ground
+  /// truth for the fleet_inflight gauge.
+  size_t inflight() const;
+  /// The current per-session fair share: max(1, budget / open_sessions).
+  size_t fair_share() const;
+  /// The degradation level the next ack would advertise.
+  DegradeLevel advertised_degrade() const;
+  /// Counters of one session (fails on an unknown id; closed sessions
+  /// remain queryable).
+  Result<SessionStats> stats(uint64_t session_id) const;
+  /// Latest successfully decoded cloud of a session (copy; fails when the
+  /// session is unknown or nothing decoded yet).
+  Result<PointCloud> LatestCloud(uint64_t session_id) const;
+  /// The session's bounded compressed-frame store (keyed by the sensor's
+  /// frame ids), or null for an unknown id. The store synchronizes
+  /// itself; the pointer is stable for the manager's lifetime.
+  const MemoryFrameStore* store(uint64_t session_id) const;
+
+  /// The admission bound (FleetConfig::global_inflight_budget).
+  size_t budget() const { return budget_; }
+
+ private:
+  struct Session {
+    std::string name;
+    bool open = true;
+    std::unique_ptr<MemoryFrameStore> store;  // Self-synchronizing.
+    SessionStats stats;
+    uint64_t latest_decoded_id = 0;
+    bool has_cloud = false;
+    PointCloud latest_cloud;
+  };
+
+  /// Decodes one admitted frame on a pool thread and retires it.
+  void DecodeOne(uint64_t session_id, Frame frame, double admit_time,
+                 size_t wire_bytes);
+
+  /// The degradation level for `inflight` frames against the budget.
+  DegradeLevel DegradeFor(size_t inflight) const;
+
+  const FleetConfig config_;
+  const std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* const pool_;  // owned_pool_.get() or the shared config pool.
+  const size_t budget_;
+  const DbgcCodec codec_;
+
+  mutable Mutex mutex_;
+  CondVar drain_cv_;  // A decode task finished (completed_ advanced).
+  std::map<uint64_t, std::unique_ptr<Session>> sessions_
+      DBGC_GUARDED_BY(mutex_);
+  uint64_t next_session_id_ DBGC_GUARDED_BY(mutex_) = 1;
+  size_t open_sessions_ DBGC_GUARDED_BY(mutex_) = 0;
+  size_t inflight_ DBGC_GUARDED_BY(mutex_) = 0;
+  uint64_t scheduled_ DBGC_GUARDED_BY(mutex_) = 0;
+  uint64_t completed_ DBGC_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_NET_SESSION_H_

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -95,7 +96,7 @@ TcpListener::~TcpListener() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Status TcpListener::Listen(uint16_t port) {
+Status TcpListener::Listen(uint16_t port, int backlog) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
@@ -109,7 +110,7 @@ Status TcpListener::Listen(uint16_t port) {
   if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     return Status::IOError(std::string("bind: ") + std::strerror(errno));
   }
-  if (::listen(fd_, 1) != 0) {
+  if (::listen(fd_, backlog < 1 ? 1 : backlog) != 0) {
     return Status::IOError(std::string("listen: ") + std::strerror(errno));
   }
   socklen_t len = sizeof(addr);
@@ -120,13 +121,41 @@ Status TcpListener::Listen(uint16_t port) {
   return Status::OK();
 }
 
+namespace {
+
+/// Post-accept socket setup: disable Nagle so small frames and acks do
+/// not serialize behind the 40 ms delayed-ack timer (10 Hz sensors live
+/// on a hard latency budget). Returns 0 or -1 with errno set.
+int SetupAcceptedSocket(int fd) {
+  const int one = 1;
+  return ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
 Result<TcpConnection> TcpListener::Accept() {
   if (fd_ < 0) return Status::IOError("accept on closed listener");
-  const int client = ::accept(fd_, nullptr, nullptr);
-  if (client < 0) {
-    return Status::IOError(std::string("accept: ") + std::strerror(errno));
+  for (;;) {
+    const int client = hooks_.accept_fn ? hooks_.accept_fn(fd_)
+                                        : ::accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+      // EINTR (signal) and ECONNABORTED (peer gave up while queued) are
+      // facts of life on a busy acceptor, not listener failures: retry
+      // instead of tearing the accept loop down.
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return Status::IOError(std::string("accept: ") + std::strerror(errno));
+    }
+    // Hand the fd to the connection immediately: every error path below
+    // closes it through ~TcpConnection instead of leaking it.
+    TcpConnection conn(client);
+    const int rc =
+        hooks_.setup_fn ? hooks_.setup_fn(client) : SetupAcceptedSocket(client);
+    if (rc != 0) {
+      return Status::IOError(std::string("accept setup: ") +
+                             std::strerror(errno));
+    }
+    return conn;
   }
-  return TcpConnection(client);
 }
 
 Result<TcpConnection> TcpConnect(uint16_t port) {

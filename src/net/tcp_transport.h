@@ -3,13 +3,15 @@
 // reproducible numbers; this module provides the real-socket path for
 // deployments and integration tests.
 //
-// Deliberately minimal: blocking I/O, IPv4, one connection per acceptor -
-// matching the single client -> single server shape of Figure 2.
+// Deliberately minimal: blocking I/O, IPv4. The listener carries a real
+// backlog so a fleet of sensors can connect concurrently (docs/FLEET.md);
+// each accepted connection is an independent blocking endpoint.
 
 #ifndef DBGC_NET_TCP_TRANSPORT_H_
 #define DBGC_NET_TCP_TRANSPORT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "bitio/byte_buffer.h"
@@ -48,23 +50,50 @@ class TcpConnection {
 /// A listening socket on 127.0.0.1.
 class TcpListener {
  public:
+  /// Default backlog: deep enough for a fleet of sensors connecting in a
+  /// burst (the kernel clamps to somaxconn anyway).
+  static constexpr int kDefaultBacklog = 64;
+
   TcpListener() = default;
   ~TcpListener();
   TcpListener(const TcpListener&) = delete;
   TcpListener& operator=(const TcpListener&) = delete;
 
-  /// Binds and listens on the given port (0 = ephemeral).
-  Status Listen(uint16_t port);
+  /// Test-only syscall seams for Accept: injects accept(2) results and
+  /// post-accept setup failures with chosen errnos. Null members fall
+  /// through to the real syscalls. Thread-confined: install before any
+  /// Accept traffic starts.
+  struct SyscallHooksForTest {
+    /// Replaces ::accept on the listen fd; returns a client fd, or -1
+    /// with errno set.
+    std::function<int(int listen_fd)> accept_fn;
+    /// Replaces the post-accept socket setup; returns 0, or -1 with
+    /// errno set.
+    std::function<int(int client_fd)> setup_fn;
+  };
+
+  /// Binds and listens on the given port (0 = ephemeral). `backlog` is
+  /// the accept queue depth handed to listen(2).
+  Status Listen(uint16_t port, int backlog = kDefaultBacklog);
 
   /// The bound port (valid after Listen).
   uint16_t port() const { return port_; }
 
-  /// Accepts one connection (blocking).
+  /// Accepts one connection (blocking). Transient accept failures
+  /// (EINTR, ECONNABORTED) are retried; on any error after the peer fd
+  /// exists — including post-accept setup failure — the fd is closed
+  /// before returning, never leaked.
   Result<TcpConnection> Accept();
+
+  /// Installs the test seams (see SyscallHooksForTest).
+  void set_syscall_hooks_for_test(SyscallHooksForTest hooks) {
+    hooks_ = std::move(hooks);
+  }
 
  private:
   int fd_ = -1;
   uint16_t port_ = 0;
+  SyscallHooksForTest hooks_;
 };
 
 /// Connects to 127.0.0.1:`port`.

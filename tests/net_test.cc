@@ -1,11 +1,18 @@
 // Tests for src/net: channel model, frame protocol, and the client/server
 // pipeline of Figure 2.
 
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -18,6 +25,7 @@
 #include "net/frame_store.h"
 #include "net/pipeline.h"
 #include "net/server.h"
+#include "net/session.h"
 #include "net/tcp_transport.h"
 #include "obs/metrics.h"
 
@@ -594,6 +602,665 @@ TEST(FrameStoreConcurrency, ParallelPutGetEvictStaysConsistent) {
   for (const uint64_t id : ids) EXPECT_TRUE(store.Get(id).ok());
   EXPECT_GT(store.evicted(), 0u);
   EXPECT_GT(hits.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Ack wire format: the server's answer carrying verdict + degrade level.
+
+TEST(AckProtocolTest, RoundTripAllVerdictsAndLevels) {
+  for (uint8_t v = 0; v <= 4; ++v) {
+    for (uint8_t l = 0; l <= 2; ++l) {
+      FrameAck ack;
+      ack.frame_id = 0x0123456789abcdefULL + v * 31 + l;
+      ack.verdict = static_cast<AdmitVerdict>(v);
+      ack.degrade = static_cast<DegradeLevel>(l);
+      const ByteBuffer wire = FrameProtocol::SerializeAck(ack);
+      EXPECT_EQ(wire.size(), FrameProtocol::kAckBytes);
+      auto parsed = FrameProtocol::ParseAck(wire);
+      ASSERT_TRUE(parsed.ok());
+      EXPECT_EQ(parsed.value().frame_id, ack.frame_id);
+      EXPECT_EQ(parsed.value().verdict, ack.verdict);
+      EXPECT_EQ(parsed.value().degrade, ack.degrade);
+    }
+  }
+}
+
+TEST(AckProtocolTest, CorruptionAndTruncationRejected) {
+  FrameAck ack;
+  ack.frame_id = 42;
+  ack.verdict = AdmitVerdict::kRejectedSessionShare;
+  ack.degrade = DegradeLevel::kCoarserQuant;
+  const ByteBuffer wire = FrameProtocol::SerializeAck(ack);
+  // Every single-byte flip is caught (magic, fields, or checksum).
+  for (size_t i = 0; i < wire.size(); ++i) {
+    ByteBuffer bad = wire;
+    bad.mutable_bytes()[i] ^= 0x5a;
+    EXPECT_FALSE(FrameProtocol::ParseAck(bad).ok()) << "byte " << i;
+  }
+  // Every truncation is caught.
+  for (size_t n = 0; n < wire.size(); ++n) {
+    ByteBuffer bad;
+    for (size_t i = 0; i < n; ++i) bad.AppendByte(wire.bytes()[i]);
+    EXPECT_FALSE(FrameProtocol::ParseAck(bad).ok()) << "length " << n;
+  }
+}
+
+TEST(AckProtocolTest, OutOfRangeEnumBytesRejected) {
+  // A well-checksummed ack whose verdict/level byte is outside the enum is
+  // still refused: future wire values must not alias into today's enums.
+  FrameAck ack;
+  ack.frame_id = 7;
+  ack.verdict = static_cast<AdmitVerdict>(9);
+  const ByteBuffer bad_verdict = FrameProtocol::SerializeAck(ack);
+  EXPECT_FALSE(FrameProtocol::ParseAck(bad_verdict).ok());
+  ack.verdict = AdmitVerdict::kAccepted;
+  ack.degrade = static_cast<DegradeLevel>(7);
+  const ByteBuffer bad_level = FrameProtocol::SerializeAck(ack);
+  EXPECT_FALSE(FrameProtocol::ParseAck(bad_level).ok());
+}
+
+// ---------------------------------------------------------------------------
+// TcpListener::Accept error paths, driven through the injected syscall
+// seams: transient errnos retry, fatal errnos surface, and the peer fd is
+// never leaked when post-accept setup fails.
+
+TEST(TcpAcceptTest, RetriesTransientAcceptErrnos) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.Listen(0).ok());
+  int calls = 0;
+  TcpListener::SyscallHooksForTest hooks;
+  hooks.accept_fn = [&calls](int) {
+    ++calls;
+    if (calls == 1) {
+      errno = EINTR;
+      return -1;
+    }
+    if (calls == 2) {
+      errno = ECONNABORTED;
+      return -1;
+    }
+    return ::socket(AF_INET, SOCK_STREAM, 0);
+  };
+  hooks.setup_fn = [](int) { return 0; };
+  listener.set_syscall_hooks_for_test(std::move(hooks));
+  auto conn = listener.Accept();
+  ASSERT_TRUE(conn.ok());
+  EXPECT_TRUE(conn.value().IsOpen());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(TcpAcceptTest, FatalAcceptErrnoSurfacesAsIOError) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.Listen(0).ok());
+  int calls = 0;
+  TcpListener::SyscallHooksForTest hooks;
+  hooks.accept_fn = [&calls](int) {
+    ++calls;
+    errno = EMFILE;  // Out of fds: retrying can't help.
+    return -1;
+  };
+  listener.set_syscall_hooks_for_test(std::move(hooks));
+  auto conn = listener.Accept();
+  EXPECT_FALSE(conn.ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(TcpAcceptTest, ClosesPeerFdWhenSetupFails) {
+  TcpListener listener;
+  ASSERT_TRUE(listener.Listen(0).ok());
+  int peer = -1;
+  TcpListener::SyscallHooksForTest hooks;
+  hooks.accept_fn = [&peer](int) {
+    peer = ::socket(AF_INET, SOCK_STREAM, 0);
+    return peer;
+  };
+  hooks.setup_fn = [](int) {
+    errno = EINVAL;
+    return -1;
+  };
+  listener.set_syscall_hooks_for_test(std::move(hooks));
+  auto conn = listener.Accept();
+  EXPECT_FALSE(conn.ok());
+  // The regression: the accepted fd must have been closed, not leaked.
+  ASSERT_GE(peer, 0);
+  errno = 0;
+  EXPECT_EQ(::fcntl(peer, F_GETFD), -1);
+  EXPECT_EQ(errno, EBADF);
+}
+
+// ---------------------------------------------------------------------------
+// LRU + newest-per-session pinning (the fleet eviction policy).
+
+TEST(FrameStoreTest, GetRefreshesLruOrder) {
+  MemoryFrameStore store(/*capacity=*/2);
+  ASSERT_TRUE(store.Put(1, PayloadOfSize(4)).ok());
+  ASSERT_TRUE(store.Put(2, PayloadOfSize(4)).ok());
+  // A Get makes frame 1 the most recently used; 2 is its session's newest
+  // but the incoming 3 supersedes it, so plain LRU evicts 2 — not the
+  // oldest id.
+  ASSERT_TRUE(store.Get(1).ok());
+  ASSERT_TRUE(store.Put(3, PayloadOfSize(4)).ok());
+  EXPECT_EQ(store.List(), (std::vector<uint64_t>{1, 3}));
+}
+
+TEST(FrameStoreTest, NewestFramePerSessionSurvivesOtherSessionsBurst) {
+  MemoryFrameStore store(/*capacity=*/3);
+  // Session 1 parks its keyframe, then session 2 floods the store.
+  ASSERT_TRUE(store.Put(100, PayloadOfSize(8), /*session_id=*/1).ok());
+  for (uint64_t id = 200; id < 210; ++id) {
+    ASSERT_TRUE(store.Put(id, PayloadOfSize(8), /*session_id=*/2).ok());
+  }
+  // The burst only ever displaced session 2's own older frames.
+  EXPECT_EQ(store.List(), (std::vector<uint64_t>{100, 208, 209}));
+  EXPECT_TRUE(store.Get(100).ok());
+  EXPECT_EQ(store.evicted(), 8u);
+}
+
+TEST(FrameStoreTest, AllPinnedFallsBackToPlainLru) {
+  MemoryFrameStore store(/*capacity=*/2);
+  // Two sessions, one frame each: every resident frame is pinned.
+  ASSERT_TRUE(store.Put(1, PayloadOfSize(4), /*session_id=*/1).ok());
+  ASSERT_TRUE(store.Put(2, PayloadOfSize(4), /*session_id=*/2).ok());
+  // A third session still fits under the bound: the least-recently-used
+  // pinned frame goes.
+  ASSERT_TRUE(store.Put(3, PayloadOfSize(4), /*session_id=*/3).ok());
+  EXPECT_EQ(store.List(), (std::vector<uint64_t>{2, 3}));
+  EXPECT_EQ(store.evicted(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline gauge integrity under churn: rejects, partial delivery, and the
+// draining destructor interleave; the shared gauges must never dip below
+// their baseline (the underflow this PR fixes) and must return to it.
+
+TEST(PipelineBackpressureTest, GaugesNeverDipBelowBaselineUnderChurn) {
+  const int64_t inflight0 = GaugeVal("pipeline_inflight");
+  const int64_t depth0 = GaugeVal("pipeline_queue_depth");
+  std::atomic<bool> stop{false};
+  std::atomic<bool> saw_negative{false};
+  std::thread sampler([&] {
+    while (!stop.load()) {
+      if (GaugeVal("pipeline_inflight") < inflight0 ||
+          GaugeVal("pipeline_queue_depth") < depth0) {
+        saw_negative.store(true);
+      }
+    }
+  });
+  for (int round = 0; round < 6; ++round) {
+    CompressionPipeline::Config config;
+    config.num_workers = 2;
+    config.queue_capacity = 2;
+    CompressionPipeline pipeline(SmallFrameOptions(), config);
+    // Overrun the window (rejects), deliver one result, and let the
+    // destructor release the rest.
+    for (uint32_t f = 0; f < 6; ++f) {
+      (void)pipeline.TrySubmit(SmallFrame(f));
+    }
+    (void)pipeline.NextResult();
+  }
+  stop.store(true);
+  sampler.join();
+  EXPECT_FALSE(saw_negative.load());
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(GaugeVal("pipeline_inflight"), inflight0);
+    EXPECT_EQ(GaugeVal("pipeline_queue_depth"), depth0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SessionManager: the multi-sensor fleet server (docs/FLEET.md) —
+// admission verdicts, fair share, degradation ladder, and decode
+// correctness across interleavings and thread budgets.
+
+/// One compressed wire frame from `client` for the given scene seed.
+ByteBuffer WireFrame(DbgcClient& client, uint32_t seed) {
+  ClientFrameReport report;
+  auto wire = client.ProcessFrame(SmallFrame(seed), &report);
+  EXPECT_TRUE(wire.ok());
+  return wire.ok() ? std::move(wire).value() : ByteBuffer();
+}
+
+bool SameCloud(const PointCloud& a, const PointCloud& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].x != b[i].x || a[i].y != b[i].y || a[i].z != b[i].z) return false;
+  }
+  return true;
+}
+
+/// Occupies every worker of `pool` until Release() — admission decisions
+/// become deterministic because no accepted decode can retire.
+class PoolBlocker {
+ public:
+  PoolBlocker(ThreadPool* pool, int workers) {
+    for (int i = 0; i < workers; ++i) {
+      pool->Schedule([this] {
+        std::unique_lock<std::mutex> lock(m_);
+        ++blocked_;
+        cv_.notify_all();
+        cv_.wait(lock, [this] { return released_; });
+      });
+    }
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [this, workers] { return blocked_ == workers; });
+  }
+
+  void Release() {
+    std::unique_lock<std::mutex> lock(m_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex m_;
+  std::condition_variable cv_;
+  int blocked_ = 0;
+  bool released_ = false;
+};
+
+TEST(FleetSessionTest, OpenCloseFairShareAndSessionTableBound) {
+  FleetConfig config;
+  config.max_sessions = 3;
+  config.global_inflight_budget = 8;
+  config.options = SmallFrameOptions();
+  SessionManager fleet(config);
+  EXPECT_EQ(fleet.budget(), 8u);
+  EXPECT_EQ(fleet.fair_share(), 8u);  // No sessions: whole budget.
+
+  auto s1 = fleet.OpenSession("roof");
+  auto s2 = fleet.OpenSession("bumper");
+  auto s3 = fleet.OpenSession();
+  ASSERT_TRUE(s1.ok() && s2.ok() && s3.ok());
+  EXPECT_EQ(fleet.open_sessions(), 3u);
+  EXPECT_EQ(fleet.fair_share(), 2u);  // 8 / 3, floored.
+  EXPECT_FALSE(fleet.OpenSession("one too many").ok());
+
+  ASSERT_TRUE(fleet.CloseSession(s3.value()).ok());
+  EXPECT_EQ(fleet.open_sessions(), 2u);
+  EXPECT_EQ(fleet.fair_share(), 4u);
+  // Closing twice (or an unknown id) is refused.
+  EXPECT_FALSE(fleet.CloseSession(s3.value()).ok());
+  EXPECT_FALSE(fleet.CloseSession(999).ok());
+  // A closed session keeps its stats readable but takes no more frames.
+  EXPECT_TRUE(fleet.stats(s3.value()).ok());
+  DbgcClient client(SmallFrameOptions());
+  const FrameAck ack = fleet.SubmitFrame(s3.value(), WireFrame(client, 1));
+  EXPECT_EQ(ack.verdict, AdmitVerdict::kRejectedUnknownSession);
+}
+
+TEST(FleetSessionTest, InterleavedSessionsMatchSequentialReplay) {
+  constexpr int kSessions = 3;
+  constexpr int kFrames = 3;
+  // Each sensor has its own client (its own frame-id sequence and scene).
+  std::vector<ByteBuffer> wires[kSessions];
+  for (int s = 0; s < kSessions; ++s) {
+    DbgcClient client(SmallFrameOptions());
+    for (int f = 0; f < kFrames; ++f) {
+      wires[s].push_back(WireFrame(client, 100 * s + f));
+    }
+  }
+
+  FleetConfig config;
+  config.global_inflight_budget = 64;
+  config.num_workers = 4;
+  config.options = SmallFrameOptions();
+  SessionManager interleaved(config);
+  SessionManager sequential(config);
+  uint64_t ids_a[kSessions], ids_b[kSessions];
+  for (int s = 0; s < kSessions; ++s) {
+    ids_a[s] = interleaved.OpenSession().value();
+    ids_b[s] = sequential.OpenSession().value();
+  }
+  // Round-robin (the fleet arrival order) vs one session at a time.
+  for (int f = 0; f < kFrames; ++f) {
+    for (int s = 0; s < kSessions; ++s) {
+      const FrameAck ack = interleaved.SubmitFrame(ids_a[s], wires[s][f]);
+      EXPECT_EQ(ack.verdict, AdmitVerdict::kAccepted);
+    }
+  }
+  for (int s = 0; s < kSessions; ++s) {
+    for (int f = 0; f < kFrames; ++f) {
+      const FrameAck ack = sequential.SubmitFrame(ids_b[s], wires[s][f]);
+      EXPECT_EQ(ack.verdict, AdmitVerdict::kAccepted);
+    }
+  }
+  ASSERT_TRUE(interleaved.Drain().ok());
+  ASSERT_TRUE(sequential.Drain().ok());
+
+  const DbgcCodec reference(SmallFrameOptions());
+  for (int s = 0; s < kSessions; ++s) {
+    // Decode state: interleaving must not change any session's result.
+    auto a = interleaved.LatestCloud(ids_a[s]);
+    auto b = sequential.LatestCloud(ids_b[s]);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_TRUE(SameCloud(a.value(), b.value())) << "session " << s;
+    // And it matches a serial reference decode of the last payload.
+    auto frame = FrameProtocol::Parse(wires[s][kFrames - 1]);
+    ASSERT_TRUE(frame.ok());
+    auto ref = reference.Decompress(frame.value().payload);
+    ASSERT_TRUE(ref.ok());
+    EXPECT_TRUE(SameCloud(a.value(), ref.value())) << "session " << s;
+    // The session store archived the payload byte-for-byte.
+    const MemoryFrameStore* store = interleaved.store(ids_a[s]);
+    ASSERT_NE(store, nullptr);
+    auto archived = store->Get(frame.value().frame_id);
+    ASSERT_TRUE(archived.ok());
+    EXPECT_EQ(archived.value(), frame.value().payload);
+    // Per-session accounting.
+    auto stats = interleaved.stats(ids_a[s]);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().accepted, static_cast<uint64_t>(kFrames));
+    EXPECT_EQ(stats.value().decoded, static_cast<uint64_t>(kFrames));
+    EXPECT_EQ(stats.value().decode_errors, 0u);
+    EXPECT_EQ(stats.value().inflight, 0u);
+  }
+  EXPECT_EQ(interleaved.inflight(), 0u);
+}
+
+TEST(FleetSessionTest, AdmissionRejectsDeterministicallyWhenPoolBlocked) {
+  ThreadPool pool(2);
+  PoolBlocker blocker(&pool, 2);
+
+  FleetConfig config;
+  config.pool = &pool;
+  config.global_inflight_budget = 4;
+  config.options = SmallFrameOptions();
+  SessionManager fleet(config);
+  const uint64_t s1 = fleet.OpenSession().value();
+  const uint64_t s2 = fleet.OpenSession().value();
+  EXPECT_EQ(fleet.fair_share(), 2u);
+
+  DbgcClient c1(SmallFrameOptions()), c2(SmallFrameOptions()),
+      c3(SmallFrameOptions());
+  // Session 1 fills its fair share (2 of 4), then is throttled.
+  EXPECT_EQ(fleet.SubmitFrame(s1, WireFrame(c1, 1)).verdict,
+            AdmitVerdict::kAccepted);
+  EXPECT_EQ(fleet.SubmitFrame(s1, WireFrame(c1, 2)).verdict,
+            AdmitVerdict::kAccepted);
+  EXPECT_EQ(fleet.SubmitFrame(s1, WireFrame(c1, 3)).verdict,
+            AdmitVerdict::kRejectedSessionShare);
+  // Session 2 fills the remaining global budget.
+  EXPECT_EQ(fleet.SubmitFrame(s2, WireFrame(c2, 1)).verdict,
+            AdmitVerdict::kAccepted);
+  EXPECT_EQ(fleet.SubmitFrame(s2, WireFrame(c2, 2)).verdict,
+            AdmitVerdict::kAccepted);
+  EXPECT_EQ(fleet.inflight(), 4u);
+  // A third session is within its (recomputed) share but the global
+  // budget is gone.
+  const uint64_t s3 = fleet.OpenSession().value();
+  EXPECT_EQ(fleet.fair_share(), 1u);
+  EXPECT_EQ(fleet.SubmitFrame(s3, WireFrame(c3, 1)).verdict,
+            AdmitVerdict::kRejectedGlobalBudget);
+  // Unknown session and parse failures have their own verdicts.
+  EXPECT_EQ(fleet.SubmitFrame(999, WireFrame(c3, 2)).verdict,
+            AdmitVerdict::kRejectedUnknownSession);
+  ByteBuffer junk;
+  for (int i = 0; i < 32; ++i) junk.AppendByte(static_cast<uint8_t>(i));
+  EXPECT_EQ(fleet.SubmitFrame(s1, junk).verdict, AdmitVerdict::kRejectedParse);
+
+  blocker.Release();
+  ASSERT_TRUE(fleet.Drain().ok());
+  EXPECT_EQ(fleet.inflight(), 0u);
+  auto stats1 = fleet.stats(s1);
+  ASSERT_TRUE(stats1.ok());
+  EXPECT_EQ(stats1.value().submitted, 4u);  // 3 frames + the junk.
+  EXPECT_EQ(stats1.value().accepted, 2u);
+  EXPECT_EQ(stats1.value().rejected, 2u);
+  EXPECT_EQ(stats1.value().decoded, 2u);
+  auto stats3 = fleet.stats(s3);
+  ASSERT_TRUE(stats3.ok());
+  EXPECT_EQ(stats3.value().accepted, 0u);
+  EXPECT_EQ(stats3.value().rejected, 1u);
+}
+
+TEST(FleetSessionTest, DegradationLadderAdvertisedUnderLoad) {
+  ThreadPool pool(2);
+  PoolBlocker blocker(&pool, 2);
+
+  FleetConfig config;
+  config.pool = &pool;
+  config.global_inflight_budget = 4;  // Thresholds: coarse at 2, cheap at 4.
+  config.options = SmallFrameOptions();
+  SessionManager fleet(config);
+  const uint64_t s1 = fleet.OpenSession().value();
+  EXPECT_EQ(fleet.advertised_degrade(), DegradeLevel::kNone);
+
+  DbgcClient client(SmallFrameOptions());
+  // Post-decision load drives the ladder: 1/4 none, 2/4 coarser, 3/4
+  // coarser, 4/4 cheap — and rejected frames hear the current level too.
+  EXPECT_EQ(fleet.SubmitFrame(s1, WireFrame(client, 1)).degrade,
+            DegradeLevel::kNone);
+  EXPECT_EQ(fleet.SubmitFrame(s1, WireFrame(client, 2)).degrade,
+            DegradeLevel::kCoarserQuant);
+  EXPECT_EQ(fleet.SubmitFrame(s1, WireFrame(client, 3)).degrade,
+            DegradeLevel::kCoarserQuant);
+  EXPECT_EQ(fleet.SubmitFrame(s1, WireFrame(client, 4)).degrade,
+            DegradeLevel::kCheapCodec);
+  EXPECT_EQ(fleet.advertised_degrade(), DegradeLevel::kCheapCodec);
+  const FrameAck rejected = fleet.SubmitFrame(s1, WireFrame(client, 5));
+  EXPECT_NE(rejected.verdict, AdmitVerdict::kAccepted);
+  EXPECT_EQ(rejected.degrade, DegradeLevel::kCheapCodec);
+
+  blocker.Release();
+  ASSERT_TRUE(fleet.Drain().ok());
+  EXPECT_EQ(fleet.advertised_degrade(), DegradeLevel::kNone);
+}
+
+TEST(FleetSessionTest, ClientAppliesAdvertisedDegrade) {
+  DbgcClient client(SmallFrameOptions());
+  const PointCloud pc = SmallFrame(11);
+  ClientFrameReport baseline;
+  auto baseline_wire = client.ProcessFrame(pc, &baseline);
+  ASSERT_TRUE(baseline_wire.ok());
+  EXPECT_EQ(baseline.degrade, DegradeLevel::kNone);
+
+  // The server's ack switches the encoder; each degraded stream is still
+  // an ordinary self-describing DBGC bitstream.
+  const DbgcCodec reference(SmallFrameOptions());
+  for (const DegradeLevel level :
+       {DegradeLevel::kCoarserQuant, DegradeLevel::kCheapCodec}) {
+    FrameAck ack;
+    ack.degrade = level;
+    client.ApplyAck(ack);
+    EXPECT_EQ(client.degrade(), level);
+    ClientFrameReport report;
+    auto wire = client.ProcessFrame(pc, &report);
+    ASSERT_TRUE(wire.ok());
+    EXPECT_EQ(report.degrade, level);
+    auto frame = FrameProtocol::Parse(wire.value());
+    ASSERT_TRUE(frame.ok());
+    auto cloud = reference.Decompress(frame.value().payload);
+    ASSERT_TRUE(cloud.ok());
+    EXPECT_GT(cloud.value().size(), 0u);
+  }
+  // Recovery: a kNone ack restores the baseline codec.
+  client.ApplyAck(FrameAck());
+  EXPECT_EQ(client.degrade(), DegradeLevel::kNone);
+  ClientFrameReport recovered;
+  auto recovered_wire = client.ProcessFrame(pc, &recovered);
+  ASSERT_TRUE(recovered_wire.ok());
+  EXPECT_EQ(recovered.degrade, DegradeLevel::kNone);
+  EXPECT_EQ(recovered.compressed_bytes, baseline.compressed_bytes);
+}
+
+TEST(FleetSessionTest, DecodeThreadBudgetsAgree) {
+  // One wire frame, decoded under fleet servers with intra-frame thread
+  // budgets 1/2/8: the decoded cloud must be identical (the codec's
+  // byte-identical contract, seen through the fleet path).
+  DbgcClient client(SmallFrameOptions());
+  const ByteBuffer wire = WireFrame(client, 21);
+  auto frame = FrameProtocol::Parse(wire);
+  ASSERT_TRUE(frame.ok());
+  const DbgcCodec reference(SmallFrameOptions());
+  auto ref_cloud = reference.Decompress(frame.value().payload);
+  ASSERT_TRUE(ref_cloud.ok());
+
+  for (const int budget : {1, 2, 8}) {
+    FleetConfig config;
+    config.max_threads_per_frame = budget;
+    config.num_workers = 8;
+    config.options = SmallFrameOptions();
+    SessionManager fleet(config);
+    const uint64_t sid = fleet.OpenSession().value();
+    EXPECT_EQ(fleet.SubmitFrame(sid, wire).verdict, AdmitVerdict::kAccepted);
+    ASSERT_TRUE(fleet.Drain().ok());
+    auto cloud = fleet.LatestCloud(sid);
+    ASSERT_TRUE(cloud.ok());
+    EXPECT_TRUE(SameCloud(cloud.value(), ref_cloud.value()))
+        << "thread budget " << budget;
+  }
+
+  // The single-client server takes the same decode-parallelism knob.
+  ThreadPool pool(4);
+  DbgcServer server;
+  server.set_decode_parallelism(&pool, /*max_threads=*/4);
+  ServerFrameReport report;
+  ASSERT_TRUE(server.HandleFrame(wire, &report).ok());
+  EXPECT_TRUE(SameCloud(server.stored_clouds().at(report.frame_id),
+                        ref_cloud.value()));
+}
+
+TEST(FleetSessionTest, MetricsReturnToBaselineAfterTeardown) {
+  const int64_t inflight0 = GaugeVal("fleet_inflight");
+  const int64_t open0 = GaugeVal("fleet_sessions_open");
+  std::atomic<uint64_t> reports{0};
+  std::atomic<uint64_t> ok_reports{0};
+  {
+    FleetConfig config;
+    config.global_inflight_budget = 8;
+    config.num_workers = 2;
+    config.options = SmallFrameOptions();
+    config.on_frame_done = [&](const FleetFrameReport& report) {
+      reports.fetch_add(1);
+      if (report.ok && report.e2e_seconds >= report.decode_seconds &&
+          report.decode_seconds >= 0.0 && report.num_points > 0) {
+        ok_reports.fetch_add(1);
+      }
+    };
+    SessionManager fleet(config);
+    DbgcClient client(SmallFrameOptions());
+    const uint64_t sid = fleet.OpenSession().value();
+    for (uint32_t f = 0; f < 3; ++f) {
+      EXPECT_EQ(fleet.SubmitFrame(sid, WireFrame(client, f)).verdict,
+                AdmitVerdict::kAccepted);
+    }
+    // No Drain: the destructor itself must retire all in-flight state.
+  }
+  // The manager owned its pool, so after destruction every callback ran.
+  EXPECT_EQ(reports.load(), 3u);
+  EXPECT_EQ(ok_reports.load(), 3u);
+  if constexpr (obs::kEnabled) {
+    EXPECT_EQ(GaugeVal("fleet_inflight"), inflight0);
+    EXPECT_EQ(GaugeVal("fleet_sessions_open"), open0);
+  }
+}
+
+// Regression: Drain() once counted a frame as done before its
+// on_frame_done callback returned, so a caller could destroy the state
+// the callback captured while a pool thread was still writing to it
+// (heap corruption first seen in bench_fleet_load). A frame may only
+// drain after its callback finishes.
+TEST(FleetSessionTest, DrainWaitsForCompletionCallbacks) {
+  constexpr uint32_t kFrames = 4;
+  ThreadPool pool(2);
+  FleetConfig config;
+  config.pool = &pool;
+  config.global_inflight_budget = kFrames;
+  config.options = SmallFrameOptions();
+  auto latencies = std::make_unique<std::vector<double>>();
+  std::mutex latencies_mutex;
+  config.on_frame_done = [&](const FleetFrameReport& report) {
+    // Dawdle so a premature Drain() would realistically win the race.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    std::lock_guard<std::mutex> lock(latencies_mutex);
+    latencies->push_back(report.e2e_seconds);
+  };
+  SessionManager fleet(config);
+  DbgcClient client(SmallFrameOptions());
+  const uint64_t sid = fleet.OpenSession().value();
+  for (uint32_t f = 0; f < kFrames; ++f) {
+    EXPECT_EQ(fleet.SubmitFrame(sid, WireFrame(client, f)).verdict,
+              AdmitVerdict::kAccepted);
+  }
+  ASSERT_TRUE(fleet.Drain().ok());
+  // After Drain, every callback has run to completion and the capture may
+  // die (the bench's exact usage pattern).
+  EXPECT_EQ(latencies->size(), kFrames);
+  latencies.reset();
+}
+
+// ---------------------------------------------------------------------------
+// Fleet stress: many submitter threads, shared pool, small budget — run
+// under TSan by scripts/check.sh. Assertions are accounting invariants;
+// the interleavings themselves are the test.
+
+TEST(FleetStress, ConcurrentSubmittersStayConsistent) {
+  constexpr int kSessions = 8;
+  constexpr int kSubmitters = 4;
+  constexpr int kFramesPerSubmitter = 24;
+
+  // Pre-compress one wire frame per session (submission should stress the
+  // fleet server, not the encoder).
+  std::vector<ByteBuffer> wires;
+  for (int s = 0; s < kSessions; ++s) {
+    DbgcClient client(SmallFrameOptions());
+    wires.push_back(WireFrame(client, static_cast<uint32_t>(s)));
+  }
+
+  ThreadPool pool(4);
+  FleetConfig config;
+  config.pool = &pool;
+  config.global_inflight_budget = 6;
+  config.session_store_capacity = 4;
+  config.options = SmallFrameOptions();
+  SessionManager fleet(config);
+  uint64_t sids[kSessions];
+  for (int s = 0; s < kSessions; ++s) {
+    sids[s] = fleet.OpenSession().value();
+  }
+
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> rejected{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kFramesPerSubmitter; ++i) {
+        const int s = (t + i) % kSessions;
+        const FrameAck ack = fleet.SubmitFrame(sids[s], wires[s]);
+        if (ack.verdict == AdmitVerdict::kAccepted) {
+          accepted.fetch_add(1);
+        } else {
+          rejected.fetch_add(1);
+          // Oversubscription rejects are load rejects, never bogus ids.
+          EXPECT_TRUE(ack.verdict == AdmitVerdict::kRejectedSessionShare ||
+                      ack.verdict == AdmitVerdict::kRejectedGlobalBudget);
+        }
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  ASSERT_TRUE(fleet.Drain().ok());
+
+  EXPECT_EQ(accepted.load() + rejected.load(),
+            static_cast<uint64_t>(kSubmitters * kFramesPerSubmitter));
+  EXPECT_GT(accepted.load(), 0u);
+  EXPECT_EQ(fleet.inflight(), 0u);
+  uint64_t decoded_sum = 0, accepted_sum = 0;
+  for (int s = 0; s < kSessions; ++s) {
+    auto stats = fleet.stats(sids[s]);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().inflight, 0u);
+    EXPECT_EQ(stats.value().decoded + stats.value().decode_errors,
+              stats.value().accepted);
+    EXPECT_EQ(stats.value().decode_errors, 0u);
+    decoded_sum += stats.value().decoded;
+    accepted_sum += stats.value().accepted;
+    if (stats.value().decoded > 0) {
+      EXPECT_TRUE(fleet.LatestCloud(sids[s]).ok());
+    }
+  }
+  EXPECT_EQ(accepted_sum, accepted.load());
+  EXPECT_EQ(decoded_sum, accepted.load());
 }
 
 }  // namespace

@@ -1337,6 +1337,15 @@ void CheckR12(const SourceFile& file, const CodeView& v,
           "detached thread; pool workers are joined in ~ThreadPool so "
           "shutdown stays deterministic (docs/PARALLELISM.md)"});
     }
+    // The C API is the same back door: session/server code must not spawn
+    // threads the pool cannot account for.
+    if ((t == "pthread_create" || t == "pthread_detach") &&
+        v.Is(ci + 1, "(")) {
+      diags->push_back(Diagnostic{
+          file.path, v.Tok(ci).line, "R12",
+          t + " outside the thread pool; run work on a dbgc::ThreadPool "
+              "(common/thread_pool.h, docs/PARALLELISM.md)"});
+    }
   }
 }
 

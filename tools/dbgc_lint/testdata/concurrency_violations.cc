@@ -116,6 +116,11 @@ void SpawnRaw() {
   (void)hw;
 }
 
+void SpawnRawViaPthreads(pthread_t* tid, void* (*fn)(void*)) {
+  pthread_create(tid, nullptr, fn, nullptr);  // LINT-EXPECT: R12
+  pthread_detach(*tid);  // LINT-EXPECT: R12
+}
+
 // --- Suppressions: an allowed concurrency violation must NOT fire ---------
 
 class Registry {
