@@ -1,0 +1,257 @@
+// Temporal I/P streaming vs per-frame intra coding (docs/TEMPORAL.md).
+//
+//   $ ./bench/bench_temporal [out.json]
+//
+// The tentpole claim of the temporal codec is that on a coherent drive
+// (one static world, ego moving through it) the inter-frame axis buys
+// real bits: ego-motion-compensated P-frames cost a fraction of an
+// intra-coded frame, so stream bpp drops as the keyframe interval grows.
+// This bench pins that claim: it generates a pose-stamped drive per scene,
+// encodes it (a) frame-by-frame with the intra DBGC codec and (b) through
+// the TemporalEncoder at keyframe intervals {2, 4, 8}, decodes every
+// stream back, and additionally replays each interval-4 stream with one
+// P-frame dropped to confirm the loss-recovery contract on real packets:
+// fail closed until the next keyframe, then byte-identical clouds again.
+// The summary ratio feeds the scripts/check.sh temporal tripwire
+// (temporal bpp must stay strictly below intra bpp).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "bitio/byte_buffer.h"
+#include "codec/codec.h"
+#include "core/dbgc_codec.h"
+#include "core/temporal_codec.h"
+#include "lidar/scene_generator.h"
+#include "lidar/sensor_model.h"
+
+namespace {
+
+using dbgc::ByteBuffer;
+using dbgc::PointCloud;
+
+struct IntervalRow {
+  int keyframe_interval = 0;
+  double bpp = 0.0;
+  double i_bytes_per_frame = 0.0;  // Mean keyframe packet size.
+  double p_bytes_per_frame = 0.0;  // Mean predicted packet size.
+  double encode_ms = 0.0;          // Mean per frame.
+  double decode_ms = 0.0;          // Mean per frame.
+};
+
+struct SceneRow {
+  std::string name;
+  size_t points_per_frame = 0;
+  double intra_bpp = 0.0;
+  double intra_encode_ms = 0.0;
+  double intra_decode_ms = 0.0;
+  std::vector<IntervalRow> intervals;
+};
+
+bool SameCloud(const PointCloud& a, const PointCloud& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_temporal.json";
+  dbgc::bench::Banner(
+      "Temporal I/P streaming vs per-frame intra coding",
+      "inter-frame extension of the streaming path, docs/TEMPORAL.md");
+
+  // Enough frames for a few interval-8 GOPs while staying CI-sized;
+  // DBGC_BENCH_FRAMES scales the drive length.
+  const int num_frames = 8 + 4 * dbgc::bench::FramesPerConfig();
+  const dbgc::SensorMetadata sensor = dbgc::SensorMetadata::VelodyneHdl64e();
+  const std::vector<int> kIntervals = {2, 4, 8};
+  const dbgc::DbgcOptions options;
+  const dbgc::DbgcCodec intra_codec(options);
+
+  std::vector<SceneRow> rows;
+  bool loss_recovery_ok = true;
+  for (const dbgc::SceneType scene :
+       {dbgc::SceneType::kCity, dbgc::SceneType::kUrban}) {
+    SceneRow row;
+    row.name = dbgc::SceneTypeName(scene);
+    const std::vector<dbgc::StreamFrame> drive =
+        dbgc::SceneGenerator(scene).GenerateSequence(
+            static_cast<size_t>(num_frames), dbgc::SequenceConfig(), sensor);
+    size_t total_points = 0;
+    for (const dbgc::StreamFrame& frame : drive) {
+      total_points += frame.cloud.size();
+    }
+    row.points_per_frame = total_points / drive.size();
+
+    // (a) The intra-only baseline: every frame is an independent DBGC
+    // bitstream, exactly what the pre-temporal streaming path shipped.
+    size_t intra_bytes = 0;
+    for (const dbgc::StreamFrame& frame : drive) {
+      dbgc::Result<ByteBuffer> compressed = ByteBuffer();
+      row.intra_encode_ms += 1e3 * dbgc::bench::TimeSeconds([&] {
+        compressed = intra_codec.Compress(frame.cloud, options.q_xyz);
+      });
+      if (!compressed.ok()) {
+        std::fprintf(stderr, "%s: intra compress failed: %s\n",
+                     row.name.c_str(),
+                     compressed.status().ToString().c_str());
+        return 1;
+      }
+      intra_bytes += compressed.value().size();
+      dbgc::Result<PointCloud> decoded = PointCloud();
+      row.intra_decode_ms += 1e3 * dbgc::bench::TimeSeconds([&] {
+        decoded = intra_codec.Decompress(compressed.value());
+      });
+      if (!decoded.ok()) {
+        std::fprintf(stderr, "%s: intra decompress failed\n",
+                     row.name.c_str());
+        return 1;
+      }
+    }
+    row.intra_bpp = 8.0 * static_cast<double>(intra_bytes) /
+                    static_cast<double>(total_points);
+    row.intra_encode_ms /= drive.size();
+    row.intra_decode_ms /= drive.size();
+
+    // (b) The temporal stream at each keyframe interval.
+    for (const int interval : kIntervals) {
+      dbgc::TemporalConfig config;
+      config.keyframe_interval = interval;
+      config.sensor = sensor;
+      config.intra_options = options;
+      dbgc::TemporalEncoder encoder(config);
+      dbgc::TemporalDecoder decoder(options, /*count_decode_errors=*/false);
+      IntervalRow out;
+      out.keyframe_interval = interval;
+      std::vector<ByteBuffer> packets;
+      size_t total_bytes = 0, i_frames = 0, p_frames = 0;
+      for (const dbgc::StreamFrame& frame : drive) {
+        dbgc::Result<ByteBuffer> packet = ByteBuffer();
+        out.encode_ms += 1e3 * dbgc::bench::TimeSeconds([&] {
+          packet = encoder.EncodeFrame(frame.cloud, frame.pose);
+        });
+        if (!packet.ok()) {
+          std::fprintf(stderr, "%s: temporal encode failed: %s\n",
+                       row.name.c_str(), packet.status().ToString().c_str());
+          return 1;
+        }
+        const ByteBuffer& bytes = packet.value();
+        total_bytes += bytes.size();
+        if (bytes[0] == dbgc::kTemporalFrameIntra) {
+          out.i_bytes_per_frame += static_cast<double>(bytes.size());
+          ++i_frames;
+        } else {
+          out.p_bytes_per_frame += static_cast<double>(bytes.size());
+          ++p_frames;
+        }
+        dbgc::Result<PointCloud> decoded = PointCloud();
+        out.decode_ms += 1e3 * dbgc::bench::TimeSeconds([&] {
+          decoded = decoder.DecodeFrame(bytes);
+        });
+        if (!decoded.ok()) {
+          std::fprintf(stderr, "%s: temporal decode failed: %s\n",
+                       row.name.c_str(), decoded.status().ToString().c_str());
+          return 1;
+        }
+        packets.push_back(std::move(packet).value());
+      }
+      out.bpp = 8.0 * static_cast<double>(total_bytes) /
+                static_cast<double>(total_points);
+      if (i_frames > 0) out.i_bytes_per_frame /= static_cast<double>(i_frames);
+      if (p_frames > 0) out.p_bytes_per_frame /= static_cast<double>(p_frames);
+      out.encode_ms /= drive.size();
+      out.decode_ms /= drive.size();
+      row.intervals.push_back(out);
+
+      // Loss-recovery replay on the interval-4 stream: drop the first
+      // P-frame, require fail-closed decodes until the next keyframe and
+      // byte-identical clouds from there on (vs a lossless replay).
+      if (interval == 4 && packets.size() > 5) {
+        dbgc::TemporalDecoder lossless(options, false);
+        dbgc::TemporalDecoder lossy(options, false);
+        for (size_t i = 0; i < packets.size(); ++i) {
+          dbgc::Result<PointCloud> ref = lossless.DecodeFrame(packets[i]);
+          if (!ref.ok()) loss_recovery_ok = false;
+          if (i == 1) continue;  // The modeled loss.
+          dbgc::Result<PointCloud> got = lossy.DecodeFrame(packets[i]);
+          const bool is_key = packets[i][0] == dbgc::kTemporalFrameIntra;
+          const bool resynced = i < 1 || i >= 4;  // Next keyframe at 4.
+          if (resynced || is_key) {
+            if (!got.ok() || !ref.ok() ||
+                !SameCloud(got.value(), ref.value())) {
+              loss_recovery_ok = false;
+            }
+          } else if (got.ok()) {
+            loss_recovery_ok = false;  // Must fail closed, not guess.
+          }
+        }
+      }
+    }
+    rows.push_back(std::move(row));
+  }
+
+  double intra_bpp_mean = 0.0, best_bpp_mean = 0.0;
+  std::printf("\n%-12s %10s | %s\n", "scene", "intra bpp",
+              "temporal bpp at keyframe interval 2 / 4 / 8");
+  for (const SceneRow& row : rows) {
+    std::printf("%-12s %10.3f |", row.name.c_str(), row.intra_bpp);
+    for (const IntervalRow& iv : row.intervals) {
+      std::printf(" %8.3f", iv.bpp);
+    }
+    std::printf("\n");
+    intra_bpp_mean += row.intra_bpp / rows.size();
+    best_bpp_mean += row.intervals.back().bpp / rows.size();
+  }
+  const double ratio =
+      intra_bpp_mean > 0 ? best_bpp_mean / intra_bpp_mean : 1.0;
+  std::printf("\nmean intra bpp:            %.3f\n", intra_bpp_mean);
+  std::printf("mean temporal bpp (key=8): %.3f\n", best_bpp_mean);
+  std::printf("temporal/intra ratio:      %.4f\n", ratio);
+  std::printf("loss recovery (drop one P, resync at next I): %s\n",
+              loss_recovery_ok ? "byte-identical" : "FAILED");
+
+  std::FILE* json = std::fopen(json_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"temporal\",\n");
+  std::fprintf(json, "  \"frames_per_scene\": %d,\n", num_frames);
+  std::fprintf(json, "  \"scenes\": [\n");
+  for (size_t s = 0; s < rows.size(); ++s) {
+    const SceneRow& row = rows[s];
+    std::fprintf(json,
+                 "    {\"scene\": \"%s\", \"points_per_frame\": %zu,\n"
+                 "     \"intra_bpp\": %.4f, \"intra_encode_ms\": %.3f, "
+                 "\"intra_decode_ms\": %.3f,\n     \"intervals\": [\n",
+                 row.name.c_str(), row.points_per_frame, row.intra_bpp,
+                 row.intra_encode_ms, row.intra_decode_ms);
+    for (size_t i = 0; i < row.intervals.size(); ++i) {
+      const IntervalRow& iv = row.intervals[i];
+      std::fprintf(json,
+                   "      {\"keyframe_interval\": %d, \"bpp\": %.4f, "
+                   "\"i_bytes_per_frame\": %.1f, \"p_bytes_per_frame\": %.1f, "
+                   "\"encode_ms\": %.3f, \"decode_ms\": %.3f}%s\n",
+                   iv.keyframe_interval, iv.bpp, iv.i_bytes_per_frame,
+                   iv.p_bytes_per_frame, iv.encode_ms, iv.decode_ms,
+                   i + 1 < row.intervals.size() ? "," : "");
+    }
+    std::fprintf(json, "     ]}%s\n", s + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(json, "  ],\n");
+  std::fprintf(json, "  \"intra_bpp_mean\": %.4f,\n", intra_bpp_mean);
+  std::fprintf(json, "  \"temporal_bpp_mean\": %.4f,\n", best_bpp_mean);
+  std::fprintf(json, "  \"temporal_over_intra_bpp\": %.4f,\n", ratio);
+  std::fprintf(json, "  \"loss_recovery_byte_identical\": %s\n",
+               loss_recovery_ok ? "true" : "false");
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("\nwrote %s\n", json_path.c_str());
+  return loss_recovery_ok && ratio < 1.0 ? 0 : 1;
+}

@@ -121,6 +121,29 @@ awk -F': ' '
   }' BENCH_entropy.json
 pass_gate
 
+start_gate "temporal gate: stream conformance + BENCH_temporal.json"
+# The conformance layer already ran under tier-1 — re-run it named so a
+# temporal regression identifies itself in CI logs: P-frame decode vs the
+# per-frame intra oracle, single-loss resync at the next keyframe, the
+# golden stream vault, and the net-layer wiring (docs/TEMPORAL.md).
+ctest --test-dir build \
+  -R "TemporalStreamTest|TemporalConcurrency|SceneSequenceTest|TemporalPipelineTest|FleetSessionTest.Temporal|GoldenBitstreamTest.TemporalSequenceVault" \
+  --output-on-failure -j "${JOBS}"
+# The headline claim: on a coherent drive the temporal stream must cost
+# strictly fewer bits than intra-only coding, and dropping one P-frame
+# must recover byte-identically at the next keyframe. The bench exits
+# nonzero on its own tripwires; the awk pass pins the committed numbers.
+DBGC_BENCH_FRAMES="${DBGC_BENCH_FRAMES:-1}" \
+  ./build/bench/bench_temporal BENCH_temporal.json
+awk -F': ' '
+  /"temporal_over_intra_bpp"/      { ratio = $2 + 0 }
+  /"loss_recovery_byte_identical"/ { ok = ($2 ~ /true/) }
+  END {
+    if (ratio >= 1.0) { print "temporal bpp not below intra: " ratio; exit 1 }
+    if (!ok)          { print "loss recovery not byte-identical"; exit 1 }
+  }' BENCH_temporal.json
+pass_gate
+
 # --- static analysis --------------------------------------------------------
 
 start_gate "fleet gate: BENCH_fleet.json + admission tripwires"
@@ -160,7 +183,8 @@ ctest --test-dir build -L lint --output-on-failure -j "${JOBS}"
   src/common/thread_pool.h src/common/thread_pool.cc \
   src/net/pipeline.h src/net/pipeline.cc \
   src/net/session.h src/net/session.cc \
-  src/net/frame_store.h src/net/frame_store.cc
+  src/net/frame_store.h src/net/frame_store.cc \
+  src/core/temporal_codec.h src/core/temporal_codec.cc
 # Rule R6 (docs/OBSERVABILITY.md): the obs layer owns the monotonic clock;
 # name its wrapper explicitly so a new ad-hoc timer fails loudly here.
 ./build/tools/dbgc_lint/dbgc_lint src/obs/trace.h src/obs/trace.cc
@@ -252,16 +276,18 @@ cmake -B build-tsan -S . \
   -DDBGC_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-tsan -j "${JOBS}" \
   --target concurrency_smoke_test thread_pool_test net_test obs_test \
-           point_soa_test
+           point_soa_test temporal_stream_test
 # ThreadPool/Parallelism: the ParallelFor stress mix; PipelineBackpressure:
 # the bounded-window frame pipeline; FrameStoreConcurrency: parallel
 # Put/Get/eviction on the bounded store; ConcurrencySmoke: codec
 # statelessness; MetricsStress: sharded counters/histograms under
 # concurrent readers; PointSoAStress: concurrent clustering over the
 # thread-local flat-array density counters; FleetStress + FleetSessionTest:
-# many-session admission/decode on the fleet server (docs/FLEET.md).
+# many-session admission/decode on the fleet server (docs/FLEET.md);
+# TemporalConcurrency + TemporalPipelineTest: thread-count invariance of
+# the temporal bitstream and the ordered encode actor (docs/TEMPORAL.md).
 TSAN_OPTIONS="halt_on_error=1" \
 ctest --test-dir build-tsan \
-  -R "ConcurrencySmoke|ThreadPoolTest|ParallelismTest|PipelineBackpressure|FrameStoreConcurrency|MetricsStress|PointSoAStress|FleetStress|FleetSessionTest" \
+  -R "ConcurrencySmoke|ThreadPoolTest|ParallelismTest|PipelineBackpressure|FrameStoreConcurrency|MetricsStress|PointSoAStress|FleetStress|FleetSessionTest|TemporalConcurrency|TemporalPipelineTest" \
   --output-on-failure -j "${JOBS}"
 pass_gate

@@ -1,0 +1,588 @@
+#include "core/temporal_codec.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "bitio/varint.h"
+#include "common/safe_math.h"
+#include "encoding/value_codec.h"
+#include "entropy/binary_coder.h"
+#include "lidar/spherical.h"
+#include "obs/metrics.h"
+
+namespace dbgc {
+
+namespace {
+
+constexpr uint8_t kTemporalStreamMagic[4] = {'D', 'B', 'G', 'T'};
+constexpr uint8_t kTemporalStreamVersion = 1;
+
+// Occupancy contexts: (left, above, predicted-occupied) -> 8 adaptive
+// models. The temporal bit dominates: a cell occupied in the compensated
+// reference is very likely occupied again, and the spatial pair captures
+// the residual run structure exactly as in the range-image codec.
+constexpr size_t kNumContexts = 8;
+
+size_t ContextOf(int left, int above, int predicted) {
+  return static_cast<size_t>(left * 2 + above + 4 * predicted);
+}
+
+// Sanity limits for header fields parsed from untrusted packets. All are
+// far beyond any physical sensor but small enough that arithmetic on the
+// accepted values stays finite.
+constexpr double kMaxAbsPoseComponent = 1e9;
+constexpr double kMaxAbsAngle = 1e6;
+constexpr double kMaxAngleStep = 1e6;
+constexpr double kMaxRangeStep = 1e9;
+
+bool PoseIsSane(const RigidTransform& pose) {
+  return std::isfinite(pose.yaw) && std::fabs(pose.yaw) <= kMaxAbsPoseComponent &&
+         std::isfinite(pose.translation.x) &&
+         std::fabs(pose.translation.x) <= kMaxAbsPoseComponent &&
+         std::isfinite(pose.translation.y) &&
+         std::fabs(pose.translation.y) <= kMaxAbsPoseComponent &&
+         std::isfinite(pose.translation.z) &&
+         std::fabs(pose.translation.z) <= kMaxAbsPoseComponent;
+}
+
+/// Wire size of the fixed packet prefix: the frame-type byte plus the
+/// four pose doubles (AppendPose/ReadPose).
+constexpr size_t kFrameHeaderBytes = 1 + 4 * sizeof(double);
+
+void AppendPose(ByteBuffer* out, const RigidTransform& pose) {
+  out->AppendDouble(pose.yaw);
+  out->AppendDouble(pose.translation.x);
+  out->AppendDouble(pose.translation.y);
+  out->AppendDouble(pose.translation.z);
+}
+
+Status ReadPose(ByteReader* reader, RigidTransform* pose) {
+  DBGC_RETURN_NOT_OK(reader->ReadDouble(&pose->yaw));
+  DBGC_RETURN_NOT_OK(reader->ReadDouble(&pose->translation.x));
+  DBGC_RETURN_NOT_OK(reader->ReadDouble(&pose->translation.y));
+  DBGC_RETURN_NOT_OK(reader->ReadDouble(&pose->translation.z));
+  if (!PoseIsSane(*pose)) {
+    return Status::Corruption("temporal: implausible pose header");
+  }
+  return Status::OK();
+}
+
+/// The range-image grid a P-frame predicts on. The parameters travel in
+/// the packet, so encoder and decoder project the shared reference with
+/// bit-identical inputs.
+struct GridParams {
+  double theta_min = 0.0;
+  double phi_max = 0.0;
+  double u_theta = 0.0;
+  double u_phi = 0.0;
+  double step = 0.0;  // Radial quantization step (2 * q_xyz).
+  uint64_t width = 0;
+  uint64_t height = 0;
+
+  uint64_t area() const { return width * height; }  // Pre-validated.
+};
+
+Status ValidateGrid(const GridParams& g) {
+  if (!std::isfinite(g.theta_min) || std::fabs(g.theta_min) > kMaxAbsAngle ||
+      !std::isfinite(g.phi_max) || std::fabs(g.phi_max) > kMaxAbsAngle ||
+      !std::isfinite(g.u_theta) || g.u_theta <= 0.0 ||
+      g.u_theta > kMaxAngleStep || !std::isfinite(g.u_phi) ||
+      g.u_phi <= 0.0 || g.u_phi > kMaxAngleStep || !std::isfinite(g.step) ||
+      g.step <= 0.0 || g.step > kMaxRangeStep) {
+    return Status::Corruption("temporal: implausible grid header");
+  }
+  if (g.width == 0 || g.height == 0) {
+    return Status::Corruption("temporal: implausible grid");
+  }
+  DBGC_BOUND(g.width, kMaxDecodedElements, "temporal grid width");
+  DBGC_BOUND(g.height, kMaxDecodedElements, "temporal grid height");
+  const std::optional<uint64_t> area = CheckedMul(g.width, g.height);
+  if (!area || *area > kMaxDecodedElements) {
+    return Status::Corruption("temporal: implausible grid");
+  }
+  return Status::OK();
+}
+
+Result<GridParams> GridFromSensor(const SensorMetadata& sensor,
+                                  double q_xyz) {
+  if (q_xyz <= 0) {
+    return Status::InvalidArgument("temporal: q_xyz must be positive");
+  }
+  if (sensor.horizontal_samples <= 0 || sensor.vertical_samples <= 0) {
+    return Status::InvalidArgument("temporal: sensor sample counts");
+  }
+  GridParams g;
+  g.theta_min = sensor.theta_min;
+  g.phi_max = sensor.phi_max;
+  g.u_theta = sensor.AzimuthStep();
+  g.u_phi = sensor.PolarStep();
+  g.step = 2.0 * q_xyz;
+  g.width = static_cast<uint64_t>(sensor.horizontal_samples);
+  g.height = static_cast<uint64_t>(sensor.vertical_samples);
+  DBGC_RETURN_NOT_OK(ValidateGrid(g));
+  return g;
+}
+
+/// Quantized occupancy grid: the common representation of the current
+/// frame and the compensated reference on both sides of the wire.
+struct RangeGrid {
+  std::vector<uint8_t> occupied;
+  std::vector<int64_t> q;  // Quantized radial value where occupied.
+  size_t num_occupied = 0;
+};
+
+/// Projects a cloud onto the grid, keeping the nearest return per cell
+/// (the sensor's own multi-echo behaviour), then quantizes at g.step.
+RangeGrid ProjectToGrid(const PointCloud& pc, const GridParams& g) {
+  const size_t area = static_cast<size_t>(g.area());
+  std::vector<double> range(area, std::numeric_limits<double>::infinity());
+  const int width = static_cast<int>(g.width);
+  const int height = static_cast<int>(g.height);
+  for (const Point3& p : pc) {
+    const SphericalPoint s = CartesianToSpherical(p);
+    int col =
+        static_cast<int>(std::floor((s.theta - g.theta_min) / g.u_theta));
+    int row = static_cast<int>(std::floor((g.phi_max - s.phi) / g.u_phi));
+    if (col < 0) col = 0;
+    if (col >= width) col = width - 1;
+    if (row < 0) row = 0;
+    if (row >= height) row = height - 1;
+    double& cell = range[static_cast<size_t>(row) * g.width + col];
+    if (s.r < cell) cell = s.r;
+  }
+  RangeGrid grid;
+  grid.occupied.assign(area, 0);
+  grid.q.assign(area, 0);
+  for (size_t i = 0; i < area; ++i) {
+    if (!std::isfinite(range[i])) continue;
+    grid.occupied[i] = 1;
+    grid.q[i] = static_cast<int64_t>(std::llround(range[i] / g.step));
+    ++grid.num_occupied;
+  }
+  return grid;
+}
+
+/// Reconstructs the cloud a grid represents: cell-center directions at the
+/// quantized radius. Scan order (row-major) fixes the point order, so both
+/// sides of the wire hold bit-identical references.
+PointCloud ReconstructFromGrid(const GridParams& g, const RangeGrid& grid) {
+  PointCloud pc;
+  pc.Reserve(grid.num_occupied);
+  for (uint64_t row = 0; row < g.height; ++row) {
+    for (uint64_t col = 0; col < g.width; ++col) {
+      const size_t idx = static_cast<size_t>(row * g.width + col);
+      if (!grid.occupied[idx]) continue;
+      const double r = static_cast<double>(grid.q[idx]) * g.step;
+      const double theta =
+          g.theta_min + (static_cast<double>(col) + 0.5) * g.u_theta;
+      const double phi =
+          g.phi_max - (static_cast<double>(row) + 0.5) * g.u_phi;
+      pc.Add(SphericalToCartesian(SphericalPoint{theta, phi, r}));
+    }
+  }
+  return pc;
+}
+
+bool SamePose(const RigidTransform& a, const RigidTransform& b) {
+  return a.yaw == b.yaw && a.translation == b.translation;
+}
+
+/// Maps the reference cloud from its capture pose into the current
+/// sensor frame. Identical FP operations on both sides (the poses
+/// round-trip through the packet header bit-exactly), so encoder and
+/// decoder predictions agree to the bit.
+PointCloud CompensateReference(const PointCloud& ref,
+                               const RigidTransform& ref_pose,
+                               const RigidTransform& cur_pose) {
+  if (SamePose(ref_pose, cur_pose)) return ref;
+  const RigidTransform inv = cur_pose.Inverse();
+  PointCloud out;
+  out.Reserve(ref.size());
+  for (const Point3& p : ref) out.Add(inv.Apply(ref_pose.Apply(p)));
+  return out;
+}
+
+/// Error-path accounting for the temporal container, mirroring the
+/// GeometryCodec NVI: one increment per failed DecodeFrame, labeled
+/// codec=Temporal plus the status code.
+void CountTemporalDecodeError(StatusCode code) {
+  obs::MetricsRegistry::Global()
+      .GetCounter(obs::LabeledName(
+          "decode_error_total",
+          {{"codec", "Temporal"}, {"reason", StatusCodeToString(code)}}))
+      ->Increment();
+}
+
+}  // namespace
+
+bool IsTemporalFrameType(uint8_t b) {
+  return b == kTemporalFrameIntra || b == kTemporalFramePredicted;
+}
+
+Result<PointCloud> TemporalGridReconstruction(const PointCloud& pc,
+                                              double q_xyz,
+                                              const SensorMetadata& sensor) {
+  DBGC_ASSIGN_OR_RETURN(GridParams grid, GridFromSensor(sensor, q_xyz));
+  return ReconstructFromGrid(grid, ProjectToGrid(pc, grid));
+}
+
+// --- TemporalEncoder --------------------------------------------------------
+
+TemporalEncoder::TemporalEncoder(TemporalConfig config)
+    : config_(std::move(config)), intra_codec_(config_.intra_options) {}
+
+void TemporalEncoder::Reset() {
+  has_reference_ = false;
+  frames_until_key_ = 0;
+  reference_ = PointCloud();
+}
+
+bool TemporalEncoder::next_is_keyframe() const {
+  return !has_reference_ || frames_until_key_ == 0;
+}
+
+Result<ByteBuffer> TemporalEncoder::EncodeFrame(const PointCloud& pc,
+                                                const RigidTransform& pose) {
+  CompressParams params;
+  params.q_xyz = config_.intra_options.q_xyz;
+  return EncodeFrame(pc, pose, params);
+}
+
+Result<ByteBuffer> TemporalEncoder::EncodeFrame(const PointCloud& pc,
+                                                const RigidTransform& pose,
+                                                const CompressParams& params) {
+  if (!PoseIsSane(pose)) {
+    return Status::InvalidArgument("temporal: pose must be finite");
+  }
+  if (config_.keyframe_interval < 1) {
+    return Status::InvalidArgument("temporal: keyframe_interval must be >= 1");
+  }
+  if (next_is_keyframe()) {
+    ByteBuffer out;
+    out.AppendByte(kTemporalFrameIntra);
+    AppendPose(&out, pose);
+    DBGC_ASSIGN_OR_RETURN(ByteBuffer intra, intra_codec_.Compress(pc, params));
+    // Closed loop: the reference is the cloud the decoder will hold, i.e.
+    // the decoded I-frame, not the input.
+    DecompressParams dec;
+    dec.pool = params.pool;
+    dec.max_threads = params.max_threads;
+    DBGC_ASSIGN_OR_RETURN(reference_, intra_codec_.Decompress(intra, dec));
+    out.Append(intra);
+    reference_pose_ = pose;
+    has_reference_ = true;
+    frames_until_key_ = config_.keyframe_interval - 1;
+    return out;
+  }
+
+  DBGC_ASSIGN_OR_RETURN(GridParams grid,
+                        GridFromSensor(config_.sensor, params.q_xyz));
+  const RangeGrid cur = ProjectToGrid(pc, grid);
+  const RangeGrid pred = ProjectToGrid(
+      CompensateReference(reference_, reference_pose_, pose), grid);
+
+  BinaryEncoder occupancy(kNumContexts, params.entropy_backend);
+  std::vector<int64_t> residuals;
+  std::vector<int64_t> novel;
+  residuals.reserve(cur.num_occupied);
+  for (uint64_t row = 0; row < grid.height; ++row) {
+    int64_t prev = 0;
+    for (uint64_t col = 0; col < grid.width; ++col) {
+      const size_t idx = static_cast<size_t>(row * grid.width + col);
+      const int bit = cur.occupied[idx];
+      const int left = col > 0 ? cur.occupied[idx - 1] : 0;
+      const int above = row > 0 ? cur.occupied[idx - grid.width] : 0;
+      occupancy.EncodeBit(ContextOf(left, above, pred.occupied[idx]), bit);
+      if (!bit) continue;
+      if (pred.occupied[idx]) {
+        residuals.push_back(cur.q[idx] - pred.q[idx]);
+      } else {
+        novel.push_back(cur.q[idx] - prev);
+      }
+      prev = cur.q[idx];
+    }
+  }
+
+  ByteBuffer out;
+  out.AppendByte(kTemporalFramePredicted);
+  AppendPose(&out, pose);
+  out.AppendByte(EntropyVersionByte(params.entropy_backend));
+  out.AppendDouble(grid.theta_min);
+  out.AppendDouble(grid.phi_max);
+  out.AppendDouble(grid.u_theta);
+  out.AppendDouble(grid.u_phi);
+  out.AppendDouble(grid.step);
+  PutVarint64(&out, grid.width);
+  PutVarint64(&out, grid.height);
+  out.AppendLengthPrefixed(occupancy.Finish());
+  out.AppendLengthPrefixed(
+      SignedValueCodec::Compress(residuals, params.entropy_backend));
+  out.AppendLengthPrefixed(
+      SignedValueCodec::Compress(novel, params.entropy_backend));
+
+  reference_ = ReconstructFromGrid(grid, cur);
+  reference_pose_ = pose;
+  --frames_until_key_;
+  return out;
+}
+
+// --- TemporalDecoder --------------------------------------------------------
+
+TemporalDecoder::TemporalDecoder(DbgcOptions intra_options,
+                                 bool count_decode_errors)
+    : intra_codec_(intra_options), count_decode_errors_(count_decode_errors) {}
+
+void TemporalDecoder::Reset() {
+  has_reference_ = false;
+  reference_ = PointCloud();
+}
+
+Result<PointCloud> TemporalDecoder::DecodeFrame(const ByteBuffer& frame) {
+  return DecodeFrame(frame, DecompressParams());
+}
+
+Result<PointCloud> TemporalDecoder::DecodeFrame(const ByteBuffer& frame,
+                                                const DecompressParams& params) {
+  Result<PointCloud> result = DecodeFrameImpl(frame, params);
+  if (!result.ok()) {
+    // Fail closed: a damaged stream yields no further P-frames until the
+    // next keyframe rebuilds the reference.
+    Reset();
+    if (count_decode_errors_) {
+      CountTemporalDecodeError(result.status().code());
+    }
+  }
+  return result;
+}
+
+Result<PointCloud> TemporalDecoder::DecodeFrameImpl(
+    const ByteBuffer& frame, const DecompressParams& params) {
+  if (frame.size() == 0) {
+    return Status::Corruption("temporal: empty frame packet");
+  }
+  const uint8_t type = frame[0];
+  if (!IsTemporalFrameType(type)) {
+    return Status::Corruption("temporal: unknown frame-type byte");
+  }
+  ByteReader reader(frame.data() + 1, frame.size() - 1);
+  RigidTransform pose;
+  DBGC_RETURN_NOT_OK(ReadPose(&reader, &pose));
+
+  if (type == kTemporalFrameIntra) {
+    // ReadPose consumed exactly the fixed header, so the intra payload is
+    // the remainder of the packet.
+    ByteBuffer payload;
+    payload.Append(frame.data() + kFrameHeaderBytes,
+                   frame.size() - kFrameHeaderBytes);
+    DBGC_ASSIGN_OR_RETURN(PointCloud cloud,
+                          intra_codec_.Decompress(payload, params));
+    reference_ = cloud;
+    reference_pose_ = pose;
+    has_reference_ = true;
+    return cloud;
+  }
+
+  if (!has_reference_) {
+    return Status::InvalidArgument(
+        "temporal: P-frame without reference (awaiting keyframe)");
+  }
+
+  uint8_t version;
+  DBGC_RETURN_NOT_OK(reader.ReadByte(&version));
+  EntropyBackend backend;
+  if (!EntropyBackendFromVersionByte(version, &backend)) {
+    return Status::Corruption("temporal: unsupported entropy version byte");
+  }
+  GridParams grid;
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&grid.theta_min));
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&grid.phi_max));
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&grid.u_theta));
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&grid.u_phi));
+  DBGC_RETURN_NOT_OK(reader.ReadDouble(&grid.step));
+  DBGC_RETURN_NOT_OK(GetVarint64(&reader, &grid.width));
+  DBGC_RETURN_NOT_OK(GetVarint64(&reader, &grid.height));
+  DBGC_RETURN_NOT_OK(ValidateGrid(grid));
+
+  const BoundedAlloc alloc(reader.remaining());
+  ByteBuffer occupancy_stream, residual_stream, novel_stream;
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&occupancy_stream));
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&residual_stream));
+  DBGC_RETURN_NOT_OK(reader.ReadLengthPrefixed(&novel_stream));
+
+  const RangeGrid pred =
+      ProjectToGrid(CompensateReference(reference_, reference_pose_, pose),
+                    grid);
+
+  std::vector<int64_t> residuals, novel;
+  DBGC_RETURN_NOT_OK(
+      SignedValueCodec::Decompress(residual_stream, &residuals, backend));
+  DBGC_RETURN_NOT_OK(
+      SignedValueCodec::Decompress(novel_stream, &novel, backend));
+
+  BinaryDecoder occupancy(occupancy_stream, kNumContexts, backend);
+  RangeGrid cur;
+  // Occupancy bits are entropy-coded (no whole-byte floor per cell), so
+  // the grid is bounded by the absolute element cap, not stream bytes.
+  DBGC_RETURN_NOT_OK(alloc.Resize(&cur.occupied, grid.area(),
+                                  /*min_bytes_each=*/0, "temporal bitmap"));
+  DBGC_RETURN_NOT_OK(alloc.Resize(&cur.q, grid.area(), /*min_bytes_each=*/0,
+                                  "temporal radial grid"));
+  size_t residual_cursor = 0, novel_cursor = 0;
+  for (uint64_t row = 0; row < grid.height; ++row) {
+    int64_t prev = 0;
+    for (uint64_t col = 0; col < grid.width; ++col) {
+      const size_t idx = static_cast<size_t>(row * grid.width + col);
+      const int left = col > 0 ? cur.occupied[idx - 1] : 0;
+      const int above = row > 0 ? cur.occupied[idx - grid.width] : 0;
+      const int bit =
+          occupancy.DecodeBit(ContextOf(left, above, pred.occupied[idx]));
+      cur.occupied[idx] = static_cast<uint8_t>(bit);
+      if (!bit) continue;
+      ++cur.num_occupied;
+      if (pred.occupied[idx]) {
+        if (residual_cursor >= residuals.size()) {
+          return Status::Corruption("temporal: residual channel underrun");
+        }
+        cur.q[idx] = pred.q[idx] + residuals[residual_cursor++];
+      } else {
+        if (novel_cursor >= novel.size()) {
+          return Status::Corruption("temporal: novel channel underrun");
+        }
+        cur.q[idx] = prev + novel[novel_cursor++];
+      }
+      prev = cur.q[idx];
+    }
+  }
+  if (residual_cursor != residuals.size() || novel_cursor != novel.size()) {
+    return Status::Corruption("temporal: radial channel mismatch");
+  }
+
+  PointCloud cloud = ReconstructFromGrid(grid, cur);
+  reference_ = cloud;
+  reference_pose_ = pose;
+  return cloud;
+}
+
+// --- Stream container -------------------------------------------------------
+
+TemporalStreamWriter::TemporalStreamWriter(TemporalConfig config)
+    : encoder_(std::move(config)) {}
+
+Result<size_t> TemporalStreamWriter::AddFrame(const PointCloud& pc,
+                                              const RigidTransform& pose) {
+  CompressParams params;
+  params.q_xyz = encoder_.config().intra_options.q_xyz;
+  return AddFrame(pc, pose, params);
+}
+
+Result<size_t> TemporalStreamWriter::AddFrame(const PointCloud& pc,
+                                              const RigidTransform& pose,
+                                              const CompressParams& params) {
+  DBGC_ASSIGN_OR_RETURN(ByteBuffer packet,
+                        encoder_.EncodeFrame(pc, pose, params));
+  frame_sizes_.push_back(packet.size());
+  payload_.Append(packet);
+  return static_cast<size_t>(packet.size());
+}
+
+ByteBuffer TemporalStreamWriter::Finish() const {
+  ByteBuffer out;
+  out.Append(kTemporalStreamMagic, 4);
+  out.AppendByte(kTemporalStreamVersion);
+  PutVarint64(&out, frame_sizes_.size());
+  for (uint64_t size : frame_sizes_) PutVarint64(&out, size);
+  out.Append(payload_);
+  return out;
+}
+
+Result<TemporalStreamReader> TemporalStreamReader::Open(
+    const ByteBuffer& stream, DbgcOptions intra_options) {
+  TemporalStreamReader reader;
+  reader.stream_ = &stream;
+  reader.decoder_ =
+      TemporalDecoder(intra_options, /*count_decode_errors=*/false);
+  ByteReader br(stream);
+  uint8_t magic[4];
+  DBGC_RETURN_NOT_OK(br.Read(magic, 4));
+  if (std::memcmp(magic, kTemporalStreamMagic, 4) != 0) {
+    return Status::Corruption("temporal stream: bad magic");
+  }
+  uint8_t version;
+  DBGC_RETURN_NOT_OK(br.ReadByte(&version));
+  if (version != kTemporalStreamVersion) {
+    return Status::Corruption("temporal stream: bad version");
+  }
+  uint64_t count;
+  DBGC_RETURN_NOT_OK(GetVarint64(&br, &count));
+  // Every frame size costs at least one index byte, so the remaining
+  // bytes bound the frame count before the reserve trusts the header.
+  const BoundedAlloc alloc(br.remaining());
+  std::vector<uint64_t> sizes;
+  DBGC_RETURN_NOT_OK(alloc.Reserve(&sizes, count, /*min_bytes_each=*/1,
+                                   "temporal stream frame index"));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t size;
+    DBGC_RETURN_NOT_OK(GetVarint64(&br, &size));
+    sizes.push_back(size);
+  }
+  size_t offset = br.position();
+  for (uint64_t size : sizes) {
+    // Subtraction form: offset + size wraps for sizes near 2^64 and would
+    // pass the additive comparison.
+    DBGC_BOUND(size, stream.size() - offset, "temporal stream frame payload");
+    reader.offsets_.push_back(offset);
+    reader.sizes_.push_back(static_cast<size_t>(size));
+    offset += static_cast<size_t>(size);
+  }
+  return reader;
+}
+
+Result<size_t> TemporalStreamReader::FrameSize(size_t index) const {
+  if (index >= sizes_.size()) {
+    return Status::OutOfRange("temporal stream: frame index out of range");
+  }
+  return sizes_[index];
+}
+
+Result<uint8_t> TemporalStreamReader::FrameType(size_t index) const {
+  if (index >= sizes_.size()) {
+    return Status::OutOfRange("temporal stream: frame index out of range");
+  }
+  if (sizes_[index] == 0) {
+    return Status::Corruption("temporal stream: empty frame packet");
+  }
+  return (*stream_)[offsets_[index]];
+}
+
+Result<ByteBuffer> TemporalStreamReader::FramePacket(size_t index) const {
+  if (index >= sizes_.size()) {
+    return Status::OutOfRange("temporal stream: frame index out of range");
+  }
+  ByteBuffer packet;
+  packet.Append(stream_->data() + offsets_[index], sizes_[index]);
+  return packet;
+}
+
+Result<PointCloud> TemporalStreamReader::DecodeNext(
+    const DecompressParams& params) {
+  DBGC_ASSIGN_OR_RETURN(ByteBuffer packet, FramePacket(next_));
+  ++next_;  // A damaged frame is still consumed.
+  return decoder_.DecodeFrame(packet, params);
+}
+
+Result<PointCloud> TemporalStreamReader::DecodeNext() {
+  return DecodeNext(DecompressParams());
+}
+
+Status TemporalStreamReader::SkipNext() {
+  if (next_ >= sizes_.size()) {
+    return Status::OutOfRange("temporal stream: frame index out of range");
+  }
+  ++next_;
+  decoder_.Reset();
+  return Status::OK();
+}
+
+}  // namespace dbgc

@@ -1,0 +1,218 @@
+// Temporal (inter-frame) compression for the streaming path (ROADMAP
+// item 1, docs/TEMPORAL.md). The paper compresses every frame
+// independently; a 10 Hz sensor stream is temporally coherent, so this
+// module adds a video-style I/P-frame scheme on top of the existing
+// intra codecs:
+//
+//   * I-frames ("keyframes") are ordinary DBGC bitstreams — the intra
+//     codecs are unchanged and every I-frame is independently decodable;
+//   * P-frames predict the current frame from the previous *decoded*
+//     frame: the reference cloud is ego-motion-compensated with the pose
+//     delta carried in the frame header, both clouds are projected onto
+//     the sensor's range-image grid, and the per-cell quantized radial
+//     values are coded as residuals against the prediction (novel cells
+//     fall back to the per-ring spatial delta of the range-image codec).
+//
+// Prediction is closed-loop: the encoder maintains the same decoded
+// reference the decoder will hold, so P-frame reconstruction is exactly
+// the grid-quantized reconstruction of the input frame (radial error
+// <= q_xyz at the sampled direction; see TemporalGridReconstruction).
+// Every frame packet starts with a frame-type byte that fails closed on
+// unknown values, followed by the sensor pose, so a transport can
+// dispatch and reorder-detect without decoding. Loss recovery: a decoder
+// that misses any frame calls Reset() and resynchronizes at the next
+// I-frame, byte-identically with an uninterrupted decoder.
+
+#ifndef DBGC_CORE_TEMPORAL_CODEC_H_
+#define DBGC_CORE_TEMPORAL_CODEC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "bitio/byte_buffer.h"
+#include "common/point_cloud.h"
+#include "common/status.h"
+#include "common/transforms.h"
+#include "core/dbgc_codec.h"
+#include "lidar/sensor_model.h"
+
+namespace dbgc {
+
+/// Frame-type byte: an intra-coded keyframe ('I'). Disjoint from the
+/// entropy version bytes (0x01/0x02) that open intra bitstreams, so a
+/// transport can tell temporal packets from bare codec payloads.
+inline constexpr uint8_t kTemporalFrameIntra = 0x49;
+/// Frame-type byte: a predicted frame ('P').
+inline constexpr uint8_t kTemporalFramePredicted = 0x50;
+
+/// True iff `b` is a known temporal frame-type byte. Decoders fail closed
+/// (Status::Corruption) on anything else.
+bool IsTemporalFrameType(uint8_t b);
+
+/// Configuration shared by the temporal encoder and stream writer.
+struct TemporalConfig {
+  /// Period of the I/P pattern: one keyframe every `keyframe_interval`
+  /// frames (1 = intra-only). Bounds the resync delay after a loss.
+  int keyframe_interval = 8;
+  /// Range-image grid used for P-frame prediction. P-frames are
+  /// self-describing (the grid travels in the packet), so the decode side
+  /// needs no copy of this.
+  SensorMetadata sensor = SensorMetadata::VelodyneHdl64e();
+  /// Options for the intra (I-frame) codec.
+  DbgcOptions intra_options;
+};
+
+/// Stateful temporal encoder: compresses a pose-stamped frame sequence
+/// into self-contained I/P packets. Frames must be fed in capture order.
+class TemporalEncoder {
+ public:
+  explicit TemporalEncoder(TemporalConfig config = TemporalConfig());
+
+  /// Compresses the next frame of the stream. `pose` maps sensor
+  /// coordinates to world coordinates at capture time; P-frames use the
+  /// pose delta against the previous frame for motion compensation.
+  /// q_xyz, thread budget, and entropy backend come from `params`.
+  Result<ByteBuffer> EncodeFrame(const PointCloud& pc,
+                                 const RigidTransform& pose,
+                                 const CompressParams& params);
+
+  /// EncodeFrame with default params (q_xyz from the intra options).
+  Result<ByteBuffer> EncodeFrame(const PointCloud& pc,
+                                 const RigidTransform& pose);
+
+  /// Drops the reference state: the next frame is forced to an I-frame
+  /// (e.g. after a session reset).
+  void Reset();
+
+  /// True when the next EncodeFrame will emit a keyframe.
+  bool next_is_keyframe() const;
+
+  const TemporalConfig& config() const { return config_; }
+
+ private:
+  TemporalConfig config_;
+  DbgcCodec intra_codec_;
+  int frames_until_key_ = 0;   // 0 = next frame is an I-frame.
+  bool has_reference_ = false;
+  PointCloud reference_;       // Previous decoded cloud, sensor-local.
+  RigidTransform reference_pose_;
+};
+
+/// Stateful temporal decoder: the receive side of TemporalEncoder.
+/// Frames must be fed in capture order; after a gap (lost or corrupt
+/// packet) every P-frame fails with InvalidArgument until the next
+/// I-frame restores the reference.
+class TemporalDecoder {
+ public:
+  /// `count_decode_errors` controls decode_error_total{codec=Temporal}
+  /// accounting: exactly one increment per failed DecodeFrame when true.
+  explicit TemporalDecoder(DbgcOptions intra_options = DbgcOptions(),
+                           bool count_decode_errors = true);
+
+  /// Decodes one frame packet. Any failure drops the reference, so the
+  /// stream fails closed until the next keyframe.
+  Result<PointCloud> DecodeFrame(const ByteBuffer& frame,
+                                 const DecompressParams& params);
+
+  /// DecodeFrame with default (serial) params.
+  Result<PointCloud> DecodeFrame(const ByteBuffer& frame);
+
+  /// Models a known loss: drops the reference so P-frames are refused
+  /// until the next I-frame.
+  void Reset();
+
+  /// True when a P-frame can currently be decoded.
+  bool has_reference() const { return has_reference_; }
+
+ private:
+  Result<PointCloud> DecodeFrameImpl(const ByteBuffer& frame,
+                                     const DecompressParams& params);
+
+  DbgcCodec intra_codec_;
+  bool count_decode_errors_;
+  bool has_reference_ = false;
+  PointCloud reference_;       // Previous decoded cloud, sensor-local.
+  RigidTransform reference_pose_;
+};
+
+/// The conformance oracle for P-frames: projects `pc` onto the sensor's
+/// range-image grid (nearest return per cell), quantizes radii at
+/// 2 * q_xyz, and reconstructs at cell centers. A decoded P-frame equals
+/// this cloud exactly — prediction only changes the bits on the wire,
+/// never the reconstruction (docs/TEMPORAL.md).
+Result<PointCloud> TemporalGridReconstruction(const PointCloud& pc,
+                                              double q_xyz,
+                                              const SensorMetadata& sensor);
+
+/// Appends pose-stamped frames to a growing temporal stream ("DBGT"
+/// container: header, frame index, concatenated I/P packets).
+class TemporalStreamWriter {
+ public:
+  explicit TemporalStreamWriter(TemporalConfig config = TemporalConfig());
+
+  /// Compresses and appends one frame with default params (q_xyz from the
+  /// intra options). Returns its compressed size.
+  Result<size_t> AddFrame(const PointCloud& pc, const RigidTransform& pose);
+
+  /// AddFrame with explicit per-frame params (thread budget, entropy
+  /// backend). Each packet records its own entropy version byte.
+  Result<size_t> AddFrame(const PointCloud& pc, const RigidTransform& pose,
+                          const CompressParams& params);
+
+  /// Number of frames appended so far.
+  size_t frame_count() const { return frame_sizes_.size(); }
+
+  /// Finalizes the stream: header, frame index, frame packets.
+  ByteBuffer Finish() const;
+
+ private:
+  TemporalEncoder encoder_;
+  std::vector<uint64_t> frame_sizes_;
+  ByteBuffer payload_;
+};
+
+/// Sequential reader over a finished temporal stream. Unlike the intra
+/// DbgcStreamReader, frames are *not* independently decodable: DecodeNext
+/// walks the stream in order, and SkipNext models a lost packet (the
+/// decoder then resynchronizes at the next keyframe).
+class TemporalStreamReader {
+ public:
+  /// Parses the stream header and frame index. The buffer must outlive
+  /// the reader.
+  static Result<TemporalStreamReader> Open(
+      const ByteBuffer& stream, DbgcOptions intra_options = DbgcOptions());
+
+  /// Number of frames in the stream.
+  size_t frame_count() const { return offsets_.size(); }
+  /// Frames consumed so far (decoded or skipped).
+  size_t position() const { return next_; }
+
+  /// Compressed size of frame `index` in bytes.
+  Result<size_t> FrameSize(size_t index) const;
+  /// The frame-type byte of frame `index` (no validation beyond bounds).
+  Result<uint8_t> FrameType(size_t index) const;
+  /// Raw packet of frame `index` — for transports that re-frame packets
+  /// (e.g. the fleet session protocol).
+  Result<ByteBuffer> FramePacket(size_t index) const;
+
+  /// Decodes the next frame in stream order.
+  Result<PointCloud> DecodeNext(const DecompressParams& params);
+  Result<PointCloud> DecodeNext();
+
+  /// Drops the next frame without decoding it (a modeled packet loss);
+  /// later P-frames fail until the next I-frame.
+  Status SkipNext();
+
+ private:
+  TemporalStreamReader() = default;
+
+  const ByteBuffer* stream_ = nullptr;
+  std::vector<size_t> offsets_;
+  std::vector<size_t> sizes_;
+  size_t next_ = 0;
+  TemporalDecoder decoder_{DbgcOptions(), /*count_decode_errors=*/false};
+};
+
+}  // namespace dbgc
+
+#endif  // DBGC_CORE_TEMPORAL_CODEC_H_

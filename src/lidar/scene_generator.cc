@@ -134,6 +134,12 @@ struct Scene {
   std::vector<Cylinder> cylinders;
   std::vector<Sphere> spheres;
   std::vector<RoughPatch> rough_patches;
+  // Local -> world offset: the ego position when this scene copy was
+  // ray-cast. Deterministic surface patterns (terrain octaves, facade
+  // windows) evaluate in world coordinates so they stay glued to the
+  // geometry as the ego drives through a sequence (GenerateSequence);
+  // zero for single-frame Generate.
+  double world_x = 0.0, world_y = 0.0;
   // Correlated terrain undulation (two sinusoidal octaves); amplitude is
   // scaled by the local rough-patch sigma. Real verges and lawns are
   // smooth at the footprint scale but undulate over meters, which is what
@@ -149,15 +155,17 @@ struct Scene {
     return sigma;
   }
 
-  // Deterministic relief height at (x, y): correlated octaves scaled by
-  // the local patch sigma.
+  // Deterministic relief height at local (x, y): correlated octaves scaled
+  // by the local patch sigma. The octaves sample world coordinates.
   double TerrainRelief(double x, double y) const {
     const double sigma = PatchSigma(x, y);
     if (sigma == 0.0) return 0.0;
-    const double o1 = std::sin(terrain_k1x * x + terrain_p1) *
-                      std::sin(terrain_k1y * y + 0.4);
-    const double o2 = std::sin(terrain_k2x * x + terrain_p2) *
-                      std::sin(terrain_k2y * y + 1.3);
+    const double wx = x + world_x;
+    const double wy = y + world_y;
+    const double o1 = std::sin(terrain_k1x * wx + terrain_p1) *
+                      std::sin(terrain_k1y * wy + 0.4);
+    const double o2 = std::sin(terrain_k2x * wx + terrain_p2) *
+                      std::sin(terrain_k2y * wy + 1.3);
     return sigma * (1.2 * o1 + 0.3 * o2);
   }
 
@@ -196,12 +204,9 @@ struct Scene {
   }
 };
 
-void AddCar(Scene* scene, Rng* rng, double x, double y, double heading_90) {
-  // Cars are modelled as two stacked boxes (body + cabin), axis-aligned for
-  // speed; heading_90 flips length/width.
-  double len = 4.2 + rng->NextRange(-0.5, 0.8);
-  double wid = 1.8 + rng->NextRange(-0.1, 0.2);
-  if (heading_90 > 0.5) std::swap(len, wid);
+// Cars are modelled as two stacked boxes (body + cabin), axis-aligned for
+// speed. The deterministic half, reused every frame for moving actors.
+void AddCarBoxes(Scene* scene, double x, double y, double len, double wid) {
   const double gz = scene->ground_z;
   scene->boxes.push_back(Box{Point3{x - len / 2, y - wid / 2, gz + 0.25},
                              Point3{x + len / 2, y + wid / 2, gz + 1.45},
@@ -210,6 +215,14 @@ void AddCar(Scene* scene, Rng* rng, double x, double y, double heading_90) {
       Box{Point3{x - len / 4, y - wid / 2 + 0.15, gz + 1.45},
           Point3{x + len / 4, y + wid / 2 - 0.15, gz + 1.75},
           Material::kVehicle});
+}
+
+void AddCar(Scene* scene, Rng* rng, double x, double y, double heading_90) {
+  // heading_90 flips length/width.
+  double len = 4.2 + rng->NextRange(-0.5, 0.8);
+  double wid = 1.8 + rng->NextRange(-0.1, 0.2);
+  if (heading_90 > 0.5) std::swap(len, wid);
+  AddCarBoxes(scene, x, y, len, wid);
 }
 
 void AddTree(Scene* scene, Rng* rng, double x, double y) {
@@ -589,36 +602,45 @@ double DropoutProbability(Material material, double r, double r_max) {
   return 0.5;
 }
 
-}  // namespace
+// Calibration jitter: the released (calibrated) cloud deviates from the
+// raw sampling grid (Figure 5). Each ring also has a fixed elevation
+// offset, as physical lasers do. Fixed per sensor unit, so a coherent
+// sequence draws it once.
+struct RingCalibration {
+  std::vector<double> offset;
+  std::vector<double> phase;
+  std::vector<double> range_bias;
+};
 
-SceneGenerator::SceneGenerator(SceneType type, uint64_t seed)
-    : type_(type), seed_(seed) {}
+RingCalibration DrawRingCalibration(const SensorMetadata& sensor, Rng* rng) {
+  const double u_theta = sensor.AzimuthStep();
+  const double u_phi = sensor.PolarStep();
+  RingCalibration calib;
+  calib.offset.resize(static_cast<size_t>(sensor.vertical_samples));
+  calib.phase.resize(static_cast<size_t>(sensor.vertical_samples));
+  calib.range_bias.resize(static_cast<size_t>(sensor.vertical_samples));
+  for (double& o : calib.offset) o = rng->NextGaussian() * 0.12 * u_phi;
+  for (double& o : calib.phase) o = rng->NextGaussian() * 0.25 * u_theta;
+  // Most of the HDL-64E's ~2 cm range error is a systematic per-laser bias
+  // that survives calibration; the per-return component is smaller.
+  for (double& o : calib.range_bias) o = rng->NextGaussian() * 0.015;
+  return calib;
+}
 
-PointCloud SceneGenerator::Generate(uint32_t frame_index,
-                                    const SensorMetadata& sensor) const {
-  const uint64_t frame_seed =
-      seed_ ^ (static_cast<uint64_t>(type_) * 0x9E3779B97F4A7C15ULL) ^
-      (static_cast<uint64_t>(frame_index) * 0xD1B54A32D192ED03ULL);
-  Rng rng(frame_seed);
-  const Scene scene = BuildScene(type_, &rng, sensor.mount_height);
-
+// Ray-casts one frame against `scene` with fixed calibration and per-frame
+// noise/dropout drawn from `rng`. The rng draw order here is pinned by the
+// golden bitstream vault (tests/golden) — keep it stable.
+PointCloud CastRays(const Scene& scene, const SensorMetadata& sensor,
+                    const RingCalibration& calib, Rng* frame_rng) {
   PointCloud pc;
   pc.Reserve(static_cast<size_t>(sensor.horizontal_samples) *
              sensor.vertical_samples / 2);
-
   const double u_theta = sensor.AzimuthStep();
   const double u_phi = sensor.PolarStep();
-  // Calibration jitter: the released (calibrated) cloud deviates from the
-  // raw sampling grid (Figure 5). Each ring also has a fixed elevation
-  // offset, as physical lasers do.
-  std::vector<double> ring_offset(sensor.vertical_samples);
-  std::vector<double> ring_phase(sensor.vertical_samples);
-  std::vector<double> ring_range_bias(sensor.vertical_samples);
-  for (double& o : ring_offset) o = rng.NextGaussian() * 0.12 * u_phi;
-  for (double& o : ring_phase) o = rng.NextGaussian() * 0.25 * u_theta;
-  // Most of the HDL-64E's ~2 cm range error is a systematic per-laser bias
-  // that survives calibration; the per-return component is smaller.
-  for (double& o : ring_range_bias) o = rng.NextGaussian() * 0.015;
+  const std::vector<double>& ring_offset = calib.offset;
+  const std::vector<double>& ring_phase = calib.phase;
+  const std::vector<double>& ring_range_bias = calib.range_bias;
+  Rng& rng = *frame_rng;
 
   for (int w = 0; w < sensor.vertical_samples; ++w) {
     const double phi0 =
@@ -657,7 +679,11 @@ PointCloud SceneGenerator::Generate(uint32_t frame_index,
         // whole windows), but it layers the wall across several octree
         // cells in depth.
         const Point3 wall_hit = dir * hit.t;
-        const double u = wall_hit.x + 0.37 * wall_hit.y;  // Along-facade.
+        // Facade coordinates are world-anchored so the window pattern
+        // stays glued to the wall as the ego moves (world_x/world_y are
+        // zero for single-frame Generate).
+        const double u = (wall_hit.x + scene.world_x) +
+                         0.37 * (wall_hit.y + scene.world_y);  // Along-facade.
         const double v = wall_hit.z + sensor.mount_height;
         const double cell_u = u - 2.2 * std::floor(u / 2.2);
         const double cell_v = v - 3.0 * std::floor(v / 3.0);
@@ -694,6 +720,122 @@ PointCloud SceneGenerator::Generate(uint32_t frame_index,
     }
   }
   return pc;
+}
+
+// Re-expresses `world` in the sensor frame at ego position (ex, ey):
+// geometry shifts by -ego while the world-anchored surface patterns keep
+// their world coordinates via world_x/world_y.
+Scene SceneAtEgo(const Scene& world, double ex, double ey) {
+  Scene local = world;
+  local.world_x = ex;
+  local.world_y = ey;
+  for (Box& b : local.boxes) {
+    b.min.x -= ex;
+    b.min.y -= ey;
+    b.max.x -= ex;
+    b.max.y -= ey;
+  }
+  for (Cylinder& c : local.cylinders) {
+    c.cx -= ex;
+    c.cy -= ey;
+  }
+  for (Sphere& s : local.spheres) {
+    s.center.x -= ex;
+    s.center.y -= ey;
+  }
+  for (RoughPatch& p : local.rough_patches) {
+    p.x0 -= ex;
+    p.x1 -= ex;
+    p.y0 -= ey;
+    p.y1 -= ey;
+  }
+  return local;
+}
+
+// A car driving through the world at constant velocity (world coords).
+struct MovingActor {
+  double x = 0.0, y = 0.0;    // Position at t = 0.
+  double vx = 0.0, vy = 0.0;  // Velocity (m/s).
+  double len = 4.2, wid = 1.8;
+};
+
+std::vector<MovingActor> DrawMovingActors(const SequenceConfig& config,
+                                          Rng* rng) {
+  std::vector<MovingActor> actors;
+  const int count = std::max(0, config.moving_actors);
+  actors.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    MovingActor a;
+    a.x = rng->NextRange(-40.0, 40.0);
+    // Oncoming and same-direction lanes on either side of the ego.
+    const double lane = (i % 2 == 0) ? 1.0 : -1.0;
+    a.y = lane * rng->NextRange(2.2, 4.8);
+    a.vx = -lane * config.actor_speed_mps * rng->NextRange(0.6, 1.4);
+    a.vy = 0.0;
+    a.len = 4.2 + rng->NextRange(-0.5, 0.8);
+    a.wid = 1.8 + rng->NextRange(-0.1, 0.2);
+    actors.push_back(a);
+  }
+  return actors;
+}
+
+}  // namespace
+
+SceneGenerator::SceneGenerator(SceneType type, uint64_t seed)
+    : type_(type), seed_(seed) {}
+
+PointCloud SceneGenerator::Generate(uint32_t frame_index,
+                                    const SensorMetadata& sensor) const {
+  const uint64_t frame_seed =
+      seed_ ^ (static_cast<uint64_t>(type_) * 0x9E3779B97F4A7C15ULL) ^
+      (static_cast<uint64_t>(frame_index) * 0xD1B54A32D192ED03ULL);
+  Rng rng(frame_seed);
+  const Scene scene = BuildScene(type_, &rng, sensor.mount_height);
+  const RingCalibration calib = DrawRingCalibration(sensor, &rng);
+  return CastRays(scene, sensor, calib, &rng);
+}
+
+std::vector<StreamFrame> SceneGenerator::GenerateSequence(
+    size_t num_frames, const SequenceConfig& config,
+    const SensorMetadata& sensor) const {
+  // A salt distinct from Generate's frame mixing: the sequence's world is
+  // its own draw, not frame 0 of the single-frame path.
+  const uint64_t sequence_seed =
+      seed_ ^ (static_cast<uint64_t>(type_) * 0x9E3779B97F4A7C15ULL) ^
+      0xC2B2AE3D27D4EB4FULL;
+  Rng rng(sequence_seed);
+  const Scene world = BuildScene(type_, &rng, sensor.mount_height);
+  const std::vector<MovingActor> actors = DrawMovingActors(config, &rng);
+  const RingCalibration calib = DrawRingCalibration(sensor, &rng);
+
+  const double dt = sensor.frames_per_second > 0.0
+                        ? 1.0 / sensor.frames_per_second
+                        : 0.1;
+  std::vector<StreamFrame> frames;
+  frames.reserve(num_frames);
+  for (size_t f = 0; f < num_frames; ++f) {
+    const double t = static_cast<double>(f) * dt;
+    const double ex = config.speed_mps * t;
+    const double ey =
+        config.lateral_period_s > 0.0
+            ? config.lateral_amplitude *
+                  std::sin(2.0 * M_PI * t / config.lateral_period_s)
+            : 0.0;
+    Scene frame_scene = SceneAtEgo(world, ex, ey);
+    for (const MovingActor& a : actors) {
+      AddCarBoxes(&frame_scene, a.x + a.vx * t - ex, a.y + a.vy * t - ey,
+                  a.len, a.wid);
+    }
+    // Per-frame measurement noise and dropout are iid across frames; the
+    // world, actors, and calibration above carry all the coherence.
+    Rng frame_rng(sequence_seed ^ 0x9FB21C651E98DF25ULL ^
+                  (static_cast<uint64_t>(f) * 0xD1B54A32D192ED03ULL));
+    StreamFrame frame;
+    frame.cloud = CastRays(frame_scene, sensor, calib, &frame_rng);
+    frame.pose = RigidTransform{0.0, Point3{ex, ey, 0.0}};
+    frames.push_back(std::move(frame));
+  }
+  return frames;
 }
 
 }  // namespace dbgc

@@ -21,6 +21,7 @@
 
 #include "common/point_cloud.h"
 #include "common/rng.h"
+#include "common/transforms.h"
 #include "lidar/sensor_model.h"
 
 namespace dbgc {
@@ -41,6 +42,26 @@ std::string SceneTypeName(SceneType type);
 /// All scene types in evaluation order.
 std::vector<SceneType> AllSceneTypes();
 
+/// Configuration of a continuous drive through one scene (the PCGen
+/// direction, PAPERS.md): the ego vehicle translates along +x at constant
+/// speed with an optional lateral sway, while `moving_actors` cars drive
+/// through the otherwise static world at constant velocities. Consecutive
+/// frames of such a drive are temporally coherent — the workload the
+/// temporal codec (docs/TEMPORAL.md) is measured on.
+struct SequenceConfig {
+  double speed_mps = 8.0;          ///< Ego forward speed along +x.
+  double lateral_amplitude = 0.4;  ///< Lateral sway amplitude (meters).
+  double lateral_period_s = 6.0;   ///< Sway period (seconds; <= 0 = none).
+  int moving_actors = 4;           ///< Cars moving relative to the world.
+  double actor_speed_mps = 6.0;    ///< Mean |velocity| of moving actors.
+};
+
+/// One pose-stamped frame of a generated drive.
+struct StreamFrame {
+  PointCloud cloud;     ///< Sensor-local points (sensor at the origin).
+  RigidTransform pose;  ///< Sensor -> world transform at capture time.
+};
+
 /// Deterministic synthetic LiDAR frame generator.
 class SceneGenerator {
  public:
@@ -56,6 +77,25 @@ class SceneGenerator {
   /// Generates a frame with the default HDL-64E profile.
   PointCloud Generate(uint32_t frame_index = 0) const {
     return Generate(frame_index, SensorMetadata::VelodyneHdl64e());
+  }
+
+  /// Generates a temporally coherent pose-stamped drive: one static world
+  /// is built from the seed, then ray-cast from the moving ego position
+  /// every frame (dt = 1 / sensor.frames_per_second). Ring calibration is
+  /// fixed for the whole sequence, as on a physical unit; only range noise
+  /// and dropout are redrawn per frame. Deterministic: equal (type, seed,
+  /// num_frames, config, metadata) produce bit-identical sequences.
+  /// Unrelated to Generate(frame_index), which rebuilds an independent
+  /// world per frame.
+  std::vector<StreamFrame> GenerateSequence(size_t num_frames,
+                                            const SequenceConfig& config,
+                                            const SensorMetadata& sensor) const;
+
+  /// GenerateSequence with the default HDL-64E profile.
+  std::vector<StreamFrame> GenerateSequence(
+      size_t num_frames, const SequenceConfig& config = SequenceConfig()) const {
+    return GenerateSequence(num_frames, config,
+                            SensorMetadata::VelodyneHdl64e());
   }
 
   SceneType type() const { return type_; }

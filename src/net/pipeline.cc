@@ -50,6 +50,11 @@ CompressionPipeline::CompressionPipeline(DbgcOptions options, int num_workers)
 CompressionPipeline::CompressionPipeline(DbgcOptions options,
                                          const Config& config)
     : codec_(std::move(options)),
+      temporal_config_(config.temporal),
+      temporal_encoder_(config.temporal.has_value()
+                            ? std::make_unique<TemporalEncoder>(
+                                  *config.temporal)
+                            : nullptr),
       owned_pool_(config.pool != nullptr
                       ? nullptr
                       : std::make_unique<ThreadPool>(
@@ -82,23 +87,33 @@ CompressionPipeline::~CompressionPipeline() {
 }
 
 uint64_t CompressionPipeline::Submit(PointCloud pc) {
+  return Submit(std::move(pc), RigidTransform());
+}
+
+uint64_t CompressionPipeline::Submit(PointCloud pc,
+                                     const RigidTransform& pose) {
   uint64_t seq = 0;
   {
     ReleasableMutexLock lock(mutex_);
     while (next_seq_ - delivered_ >= capacity_) space_cv_.Wait(lock);
-    seq = EnqueueLocked(std::move(pc));
+    seq = EnqueueLocked(std::move(pc), pose);
   }
   ScheduleCompression();
   return seq;
 }
 
 bool CompressionPipeline::TrySubmit(PointCloud pc, uint64_t* seq) {
+  return TrySubmit(std::move(pc), RigidTransform(), seq);
+}
+
+bool CompressionPipeline::TrySubmit(PointCloud pc, const RigidTransform& pose,
+                                    uint64_t* seq) {
   bool accepted = false;
   uint64_t assigned = 0;
   {
     MutexLock lock(mutex_);
     if (next_seq_ - delivered_ < capacity_) {
-      assigned = EnqueueLocked(std::move(pc));
+      assigned = EnqueueLocked(std::move(pc), pose);
       accepted = true;
     } else {
       // Refusal leaves no admission state behind, so there is no gauge
@@ -113,9 +128,15 @@ bool CompressionPipeline::TrySubmit(PointCloud pc, uint64_t* seq) {
   return true;
 }
 
-uint64_t CompressionPipeline::EnqueueLocked(PointCloud pc) {
+void CompressionPipeline::ForceKeyframe() {
+  MutexLock lock(mutex_);
+  force_keyframe_ = true;
+}
+
+uint64_t CompressionPipeline::EnqueueLocked(PointCloud pc,
+                                            const RigidTransform& pose) {
   const uint64_t seq = next_seq_++;
-  input_.push_back(Task{seq, std::move(pc)});
+  input_.push_back(Task{seq, std::move(pc), pose});
   // Publish admission exactly when the state changes, under the same lock:
   // a gauge bump can then never outlive (or predate) the queue entry it
   // accounts for, so rejects and racing releases cannot underflow the
@@ -129,7 +150,25 @@ uint64_t CompressionPipeline::EnqueueLocked(PointCloud pc) {
 }
 
 void CompressionPipeline::ScheduleCompression() {
-  pool_->Schedule([this] { CompressOne(); });
+  if (temporal_encoder_ == nullptr) {
+    pool_->Schedule([this] { CompressOne(); });
+    return;
+  }
+  // Temporal mode: at most one encode actor at a time, because the
+  // encoder's prediction state imposes strict submission order. Decide
+  // under the lock, schedule outside it (rule R10); a running actor will
+  // drain the frame we just queued.
+  bool schedule = false;
+  {
+    MutexLock lock(mutex_);
+    if (!temporal_active_ && !input_.empty()) {
+      temporal_active_ = true;
+      schedule = true;
+    }
+  }
+  if (schedule) {
+    pool_->Schedule([this] { TemporalEncodeLoop(); });
+  }
 }
 
 Result<ByteBuffer> CompressionPipeline::NextResult() {
@@ -217,6 +256,68 @@ void CompressionPipeline::CompressOne() {
     // before the destructor can proceed.
     output_cv_.NotifyAll();
     drain_cv_.NotifyAll();
+  }
+}
+
+void CompressionPipeline::TemporalEncodeLoop() {
+  Task task{0, PointCloud(), RigidTransform()};
+  bool reset_first = false;
+  {
+    MutexLock lock(mutex_);
+    // The scheduler only starts an actor after queueing a frame and
+    // claiming temporal_active_, so the queue cannot be empty here.
+    DBGC_CHECK(temporal_active_ && !input_.empty());
+    task = std::move(input_.front());
+    input_.pop_front();
+    PipelineMetrics::Get().queue_depth->Sub(1);
+    reset_first = force_keyframe_;
+    force_keyframe_ = false;
+  }
+  for (;;) {
+    if (reset_first) temporal_encoder_->Reset();
+    CompressParams params;
+    params.q_xyz = temporal_config_->intra_options.q_xyz;
+    if (max_threads_per_frame_ != 1) {
+      params.pool = pool_;
+      params.max_threads = max_threads_per_frame_;
+    }
+    Result<ByteBuffer> result = [&] {
+      obs::ScopedTimer timer(nullptr, PipelineMetrics::Get().encode_seconds);
+      return temporal_encoder_->EncodeFrame(task.cloud, task.pose, params);
+    }();
+    // A failed encode leaves no packet on the wire; restart the
+    // prediction chain so the next accepted frame is a self-contained
+    // keyframe rather than a P-frame referencing unsent state.
+    if (!result.ok()) temporal_encoder_->Reset();
+
+    bool have_next = false;
+    {
+      MutexLock lock(mutex_);
+      if (!input_.empty()) {
+        Task next = std::move(input_.front());
+        input_.pop_front();
+        PipelineMetrics::Get().queue_depth->Sub(1);
+        reset_first = force_keyframe_;
+        force_keyframe_ = false;
+        output_.emplace(task.seq, std::move(result));
+        ++completed_;
+        output_cv_.NotifyAll();
+        drain_cv_.NotifyAll();
+        task = std::move(next);
+        have_next = true;
+      } else {
+        // Publish the final result and retire the actor in ONE critical
+        // section: once completed_ == next_seq_ the destructor may tear
+        // the object down, so this lock release must be the actor's very
+        // last touch of *this.
+        temporal_active_ = false;
+        output_.emplace(task.seq, std::move(result));
+        ++completed_;
+        output_cv_.NotifyAll();
+        drain_cv_.NotifyAll();
+      }
+    }
+    if (!have_next) return;
   }
 }
 

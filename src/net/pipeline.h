@@ -18,6 +18,7 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <optional>
 
 #include "bitio/byte_buffer.h"
 #include "common/mutex.h"
@@ -25,7 +26,9 @@
 #include "common/status.h"
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
+#include "common/transforms.h"
 #include "core/dbgc_codec.h"
+#include "core/temporal_codec.h"
 
 namespace dbgc {
 
@@ -47,6 +50,14 @@ class CompressionPipeline {
     /// Shared pool to run on instead of owning one. Must outlive the
     /// pipeline. The bitstreams are identical either way.
     ThreadPool* pool = nullptr;
+    /// When set, the pipeline emits temporal I/P frame packets
+    /// (docs/TEMPORAL.md) instead of independent DBGC bitstreams. The
+    /// encoder is stateful (each P-frame predicts from the previous
+    /// reconstruction), so frames are encoded strictly in submission
+    /// order by a single pool task at a time; frame-level parallelism is
+    /// traded for the inter-frame bit savings, and intra-frame
+    /// parallelism (`max_threads_per_frame`) still applies.
+    std::optional<TemporalConfig> temporal;
   };
 
   /// Starts a pipeline owning `num_workers` compression threads (>= 1).
@@ -64,13 +75,33 @@ class CompressionPipeline {
   CompressionPipeline& operator=(const CompressionPipeline&) = delete;
 
   /// Enqueues a frame and returns its sequence number; blocks while the
-  /// in-flight window is full.
+  /// in-flight window is full. In temporal mode the frame is encoded
+  /// with an identity capture pose.
   uint64_t Submit(PointCloud pc);
+
+  /// Temporal-mode Submit carrying the sensor->world capture pose used
+  /// for ego-motion compensation. The pose is ignored in DBGC mode.
+  uint64_t Submit(PointCloud pc, const RigidTransform& pose);
 
   /// Non-blocking Submit: returns false (and does not accept the frame)
   /// when the in-flight window is full. On success stores the sequence
-  /// number through `seq` when non-null.
+  /// number through `seq` when non-null. A refused frame never reaches
+  /// the temporal encoder, so the emitted stream simply continues from
+  /// the last accepted frame — no decoder resynchronization is needed.
   bool TrySubmit(PointCloud pc, uint64_t* seq = nullptr);
+
+  /// TrySubmit with a capture pose (temporal mode).
+  bool TrySubmit(PointCloud pc, const RigidTransform& pose,
+                 uint64_t* seq = nullptr);
+
+  /// Temporal mode only (no-op otherwise): the next encoded frame is
+  /// forced to be an I-frame. The client-side response to a fleet
+  /// degradation advisory or a reported downstream loss — a keyframe
+  /// re-anchors the receiver without waiting out the keyframe interval.
+  void ForceKeyframe();
+
+  /// Whether the pipeline emits temporal I/P packets.
+  bool temporal() const { return temporal_config_.has_value(); }
 
   /// Blocks until the next frame (in submission order) is compressed and
   /// returns its bitstream. Fails if called more times than Submit.
@@ -104,9 +135,17 @@ class CompressionPipeline {
   struct Task {
     uint64_t seq;
     PointCloud cloud;
+    RigidTransform pose;
   };
 
   void CompressOne();
+
+  /// Temporal-mode actor: drains queued frames strictly in submission
+  /// order through the stateful encoder. At most one instance runs at a
+  /// time (temporal_active_); the last instance clears the flag in the
+  /// same critical section that publishes its final result, so tear-down
+  /// can never race a re-lock.
+  void TemporalEncodeLoop();
 
   /// Appends the frame, assigns its sequence number, and publishes the
   /// admission metrics under the lock — gauge bumps happen exactly when
@@ -114,12 +153,20 @@ class CompressionPipeline {
   /// deliveries, and the draining destructor can underflow them. The
   /// caller schedules the compression *after* releasing the lock (lock
   /// discipline R10: no pool call while a lock is held).
-  uint64_t EnqueueLocked(PointCloud pc) DBGC_REQUIRES(mutex_);
+  uint64_t EnqueueLocked(PointCloud pc, const RigidTransform& pose)
+      DBGC_REQUIRES(mutex_);
 
-  /// Schedules one compression task. Must be called without mutex_ held.
+  /// Schedules one compression task (or, in temporal mode, the single
+  /// ordered encode actor if none is running). Must be called without
+  /// mutex_ held.
   void ScheduleCompression() DBGC_EXCLUDES(mutex_);
 
   const DbgcCodec codec_;
+  const std::optional<TemporalConfig> temporal_config_;
+  /// Stateful I/P encoder; thread-confined to the single active
+  /// TemporalEncodeLoop task (temporal_active_ hands off ownership under
+  /// mutex_), so it needs no lock of its own. Null in DBGC mode.
+  const std::unique_ptr<TemporalEncoder> temporal_encoder_;
   const std::unique_ptr<ThreadPool> owned_pool_;
   ThreadPool* const pool_;  // owned_pool_.get() or the shared Config::pool.
   const size_t capacity_;
@@ -136,6 +183,8 @@ class CompressionPipeline {
   uint64_t delivered_ DBGC_GUARDED_BY(mutex_) = 0;
   uint64_t completed_ DBGC_GUARDED_BY(mutex_) = 0;
   uint64_t rejected_ DBGC_GUARDED_BY(mutex_) = 0;
+  bool temporal_active_ DBGC_GUARDED_BY(mutex_) = false;
+  bool force_keyframe_ DBGC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace dbgc

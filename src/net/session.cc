@@ -142,6 +142,8 @@ FrameAck SessionManager::SubmitFrame(uint64_t session_id,
 
   FrameAck ack;
   MemoryFrameStore* store = nullptr;
+  bool temporal = false;
+  bool start_temporal_actor = false;
   {
     MutexLock lock(mutex_);
     m.submitted->Increment();
@@ -173,10 +175,17 @@ FrameAck SessionManager::SubmitFrame(uint64_t session_id,
       }
     }
 
+    // A temporal I/P packet (docs/TEMPORAL.md) is recognized by its
+    // frame-type byte; the decoder itself fails closed on unknown values,
+    // so this sniff only routes between the parallel DBGC path and the
+    // per-session ordered temporal path.
+    temporal = parsed.ok() && !parsed.value().payload.empty() &&
+               IsTemporalFrameType(parsed.value().payload[0]);
+
     if (ack.verdict == AdmitVerdict::kAccepted) {
       // Publish admission exactly when the state changes, under the lock
       // (the pipeline gauge discipline): the inflight share is released by
-      // DecodeOne under this same lock.
+      // the decode task under this same lock.
       ++inflight_;
       ++session->stats.inflight;
       ++session->stats.accepted;
@@ -184,8 +193,39 @@ FrameAck SessionManager::SubmitFrame(uint64_t session_id,
       m.accepted->Increment();
       m.inflight->Add(1);
       store = session->store.get();
+      if (temporal) {
+        if (session->temporal_decoder == nullptr) {
+          session->temporal_decoder = std::make_unique<TemporalDecoder>(
+              config_.options, /*count_decode_errors=*/true);
+        }
+        TemporalJob job;
+        job.frame = parsed.value();
+        job.admit_time = admit_time;
+        job.wire_bytes = wire.size();
+        // Consume the gap marker with the job it precedes: the actor
+        // resets the decoder right before this frame, so every P-frame
+        // between the loss and the next I-frame fails closed.
+        job.reset_before = session->temporal_gap;
+        session->temporal_gap = false;
+        session->temporal_queue.push_back(std::move(job));
+        if (!session->temporal_active) {
+          session->temporal_active = true;
+          start_temporal_actor = true;
+        }
+      }
     } else {
-      if (session != nullptr) ++session->stats.rejected;
+      if (session != nullptr) {
+        ++session->stats.rejected;
+        // A refused submission is a hole in the prediction chain when the
+        // session streams temporal packets — including unparseable wire
+        // frames, whose payload type is unknowable but which the sender's
+        // encoder did count. Remember it so the decoder resynchronizes at
+        // the next keyframe instead of predicting from state the sender
+        // has moved past.
+        if (temporal || session->temporal_decoder != nullptr) {
+          session->temporal_gap = true;
+        }
+      }
       m.rejected[static_cast<int>(ack.verdict)]->Increment();
     }
 
@@ -195,9 +235,21 @@ FrameAck SessionManager::SubmitFrame(uint64_t session_id,
     if (ack.degrade != DegradeLevel::kNone) {
       m.degrade_advised[static_cast<int>(ack.degrade)]->Increment();
     }
+
   }
 
   if (ack.verdict != AdmitVerdict::kAccepted) return ack;
+
+  if (temporal) {
+    // Archive and (when this submission claimed the actor slot) start the
+    // ordered decode actor — both outside the lock (rule R10). The queued
+    // job owns its own copy of the frame, so `parsed` is only read here.
+    (void)store->Put(ack.frame_id, parsed.value().payload, session_id);
+    if (start_temporal_actor) {
+      pool_->Schedule([this, session_id] { DecodeTemporalLoop(session_id); });
+    }
+    return ack;
+  }
 
   // Archive and schedule outside the lock (lock discipline R10: store Put
   // and pool Schedule are blocking calls). The store pointer stays valid —
@@ -212,61 +264,52 @@ FrameAck SessionManager::SubmitFrame(uint64_t session_id,
   return ack;
 }
 
-void SessionManager::DecodeOne(uint64_t session_id, Frame frame,
-                               double admit_time, size_t wire_bytes) {
+FleetFrameReport SessionManager::RetireFrameLocked(
+    uint64_t session_id, uint64_t frame_id, Result<PointCloud> decoded,
+    double admit_time, double decode_start, double done, size_t wire_bytes) {
   const FleetMetrics& m = FleetMetrics::Get();
-  DecompressParams params;
-  if (config_.max_threads_per_frame != 1) {
-    // Nested use of the shared pool: ParallelFor callers always run chunks
-    // themselves, so frames make progress even with every worker busy.
-    params.pool = pool_;
-    params.max_threads = config_.max_threads_per_frame;
-  }
-  const double decode_start = obs::MonotonicSeconds();
-  Result<PointCloud> decoded = codec_.Decompress(frame.payload, params);
-  const double done = obs::MonotonicSeconds();
   m.decode_seconds->Observe(done - decode_start);
   m.e2e_seconds->Observe(done - admit_time);
 
   FleetFrameReport report;
   report.session_id = session_id;
-  report.frame_id = frame.frame_id;
+  report.frame_id = frame_id;
   report.ok = decoded.ok();
   report.wire_bytes = wire_bytes;
   report.num_points = decoded.ok() ? decoded.value().size() : 0;
   report.e2e_seconds = done - admit_time;
   report.decode_seconds = done - decode_start;
 
-  {
-    MutexLock lock(mutex_);
-    auto it = sessions_.find(session_id);
-    DBGC_CHECK(it != sessions_.end());  // Sessions are never erased.
-    Session& session = *it->second;
-    if (decoded.ok()) {
-      ++session.stats.decoded;
-      // Concurrent decodes of one session finish in any order; "latest" is
-      // the highest frame id, not the last completion, so interleaving
-      // never changes the result.
-      if (!session.has_cloud || frame.frame_id >= session.latest_decoded_id) {
-        session.latest_decoded_id = frame.frame_id;
-        session.has_cloud = true;
-        session.latest_cloud = std::move(decoded).value();
-      }
-      m.decoded->Increment();
-    } else {
-      ++session.stats.decode_errors;
-      m.decode_errors->Increment();
+  auto it = sessions_.find(session_id);
+  DBGC_CHECK(it != sessions_.end());  // Sessions are never erased.
+  Session& session = *it->second;
+  if (decoded.ok()) {
+    ++session.stats.decoded;
+    // Concurrent decodes of one session finish in any order; "latest" is
+    // the highest frame id, not the last completion, so interleaving
+    // never changes the result.
+    if (!session.has_cloud || frame_id >= session.latest_decoded_id) {
+      session.latest_decoded_id = frame_id;
+      session.has_cloud = true;
+      session.latest_cloud = std::move(decoded).value();
     }
-    // Release the admission slot exactly where its state dies (see
-    // SubmitFrame): new frames may be admitted while the completion
-    // callback below still runs.
-    DBGC_CHECK(session.stats.inflight > 0);
-    DBGC_CHECK(inflight_ > 0);
-    --session.stats.inflight;
-    --inflight_;
-    m.inflight->Sub(1);
+    m.decoded->Increment();
+  } else {
+    ++session.stats.decode_errors;
+    m.decode_errors->Increment();
   }
+  // Release the admission slot exactly where its state dies (see
+  // SubmitFrame): new frames may be admitted while the completion
+  // callback still runs.
+  DBGC_CHECK(session.stats.inflight > 0);
+  DBGC_CHECK(inflight_ > 0);
+  --session.stats.inflight;
+  --inflight_;
+  m.inflight->Sub(1);
+  return report;
+}
 
+void SessionManager::FinishFrame(const FleetFrameReport& report) {
   // User callback outside the lock (it may block, and decode results must
   // not serialize behind it) but BEFORE the frame retires: Drain() and the
   // destructor wait on completed_, so advancing it first would let them
@@ -281,6 +324,88 @@ void SessionManager::DecodeOne(uint64_t session_id, Frame frame,
     // re-check that condition while holding mutex_ — so notifying here
     // guarantees this thread is done with the object before tear-down.
     drain_cv_.NotifyAll();
+  }
+}
+
+void SessionManager::DecodeOne(uint64_t session_id, Frame frame,
+                               double admit_time, size_t wire_bytes) {
+  DecompressParams params;
+  if (config_.max_threads_per_frame != 1) {
+    // Nested use of the shared pool: ParallelFor callers always run chunks
+    // themselves, so frames make progress even with every worker busy.
+    params.pool = pool_;
+    params.max_threads = config_.max_threads_per_frame;
+  }
+  const double decode_start = obs::MonotonicSeconds();
+  Result<PointCloud> decoded = codec_.Decompress(frame.payload, params);
+  const double done = obs::MonotonicSeconds();
+
+  FleetFrameReport report;
+  {
+    MutexLock lock(mutex_);
+    report = RetireFrameLocked(session_id, frame.frame_id, std::move(decoded),
+                               admit_time, decode_start, done, wire_bytes);
+  }
+  FinishFrame(report);
+}
+
+void SessionManager::DecodeTemporalLoop(uint64_t session_id) {
+  DecompressParams params;
+  if (config_.max_threads_per_frame != 1) {
+    params.pool = pool_;
+    params.max_threads = config_.max_threads_per_frame;
+  }
+
+  TemporalJob job;
+  TemporalDecoder* decoder = nullptr;
+  {
+    MutexLock lock(mutex_);
+    auto it = sessions_.find(session_id);
+    DBGC_CHECK(it != sessions_.end());
+    Session& session = *it->second;
+    // SubmitFrame only starts an actor after queueing a job and claiming
+    // temporal_active, so the queue cannot be empty here.
+    DBGC_CHECK(session.temporal_active && !session.temporal_queue.empty());
+    job = std::move(session.temporal_queue.front());
+    session.temporal_queue.pop_front();
+    decoder = session.temporal_decoder.get();
+  }
+
+  for (;;) {
+    // An admission gap directly before this frame: the sender's
+    // prediction chain references a frame this decoder never saw, so
+    // drop the reference and fail P-frames closed until the next
+    // I-frame re-anchors the stream (docs/TEMPORAL.md loss contract).
+    if (job.reset_before) decoder->Reset();
+    const double decode_start = obs::MonotonicSeconds();
+    Result<PointCloud> decoded =
+        decoder->DecodeFrame(job.frame.payload, params);
+    const double done = obs::MonotonicSeconds();
+
+    FleetFrameReport report;
+    bool have_next = false;
+    TemporalJob next;
+    {
+      MutexLock lock(mutex_);
+      report = RetireFrameLocked(session_id, job.frame.frame_id,
+                                 std::move(decoded), job.admit_time,
+                                 decode_start, done, job.wire_bytes);
+      Session& session = *sessions_.find(session_id)->second;
+      if (!session.temporal_queue.empty()) {
+        next = std::move(session.temporal_queue.front());
+        session.temporal_queue.pop_front();
+        have_next = true;
+      } else {
+        // Retire the actor in the same critical section that found the
+        // queue empty: a later SubmitFrame then starts a fresh actor,
+        // and the two can never own the decoder concurrently — this
+        // task's decoder use ended above.
+        session.temporal_active = false;
+      }
+    }
+    FinishFrame(report);
+    if (!have_next) return;
+    job = std::move(next);
   }
 }
 

@@ -25,6 +25,7 @@
 #define DBGC_NET_SESSION_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -36,6 +37,7 @@
 #include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/dbgc_codec.h"
+#include "core/temporal_codec.h"
 #include "net/frame_protocol.h"
 #include "net/frame_store.h"
 
@@ -156,6 +158,17 @@ class SessionManager {
   size_t budget() const { return budget_; }
 
  private:
+  /// One admitted temporal frame queued for the session's ordered decode
+  /// actor. `reset_before` marks an admission gap directly before this
+  /// frame (a rejected or unparseable temporal packet): the decoder must
+  /// drop its reference and fail P-frames closed until the next I-frame.
+  struct TemporalJob {
+    Frame frame;
+    double admit_time = 0.0;
+    size_t wire_bytes = 0;
+    bool reset_before = false;
+  };
+
   struct Session {
     std::string name;
     bool open = true;
@@ -164,11 +177,45 @@ class SessionManager {
     uint64_t latest_decoded_id = 0;
     bool has_cloud = false;
     PointCloud latest_cloud;
+    /// Stateful I/P decoder (docs/TEMPORAL.md), created on the first
+    /// temporal packet; thread-confined to the single active
+    /// DecodeTemporalLoop task (temporal_active hands off ownership
+    /// under SessionManager::mutex_).
+    std::unique_ptr<TemporalDecoder> temporal_decoder;
+    /// Admitted temporal frames awaiting the ordered decode actor.
+    std::deque<TemporalJob> temporal_queue;
+    /// Whether a DecodeTemporalLoop task currently owns the decoder.
+    bool temporal_active = false;
+    /// A temporal packet was refused since the last admitted one; the
+    /// next admitted job carries reset_before.
+    bool temporal_gap = false;
   };
 
   /// Decodes one admitted frame on a pool thread and retires it.
   void DecodeOne(uint64_t session_id, Frame frame, double admit_time,
                  size_t wire_bytes);
+
+  /// Ordered decode actor for one session's temporal frames: drains the
+  /// session's queue strictly in admission order through the stateful
+  /// decoder. At most one instance per session runs at a time; the last
+  /// instance retires itself in the same critical section that claims
+  /// there is no further work.
+  void DecodeTemporalLoop(uint64_t session_id);
+
+  /// First half of frame retirement, under the lock: session stats,
+  /// latest-cloud update, admission-slot release. Factored so the
+  /// ordered temporal path and the parallel DBGC path retire
+  /// identically. Returns the completion report for FinishFrame.
+  FleetFrameReport RetireFrameLocked(uint64_t session_id, uint64_t frame_id,
+                                     Result<PointCloud> decoded,
+                                     double admit_time, double decode_start,
+                                     double done, size_t wire_bytes)
+      DBGC_REQUIRES(mutex_);
+
+  /// Second half: completion callback outside the lock, then the
+  /// completed_ advance that Drain() and the destructor fence on. Must
+  /// be the caller's last touch of *this for the frame.
+  void FinishFrame(const FleetFrameReport& report) DBGC_EXCLUDES(mutex_);
 
   /// The degradation level for `inflight` frames against the budget.
   DegradeLevel DegradeFor(size_t inflight) const;

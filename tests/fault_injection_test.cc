@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "core/stream_codec.h"
+#include "core/temporal_codec.h"
 #include "harness/codec_registry.h"
+#include "lidar/scene_generator.h"
 #include "harness/corpus.h"
 #include "harness/fault_injection.h"
 #include "net/frame_protocol.h"
@@ -238,6 +240,95 @@ TEST(FaultInjectionTest, VersionByteMismatchCountedExactlyOnce) {
           << registered.id << ": version-byte mismatch must count exactly "
           << "one decode error";
     }
+  }
+}
+
+TEST(FaultInjectionTest, TemporalFrameFaultsCountedExactlyOnce) {
+  // The temporal decode path (docs/TEMPORAL.md) fails before any inner
+  // DBGC decode on its two container-level headers — the frame-type byte
+  // and the pose doubles — so each such failure must charge exactly one
+  // decode_error_total{codec="Temporal", reason=...} increment, and a
+  // successful decode none (docs/OBSERVABILITY.md).
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "built with DBGC_OBS_OFF";
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+
+  const SensorMetadata sensor = SensorMetadata::VelodyneHdl64e(128);
+  const SceneGenerator gen(SceneType::kCity);
+  const std::vector<StreamFrame> drive =
+      gen.GenerateSequence(2, SequenceConfig(), sensor);
+  TemporalConfig config;
+  config.sensor = sensor;
+  TemporalEncoder encoder(config);
+  auto i_packet = encoder.EncodeFrame(drive[0].cloud, drive[0].pose);
+  auto p_packet = encoder.EncodeFrame(drive[1].cloud, drive[1].pose);
+  ASSERT_TRUE(i_packet.ok() && p_packet.ok());
+
+  const std::string prefix =
+      obs::LabeledName("decode_error_total", {{"codec", "Temporal"}});
+  const std::string codec_prefix = prefix.substr(0, prefix.size() - 1);
+  TemporalDecoder decoder(DbgcOptions(), /*count_decode_errors=*/true);
+
+  // Success path: I then P, no counter movement anywhere.
+  {
+    const uint64_t before =
+        registry.SumCountersWithPrefix("decode_error_total");
+    ASSERT_TRUE(decoder.DecodeFrame(i_packet.value()).ok());
+    ASSERT_TRUE(decoder.DecodeFrame(p_packet.value()).ok());
+    EXPECT_EQ(registry.SumCountersWithPrefix("decode_error_total"), before)
+        << "successful temporal decode bumped an error counter";
+  }
+
+  struct FaultCase {
+    std::string name;
+    ByteBuffer packet;
+  };
+  std::vector<FaultCase> faults;
+  {
+    ByteBuffer bad_type = p_packet.value();
+    bad_type.mutable_bytes()[0] = 0x7F;
+    faults.push_back({"unknown frame-type byte", std::move(bad_type)});
+  }
+  {
+    ByteBuffer bad_pose = i_packet.value();
+    ByteBuffer nan;
+    nan.AppendDouble(std::numeric_limits<double>::quiet_NaN());
+    for (size_t b = 0; b < 8; ++b) bad_pose.mutable_bytes()[1 + b] = nan[b];
+    faults.push_back({"NaN pose header", std::move(bad_pose)});
+  }
+  {
+    ByteBuffer truncated;
+    truncated.Append(i_packet.value().data(), 17);  // Mid-pose cut.
+    faults.push_back({"pose header truncation", std::move(truncated)});
+  }
+  faults.push_back({"empty packet", ByteBuffer()});
+
+  for (const FaultCase& fault : faults) {
+    // Re-prime: each failure resets the decoder's reference.
+    ASSERT_TRUE(decoder.DecodeFrame(i_packet.value()).ok());
+    const uint64_t all_before =
+        registry.SumCountersWithPrefix("decode_error_total");
+    const uint64_t mine_before = registry.SumCountersWithPrefix(codec_prefix);
+    auto decoded = decoder.DecodeFrame(fault.packet);
+    ASSERT_FALSE(decoded.ok()) << fault.name;
+    EXPECT_EQ(registry.SumCountersWithPrefix("decode_error_total"),
+              all_before + 1)
+        << fault.name << ": must count exactly one decode error";
+    EXPECT_EQ(registry.SumCountersWithPrefix(codec_prefix), mine_before + 1)
+        << fault.name << ": charged the wrong codec label";
+    EXPECT_FALSE(decoder.has_reference())
+        << fault.name << ": failed decode must drop the reference";
+  }
+
+  // A P-frame arriving after the loss-induced reset is a counted failure
+  // too — the resynchronization wait is an error the fleet must see.
+  {
+    decoder.Reset();
+    const uint64_t before = registry.SumCountersWithPrefix(codec_prefix);
+    ASSERT_FALSE(decoder.DecodeFrame(p_packet.value()).ok());
+    EXPECT_EQ(registry.SumCountersWithPrefix(codec_prefix), before + 1)
+        << "P-without-reference must count exactly one decode error";
   }
 }
 

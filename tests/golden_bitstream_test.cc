@@ -13,9 +13,11 @@
 #include <string>
 
 #include "common/thread_pool.h"
+#include "core/temporal_codec.h"
 #include "harness/codec_registry.h"
 #include "harness/corpus.h"
 #include "harness/golden.h"
+#include "lidar/scene_generator.h"
 
 namespace dbgc {
 namespace {
@@ -238,6 +240,83 @@ TEST_F(GoldenBitstreamTest, BitstreamInvariantUnderThreadCount) {
                "merged in deterministic order (docs/PARALLELISM.md).";
       }
     }
+  }
+}
+
+// Golden stream vault for the temporal I/P codec: a short coherent drive
+// through every scene family is encoded into one "DBGT" stream and its
+// bytes pinned in tests/golden/<scene>.temporal.golden. P-frame bits
+// depend on the closed prediction loop, so this also freezes the
+// reference-reconstruction arithmetic end to end. Thread budgets 1/2/8
+// must reproduce the serial bytes before hashing — the same determinism
+// contract the per-codec vault enforces.
+TEST_F(GoldenBitstreamTest, TemporalSequenceVault) {
+  ThreadPool pool(8);
+  const SensorMetadata sensor = SensorMetadata::VelodyneHdl64e(512);
+  for (SceneType type : AllSceneTypes()) {
+    const std::string scene = SceneTypeName(type);
+    SCOPED_TRACE(scene);
+    SceneGenerator generator(type);
+    const std::vector<StreamFrame> drive =
+        generator.GenerateSequence(4, SequenceConfig(), sensor);
+
+    TemporalConfig config;
+    config.keyframe_interval = 3;  // Exercises I, P, and the I-resync.
+    config.sensor = sensor;
+    config.intra_options.q_xyz = harness::kConformanceQ;
+
+    auto encode = [&](ThreadPool* p, int budget) {
+      TemporalStreamWriter writer(config);
+      for (const StreamFrame& frame : drive) {
+        CompressParams params;
+        params.q_xyz = harness::kConformanceQ;
+        params.pool = p;
+        params.max_threads = budget;
+        auto added = writer.AddFrame(frame.cloud, frame.pose, params);
+        EXPECT_TRUE(added.ok()) << added.status().ToString();
+      }
+      return writer.Finish();
+    };
+
+    const ByteBuffer serial = encode(nullptr, 0);
+    for (int budget : {1, 2, 8}) {
+      ASSERT_TRUE(encode(&pool, budget) == serial)
+          << "TEMPORAL BITSTREAM DEPENDS ON THREAD COUNT for scene '"
+          << scene << "' at budget " << budget;
+    }
+
+    std::vector<GoldenEntry> actual;
+    GoldenEntry e;
+    e.case_id = "drive4.key3";
+    e.size = serial.size();
+    e.hash = harness::HashHex(serial);
+    actual.push_back(std::move(e));
+
+    const std::string path = harness::GoldenPath(scene + ".temporal");
+    if (harness::RegenRequested()) {
+      const Status st = harness::WriteGoldenFile(path, actual);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+      GTEST_LOG_(INFO) << "regenerated " << path;
+      continue;
+    }
+    auto golden = harness::LoadGoldenFile(path);
+    ASSERT_TRUE(golden.ok())
+        << "No temporal golden vault for scene '" << scene << "' ("
+        << golden.status().ToString()
+        << "). Generate with DBGC_REGEN_GOLDEN=1 ctest -R GoldenBitstream.";
+    ASSERT_EQ(golden.value().size(), actual.size()) << scene;
+    const GoldenEntry& pinned = golden.value().front();
+    ASSERT_EQ(pinned.case_id, actual.front().case_id) << scene;
+    EXPECT_TRUE(pinned.hash == actual.front().hash &&
+                pinned.size == actual.front().size)
+        << "TEMPORAL STREAM FORMAT CHANGE for scene '" << scene
+        << "':\n  golden: size " << pinned.size << ", hash " << pinned.hash
+        << "\n  actual: size " << actual.front().size << ", hash "
+        << actual.front().hash
+        << "\nIf this PR intentionally changes the DBGT wire format or the "
+           "prediction loop, regenerate (DBGC_REGEN_GOLDEN=1 ctest -R "
+           "GoldenBitstream) and commit tests/golden/. Otherwise stored "
+           "temporal streams may no longer decode bit-exactly.";
   }
 }
 

@@ -10,6 +10,7 @@
 #include "codec/raw_codec.h"
 #include "core/dbgc_codec.h"
 #include "core/stream_codec.h"
+#include "core/temporal_codec.h"
 
 namespace dbgc {
 namespace harness {
@@ -57,6 +58,40 @@ class StreamFrameCodec : public GeometryCodec {
   }
 };
 
+// Adapts the temporal I/P stream container ("DBGT") to the GeometryCodec
+// interface: one frame per stream, which is always an I-frame. This puts
+// the container framing — frame-type byte, pose header, frame index —
+// under the same golden/differential/fault coverage as the intra codecs;
+// P-frame prediction itself is covered by tests/temporal_stream_test.cc.
+class TemporalFrameCodec : public GeometryCodec {
+ public:
+  std::string name() const override { return "Temporal"; }
+
+ protected:
+  Result<ByteBuffer> CompressImpl(const PointCloud& pc,
+                                  const CompressParams& params) const override {
+    TemporalConfig config;
+    config.intra_options = ConformanceDbgcOptions();
+    config.intra_options.q_xyz = params.q_xyz;
+    TemporalStreamWriter writer(config);
+    DBGC_ASSIGN_OR_RETURN(size_t bytes,
+                          writer.AddFrame(pc, RigidTransform(), params));
+    (void)bytes;
+    return writer.Finish();
+  }
+
+  Result<PointCloud> DecompressImpl(
+      const ByteBuffer& buffer, const DecompressParams& params) const override {
+    DBGC_ASSIGN_OR_RETURN(
+        TemporalStreamReader reader,
+        TemporalStreamReader::Open(buffer, ConformanceDbgcOptions()));
+    if (reader.frame_count() != 1) {
+      return Status::Corruption("temporal conformance: expected one frame");
+    }
+    return reader.DecodeNext(params);
+  }
+};
+
 }  // namespace
 
 std::vector<RegisteredCodec> AllRegisteredCodecs() {
@@ -100,6 +135,8 @@ std::vector<RegisteredCodec> AllRegisteredCodecs() {
                     range_traits});
   codecs.push_back({"raw", std::make_unique<RawCodec>(), raw_traits});
   codecs.push_back({"stream", std::make_unique<StreamFrameCodec>(),
+                    stream_traits});
+  codecs.push_back({"temporal", std::make_unique<TemporalFrameCodec>(),
                     stream_traits});
   return codecs;
 }

@@ -1263,5 +1263,240 @@ TEST(FleetStress, ConcurrentSubmittersStayConsistent) {
   EXPECT_EQ(decoded_sum, accepted.load());
 }
 
+// ---------------------------------------------------------------------------
+// Temporal I/P streaming over the net layers (docs/TEMPORAL.md): the
+// pipeline's ordered encode actor and the fleet session's ordered decode
+// actor with keyframe resynchronization after an admission loss.
+
+SensorMetadata TemporalNetSensor() {
+  return SensorMetadata::VelodyneHdl64e(256);
+}
+
+TemporalConfig TemporalNetConfig() {
+  TemporalConfig config;
+  config.keyframe_interval = 3;
+  config.sensor = TemporalNetSensor();
+  return config;
+}
+
+std::vector<StreamFrame> TemporalNetDrive(size_t num_frames) {
+  const SceneGenerator gen(SceneType::kCity);
+  return gen.GenerateSequence(num_frames, SequenceConfig(),
+                              TemporalNetSensor());
+}
+
+TEST(TemporalPipelineTest, OrderedPacketsMatchSerialEncoder) {
+  const std::vector<StreamFrame> drive = TemporalNetDrive(5);
+  CompressionPipeline::Config config;
+  config.num_workers = 2;
+  config.temporal = TemporalNetConfig();
+  CompressionPipeline pipeline(DbgcOptions(), config);
+  ASSERT_TRUE(pipeline.temporal());
+  for (const StreamFrame& frame : drive) {
+    pipeline.Submit(frame.cloud, frame.pose);
+  }
+  ASSERT_TRUE(pipeline.Drain().ok());
+
+  // Despite two pool workers, the single encode actor must produce the
+  // exact packet sequence of a serial encoder: I P P I P.
+  TemporalEncoder reference(TemporalNetConfig());
+  for (size_t i = 0; i < drive.size(); ++i) {
+    auto got = pipeline.NextResult();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    CompressParams params;
+    params.q_xyz = TemporalNetConfig().intra_options.q_xyz;
+    auto want = reference.EncodeFrame(drive[i].cloud, drive[i].pose, params);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.value() == want.value())
+        << "pipeline packet " << i << " differs from the serial encoder";
+    EXPECT_EQ(got.value()[0], i % 3 == 0 ? kTemporalFrameIntra
+                                         : kTemporalFramePredicted);
+  }
+}
+
+TEST(TemporalPipelineTest, ForceKeyframeRestartsTheChain) {
+  const std::vector<StreamFrame> drive = TemporalNetDrive(4);
+  CompressionPipeline::Config config;
+  config.num_workers = 1;
+  TemporalConfig temporal = TemporalNetConfig();
+  temporal.keyframe_interval = 100;  // Interval alone would emit I once.
+  config.temporal = temporal;
+  CompressionPipeline pipeline(DbgcOptions(), config);
+
+  auto next_type = [&](const StreamFrame& frame) {
+    pipeline.Submit(frame.cloud, frame.pose);
+    auto result = pipeline.NextResult();
+    EXPECT_TRUE(result.ok());
+    return result.ok() ? result.value()[0] : uint8_t{0};
+  };
+  EXPECT_EQ(next_type(drive[0]), kTemporalFrameIntra);
+  EXPECT_EQ(next_type(drive[1]), kTemporalFramePredicted);
+  // The client-side reaction to a degradation advisory or loss report.
+  pipeline.ForceKeyframe();
+  EXPECT_EQ(next_type(drive[2]), kTemporalFrameIntra);
+  EXPECT_EQ(next_type(drive[3]), kTemporalFramePredicted);
+}
+
+TEST(TemporalPipelineTest, RefusedFrameLeavesStreamDecodable) {
+  const std::vector<StreamFrame> drive = TemporalNetDrive(3);
+  ThreadPool pool(1);
+  auto blocker = std::make_unique<PoolBlocker>(&pool, 1);
+  CompressionPipeline::Config config;
+  config.pool = &pool;
+  config.queue_capacity = 1;
+  config.temporal = TemporalNetConfig();
+  CompressionPipeline pipeline(DbgcOptions(), config);
+
+  // Frame 0 fills the window while the pool is blocked; frame 1 is
+  // refused — an admission loss on the *encode* side. It never reaches
+  // the encoder, so the emitted stream has no hole: frame 2's P-packet
+  // predicts from frame 0's reconstruction.
+  EXPECT_TRUE(pipeline.TrySubmit(drive[0].cloud, drive[0].pose, nullptr));
+  EXPECT_FALSE(pipeline.TrySubmit(drive[1].cloud, drive[1].pose, nullptr));
+  EXPECT_EQ(pipeline.rejected(), 1u);
+  blocker->Release();
+  auto first = pipeline.NextResult();
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(pipeline.TrySubmit(drive[2].cloud, drive[2].pose, nullptr));
+  ASSERT_TRUE(pipeline.Drain().ok());
+  auto second = pipeline.NextResult();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value()[0], kTemporalFramePredicted);
+
+  TemporalDecoder decoder(DbgcOptions(), /*count_decode_errors=*/false);
+  ASSERT_TRUE(decoder.DecodeFrame(first.value()).ok());
+  auto decoded = decoder.DecodeFrame(second.value());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  // The refused frame left no gap: the P-packet still reconstructs frame
+  // 2 exactly on the grid.
+  auto oracle = TemporalGridReconstruction(
+      drive[2].cloud, TemporalNetConfig().intra_options.q_xyz,
+      TemporalNetSensor());
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_TRUE(SameCloud(decoded.value(), oracle.value()));
+}
+
+TEST(FleetSessionTest, TemporalSessionResyncsAtKeyframeAfterReject) {
+  // Encode the drive I0 P1 P2 I3 P4, then lose P1 to admission control:
+  // P2 must fail closed, I3 must resync, and P4 must decode to exactly
+  // what a lossless replay yields.
+  const std::vector<StreamFrame> drive = TemporalNetDrive(5);
+  TemporalEncoder encoder(TemporalNetConfig());
+  std::vector<ByteBuffer> packets;
+  for (const StreamFrame& frame : drive) {
+    auto packet = encoder.EncodeFrame(frame.cloud, frame.pose);
+    ASSERT_TRUE(packet.ok());
+    packets.push_back(std::move(packet).value());
+  }
+  auto wire = [](uint64_t id, const ByteBuffer& payload) {
+    Frame frame;
+    frame.frame_id = id;
+    frame.payload = payload;
+    return FrameProtocol::Serialize(frame);
+  };
+
+  ThreadPool pool(2);
+  auto blocker = std::make_unique<PoolBlocker>(&pool, 2);
+  FleetConfig config;
+  config.pool = &pool;
+  config.global_inflight_budget = 1;
+  SessionManager fleet(config);
+  const uint64_t sid = fleet.OpenSession("lidar-0").value();
+
+  // I0 holds the whole budget while the pool is blocked, so P1's reject
+  // is deterministic — the modeled packet loss.
+  EXPECT_EQ(fleet.SubmitFrame(sid, wire(0, packets[0])).verdict,
+            AdmitVerdict::kAccepted);
+  EXPECT_EQ(fleet.SubmitFrame(sid, wire(1, packets[1])).verdict,
+            AdmitVerdict::kRejectedSessionShare);
+  blocker->Release();
+  ASSERT_TRUE(fleet.Drain().ok());
+
+  // P2 references the lost frame: the decoder must fail closed, not emit
+  // a guess from the stale reference.
+  EXPECT_EQ(fleet.SubmitFrame(sid, wire(2, packets[2])).verdict,
+            AdmitVerdict::kAccepted);
+  ASSERT_TRUE(fleet.Drain().ok());
+  {
+    auto stats = fleet.stats(sid);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().decoded, 1u);
+    EXPECT_EQ(stats.value().decode_errors, 1u);
+  }
+
+  // The next keyframe resynchronizes; the following P-frame then decodes.
+  EXPECT_EQ(fleet.SubmitFrame(sid, wire(3, packets[3])).verdict,
+            AdmitVerdict::kAccepted);
+  ASSERT_TRUE(fleet.Drain().ok());
+  EXPECT_EQ(fleet.SubmitFrame(sid, wire(4, packets[4])).verdict,
+            AdmitVerdict::kAccepted);
+  ASSERT_TRUE(fleet.Drain().ok());
+  {
+    auto stats = fleet.stats(sid);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_EQ(stats.value().submitted, 5u);
+    EXPECT_EQ(stats.value().accepted, 4u);
+    EXPECT_EQ(stats.value().rejected, 1u);
+    EXPECT_EQ(stats.value().decoded, 3u);
+    EXPECT_EQ(stats.value().decode_errors, 1u);
+  }
+
+  // Byte-identical recovery: the fleet's latest cloud equals a lossless
+  // reference decoder's view of frame 4 (loss only skips, never skews).
+  TemporalDecoder reference(DbgcOptions(), /*count_decode_errors=*/false);
+  ASSERT_TRUE(reference.DecodeFrame(packets[0]).ok());
+  ASSERT_TRUE(reference.DecodeFrame(packets[1]).ok());
+  ASSERT_TRUE(reference.DecodeFrame(packets[2]).ok());
+  ASSERT_TRUE(reference.DecodeFrame(packets[3]).ok());
+  auto expected = reference.DecodeFrame(packets[4]);
+  ASSERT_TRUE(expected.ok());
+  auto latest = fleet.LatestCloud(sid);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_TRUE(SameCloud(latest.value(), expected.value()));
+}
+
+TEST(FleetSessionTest, TemporalFramesDecodeInOrderOnOneSession) {
+  // A burst of temporal frames admitted back to back must decode in
+  // admission order through the single session actor, even on a wide
+  // pool — otherwise P-frames would race their own references.
+  const std::vector<StreamFrame> drive = TemporalNetDrive(4);
+  TemporalEncoder encoder(TemporalNetConfig());
+  std::vector<ByteBuffer> packets;
+  for (const StreamFrame& frame : drive) {
+    auto packet = encoder.EncodeFrame(frame.cloud, frame.pose);
+    ASSERT_TRUE(packet.ok());
+    packets.push_back(std::move(packet).value());
+  }
+
+  ThreadPool pool(4);
+  FleetConfig config;
+  config.pool = &pool;
+  config.global_inflight_budget = 8;
+  SessionManager fleet(config);
+  const uint64_t sid = fleet.OpenSession().value();
+  for (size_t i = 0; i < packets.size(); ++i) {
+    Frame frame;
+    frame.frame_id = i;
+    frame.payload = packets[i];
+    EXPECT_EQ(fleet.SubmitFrame(sid, FrameProtocol::Serialize(frame)).verdict,
+              AdmitVerdict::kAccepted);
+  }
+  ASSERT_TRUE(fleet.Drain().ok());
+  auto stats = fleet.stats(sid);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().decoded, 4u);
+  EXPECT_EQ(stats.value().decode_errors, 0u);
+
+  TemporalDecoder reference(DbgcOptions(), /*count_decode_errors=*/false);
+  for (size_t i = 0; i + 1 < packets.size(); ++i) {
+    ASSERT_TRUE(reference.DecodeFrame(packets[i]).ok());
+  }
+  auto expected = reference.DecodeFrame(packets.back());
+  ASSERT_TRUE(expected.ok());
+  auto latest = fleet.LatestCloud(sid);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_TRUE(SameCloud(latest.value(), expected.value()));
+}
+
 }  // namespace
 }  // namespace dbgc

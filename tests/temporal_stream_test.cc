@@ -1,0 +1,418 @@
+// Conformance suite for the temporal I/P-frame streaming codec
+// (docs/TEMPORAL.md): P-frame reconstruction equals the per-frame intra
+// grid decode, any single lost P-frame recovers byte-identically at the
+// next keyframe, randomized keyframe intervals round-trip under both
+// entropy backends, and the SceneGenerator drives feeding the benchmarks
+// are deterministic and temporally coherent.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "codec/range_image_codec.h"
+#include "common/point_cloud.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/transforms.h"
+#include "core/temporal_codec.h"
+#include "lidar/scene_generator.h"
+#include "lidar/sensor_model.h"
+
+namespace dbgc {
+namespace {
+
+// A reduced azimuth resolution keeps one frame around 20 K points, enough
+// for every codec path while the multi-frame suites stay fast.
+SensorMetadata TestSensor() { return SensorMetadata::VelodyneHdl64e(512); }
+
+constexpr double kQ = 0.02;
+
+TemporalConfig TestConfig(int keyframe_interval) {
+  TemporalConfig config;
+  config.keyframe_interval = keyframe_interval;
+  config.sensor = TestSensor();
+  config.intra_options.q_xyz = kQ;
+  return config;
+}
+
+std::vector<StreamFrame> TestDrive(size_t num_frames,
+                                   SceneType type = SceneType::kCity) {
+  SceneGenerator generator(type);
+  return generator.GenerateSequence(num_frames, SequenceConfig(), TestSensor());
+}
+
+// Bit-exact cloud equality: the loss-recovery and determinism contracts
+// are byte-level, not tolerance-level.
+bool CloudsIdentical(const PointCloud& a, const PointCloud& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i] == b[i])) return false;
+  }
+  return true;
+}
+
+TEST(TemporalStreamTest, PFrameDecodeEqualsPerFrameIntraDecode) {
+  const std::vector<StreamFrame> drive = TestDrive(4);
+  TemporalStreamWriter writer(TestConfig(4));
+  for (const StreamFrame& frame : drive) {
+    ASSERT_TRUE(writer.AddFrame(frame.cloud, frame.pose).ok());
+  }
+  const ByteBuffer stream = writer.Finish();
+
+  auto reader = TemporalStreamReader::Open(stream);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ(reader.value().frame_count(), drive.size());
+
+  // The independent intra reference: the range-image codec resamples onto
+  // the same sensor grid with the same quantization, so a P-frame decode
+  // must reproduce its round trip exactly — prediction only changes the
+  // bits on the wire, never the reconstruction.
+  const RangeImageCodec intra(TestSensor());
+  for (size_t i = 0; i < drive.size(); ++i) {
+    const auto type = reader.value().FrameType(i);
+    ASSERT_TRUE(type.ok());
+    EXPECT_EQ(type.value(), i == 0 ? kTemporalFrameIntra
+                                   : kTemporalFramePredicted);
+    auto decoded = reader.value().DecodeNext();
+    ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+    if (i == 0) continue;  // The I-frame is plain DBGC, covered elsewhere.
+
+    auto intra_bits = intra.Compress(drive[i].cloud, kQ);
+    ASSERT_TRUE(intra_bits.ok());
+    auto intra_decoded = intra.Decompress(intra_bits.value());
+    ASSERT_TRUE(intra_decoded.ok());
+    EXPECT_TRUE(CloudsIdentical(decoded.value(), intra_decoded.value()))
+        << "P-frame " << i << " diverged from the intra grid decode";
+
+    auto oracle = TemporalGridReconstruction(drive[i].cloud, kQ, TestSensor());
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_TRUE(CloudsIdentical(decoded.value(), oracle.value()));
+  }
+}
+
+TEST(TemporalStreamTest, DecodedPFrameStaysWithinRadialBound) {
+  const std::vector<StreamFrame> drive = TestDrive(2);
+  TemporalStreamWriter writer(TestConfig(8));
+  for (const StreamFrame& frame : drive) {
+    ASSERT_TRUE(writer.AddFrame(frame.cloud, frame.pose).ok());
+  }
+  const ByteBuffer stream = writer.Finish();
+  auto reader = TemporalStreamReader::Open(stream);
+  ASSERT_TRUE(reader.ok());
+  ASSERT_TRUE(reader.value().DecodeNext().ok());
+  auto p_frame = reader.value().DecodeNext();
+  ASSERT_TRUE(p_frame.ok());
+
+  // Project the original frame onto the sensor grid and check each decoded
+  // point's radius against the nearest return of its own cell: the grid
+  // quantizes at 2 * q_xyz, so the radial error is at most q_xyz.
+  const SensorMetadata sensor = TestSensor();
+  const double u_theta = sensor.AzimuthStep();
+  const double u_phi = sensor.PolarStep();
+  const size_t width = static_cast<size_t>(sensor.horizontal_samples);
+  std::vector<double> nearest(width * sensor.vertical_samples,
+                              std::numeric_limits<double>::infinity());
+  for (const Point3& p : drive[1].cloud) {
+    const double r = std::sqrt(p.SquaredNorm());
+    const double theta = std::atan2(p.y, p.x);
+    const double phi = std::asin(p.z / r);
+    int col = static_cast<int>(std::floor((theta - sensor.theta_min) / u_theta));
+    int row = static_cast<int>(std::floor((sensor.phi_max - phi) / u_phi));
+    col = std::clamp(col, 0, sensor.horizontal_samples - 1);
+    row = std::clamp(row, 0, sensor.vertical_samples - 1);
+    double& cell = nearest[static_cast<size_t>(row) * width + col];
+    if (r < cell) cell = r;
+  }
+  for (const Point3& p : p_frame.value()) {
+    const double r = std::sqrt(p.SquaredNorm());
+    const double theta = std::atan2(p.y, p.x);
+    const double phi = std::asin(p.z / r);
+    int col = static_cast<int>(std::floor((theta - sensor.theta_min) / u_theta));
+    int row = static_cast<int>(std::floor((sensor.phi_max - phi) / u_phi));
+    col = std::clamp(col, 0, sensor.horizontal_samples - 1);
+    row = std::clamp(row, 0, sensor.vertical_samples - 1);
+    const double ref = nearest[static_cast<size_t>(row) * width + col];
+    ASSERT_TRUE(std::isfinite(ref));
+    EXPECT_LE(std::fabs(r - ref), kQ + 1e-9);
+  }
+}
+
+TEST(TemporalStreamTest, DroppingAnySinglePFrameRecoversAtNextKeyframe) {
+  constexpr int kInterval = 3;
+  const std::vector<StreamFrame> drive = TestDrive(9);
+  TemporalStreamWriter writer(TestConfig(kInterval));
+  for (const StreamFrame& frame : drive) {
+    ASSERT_TRUE(writer.AddFrame(frame.cloud, frame.pose).ok());
+  }
+  const ByteBuffer stream = writer.Finish();
+
+  // Reference run: no loss.
+  auto reference = TemporalStreamReader::Open(stream);
+  ASSERT_TRUE(reference.ok());
+  std::vector<PointCloud> expected;
+  for (size_t i = 0; i < drive.size(); ++i) {
+    auto decoded = reference.value().DecodeNext();
+    ASSERT_TRUE(decoded.ok());
+    expected.push_back(std::move(decoded.value()));
+  }
+
+  for (size_t lost = 0; lost < drive.size(); ++lost) {
+    auto type = reference.value().FrameType(lost);
+    ASSERT_TRUE(type.ok());
+    if (type.value() != kTemporalFramePredicted) continue;
+    // A keyframe must follow the loss for resynchronization to be
+    // possible; losses in the final GOP legitimately never recover.
+    bool keyframe_follows = false;
+    for (size_t i = lost + 1; i < drive.size(); ++i) {
+      auto later = reference.value().FrameType(i);
+      ASSERT_TRUE(later.ok());
+      if (later.value() == kTemporalFrameIntra) keyframe_follows = true;
+    }
+
+    auto lossy = TemporalStreamReader::Open(stream);
+    ASSERT_TRUE(lossy.ok());
+    for (size_t i = 0; i < lost; ++i) {
+      ASSERT_TRUE(lossy.value().DecodeNext().ok());
+    }
+    ASSERT_TRUE(lossy.value().SkipNext().ok());
+    bool resynced = false;
+    for (size_t i = lost + 1; i < drive.size(); ++i) {
+      auto frame_type = lossy.value().FrameType(i);
+      ASSERT_TRUE(frame_type.ok());
+      if (frame_type.value() == kTemporalFrameIntra) resynced = true;
+      auto decoded = lossy.value().DecodeNext();
+      if (!resynced) {
+        // P-frames after a loss must fail closed, never emit a guess.
+        EXPECT_FALSE(decoded.ok()) << "frame " << i << " after losing "
+                                   << lost;
+        continue;
+      }
+      ASSERT_TRUE(decoded.ok()) << decoded.status().message();
+      EXPECT_TRUE(CloudsIdentical(decoded.value(), expected[i]))
+          << "frame " << i << " after losing " << lost
+          << " is not byte-identical to the lossless run";
+    }
+    EXPECT_EQ(resynced, keyframe_follows) << "lost " << lost;
+  }
+}
+
+TEST(TemporalStreamTest, RandomizedKeyframeIntervalsRoundTrip) {
+  const uint64_t seed = 0x7E32B08D1B54A32ULL;
+  SCOPED_TRACE("seed=0x7E32B08D1B54A32");  // Reproduces shrinking repros.
+  Rng rng(seed);
+  const std::vector<StreamFrame> drive = TestDrive(5, SceneType::kResidential);
+  for (int trial = 0; trial < 3; ++trial) {
+    const int interval = 1 + static_cast<int>(rng.NextBounded(5));
+    const EntropyBackend backend =
+        trial % 2 == 0 ? EntropyBackend::kRangeV2 : EntropyBackend::kArithmeticV1;
+    TemporalStreamWriter writer(TestConfig(interval));
+    CompressParams params;
+    params.q_xyz = kQ;
+    params.entropy_backend = backend;
+    for (const StreamFrame& frame : drive) {
+      ASSERT_TRUE(writer.AddFrame(frame.cloud, frame.pose, params).ok());
+    }
+    const ByteBuffer stream = writer.Finish();
+    auto reader = TemporalStreamReader::Open(stream);
+    ASSERT_TRUE(reader.ok());
+    for (size_t i = 0; i < drive.size(); ++i) {
+      auto type = reader.value().FrameType(i);
+      ASSERT_TRUE(type.ok());
+      EXPECT_EQ(type.value(), (i % static_cast<size_t>(interval)) == 0
+                                  ? kTemporalFrameIntra
+                                  : kTemporalFramePredicted)
+          << "trial " << trial << " interval " << interval << " frame " << i;
+      auto decoded = reader.value().DecodeNext();
+      ASSERT_TRUE(decoded.ok())
+          << "trial " << trial << " interval " << interval << " frame " << i
+          << ": " << decoded.status().message();
+      EXPECT_GT(decoded.value().size(), 0u);
+    }
+  }
+}
+
+TEST(TemporalStreamTest, PFrameWithoutReferenceFailsClosed) {
+  const std::vector<StreamFrame> drive = TestDrive(2);
+  TemporalEncoder encoder(TestConfig(8));
+  ASSERT_TRUE(encoder.EncodeFrame(drive[0].cloud, drive[0].pose).ok());
+  auto p_packet = encoder.EncodeFrame(drive[1].cloud, drive[1].pose);
+  ASSERT_TRUE(p_packet.ok());
+  ASSERT_EQ(p_packet.value()[0], kTemporalFramePredicted);
+
+  TemporalDecoder decoder(DbgcOptions(), /*count_decode_errors=*/false);
+  EXPECT_FALSE(decoder.DecodeFrame(p_packet.value()).ok());
+  EXPECT_FALSE(decoder.has_reference());
+}
+
+TEST(TemporalStreamTest, UnknownFrameTypeByteFailsClosed) {
+  TemporalDecoder decoder(DbgcOptions(), /*count_decode_errors=*/false);
+  for (uint8_t type : {uint8_t{0x00}, uint8_t{0x01}, uint8_t{0x02},
+                       uint8_t{'Q'}, uint8_t{0xFF}}) {
+    ByteBuffer packet;
+    packet.AppendByte(type);
+    for (int i = 0; i < 4; ++i) packet.AppendDouble(0.0);
+    auto decoded = decoder.DecodeFrame(packet);
+    ASSERT_FALSE(decoded.ok());
+    EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+  }
+  ByteBuffer empty;
+  EXPECT_FALSE(decoder.DecodeFrame(empty).ok());
+}
+
+TEST(TemporalStreamTest, StreamContainerFailsClosedOnHeaderDamage) {
+  const std::vector<StreamFrame> drive = TestDrive(2);
+  TemporalStreamWriter writer(TestConfig(2));
+  for (const StreamFrame& frame : drive) {
+    ASSERT_TRUE(writer.AddFrame(frame.cloud, frame.pose).ok());
+  }
+  const ByteBuffer stream = writer.Finish();
+
+  ByteBuffer bad_magic = stream;
+  bad_magic.mutable_bytes()[0] ^= 0xFF;
+  EXPECT_FALSE(TemporalStreamReader::Open(bad_magic).ok());
+
+  ByteBuffer bad_version = stream;
+  bad_version.mutable_bytes()[4] = 0x7F;
+  EXPECT_FALSE(TemporalStreamReader::Open(bad_version).ok());
+
+  for (size_t keep : {size_t{0}, size_t{3}, size_t{5}, stream.size() / 2}) {
+    ByteBuffer truncated(std::vector<uint8_t>(
+        stream.bytes().begin(),
+        stream.bytes().begin() + static_cast<ptrdiff_t>(keep)));
+    EXPECT_FALSE(TemporalStreamReader::Open(truncated).ok()) << keep;
+  }
+}
+
+TEST(TemporalStreamTest, PFramesBeatIntraFramesOnCoherentDrive) {
+  const std::vector<StreamFrame> drive = TestDrive(6);
+  TemporalStreamWriter writer(TestConfig(6));
+  std::vector<size_t> sizes;
+  for (const StreamFrame& frame : drive) {
+    auto bytes = writer.AddFrame(frame.cloud, frame.pose);
+    ASSERT_TRUE(bytes.ok());
+    sizes.push_back(bytes.value());
+  }
+  double p_total = 0.0;
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    p_total += static_cast<double>(sizes[i]);
+  }
+  const double p_mean = p_total / static_cast<double>(sizes.size() - 1);
+  EXPECT_LT(p_mean, static_cast<double>(sizes[0]))
+      << "P-frames should be smaller than the I-frame on a coherent drive";
+}
+
+// Byte-identical bitstreams at every thread budget — the same determinism
+// contract the intra codecs honour (docs/PARALLELISM.md). Referenced by
+// the TSan gate regex in scripts/check.sh.
+TEST(TemporalConcurrency, BitstreamInvariantUnderThreadCount) {
+  const std::vector<StreamFrame> drive = TestDrive(3);
+  ThreadPool pool(8);
+
+  auto encode_all = [&](ThreadPool* p, int budget) {
+    TemporalStreamWriter writer(TestConfig(2));
+    for (const StreamFrame& frame : drive) {
+      CompressParams params;
+      params.q_xyz = kQ;
+      params.pool = p;
+      params.max_threads = budget;
+      auto added = writer.AddFrame(frame.cloud, frame.pose, params);
+      EXPECT_TRUE(added.ok());
+    }
+    return writer.Finish();
+  };
+
+  const ByteBuffer serial = encode_all(nullptr, 0);
+  for (int budget : {1, 2, 8}) {
+    const ByteBuffer threaded = encode_all(&pool, budget);
+    ASSERT_EQ(serial.size(), threaded.size()) << "budget " << budget;
+    EXPECT_TRUE(serial == threaded) << "budget " << budget;
+  }
+
+  // Decode under a pool as well: same clouds as the serial decode.
+  auto serial_reader = TemporalStreamReader::Open(serial);
+  ASSERT_TRUE(serial_reader.ok());
+  auto pooled_reader = TemporalStreamReader::Open(serial);
+  ASSERT_TRUE(pooled_reader.ok());
+  DecompressParams pooled;
+  pooled.pool = &pool;
+  pooled.max_threads = 8;
+  for (size_t i = 0; i < drive.size(); ++i) {
+    auto a = serial_reader.value().DecodeNext();
+    auto b = pooled_reader.value().DecodeNext(pooled);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_TRUE(CloudsIdentical(a.value(), b.value())) << "frame " << i;
+  }
+}
+
+// --- SceneGenerator drive contracts ----------------------------------------
+
+TEST(SceneSequenceTest, SameSeedGivesBitIdenticalSequences) {
+  SceneGenerator generator(SceneType::kUrban, 77);
+  SequenceConfig config;
+  config.moving_actors = 3;
+  const auto a = generator.GenerateSequence(3, config, TestSensor());
+  const auto b = generator.GenerateSequence(3, config, TestSensor());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(CloudsIdentical(a[i].cloud, b[i].cloud)) << "frame " << i;
+    EXPECT_EQ(a[i].pose.yaw, b[i].pose.yaw);
+    EXPECT_TRUE(a[i].pose.translation == b[i].pose.translation);
+  }
+}
+
+TEST(SceneSequenceTest, PosesFollowTheConfiguredTrajectory) {
+  SceneGenerator generator(SceneType::kRoad);
+  SequenceConfig config;
+  config.speed_mps = 10.0;
+  config.lateral_amplitude = 0.0;
+  const auto frames = generator.GenerateSequence(3, config, TestSensor());
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].pose.translation.x, 0.0);
+  // 10 Hz sensor: one meter of ego motion per frame at 10 m/s.
+  EXPECT_NEAR(frames[1].pose.translation.x, 1.0, 1e-12);
+  EXPECT_NEAR(frames[2].pose.translation.x, 2.0, 1e-12);
+}
+
+TEST(SceneSequenceTest, ConsecutiveFramesOverlapInWorldCoordinates) {
+  SceneGenerator generator(SceneType::kCity);
+  const auto frames = generator.GenerateSequence(2, SequenceConfig(),
+                                                 TestSensor());
+  ASSERT_EQ(frames.size(), 2u);
+
+  // Temporal coherence: most points of frame 1, mapped to world
+  // coordinates, land in voxels occupied by frame 0. Independent frames
+  // (or a broken trajectory) fail this badly.
+  constexpr double kVoxel = 0.4;
+  auto key = [](const Point3& p) {
+    const auto q = [](double v) {
+      return static_cast<int64_t>(std::floor(v / kVoxel));
+    };
+    uint64_t h = 1469598103934665603ULL;
+    for (int64_t c : {q(p.x), q(p.y), q(p.z)}) {
+      h ^= static_cast<uint64_t>(c);
+      h *= 1099511628211ULL;
+    }
+    return h;
+  };
+  std::unordered_set<uint64_t> occupied;
+  for (const Point3& p : frames[0].cloud) {
+    occupied.insert(key(frames[0].pose.Apply(p)));
+  }
+  size_t hits = 0;
+  for (const Point3& p : frames[1].cloud) {
+    if (occupied.count(key(frames[1].pose.Apply(p))) > 0) ++hits;
+  }
+  const double overlap = static_cast<double>(hits) /
+                         static_cast<double>(frames[1].cloud.size());
+  EXPECT_GT(overlap, 0.5) << "frame-to-frame overlap " << overlap;
+}
+
+}  // namespace
+}  // namespace dbgc
